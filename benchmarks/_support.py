@@ -1,0 +1,96 @@
+"""Shared infrastructure for the figure-reproduction benchmarks.
+
+Scale-factor mapping (paper -> repro): the paper ran 10MB / 100MB / 1GB
+TPC-H databases on PostgreSQL.  The repro engine is a pure-Python
+interpreter, so sizes are laptop-scaled; the *relative* quantities the
+paper reports (overhead factors, growth shapes, crossovers) are what the
+benchmarks reproduce.
+
+    small  = SF 0.002   (~12k lineitem rows)   ~ paper's 10MB column
+    medium = SF 0.005   (~30k lineitem rows)   ~ paper's 100MB column
+    large  = SF 0.01    (~60k lineitem rows)   ~ paper's 1GB column
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.database import PermDatabase
+from repro.tpch.dbgen import generate, load_into
+
+SCALE_FACTORS = {"small": 0.002, "medium": 0.005, "large": 0.01}
+
+_DB_CACHE: dict[tuple[str, bool], PermDatabase] = {}
+_DATA_CACHE: dict[str, object] = {}
+
+
+def tpch_db(size: str, provenance_module: bool = True) -> PermDatabase:
+    """A cached TPC-H database of the given size."""
+    key = (size, provenance_module)
+    if key not in _DB_CACHE:
+        if size not in _DATA_CACHE:
+            _DATA_CACHE[size] = generate(SCALE_FACTORS[size], seed=42)
+        db = PermDatabase(provenance_module_enabled=provenance_module)
+        load_into(db, _DATA_CACHE[size])
+        _DB_CACHE[key] = db
+    return _DB_CACHE[key]
+
+
+class FigureCollector:
+    """Accumulates per-figure rows; printed at session end."""
+
+    def __init__(self) -> None:
+        self._figures: dict[str, dict] = defaultdict(dict)
+        self._headers: dict[str, list[str]] = {}
+        self._titles: dict[str, str] = {}
+
+    def configure(self, figure: str, title: str, headers: list[str]) -> None:
+        self._titles[figure] = title
+        self._headers[figure] = headers
+
+    def record(self, figure: str, row_key, column: str, value) -> None:
+        self._figures[figure].setdefault(row_key, {})[column] = value
+
+    def render(self) -> str:
+        blocks = []
+        for figure in sorted(self._figures):
+            headers = self._headers.get(figure, [])
+            rows = self._figures[figure]
+            title = self._titles.get(figure, figure)
+            lines = [f"== {figure}: {title} =="]
+            first_col = "key"
+            widths = [max(len(first_col), *(len(str(k)) for k in rows))]
+            for header in headers:
+                cells = [str(rows[k].get(header, "")) for k in rows]
+                widths.append(max(len(header), *(len(c) for c in cells)) if cells else len(header))
+            header_line = "  ".join(
+                name.ljust(w) for name, w in zip([first_col] + headers, widths)
+            )
+            lines.append(header_line)
+            lines.append("-" * len(header_line))
+            for key in sorted(rows, key=_row_sort_key):
+                cells = [str(key).ljust(widths[0])]
+                for i, header in enumerate(headers):
+                    cells.append(str(rows[key].get(header, "")).ljust(widths[i + 1]))
+                lines.append("  ".join(cells))
+            blocks.append("\n".join(lines))
+        return "\n\n".join(blocks)
+
+
+def _row_sort_key(key):
+    if isinstance(key, tuple):
+        return tuple(_row_sort_key(k) for k in key)
+    if isinstance(key, int):
+        return (0, key)
+    text = str(key)
+    if text.startswith("Q") and text[1:].isdigit():
+        return (0, int(text[1:]))
+    return (1, text)
+
+
+def fmt_seconds(value: float) -> str:
+    return f"{value:.4f}s"
+
+
+def fmt_factor(value: float) -> str:
+    return f"{value:.1f}x"

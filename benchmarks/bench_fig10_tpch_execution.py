@@ -1,0 +1,56 @@
+"""Fig. 10 -- TPC-H: execution time, normal vs. provenance queries.
+
+Reproduces the shape of the paper's central table: most provenance
+queries cost a factor ~1-30 over the normal query; queries whose
+provenance explodes (Q1's aggregation over the full lineitem table,
+sublink queries Q11/Q16, the expression-grouped 8-table join Q9) sit at
+the high end.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from benchmarks._support import fmt_seconds, tpch_db
+from benchmarks.conftest import run_once
+from repro.tpch.qgen import generate_query
+from repro.tpch.queries import SUPPORTED_QUERIES
+
+SIZES = ("small", "medium")
+
+
+@pytest.mark.parametrize("size", SIZES)
+@pytest.mark.parametrize("number", SUPPORTED_QUERIES)
+def test_fig10_execution(benchmark, figures, number, size):
+    figures.configure(
+        "fig10",
+        "TPC-H execution time: normal vs. provenance",
+        [
+            "normal small", "prov small", "factor small",
+            "normal medium", "prov medium", "factor medium",
+        ],
+    )
+    db = tpch_db(size)
+    normal_sql = generate_query(number, seed=11)
+    prov_sql = generate_query(number, seed=11, provenance=True)
+
+    start = time.perf_counter()
+    db.execute(normal_sql)
+    normal_time = time.perf_counter() - start
+
+    prov_time = run_once(
+        benchmark, lambda: _timed_execute(db, prov_sql)
+    )
+
+    factor = prov_time / normal_time if normal_time > 0 else float("inf")
+    figures.record("fig10", f"Q{number}", f"normal {size}", fmt_seconds(normal_time))
+    figures.record("fig10", f"Q{number}", f"prov {size}", fmt_seconds(prov_time))
+    figures.record("fig10", f"Q{number}", f"factor {size}", f"{factor:.1f}x")
+
+
+def _timed_execute(db, sql) -> float:
+    start = time.perf_counter()
+    db.execute(sql)
+    return time.perf_counter() - start

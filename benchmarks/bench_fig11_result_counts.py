@@ -1,0 +1,47 @@
+"""Fig. 11 -- TPC-H: number of result tuples, normal vs. provenance.
+
+Reproduced shapes:
+
+* aggregation queries explode: Q1's provenance contains every selected
+  lineitem row (paper: x~15000 at 10MB),
+* sublink queries (Q11, Q13, Q16) multiply results strongly,
+* aggregation over an *empty* input yields 1 normal row but 0 provenance
+  rows (paper footnote 4) -- asserted explicitly when it occurs,
+* provenance counts grow roughly linearly with database size.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks._support import tpch_db
+from benchmarks.conftest import run_once
+from repro.tpch.qgen import generate_query
+from repro.tpch.queries import SUPPORTED_QUERIES
+
+SIZES = ("small", "medium")
+
+
+@pytest.mark.parametrize("size", SIZES)
+@pytest.mark.parametrize("number", SUPPORTED_QUERIES)
+def test_fig11_result_counts(benchmark, figures, number, size):
+    figures.configure(
+        "fig11",
+        "TPC-H number of result tuples: normal vs. provenance",
+        ["normal small", "prov small", "normal medium", "prov medium"],
+    )
+    db = tpch_db(size)
+    normal = db.execute(generate_query(number, seed=11))
+    prov_sql = generate_query(number, seed=11, provenance=True)
+    prov = run_once(benchmark, lambda: db.execute(prov_sql))
+
+    figures.record("fig11", f"Q{number}", f"normal {size}", len(normal))
+    figures.record("fig11", f"Q{number}", f"prov {size}", len(prov))
+
+    # Paper footnote 4: a grand aggregate over an empty input produces one
+    # all-NULL row whose provenance is empty.
+    if len(normal) == 1 and all(v is None for v in normal.rows[0]):
+        assert len(prov) == 0
+    # The original part of every provenance row is an original result row.
+    width = len(normal.columns)
+    assert {row[:width] for row in prov.rows} <= set(normal.rows)

@@ -1,0 +1,49 @@
+"""Fig. 12 -- set-operation queries: execution time vs. numSetOp.
+
+Random union/intersection trees over key-range selections on ``part``
+(the paper excludes set-difference here to separate computational cost
+from exponential result growth).  Reproduced shape: provenance time
+grows with the number of set operations clearly faster than normal time,
+since every binary set operation adds two joins (rewrite rules R6/R7,
+strategy Fig. 6.3b).
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from benchmarks._support import fmt_seconds, tpch_db
+from benchmarks.conftest import run_once
+from repro.workloads import setop_queries
+
+QUERIES_PER_POINT = 10
+SWEEP = (1, 2, 3, 4, 5)
+
+
+def _run_all(db, queries) -> float:
+    start = time.perf_counter()
+    for sql in queries:
+        db.execute(sql)
+    return (time.perf_counter() - start) / len(queries)
+
+
+@pytest.mark.parametrize("num_setops", SWEEP)
+def test_fig12_setops(benchmark, figures, num_setops):
+    figures.configure(
+        "fig12",
+        "Set-operation queries: avg execution time vs. numSetOp",
+        ["normal", "provenance", "factor"],
+    )
+    db = tpch_db("medium")
+    max_key = db.catalog.table("part").row_count()
+    normal = setop_queries(num_setops, QUERIES_PER_POINT, max_key, seed=5)
+    prov = setop_queries(num_setops, QUERIES_PER_POINT, max_key, seed=5, provenance=True)
+
+    normal_time = _run_all(db, normal)
+    prov_time = run_once(benchmark, lambda: _run_all(db, prov))
+
+    figures.record("fig12", num_setops, "normal", fmt_seconds(normal_time))
+    figures.record("fig12", num_setops, "provenance", fmt_seconds(prov_time))
+    figures.record("fig12", num_setops, "factor", f"{prov_time / normal_time:.1f}x")

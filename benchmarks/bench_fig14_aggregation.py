@@ -1,0 +1,49 @@
+"""Fig. 14 -- nested aggregation: execution time vs. aggregation depth.
+
+Each level of the chain groups on the primary key divided by
+``numGrp = depth-th root of |part|``.  Reproduced shape: provenance
+execution time grows roughly *linearly* with the number of stacked
+aggregations, because rule R5 introduces one extra join per aggregation
+level.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from benchmarks._support import fmt_seconds, tpch_db
+from benchmarks.conftest import run_once
+from repro.workloads import aggregation_chain
+
+SWEEP = (1, 2, 3, 4, 5, 6, 7, 8, 9, 10)
+
+
+@pytest.mark.parametrize("depth", SWEEP)
+def test_fig14_aggregation(benchmark, figures, depth):
+    figures.configure(
+        "fig14",
+        "Nested aggregation: execution time vs. depth",
+        ["normal", "provenance", "factor"],
+    )
+    db = tpch_db("medium")
+    part_count = db.catalog.table("part").row_count()
+    normal_sql = aggregation_chain(depth, part_count)
+    prov_sql = aggregation_chain(depth, part_count, provenance=True)
+
+    start = time.perf_counter()
+    db.execute(normal_sql)
+    normal_time = time.perf_counter() - start
+
+    prov_time = run_once(benchmark, lambda: _timed(db, prov_sql))
+
+    figures.record("fig14", depth, "normal", fmt_seconds(normal_time))
+    figures.record("fig14", depth, "provenance", fmt_seconds(prov_time))
+    figures.record("fig14", depth, "factor", f"{prov_time / normal_time:.1f}x")
+
+
+def _timed(db, sql) -> float:
+    start = time.perf_counter()
+    db.execute(sql)
+    return time.perf_counter() - start

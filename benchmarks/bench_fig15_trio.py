@@ -1,0 +1,72 @@
+"""Fig. 15 -- execution time comparison with the Trio approach.
+
+The paper's setup: 1000 simple key-range selections on ``supplier``.
+Trio computes provenance eagerly beforehand (not measured); the measured
+Trio time is *querying the stored provenance* -- tuple-at-a-time SQL
+over the stored lineage relations.  Perm computes provenance lazily with
+one rewritten query.  Reproduced shape: Perm outperforms the Trio-style
+system by a large factor (>= ~30x in the paper).
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from benchmarks._support import fmt_seconds, tpch_db
+from benchmarks.conftest import run_once
+from repro.baselines.trio import TrioSystem
+from repro.workloads import selection_queries
+
+QUERY_COUNT = 100  # paper: 1000; scaled with the database
+
+
+@pytest.mark.parametrize("system", ["trio", "perm"])
+def test_fig15_trio_comparison(benchmark, figures, system):
+    figures.configure(
+        "fig15",
+        "Perm (lazy) vs. Trio-style eager lineage, key-range selections",
+        ["total time", "factor vs perm"],
+    )
+    db = tpch_db("large")
+    max_key = db.catalog.table("supplier").row_count()
+
+    if system == "trio":
+        trio = TrioSystem(db)
+        queries = selection_queries(QUERY_COUNT, max_key, seed=15)
+        # Eager derivation happens beforehand, as in the paper's setup.
+        results = [trio.execute(sql) for sql in queries]
+
+        def run() -> float:
+            start = time.perf_counter()
+            for result in results:
+                trio.query_stored_provenance(result)
+            return time.perf_counter() - start
+
+        total = run_once(benchmark, run)
+        figures.record("fig15", "Trio", "total time", fmt_seconds(total))
+        _TOTALS["trio"] = total
+    else:
+        queries = selection_queries(QUERY_COUNT, max_key, seed=15, provenance=True)
+
+        def run() -> float:
+            start = time.perf_counter()
+            for sql in queries:
+                db.execute(sql)
+            return time.perf_counter() - start
+
+        total = run_once(benchmark, run)
+        figures.record("fig15", "Perm", "total time", fmt_seconds(total))
+        _TOTALS["perm"] = total
+
+    if len(_TOTALS) == 2:
+        factor = _TOTALS["trio"] / _TOTALS["perm"]
+        figures.record("fig15", "Trio", "factor vs perm", f"{factor:.1f}x")
+        figures.record("fig15", "Perm", "factor vs perm", "1.0x")
+        # Paper: "Perm outperforms Trio by a factor of at least 30".  The
+        # repro asserts a conservative bound on the same shape.
+        assert factor > 5, f"expected a large Trio/Perm factor, got {factor:.1f}x"
+
+
+_TOTALS: dict[str, float] = {}

@@ -1,0 +1,37 @@
+"""Fixtures for the figure benchmarks; prints assembled tables at exit."""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks._support import FigureCollector
+
+_collector = FigureCollector()
+
+
+@pytest.fixture(scope="session")
+def figures() -> FigureCollector:
+    return _collector
+
+
+def pytest_terminal_summary(terminalreporter):
+    rendered = _collector.render()
+    if rendered.strip():
+        terminalreporter.write_line("")
+        terminalreporter.write_line("=" * 72)
+        terminalreporter.write_line(
+            "PAPER FIGURE REPRODUCTIONS (see EXPERIMENTS.md for discussion)"
+        )
+        terminalreporter.write_line("=" * 72)
+        for line in rendered.splitlines():
+            terminalreporter.write_line(line)
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark and return its result.
+
+    The paper's measurements are single executions of generated query
+    sets; calibrated multi-round timing would multiply runtime without
+    changing the reported shapes.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

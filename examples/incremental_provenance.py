@@ -1,0 +1,60 @@
+"""Incremental and external provenance (paper sections IV-A.3 / IV-A.4).
+
+Shows the three SQL-PLE mechanisms for controlling provenance scope:
+
+1. storing a provenance computation with ``SELECT ... INTO`` and reusing
+   it via ``FROM stored PROVENANCE (attrs)`` (incremental computation),
+2. views whose body already computes provenance,
+3. ``BASERELATION`` to stop tracing at a subquery boundary.
+
+Run:  python examples/incremental_provenance.py
+"""
+
+from __future__ import annotations
+
+import repro
+
+
+def main() -> None:
+    db = repro.connect()
+    db.execute("CREATE TABLE items (id integer, price integer)")
+    db.execute("INSERT INTO items VALUES (1, 100), (2, 10), (3, 25)")
+
+    # --- 1. store provenance, then compute incrementally on top of it.
+    db.execute(
+        "SELECT PROVENANCE sum(price) AS total INTO stored_totals FROM items"
+    )
+    stored = db.execute("SELECT * FROM stored_totals")
+    print("stored provenance relation (SELECT INTO):")
+    print(stored.pretty(), "\n")
+
+    incremental = db.execute(
+        "SELECT PROVENANCE total * 10 AS scaled FROM stored_totals "
+        "PROVENANCE (prov_items_id, prov_items_price)"
+    )
+    print("incremental provenance reusing the stored attributes:")
+    print(incremental.pretty(), "\n")
+
+    # --- 2. a view computing provenance (the paper's totalItemPrice).
+    db.execute(
+        "CREATE VIEW totalitemprice AS "
+        "SELECT PROVENANCE sum(price) AS total FROM items"
+    )
+    via_view = db.execute(
+        "SELECT PROVENANCE total * 10 FROM totalitemprice "
+        "PROVENANCE (prov_items_id, prov_items_price)"
+    )
+    print("provenance through the totalItemPrice view:")
+    print(via_view.pretty(), "\n")
+
+    # --- 3. BASERELATION: treat the subquery itself as the source.
+    limited = db.execute(
+        "SELECT PROVENANCE total * 10 FROM "
+        "(SELECT sum(price) AS total FROM items) BASERELATION AS sub"
+    )
+    print("limited scope with BASERELATION (provenance stops at `sub`):")
+    print(limited.pretty())
+
+
+if __name__ == "__main__":
+    main()

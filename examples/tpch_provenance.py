@@ -1,0 +1,64 @@
+"""TPC-H provenance: reproduce the paper's section V workload interactively.
+
+Loads a small TPC-H database, runs a benchmark query normally and with
+provenance, and shows the provenance explosion the paper's Fig. 11
+reports -- then drills into the provenance of a single result row.
+
+Run:  python examples/tpch_provenance.py [scale_factor]
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.tpch.dbgen import tpch_database
+from repro.tpch.qgen import generate_query
+
+
+def main() -> None:
+    scale_factor = float(sys.argv[1]) if len(sys.argv) > 1 else 0.002
+    print(f"Generating TPC-H data at SF {scale_factor} ...")
+    db = tpch_database(scale_factor=scale_factor)
+    lineitem_count = db.catalog.table("lineitem").row_count()
+    print(f"loaded; lineitem has {lineitem_count} rows\n")
+
+    number = 3  # shipping-priority query: 3-way join + aggregation
+    normal_sql = generate_query(number, seed=4)
+    prov_sql = generate_query(number, seed=4, provenance=True)
+
+    start = time.perf_counter()
+    normal = db.execute(normal_sql)
+    normal_time = time.perf_counter() - start
+    print(f"Q{number} (normal): {len(normal)} rows in {normal_time:.3f}s")
+    print(normal.pretty(5))
+
+    start = time.perf_counter()
+    provenance = db.execute(prov_sql)
+    prov_time = time.perf_counter() - start
+    print(
+        f"\nQ{number} (PROVENANCE): {len(provenance)} rows "
+        f"({len(provenance.columns)} columns) in {prov_time:.3f}s"
+    )
+    print("provenance attributes:", [c for c in provenance.columns if c.startswith("prov_")])
+
+    if provenance.rows:
+        # Drill into the provenance of the top result row: which lineitem /
+        # orders / customer tuples produced it?
+        first = provenance.rows[0]
+        width = len(normal.columns)
+        print("\ntop result row:", first[:width])
+        witnesses = [row for row in provenance.rows if row[:width] == first[:width]]
+        print(f"contributing source combinations: {len(witnesses)}")
+        for row in witnesses[:3]:
+            print("   ", row[width:])
+
+    factor = prov_time / normal_time if normal_time else float("inf")
+    print(
+        f"\nexecution overhead factor: {factor:.1f}x "
+        f"(paper Fig. 10 band for most queries: 3-30x)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,8 @@
+"""Shim enabling legacy editable installs (no network, no wheel package).
+
+All real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

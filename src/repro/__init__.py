@@ -1,0 +1,51 @@
+"""repro -- a reproduction of Perm (Glavic & Alonso, ICDE 2009).
+
+Perm computes the provenance of SQL queries *through query rewriting*: a
+query ``q`` marked ``SELECT PROVENANCE`` is rewritten into a regular
+relational query ``q+`` returning the original result extended with the
+contributing tuples from every base relation, so provenance can be
+queried, stored and optimized with ordinary SQL.
+
+Quickstart::
+
+    import repro
+
+    db = repro.connect()
+    db.execute("CREATE TABLE shop (name text, numempl integer)")
+    db.execute("INSERT INTO shop VALUES ('Merdies', 3), ('Joba', 14)")
+    result = db.execute("SELECT PROVENANCE name FROM shop WHERE numempl < 10")
+    print(result.columns)   # ['name', 'prov_shop_name', 'prov_shop_numempl']
+"""
+
+from repro.database import PermDatabase, PreparedQuery, QueryResult, connect
+from repro.catalog.schema import Column, TableSchema
+from repro.datatypes import SQLType
+from repro.errors import (
+    AnalyzeError,
+    CatalogError,
+    ExecutionError,
+    ParseError,
+    PermError,
+    RewriteError,
+)
+from repro.storage.relation import Relation
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "PermDatabase",
+    "PreparedQuery",
+    "QueryResult",
+    "connect",
+    "Column",
+    "TableSchema",
+    "SQLType",
+    "Relation",
+    "PermError",
+    "ParseError",
+    "AnalyzeError",
+    "CatalogError",
+    "RewriteError",
+    "ExecutionError",
+    "__version__",
+]

@@ -1,0 +1,127 @@
+"""Interactive SQL shell for the Perm reproduction.
+
+Usage::
+
+    python -m repro                 # empty database
+    python -m repro --tpch 0.002    # pre-loaded TPC-H at SF 0.002
+    python -m repro --example       # the paper's shop/sales/items example
+
+Inside the shell, end statements with ``;``.  Meta commands:
+
+* ``\\q`` quit, ``\\d`` list relations,
+* ``\\rewrite <query>`` print the provenance-rewritten SQL,
+* ``\\explain <query>`` print the physical plan.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import repro
+from repro.errors import PermError
+
+
+def _build_database(args: argparse.Namespace) -> repro.PermDatabase:
+    if args.tpch is not None:
+        from repro.tpch.dbgen import tpch_database
+
+        print(f"loading TPC-H at SF {args.tpch} ...", file=sys.stderr)
+        return tpch_database(scale_factor=args.tpch)
+    db = repro.connect()
+    if args.example:
+        db.execute("CREATE TABLE shop (name text, numempl integer)")
+        db.execute("CREATE TABLE sales (sname text, itemid integer)")
+        db.execute("CREATE TABLE items (id integer, price integer)")
+        db.execute("INSERT INTO shop VALUES ('Merdies', 3), ('Joba', 14)")
+        db.execute(
+            "INSERT INTO sales VALUES ('Merdies', 1), ('Merdies', 2), "
+            "('Merdies', 2), ('Joba', 3), ('Joba', 3)"
+        )
+        db.execute("INSERT INTO items VALUES (1, 100), (2, 10), (3, 25)")
+    return db
+
+
+def _handle_meta(db: repro.PermDatabase, line: str) -> bool:
+    """Process a backslash command; returns False to quit."""
+    command, _, rest = line.partition(" ")
+    if command in ("\\q", "\\quit"):
+        return False
+    if command == "\\d":
+        for table in db.catalog.tables():
+            columns = ", ".join(
+                f"{c.name} {c.type.value}" for c in table.schema.columns
+            )
+            print(f"  {table.name} ({columns})  -- {table.row_count()} rows")
+        return True
+    if command == "\\rewrite":
+        print(db.rewritten_sql(rest))
+        return True
+    if command == "\\explain":
+        print(db.explain(rest))
+        return True
+    print(f"unknown meta command {command!r} (\\q, \\d, \\rewrite, \\explain)")
+    return True
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Interactive shell for the Perm provenance engine",
+    )
+    parser.add_argument("--tpch", type=float, default=None, metavar="SF",
+                        help="pre-load TPC-H data at the given scale factor")
+    parser.add_argument("--example", action="store_true",
+                        help="pre-load the paper's shop/sales/items example")
+    parser.add_argument("--command", "-c", default=None,
+                        help="execute one statement and exit")
+    args = parser.parse_args(argv)
+
+    db = _build_database(args)
+    if args.command is not None:
+        try:
+            result = db.execute(args.command)
+        except PermError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        if result.columns:
+            print(result.pretty())
+        else:
+            print(result.command)
+        return 0
+
+    print("Perm repro shell -- SELECT PROVENANCE ... to compute provenance.")
+    print("\\q quit, \\d relations, \\rewrite <q>, \\explain <q>")
+    buffer = ""
+    while True:
+        try:
+            prompt = "perm> " if not buffer else "  ... "
+            line = input(prompt)
+        except (EOFError, KeyboardInterrupt):
+            print()
+            return 0
+        if not buffer and line.strip().startswith("\\"):
+            try:
+                if not _handle_meta(db, line.strip()):
+                    return 0
+            except PermError as exc:
+                print(f"error: {exc}")
+            continue
+        buffer += line + "\n"
+        if ";" not in line:
+            continue
+        statement, buffer = buffer, ""
+        try:
+            result = db.execute(statement)
+        except PermError as exc:
+            print(f"error: {exc}")
+            continue
+        if result.columns:
+            print(result.pretty())
+            print(f"({len(result)} rows)")
+        else:
+            print(result.command)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,49 @@
+"""The Perm algebra (paper Fig. 1) as a formal, directly-evaluable IR.
+
+This package is independent of the SQL engine: operators evaluate
+directly over bag-semantics :class:`~repro.storage.relation.Relation`
+objects.  It exists to make the paper's formal artifacts executable:
+
+* the algebra definitions of Fig. 1 (set/bag projection and set
+  operations, selection, crossproduct, joins, aggregation),
+* the rewrite rules R1-R9 of Fig. 3 (``repro.core.algebra_rules``),
+* the correctness argument of section III-E, turned into property-based
+  tests comparing rewritten queries against the Cui-Widom baseline.
+"""
+
+from repro.algebra.expr import (
+    Attr,
+    BinOp,
+    BoolAnd,
+    BoolNot,
+    BoolOr,
+    Cmp,
+    Lit,
+    NullSafeEq,
+)
+from repro.algebra.operators import (
+    Aggregate,
+    AggSpec,
+    BagDifference,
+    BagIntersection,
+    BagProject,
+    BagUnion,
+    BaseRelation,
+    Cross,
+    Join,
+    Select,
+    SetDifference,
+    SetIntersection,
+    SetProject,
+    SetUnion,
+)
+from repro.algebra.evaluate import evaluate
+
+__all__ = [
+    "Attr", "Lit", "Cmp", "NullSafeEq", "BinOp", "BoolAnd", "BoolOr", "BoolNot",
+    "BaseRelation", "Select", "Cross", "Join",
+    "SetProject", "BagProject", "Aggregate", "AggSpec",
+    "SetUnion", "BagUnion", "SetIntersection", "BagIntersection",
+    "SetDifference", "BagDifference",
+    "evaluate",
+]

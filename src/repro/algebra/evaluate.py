@@ -1,0 +1,237 @@
+"""Direct interpreter for the Perm algebra (paper Fig. 1).
+
+``evaluate(op, db)`` computes the bag-semantics result of an algebra
+expression over a database mapping relation names to
+:class:`~repro.storage.relation.Relation` objects.
+
+The implementation follows the figure's definitions literally --
+multiplicities are explicit everywhere -- with one deliberate deviation:
+aggregation over an empty input *without* grouping attributes yields the
+SQL grand-aggregate row (count 0 / NULL otherwise), matching both
+PostgreSQL and the behaviour the paper's Fig. 11 footnote 4 describes.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any
+
+from repro.algebra.expr import Scalar
+from repro.algebra.operators import (
+    Aggregate,
+    AggSpec,
+    AlgebraOp,
+    BagDifference,
+    BagIntersection,
+    BagProject,
+    BagUnion,
+    BaseRelation,
+    Cross,
+    Join,
+    Select,
+    SetDifference,
+    SetIntersection,
+    SetProject,
+    SetUnion,
+)
+from repro.storage.relation import Relation
+
+
+class AlgebraError(Exception):
+    pass
+
+
+def evaluate(
+    op: AlgebraOp, db: dict[str, Relation], strict_fig1: bool = False
+) -> Relation:
+    """Evaluate an algebra expression over named base relations.
+
+    ``strict_fig1`` switches grand aggregation over empty input to the
+    literal Fig. 1 definition (empty result) instead of the SQL
+    grand-aggregate row; the formal correctness properties use it because
+    the paper's proof is stated for that algebra (the SQL behaviour is
+    the paper's Fig. 11 footnote 4 deviation).
+    """
+    if isinstance(op, BaseRelation):
+        if op.name not in db:
+            raise AlgebraError(f"base relation {op.name!r} not in database")
+        relation = db[op.name]
+        if len(relation.columns) != len(op.columns):
+            raise AlgebraError(
+                f"relation {op.name!r} arity {len(relation.columns)} does not "
+                f"match reference arity {len(op.columns)}"
+            )
+        return relation.rename(op.columns)
+    if isinstance(op, Select):
+        return _select(op, db, strict_fig1)
+    if isinstance(op, (SetProject, BagProject)):
+        return _project(op, db, strict_fig1)
+    if isinstance(op, Cross):
+        return _join(op.left, op.right, None, "inner", db, strict_fig1)
+    if isinstance(op, Join):
+        return _join(op.left, op.right, op.condition, op.kind, db, strict_fig1)
+    if isinstance(op, Aggregate):
+        return _aggregate(op, db, strict_fig1)
+    if isinstance(op, (SetUnion, BagUnion, SetIntersection, BagIntersection,
+                       SetDifference, BagDifference)):
+        return _setop(op, db, strict_fig1)
+    raise AlgebraError(f"unknown operator {op!r}")
+
+
+def _named(schema: list[str], row: tuple) -> dict[str, Any]:
+    return dict(zip(schema, row))
+
+
+def _select(op: Select, db: dict[str, Relation], strict_fig1: bool = False) -> Relation:
+    source = evaluate(op.input, db, strict_fig1)
+    schema = list(source.columns)
+    counts: Counter = Counter()
+    for row, n in source.counted():
+        if op.condition.eval(_named(schema, row)) is True:
+            counts[row] += n
+    return Relation(schema, counts)
+
+
+def _project(op, db: dict[str, Relation], strict_fig1: bool = False) -> Relation:
+    source = evaluate(op.input, db, strict_fig1)
+    schema = list(source.columns)
+    out_columns = [name for _, name in op.items]
+    counts: Counter = Counter()
+    for row, n in source.counted():
+        named = _named(schema, row)
+        projected = tuple(expr.eval(named) for expr, _ in op.items)
+        counts[projected] += n
+    if isinstance(op, SetProject):
+        counts = Counter({row: 1 for row in counts})
+    return Relation(out_columns, counts)
+
+
+def _join(
+    left_op: AlgebraOp,
+    right_op: AlgebraOp,
+    condition,
+    kind: str,
+    db: dict[str, Relation],
+    strict_fig1: bool = False,
+) -> Relation:
+    left = evaluate(left_op, db, strict_fig1)
+    right = evaluate(right_op, db, strict_fig1)
+    overlap = set(left.columns) & set(right.columns)
+    if overlap:
+        raise AlgebraError(f"join operand schemas overlap: {sorted(overlap)}")
+    schema = list(left.columns) + list(right.columns)
+    counts: Counter = Counter()
+    left_rows = list(left.counted())
+    right_rows = list(right.counted())
+    left_matched = [False] * len(left_rows)
+    right_matched = [False] * len(right_rows)
+    for i, (lrow, ln) in enumerate(left_rows):
+        for j, (rrow, rn) in enumerate(right_rows):
+            combined = lrow + rrow
+            if condition is None or condition.eval(_named(schema, combined)) is True:
+                counts[combined] += ln * rn
+                left_matched[i] = True
+                right_matched[j] = True
+    null_right = (None,) * len(right.columns)
+    null_left = (None,) * len(left.columns)
+    if kind in ("left", "full"):
+        for i, (lrow, ln) in enumerate(left_rows):
+            if not left_matched[i]:
+                counts[lrow + null_right] += ln
+    if kind in ("right", "full"):
+        for j, (rrow, rn) in enumerate(right_rows):
+            if not right_matched[j]:
+                counts[null_left + rrow] += rn
+    return Relation(schema, counts)
+
+
+def _agg_result(spec: AggSpec, values: list[tuple[Any, int]]) -> Any:
+    """Aggregate over (value, multiplicity) pairs with SQL null semantics."""
+    if spec.func == "count":
+        if spec.arg is None:
+            return sum(n for _, n in values)
+        return sum(n for v, n in values if v is not None)
+    present = [(v, n) for v, n in values if v is not None]
+    if not present:
+        return None
+    if spec.func == "sum":
+        return sum(v * n for v, n in present)
+    if spec.func == "avg":
+        total = sum(v * n for v, n in present)
+        count = sum(n for _, n in present)
+        return total / count
+    if spec.func == "min":
+        return min(v for v, _ in present)
+    if spec.func == "max":
+        return max(v for v, _ in present)
+    raise AlgebraError(f"unknown aggregate {spec.func!r}")
+
+
+def _aggregate(op: Aggregate, db: dict[str, Relation], strict_fig1: bool = False) -> Relation:
+    source = evaluate(op.input, db, strict_fig1)
+    schema = list(source.columns)
+    groups: dict[tuple, list[tuple[dict, int]]] = {}
+    order: list[tuple] = []
+    for row, n in source.counted():
+        named = _named(schema, row)
+        key = tuple(named[g] for g in op.group_by)
+        if key not in groups:
+            groups[key] = []
+            order.append(key)
+        groups[key].append((named, n))
+    counts: Counter = Counter()
+    if not groups and not op.group_by:
+        if strict_fig1:
+            return Relation(op.schema(), counts)
+        # SQL grand aggregate over empty input (see module docstring).
+        row = tuple(_agg_result(spec, []) for spec in op.aggregates)
+        counts[row] = 1
+        return Relation(op.schema(), counts)
+    for key in order:
+        members = groups[key]
+        results = []
+        for spec in op.aggregates:
+            if spec.arg is None:
+                values = [(None, n) for _, n in members]
+            else:
+                values = [(spec.arg.eval(named), n) for named, n in members]
+            results.append(_agg_result(spec, values))
+        counts[key + tuple(results)] = 1
+    return Relation(op.schema(), counts)
+
+
+def _setop(op, db: dict[str, Relation], strict_fig1: bool = False) -> Relation:
+    left = evaluate(op.left, db, strict_fig1)
+    right = evaluate(op.right, db, strict_fig1)
+    if len(left.columns) != len(right.columns):
+        raise AlgebraError("set operation inputs are not union compatible")
+    right = right.rename(list(left.columns))
+    schema = list(left.columns)
+    counts: Counter = Counter()
+    if isinstance(op, SetUnion):
+        for row in left.to_set() | right.to_set():
+            counts[row] = 1
+    elif isinstance(op, BagUnion):
+        for row, n in left.counted():
+            counts[row] += n
+        for row, n in right.counted():
+            counts[row] += n
+    elif isinstance(op, SetIntersection):
+        for row in left.to_set() & right.to_set():
+            counts[row] = 1
+    elif isinstance(op, BagIntersection):
+        for row, n in left.counted():
+            m = right.multiplicity(row)
+            if m:
+                counts[row] = min(n, m)
+    elif isinstance(op, SetDifference):
+        for row in left.to_set() - right.to_set():
+            counts[row] = 1
+    elif isinstance(op, BagDifference):
+        for row, n in left.counted():
+            m = right.multiplicity(row)
+            if n - m > 0:
+                counts[row] = n - m
+    else:  # pragma: no cover
+        raise AlgebraError(f"unknown set operation {op!r}")
+    return Relation(schema, counts)

@@ -1,0 +1,203 @@
+"""Scalar expressions of the formal algebra.
+
+Expressions evaluate against a *named row* (dict column -> value) with
+SQL three-valued logic, matching the semantics of the engine's compiled
+expressions so that cross-checks between the two are meaningful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping
+
+Row = Mapping[str, Any]
+
+
+class Scalar:
+    """Base class for algebra scalar expressions."""
+
+    __slots__ = ()
+
+    def eval(self, row: Row) -> Any:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def attributes(self) -> set[str]:
+        return set()
+
+
+@dataclass(frozen=True)
+class Attr(Scalar):
+    """Attribute reference by name."""
+
+    name: str
+
+    def eval(self, row: Row) -> Any:
+        return row[self.name]
+
+    def attributes(self) -> set[str]:
+        return {self.name}
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Lit(Scalar):
+    value: Any
+
+    def eval(self, row: Row) -> Any:
+        return self.value
+
+    def __str__(self) -> str:
+        return repr(self.value)
+
+
+_CMP_FN: dict[str, Callable[[Any, Any], Any]] = {
+    "=": lambda a, b: a == b,
+    "<>": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+@dataclass(frozen=True)
+class Cmp(Scalar):
+    """Comparison with NULL propagation."""
+
+    op: str
+    left: Scalar
+    right: Scalar
+
+    def eval(self, row: Row) -> Any:
+        a = self.left.eval(row)
+        b = self.right.eval(row)
+        if a is None or b is None:
+            return None
+        return _CMP_FN[self.op](a, b)
+
+    def attributes(self) -> set[str]:
+        return self.left.attributes() | self.right.attributes()
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass(frozen=True)
+class NullSafeEq(Scalar):
+    """IS NOT DISTINCT FROM: the rewrite rules' tuple-equality joins."""
+
+    left: Scalar
+    right: Scalar
+
+    def eval(self, row: Row) -> Any:
+        a = self.left.eval(row)
+        b = self.right.eval(row)
+        if a is None and b is None:
+            return True
+        if a is None or b is None:
+            return False
+        return a == b
+
+    def attributes(self) -> set[str]:
+        return self.left.attributes() | self.right.attributes()
+
+    def __str__(self) -> str:
+        return f"({self.left} <=> {self.right})"
+
+
+_BIN_FN: dict[str, Callable[[Any, Any], Any]] = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": lambda a, b: a / b,
+}
+
+
+@dataclass(frozen=True)
+class BinOp(Scalar):
+    op: str
+    left: Scalar
+    right: Scalar
+
+    def eval(self, row: Row) -> Any:
+        a = self.left.eval(row)
+        b = self.right.eval(row)
+        if a is None or b is None:
+            return None
+        return _BIN_FN[self.op](a, b)
+
+    def attributes(self) -> set[str]:
+        return self.left.attributes() | self.right.attributes()
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass(frozen=True)
+class BoolAnd(Scalar):
+    args: tuple[Scalar, ...]
+
+    def eval(self, row: Row) -> Any:
+        saw_null = False
+        for arg in self.args:
+            value = arg.eval(row)
+            if value is False:
+                return False
+            if value is None:
+                saw_null = True
+        return None if saw_null else True
+
+    def attributes(self) -> set[str]:
+        out: set[str] = set()
+        for arg in self.args:
+            out |= arg.attributes()
+        return out
+
+    def __str__(self) -> str:
+        return "(" + " AND ".join(str(a) for a in self.args) + ")"
+
+
+@dataclass(frozen=True)
+class BoolOr(Scalar):
+    args: tuple[Scalar, ...]
+
+    def eval(self, row: Row) -> Any:
+        saw_null = False
+        for arg in self.args:
+            value = arg.eval(row)
+            if value is True:
+                return True
+            if value is None:
+                saw_null = True
+        return None if saw_null else False
+
+    def attributes(self) -> set[str]:
+        out: set[str] = set()
+        for arg in self.args:
+            out |= arg.attributes()
+        return out
+
+    def __str__(self) -> str:
+        return "(" + " OR ".join(str(a) for a in self.args) + ")"
+
+
+@dataclass(frozen=True)
+class BoolNot(Scalar):
+    arg: Scalar
+
+    def eval(self, row: Row) -> Any:
+        value = self.arg.eval(row)
+        return None if value is None else not value
+
+    def attributes(self) -> set[str]:
+        return self.arg.attributes()
+
+    def __str__(self) -> str:
+        return f"(NOT {self.arg})"
+
+
+def attr_equal(left: str, right: str) -> Cmp:
+    """Shorthand for the ubiquitous ``a = b`` join condition."""
+    return Cmp("=", Attr(left), Attr(right))

@@ -1,0 +1,220 @@
+"""Operators of the Perm algebra (paper Fig. 1).
+
+Every operator knows its output ``schema()`` (ordered column names) and
+its children.  Evaluation (``repro.algebra.evaluate``) is a direct
+interpretation of the definitions in Fig. 1 over bag-semantics
+relations, including the set/bag operator variants.
+
+Base relation references carry a ``ref_id`` so that multiple references
+to the same relation (self-joins) stay distinguishable -- the rewrite
+rules and the Cui-Widom baseline both track provenance per *reference*,
+exactly as the paper's representation does ("Multiple references to a
+base relation are handled as separate relations").
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.algebra.expr import Scalar
+
+_ref_counter = itertools.count()
+
+
+class AlgebraOp:
+    """Base class of algebra operators."""
+
+    __slots__ = ()
+
+    def schema(self) -> list[str]:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def children(self) -> list["AlgebraOp"]:
+        return []
+
+    def base_references(self) -> list["BaseRelation"]:
+        """All base relation references, in left-to-right order."""
+        if isinstance(self, BaseRelation):
+            return [self]
+        refs: list[BaseRelation] = []
+        for child in self.children():
+            refs.extend(child.base_references())
+        return refs
+
+
+@dataclass
+class BaseRelation(AlgebraOp):
+    """A reference to a named base relation with a fixed schema."""
+
+    name: str
+    columns: list[str]
+    ref_id: int = field(default_factory=lambda: next(_ref_counter))
+
+    def schema(self) -> list[str]:
+        return list(self.columns)
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass
+class Select(AlgebraOp):
+    """σ_C(T): keeps tuples satisfying C (Fig. 1c)."""
+
+    input: AlgebraOp
+    condition: Scalar
+
+    def schema(self) -> list[str]:
+        return self.input.schema()
+
+    def children(self) -> list[AlgebraOp]:
+        return [self.input]
+
+    def __str__(self) -> str:
+        return f"σ[{self.condition}]({self.input})"
+
+
+@dataclass
+class _ProjectBase(AlgebraOp):
+    """Shared structure of set/bag projection.
+
+    ``items`` is the paper's A-list: (expression, output name) pairs,
+    covering plain attributes, renamings, constants and functions.
+    """
+
+    input: AlgebraOp
+    items: list[tuple[Scalar, str]]
+
+    def schema(self) -> list[str]:
+        return [name for _, name in self.items]
+
+    def children(self) -> list[AlgebraOp]:
+        return [self.input]
+
+
+class SetProject(_ProjectBase):
+    """Π^S_A(T): duplicate-eliminating projection (Fig. 1a)."""
+
+    def __str__(self) -> str:
+        return f"ΠS[{', '.join(n for _, n in self.items)}]({self.input})"
+
+
+class BagProject(_ProjectBase):
+    """Π^B_A(T): multiplicity-preserving projection (Fig. 1b)."""
+
+    def __str__(self) -> str:
+        return f"ΠB[{', '.join(n for _, n in self.items)}]({self.input})"
+
+
+@dataclass
+class Cross(AlgebraOp):
+    """T1 × T2 (Fig. 1c); the operands' schemas must not overlap."""
+
+    left: AlgebraOp
+    right: AlgebraOp
+
+    def schema(self) -> list[str]:
+        return self.left.schema() + self.right.schema()
+
+    def children(self) -> list[AlgebraOp]:
+        return [self.left, self.right]
+
+    def __str__(self) -> str:
+        return f"({self.left} × {self.right})"
+
+
+@dataclass
+class Join(AlgebraOp):
+    """Inner and outer joins (Fig. 1c; outer variants defined analogously)."""
+
+    left: AlgebraOp
+    right: AlgebraOp
+    condition: Scalar
+    kind: str = "inner"  # 'inner' | 'left' | 'right' | 'full'
+
+    def schema(self) -> list[str]:
+        return self.left.schema() + self.right.schema()
+
+    def children(self) -> list[AlgebraOp]:
+        return [self.left, self.right]
+
+    def __str__(self) -> str:
+        symbol = {"inner": "⋈", "left": "⟕", "right": "⟖", "full": "⟗"}[self.kind]
+        return f"({self.left} {symbol}[{self.condition}] {self.right})"
+
+
+@dataclass
+class AggSpec:
+    """One aggregation function application: name(arg) AS output."""
+
+    func: str  # 'sum' | 'count' | 'avg' | 'min' | 'max'
+    arg: Optional[Scalar]  # None = count(*)
+    output: str
+
+
+@dataclass
+class Aggregate(AlgebraOp):
+    """α_{G, aggr}(T) (Fig. 1c): group on G, apply aggregation functions.
+
+    Output schema: grouping attributes followed by aggregate outputs.
+    Result multiplicity is 1 per group, as in the paper's definition.
+    """
+
+    input: AlgebraOp
+    group_by: list[str]
+    aggregates: list[AggSpec]
+
+    def schema(self) -> list[str]:
+        return list(self.group_by) + [spec.output for spec in self.aggregates]
+
+    def children(self) -> list[AlgebraOp]:
+        return [self.input]
+
+    def __str__(self) -> str:
+        aggs = ", ".join(f"{s.func}({s.arg or '*'})" for s in self.aggregates)
+        return f"α[{', '.join(self.group_by)}; {aggs}]({self.input})"
+
+
+@dataclass
+class _SetOpBase(AlgebraOp):
+    """Union-compatible inputs; result schema is T1's (paper III-A)."""
+
+    left: AlgebraOp
+    right: AlgebraOp
+
+    def schema(self) -> list[str]:
+        return self.left.schema()
+
+    def children(self) -> list[AlgebraOp]:
+        return [self.left, self.right]
+
+    _SYMBOL = "?"
+
+    def __str__(self) -> str:
+        return f"({self.left} {self._SYMBOL} {self.right})"
+
+
+class SetUnion(_SetOpBase):
+    _SYMBOL = "∪S"
+
+
+class BagUnion(_SetOpBase):
+    _SYMBOL = "∪B"
+
+
+class SetIntersection(_SetOpBase):
+    _SYMBOL = "∩S"
+
+
+class BagIntersection(_SetOpBase):
+    _SYMBOL = "∩B"
+
+
+class SetDifference(_SetOpBase):
+    _SYMBOL = "−S"
+
+
+class BagDifference(_SetOpBase):
+    _SYMBOL = "−B"

@@ -1,0 +1,6 @@
+"""Semantic analysis: raw AST -> PostgreSQL-style query trees."""
+
+from repro.analyzer.analyzer import Analyzer
+from repro.analyzer.query_tree import Query, RangeTableEntry, TargetEntry
+
+__all__ = ["Analyzer", "Query", "RangeTableEntry", "TargetEntry"]

@@ -1,0 +1,334 @@
+"""Analyzed (resolved, typed) expression nodes.
+
+These are the expressions stored inside query trees.  Every node carries a
+``type`` tag.  Column references are :class:`Var` nodes addressing a range
+table entry by index plus an attribute number, exactly like PostgreSQL's
+``Var(varno, varattno)``; ``levelsup`` addresses enclosing queries for
+correlated sublinks (which the engine executes but the Perm rewriter
+rejects, as in the paper).
+
+All nodes are immutable; the provenance rewriter builds new query trees
+rather than mutating expressions in place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Iterator, Optional
+
+from repro.datatypes import SQLType
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.analyzer.query_tree import Query
+
+
+class Expr:
+    """Base class of analyzed expressions."""
+
+    __slots__ = ()
+
+    type: SQLType
+
+    def children(self) -> tuple["Expr", ...]:
+        """Direct sub-expressions (sublink subqueries are *not* included)."""
+        return ()
+
+
+@dataclass(frozen=True)
+class Var(Expr):
+    """A resolved column reference.
+
+    ``varno`` indexes the range table (0-based); ``varattno`` the column of
+    that range table entry (0-based); ``levelsup`` counts how many query
+    levels up the referenced range table lives (0 = this query).
+    """
+
+    varno: int
+    varattno: int
+    type: SQLType
+    name: str = ""  # the source column name; display only
+    levelsup: int = 0
+
+    def children(self) -> tuple[Expr, ...]:
+        return ()
+
+    def __str__(self) -> str:
+        prefix = f"^{self.levelsup}." if self.levelsup else ""
+        label = self.name or f"col{self.varattno}"
+        return f"{prefix}${self.varno}.{label}"
+
+
+@dataclass(frozen=True)
+class Const(Expr):
+    value: Any
+    type: SQLType
+
+    def __str__(self) -> str:
+        return repr(self.value)
+
+
+@dataclass(frozen=True)
+class OpExpr(Expr):
+    """Binary/unary operator application (arithmetic, comparison, ||)."""
+
+    op: str
+    args: tuple[Expr, ...]
+    type: SQLType
+
+    def children(self) -> tuple[Expr, ...]:
+        return self.args
+
+    def __str__(self) -> str:
+        if len(self.args) == 1:
+            return f"({self.op}{self.args[0]})"
+        return f"({self.args[0]} {self.op} {self.args[1]})"
+
+
+@dataclass(frozen=True)
+class BoolOpExpr(Expr):
+    """AND / OR / NOT over boolean arguments; type is always BOOLEAN."""
+
+    op: str  # 'and' | 'or' | 'not'
+    args: tuple[Expr, ...]
+    type: SQLType = SQLType.BOOLEAN
+
+    def children(self) -> tuple[Expr, ...]:
+        return self.args
+
+    def __str__(self) -> str:
+        if self.op == "not":
+            return f"(NOT {self.args[0]})"
+        sep = f" {self.op.upper()} "
+        return "(" + sep.join(str(a) for a in self.args) + ")"
+
+
+@dataclass(frozen=True)
+class FuncExpr(Expr):
+    """Scalar function call (non-aggregate)."""
+
+    name: str
+    args: tuple[Expr, ...]
+    type: SQLType
+
+    def children(self) -> tuple[Expr, ...]:
+        return self.args
+
+    def __str__(self) -> str:
+        return f"{self.name}(" + ", ".join(str(a) for a in self.args) + ")"
+
+
+@dataclass(frozen=True)
+class Aggref(Expr):
+    """An aggregate reference: sum/count/avg/min/max.
+
+    ``arg`` is None only for ``count(*)`` (``star`` True).
+    """
+
+    aggname: str
+    arg: Optional[Expr]
+    type: SQLType
+    star: bool = False
+    distinct: bool = False
+
+    def children(self) -> tuple[Expr, ...]:
+        return () if self.arg is None else (self.arg,)
+
+    def __str__(self) -> str:
+        if self.star:
+            return f"{self.aggname}(*)"
+        prefix = "DISTINCT " if self.distinct else ""
+        return f"{self.aggname}({prefix}{self.arg})"
+
+
+@dataclass(frozen=True)
+class CaseExpr(Expr):
+    """Searched CASE (simple CASE is normalized to searched at analysis)."""
+
+    whens: tuple[tuple[Expr, Expr], ...]
+    default: Optional[Expr]
+    type: SQLType
+
+    def children(self) -> tuple[Expr, ...]:
+        parts: list[Expr] = []
+        for cond, result in self.whens:
+            parts.append(cond)
+            parts.append(result)
+        if self.default is not None:
+            parts.append(self.default)
+        return tuple(parts)
+
+    def __str__(self) -> str:
+        body = " ".join(f"WHEN {c} THEN {r}" for c, r in self.whens)
+        tail = f" ELSE {self.default}" if self.default is not None else ""
+        return f"CASE {body}{tail} END"
+
+
+@dataclass(frozen=True)
+class NullTest(Expr):
+    arg: Expr
+    negated: bool  # True = IS NOT NULL
+    type: SQLType = SQLType.BOOLEAN
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.arg,)
+
+    def __str__(self) -> str:
+        return f"({self.arg} IS {'NOT ' if self.negated else ''}NULL)"
+
+
+@dataclass(frozen=True)
+class LikeTest(Expr):
+    arg: Expr
+    pattern: Expr
+    negated: bool
+    type: SQLType = SQLType.BOOLEAN
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.arg, self.pattern)
+
+    def __str__(self) -> str:
+        return f"({self.arg} {'NOT ' if self.negated else ''}LIKE {self.pattern})"
+
+
+@dataclass(frozen=True)
+class InList(Expr):
+    """``x [NOT] IN (v1, ..., vn)`` over an expression list."""
+
+    arg: Expr
+    items: tuple[Expr, ...]
+    negated: bool
+    type: SQLType = SQLType.BOOLEAN
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.arg,) + self.items
+
+    def __str__(self) -> str:
+        inner = ", ".join(str(i) for i in self.items)
+        return f"({self.arg} {'NOT ' if self.negated else ''}IN ({inner}))"
+
+
+class SubLinkKind:
+    EXISTS = "exists"
+    ANY = "any"
+    ALL = "all"
+    SCALAR = "scalar"
+
+
+@dataclass(frozen=True, eq=False)
+class SubLink(Expr):
+    """A subquery inside an expression (paper section IV-E).
+
+    ``correlated`` records whether the subquery references this query's
+    range tables; the rewriter refuses those, as in the paper.  ``eq=False``
+    because the embedded Query is mutable; identity comparison suffices.
+    """
+
+    kind: str
+    subquery: "Query"
+    testexpr: Optional[Expr]
+    operator: Optional[str]
+    type: SQLType
+    correlated: bool = False
+
+    def children(self) -> tuple[Expr, ...]:
+        return () if self.testexpr is None else (self.testexpr,)
+
+    def __str__(self) -> str:
+        if self.kind == SubLinkKind.EXISTS:
+            return "EXISTS(<subquery>)"
+        if self.kind == SubLinkKind.SCALAR:
+            return "(<subquery>)"
+        quant = "ANY" if self.kind == SubLinkKind.ANY else "ALL"
+        return f"({self.testexpr} {self.operator} {quant} (<subquery>))"
+
+
+# ---------------------------------------------------------------------------
+# Tree utilities
+# ---------------------------------------------------------------------------
+
+
+def walk(expr: Expr) -> Iterator[Expr]:
+    """Yield ``expr`` and all sub-expressions (not descending into sublinks)."""
+    stack = [expr]
+    while stack:
+        node = stack.pop()
+        yield node
+        stack.extend(node.children())
+
+
+def contains_aggref(expr: Expr) -> bool:
+    return any(isinstance(node, Aggref) for node in walk(expr))
+
+
+def contains_sublink(expr: Expr) -> bool:
+    return any(isinstance(node, SubLink) for node in walk(expr))
+
+
+def collect_sublinks(expr: Expr) -> list[SubLink]:
+    return [node for node in walk(expr) if isinstance(node, SubLink)]
+
+
+def collect_vars(expr: Expr, levelsup: int = 0) -> list[Var]:
+    """All Vars at the given level (descending into sublink test expressions)."""
+    return [n for n in walk(expr) if isinstance(n, Var) and n.levelsup == levelsup]
+
+
+def transform(expr: Expr, fn: Callable[[Expr], Optional[Expr]]) -> Expr:
+    """Bottom-up expression rewrite.
+
+    ``fn`` is applied to every node after its children were rewritten; it
+    returns a replacement node or ``None`` to keep the (rebuilt) node.
+    """
+    rebuilt = _rebuild(expr, [transform(child, fn) for child in expr.children()])
+    replacement = fn(rebuilt)
+    return rebuilt if replacement is None else replacement
+
+
+def rebuild_with_children(node: Expr, new_children: list[Expr]) -> Expr:
+    """Clone ``node`` with ``new_children`` substituted positionally."""
+    return _rebuild(node, new_children)
+
+
+def _rebuild(node: Expr, new_children: list[Expr]) -> Expr:
+    """Clone ``node`` with ``new_children`` substituted positionally."""
+    if not new_children and not node.children():
+        return node
+    if isinstance(node, OpExpr):
+        return OpExpr(node.op, tuple(new_children), node.type)
+    if isinstance(node, BoolOpExpr):
+        return BoolOpExpr(node.op, tuple(new_children))
+    if isinstance(node, FuncExpr):
+        return FuncExpr(node.name, tuple(new_children), node.type)
+    if isinstance(node, Aggref):
+        arg = new_children[0] if new_children else None
+        return Aggref(node.aggname, arg, node.type, node.star, node.distinct)
+    if isinstance(node, CaseExpr):
+        pair_count = len(node.whens)
+        whens = tuple(
+            (new_children[2 * i], new_children[2 * i + 1]) for i in range(pair_count)
+        )
+        default = new_children[2 * pair_count] if node.default is not None else None
+        return CaseExpr(whens, default, node.type)
+    if isinstance(node, NullTest):
+        return NullTest(new_children[0], node.negated)
+    if isinstance(node, LikeTest):
+        return LikeTest(new_children[0], new_children[1], node.negated)
+    if isinstance(node, InList):
+        return InList(new_children[0], tuple(new_children[1:]), node.negated)
+    if isinstance(node, SubLink):
+        testexpr = new_children[0] if new_children else None
+        return SubLink(
+            node.kind, node.subquery, testexpr, node.operator, node.type, node.correlated
+        )
+    return node
+
+
+def map_vars(expr: Expr, fn: Callable[[Var], Expr]) -> Expr:
+    """Replace every level-0 Var via ``fn`` (sublink subqueries untouched)."""
+
+    def visit(node: Expr) -> Optional[Expr]:
+        if isinstance(node, Var) and node.levelsup == 0:
+            return fn(node)
+        return None
+
+    return transform(expr, visit)

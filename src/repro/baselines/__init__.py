@@ -1,0 +1,14 @@
+"""Baseline provenance systems the paper compares against.
+
+* :mod:`repro.baselines.cui_widom` -- lineage tracing via query inversion
+  (Cui & Widom, ICDE'00): the correctness reference of section III-E and
+  the representative of the list-of-relations representation whose
+  drawbacks section III-B discusses.
+* :mod:`repro.baselines.trio` -- a Trio-style eager lineage system used
+  in the Fig. 15 performance comparison.
+"""
+
+from repro.baselines.cui_widom import lineage, lineage_of
+from repro.baselines.trio import TrioSystem
+
+__all__ = ["lineage", "lineage_of", "TrioSystem"]

@@ -1,0 +1,187 @@
+"""Lineage tracing via query inversion (Cui & Widom, ICDE 2000).
+
+The approach the paper uses both as related work and as the semantic
+reference for its correctness proof (section III-E).  For a query (an
+algebra expression) and one result tuple, the lineage is *a list of
+subsets of the base relations* -- precisely the representation whose two
+drawbacks motivate Perm's single-relation format (section III-B):
+
+1. a list of relations is not expressible as a single algebra result, and
+2. the association between result tuples and their contributors is lost
+   when tracing sets of tuples.
+
+The implementation materializes every intermediate result (as the paper
+notes Cui's approach must) and walks the operator tree top-down, mapping
+each result tuple to its direct contributors per the operator's
+contribution semantics, recursing until base relations are reached.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.algebra.evaluate import AlgebraError, evaluate
+from repro.algebra.operators import (
+    Aggregate,
+    AlgebraOp,
+    BagDifference,
+    BagIntersection,
+    BagProject,
+    BagUnion,
+    BaseRelation,
+    Cross,
+    Join,
+    Select,
+    SetDifference,
+    SetIntersection,
+    SetProject,
+    SetUnion,
+)
+from repro.storage.relation import Relation
+
+# Lineage: base-relation reference id -> set of contributing rows.
+Lineage = dict[int, frozenset[tuple]]
+
+
+def lineage_of(
+    op: AlgebraOp,
+    db: dict[str, Relation],
+    result_tuple: tuple,
+    strict_fig1: bool = False,
+) -> Lineage:
+    """The lineage of one result tuple of ``op`` over ``db``."""
+    result = evaluate(op, db, strict_fig1)
+    if result.multiplicity(result_tuple) == 0:
+        raise AlgebraError(f"tuple {result_tuple!r} is not in the result")
+    return _merge([_trace(op, db, result_tuple, strict_fig1)])
+
+
+def lineage(
+    op: AlgebraOp, db: dict[str, Relation], strict_fig1: bool = False
+) -> dict[tuple, Lineage]:
+    """Lineage of every distinct result tuple of ``op``."""
+    result = evaluate(op, db, strict_fig1)
+    return {
+        t: _trace(op, db, t, strict_fig1) for t in result.distinct_rows()
+    }
+
+
+def _empty(op: AlgebraOp) -> Lineage:
+    return {ref.ref_id: frozenset() for ref in op.base_references()}
+
+
+def _merge(parts: list[Lineage]) -> Lineage:
+    merged: dict[int, set[tuple]] = {}
+    for part in parts:
+        for ref_id, rows in part.items():
+            merged.setdefault(ref_id, set()).update(rows)
+    return {ref_id: frozenset(rows) for ref_id, rows in merged.items()}
+
+
+def _named(schema: list[str], row: tuple) -> dict:
+    return dict(zip(schema, row))
+
+
+def _trace(
+    op: AlgebraOp, db: dict[str, Relation], t: tuple, strict: bool = False
+) -> Lineage:
+    if isinstance(op, BaseRelation):
+        return {op.ref_id: frozenset([t])}
+
+    if isinstance(op, Select):
+        # σ: the tuple itself (it passed the filter unchanged).
+        return _trace(op.input, db, t, strict)
+
+    if isinstance(op, (SetProject, BagProject)):
+        # Π: every input tuple projecting onto t contributes.
+        source = evaluate(op.input, db, strict)
+        schema = list(source.columns)
+        contributors = [
+            row
+            for row in source.distinct_rows()
+            if tuple(expr.eval(_named(schema, row)) for expr, _ in op.items) == t
+        ]
+        if not contributors:
+            return _empty(op)
+        return _merge([_trace(op.input, db, row, strict) for row in contributors])
+
+    if isinstance(op, (Cross, Join)):
+        return _trace_join(op, db, t, strict)
+
+    if isinstance(op, Aggregate):
+        # α: every tuple of t's group contributes (influence semantics).
+        source = evaluate(op.input, db, strict)
+        schema = list(source.columns)
+        group_values = t[: len(op.group_by)]
+        members = [
+            row
+            for row in source.distinct_rows()
+            if tuple(_named(schema, row)[g] for g in op.group_by) == group_values
+        ]
+        if not members:
+            return _empty(op)
+        return _merge([_trace(op.input, db, row, strict) for row in members])
+
+    if isinstance(op, (SetUnion, BagUnion, SetIntersection, BagIntersection)):
+        # ∪/∩: equal tuples from either input contribute.
+        parts: list[Lineage] = [_empty(op)]
+        left = evaluate(op.left, db, strict)
+        right = evaluate(op.right, db, strict).rename(list(left.columns))
+        if left.multiplicity(t):
+            parts.append(_trace(op.left, db, t, strict))
+        if right.multiplicity(t):
+            right_t = t  # same values; the right subtree resolves names itself
+            parts.append(_trace(op.right, db, right_t, strict))
+        return _merge(parts)
+
+    if isinstance(op, (SetDifference, BagDifference)):
+        # − (paper section III-C): T1 contributes t itself; from T2, the set
+        # version contributes every tuple, the bag version every tuple
+        # different from t.
+        parts = [_empty(op), _trace(op.left, db, t, strict)]
+        right = evaluate(op.right, db, strict)
+        for row in right.distinct_rows():
+            if isinstance(op, SetDifference) or row != t:
+                parts.append(_trace(op.right, db, row, strict))
+        return _merge(parts)
+
+    raise AlgebraError(f"no contribution semantics for {op!r}")
+
+
+def _trace_join(op, db: dict[str, Relation], t: tuple, strict: bool = False) -> Lineage:
+    left = evaluate(op.left, db, strict)
+    right = evaluate(op.right, db, strict)
+    left_width = len(left.columns)
+    left_part = t[:left_width]
+    right_part = t[left_width:]
+    schema = list(left.columns) + list(right.columns)
+    condition = op.condition if isinstance(op, Join) else None
+    kind = op.kind if isinstance(op, Join) else "inner"
+
+    parts: list[Lineage] = [_empty(op)]
+    matched = False
+    if left.multiplicity(left_part) and right.multiplicity(right_part):
+        combined = left_part + right_part
+        if condition is None or condition.eval(_named(schema, combined)) is True:
+            matched = True
+            parts.append(_trace(op.left, db, left_part, strict))
+            parts.append(_trace(op.right, db, right_part, strict))
+    if not matched:
+        # Null-extended outer-join tuples: only the non-null side counts.
+        if kind in ("left", "full") and all(v is None for v in right_part):
+            if left.multiplicity(left_part):
+                parts.append(_trace(op.left, db, left_part, strict))
+        if kind in ("right", "full") and all(v is None for v in left_part):
+            if right.multiplicity(right_part):
+                parts.append(_trace(op.right, db, right_part, strict))
+    return _merge(parts)
+
+
+def format_lineage(op: AlgebraOp, result: Lineage) -> str:
+    """Render lineage in the paper's list-of-relations notation."""
+    pieces = []
+    for ref in op.base_references():
+        rows = sorted(result.get(ref.ref_id, frozenset()), key=repr)
+        inner = ", ".join(repr(row) for row in rows)
+        pieces.append(f"{ref.name}: {{{inner}}}")
+    return "(" + "; ".join(pieces) + ")"

@@ -1,0 +1,423 @@
+"""A Trio-style eager lineage system (the paper's Fig. 15 comparator).
+
+Trio [Agrawal et al., 2006] computes provenance *eagerly*: every derived
+table materializes together with *lineage relations* mapping each result
+tuple id to the ids of its immediate input tuples.  Querying provenance
+then traverses the lineage relations iteratively, step by step, joining
+back to the base tables.
+
+Faithful scope limitations (paper section II): only SPJ queries and
+single-level set operations are supported -- "it does support neither
+aggregation nor subqueries, and supports only single set operations".
+Outer joins and sublinks raise :class:`TrioUnsupportedError`.
+
+The measured quantities for the Fig. 15 reproduction:
+
+* ``execute`` -- eager derivation with lineage materialization (done
+  "beforehand" in the paper's setup),
+* ``provenance`` -- querying the stored provenance by iterative lineage
+  traversal (the time the paper reports for Trio).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.database import PermDatabase
+from repro.errors import PermError
+from repro.executor.context import ExecContext
+from repro.executor.expr_eval import ExprCompiler
+from repro.analyzer.analyzer import Analyzer
+from repro.analyzer.query_tree import (
+    Query,
+    RangeTableRef,
+    RTEKind,
+    SetOpNode,
+    SetOpRangeRef,
+)
+from repro.analyzer import expressions as ex
+from repro.planner.planner import split_conjuncts
+
+
+class TrioUnsupportedError(PermError):
+    """Raised for query features outside Trio's supported subset."""
+
+
+@dataclass
+class DerivedTable:
+    """A materialized derivation step with its lineage relation.
+
+    ``lineage[i]`` lists the immediate parents of row ``i`` as
+    ``(parent_table, parent_row_index)`` pairs; parent_table None means a
+    base table named in ``base_parent``.
+    """
+
+    name: str
+    columns: list[str]
+    rows: list[tuple] = field(default_factory=list)
+    lineage: list[list[tuple[Optional["DerivedTable"], str, int]]] = field(
+        default_factory=list
+    )
+
+
+@dataclass
+class TrioResult:
+    """Handle to an eagerly derived result."""
+
+    table: DerivedTable
+
+    @property
+    def rows(self) -> list[tuple]:
+        return self.table.rows
+
+    @property
+    def columns(self) -> list[str]:
+        return self.table.columns
+
+
+class TrioSystem:
+    """Eager-lineage PMS sharing a PermDatabase's base tables.
+
+    Derived tables and their lineage relations are stored as ordinary
+    relations in the database (Trio's ULDB encoding on top of
+    PostgreSQL); provenance queries run tuple-at-a-time as SQL over the
+    stored lineage relations, matching Trio's iterative tracing model.
+    """
+
+    def __init__(self, db: PermDatabase) -> None:
+        self.db = db
+        self._counter = 0
+        self._base_copies: set[str] = set()
+
+    # -- ULDB-style storage ---------------------------------------------------
+
+    def _ensure_base_copy(self, name: str) -> str:
+        """Materialize a base table copy with explicit tuple ids."""
+        copy_name = f"trio_base_{name}"
+        if name in self._base_copies:
+            return copy_name
+        from repro.catalog.schema import Column, TableSchema
+        from repro.datatypes import SQLType
+
+        table = self.db.catalog.table(name)
+        columns = [Column("trio_id", SQLType.INTEGER)] + list(table.schema.columns)
+        self.db.catalog.create_table(TableSchema(copy_name, columns))
+        self.db.load_table(
+            copy_name, [(i,) + tuple(row) for i, row in enumerate(table.raw_rows())]
+        )
+        self._base_copies.add(name)
+        return copy_name
+
+    def _store_lineage_relation(self, stage: DerivedTable) -> None:
+        """Write one stage's lineage relation into the database."""
+        from repro.catalog.schema import Column, TableSchema
+        from repro.datatypes import SQLType
+
+        schema = TableSchema(
+            f"{stage.name}_lineage",
+            [
+                Column("out_id", SQLType.INTEGER),
+                Column("parent_name", SQLType.TEXT),
+                Column("parent_id", SQLType.INTEGER),
+            ],
+        )
+        self.db.catalog.create_table(schema)
+        rows = []
+        for out_id, parents in enumerate(stage.lineage):
+            for parent, name, parent_id in parents:
+                stored_name = name if parent is not None else f"trio_base_{name}"
+                rows.append((out_id, stored_name, parent_id))
+        self.db.load_table(schema.name, rows)
+
+    # -- derivation ----------------------------------------------------------
+
+    def execute(self, sql: str) -> TrioResult:
+        """Run a query eagerly, materializing lineage relations."""
+        from repro.sql.parser import parse_statement
+        from repro.sql import ast
+
+        stmt = parse_statement(sql)
+        if not isinstance(stmt, (ast.SelectStmt, ast.SetOpSelect)):
+            raise TrioUnsupportedError("Trio baseline only executes SELECT")
+        query = Analyzer(self.db.catalog).analyze(stmt)
+        return TrioResult(self._derive(query))
+
+    def _fresh_name(self, prefix: str) -> str:
+        self._counter += 1
+        return f"{prefix}_{self._counter}"
+
+    def _derive(self, query: Query) -> DerivedTable:
+        if query.set_operations is not None:
+            return self._derive_setop(query)
+        return self._derive_spj(query)
+
+    def _check_supported(self, query: Query) -> None:
+        if query.has_aggs or query.group_clause or query.having is not None:
+            raise TrioUnsupportedError("Trio does not support aggregation")
+        for target in query.target_list:
+            if ex.contains_sublink(target.expr):
+                raise TrioUnsupportedError("Trio does not support subqueries")
+        if query.jointree.quals is not None and ex.contains_sublink(
+            query.jointree.quals
+        ):
+            raise TrioUnsupportedError("Trio does not support subqueries")
+        for item in query.jointree.items:
+            if not isinstance(item, RangeTableRef):
+                raise TrioUnsupportedError("Trio does not support outer joins")
+
+    # -- SPJ derivation ----------------------------------------------------------
+
+    def _derive_spj(self, query: Query) -> DerivedTable:
+        self._check_supported(query)
+        ctx = ExecContext()
+
+        # Stage 1: one filtered scan per range table entry.
+        conjuncts = (
+            split_conjuncts(query.jointree.quals)
+            if query.jointree.quals is not None
+            else []
+        )
+        scans: list[DerivedTable] = []
+        remaining: list[ex.Expr] = []
+        per_rte: dict[int, list[ex.Expr]] = {}
+        for conjunct in conjuncts:
+            owners = {v.varno for v in ex.collect_vars(conjunct)}
+            if len(owners) == 1:
+                per_rte.setdefault(owners.pop(), []).append(conjunct)
+            else:
+                remaining.append(conjunct)
+
+        for rtindex, rte in enumerate(query.range_table):
+            if rte.kind is RTEKind.SUBQUERY:
+                source = self._derive(rte.subquery)
+                source_rows = source.rows
+                parent: Optional[DerivedTable] = source
+                base_name = source.name
+            else:
+                source_rows = self.db.catalog.table(rte.relation_name).raw_rows()
+                parent = None
+                base_name = rte.relation_name
+                self._ensure_base_copy(rte.relation_name)
+            stage = DerivedTable(
+                name=self._fresh_name(f"sigma_{rte.alias}"),
+                columns=list(rte.column_names),
+            )
+            filters = per_rte.get(rtindex, [])
+            varmap = {(rtindex, attno): attno for attno in range(rte.width())}
+            compiled = [
+                ExprCompiler(varmap).compile(f) for f in filters
+            ]
+            for index, row in enumerate(source_rows):
+                if all(fn(row, ctx) is True for fn in compiled):
+                    stage.rows.append(row)
+                    stage.lineage.append([(parent, base_name, index)])
+            self._store_lineage_relation(stage)
+            scans.append(stage)
+
+        # Stage 2: joins in FROM order (nested loop with applicable quals),
+        # materializing a lineage pair per joined row.
+        joined = scans[0]
+        joined_map = {
+            (0, attno): attno for attno in range(len(scans[0].columns))
+        }
+        placed = {0}
+        for rtindex in range(1, len(scans)):
+            next_stage = scans[rtindex]
+            width = len(joined.columns)
+            merged_map = dict(joined_map)
+            for attno in range(len(next_stage.columns)):
+                merged_map[(rtindex, attno)] = width + attno
+            placed.add(rtindex)
+            applicable = [
+                c
+                for c in remaining
+                if {v.varno for v in ex.collect_vars(c)} <= placed
+            ]
+            remaining = [c for c in remaining if c not in applicable]
+            compiled = [ExprCompiler(merged_map).compile(c) for c in applicable]
+            out = DerivedTable(
+                name=self._fresh_name("join"),
+                columns=joined.columns + next_stage.columns,
+            )
+            for li, lrow in enumerate(joined.rows):
+                for ri, rrow in enumerate(next_stage.rows):
+                    combined = lrow + rrow
+                    if all(fn(combined, ctx) is True for fn in compiled):
+                        out.rows.append(combined)
+                        out.lineage.append(
+                            [(joined, joined.name, li), (next_stage, next_stage.name, ri)]
+                        )
+            self._store_lineage_relation(out)
+            joined = out
+            joined_map = merged_map
+
+        if remaining:
+            compiled = [ExprCompiler(joined_map).compile(c) for c in remaining]
+            filtered = DerivedTable(
+                name=self._fresh_name("filter"), columns=list(joined.columns)
+            )
+            for index, row in enumerate(joined.rows):
+                if all(fn(row, ctx) is True for fn in compiled):
+                    filtered.rows.append(row)
+                    filtered.lineage.append([(joined, joined.name, index)])
+            self._store_lineage_relation(filtered)
+            joined = filtered
+
+        # Stage 3: projection (1:1 lineage).
+        compiler = ExprCompiler(joined_map)
+        exprs = [compiler.compile(t.expr) for t in query.visible_targets]
+        out = DerivedTable(
+            name=self._fresh_name("project"),
+            columns=[t.name for t in query.visible_targets],
+        )
+        seen: dict[tuple, int] = {}
+        for index, row in enumerate(joined.rows):
+            projected = tuple(fn(row, ctx) for fn in exprs)
+            if query.distinct:
+                if projected in seen:
+                    out.lineage[seen[projected]].append((joined, joined.name, index))
+                    continue
+                seen[projected] = len(out.rows)
+            out.rows.append(projected)
+            out.lineage.append([(joined, joined.name, index)])
+        self._store_lineage_relation(out)
+        return out
+
+    # -- set operation derivation ---------------------------------------------------
+
+    def _derive_setop(self, query: Query) -> DerivedTable:
+        node = query.set_operations
+        if not isinstance(node, SetOpNode) or not (
+            isinstance(node.left, SetOpRangeRef)
+            and isinstance(node.right, SetOpRangeRef)
+        ):
+            raise TrioUnsupportedError("Trio supports only single set operations")
+        left = self._derive(query.range_table[node.left.rtindex].subquery)
+        right = self._derive(query.range_table[node.right.rtindex].subquery)
+        out = DerivedTable(
+            name=self._fresh_name(node.op), columns=list(left.columns)
+        )
+
+        left_index: dict[tuple, list[int]] = {}
+        for i, row in enumerate(left.rows):
+            left_index.setdefault(row, []).append(i)
+        right_index: dict[tuple, list[int]] = {}
+        for i, row in enumerate(right.rows):
+            right_index.setdefault(row, []).append(i)
+
+        def parents(row: tuple) -> list:
+            found = [(left, left.name, i) for i in left_index.get(row, [])]
+            found += [(right, right.name, i) for i in right_index.get(row, [])]
+            return found
+
+        if node.op == "union":
+            if node.all:
+                for i, row in enumerate(left.rows):
+                    out.rows.append(row)
+                    out.lineage.append([(left, left.name, i)])
+                for i, row in enumerate(right.rows):
+                    out.rows.append(row)
+                    out.lineage.append([(right, right.name, i)])
+            else:
+                for row in dict.fromkeys(left.rows + right.rows):
+                    out.rows.append(row)
+                    out.lineage.append(parents(row))
+        elif node.op == "intersect":
+            emitted = set()
+            for row in left.rows:
+                if row in right_index and row not in emitted:
+                    emitted.add(row)
+                    out.rows.append(row)
+                    out.lineage.append(parents(row))
+        elif node.op == "except":
+            emitted = set()
+            for row in left.rows:
+                if row not in right_index and row not in emitted:
+                    emitted.add(row)
+                    out.rows.append(row)
+                    out.lineage.append(
+                        [(left, left.name, i) for i in left_index[row]]
+                        + [(right, right.name, i) for i in range(len(right.rows))]
+                    )
+        else:  # pragma: no cover
+            raise TrioUnsupportedError(f"unsupported set operation {node.op!r}")
+        self._store_lineage_relation(out)
+        return out
+
+    # -- provenance queries --------------------------------------------------------
+
+    def provenance(self, result: TrioResult) -> list[tuple[tuple, dict[str, list[int]]]]:
+        """Trace every result tuple back to base tuple ids.
+
+        Iteratively resolves each derivation step's lineage relation, as
+        Trio's provenance queries do, producing per result tuple the
+        contributing row ids grouped by base table.
+        """
+        out: list[tuple[tuple, dict[str, list[int]]]] = []
+        for index, row in enumerate(result.table.rows):
+            base: dict[str, list[int]] = {}
+            stack: list[tuple[Optional[DerivedTable], str, int]] = list(
+                result.table.lineage[index]
+            )
+            while stack:
+                parent, name, parent_index = stack.pop()
+                if parent is None:
+                    base.setdefault(name, []).append(parent_index)
+                else:
+                    stack.extend(parent.lineage[parent_index])
+            out.append((row, base))
+        return out
+
+    def query_stored_provenance(self, result: TrioResult) -> list[tuple]:
+        """Trace provenance through the *stored* lineage relations via SQL.
+
+        This is the configuration the paper measures for Trio in Fig. 15:
+        provenance was computed eagerly beforehand; the reported time is
+        the time to query the stored provenance.  Tracing is
+        tuple-at-a-time and step-at-a-time -- one SQL query per lineage
+        hop, plus one per fetched base tuple -- which is Trio's iterative
+        evaluation model for lineage queries.
+        """
+        rows: list[tuple] = []
+        for out_id, row in enumerate(result.table.rows):
+            base_rows: dict[str, set[tuple]] = {}
+            stack: list[tuple[str, int]] = [(result.table.name, out_id)]
+            while stack:
+                stage_name, tid = stack.pop()
+                parents = self.db.execute(
+                    f"SELECT parent_name, parent_id FROM {stage_name}_lineage "
+                    f"WHERE out_id = {tid}"
+                )
+                for parent_name, parent_id in parents.rows:
+                    if parent_name.startswith("trio_base_"):
+                        fetched = self.db.execute(
+                            f"SELECT * FROM {parent_name} WHERE trio_id = {parent_id}"
+                        )
+                        base_rows.setdefault(parent_name, set()).add(
+                            tuple(fetched.rows[0][1:])
+                        )
+                    else:
+                        stack.append((parent_name, parent_id))
+            combos: list[tuple] = [()]
+            for name in sorted(base_rows):
+                piece = sorted(base_rows[name], key=repr)
+                combos = [existing + c for existing in combos for c in piece]
+            for combo in combos:
+                rows.append(row + combo)
+        return rows
+
+    def provenance_rows(self, result: TrioResult) -> list[tuple]:
+        """Provenance in Perm's extended-tuple format, for comparisons."""
+        rows: list[tuple] = []
+        for row, base in self.provenance(result):
+            pieces: list[list[tuple]] = []
+            for table_name in sorted(base):
+                table = self.db.catalog.table(table_name)
+                pieces.append([tuple(table.raw_rows()[i]) for i in sorted(set(base[table_name]))])
+            combos: list[tuple] = [()]
+            for piece in pieces:
+                combos = [existing + candidate for existing in combos for candidate in piece]
+            for combo in combos:
+                rows.append(row + combo)
+        return rows

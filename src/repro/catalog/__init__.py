@@ -1,0 +1,6 @@
+"""Catalog: schemas for tables and views."""
+
+from repro.catalog.catalog import Catalog
+from repro.catalog.schema import Column, TableSchema
+
+__all__ = ["Catalog", "Column", "TableSchema"]

@@ -1,0 +1,96 @@
+"""The catalog maps names to tables and view definitions.
+
+Views are stored as their SQL text plus the parsed statement; the analyzer
+unfolds them into subquery range-table entries, mirroring PostgreSQL's
+rewriter stage (paper Fig. 5: Perm runs *after* view unfolding).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.catalog.schema import TableSchema
+from repro.errors import CatalogError
+from repro.storage.table import Table
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sql.ast import SelectStmt
+
+
+@dataclass
+class ViewDefinition:
+    """A named view: its SQL text and parsed SELECT statement."""
+
+    name: str
+    sql: str
+    statement: "SelectStmt"
+    # Provenance attribute names declared when the view stores external or
+    # previously computed provenance (paper section IV-A.3).
+    provenance_attributes: tuple[str, ...] = ()
+
+
+class Catalog:
+    """Name -> table/view mapping with case-insensitive lookup."""
+
+    def __init__(self) -> None:
+        self._tables: dict[str, Table] = {}
+        self._views: dict[str, ViewDefinition] = {}
+
+    # -- tables -------------------------------------------------------------
+
+    def create_table(self, schema: TableSchema) -> Table:
+        key = schema.name.lower()
+        if key in self._tables or key in self._views:
+            raise CatalogError(f"relation {schema.name!r} already exists")
+        table = Table(schema)
+        self._tables[key] = table
+        return table
+
+    def drop_table(self, name: str, missing_ok: bool = False) -> None:
+        key = name.lower()
+        if key not in self._tables:
+            if missing_ok:
+                return
+            raise CatalogError(f"table {name!r} does not exist")
+        del self._tables[key]
+
+    def table(self, name: str) -> Table:
+        key = name.lower()
+        if key not in self._tables:
+            raise CatalogError(f"table {name!r} does not exist")
+        return self._tables[key]
+
+    def has_table(self, name: str) -> bool:
+        return name.lower() in self._tables
+
+    def tables(self) -> list[Table]:
+        return list(self._tables.values())
+
+    # -- views --------------------------------------------------------------
+
+    def create_view(self, view: ViewDefinition) -> None:
+        key = view.name.lower()
+        if key in self._tables or key in self._views:
+            raise CatalogError(f"relation {view.name!r} already exists")
+        self._views[key] = view
+
+    def drop_view(self, name: str, missing_ok: bool = False) -> None:
+        key = name.lower()
+        if key not in self._views:
+            if missing_ok:
+                return
+            raise CatalogError(f"view {name!r} does not exist")
+        del self._views[key]
+
+    def view(self, name: str) -> ViewDefinition:
+        key = name.lower()
+        if key not in self._views:
+            raise CatalogError(f"view {name!r} does not exist")
+        return self._views[key]
+
+    def has_view(self, name: str) -> bool:
+        return name.lower() in self._views
+
+    def has_relation(self, name: str) -> bool:
+        return self.has_table(name) or self.has_view(name)

@@ -1,0 +1,70 @@
+"""Schema objects: columns and table schemas."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.datatypes import SQLType
+
+
+@dataclass(frozen=True)
+class Column:
+    """A named, typed column."""
+
+    name: str
+    type: SQLType
+
+    def __repr__(self) -> str:
+        return f"Column({self.name!r}, {self.type.value})"
+
+
+@dataclass
+class TableSchema:
+    """Schema of a base relation: ordered columns plus an optional key.
+
+    The primary key is informational (used by the TPC-H generator and some
+    tests); the engine does not enforce uniqueness.
+    """
+
+    name: str
+    columns: list[Column]
+    primary_key: tuple[str, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        seen: set[str] = set()
+        for col in self.columns:
+            low = col.name.lower()
+            if low in seen:
+                raise ValueError(f"duplicate column {col.name!r} in table {self.name!r}")
+            seen.add(low)
+        for key_col in self.primary_key:
+            if key_col.lower() not in seen:
+                raise ValueError(f"primary key column {key_col!r} not in table {self.name!r}")
+
+    @property
+    def column_names(self) -> tuple[str, ...]:
+        return tuple(col.name for col in self.columns)
+
+    @property
+    def column_types(self) -> tuple[SQLType, ...]:
+        return tuple(col.type for col in self.columns)
+
+    def column_index(self, name: str) -> int:
+        low = name.lower()
+        for i, col in enumerate(self.columns):
+            if col.name.lower() == low:
+                return i
+        raise KeyError(f"no column {name!r} in table {self.name!r}")
+
+    def has_column(self, name: str) -> bool:
+        low = name.lower()
+        return any(col.name.lower() == low for col in self.columns)
+
+    def column(self, name: str) -> Column:
+        return self.columns[self.column_index(name)]
+
+    @classmethod
+    def of(cls, name: str, spec: Sequence[tuple[str, SQLType]], primary_key: Sequence[str] = ()) -> "TableSchema":
+        """Shorthand constructor: ``TableSchema.of("t", [("a", INTEGER), ...])``."""
+        return cls(name, [Column(n, t) for n, t in spec], tuple(primary_key))

@@ -1,0 +1,26 @@
+"""The Perm provenance rewriter -- the paper's core contribution.
+
+``traverse_query_tree`` / ``rewrite_query_node`` implement the algorithm
+of paper Fig. 7 over the query-tree representation of section IV-B:
+
+* SPJ nodes: rewrite every range table entry and append the provenance
+  attributes to the target list (Fig. 6.1),
+* ASPJ nodes: join the original aggregation with a rewritten,
+  aggregation-stripped duplicate on the grouping attributes (Fig. 6.2),
+* set-operation nodes: split into binary nodes and join the original set
+  operation with the rewritten duplicates of its inputs (Fig. 6.3b),
+* uncorrelated sublinks: join the rewritten sublink query into the range
+  table (section IV-E); correlated sublinks raise ``RewriteError``.
+"""
+
+from repro.core.naming import ProvenanceAttribute, ProvenanceNamer
+from repro.core.pstack import PStack
+from repro.core.rewriter import rewrite_query_node, traverse_query_tree
+
+__all__ = [
+    "ProvenanceAttribute",
+    "ProvenanceNamer",
+    "PStack",
+    "rewrite_query_node",
+    "traverse_query_tree",
+]

@@ -1,0 +1,218 @@
+"""Rewrite rules R1-R9 on the formal algebra (paper Fig. 3).
+
+This is the paper's formal layer: each rule maps an algebra operator to
+its provenance-propagating form.  ``rewrite_algebra`` applies them
+recursively, returning the rewritten expression together with the list
+of provenance attributes (each tied to the base relation *reference* it
+duplicates).
+
+The correctness property tests evaluate both versions with the direct
+interpreter and check the two halves of the paper's section III-E proof:
+result preservation and equivalence with Cui-Widom lineage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.algebra.expr import Attr, BoolAnd, BoolNot, Lit, NullSafeEq, Scalar
+from repro.algebra.operators import (
+    Aggregate,
+    AlgebraOp,
+    BagDifference,
+    BagIntersection,
+    BagProject,
+    BagUnion,
+    BaseRelation,
+    Cross,
+    Join,
+    Select,
+    SetDifference,
+    SetIntersection,
+    SetProject,
+    SetUnion,
+)
+from repro.core.naming import ProvenanceNamer
+
+
+@dataclass(frozen=True)
+class AlgebraProvAttr:
+    """A provenance attribute produced by the algebra rewrite."""
+
+    name: str
+    relation: str
+    ref_id: int
+    source_column: str
+
+
+PAList = list[AlgebraProvAttr]
+
+
+def rewrite_algebra(op: AlgebraOp, namer: ProvenanceNamer | None = None) -> tuple[AlgebraOp, PAList]:
+    """Rewrite an algebra expression per rules R1-R9; returns (q+, P-list)."""
+    return _Rewriter(namer or ProvenanceNamer()).rewrite(op)
+
+
+class _Rewriter:
+    def __init__(self, namer: ProvenanceNamer) -> None:
+        self.namer = namer
+        self._alias_counter = 0
+
+    # R-dispatch ------------------------------------------------------------
+
+    def rewrite(self, op: AlgebraOp) -> tuple[AlgebraOp, PAList]:
+        if isinstance(op, BaseRelation):
+            return self._r1_base_relation(op)
+        if isinstance(op, (SetProject, BagProject)):
+            return self._r2_projection(op)
+        if isinstance(op, Select):
+            return self._r3_selection(op)
+        if isinstance(op, Cross):
+            return self._r4_cross(op)
+        if isinstance(op, Join):
+            return self._r4_join(op)
+        if isinstance(op, Aggregate):
+            return self._r5_aggregation(op)
+        if isinstance(op, (SetUnion, BagUnion)):
+            return self._r6_union(op)
+        if isinstance(op, (SetIntersection, BagIntersection)):
+            return self._r7_intersection(op)
+        if isinstance(op, SetDifference):
+            return self._r8_set_difference(op)
+        if isinstance(op, BagDifference):
+            return self._r9_bag_difference(op)
+        raise TypeError(f"no rewrite rule for {op!r}")
+
+    # R1 ---------------------------------------------------------------------
+
+    def _r1_base_relation(self, op: BaseRelation) -> tuple[AlgebraOp, PAList]:
+        """R1: R+ = Π_{R, R->P(R)}(R)."""
+        ref_id = self.namer.next_reference(op.name)
+        plist = [
+            AlgebraProvAttr(
+                name=self.namer.attribute_name(op.name, ref_id, column),
+                relation=op.name,
+                ref_id=op.ref_id,
+                source_column=column,
+            )
+            for column in op.columns
+        ]
+        items: list[tuple[Scalar, str]] = [(Attr(c), c) for c in op.columns]
+        items += [(Attr(p.source_column), p.name) for p in plist]
+        return BagProject(op, items), plist
+
+    # R2 ---------------------------------------------------------------------
+
+    def _r2_projection(self, op) -> tuple[AlgebraOp, PAList]:
+        """R2: (Π_A(T))+ = Π_{A, P(T+)}(T+), preserving the set/bag flavor."""
+        rewritten, plist = self.rewrite(op.input)
+        items = list(op.items) + [(Attr(p.name), p.name) for p in plist]
+        cls = type(op)
+        return cls(rewritten, items), plist
+
+    # R3 ---------------------------------------------------------------------
+
+    def _r3_selection(self, op: Select) -> tuple[AlgebraOp, PAList]:
+        """R3: (σ_C(T))+ = σ_C(T+)."""
+        rewritten, plist = self.rewrite(op.input)
+        return Select(rewritten, op.condition), plist
+
+    # R4 ---------------------------------------------------------------------
+
+    def _r4_cross(self, op: Cross) -> tuple[AlgebraOp, PAList]:
+        """R4: (T1 × T2)+ = T1+ × T2+."""
+        left, left_plist = self.rewrite(op.left)
+        right, right_plist = self.rewrite(op.right)
+        return Cross(left, right), left_plist + right_plist
+
+    def _r4_join(self, op: Join) -> tuple[AlgebraOp, PAList]:
+        """Join rewrite via the algebraic equivalents: (T1 ⋈ T2)+ = T1+ ⋈ T2+."""
+        left, left_plist = self.rewrite(op.left)
+        right, right_plist = self.rewrite(op.right)
+        return Join(left, right, op.condition, op.kind), left_plist + right_plist
+
+    # R5 ---------------------------------------------------------------------
+
+    def _r5_aggregation(self, op: Aggregate) -> tuple[AlgebraOp, PAList]:
+        """R5: join the original aggregation with T+ on G = Ĝ."""
+        rewritten, plist = self.rewrite(op.input)
+        hat_names = [self._fresh(f"hat_{g}") for g in op.group_by]
+        right_items = [
+            (Attr(g), hat) for g, hat in zip(op.group_by, hat_names)
+        ] + [(Attr(p.name), p.name) for p in plist]
+        right = BagProject(rewritten, right_items)
+        condition: Scalar
+        if op.group_by:
+            condition = BoolAnd(
+                tuple(
+                    NullSafeEq(Attr(g), Attr(hat))
+                    for g, hat in zip(op.group_by, hat_names)
+                )
+            )
+        else:
+            condition = Lit(True)
+        joined = Join(op, right, condition, "inner")
+        out_items = [(Attr(c), c) for c in op.schema()]
+        out_items += [(Attr(p.name), p.name) for p in plist]
+        return BagProject(joined, out_items), plist
+
+    # R6 / R7 ------------------------------------------------------------------
+
+    def _renamed_rewritten(
+        self, operand: AlgebraOp
+    ) -> tuple[AlgebraOp, list[str], PAList]:
+        """T̂ = Π_{T->T̂, P(T+)}(T+): rewritten input with renamed originals."""
+        rewritten, plist = self.rewrite(operand)
+        original = operand.schema()
+        hat_names = [self._fresh(f"hat_{c}") for c in original]
+        items = [(Attr(c), hat) for c, hat in zip(original, hat_names)]
+        items += [(Attr(p.name), p.name) for p in plist]
+        return BagProject(rewritten, items), hat_names, plist
+
+    def _tuple_equality(self, schema: list[str], hat_names: list[str]) -> Scalar:
+        return BoolAnd(
+            tuple(
+                NullSafeEq(Attr(c), Attr(hat))
+                for c, hat in zip(schema, hat_names)
+            )
+        )
+
+    def _r6_union(self, op) -> tuple[AlgebraOp, PAList]:
+        """R6: left joins (tuples may come from only one input)."""
+        return self._setop_rewrite(op, join_kind="left", right_condition=None)
+
+    def _r7_intersection(self, op) -> tuple[AlgebraOp, PAList]:
+        """R7: inner joins (an intersection tuple appears in both inputs)."""
+        return self._setop_rewrite(op, join_kind="inner", right_condition=None)
+
+    def _r8_set_difference(self, op: SetDifference) -> tuple[AlgebraOp, PAList]:
+        """R8: T2+ attaches unconditionally (every T2 tuple differs)."""
+        return self._setop_rewrite(op, join_kind="left", right_condition=Lit(True))
+
+    def _r9_bag_difference(self, op: BagDifference) -> tuple[AlgebraOp, PAList]:
+        """R9: T2+ attaches on tuple inequality T1 <> T2."""
+        return self._setop_rewrite(op, join_kind="left", right_condition="inequality")
+
+    def _setop_rewrite(
+        self, op, join_kind: str, right_condition
+    ) -> tuple[AlgebraOp, PAList]:
+        schema = op.schema()
+        left_hat, left_names, left_plist = self._renamed_rewritten(op.left)
+        right_hat, right_names, right_plist = self._renamed_rewritten(op.right)
+        join1 = Join(op, left_hat, self._tuple_equality(schema, left_names), join_kind)
+        if right_condition is None:
+            cond2: Scalar = self._tuple_equality(schema, right_names)
+        elif right_condition == "inequality":
+            cond2 = BoolNot(self._tuple_equality(schema, right_names))
+        else:
+            cond2 = right_condition
+        join2 = Join(join1, right_hat, cond2, join_kind if join_kind == "inner" else "left")
+        out_items = [(Attr(c), c) for c in schema]
+        out_items += [(Attr(p.name), p.name) for p in left_plist + right_plist]
+        return BagProject(join2, out_items), left_plist + right_plist
+
+    # helpers ---------------------------------------------------------------------
+
+    def _fresh(self, base: str) -> str:
+        self._alias_counter += 1
+        return f"{base}_{self._alias_counter}"

@@ -1,0 +1,75 @@
+"""Provenance attribute naming (paper section IV-A.1).
+
+A provenance attribute name is::
+
+    prov_<relation>_<attribute>
+
+If a relation is referenced more than once in the scope of one rewritten
+query, an identifying number is attached to the relation name starting
+with the second reference (``prov_shop_1_name``), keeping every
+provenance attribute name unique within the rewritten query's schema.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.datatypes import SQLType
+
+PROVENANCE_PREFIX = "prov"
+
+
+@dataclass(frozen=True)
+class ProvenanceAttribute:
+    """Descriptor of one provenance attribute in a rewritten query.
+
+    ``relation`` / ``source_column`` track which base relation attribute
+    this provenance attribute duplicates; ``ref_id`` distinguishes multiple
+    references to the same relation (0 for the first).  For external
+    provenance (PROVENANCE-annotated from-items), the original relation is
+    unknown and ``relation`` holds the from-item alias.
+    """
+
+    name: str
+    relation: str
+    ref_id: int
+    source_column: str
+    type: SQLType
+
+
+class ProvenanceNamer:
+    """Generates unique provenance attribute names for one rewrite scope."""
+
+    def __init__(self) -> None:
+        self._reference_counts: dict[str, int] = {}
+
+    def next_reference(self, relation: str) -> int:
+        """Register a new reference to ``relation``; returns its ref id."""
+        key = relation.lower()
+        ref_id = self._reference_counts.get(key, 0)
+        self._reference_counts[key] = ref_id + 1
+        return ref_id
+
+    @staticmethod
+    def attribute_name(relation: str, ref_id: int, column: str) -> str:
+        relation = relation.lower()
+        column = column.lower()
+        if ref_id == 0:
+            return f"{PROVENANCE_PREFIX}_{relation}_{column}"
+        return f"{PROVENANCE_PREFIX}_{relation}_{ref_id}_{column}"
+
+    def attributes_for_relation(
+        self, relation: str, columns: list[str], types: list[SQLType]
+    ) -> list[ProvenanceAttribute]:
+        """R1: one provenance attribute per column of a base relation."""
+        ref_id = self.next_reference(relation)
+        return [
+            ProvenanceAttribute(
+                name=self.attribute_name(relation, ref_id, column),
+                relation=relation.lower(),
+                ref_id=ref_id,
+                source_column=column,
+                type=col_type,
+            )
+            for column, col_type in zip(columns, types)
+        ]

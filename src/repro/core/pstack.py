@@ -1,0 +1,56 @@
+"""The provenance attribute stack of the rewrite algorithm (paper Fig. 7).
+
+``rewriteQueryNode`` pushes the P-list of every rewritten node; parents
+pop the P-lists of their children and concatenate them (the paper's
+``I`` operation).  The stack makes the data flow of the paper's
+pseudo-code explicit and is also handy for tests that inspect rewrite
+traversal order.
+"""
+
+from __future__ import annotations
+
+from repro.core.naming import ProvenanceAttribute
+
+PList = list[ProvenanceAttribute]
+
+
+class PStack:
+    """Stack of provenance attribute lists."""
+
+    def __init__(self) -> None:
+        self._stack: list[PList] = []
+
+    def push(self, plist: PList) -> None:
+        self._stack.append(list(plist))
+
+    def pop(self) -> PList:
+        if not self._stack:
+            raise IndexError("pStack is empty")
+        return self._stack.pop()
+
+    def pop_many(self, count: int) -> list[PList]:
+        """Pop ``count`` P-lists, returned in push order."""
+        if count > len(self._stack):
+            raise IndexError("pStack underflow")
+        if count == 0:
+            return []
+        popped = self._stack[-count:]
+        del self._stack[-count:]
+        return popped
+
+    def peek(self) -> PList:
+        return self._stack[-1]
+
+    def __len__(self) -> int:
+        return len(self._stack)
+
+    def __bool__(self) -> bool:
+        return bool(self._stack)
+
+
+def concat_plists(plists: list[PList]) -> PList:
+    """The paper's list concatenation ``P1 I P2 I ...``."""
+    result: PList = []
+    for plist in plists:
+        result.extend(plist)
+    return result

@@ -1,0 +1,307 @@
+"""The PermDatabase facade.
+
+Runs the full pipeline of paper Fig. 5 on every statement::
+
+    parser & analyzer -> (view unfolding) -> provenance rewriter
+        -> planner -> executor
+
+The provenance rewriter (``repro.core``) is invoked between analysis and
+planning, exactly where the paper places the Perm module: it traverses the
+query tree looking for nodes marked ``SELECT PROVENANCE`` and rewrites
+them; unmarked queries pass through untouched.  The
+``provenance_module_enabled`` switch reproduces the paper's Fig. 9
+configurations (Perm module present vs. plain PostgreSQL).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator, Optional, Sequence
+
+from repro.catalog.catalog import Catalog, ViewDefinition
+from repro.catalog.schema import Column, TableSchema
+from repro.datatypes import SQLType, type_from_name
+from repro.errors import AnalyzeError, CatalogError, ExecutionError, PermError
+from repro.analyzer.analyzer import Analyzer
+from repro.analyzer.query_tree import Query
+from repro.executor.context import ExecContext
+from repro.executor.expr_eval import ExprCompiler
+from repro.executor.nodes import PlanNode
+from repro.planner.planner import Planner
+from repro.sql import ast
+from repro.sql.parser import parse_sql
+from repro.storage.relation import Relation
+from repro.storage.table import Table
+
+
+@dataclass
+class QueryResult:
+    """Result of one statement: column names and materialized rows."""
+
+    columns: list[str]
+    rows: list[tuple]
+    command: str = "SELECT"
+
+    def __iter__(self) -> Iterator[tuple]:
+        return iter(self.rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def relation(self) -> Relation:
+        """The result as a bag-semantics relation (for comparisons)."""
+        return Relation.from_rows(self.columns, self.rows)
+
+    def pretty(self, limit: int = 25) -> str:
+        return self.relation().pretty(limit)
+
+    def scalar(self) -> Any:
+        """The single value of a 1x1 result."""
+        if len(self.rows) != 1 or len(self.columns) != 1:
+            raise ExecutionError(
+                f"scalar() requires a 1x1 result, got "
+                f"{len(self.rows)}x{len(self.columns)}"
+            )
+        return self.rows[0][0]
+
+
+@dataclass
+class PreparedQuery:
+    """A planned query, ready to execute; exposes pipeline timings.
+
+    ``compile_seconds`` covers parse + analyze + provenance-rewrite + plan,
+    the quantity measured by the paper's Fig. 9.
+    """
+
+    plan: PlanNode
+    query: Query
+    compile_seconds: float
+    rewrite_seconds: float = 0.0
+
+    def run(self) -> QueryResult:
+        ctx = ExecContext()
+        rows = list(self.plan.run(ctx))
+        return QueryResult(columns=list(self.plan.output_names), rows=rows)
+
+
+class PermDatabase:
+    """An in-memory relational database with the Perm provenance module.
+
+    >>> db = PermDatabase()
+    >>> db.execute("CREATE TABLE t (a integer, b text)")
+    >>> db.execute("INSERT INTO t VALUES (1, 'x'), (2, 'y')")
+    >>> db.execute("SELECT PROVENANCE a FROM t").columns
+    ['a', 'prov_t_a', 'prov_t_b']
+    """
+
+    def __init__(self, provenance_module_enabled: bool = True) -> None:
+        self.catalog = Catalog()
+        self.provenance_module_enabled = provenance_module_enabled
+
+    # -- statement execution ---------------------------------------------------
+
+    def execute(self, sql: str) -> QueryResult:
+        """Execute one or more ``;``-separated statements.
+
+        Returns the result of the last statement (DDL returns an empty
+        result with a command tag).
+        """
+        result = QueryResult(columns=[], rows=[], command="EMPTY")
+        for stmt in parse_sql(sql):
+            result = self._execute_statement(stmt)
+        return result
+
+    def query(self, sql: str) -> QueryResult:
+        """Alias of :meth:`execute` for read queries."""
+        return self.execute(sql)
+
+    def provenance(self, sql: str) -> QueryResult:
+        """Compute the provenance of a plain SELECT.
+
+        Equivalent to adding the ``PROVENANCE`` keyword to the outermost
+        select-clause (SQL-PLE, paper section IV-A.2).
+        """
+        statements = parse_sql(sql)
+        if len(statements) != 1 or not isinstance(
+            statements[0], (ast.SelectStmt, ast.SetOpSelect)
+        ):
+            raise PermError("provenance() expects a single SELECT statement")
+        stmt = statements[0]
+        stmt.provenance = True
+        return self._execute_statement(stmt)
+
+    def prepare(self, sql: str) -> PreparedQuery:
+        """Parse, analyze, provenance-rewrite and plan without executing."""
+        statements = parse_sql(sql)
+        if len(statements) != 1 or not isinstance(
+            statements[0], (ast.SelectStmt, ast.SetOpSelect)
+        ):
+            raise PermError("prepare() expects a single SELECT statement")
+        return self._prepare_select(statements[0])
+
+    def explain(self, sql: str) -> str:
+        prepared = self.prepare(sql)
+        return prepared.plan.explain()
+
+    def rewritten_sql(self, sql: str) -> str:
+        """The SQL text of the provenance-rewritten query tree.
+
+        Makes the paper's central point inspectable: ``q+`` is an ordinary
+        SQL query over the same schema (null-safe join predicates render
+        as ``IS NOT DISTINCT FROM``).
+        """
+        from repro.sql.deparse import deparse_query
+
+        prepared = self.prepare(sql)
+        return deparse_query(prepared.query)
+
+    # -- programmatic helpers -----------------------------------------------------
+
+    def create_table(self, schema: TableSchema) -> Table:
+        return self.catalog.create_table(schema)
+
+    def load_table(self, name: str, rows: Iterable[Sequence[Any]]) -> int:
+        return self.catalog.table(name).insert_many(rows)
+
+    def table_relation(self, name: str) -> Relation:
+        return self.catalog.table(name).to_relation()
+
+    # -- pipeline ---------------------------------------------------------------------
+
+    def _prepare_select(self, stmt: ast.SelectNode) -> PreparedQuery:
+        start = time.perf_counter()
+        analyzer = Analyzer(self.catalog)
+        query = analyzer.analyze(stmt)
+        rewrite_seconds = 0.0
+        if self.provenance_module_enabled:
+            from repro.core.rewriter import traverse_query_tree
+
+            rewrite_start = time.perf_counter()
+            query = traverse_query_tree(query)
+            rewrite_seconds = time.perf_counter() - rewrite_start
+        plan = Planner(self.catalog).plan(query)
+        compile_seconds = time.perf_counter() - start
+        return PreparedQuery(
+            plan=plan,
+            query=query,
+            compile_seconds=compile_seconds,
+            rewrite_seconds=rewrite_seconds,
+        )
+
+    def _execute_statement(self, stmt: ast.Statement) -> QueryResult:
+        if isinstance(stmt, (ast.SelectStmt, ast.SetOpSelect)):
+            prepared = self._prepare_select(stmt)
+            result = prepared.run()
+            if prepared.query.into is not None:
+                self._store_into(prepared.query.into, prepared, result)
+                return QueryResult(
+                    columns=[], rows=[], command=f"SELECT INTO {len(result)}"
+                )
+            return result
+        if isinstance(stmt, ast.CreateTableStmt):
+            return self._execute_create_table(stmt)
+        if isinstance(stmt, ast.CreateViewStmt):
+            return self._execute_create_view(stmt)
+        if isinstance(stmt, ast.InsertStmt):
+            return self._execute_insert(stmt)
+        if isinstance(stmt, ast.DropStmt):
+            return self._execute_drop(stmt)
+        if isinstance(stmt, ast.ExplainStmt):
+            prepared = self._prepare_select(stmt.query)
+            lines = prepared.plan.explain().splitlines()
+            return QueryResult(
+                columns=["query plan"], rows=[(line,) for line in lines]
+            )
+        raise PermError(f"unsupported statement {stmt!r}")
+
+    # -- DDL / DML -------------------------------------------------------------------------
+
+    def _execute_create_table(self, stmt: ast.CreateTableStmt) -> QueryResult:
+        columns = []
+        for col in stmt.columns:
+            try:
+                col_type = type_from_name(col.type_name)
+            except ValueError as exc:
+                raise AnalyzeError(str(exc)) from None
+            columns.append(Column(col.name.lower(), col_type))
+        schema = TableSchema(stmt.name.lower(), columns, tuple(stmt.primary_key))
+        self.catalog.create_table(schema)
+        return QueryResult(columns=[], rows=[], command="CREATE TABLE")
+
+    def _execute_create_view(self, stmt: ast.CreateViewStmt) -> QueryResult:
+        # Validate the view body analyzes cleanly before storing it.
+        Analyzer(self.catalog).analyze(stmt.query)
+        view = ViewDefinition(
+            name=stmt.name.lower(),
+            sql=stmt.sql_text,
+            statement=stmt.query,
+            provenance_attributes=tuple(stmt.provenance_attrs),
+        )
+        self.catalog.create_view(view)
+        return QueryResult(columns=[], rows=[], command="CREATE VIEW")
+
+    def _execute_insert(self, stmt: ast.InsertStmt) -> QueryResult:
+        table = self.catalog.table(stmt.table)
+        if stmt.columns:
+            indexes = [table.schema.column_index(c) for c in stmt.columns]
+        else:
+            indexes = list(range(len(table.schema.columns)))
+        width = len(table.schema.columns)
+
+        if stmt.query is not None:
+            prepared = self._prepare_select(stmt.query)
+            source_rows = prepared.run().rows
+        else:
+            source_rows = [self._eval_values_row(row) for row in stmt.values]
+
+        inserted = 0
+        for values in source_rows:
+            if len(values) != len(indexes):
+                raise ExecutionError(
+                    f"INSERT has {len(values)} expressions but "
+                    f"{len(indexes)} target columns"
+                )
+            row: list[Any] = [None] * width
+            for index, value in zip(indexes, values):
+                row[index] = value
+            table.insert(row)
+            inserted += 1
+        return QueryResult(columns=[], rows=[], command=f"INSERT {inserted}")
+
+    def _eval_values_row(self, exprs: list[ast.Expr]) -> tuple:
+        analyzer = Analyzer(self.catalog)
+        compiler = ExprCompiler({}, [], plan_subquery=None)
+        ctx = ExecContext()
+        values = []
+        for item in exprs:
+            analyzed = analyzer._analyze_expr(item, scopes=[], allow_aggs=False)
+            values.append(compiler.compile(analyzed)((), ctx))
+        return tuple(values)
+
+    def _execute_drop(self, stmt: ast.DropStmt) -> QueryResult:
+        if stmt.kind == "table":
+            self.catalog.drop_table(stmt.name, missing_ok=stmt.if_exists)
+            return QueryResult(columns=[], rows=[], command="DROP TABLE")
+        self.catalog.drop_view(stmt.name, missing_ok=stmt.if_exists)
+        return QueryResult(columns=[], rows=[], command="DROP VIEW")
+
+    def _store_into(
+        self, name: str, prepared: PreparedQuery, result: QueryResult
+    ) -> None:
+        """SELECT INTO: materialize a result (e.g. stored provenance)."""
+        if self.catalog.has_relation(name):
+            raise CatalogError(f"relation {name!r} already exists")
+        types = prepared.query.output_types()
+        columns = [
+            Column(col, SQLType.TEXT if t == SQLType.NULL else t)
+            for col, t in zip(result.columns, types)
+        ]
+        schema = TableSchema(name.lower(), columns)
+        table = self.catalog.create_table(schema)
+        table.insert_many(result.rows)
+
+
+def connect(provenance_module_enabled: bool = True) -> PermDatabase:
+    """Create a fresh in-memory Perm database."""
+    return PermDatabase(provenance_module_enabled=provenance_module_enabled)

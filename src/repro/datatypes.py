@@ -1,0 +1,263 @@
+"""SQL value domain for the repro engine.
+
+The engine operates on plain Python values: ``int``, ``float``, ``str``,
+``bool``, :class:`datetime.date` and ``None`` (SQL NULL).  This module
+centralizes
+
+* the type tags used by schemas and the analyzer,
+* null-aware comparison used by predicates and sort,
+* SQL-style implicit coercion (int -> float, date arithmetic),
+* parsing of literals (dates, intervals) used by the parser and TPC-H.
+
+Keeping this in one place means the executor, the formal algebra
+interpreter and the baselines all share identical value semantics, which
+is what the correctness property tests rely on.
+"""
+
+from __future__ import annotations
+
+import datetime
+import enum
+import re
+from typing import Any
+
+
+class SQLType(enum.Enum):
+    """Type tags carried by columns and analyzed expressions."""
+
+    INTEGER = "integer"
+    FLOAT = "float"
+    TEXT = "text"
+    BOOLEAN = "boolean"
+    DATE = "date"
+    INTERVAL = "interval"
+    NULL = "null"  # type of a bare NULL literal before coercion
+    ANY = "any"  # wildcard used by a few polymorphic functions
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SQLType.{self.name}"
+
+
+NUMERIC_TYPES = frozenset({SQLType.INTEGER, SQLType.FLOAT})
+
+_TYPE_NAME_ALIASES = {
+    "int": SQLType.INTEGER,
+    "int4": SQLType.INTEGER,
+    "int8": SQLType.INTEGER,
+    "integer": SQLType.INTEGER,
+    "bigint": SQLType.INTEGER,
+    "smallint": SQLType.INTEGER,
+    "serial": SQLType.INTEGER,
+    "float": SQLType.FLOAT,
+    "float8": SQLType.FLOAT,
+    "real": SQLType.FLOAT,
+    "double": SQLType.FLOAT,
+    "double precision": SQLType.FLOAT,
+    "decimal": SQLType.FLOAT,
+    "numeric": SQLType.FLOAT,
+    "text": SQLType.TEXT,
+    "varchar": SQLType.TEXT,
+    "char": SQLType.TEXT,
+    "character": SQLType.TEXT,
+    "character varying": SQLType.TEXT,
+    "string": SQLType.TEXT,
+    "bool": SQLType.BOOLEAN,
+    "boolean": SQLType.BOOLEAN,
+    "date": SQLType.DATE,
+    "interval": SQLType.INTERVAL,
+}
+
+
+def type_from_name(name: str) -> SQLType:
+    """Resolve a SQL type name (``varchar(25)``, ``decimal(15,2)``) to a tag."""
+    base = name.strip().lower()
+    base = re.sub(r"\s*\(.*\)$", "", base)
+    if base not in _TYPE_NAME_ALIASES:
+        raise ValueError(f"unknown SQL type name: {name!r}")
+    return _TYPE_NAME_ALIASES[base]
+
+
+def type_of_value(value: Any) -> SQLType:
+    """Infer the SQL type tag of a Python value."""
+    if value is None:
+        return SQLType.NULL
+    if isinstance(value, bool):  # bool before int: bool is an int subclass
+        return SQLType.BOOLEAN
+    if isinstance(value, int):
+        return SQLType.INTEGER
+    if isinstance(value, float):
+        return SQLType.FLOAT
+    if isinstance(value, str):
+        return SQLType.TEXT
+    if isinstance(value, datetime.date):
+        return SQLType.DATE
+    if isinstance(value, Interval):
+        return SQLType.INTERVAL
+    raise ValueError(f"value {value!r} has no SQL type")
+
+
+class Interval:
+    """A SQL interval restricted to what TPC-H needs: days, months, years.
+
+    Months and years are kept separate from days so that
+    ``date + interval '1' month`` follows calendar arithmetic, exactly like
+    PostgreSQL.
+    """
+
+    __slots__ = ("days", "months")
+
+    def __init__(self, days: int = 0, months: int = 0) -> None:
+        self.days = days
+        self.months = months
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Interval)
+            and self.days == other.days
+            and self.months == other.months
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.days, self.months))
+
+    def __neg__(self) -> "Interval":
+        return Interval(days=-self.days, months=-self.months)
+
+    def __add__(self, other: "Interval") -> "Interval":
+        if not isinstance(other, Interval):
+            return NotImplemented
+        return Interval(days=self.days + other.days, months=self.months + other.months)
+
+    def __repr__(self) -> str:
+        return f"Interval(days={self.days}, months={self.months})"
+
+    @staticmethod
+    def parse(quantity: str, unit: str) -> "Interval":
+        """Parse ``interval '3' month`` style literals.
+
+        ``quantity`` is the quoted string, ``unit`` the trailing keyword.
+        """
+        n = int(quantity.strip())
+        unit = unit.lower().rstrip("s")
+        if unit == "day":
+            return Interval(days=n)
+        if unit == "month":
+            return Interval(months=n)
+        if unit == "year":
+            return Interval(months=12 * n)
+        raise ValueError(f"unsupported interval unit: {unit!r}")
+
+
+def add_months(day: datetime.date, months: int) -> datetime.date:
+    """Calendar-correct date + months (clamping the day like PostgreSQL)."""
+    month_index = day.month - 1 + months
+    year = day.year + month_index // 12
+    month = month_index % 12 + 1
+    # clamp day-of-month to the target month's length
+    for dom in range(day.day, 0, -1):
+        try:
+            return datetime.date(year, month, dom)
+        except ValueError:
+            continue
+    raise ValueError(f"cannot add {months} months to {day}")  # pragma: no cover
+
+
+def date_add(day: datetime.date, delta: Interval) -> datetime.date:
+    """``date + interval`` with calendar month arithmetic."""
+    result = add_months(day, delta.months) if delta.months else day
+    if delta.days:
+        result = result + datetime.timedelta(days=delta.days)
+    return result
+
+
+def parse_date(text: str) -> datetime.date:
+    """Parse an ISO ``YYYY-MM-DD`` date literal."""
+    return datetime.date.fromisoformat(text.strip())
+
+
+# ---------------------------------------------------------------------------
+# Null-aware comparison & equality
+# ---------------------------------------------------------------------------
+
+def sql_eq(a: Any, b: Any) -> Any:
+    """SQL ``=``: returns None if either side is NULL (three-valued logic)."""
+    if a is None or b is None:
+        return None
+    return a == b
+
+
+def sql_compare(a: Any, b: Any) -> int:
+    """Total-order comparison for non-null values; raises on NULL.
+
+    Used by sort and by min/max.  NULL ordering is handled by callers
+    (NULLS LAST by default, matching PostgreSQL ascending sorts).
+    """
+    if a is None or b is None:
+        raise ValueError("sql_compare does not accept NULL")
+    if a < b:
+        return -1
+    if a > b:
+        return 1
+    return 0
+
+
+_SORT_RANK = {
+    SQLType.BOOLEAN: 0,
+    SQLType.INTEGER: 1,
+    SQLType.FLOAT: 1,
+    SQLType.TEXT: 2,
+    SQLType.DATE: 3,
+    SQLType.INTERVAL: 4,
+}
+
+
+def sort_key(value: Any) -> tuple:
+    """A key usable by ``sorted`` that puts NULLs last and orders mixed rows.
+
+    Rows produced by one query always have homogeneous column types, so the
+    rank component only matters for NULL vs non-NULL.
+    """
+    if value is None:
+        return (1, 0, 0)
+    rank = _SORT_RANK.get(type_of_value(value), 5)
+    return (0, rank, value)
+
+
+def is_distinct(a: Any, b: Any) -> bool:
+    """SQL ``IS DISTINCT FROM``: NULL-safe inequality."""
+    if a is None and b is None:
+        return False
+    if a is None or b is None:
+        return True
+    return not a == b
+
+
+def coerce_types(left: SQLType, right: SQLType) -> SQLType:
+    """Result type of combining two types in arithmetic / comparison.
+
+    Mirrors PostgreSQL's implicit numeric promotion.  Raises ``ValueError``
+    for incompatible combinations; the analyzer converts that to an
+    :class:`~repro.errors.TypeMismatchError` with position info.
+    """
+    if left == right:
+        return left
+    if SQLType.NULL in (left, right):
+        return right if left == SQLType.NULL else left
+    if SQLType.ANY in (left, right):
+        return right if left == SQLType.ANY else left
+    if left in NUMERIC_TYPES and right in NUMERIC_TYPES:
+        return SQLType.FLOAT
+    raise ValueError(f"cannot combine types {left.value} and {right.value}")
+
+
+def format_value(value: Any) -> str:
+    """Render a value the way the CLI / examples print result cells."""
+    if value is None:
+        return "NULL"
+    if isinstance(value, bool):
+        return "t" if value else "f"
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    if isinstance(value, datetime.date):
+        return value.isoformat()
+    return str(value)

@@ -1,0 +1,61 @@
+"""Exception hierarchy for the Perm reproduction.
+
+All errors raised by the library derive from :class:`PermError` so callers
+can catch a single base class.  The hierarchy mirrors the stages of the
+query pipeline (lex/parse -> analyze -> rewrite -> plan -> execute) plus
+catalog errors.
+"""
+
+from __future__ import annotations
+
+
+class PermError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class LexError(PermError):
+    """Raised when the lexer encounters an invalid character sequence."""
+
+    def __init__(self, message: str, position: int = -1) -> None:
+        super().__init__(message)
+        self.position = position
+
+
+class ParseError(PermError):
+    """Raised when the parser cannot build an AST from a token stream."""
+
+    def __init__(self, message: str, position: int = -1) -> None:
+        super().__init__(message)
+        self.position = position
+
+
+class AnalyzeError(PermError):
+    """Raised during semantic analysis (unknown names, type mismatches)."""
+
+
+class CatalogError(PermError):
+    """Raised for catalog problems (missing/duplicate tables, views)."""
+
+
+class RewriteError(PermError):
+    """Raised when the provenance rewriter cannot rewrite a query.
+
+    The prominent case -- exactly as in the paper -- is a correlated
+    sublink, which Perm's prototype does not support (section IV-E).
+    """
+
+
+class UnsupportedFeatureError(PermError):
+    """Raised for SQL features outside the implemented subset."""
+
+
+class PlanError(PermError):
+    """Raised when no physical plan can be produced for a query tree."""
+
+
+class ExecutionError(PermError):
+    """Raised for runtime failures while executing a plan."""
+
+
+class TypeMismatchError(AnalyzeError):
+    """Raised when an expression combines incompatible SQL types."""

@@ -1,0 +1,6 @@
+"""Physical execution: compiled expressions and iterator plan nodes."""
+
+from repro.executor.context import ExecContext
+from repro.executor.nodes import PlanNode
+
+__all__ = ["ExecContext", "PlanNode"]

@@ -1,0 +1,154 @@
+"""Aggregate function implementations with SQL null semantics.
+
+* NULL inputs are skipped by every aggregate,
+* ``sum``/``min``/``max``/``avg`` over zero non-null inputs yield NULL,
+* ``count`` yields 0,
+* DISTINCT deduplicates input values before accumulation.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+
+class AggState:
+    """Base accumulator; one instance per group per aggregate."""
+
+    __slots__ = ()
+
+    def add(self, value: Any) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def result(self) -> Any:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+class CountStarState(AggState):
+    __slots__ = ("n",)
+
+    def __init__(self) -> None:
+        self.n = 0
+
+    def add(self, value: Any) -> None:
+        self.n += 1
+
+    def result(self) -> int:
+        return self.n
+
+
+class CountState(AggState):
+    __slots__ = ("n",)
+
+    def __init__(self) -> None:
+        self.n = 0
+
+    def add(self, value: Any) -> None:
+        if value is not None:
+            self.n += 1
+
+    def result(self) -> int:
+        return self.n
+
+
+class SumState(AggState):
+    __slots__ = ("total", "seen")
+
+    def __init__(self) -> None:
+        self.total: Any = 0
+        self.seen = False
+
+    def add(self, value: Any) -> None:
+        if value is not None:
+            self.total += value
+            self.seen = True
+
+    def result(self) -> Any:
+        return self.total if self.seen else None
+
+
+class AvgState(AggState):
+    __slots__ = ("total", "n")
+
+    def __init__(self) -> None:
+        self.total = 0.0
+        self.n = 0
+
+    def add(self, value: Any) -> None:
+        if value is not None:
+            self.total += value
+            self.n += 1
+
+    def result(self) -> Optional[float]:
+        return self.total / self.n if self.n else None
+
+
+class MinState(AggState):
+    __slots__ = ("best",)
+
+    def __init__(self) -> None:
+        self.best: Any = None
+
+    def add(self, value: Any) -> None:
+        if value is not None and (self.best is None or value < self.best):
+            self.best = value
+
+    def result(self) -> Any:
+        return self.best
+
+
+class MaxState(AggState):
+    __slots__ = ("best",)
+
+    def __init__(self) -> None:
+        self.best: Any = None
+
+    def add(self, value: Any) -> None:
+        if value is not None and (self.best is None or value > self.best):
+            self.best = value
+
+    def result(self) -> Any:
+        return self.best
+
+
+class DistinctWrapper(AggState):
+    """Feeds only first occurrences of each value into the inner state."""
+
+    __slots__ = ("inner", "seen")
+
+    def __init__(self, inner: AggState) -> None:
+        self.inner = inner
+        self.seen: set = set()
+
+    def add(self, value: Any) -> None:
+        if value in self.seen:
+            return
+        self.seen.add(value)
+        self.inner.add(value)
+
+    def result(self) -> Any:
+        return self.inner.result()
+
+
+_STATE_CLASSES: dict[str, Callable[[], AggState]] = {
+    "count": CountState,
+    "sum": SumState,
+    "avg": AvgState,
+    "min": MinState,
+    "max": MaxState,
+}
+
+
+def make_aggregate_factory(
+    name: str, star: bool = False, distinct: bool = False
+) -> Callable[[], AggState]:
+    """Return a zero-argument factory creating fresh accumulator states."""
+    if star:
+        if name != "count":
+            raise ValueError(f"{name}(*) is not defined")
+        return CountStarState
+    if name not in _STATE_CLASSES:
+        raise ValueError(f"unknown aggregate {name!r}")
+    base = _STATE_CLASSES[name]
+    if distinct:
+        return lambda: DistinctWrapper(base())
+    return base

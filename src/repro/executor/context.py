@@ -1,0 +1,24 @@
+"""Execution context shared by all plan nodes of one query execution."""
+
+from __future__ import annotations
+
+
+class ExecContext:
+    """Carries cross-node execution state.
+
+    ``outer_rows`` is the stack of rows from enclosing queries, used by
+    correlated sublinks: a Var with ``levelsup = k`` reads from
+    ``outer_rows[-k]``.  Uncorrelated sublinks cache their results in
+    closures, so the context stays tiny.
+    """
+
+    __slots__ = ("outer_rows",)
+
+    def __init__(self) -> None:
+        self.outer_rows: list[tuple] = []
+
+    def push_outer(self, row: tuple) -> None:
+        self.outer_rows.append(row)
+
+    def pop_outer(self) -> None:
+        self.outer_rows.pop()

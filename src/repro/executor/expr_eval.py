@@ -1,0 +1,599 @@
+"""Expression compiler: analyzed expressions -> Python closures.
+
+Each expression compiles to ``fn(row, ctx) -> value`` where ``row`` is the
+current input tuple of the plan node evaluating the expression and ``ctx``
+is the :class:`~repro.executor.context.ExecContext`.
+
+Design points:
+
+* Vars are resolved to positional slots at compile time via ``varmap``
+  (``(varno, varattno) -> slot``); outer references (``levelsup > 0``)
+  resolve through ``outer_varmaps`` and read ``ctx.outer_rows`` at runtime.
+* Three-valued logic is implemented exactly: comparisons return None on
+  NULL input, AND/OR short-circuit per SQL, NOT maps None to None.
+* Sublinks compile to subplan executions.  Uncorrelated sublinks execute
+  once per query and cache (sets for IN/NOT IN); correlated sublinks
+  re-execute per row with the row pushed onto the context's outer stack.
+* LIKE patterns that are constants are compiled to regexes once.
+"""
+
+from __future__ import annotations
+
+import datetime
+import math
+import re
+from typing import Any, Callable, Optional, Sequence
+
+from repro.datatypes import Interval, SQLType, date_add, parse_date
+from repro.errors import ExecutionError, PlanError
+from repro.analyzer import expressions as ex
+
+CompiledExpr = Callable[[tuple, Any], Any]
+VarMap = dict[tuple[int, int], int]
+
+
+# ---------------------------------------------------------------------------
+# Scalar operator implementations (null-propagating)
+# ---------------------------------------------------------------------------
+
+
+def _eq(a, b):
+    return None if a is None or b is None else a == b
+
+
+def _ne(a, b):
+    return None if a is None or b is None else a != b
+
+
+def _lt(a, b):
+    return None if a is None or b is None else a < b
+
+
+def _le(a, b):
+    return None if a is None or b is None else a <= b
+
+
+def _gt(a, b):
+    return None if a is None or b is None else a > b
+
+
+def _ge(a, b):
+    return None if a is None or b is None else a >= b
+
+
+def _null_safe_eq(a, b):
+    """``IS NOT DISTINCT FROM`` -- never returns NULL.
+
+    Used by the provenance rewriter's joins (aggregation and set-operation
+    rewrites) where NULL grouping keys / NULL set-op columns must match
+    each other, mirroring GROUP BY and UNION null semantics.
+    """
+    if a is None and b is None:
+        return True
+    if a is None or b is None:
+        return False
+    return a == b
+
+
+def _null_safe_ne(a, b):
+    """``IS DISTINCT FROM`` (negation of the above)."""
+    return not _null_safe_eq(a, b)
+
+
+COMPARISONS: dict[str, Callable[[Any, Any], Any]] = {
+    "=": _eq,
+    "<>": _ne,
+    "<": _lt,
+    "<=": _le,
+    ">": _gt,
+    ">=": _ge,
+    "<=>": _null_safe_eq,
+    "<!=>": _null_safe_ne,
+}
+
+_NEGATED_OP = {"=": "<>", "<>": "=", "<": ">=", "<=": ">", ">": "<=", ">=": "<"}
+
+
+def _add(a, b):
+    return None if a is None or b is None else a + b
+
+
+def _sub(a, b):
+    return None if a is None or b is None else a - b
+
+
+def _mul(a, b):
+    return None if a is None or b is None else a * b
+
+
+def _div_float(a, b):
+    if a is None or b is None:
+        return None
+    if b == 0:
+        raise ExecutionError("division by zero")
+    return a / b
+
+
+def _div_int(a, b):
+    """PostgreSQL integer division truncates toward zero."""
+    if a is None or b is None:
+        return None
+    if b == 0:
+        raise ExecutionError("division by zero")
+    return int(math.trunc(a / b)) if (a < 0) != (b < 0) else a // b
+
+
+def _mod(a, b):
+    """PostgreSQL %: result takes the sign of the dividend."""
+    if a is None or b is None:
+        return None
+    if b == 0:
+        raise ExecutionError("division by zero")
+    return a - _div_int(a, b) * b
+
+
+def _concat(a, b):
+    if a is None or b is None:
+        return None
+    return _text(a) + _text(b)
+
+
+def _text(v: Any) -> str:
+    if isinstance(v, str):
+        return v
+    if isinstance(v, bool):
+        return "t" if v else "f"
+    if isinstance(v, float) and v.is_integer():
+        return str(int(v))
+    if isinstance(v, datetime.date):
+        return v.isoformat()
+    return str(v)
+
+
+def _date_plus(a, b):
+    if a is None or b is None:
+        return None
+    if isinstance(b, Interval):
+        return date_add(a, b)
+    return a + datetime.timedelta(days=int(b))
+
+
+def _date_minus(a, b):
+    if a is None or b is None:
+        return None
+    if isinstance(b, Interval):
+        return date_add(a, -b)
+    if isinstance(b, datetime.date):
+        return (a - b).days
+    return a - datetime.timedelta(days=int(b))
+
+
+# ---------------------------------------------------------------------------
+# Scalar function implementations
+# ---------------------------------------------------------------------------
+
+
+def _null_guard(fn: Callable) -> Callable:
+    def wrapped(*args):
+        if any(a is None for a in args):
+            return None
+        return fn(*args)
+
+    return wrapped
+
+
+def _coalesce(*args):
+    for arg in args:
+        if arg is not None:
+            return arg
+    return None
+
+
+def _nullif(a, b):
+    if a is None:
+        return None
+    if b is not None and a == b:
+        return None
+    return a
+
+
+def _greatest(*args):
+    present = [a for a in args if a is not None]
+    return max(present) if present else None
+
+
+def _least(*args):
+    present = [a for a in args if a is not None]
+    return min(present) if present else None
+
+
+def _substr(s: str, start: int, length: Optional[int] = None) -> str:
+    # SQL substring is 1-based; clamp like PostgreSQL.
+    begin = max(start - 1, 0)
+    if length is None:
+        return s[begin:]
+    if length < 0:
+        raise ExecutionError("negative substring length not allowed")
+    end = max(start - 1 + length, begin)
+    return s[begin:end]
+
+
+def _cast_integer(v):
+    if isinstance(v, str):
+        return int(v.strip())
+    return int(v)
+
+
+def _cast_date(v):
+    if isinstance(v, datetime.date):
+        return v
+    return parse_date(str(v))
+
+
+SCALAR_FUNCTIONS: dict[str, Callable] = {
+    "upper": _null_guard(lambda s: s.upper()),
+    "lower": _null_guard(lambda s: s.lower()),
+    "length": _null_guard(len),
+    "abs": _null_guard(abs),
+    "round": _null_guard(lambda x, n=0: round(float(x), int(n))),
+    "floor": _null_guard(lambda x: float(math.floor(x))),
+    "ceil": _null_guard(lambda x: float(math.ceil(x))),
+    "sqrt": _null_guard(math.sqrt),
+    "power": _null_guard(lambda a, b: float(a) ** float(b)),
+    "mod": _mod,
+    "coalesce": _coalesce,
+    "concat": lambda *args: "".join(_text(a) for a in args if a is not None),
+    "substr": _null_guard(_substr),
+    "strpos": _null_guard(lambda s, sub: s.find(sub) + 1),
+    "trim": _null_guard(lambda s: s.strip()),
+    "nullif": _nullif,
+    "greatest": _greatest,
+    "least": _least,
+    "extract_year": _null_guard(lambda d: d.year),
+    "extract_month": _null_guard(lambda d: d.month),
+    "extract_day": _null_guard(lambda d: d.day),
+    "cast_integer": _null_guard(_cast_integer),
+    "cast_float": _null_guard(lambda v: float(v)),
+    "cast_text": _null_guard(_text),
+    "cast_date": _null_guard(_cast_date),
+    "cast_boolean": _null_guard(bool),
+}
+
+
+def like_to_regex(pattern: str) -> "re.Pattern[str]":
+    """Translate a SQL LIKE pattern into an anchored regex."""
+    out: list[str] = []
+    i = 0
+    while i < len(pattern):
+        ch = pattern[i]
+        if ch == "\\" and i + 1 < len(pattern):
+            out.append(re.escape(pattern[i + 1]))
+            i += 2
+            continue
+        if ch == "%":
+            out.append(".*")
+        elif ch == "_":
+            out.append(".")
+        else:
+            out.append(re.escape(ch))
+        i += 1
+    return re.compile("".join(out), re.DOTALL)
+
+
+# ---------------------------------------------------------------------------
+# The compiler
+# ---------------------------------------------------------------------------
+
+
+class ExprCompiler:
+    """Compiles expressions for one plan node's input layout.
+
+    ``varmap`` maps level-0 ``(varno, varattno)`` to input slots;
+    ``outer_varmaps`` is the stack of enclosing layouts (innermost last)
+    for correlated sublinks.  ``plan_subquery`` plans a sublink's query
+    tree and returns an executable plan node; it is injected by the
+    planner to avoid a circular import.
+    """
+
+    def __init__(
+        self,
+        varmap: VarMap,
+        outer_varmaps: Sequence[VarMap] = (),
+        plan_subquery: Optional[Callable] = None,
+    ) -> None:
+        self.varmap = varmap
+        self.outer_varmaps = list(outer_varmaps)
+        self.plan_subquery = plan_subquery
+
+    def compile(self, expr: ex.Expr) -> CompiledExpr:
+        method = getattr(self, f"_compile_{type(expr).__name__}", None)
+        if method is None:
+            raise PlanError(f"cannot compile expression {expr!r}")
+        return method(expr)
+
+    # -- leaves -------------------------------------------------------------
+
+    def _compile_Var(self, expr: ex.Var) -> CompiledExpr:
+        if expr.levelsup == 0:
+            key = (expr.varno, expr.varattno)
+            if key not in self.varmap:
+                raise PlanError(f"variable {expr} not found in plan layout")
+            slot = self.varmap[key]
+            return lambda row, ctx: row[slot]
+        level = expr.levelsup
+        if level > len(self.outer_varmaps):
+            raise PlanError(f"outer reference {expr} exceeds nesting depth")
+        outer_map = self.outer_varmaps[-level]
+        key = (expr.varno, expr.varattno)
+        if key not in outer_map:
+            raise PlanError(f"outer variable {expr} not found in enclosing layout")
+        slot = outer_map[key]
+        return lambda row, ctx: ctx.outer_rows[-level][slot]
+
+    def _compile_Const(self, expr: ex.Const) -> CompiledExpr:
+        value = expr.value
+        return lambda row, ctx: value
+
+    # -- operators ------------------------------------------------------------
+
+    def _compile_OpExpr(self, expr: ex.OpExpr) -> CompiledExpr:
+        if len(expr.args) == 1:  # unary minus
+            arg = self.compile(expr.args[0])
+            return lambda row, ctx: None if (v := arg(row, ctx)) is None else -v
+        left_type = expr.args[0].type
+        right_type = expr.args[1].type
+        left = self.compile(expr.args[0])
+        right = self.compile(expr.args[1])
+        fn = self._select_binary_fn(expr.op, left_type, right_type)
+        return lambda row, ctx: fn(left(row, ctx), right(row, ctx))
+
+    def _select_binary_fn(
+        self, op: str, left_type: SQLType, right_type: SQLType
+    ) -> Callable[[Any, Any], Any]:
+        if op in COMPARISONS:
+            return COMPARISONS[op]
+        if op == "||":
+            return _concat
+        if op == "+":
+            if left_type == SQLType.DATE:
+                return _date_plus
+            if right_type == SQLType.DATE:
+                return lambda a, b: _date_plus(b, a)
+            return _add
+        if op == "-":
+            if left_type == SQLType.DATE:
+                return _date_minus
+            return _sub
+        if op == "*":
+            return _mul
+        if op == "/":
+            if left_type == SQLType.INTEGER and right_type == SQLType.INTEGER:
+                return _div_int
+            return _div_float
+        if op == "%":
+            return _mod
+        raise PlanError(f"unknown operator {op!r}")
+
+    def _compile_BoolOpExpr(self, expr: ex.BoolOpExpr) -> CompiledExpr:
+        compiled = [self.compile(a) for a in expr.args]
+        if expr.op == "not":
+            arg = compiled[0]
+
+            def _not(row, ctx):
+                v = arg(row, ctx)
+                return None if v is None else not v
+
+            return _not
+        if expr.op == "and":
+
+            def _and(row, ctx):
+                saw_null = False
+                for fn in compiled:
+                    v = fn(row, ctx)
+                    if v is False:
+                        return False
+                    if v is None:
+                        saw_null = True
+                return None if saw_null else True
+
+            return _and
+
+        def _or(row, ctx):
+            saw_null = False
+            for fn in compiled:
+                v = fn(row, ctx)
+                if v is True:
+                    return True
+                if v is None:
+                    saw_null = True
+            return None if saw_null else False
+
+        return _or
+
+    def _compile_FuncExpr(self, expr: ex.FuncExpr) -> CompiledExpr:
+        if expr.name not in SCALAR_FUNCTIONS:
+            raise PlanError(f"unknown function {expr.name!r}")
+        fn = SCALAR_FUNCTIONS[expr.name]
+        compiled = [self.compile(a) for a in expr.args]
+        if len(compiled) == 1:
+            arg0 = compiled[0]
+            return lambda row, ctx: fn(arg0(row, ctx))
+        if len(compiled) == 2:
+            arg0, arg1 = compiled
+            return lambda row, ctx: fn(arg0(row, ctx), arg1(row, ctx))
+        return lambda row, ctx: fn(*(c(row, ctx) for c in compiled))
+
+    def _compile_Aggref(self, expr: ex.Aggref) -> CompiledExpr:
+        raise PlanError(
+            "internal error: Aggref must be replaced by the planner before "
+            "expression compilation"
+        )
+
+    def _compile_CaseExpr(self, expr: ex.CaseExpr) -> CompiledExpr:
+        whens = [(self.compile(c), self.compile(r)) for c, r in expr.whens]
+        default = self.compile(expr.default) if expr.default is not None else None
+
+        def _case(row, ctx):
+            for cond, result in whens:
+                if cond(row, ctx) is True:
+                    return result(row, ctx)
+            return default(row, ctx) if default is not None else None
+
+        return _case
+
+    def _compile_NullTest(self, expr: ex.NullTest) -> CompiledExpr:
+        arg = self.compile(expr.arg)
+        if expr.negated:
+            return lambda row, ctx: arg(row, ctx) is not None
+        return lambda row, ctx: arg(row, ctx) is None
+
+    def _compile_LikeTest(self, expr: ex.LikeTest) -> CompiledExpr:
+        arg = self.compile(expr.arg)
+        negated = expr.negated
+        if isinstance(expr.pattern, ex.Const) and expr.pattern.value is not None:
+            regex = like_to_regex(str(expr.pattern.value))
+
+            def _like_const(row, ctx):
+                v = arg(row, ctx)
+                if v is None:
+                    return None
+                matched = regex.fullmatch(v) is not None
+                return (not matched) if negated else matched
+
+            return _like_const
+        pattern = self.compile(expr.pattern)
+
+        def _like(row, ctx):
+            v = arg(row, ctx)
+            p = pattern(row, ctx)
+            if v is None or p is None:
+                return None
+            matched = like_to_regex(str(p)).fullmatch(v) is not None
+            return (not matched) if negated else matched
+
+        return _like
+
+    def _compile_InList(self, expr: ex.InList) -> CompiledExpr:
+        arg = self.compile(expr.arg)
+        items = [self.compile(i) for i in expr.items]
+        negated = expr.negated
+
+        def _in(row, ctx):
+            v = arg(row, ctx)
+            if v is None:
+                return None
+            saw_null = False
+            for item in items:
+                candidate = item(row, ctx)
+                if candidate is None:
+                    saw_null = True
+                elif candidate == v:
+                    return False if negated else True
+            if saw_null:
+                return None
+            return True if negated else False
+
+        return _in
+
+    # -- sublinks -----------------------------------------------------------------
+
+    def _compile_SubLink(self, expr: ex.SubLink) -> CompiledExpr:
+        if self.plan_subquery is None:
+            raise PlanError("sublinks are not allowed in this context")
+        # The enclosing-layout stack is ordered outermost..innermost, so the
+        # current layout is appended last (Var levelsup=k reads stack[-k]).
+        subplan = self.plan_subquery(expr.subquery, [*self.outer_varmaps, self.varmap])
+        if expr.kind == ex.SubLinkKind.SCALAR:
+            return self._compile_scalar_sublink(expr, subplan)
+        if expr.kind == ex.SubLinkKind.EXISTS:
+            return self._compile_exists_sublink(expr, subplan)
+        return self._compile_quantified_sublink(expr, subplan)
+
+    @staticmethod
+    def _run_subplan(subplan, ctx, row, correlated: bool) -> list[tuple]:
+        if correlated:
+            ctx.push_outer(row)
+            try:
+                return list(subplan.run(ctx))
+            finally:
+                ctx.pop_outer()
+        return list(subplan.run(ctx))
+
+    def _compile_scalar_sublink(self, expr: ex.SubLink, subplan) -> CompiledExpr:
+        correlated = expr.correlated
+        cache: list = []
+
+        def _scalar(row, ctx):
+            if not correlated and cache:
+                return cache[0]
+            rows = self._run_subplan(subplan, ctx, row, correlated)
+            if len(rows) > 1:
+                raise ExecutionError(
+                    "more than one row returned by a subquery used as an expression"
+                )
+            value = rows[0][0] if rows else None
+            if not correlated:
+                cache.append(value)
+            return value
+
+        return _scalar
+
+    def _compile_exists_sublink(self, expr: ex.SubLink, subplan) -> CompiledExpr:
+        correlated = expr.correlated
+        cache: list = []
+
+        def _exists(row, ctx):
+            if not correlated and cache:
+                return cache[0]
+            if correlated:
+                ctx.push_outer(row)
+                try:
+                    found = next(iter(subplan.run(ctx)), None) is not None
+                finally:
+                    ctx.pop_outer()
+            else:
+                found = next(iter(subplan.run(ctx)), None) is not None
+                cache.append(found)
+            return found
+
+        return _exists
+
+    def _compile_quantified_sublink(self, expr: ex.SubLink, subplan) -> CompiledExpr:
+        """``x op ANY (subq)`` / ``x op ALL (subq)`` with full 3VL."""
+        testfn = self.compile(expr.testexpr)
+        op = expr.operator or "="
+        cmp = COMPARISONS[op]
+        is_any = expr.kind == ex.SubLinkKind.ANY
+        correlated = expr.correlated
+        cache: list[Optional[list]] = [None]
+
+        def _values(row, ctx) -> list:
+            if not correlated and cache[0] is not None:
+                return cache[0]
+            rows = self._run_subplan(subplan, ctx, row, correlated)
+            values = [r[0] for r in rows]
+            if not correlated:
+                cache[0] = values
+            return values
+
+        def _quantified(row, ctx):
+            values = _values(row, ctx)
+            test = testfn(row, ctx)
+            saw_null = False
+            if is_any:
+                for value in values:
+                    verdict = cmp(test, value)
+                    if verdict is True:
+                        return True
+                    if verdict is None:
+                        saw_null = True
+                return None if saw_null else False
+            for value in values:
+                verdict = cmp(test, value)
+                if verdict is False:
+                    return False
+                if verdict is None:
+                    saw_null = True
+            return None if saw_null else True
+
+        return _quantified

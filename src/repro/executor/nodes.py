@@ -1,0 +1,527 @@
+"""Physical plan nodes.
+
+Each node implements ``run(ctx) -> Iterator[tuple]`` (volcano-style, with
+materialization where the algorithm requires it: hash builds, sorts,
+aggregation).  Nodes carry ``output_names`` for EXPLAIN and result schema
+construction, and an ``estimate`` used by the planner's greedy join
+ordering.
+
+Join semantics notes:
+
+* hash/nested-loop joins implement SQL semantics: NULL join keys never
+  match, but unmatched rows still appear null-extended in outer joins;
+* set operations implement bag semantics via counters (UNION/INTERSECT/
+  EXCEPT ALL) and sets (DISTINCT variants), matching the Perm algebra
+  definitions in paper Fig. 1b.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from typing import Any, Callable, Iterator, Optional, Sequence
+
+from repro.errors import ExecutionError
+from repro.executor.aggregates import AggState
+from repro.executor.context import ExecContext
+from repro.storage.table import Table
+
+Row = tuple
+Predicate = Callable[[Row, ExecContext], Any]
+Scalar = Callable[[Row, ExecContext], Any]
+
+
+class PlanNode:
+    """Base class for physical plan nodes."""
+
+    output_names: list[str]
+    estimate: float
+
+    def run(self, ctx: ExecContext) -> Iterator[Row]:  # pragma: no cover
+        raise NotImplementedError
+
+    def children(self) -> list["PlanNode"]:
+        return []
+
+    def label(self) -> str:
+        return type(self).__name__
+
+    def explain(self, indent: int = 0) -> str:
+        lines = ["  " * indent + f"-> {self.label()}"]
+        lines += [child.explain(indent + 1) for child in self.children()]
+        return "\n".join(lines)
+
+    def width(self) -> int:
+        return len(self.output_names)
+
+
+class SeqScan(PlanNode):
+    """Full scan of a heap table, optionally filtered."""
+
+    def __init__(self, table: Table, output_names: list[str], predicate: Optional[Predicate] = None) -> None:
+        self.table = table
+        self.output_names = output_names
+        self.predicate = predicate
+        rows = table.row_count()
+        self.estimate = max(rows * (0.25 if predicate else 1.0), 1.0)
+
+    def run(self, ctx: ExecContext) -> Iterator[Row]:
+        rows = self.table.raw_rows()
+        predicate = self.predicate
+        if predicate is None:
+            yield from rows
+        else:
+            for row in rows:
+                if predicate(row, ctx) is True:
+                    yield row
+
+    def label(self) -> str:
+        suffix = " (filtered)" if self.predicate else ""
+        return f"SeqScan on {self.table.name}{suffix}"
+
+
+class OneRow(PlanNode):
+    """Produces a single empty row; basis for FROM-less selects."""
+
+    def __init__(self) -> None:
+        self.output_names = []
+        self.estimate = 1.0
+
+    def run(self, ctx: ExecContext) -> Iterator[Row]:
+        yield ()
+
+
+class ValuesNode(PlanNode):
+    """A constant list of rows (INSERT ... VALUES and tests)."""
+
+    def __init__(self, rows: list[Row], output_names: list[str]) -> None:
+        self.rows = rows
+        self.output_names = output_names
+        self.estimate = max(len(rows), 1)
+
+    def run(self, ctx: ExecContext) -> Iterator[Row]:
+        yield from self.rows
+
+
+class FilterNode(PlanNode):
+    def __init__(self, child: PlanNode, predicate: Predicate) -> None:
+        self.child = child
+        self.predicate = predicate
+        self.output_names = list(child.output_names)
+        self.estimate = max(child.estimate * 0.25, 1.0)
+
+    def children(self) -> list[PlanNode]:
+        return [self.child]
+
+    def run(self, ctx: ExecContext) -> Iterator[Row]:
+        predicate = self.predicate
+        for row in self.child.run(ctx):
+            if predicate(row, ctx) is True:
+                yield row
+
+
+class ProjectNode(PlanNode):
+    def __init__(self, child: PlanNode, exprs: list[Scalar], output_names: list[str]) -> None:
+        self.child = child
+        self.exprs = exprs
+        self.output_names = output_names
+        self.estimate = child.estimate
+
+    def children(self) -> list[PlanNode]:
+        return [self.child]
+
+    def run(self, ctx: ExecContext) -> Iterator[Row]:
+        exprs = self.exprs
+        for row in self.child.run(ctx):
+            yield tuple(fn(row, ctx) for fn in exprs)
+
+
+class SliceNode(PlanNode):
+    """Keeps a positional subset of columns (drops resjunk sort columns)."""
+
+    def __init__(self, child: PlanNode, keep: list[int], output_names: list[str]) -> None:
+        self.child = child
+        self.keep = keep
+        self.output_names = output_names
+        self.estimate = child.estimate
+
+    def children(self) -> list[PlanNode]:
+        return [self.child]
+
+    def run(self, ctx: ExecContext) -> Iterator[Row]:
+        keep = self.keep
+        for row in self.child.run(ctx):
+            yield tuple(row[i] for i in keep)
+
+
+class NestedLoopJoin(PlanNode):
+    """General join for arbitrary conditions; right side is materialized."""
+
+    def __init__(
+        self,
+        left: PlanNode,
+        right: PlanNode,
+        join_type: str,
+        condition: Optional[Predicate],
+    ) -> None:
+        self.left = left
+        self.right = right
+        self.join_type = join_type
+        self.condition = condition
+        self.output_names = list(left.output_names) + list(right.output_names)
+        selectivity = 0.1 if condition else 1.0
+        self.estimate = max(left.estimate * right.estimate * selectivity, 1.0)
+
+    def children(self) -> list[PlanNode]:
+        return [self.left, self.right]
+
+    def label(self) -> str:
+        return f"NestedLoopJoin ({self.join_type})"
+
+    def run(self, ctx: ExecContext) -> Iterator[Row]:
+        right_rows = list(self.right.run(ctx))
+        condition = self.condition
+        join_type = self.join_type
+        left_width = self.left.width()
+        right_width = self.right.width()
+        null_left = (None,) * left_width
+        null_right = (None,) * right_width
+        right_matched = [False] * len(right_rows) if join_type in ("right", "full") else None
+
+        for left_row in self.left.run(ctx):
+            matched = False
+            for i, right_row in enumerate(right_rows):
+                combined = left_row + right_row
+                if condition is None or condition(combined, ctx) is True:
+                    matched = True
+                    if right_matched is not None:
+                        right_matched[i] = True
+                    yield combined
+            if not matched and join_type in ("left", "full"):
+                yield left_row + null_right
+        if right_matched is not None:
+            for i, right_row in enumerate(right_rows):
+                if not right_matched[i]:
+                    yield null_left + right_row
+
+
+class _NullKey:
+    """Hashable stand-in letting null-safe keys match NULL with NULL."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<NULL>"
+
+
+NULL_KEY = _NullKey()
+
+
+class HashJoin(PlanNode):
+    """Equi-join on hashed keys with optional residual condition.
+
+    The build side is the right input.  For plain ``=`` keys, NULL never
+    matches; keys flagged null-safe (the rewriter's ``<=>`` joins) match
+    NULL with NULL.  Unmatched rows are preserved for outer-join null
+    extension either way.
+    """
+
+    def __init__(
+        self,
+        left: PlanNode,
+        right: PlanNode,
+        join_type: str,
+        left_keys: list[Scalar],
+        right_keys: list[Scalar],
+        residual: Optional[Predicate] = None,
+        null_safe: Optional[list[bool]] = None,
+    ) -> None:
+        if not left_keys or len(left_keys) != len(right_keys):
+            raise ExecutionError("hash join requires matching key lists")
+        self.left = left
+        self.right = right
+        self.join_type = join_type
+        self.left_keys = left_keys
+        self.right_keys = right_keys
+        self.residual = residual
+        self.null_safe = null_safe or [False] * len(left_keys)
+        self.output_names = list(left.output_names) + list(right.output_names)
+        self.estimate = max(left.estimate, right.estimate)
+
+    def children(self) -> list[PlanNode]:
+        return [self.left, self.right]
+
+    def label(self) -> str:
+        return f"HashJoin ({self.join_type}, {len(self.left_keys)} keys)"
+
+    def _make_key(self, row: Row, ctx: ExecContext, fns: list[Scalar]) -> Optional[tuple]:
+        """Hash key for a row; None when a non-null-safe key is NULL."""
+        values = []
+        for fn, safe in zip(fns, self.null_safe):
+            value = fn(row, ctx)
+            if value is None:
+                if not safe:
+                    return None
+                value = NULL_KEY
+            values.append(value)
+        return tuple(values)
+
+    def run(self, ctx: ExecContext) -> Iterator[Row]:
+        join_type = self.join_type
+        residual = self.residual
+        null_left = (None,) * self.left.width()
+        null_right = (None,) * self.right.width()
+
+        build: dict[tuple, list[tuple[int, Row]]] = defaultdict(list)
+        right_rows: list[Row] = []
+        for row in self.right.run(ctx):
+            index = len(right_rows)
+            right_rows.append(row)
+            key = self._make_key(row, ctx, self.right_keys)
+            if key is not None:
+                build[key].append((index, row))
+        right_matched = (
+            [False] * len(right_rows) if join_type in ("right", "full") else None
+        )
+
+        for left_row in self.left.run(ctx):
+            key = self._make_key(left_row, ctx, self.left_keys)
+            matched = False
+            if key is not None:
+                for index, right_row in build.get(key, ()):
+                    combined = left_row + right_row
+                    if residual is None or residual(combined, ctx) is True:
+                        matched = True
+                        if right_matched is not None:
+                            right_matched[index] = True
+                        yield combined
+            if not matched and join_type in ("left", "full"):
+                yield left_row + null_right
+        if right_matched is not None:
+            for index, right_row in enumerate(right_rows):
+                if not right_matched[index]:
+                    yield null_left + right_row
+
+
+class HashAggregate(PlanNode):
+    """Grouped aggregation.
+
+    Output rows are ``group_values + aggregate_results``.  With no grouping
+    columns a single group exists even for empty input (SQL grand
+    aggregate), producing count=0 / sum=NULL defaults — the behaviour the
+    paper's Fig. 11 footnote 4 relies on.
+    """
+
+    def __init__(
+        self,
+        child: PlanNode,
+        group_exprs: list[Scalar],
+        agg_factories: list[Callable[[], AggState]],
+        agg_arg_exprs: list[Optional[Scalar]],
+        output_names: list[str],
+    ) -> None:
+        self.child = child
+        self.group_exprs = group_exprs
+        self.agg_factories = agg_factories
+        self.agg_arg_exprs = agg_arg_exprs
+        self.output_names = output_names
+        self.estimate = max(child.estimate * 0.1, 1.0)
+
+    def children(self) -> list[PlanNode]:
+        return [self.child]
+
+    def label(self) -> str:
+        return f"HashAggregate ({len(self.group_exprs)} keys, {len(self.agg_factories)} aggs)"
+
+    def run(self, ctx: ExecContext) -> Iterator[Row]:
+        group_exprs = self.group_exprs
+        groups: dict[tuple, list[AggState]] = {}
+        order: list[tuple] = []
+        for row in self.child.run(ctx):
+            key = tuple(fn(row, ctx) for fn in group_exprs)
+            states = groups.get(key)
+            if states is None:
+                states = [factory() for factory in self.agg_factories]
+                groups[key] = states
+                order.append(key)
+            for state, arg_expr in zip(states, self.agg_arg_exprs):
+                state.add(arg_expr(row, ctx) if arg_expr is not None else None)
+        if not groups and not group_exprs:
+            states = [factory() for factory in self.agg_factories]
+            yield tuple(state.result() for state in states)
+            return
+        for key in order:
+            yield key + tuple(state.result() for state in groups[key])
+
+
+class SortNode(PlanNode):
+    """Sort on output slots.  ``specs``: (slot, descending, nulls_first)."""
+
+    def __init__(self, child: PlanNode, specs: list[tuple[int, bool, Optional[bool]]]) -> None:
+        self.child = child
+        self.specs = specs
+        self.output_names = list(child.output_names)
+        self.estimate = child.estimate
+
+    def children(self) -> list[PlanNode]:
+        return [self.child]
+
+    def run(self, ctx: ExecContext) -> Iterator[Row]:
+        rows = list(self.child.run(ctx))
+        # Stable sort from the last key to the first gives multi-key order.
+        for slot, descending, nulls_first in reversed(self.specs):
+            rows.sort(
+                key=self._make_key(slot, descending, nulls_first),
+                reverse=descending,
+            )
+        yield from rows
+
+    @staticmethod
+    def _make_key(slot: int, descending: bool, nulls_first: Optional[bool]):
+        # SQL defaults: NULLS LAST for ASC, NULLS FIRST for DESC.  Ranking
+        # nulls high (rank 1) realizes both defaults because reverse=True
+        # flips the rank order.  Explicit NULLS FIRST/LAST picks the rank
+        # that lands nulls on the requested side after the optional flip.
+        if nulls_first is None:
+            null_rank = 1
+        else:
+            null_rank = 1 if nulls_first == descending else 0
+        non_null_rank = 1 - null_rank
+
+        def key(row: Row):
+            value = row[slot]
+            if value is None:
+                return (null_rank, 0)
+            return (non_null_rank, value)
+
+        return key
+
+
+class LimitNode(PlanNode):
+    def __init__(self, child: PlanNode, count: Optional[int], offset: int = 0) -> None:
+        self.child = child
+        self.count = count
+        self.offset = offset
+        self.output_names = list(child.output_names)
+        self.estimate = min(child.estimate, count if count is not None else child.estimate)
+
+    def children(self) -> list[PlanNode]:
+        return [self.child]
+
+    def run(self, ctx: ExecContext) -> Iterator[Row]:
+        skipped = 0
+        emitted = 0
+        for row in self.child.run(ctx):
+            if skipped < self.offset:
+                skipped += 1
+                continue
+            if self.count is not None and emitted >= self.count:
+                return
+            emitted += 1
+            yield row
+
+
+class DistinctNode(PlanNode):
+    def __init__(self, child: PlanNode) -> None:
+        self.child = child
+        self.output_names = list(child.output_names)
+        self.estimate = max(child.estimate * 0.5, 1.0)
+
+    def children(self) -> list[PlanNode]:
+        return [self.child]
+
+    def run(self, ctx: ExecContext) -> Iterator[Row]:
+        seen: set = set()
+        for row in self.child.run(ctx):
+            if row not in seen:
+                seen.add(row)
+                yield row
+
+
+class SetOpPlanNode(PlanNode):
+    """UNION / INTERSECT / EXCEPT with ALL and DISTINCT variants.
+
+    Implements the bag-operator definitions of the Perm algebra
+    (paper Fig. 1a/1b) directly with counters.
+    """
+
+    def __init__(self, op: str, all_flag: bool, left: PlanNode, right: PlanNode) -> None:
+        if left.width() != right.width():
+            raise ExecutionError("set operation inputs differ in width")
+        self.op = op
+        self.all = all_flag
+        self.left = left
+        self.right = right
+        self.output_names = list(left.output_names)
+        self.estimate = left.estimate + right.estimate
+
+    def children(self) -> list[PlanNode]:
+        return [self.left, self.right]
+
+    def label(self) -> str:
+        return f"SetOp ({self.op}{' all' if self.all else ''})"
+
+    def run(self, ctx: ExecContext) -> Iterator[Row]:
+        if self.op == "union":
+            if self.all:
+                yield from self.left.run(ctx)
+                yield from self.right.run(ctx)
+                return
+            seen: set = set()
+            for source in (self.left, self.right):
+                for row in source.run(ctx):
+                    if row not in seen:
+                        seen.add(row)
+                        yield row
+            return
+        if self.op == "intersect":
+            right_counts = Counter(self.right.run(ctx))
+            if self.all:
+                remaining = dict(right_counts)
+                for row in self.left.run(ctx):
+                    count = remaining.get(row, 0)
+                    if count > 0:
+                        remaining[row] = count - 1
+                        yield row
+                return
+            emitted: set = set()
+            for row in self.left.run(ctx):
+                if row in right_counts and row not in emitted:
+                    emitted.add(row)
+                    yield row
+            return
+        if self.op == "except":
+            right_counts = Counter(self.right.run(ctx))
+            if self.all:
+                remaining = dict(right_counts)
+                for row in self.left.run(ctx):
+                    count = remaining.get(row, 0)
+                    if count > 0:
+                        remaining[row] = count - 1
+                        continue
+                    yield row
+                return
+            emitted = set()
+            for row in self.left.run(ctx):
+                if row not in right_counts and row not in emitted:
+                    emitted.add(row)
+                    yield row
+            return
+        raise ExecutionError(f"unknown set operation {self.op!r}")
+
+
+class MaterializeNode(PlanNode):
+    """Caches child output; used when a subplan is executed repeatedly."""
+
+    def __init__(self, child: PlanNode) -> None:
+        self.child = child
+        self.output_names = list(child.output_names)
+        self.estimate = child.estimate
+        self._cache: Optional[list[Row]] = None
+
+    def children(self) -> list[PlanNode]:
+        return [self.child]
+
+    def run(self, ctx: ExecContext) -> Iterator[Row]:
+        if self._cache is None:
+            self._cache = list(self.child.run(ctx))
+        return iter(self._cache)

@@ -1,0 +1,5 @@
+"""Query planning: query trees -> executable physical plans."""
+
+from repro.planner.planner import Planner
+
+__all__ = ["Planner"]

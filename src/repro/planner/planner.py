@@ -1,0 +1,581 @@
+"""The planner: analyzed query trees -> physical plans.
+
+The plan output layout always equals the query's *full* target list
+(including resjunk sort entries); junk columns are sliced away at the very
+end.  Planning steps for an (A)SPJ node:
+
+1. build one *unit* (subplan + varmap) per base relation / subquery /
+   outer-join subtree,
+2. push single-unit WHERE conjuncts down onto their unit,
+3. greedily join units, preferring hash joins on extracted equi-conjuncts
+   and smaller estimated inputs (crude but enough for TPC-H shapes),
+4. apply remaining conjuncts, aggregation + HAVING, projection, DISTINCT,
+   ORDER BY, LIMIT.
+
+Set-operation nodes plan each leaf subquery and fold the set-operation
+tree into SetOpPlanNode instances.
+
+Sublinks are planned through a callback handed to the expression
+compiler; correlated sublinks receive the stack of enclosing layouts so
+their free Vars compile into reads of the executor's outer-row stack.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.catalog.catalog import Catalog
+from repro.datatypes import SQLType
+from repro.errors import PlanError
+from repro.analyzer import expressions as ex
+from repro.analyzer.query_tree import (
+    FromExpr,
+    JoinTreeExpr,
+    JoinTreeNode,
+    Query,
+    RangeTableEntry,
+    RangeTableRef,
+    RTEKind,
+    SetOpNode,
+    SetOpRangeRef,
+    SetOpTreeNode,
+)
+from repro.executor.expr_eval import ExprCompiler, VarMap
+from repro.executor.nodes import (
+    DistinctNode,
+    FilterNode,
+    HashAggregate,
+    HashJoin,
+    LimitNode,
+    NestedLoopJoin,
+    OneRow,
+    PlanNode,
+    ProjectNode,
+    SetOpPlanNode,
+    SliceNode,
+    SortNode,
+)
+
+# Synthetic varno for post-aggregation slots (group keys + agg results).
+_POST_AGG_VARNO = -1
+
+
+class _Unit:
+    """A placed or placeable join operand: subplan + var layout."""
+
+    __slots__ = ("plan", "varmap", "rtindexes")
+
+    def __init__(self, plan: PlanNode, varmap: VarMap, rtindexes: set[int]) -> None:
+        self.plan = plan
+        self.varmap = varmap
+        self.rtindexes = rtindexes
+
+
+class Planner:
+    def __init__(self, catalog: Catalog, outer_varmaps: Optional[list[VarMap]] = None) -> None:
+        self.catalog = catalog
+        self.outer_varmaps = list(outer_varmaps or [])
+
+    # -- public API -----------------------------------------------------------
+
+    def plan(self, query: Query) -> PlanNode:
+        """Plan a query; output columns = visible target entries."""
+        if query.set_operations is not None:
+            plan = self._plan_setop_query(query)
+        else:
+            plan = self._plan_plain_query(query)
+        plan = self._apply_sort_limit(query, plan)
+        plan = self._slice_junk(query, plan)
+        return plan
+
+    # -- helpers shared with the expression compiler ----------------------------
+
+    def _plan_sublink(self, query: Query, outer_varmaps: list[VarMap]) -> PlanNode:
+        return Planner(self.catalog, outer_varmaps).plan(query)
+
+    def _compiler(self, varmap: VarMap) -> ExprCompiler:
+        return ExprCompiler(varmap, self.outer_varmaps, plan_subquery=self._plan_sublink)
+
+    # -- RTE plans ------------------------------------------------------------------
+
+    def _plan_rte(self, rtindex: int, rte: RangeTableEntry) -> _Unit:
+        if rte.kind is RTEKind.RELATION:
+            table = self.catalog.table(rte.relation_name)
+            from repro.executor.nodes import SeqScan
+
+            plan: PlanNode = SeqScan(table, list(rte.column_names))
+        else:
+            # FROM subqueries are uncorrelated (no LATERAL), so they plan
+            # with an empty enclosing-layout stack.
+            plan = Planner(self.catalog).plan(rte.subquery)
+        varmap = {(rtindex, attno): attno for attno in range(rte.width())}
+        return _Unit(plan, varmap, {rtindex})
+
+    # -- plain (A)SPJ queries -----------------------------------------------------------
+
+    def _plan_plain_query(self, query: Query) -> PlanNode:
+        joined = self._plan_from_where(query)
+        if query.has_aggs or query.group_clause:
+            plan, varmap, target_exprs = self._plan_aggregation(query, joined)
+        else:
+            plan, varmap = joined.plan, joined.varmap
+            target_exprs = [t.expr for t in query.target_list]
+        # Project the full target list (visible + junk).
+        compiler = self._compiler(varmap)
+        exprs = [compiler.compile(e) for e in target_exprs]
+        names = [t.name for t in query.target_list]
+        plan = ProjectNode(plan, exprs, names)
+        if query.distinct:
+            if any(t.resjunk for t in query.target_list):
+                raise PlanError(
+                    "SELECT DISTINCT with ORDER BY expressions not in the "
+                    "select list is not supported"
+                )
+            plan = DistinctNode(plan)
+        return plan
+
+    def _plan_from_where(self, query: Query) -> _Unit:
+        # WHERE conjuncts are collected *first* so that conjuncts referencing
+        # only the preserved side of an outer join can be pushed below it --
+        # essential for the rewriter's sublink left-join chains, where the
+        # whole FROM clause sits under a LEFT JOIN.
+        where_conjuncts: list[ex.Expr] = []
+        if query.jointree.quals is not None:
+            where_conjuncts = split_conjuncts(query.jointree.quals)
+        pushable = [
+            c
+            for c in where_conjuncts
+            if not ex.contains_sublink(c) and ex.collect_vars(c)
+        ]
+        non_pushable = [c for c in where_conjuncts if c not in pushable]
+        units: list[_Unit] = []
+        conjuncts: list[ex.Expr] = []
+        for item in query.jointree.items:
+            self._flatten_inner(item, query, units, conjuncts, pushable)
+        # Outer-join pushdown consumed some of ``pushable``; the rest (and
+        # the sublink/no-var conjuncts) apply at this level.
+        conjuncts.extend(pushable)
+        conjuncts.extend(non_pushable)
+
+        if not units:
+            base: PlanNode = OneRow()
+            unit = _Unit(base, {}, set())
+            for conjunct in conjuncts:
+                predicate = self._compiler({}).compile(conjunct)
+                unit = _Unit(FilterNode(unit.plan, predicate), {}, set())
+            return unit
+
+        # Classify conjuncts: single-unit filters are pushed down; sublink
+        # conjuncts run after all joins; the rest participate in joins.
+        join_pool: list[ex.Expr] = []
+        late: list[ex.Expr] = []
+        for conjunct in conjuncts:
+            if ex.contains_sublink(conjunct):
+                late.append(conjunct)
+                continue
+            vars_used = ex.collect_vars(conjunct)
+            owners = {self._unit_of(units, var.varno) for var in vars_used}
+            if len(owners) == 1:
+                unit = owners.pop()
+                predicate = self._compiler(unit.varmap).compile(conjunct)
+                self._push_filter(unit, predicate)
+            elif len(owners) == 0:
+                late.append(conjunct)
+            else:
+                join_pool.append(conjunct)
+
+        joined = self._greedy_join(units, join_pool)
+        for conjunct in late:
+            predicate = self._compiler(joined.varmap).compile(conjunct)
+            joined.plan = FilterNode(joined.plan, predicate)
+        return joined
+
+    @staticmethod
+    def _push_filter(unit: _Unit, predicate) -> None:
+        """Attach a single-unit filter, merging into a bare scan if possible."""
+        from repro.executor.nodes import SeqScan
+
+        plan = unit.plan
+        if isinstance(plan, SeqScan) and plan.predicate is None:
+            plan.predicate = predicate
+            plan.estimate = max(plan.estimate * 0.25, 1.0)
+            return
+        unit.plan = FilterNode(plan, predicate)
+
+    @staticmethod
+    def _unit_of(units: list[_Unit], rtindex: int) -> _Unit:
+        for unit in units:
+            if rtindex in unit.rtindexes:
+                return unit
+        raise PlanError(f"range table index {rtindex} not found in any join unit")
+
+    def _flatten_inner(
+        self,
+        node: JoinTreeNode,
+        query: Query,
+        units: list[_Unit],
+        conjuncts: list[ex.Expr],
+        pushable: Optional[list[ex.Expr]] = None,
+    ) -> None:
+        if isinstance(node, RangeTableRef):
+            units.append(self._plan_rte(node.rtindex, query.range_table[node.rtindex]))
+            return
+        if node.join_type == "inner":
+            self._flatten_inner(node.left, query, units, conjuncts, pushable)
+            self._flatten_inner(node.right, query, units, conjuncts, pushable)
+            if node.quals is not None:
+                conjuncts.extend(split_conjuncts(node.quals))
+            return
+        units.append(self._plan_outer_join(node, query, pushable))
+
+    def _plan_join_operand(
+        self,
+        node: JoinTreeNode,
+        query: Query,
+        extra_conjuncts: Optional[list[ex.Expr]] = None,
+        pushable: Optional[list[ex.Expr]] = None,
+    ) -> _Unit:
+        """Plan a join subtree standalone (used under outer joins)."""
+        units: list[_Unit] = []
+        conjuncts: list[ex.Expr] = list(extra_conjuncts or [])
+        self._flatten_inner(node, query, units, conjuncts, pushable)
+        if len(units) == 1 and not conjuncts:
+            return units[0]
+        late = [c for c in conjuncts if ex.contains_sublink(c)]
+        pool = [c for c in conjuncts if not ex.contains_sublink(c)]
+        joined = self._greedy_join(units, pool)
+        for conjunct in late:
+            predicate = self._compiler(joined.varmap).compile(conjunct)
+            joined.plan = FilterNode(joined.plan, predicate)
+        return joined
+
+    def _plan_outer_join(
+        self,
+        node: JoinTreeExpr,
+        query: Query,
+        pushable: Optional[list[ex.Expr]] = None,
+    ) -> _Unit:
+        from repro.analyzer.query_tree import jointree_rtindexes
+
+        # WHERE conjuncts referencing only the preserved side can move
+        # below the outer join (they filter preserved rows identically
+        # before or after null extension of the other side).
+        left_extra: list[ex.Expr] = []
+        right_extra: list[ex.Expr] = []
+        if pushable:
+            if node.join_type == "left":
+                preserved, extras = set(jointree_rtindexes(node.left)), left_extra
+            elif node.join_type == "right":
+                preserved, extras = set(jointree_rtindexes(node.right)), right_extra
+            else:
+                preserved, extras = set(), []
+            if preserved:
+                for conjunct in list(pushable):
+                    vars_used = ex.collect_vars(conjunct)
+                    if vars_used and all(v.varno in preserved for v in vars_used):
+                        extras.append(conjunct)
+                        pushable.remove(conjunct)
+        # The pool may only flow into the preserved side: pushing WHERE
+        # conjuncts below the null-producing side would let null-extended
+        # rows survive that the original WHERE eliminates.
+        left_pool = pushable if node.join_type == "left" else None
+        right_pool = pushable if node.join_type == "right" else None
+        left = self._plan_join_operand(node.left, query, left_extra, left_pool)
+        right = self._plan_join_operand(node.right, query, right_extra, right_pool)
+        merged_map = dict(left.varmap)
+        offset = left.plan.width()
+        for key, slot in right.varmap.items():
+            merged_map[key] = slot + offset
+        condition_conjuncts = (
+            split_conjuncts(node.quals) if node.quals is not None else []
+        )
+        plan = self._make_join(
+            left, right, merged_map, node.join_type, condition_conjuncts
+        )
+        return _Unit(plan, merged_map, left.rtindexes | right.rtindexes)
+
+    def _make_join(
+        self,
+        left: _Unit,
+        right: _Unit,
+        merged_map: VarMap,
+        join_type: str,
+        conjuncts: list[ex.Expr],
+    ) -> PlanNode:
+        left_keys, right_keys, null_safe, residual = extract_equi_keys(
+            conjuncts, left, right
+        )
+        compiler = self._compiler(merged_map)
+        if left_keys:
+            left_compiler = self._compiler(left.varmap)
+            right_compiler = self._compiler(right.varmap)
+            residual_fn = (
+                compiler.compile(conjoin(residual)) if residual else None
+            )
+            return HashJoin(
+                left.plan,
+                right.plan,
+                join_type,
+                [left_compiler.compile(k) for k in left_keys],
+                [right_compiler.compile(k) for k in right_keys],
+                residual_fn,
+                null_safe,
+            )
+        condition_fn = compiler.compile(conjoin(conjuncts)) if conjuncts else None
+        return NestedLoopJoin(left.plan, right.plan, join_type, condition_fn)
+
+    def _greedy_join(self, units: list[_Unit], pool: list[ex.Expr]) -> _Unit:
+        """Left-deep greedy join ordering over inner-join units."""
+        remaining = list(units)
+        pool = list(pool)
+        # Start from the smallest estimated unit.
+        remaining.sort(key=lambda u: u.plan.estimate)
+        current = remaining.pop(0)
+        while remaining:
+            connected = [
+                (i, unit)
+                for i, unit in enumerate(remaining)
+                if any(self._connects(c, current, unit) for c in pool)
+            ]
+            candidates = connected or list(enumerate(remaining))
+            best_index = min(candidates, key=lambda pair: pair[1].plan.estimate)[0]
+            next_unit = remaining.pop(best_index)
+            applicable: list[ex.Expr] = []
+            still_pooled: list[ex.Expr] = []
+            combined_rts = current.rtindexes | next_unit.rtindexes
+            for conjunct in pool:
+                vars_used = ex.collect_vars(conjunct)
+                if vars_used and all(v.varno in combined_rts for v in vars_used):
+                    applicable.append(conjunct)
+                else:
+                    still_pooled.append(conjunct)
+            pool = still_pooled
+            merged_map = dict(current.varmap)
+            offset = current.plan.width()
+            for key, slot in next_unit.varmap.items():
+                merged_map[key] = slot + offset
+            plan = self._make_join(current, next_unit, merged_map, "inner", applicable)
+            current = _Unit(plan, merged_map, combined_rts)
+        for conjunct in pool:
+            # Conjuncts referencing no vars (constants) or left over.
+            predicate = self._compiler(current.varmap).compile(conjunct)
+            current.plan = FilterNode(current.plan, predicate)
+        return current
+
+    @staticmethod
+    def _connects(conjunct: ex.Expr, left: _Unit, right: _Unit) -> bool:
+        if not (isinstance(conjunct, ex.OpExpr) and conjunct.op in ("=", "<=>")):
+            return False
+        vars_used = ex.collect_vars(conjunct)
+        touches_left = any(v.varno in left.rtindexes for v in vars_used)
+        touches_right = any(v.varno in right.rtindexes for v in vars_used)
+        return touches_left and touches_right
+
+    # -- aggregation ---------------------------------------------------------------------
+
+    def _plan_aggregation(
+        self, query: Query, joined: _Unit
+    ) -> tuple[PlanNode, VarMap, list[ex.Expr]]:
+        from repro.executor.aggregates import make_aggregate_factory
+
+        aggrefs: list[ex.Aggref] = []
+
+        def collect(expr: ex.Expr) -> None:
+            for node in ex.walk(expr):
+                if isinstance(node, ex.Aggref) and node not in aggrefs:
+                    aggrefs.append(node)
+
+        for target in query.target_list:
+            collect(target.expr)
+        if query.having is not None:
+            collect(query.having)
+
+        input_compiler = self._compiler(joined.varmap)
+        group_fns = [input_compiler.compile(g) for g in query.group_clause]
+        agg_factories = []
+        agg_args = []
+        for aggref in aggrefs:
+            agg_factories.append(
+                make_aggregate_factory(aggref.aggname, aggref.star, aggref.distinct)
+            )
+            agg_args.append(
+                input_compiler.compile(aggref.arg) if aggref.arg is not None else None
+            )
+        group_count = len(query.group_clause)
+        output_names = [f"g{i}" for i in range(group_count)] + [
+            f"agg{i}" for i in range(len(aggrefs))
+        ]
+        agg_plan: PlanNode = HashAggregate(
+            joined.plan, group_fns, agg_factories, agg_args, output_names
+        )
+        post_varmap: VarMap = {
+            (_POST_AGG_VARNO, slot): slot for slot in range(group_count + len(aggrefs))
+        }
+
+        # Rewrite post-aggregation expressions: whole-group-expr matches and
+        # Aggrefs become Vars over the aggregate output.
+        group_slots = list(enumerate(query.group_clause))
+
+        def replace(expr: ex.Expr) -> ex.Expr:
+            for slot, group_expr in group_slots:
+                if expr == group_expr:
+                    return ex.Var(
+                        varno=_POST_AGG_VARNO,
+                        varattno=slot,
+                        type=expr.type,
+                        name=f"g{slot}",
+                    )
+            if isinstance(expr, ex.Aggref):
+                slot = group_count + aggrefs.index(expr)
+                return ex.Var(
+                    varno=_POST_AGG_VARNO, varattno=slot, type=expr.type, name=f"agg{slot}"
+                )
+            children = expr.children()
+            if not children:
+                return expr
+            from repro.analyzer.expressions import rebuild_with_children
+
+            return rebuild_with_children(expr, [replace(c) for c in children])
+
+        target_exprs = [replace(t.expr) for t in query.target_list]
+        if query.having is not None:
+            having_fn = self._compiler(post_varmap).compile(replace(query.having))
+            agg_plan = FilterNode(agg_plan, having_fn)
+        return agg_plan, post_varmap, target_exprs
+
+    # -- set operations ---------------------------------------------------------------------
+
+    def _plan_setop_query(self, query: Query) -> PlanNode:
+        plan = self._plan_setop_tree(query.set_operations, query)
+        plan = self._rename_output(plan, [t.name for t in query.target_list])
+        return plan
+
+    def _plan_setop_tree(self, node: SetOpTreeNode, query: Query) -> PlanNode:
+        if isinstance(node, SetOpRangeRef):
+            rte = query.range_table[node.rtindex]
+            return Planner(self.catalog).plan(rte.subquery)
+        left = self._plan_setop_tree(node.left, query)
+        right = self._plan_setop_tree(node.right, query)
+        return SetOpPlanNode(node.op, node.all, left, right)
+
+    @staticmethod
+    def _rename_output(plan: PlanNode, names: list[str]) -> PlanNode:
+        plan.output_names = list(names)
+        return plan
+
+    # -- sort / limit / junk removal -------------------------------------------------------------
+
+    def _apply_sort_limit(self, query: Query, plan: PlanNode) -> PlanNode:
+        if query.sort_clause:
+            specs = [
+                (clause.tlist_index, clause.descending, clause.nulls_first)
+                for clause in query.sort_clause
+            ]
+            plan = SortNode(plan, specs)
+        if query.limit_count is not None or query.limit_offset is not None:
+            count = self._const_int(query.limit_count)
+            offset = self._const_int(query.limit_offset) or 0
+            plan = LimitNode(plan, count, offset)
+        return plan
+
+    @staticmethod
+    def _const_int(expr: Optional[ex.Expr]) -> Optional[int]:
+        if expr is None:
+            return None
+        if not isinstance(expr, ex.Const):
+            raise PlanError("LIMIT/OFFSET must be constants")
+        return int(expr.value)
+
+    @staticmethod
+    def _slice_junk(query: Query, plan: PlanNode) -> PlanNode:
+        if not any(t.resjunk for t in query.target_list):
+            return plan
+        keep = [i for i, t in enumerate(query.target_list) if not t.resjunk]
+        names = [query.target_list[i].name for i in keep]
+        return SliceNode(plan, keep, names)
+
+
+# ---------------------------------------------------------------------------
+# Conjunct utilities
+# ---------------------------------------------------------------------------
+
+
+def split_conjuncts(expr: ex.Expr) -> list[ex.Expr]:
+    """Flatten nested AND chains into a conjunct list.
+
+    OR nodes whose every arm shares common conjuncts are factored
+    (``(a AND x) OR (a AND y)`` -> ``a AND (x OR y)``), which recovers the
+    join predicate hidden inside TPC-H Q19's disjunction.
+    """
+    if isinstance(expr, ex.BoolOpExpr) and expr.op == "and":
+        result: list[ex.Expr] = []
+        for arg in expr.args:
+            result.extend(split_conjuncts(arg))
+        return result
+    if isinstance(expr, ex.BoolOpExpr) and expr.op == "or":
+        factored = _factor_or(expr)
+        if factored is not None:
+            return factored
+    return [expr]
+
+
+def _factor_or(expr: ex.BoolOpExpr) -> Optional[list[ex.Expr]]:
+    """Extract conjuncts common to every arm of an OR, if any."""
+    arms = [split_conjuncts(arg) for arg in expr.args]
+    common = [c for c in arms[0] if all(any(c == d for d in arm) for arm in arms[1:])]
+    if not common:
+        return None
+    remainders: list[ex.Expr] = []
+    for arm in arms:
+        rest = [c for c in arm if not any(c == k for k in common)]
+        if not rest:
+            # One arm is exactly the common part: the OR adds nothing more.
+            return common
+        remainders.append(conjoin(rest))
+    return common + [ex.BoolOpExpr("or", tuple(remainders))]
+
+
+def conjoin(conjuncts: list[ex.Expr]) -> ex.Expr:
+    if len(conjuncts) == 1:
+        return conjuncts[0]
+    return ex.BoolOpExpr("and", tuple(conjuncts))
+
+
+def extract_equi_keys(
+    conjuncts: list[ex.Expr], left: _Unit, right: _Unit
+) -> tuple[list[ex.Expr], list[ex.Expr], list[bool], list[ex.Expr]]:
+    """Split conjuncts into hash-joinable equi keys and a residual list.
+
+    Both plain ``=`` and the rewriter's null-safe ``<=>`` qualify; the
+    returned flag list marks the null-safe keys.
+    """
+    left_keys: list[ex.Expr] = []
+    right_keys: list[ex.Expr] = []
+    null_safe: list[bool] = []
+    residual: list[ex.Expr] = []
+    for conjunct in conjuncts:
+        if (
+            isinstance(conjunct, ex.OpExpr)
+            and conjunct.op in ("=", "<=>")
+            and not ex.contains_sublink(conjunct)
+        ):
+            a, b = conjunct.args
+            vars_a = ex.collect_vars(a)
+            vars_b = ex.collect_vars(b)
+            if vars_a and vars_b:
+                a_in_left = all(v.varno in left.rtindexes for v in vars_a)
+                a_in_right = all(v.varno in right.rtindexes for v in vars_a)
+                b_in_left = all(v.varno in left.rtindexes for v in vars_b)
+                b_in_right = all(v.varno in right.rtindexes for v in vars_b)
+                if a_in_left and b_in_right:
+                    left_keys.append(a)
+                    right_keys.append(b)
+                    null_safe.append(conjunct.op == "<=>")
+                    continue
+                if a_in_right and b_in_left:
+                    left_keys.append(b)
+                    right_keys.append(a)
+                    null_safe.append(conjunct.op == "<=>")
+                    continue
+        residual.append(conjunct)
+    return left_keys, right_keys, null_safe, residual

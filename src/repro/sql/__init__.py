@@ -1,0 +1,15 @@
+"""SQL frontend: lexer, AST and recursive-descent parser.
+
+The dialect is the PostgreSQL-flavoured subset needed by the paper's
+workloads (TPC-H queries 1,3,5,6,7,8,9,10,11,12,13,14,15,16,19 and the
+running example) plus the SQL-PLE provenance extensions:
+
+* ``SELECT PROVENANCE ...`` (section IV-A.2),
+* ``FROM item PROVENANCE (attr, ...)`` (section IV-A.3), and
+* ``FROM item BASERELATION`` (section IV-A.4).
+"""
+
+from repro.sql.lexer import tokenize
+from repro.sql.parser import parse_sql, parse_statement, parse_expression
+
+__all__ = ["tokenize", "parse_sql", "parse_statement", "parse_expression"]

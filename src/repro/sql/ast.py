@@ -1,0 +1,456 @@
+"""Raw SQL abstract syntax tree (pre-analysis).
+
+These nodes carry exactly what the parser saw; names are unresolved and
+types unknown.  The analyzer (``repro.analyzer``) converts them into a
+PostgreSQL-style query tree with resolved :class:`~repro.analyzer.expressions.Var`
+references.
+
+The provenance extension points of SQL-PLE live here:
+
+* :attr:`SelectStmt.provenance` — the ``SELECT PROVENANCE`` marker,
+* :attr:`RangeVar.provenance_attrs` / :attr:`RangeSubselect.provenance_attrs`
+  — the ``PROVENANCE (attr, ...)`` from-clause annotation,
+* :attr:`RangeVar.base_relation` / :attr:`RangeSubselect.base_relation`
+  — the ``BASERELATION`` from-clause annotation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+
+class Node:
+    """Base class for all AST nodes (expressions and statements)."""
+
+    __slots__ = ()
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+class Expr(Node):
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class ColumnRef(Expr):
+    """A possibly qualified column reference: ``a`` or ``t.a``."""
+
+    name: str
+    relation: Optional[str] = None
+
+    def __str__(self) -> str:
+        return f"{self.relation}.{self.name}" if self.relation else self.name
+
+
+@dataclass(frozen=True)
+class Star(Expr):
+    """``*`` or ``t.*`` in a select list."""
+
+    relation: Optional[str] = None
+
+    def __str__(self) -> str:
+        return f"{self.relation}.*" if self.relation else "*"
+
+
+@dataclass(frozen=True)
+class NumberLit(Expr):
+    """Integer or float literal; ``value`` is already a Python number."""
+
+    value: Union[int, float]
+
+    def __str__(self) -> str:
+        return repr(self.value)
+
+
+@dataclass(frozen=True)
+class StringLit(Expr):
+    value: str
+
+    def __str__(self) -> str:
+        escaped = self.value.replace("'", "''")
+        return f"'{escaped}'"
+
+
+@dataclass(frozen=True)
+class BoolLit(Expr):
+    value: bool
+
+    def __str__(self) -> str:
+        return "TRUE" if self.value else "FALSE"
+
+
+@dataclass(frozen=True)
+class NullLit(Expr):
+    def __str__(self) -> str:
+        return "NULL"
+
+
+@dataclass(frozen=True)
+class DateLit(Expr):
+    """``DATE 'YYYY-MM-DD'``."""
+
+    text: str
+
+    def __str__(self) -> str:
+        return f"DATE '{self.text}'"
+
+
+@dataclass(frozen=True)
+class IntervalLit(Expr):
+    """``INTERVAL '3' MONTH``."""
+
+    quantity: str
+    unit: str
+
+    def __str__(self) -> str:
+        return f"INTERVAL '{self.quantity}' {self.unit.upper()}"
+
+
+@dataclass(frozen=True)
+class BinaryOp(Expr):
+    """Arithmetic, comparison or string operator application."""
+
+    op: str  # one of + - * / % || = <> < <= > >=
+    left: Expr
+    right: Expr
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass(frozen=True)
+class UnaryOp(Expr):
+    op: str  # '-' or '+'
+    operand: Expr
+
+    def __str__(self) -> str:
+        return f"({self.op}{self.operand})"
+
+
+@dataclass(frozen=True)
+class BoolOp(Expr):
+    """AND/OR with flattened argument list, NOT with a single argument."""
+
+    op: str  # 'and' | 'or' | 'not'
+    args: tuple[Expr, ...]
+
+    def __str__(self) -> str:
+        if self.op == "not":
+            return f"(NOT {self.args[0]})"
+        sep = f" {self.op.upper()} "
+        return "(" + sep.join(str(a) for a in self.args) + ")"
+
+
+@dataclass(frozen=True)
+class FuncCall(Expr):
+    """Function or aggregate call.  ``star`` marks ``count(*)``."""
+
+    name: str
+    args: tuple[Expr, ...] = ()
+    star: bool = False
+    distinct: bool = False
+
+    def __str__(self) -> str:
+        if self.star:
+            return f"{self.name}(*)"
+        inner = ", ".join(str(a) for a in self.args)
+        prefix = "DISTINCT " if self.distinct else ""
+        return f"{self.name}({prefix}{inner})"
+
+
+@dataclass(frozen=True)
+class CaseExpr(Expr):
+    """Searched or simple CASE.  For simple CASE, ``operand`` is set."""
+
+    whens: tuple[tuple[Expr, Expr], ...]
+    operand: Optional[Expr] = None
+    default: Optional[Expr] = None
+
+    def __str__(self) -> str:
+        parts = ["CASE"]
+        if self.operand is not None:
+            parts.append(str(self.operand))
+        for cond, result in self.whens:
+            parts.append(f"WHEN {cond} THEN {result}")
+        if self.default is not None:
+            parts.append(f"ELSE {self.default}")
+        parts.append("END")
+        return " ".join(parts)
+
+
+@dataclass(frozen=True)
+class BetweenExpr(Expr):
+    expr: Expr
+    low: Expr
+    high: Expr
+    negated: bool = False
+
+    def __str__(self) -> str:
+        neg = "NOT " if self.negated else ""
+        return f"({self.expr} {neg}BETWEEN {self.low} AND {self.high})"
+
+
+@dataclass(frozen=True)
+class InListExpr(Expr):
+    """``expr [NOT] IN (v1, v2, ...)`` with a literal/expression list."""
+
+    expr: Expr
+    items: tuple[Expr, ...]
+    negated: bool = False
+
+    def __str__(self) -> str:
+        neg = "NOT " if self.negated else ""
+        inner = ", ".join(str(i) for i in self.items)
+        return f"({self.expr} {neg}IN ({inner}))"
+
+
+@dataclass(frozen=True)
+class LikeExpr(Expr):
+    expr: Expr
+    pattern: Expr
+    negated: bool = False
+
+    def __str__(self) -> str:
+        neg = "NOT " if self.negated else ""
+        return f"({self.expr} {neg}LIKE {self.pattern})"
+
+
+@dataclass(frozen=True)
+class IsNullExpr(Expr):
+    expr: Expr
+    negated: bool = False  # True for IS NOT NULL
+
+    def __str__(self) -> str:
+        neg = "NOT " if self.negated else ""
+        return f"({self.expr} IS {neg}NULL)"
+
+
+@dataclass(frozen=True)
+class ExtractExpr(Expr):
+    """``EXTRACT(field FROM expr)``; only YEAR/MONTH/DAY are used."""
+
+    fieldname: str
+    expr: Expr
+
+    def __str__(self) -> str:
+        return f"EXTRACT({self.fieldname.upper()} FROM {self.expr})"
+
+
+@dataclass(frozen=True)
+class SubstringExpr(Expr):
+    """``SUBSTRING(s FROM start [FOR length])`` (1-based, like SQL)."""
+
+    expr: Expr
+    start: Expr
+    length: Optional[Expr] = None
+
+    def __str__(self) -> str:
+        tail = f" FOR {self.length}" if self.length is not None else ""
+        return f"SUBSTRING({self.expr} FROM {self.start}{tail})"
+
+
+@dataclass(frozen=True)
+class CastExpr(Expr):
+    expr: Expr
+    type_name: str
+
+    def __str__(self) -> str:
+        return f"CAST({self.expr} AS {self.type_name})"
+
+
+@dataclass(frozen=True)
+class SubLinkExpr(Expr):
+    """A subquery used inside an expression (the paper calls these sublinks).
+
+    Kinds:
+
+    * ``exists`` — ``[NOT] EXISTS (subquery)``; ``testexpr`` is None,
+    * ``any`` — ``x IN (subquery)`` / ``x op ANY (subquery)``,
+    * ``all`` — ``x NOT IN (subquery)`` (as ``x <> ALL``) / ``x op ALL``,
+    * ``scalar`` — ``(subquery)`` used as a value.
+    """
+
+    kind: str
+    subquery: "SelectNode"
+    testexpr: Optional[Expr] = None
+    operator: Optional[str] = None  # comparison operator for any/all
+
+    def __str__(self) -> str:
+        if self.kind == "exists":
+            return f"EXISTS ({self.subquery})"
+        if self.kind == "scalar":
+            return f"({self.subquery})"
+        quant = "ANY" if self.kind == "any" else "ALL"
+        return f"({self.testexpr} {self.operator} {quant} ({self.subquery}))"
+
+
+# ---------------------------------------------------------------------------
+# Select structure
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ResTarget(Node):
+    """One select-list entry: expression plus optional ``AS name``."""
+
+    expr: Expr
+    name: Optional[str] = None
+
+
+@dataclass
+class SortBy(Node):
+    expr: Expr
+    descending: bool = False
+    nulls_first: Optional[bool] = None
+
+
+class FromItem(Node):
+    __slots__ = ()
+
+
+@dataclass
+class RangeVar(FromItem):
+    """A table or view reference in FROM."""
+
+    name: str
+    alias: Optional[str] = None
+    column_aliases: tuple[str, ...] = ()
+    provenance_attrs: Optional[tuple[str, ...]] = None  # PROVENANCE (a, b, ...)
+    base_relation: bool = False  # BASERELATION marker
+
+    @property
+    def refname(self) -> str:
+        return self.alias or self.name
+
+
+@dataclass
+class RangeSubselect(FromItem):
+    """A parenthesized subquery in FROM."""
+
+    subquery: "SelectNode"
+    alias: str
+    column_aliases: tuple[str, ...] = ()
+    provenance_attrs: Optional[tuple[str, ...]] = None
+    base_relation: bool = False
+
+
+@dataclass
+class JoinExpr(FromItem):
+    """An explicit JOIN between two from-items."""
+
+    join_type: str  # 'inner' | 'left' | 'right' | 'full' | 'cross'
+    left: FromItem
+    right: FromItem
+    condition: Optional[Expr] = None  # ON clause
+    using: tuple[str, ...] = ()  # USING (col, ...)
+    natural: bool = False
+
+
+@dataclass
+class SelectStmt(Node):
+    """A plain (non-set-operation) SELECT."""
+
+    target_list: list[ResTarget] = field(default_factory=list)
+    from_clause: list[FromItem] = field(default_factory=list)
+    where: Optional[Expr] = None
+    group_by: list[Expr] = field(default_factory=list)
+    having: Optional[Expr] = None
+    distinct: bool = False
+    provenance: bool = False  # SELECT PROVENANCE marker
+    order_by: list[SortBy] = field(default_factory=list)
+    limit: Optional[Expr] = None
+    offset: Optional[Expr] = None
+    into: Optional[str] = None  # SELECT ... INTO table
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        from repro.sql.printer import format_select
+
+        return format_select(self)
+
+
+@dataclass
+class SetOpSelect(Node):
+    """A set operation tree node: ``left op right`` with optional ALL.
+
+    ORDER BY / LIMIT on the whole set operation attach to the root node.
+    """
+
+    op: str  # 'union' | 'intersect' | 'except'
+    all: bool
+    left: "SelectNode"
+    right: "SelectNode"
+    order_by: list[SortBy] = field(default_factory=list)
+    limit: Optional[Expr] = None
+    offset: Optional[Expr] = None
+    provenance: bool = False
+    into: Optional[str] = None
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        from repro.sql.printer import format_select
+
+        return format_select(self)
+
+
+SelectNode = Union[SelectStmt, SetOpSelect]
+
+
+# ---------------------------------------------------------------------------
+# Other statements
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ColumnDef(Node):
+    name: str
+    type_name: str
+
+
+@dataclass
+class CreateTableStmt(Node):
+    name: str
+    columns: list[ColumnDef]
+    primary_key: tuple[str, ...] = ()
+
+
+@dataclass
+class CreateViewStmt(Node):
+    name: str
+    query: SelectNode
+    sql_text: str = ""
+    # Provenance attributes declared for an external-provenance view.
+    provenance_attrs: tuple[str, ...] = ()
+
+
+@dataclass
+class InsertStmt(Node):
+    table: str
+    columns: tuple[str, ...] = ()
+    values: list[list[Expr]] = field(default_factory=list)
+    query: Optional[SelectNode] = None
+
+
+@dataclass
+class DropStmt(Node):
+    kind: str  # 'table' | 'view'
+    name: str
+    if_exists: bool = False
+
+
+@dataclass
+class ExplainStmt(Node):
+    query: SelectNode
+
+
+Statement = Union[
+    SelectStmt,
+    SetOpSelect,
+    CreateTableStmt,
+    CreateViewStmt,
+    InsertStmt,
+    DropStmt,
+    ExplainStmt,
+]

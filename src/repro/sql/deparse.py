@@ -1,0 +1,284 @@
+"""Deparser: analyzed query trees back to SQL text.
+
+The paper's key selling point is that the rewritten query ``q+`` *is an
+ordinary SQL query*.  This module makes that tangible:
+``PermDatabase.rewritten_sql(sql)`` returns the SQL text of the
+provenance-rewritten query tree, which can be inspected, stored or (for
+the supported dialect) re-executed.
+
+Caveats: the rewriter's null-safe equality joins deparse as
+``a IS NOT DISTINCT FROM b`` (PostgreSQL syntax); the repro parser does
+not re-parse that form, so full round-tripping is only guaranteed for
+queries without aggregation/set-operation rewrites.
+"""
+
+from __future__ import annotations
+
+import datetime
+
+from repro.datatypes import Interval
+from repro.errors import PermError
+from repro.analyzer import expressions as ex
+from repro.analyzer.query_tree import (
+    JoinTreeExpr,
+    JoinTreeNode,
+    Query,
+    RangeTableEntry,
+    RangeTableRef,
+    RTEKind,
+    SetOpNode,
+    SetOpRangeRef,
+    SetOpTreeNode,
+)
+
+_JOIN_SQL = {
+    "inner": "JOIN",
+    "left": "LEFT JOIN",
+    "right": "RIGHT JOIN",
+    "full": "FULL JOIN",
+}
+
+_IDENT_OK = frozenset(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_$"
+)
+
+
+def _identifier(name: str) -> str:
+    """Quote names that are not plain identifiers or collide with keywords
+    (e.g. ``?column?`` or ``extract``)."""
+    from repro.sql.tokens import KEYWORDS
+
+    if (
+        name
+        and name[0].isalpha()
+        and all(ch in _IDENT_OK for ch in name)
+        and name.upper() not in KEYWORDS
+    ):
+        return name
+    escaped = name.replace('"', '""')
+    return f'"{escaped}"'
+
+_SETOP_SQL = {"union": "UNION", "intersect": "INTERSECT", "except": "EXCEPT"}
+
+
+def deparse_query(query: Query, indent: int = 0) -> str:
+    """Render an analyzed query tree as SQL text."""
+    if query.set_operations is not None:
+        return _deparse_setop_query(query, indent)
+    pad = " " * indent
+    parts: list[str] = []
+    distinct = "DISTINCT " if query.distinct else ""
+    targets = ", ".join(
+        f"{deparse_expr(t.expr, query)} AS {_identifier(t.name)}"
+        for t in query.visible_targets
+    )
+    parts.append(f"{pad}SELECT {distinct}{targets}")
+    if query.into:
+        parts.append(f"{pad}INTO {query.into}")
+    if query.jointree.items:
+        from_items = ",\n     ".join(
+            _deparse_jointree(item, query, indent) for item in query.jointree.items
+        )
+        parts.append(f"{pad}FROM {from_items}")
+    if query.jointree.quals is not None:
+        parts.append(f"{pad}WHERE {deparse_expr(query.jointree.quals, query)}")
+    if query.group_clause:
+        grouped = ", ".join(deparse_expr(g, query) for g in query.group_clause)
+        parts.append(f"{pad}GROUP BY {grouped}")
+    if query.having is not None:
+        parts.append(f"{pad}HAVING {deparse_expr(query.having, query)}")
+    parts.extend(_deparse_tail(query, pad))
+    return "\n".join(parts)
+
+
+def _deparse_tail(query: Query, pad: str) -> list[str]:
+    parts: list[str] = []
+    if query.sort_clause:
+        pieces = []
+        for clause in query.sort_clause:
+            target = query.target_list[clause.tlist_index]
+            piece = deparse_expr(target.expr, query)
+            if clause.descending:
+                piece += " DESC"
+            if clause.nulls_first is True:
+                piece += " NULLS FIRST"
+            elif clause.nulls_first is False:
+                piece += " NULLS LAST"
+            pieces.append(piece)
+        parts.append(f"{pad}ORDER BY {', '.join(pieces)}")
+    if query.limit_count is not None:
+        parts.append(f"{pad}LIMIT {deparse_expr(query.limit_count, query)}")
+    if query.limit_offset is not None:
+        parts.append(f"{pad}OFFSET {deparse_expr(query.limit_offset, query)}")
+    return parts
+
+
+def _deparse_setop_query(query: Query, indent: int) -> str:
+    pad = " " * indent
+    body = _deparse_setop_tree(query.set_operations, query, indent)
+    parts = [body]
+    parts.extend(_deparse_tail(query, pad))
+    return "\n".join(parts)
+
+
+def _deparse_setop_tree(node: SetOpTreeNode, query: Query, indent: int) -> str:
+    pad = " " * indent
+    if isinstance(node, SetOpRangeRef):
+        inner = deparse_query(query.range_table[node.rtindex].subquery, indent + 2)
+        return f"{pad}(\n{inner}\n{pad})"
+    assert isinstance(node, SetOpNode)
+    op = _SETOP_SQL[node.op] + (" ALL" if node.all else "")
+    left = _deparse_setop_tree(node.left, query, indent)
+    right = _deparse_setop_tree(node.right, query, indent)
+    return f"{left}\n{pad}{op}\n{right}"
+
+
+def _deparse_rte(rte: RangeTableEntry, indent: int) -> str:
+    if rte.kind is RTEKind.RELATION:
+        if rte.alias != rte.relation_name:
+            return f"{rte.relation_name} AS {rte.alias}"
+        return rte.relation_name or rte.alias
+    inner = deparse_query(rte.subquery, indent + 2)
+    return f"(\n{inner}\n{' ' * indent}) AS {rte.alias}"
+
+
+def _deparse_jointree(node: JoinTreeNode, query: Query, indent: int) -> str:
+    if isinstance(node, RangeTableRef):
+        return _deparse_rte(query.range_table[node.rtindex], indent)
+    assert isinstance(node, JoinTreeExpr)
+    left = _deparse_jointree(node.left, query, indent)
+    right = _deparse_jointree(node.right, query, indent)
+    keyword = _JOIN_SQL[node.join_type]
+    condition = (
+        deparse_expr(node.quals, query) if node.quals is not None else "TRUE"
+    )
+    return f"({left}\n{' ' * indent}  {keyword} {right} ON {condition})"
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+def deparse_expr(expr: ex.Expr, query: Query) -> str:
+    """Render an analyzed expression as SQL relative to ``query``'s scope."""
+    if isinstance(expr, ex.Var):
+        return _deparse_var(expr, query)
+    if isinstance(expr, ex.Const):
+        return _deparse_const(expr.value)
+    if isinstance(expr, ex.OpExpr):
+        return _deparse_op(expr, query)
+    if isinstance(expr, ex.BoolOpExpr):
+        if expr.op == "not":
+            return f"NOT ({deparse_expr(expr.args[0], query)})"
+        joiner = f" {expr.op.upper()} "
+        return "(" + joiner.join(deparse_expr(a, query) for a in expr.args) + ")"
+    if isinstance(expr, ex.FuncExpr):
+        return _deparse_func(expr, query)
+    if isinstance(expr, ex.Aggref):
+        if expr.star:
+            return f"{expr.aggname}(*)"
+        prefix = "DISTINCT " if expr.distinct else ""
+        return f"{expr.aggname}({prefix}{deparse_expr(expr.arg, query)})"
+    if isinstance(expr, ex.CaseExpr):
+        whens = " ".join(
+            f"WHEN {deparse_expr(c, query)} THEN {deparse_expr(r, query)}"
+            for c, r in expr.whens
+        )
+        default = (
+            f" ELSE {deparse_expr(expr.default, query)}"
+            if expr.default is not None
+            else ""
+        )
+        return f"CASE {whens}{default} END"
+    if isinstance(expr, ex.NullTest):
+        negation = "NOT " if expr.negated else ""
+        return f"{deparse_expr(expr.arg, query)} IS {negation}NULL"
+    if isinstance(expr, ex.LikeTest):
+        negation = "NOT " if expr.negated else ""
+        return (
+            f"{deparse_expr(expr.arg, query)} {negation}LIKE "
+            f"{deparse_expr(expr.pattern, query)}"
+        )
+    if isinstance(expr, ex.InList):
+        negation = "NOT " if expr.negated else ""
+        items = ", ".join(deparse_expr(i, query) for i in expr.items)
+        return f"{deparse_expr(expr.arg, query)} {negation}IN ({items})"
+    if isinstance(expr, ex.SubLink):
+        return _deparse_sublink(expr, query)
+    raise PermError(f"cannot deparse expression {expr!r}")
+
+
+def _deparse_var(var: ex.Var, query: Query) -> str:
+    if var.levelsup > 0:
+        # Outer references keep their display name; the alias belongs to an
+        # enclosing query we cannot see from here.
+        return var.name or f"outer${var.varno}.{var.varattno}"
+    if var.varno < 0 or var.varno >= len(query.range_table):
+        return var.name or f"${var.varno}.{var.varattno}"
+    rte = query.range_table[var.varno]
+    return f"{rte.alias}.{rte.column_names[var.varattno]}"
+
+
+def _deparse_const(value) -> str:
+    if value is None:
+        return "NULL"
+    if isinstance(value, bool):
+        return "TRUE" if value else "FALSE"
+    if isinstance(value, str):
+        escaped = value.replace("'", "''")
+        return f"'{escaped}'"
+    if isinstance(value, datetime.date):
+        return f"DATE '{value.isoformat()}'"
+    if isinstance(value, Interval):
+        if value.months and value.months % 12 == 0 and not value.days:
+            return f"INTERVAL '{value.months // 12}' YEAR"
+        if value.months and not value.days:
+            return f"INTERVAL '{value.months}' MONTH"
+        return f"INTERVAL '{value.days}' DAY"
+    return repr(value)
+
+
+def _deparse_op(expr: ex.OpExpr, query: Query) -> str:
+    if len(expr.args) == 1:
+        return f"(-{deparse_expr(expr.args[0], query)})"
+    left = deparse_expr(expr.args[0], query)
+    right = deparse_expr(expr.args[1], query)
+    if expr.op == "<=>":
+        return f"({left} IS NOT DISTINCT FROM {right})"
+    if expr.op == "<!=>":
+        return f"({left} IS DISTINCT FROM {right})"
+    return f"({left} {expr.op} {right})"
+
+
+_EXTRACT_FUNCS = {"extract_year": "YEAR", "extract_month": "MONTH", "extract_day": "DAY"}
+
+
+def _deparse_func(expr: ex.FuncExpr, query: Query) -> str:
+    if expr.name in _EXTRACT_FUNCS:
+        return (
+            f"EXTRACT({_EXTRACT_FUNCS[expr.name]} FROM "
+            f"{deparse_expr(expr.args[0], query)})"
+        )
+    if expr.name.startswith("cast_"):
+        target = expr.name.removeprefix("cast_")
+        return f"CAST({deparse_expr(expr.args[0], query)} AS {target})"
+    if expr.name == "substr":
+        inner = deparse_expr(expr.args[0], query)
+        start = deparse_expr(expr.args[1], query)
+        if len(expr.args) == 3:
+            return f"SUBSTRING({inner} FROM {start} FOR {deparse_expr(expr.args[2], query)})"
+        return f"SUBSTRING({inner} FROM {start})"
+    args = ", ".join(deparse_expr(a, query) for a in expr.args)
+    return f"{expr.name}({args})"
+
+
+def _deparse_sublink(expr: ex.SubLink, query: Query) -> str:
+    inner = deparse_query(expr.subquery, indent=2)
+    if expr.kind == ex.SubLinkKind.EXISTS:
+        return f"EXISTS (\n{inner}\n)"
+    if expr.kind == ex.SubLinkKind.SCALAR:
+        return f"(\n{inner}\n)"
+    quantifier = "ANY" if expr.kind == ex.SubLinkKind.ANY else "ALL"
+    test = deparse_expr(expr.testexpr, query)
+    return f"{test} {expr.operator} {quantifier} (\n{inner}\n)"

@@ -1,0 +1,127 @@
+"""Hand-written SQL lexer.
+
+Produces a flat list of :class:`~repro.sql.tokens.Token`.  Supported
+lexical forms:
+
+* identifiers (``[A-Za-z_][A-Za-z0-9_$]*``, folded to lower case) and
+  double-quoted identifiers (case preserved),
+* keywords (see :data:`~repro.sql.tokens.KEYWORDS`, folded to upper case),
+* integer and decimal number literals (with optional exponent),
+* single-quoted string literals with ``''`` escaping,
+* operators and punctuation,
+* ``--`` line comments and ``/* ... */`` block comments.
+"""
+
+from __future__ import annotations
+
+from repro.errors import LexError
+from repro.sql.tokens import KEYWORDS, OPERATORS, PUNCTUATION, Token, TokenKind
+
+_IDENT_START = frozenset("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_")
+_IDENT_CONT = _IDENT_START | frozenset("0123456789$")
+_DIGITS = frozenset("0123456789")
+_SPACE = frozenset(" \t\r\n\f\v")
+
+
+def tokenize(text: str) -> list[Token]:
+    """Lex ``text`` into tokens, ending with a single EOF token."""
+    tokens: list[Token] = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch in _SPACE:
+            i += 1
+            continue
+        if ch == "-" and text.startswith("--", i):
+            end = text.find("\n", i)
+            i = n if end < 0 else end + 1
+            continue
+        if ch == "/" and text.startswith("/*", i):
+            end = text.find("*/", i + 2)
+            if end < 0:
+                raise LexError("unterminated block comment", i)
+            i = end + 2
+            continue
+        if ch in _IDENT_START:
+            start = i
+            i += 1
+            while i < n and text[i] in _IDENT_CONT:
+                i += 1
+            word = text[start:i]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token(TokenKind.KEYWORD, upper, start))
+            else:
+                tokens.append(Token(TokenKind.IDENT, word.lower(), start))
+            continue
+        if ch == '"':
+            start = i
+            i += 1
+            chunk: list[str] = []
+            while i < n:
+                if text[i] == '"':
+                    if i + 1 < n and text[i + 1] == '"':
+                        chunk.append('"')
+                        i += 2
+                        continue
+                    break
+                chunk.append(text[i])
+                i += 1
+            if i >= n:
+                raise LexError("unterminated quoted identifier", start)
+            i += 1  # closing quote
+            tokens.append(Token(TokenKind.IDENT, "".join(chunk), start))
+            continue
+        if ch in _DIGITS or (ch == "." and i + 1 < n and text[i + 1] in _DIGITS):
+            start = i
+            while i < n and text[i] in _DIGITS:
+                i += 1
+            if i < n and text[i] == "." and (i + 1 >= n or text[i + 1] != "."):
+                i += 1
+                while i < n and text[i] in _DIGITS:
+                    i += 1
+            if i < n and text[i] in "eE":
+                j = i + 1
+                if j < n and text[j] in "+-":
+                    j += 1
+                if j < n and text[j] in _DIGITS:
+                    i = j
+                    while i < n and text[i] in _DIGITS:
+                        i += 1
+            tokens.append(Token(TokenKind.NUMBER, text[start:i], start))
+            continue
+        if ch == "'":
+            start = i
+            i += 1
+            chunk = []
+            while i < n:
+                if text[i] == "'":
+                    if i + 1 < n and text[i + 1] == "'":
+                        chunk.append("'")
+                        i += 2
+                        continue
+                    break
+                chunk.append(text[i])
+                i += 1
+            if i >= n:
+                raise LexError("unterminated string literal", start)
+            i += 1
+            tokens.append(Token(TokenKind.STRING, "".join(chunk), start))
+            continue
+        matched_op = None
+        for op in OPERATORS:
+            if text.startswith(op, i):
+                matched_op = op
+                break
+        if matched_op is not None:
+            tokens.append(Token(TokenKind.OPERATOR, matched_op, i))
+            i += len(matched_op)
+            continue
+        if ch in PUNCTUATION:
+            tokens.append(Token(TokenKind.PUNCT, ch, i))
+            i += 1
+            continue
+        raise LexError(f"unexpected character {ch!r}", i)
+    tokens.append(Token(TokenKind.EOF, "", n))
+    return tokens

@@ -1,0 +1,788 @@
+"""Recursive-descent parser for the repro SQL dialect.
+
+Grammar sketch (statements)::
+
+    statement   := select | create_table | create_view | insert | drop | explain
+    select      := select_core (set_op select_core)* [ORDER BY ...] [LIMIT ...]
+    select_core := SELECT [PROVENANCE] [DISTINCT] targets [INTO name]
+                   [FROM from_list] [WHERE expr] [GROUP BY exprs] [HAVING expr]
+
+and (expressions, loosest to tightest)::
+
+    expr := or | and | not | predicate | additive | multiplicative | unary | primary
+
+``predicate`` covers comparisons, IS NULL, BETWEEN, IN, LIKE and
+quantified comparisons (ANY/ALL), all of which may contain sublinks.
+
+The SQL-PLE extensions are recognized here: ``SELECT PROVENANCE``, the
+from-item suffixes ``PROVENANCE (attrs)`` and ``BASERELATION``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import ParseError
+from repro.sql import ast
+from repro.sql.lexer import tokenize
+from repro.sql.tokens import Token, TokenKind
+
+_COMPARISON_OPS = frozenset({"=", "<>", "!=", "<", "<=", ">", ">="})
+_ADDITIVE_OPS = frozenset({"+", "-", "||"})
+_MULTIPLICATIVE_OPS = frozenset({"*", "/", "%"})
+
+# Aggregate names; used only to give nicer parse-time errors for DISTINCT.
+_KNOWN_AGGREGATES = frozenset({"sum", "count", "avg", "min", "max"})
+
+
+def parse_sql(text: str) -> list[ast.Statement]:
+    """Parse a string of one or more ``;``-separated statements."""
+    parser = _Parser(text)
+    return parser.parse_statements()
+
+
+def parse_statement(text: str) -> ast.Statement:
+    """Parse exactly one statement."""
+    statements = parse_sql(text)
+    if len(statements) != 1:
+        raise ParseError(f"expected exactly one statement, got {len(statements)}")
+    return statements[0]
+
+
+def parse_expression(text: str) -> ast.Expr:
+    """Parse a standalone scalar expression (used by tests and workloads)."""
+    parser = _Parser(text)
+    expr = parser.parse_expr()
+    parser.expect_eof()
+    return expr
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.tokens = tokenize(text)
+        self.pos = 0
+
+    # -- token plumbing ------------------------------------------------------
+
+    def peek(self, offset: int = 0) -> Token:
+        index = min(self.pos + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.pos]
+        if token.kind is not TokenKind.EOF:
+            self.pos += 1
+        return token
+
+    def at_keyword(self, *names: str) -> bool:
+        return self.peek().is_keyword(*names)
+
+    def accept_keyword(self, *names: str) -> bool:
+        if self.at_keyword(*names):
+            self.advance()
+            return True
+        return False
+
+    def expect_keyword(self, name: str) -> Token:
+        token = self.peek()
+        if not token.is_keyword(name):
+            raise ParseError(f"expected {name}, found {token.value!r}", token.position)
+        return self.advance()
+
+    def at_punct(self, value: str) -> bool:
+        token = self.peek()
+        return token.kind is TokenKind.PUNCT and token.value == value
+
+    def accept_punct(self, value: str) -> bool:
+        if self.at_punct(value):
+            self.advance()
+            return True
+        return False
+
+    def expect_punct(self, value: str) -> Token:
+        token = self.peek()
+        if not (token.kind is TokenKind.PUNCT and token.value == value):
+            raise ParseError(f"expected {value!r}, found {token.value!r}", token.position)
+        return self.advance()
+
+    def at_operator(self, *values: str) -> bool:
+        token = self.peek()
+        return token.kind is TokenKind.OPERATOR and token.value in values
+
+    def expect_ident(self, what: str = "identifier") -> str:
+        token = self.peek()
+        if token.kind is TokenKind.IDENT:
+            self.advance()
+            return token.value
+        # Allow a few non-reserved-feeling keywords as identifiers where
+        # unambiguous (e.g. a column named "year" is lexed as IDENT already;
+        # keywords like DATE stay reserved).
+        raise ParseError(f"expected {what}, found {token.value!r}", token.position)
+
+    def expect_eof(self) -> None:
+        token = self.peek()
+        if token.kind is not TokenKind.EOF:
+            raise ParseError(f"unexpected trailing input {token.value!r}", token.position)
+
+    # -- statements ----------------------------------------------------------
+
+    def parse_statements(self) -> list[ast.Statement]:
+        statements: list[ast.Statement] = []
+        while True:
+            while self.accept_punct(";"):
+                pass
+            if self.peek().kind is TokenKind.EOF:
+                break
+            statements.append(self.parse_one_statement())
+            if not self.accept_punct(";"):
+                break
+        self.expect_eof()
+        return statements
+
+    def parse_one_statement(self) -> ast.Statement:
+        token = self.peek()
+        if token.is_keyword("SELECT") or self.at_punct("("):
+            return self.parse_select()
+        if token.is_keyword("CREATE"):
+            return self.parse_create()
+        if token.is_keyword("INSERT"):
+            return self.parse_insert()
+        if token.is_keyword("DROP"):
+            return self.parse_drop()
+        if token.is_keyword("EXPLAIN"):
+            self.advance()
+            return ast.ExplainStmt(query=self.parse_select())
+        raise ParseError(f"unexpected token {token.value!r}", token.position)
+
+    # -- SELECT with set operations -------------------------------------------
+
+    def parse_select(self) -> ast.SelectNode:
+        node = self.parse_select_intersect()
+        while self.at_keyword("UNION", "EXCEPT"):
+            op = self.advance().value.lower()
+            all_flag = self.accept_keyword("ALL")
+            self.accept_keyword("DISTINCT")
+            right = self.parse_select_intersect()
+            node = ast.SetOpSelect(op=op, all=all_flag, left=node, right=right)
+        if isinstance(node, ast.SetOpSelect):
+            # PROVENANCE / INTO written in the first select-clause mark the
+            # whole set-operation statement (SQL-PLE, section IV-A.2).
+            leaf = node.left
+            while isinstance(leaf, ast.SetOpSelect):
+                leaf = leaf.left
+            if leaf.provenance:
+                node.provenance = True
+                leaf.provenance = False
+            if leaf.into is not None and node.into is None:
+                node.into = leaf.into
+                leaf.into = None
+        self._attach_select_tail(node)
+        return node
+
+    def parse_select_intersect(self) -> ast.SelectNode:
+        node = self.parse_select_atom()
+        while self.at_keyword("INTERSECT"):
+            self.advance()
+            all_flag = self.accept_keyword("ALL")
+            self.accept_keyword("DISTINCT")
+            right = self.parse_select_atom()
+            node = ast.SetOpSelect(op="intersect", all=all_flag, left=node, right=right)
+        return node
+
+    def parse_select_atom(self) -> ast.SelectNode:
+        if self.accept_punct("("):
+            inner = self.parse_select()
+            self.expect_punct(")")
+            return inner
+        return self.parse_select_core()
+
+    def _attach_select_tail(self, node: ast.SelectNode) -> None:
+        """Attach ORDER BY / LIMIT / OFFSET to the outermost select node."""
+        if self.at_keyword("ORDER"):
+            self.advance()
+            self.expect_keyword("BY")
+            items = [self.parse_sort_item()]
+            while self.accept_punct(","):
+                items.append(self.parse_sort_item())
+            node.order_by = items
+        if self.at_keyword("LIMIT"):
+            self.advance()
+            if self.accept_keyword("ALL"):
+                node.limit = None
+            else:
+                node.limit = self.parse_expr()
+        if self.at_keyword("OFFSET"):
+            self.advance()
+            node.offset = self.parse_expr()
+
+    def parse_sort_item(self) -> ast.SortBy:
+        expr = self.parse_expr()
+        descending = False
+        if self.accept_keyword("ASC"):
+            descending = False
+        elif self.accept_keyword("DESC"):
+            descending = True
+        nulls_first: Optional[bool] = None
+        if self.accept_keyword("NULLS"):
+            if self.accept_keyword("FIRST"):
+                nulls_first = True
+            else:
+                self.expect_keyword("LAST")
+                nulls_first = False
+        return ast.SortBy(expr=expr, descending=descending, nulls_first=nulls_first)
+
+    def parse_select_core(self) -> ast.SelectStmt:
+        self.expect_keyword("SELECT")
+        stmt = ast.SelectStmt()
+        # SQL-PLE: SELECT PROVENANCE ... (section IV-A.2)
+        if self.accept_keyword("PROVENANCE"):
+            stmt.provenance = True
+        if self.accept_keyword("DISTINCT"):
+            stmt.distinct = True
+        elif self.accept_keyword("ALL"):
+            pass
+        stmt.target_list = [self.parse_res_target()]
+        while self.accept_punct(","):
+            stmt.target_list.append(self.parse_res_target())
+        if self.accept_keyword("INTO"):
+            stmt.into = self.expect_ident("table name")
+        if self.accept_keyword("FROM"):
+            stmt.from_clause = [self.parse_from_item()]
+            while self.accept_punct(","):
+                stmt.from_clause.append(self.parse_from_item())
+        if self.accept_keyword("WHERE"):
+            stmt.where = self.parse_expr()
+        if self.at_keyword("GROUP"):
+            self.advance()
+            self.expect_keyword("BY")
+            stmt.group_by = [self.parse_expr()]
+            while self.accept_punct(","):
+                stmt.group_by.append(self.parse_expr())
+        if self.accept_keyword("HAVING"):
+            stmt.having = self.parse_expr()
+        return stmt
+
+    def parse_res_target(self) -> ast.ResTarget:
+        # Bare * and qualified t.* select-list entries.
+        if self.at_operator("*"):
+            self.advance()
+            return ast.ResTarget(expr=ast.Star())
+        if (
+            self.peek().kind is TokenKind.IDENT
+            and self.peek(1).kind is TokenKind.PUNCT
+            and self.peek(1).value == "."
+            and self.peek(2).kind is TokenKind.OPERATOR
+            and self.peek(2).value == "*"
+        ):
+            relation = self.advance().value
+            self.advance()  # '.'
+            self.advance()  # '*'
+            return ast.ResTarget(expr=ast.Star(relation=relation))
+        expr = self.parse_expr()
+        name: Optional[str] = None
+        if self.accept_keyword("AS"):
+            name = self._parse_label()
+        elif self.peek().kind is TokenKind.IDENT:
+            name = self.advance().value
+        return ast.ResTarget(expr=expr, name=name)
+
+    def _parse_label(self) -> str:
+        token = self.peek()
+        if token.kind is TokenKind.IDENT:
+            self.advance()
+            return token.value
+        raise ParseError(f"expected label after AS, found {token.value!r}", token.position)
+
+    # -- FROM clause -----------------------------------------------------------
+
+    def parse_from_item(self) -> ast.FromItem:
+        item = self.parse_join_operand()
+        while True:
+            natural = False
+            if self.at_keyword("NATURAL"):
+                natural = True
+                self.advance()
+            if self.at_keyword("JOIN", "INNER"):
+                if self.accept_keyword("INNER"):
+                    pass
+                self.expect_keyword("JOIN")
+                join_type = "inner"
+            elif self.at_keyword("LEFT", "RIGHT", "FULL"):
+                join_type = self.advance().value.lower()
+                self.accept_keyword("OUTER")
+                self.expect_keyword("JOIN")
+            elif self.at_keyword("CROSS"):
+                self.advance()
+                self.expect_keyword("JOIN")
+                join_type = "cross"
+            else:
+                if natural:
+                    raise ParseError("NATURAL must be followed by a join", self.peek().position)
+                break
+            right = self.parse_join_operand()
+            condition: Optional[ast.Expr] = None
+            using: tuple[str, ...] = ()
+            if natural:
+                pass
+            elif join_type == "cross":
+                pass
+            elif self.accept_keyword("ON"):
+                condition = self.parse_expr()
+            elif self.accept_keyword("USING"):
+                self.expect_punct("(")
+                names = [self.expect_ident("column name")]
+                while self.accept_punct(","):
+                    names.append(self.expect_ident("column name"))
+                self.expect_punct(")")
+                using = tuple(names)
+            else:
+                raise ParseError(
+                    "JOIN requires ON or USING (or use CROSS/NATURAL JOIN)",
+                    self.peek().position,
+                )
+            item = ast.JoinExpr(
+                join_type=join_type,
+                left=item,
+                right=right,
+                condition=condition,
+                using=using,
+                natural=natural,
+            )
+        return item
+
+    def parse_join_operand(self) -> ast.FromItem:
+        if self.at_punct("("):
+            # Either a parenthesized join/from-item or a subselect.
+            if self._paren_starts_select():
+                self.advance()  # '('
+                subquery = self.parse_select()
+                self.expect_punct(")")
+                return self._parse_subselect_tail(subquery)
+            self.advance()  # '('
+            inner = self.parse_from_item()
+            self.expect_punct(")")
+            return inner
+        name = self.expect_ident("relation name")
+        item = ast.RangeVar(name=name)
+        self._parse_from_item_suffix(item)
+        return item
+
+    def _paren_starts_select(self) -> bool:
+        """After a '(', decide between a subselect and a nested from-item."""
+        depth = 0
+        offset = 0
+        while True:
+            token = self.peek(offset)
+            if token.kind is TokenKind.EOF:
+                return False
+            if token.kind is TokenKind.PUNCT and token.value == "(":
+                depth += 1
+                offset += 1
+                if depth == 1:
+                    continue
+                continue
+            if depth == 1:
+                return token.is_keyword("SELECT")
+            if token.kind is TokenKind.PUNCT and token.value == ")":
+                depth -= 1
+            offset += 1
+
+    def _parse_subselect_tail(self, subquery: ast.SelectNode) -> ast.RangeSubselect:
+        base_relation = self.accept_keyword("BASERELATION")
+        alias: Optional[str] = None
+        column_aliases: tuple[str, ...] = ()
+        if self.accept_keyword("AS"):
+            alias = self._parse_label()
+        elif self.peek().kind is TokenKind.IDENT:
+            alias = self.advance().value
+        if alias is not None and self.at_punct("("):
+            # Only treat as column aliases when not a PROVENANCE clause.
+            column_aliases = self._parse_name_list()
+        provenance_attrs = self._parse_provenance_clause()
+        if not base_relation:
+            base_relation = self.accept_keyword("BASERELATION")
+        if alias is None:
+            raise ParseError("subquery in FROM must have an alias", self.peek().position)
+        return ast.RangeSubselect(
+            subquery=subquery,
+            alias=alias,
+            column_aliases=column_aliases,
+            provenance_attrs=provenance_attrs,
+            base_relation=base_relation,
+        )
+
+    def _parse_from_item_suffix(self, item: ast.RangeVar) -> None:
+        item.base_relation = self.accept_keyword("BASERELATION")
+        if self.accept_keyword("AS"):
+            item.alias = self._parse_label()
+        elif self.peek().kind is TokenKind.IDENT:
+            item.alias = self.advance().value
+        if item.alias is not None and self.at_punct("("):
+            item.column_aliases = self._parse_name_list()
+        item.provenance_attrs = self._parse_provenance_clause()
+        if not item.base_relation:
+            item.base_relation = self.accept_keyword("BASERELATION")
+
+    def _parse_provenance_clause(self) -> Optional[tuple[str, ...]]:
+        """``PROVENANCE (attr, ...)`` marking already-rewritten inputs."""
+        if not self.at_keyword("PROVENANCE"):
+            return None
+        self.advance()
+        return tuple(self._parse_name_list())
+
+    def _parse_name_list(self) -> tuple[str, ...]:
+        self.expect_punct("(")
+        names = [self.expect_ident("name")]
+        while self.accept_punct(","):
+            names.append(self.expect_ident("name"))
+        self.expect_punct(")")
+        return tuple(names)
+
+    # -- other statements --------------------------------------------------------
+
+    def parse_create(self) -> ast.Statement:
+        self.expect_keyword("CREATE")
+        if self.accept_keyword("OR"):
+            self.expect_keyword("REPLACE")
+        if self.accept_keyword("TABLE"):
+            return self.parse_create_table()
+        if self.accept_keyword("VIEW"):
+            return self.parse_create_view()
+        token = self.peek()
+        raise ParseError(f"expected TABLE or VIEW, found {token.value!r}", token.position)
+
+    def parse_create_table(self) -> ast.CreateTableStmt:
+        name = self.expect_ident("table name")
+        self.expect_punct("(")
+        columns: list[ast.ColumnDef] = []
+        primary_key: tuple[str, ...] = ()
+        while True:
+            if self.at_keyword("PRIMARY"):
+                self.advance()
+                self.expect_keyword("KEY")
+                primary_key = self._parse_name_list()
+            else:
+                col_name = self.expect_ident("column name")
+                type_name = self._parse_type_name()
+                columns.append(ast.ColumnDef(name=col_name, type_name=type_name))
+            if not self.accept_punct(","):
+                break
+        self.expect_punct(")")
+        return ast.CreateTableStmt(name=name, columns=columns, primary_key=primary_key)
+
+    def _parse_type_name(self) -> str:
+        parts: list[str] = []
+        token = self.peek()
+        if token.kind is TokenKind.IDENT or token.is_keyword("DATE", "INTERVAL"):
+            parts.append(self.advance().value)
+        else:
+            raise ParseError(f"expected type name, found {token.value!r}", token.position)
+        # multi-word type names: double precision, character varying
+        while self.peek().kind is TokenKind.IDENT and self.peek().value in ("precision", "varying"):
+            parts.append(self.advance().value)
+        if self.at_punct("("):
+            self.advance()
+            args = [self.advance().value]
+            while self.accept_punct(","):
+                args.append(self.advance().value)
+            self.expect_punct(")")
+            parts[-1] += "(" + ",".join(args) + ")"
+        return " ".join(parts)
+
+    def parse_create_view(self) -> ast.CreateViewStmt:
+        name = self.expect_ident("view name")
+        provenance_attrs: tuple[str, ...] = ()
+        if self.at_keyword("PROVENANCE"):
+            self.advance()
+            provenance_attrs = self._parse_name_list()
+        self.expect_keyword("AS")
+        start = self.peek().position
+        query = self.parse_select()
+        end = self.peek().position
+        sql_text = self.text[start:end].strip()
+        return ast.CreateViewStmt(
+            name=name, query=query, sql_text=sql_text, provenance_attrs=provenance_attrs
+        )
+
+    def parse_insert(self) -> ast.InsertStmt:
+        self.expect_keyword("INSERT")
+        self.expect_keyword("INTO")
+        table = self.expect_ident("table name")
+        columns: tuple[str, ...] = ()
+        if self.at_punct("(") and not self._paren_starts_select():
+            columns = self._parse_name_list()
+        if self.accept_keyword("VALUES"):
+            rows: list[list[ast.Expr]] = []
+            while True:
+                self.expect_punct("(")
+                row = [self.parse_expr()]
+                while self.accept_punct(","):
+                    row.append(self.parse_expr())
+                self.expect_punct(")")
+                rows.append(row)
+                if not self.accept_punct(","):
+                    break
+            return ast.InsertStmt(table=table, columns=columns, values=rows)
+        query = self.parse_select()
+        return ast.InsertStmt(table=table, columns=columns, query=query)
+
+    def parse_drop(self) -> ast.DropStmt:
+        self.expect_keyword("DROP")
+        if self.accept_keyword("TABLE"):
+            kind = "table"
+        elif self.accept_keyword("VIEW"):
+            kind = "view"
+        else:
+            token = self.peek()
+            raise ParseError(f"expected TABLE or VIEW, found {token.value!r}", token.position)
+        if_exists = False
+        if self.accept_keyword("IF"):
+            self.expect_keyword("EXISTS")
+            if_exists = True
+        name = self.expect_ident("relation name")
+        return ast.DropStmt(kind=kind, name=name, if_exists=if_exists)
+
+    # -- expressions ------------------------------------------------------------
+
+    def parse_expr(self) -> ast.Expr:
+        return self.parse_or()
+
+    def parse_or(self) -> ast.Expr:
+        left = self.parse_and()
+        if not self.at_keyword("OR"):
+            return left
+        args = [left]
+        while self.accept_keyword("OR"):
+            args.append(self.parse_and())
+        return ast.BoolOp(op="or", args=tuple(args))
+
+    def parse_and(self) -> ast.Expr:
+        left = self.parse_not()
+        if not self.at_keyword("AND"):
+            return left
+        args = [left]
+        while self.accept_keyword("AND"):
+            args.append(self.parse_not())
+        return ast.BoolOp(op="and", args=tuple(args))
+
+    def parse_not(self) -> ast.Expr:
+        if self.accept_keyword("NOT"):
+            return ast.BoolOp(op="not", args=(self.parse_not(),))
+        return self.parse_predicate()
+
+    def parse_predicate(self) -> ast.Expr:
+        left = self.parse_additive()
+        token = self.peek()
+        if token.kind is TokenKind.OPERATOR and token.value in _COMPARISON_OPS:
+            op = self.advance().value
+            if op == "!=":
+                op = "<>"
+            if self.at_keyword("ANY", "SOME", "ALL"):
+                quant = self.advance().value
+                kind = "any" if quant in ("ANY", "SOME") else "all"
+                self.expect_punct("(")
+                subquery = self.parse_select()
+                self.expect_punct(")")
+                return ast.SubLinkExpr(kind=kind, subquery=subquery, testexpr=left, operator=op)
+            right = self.parse_additive()
+            return ast.BinaryOp(op=op, left=left, right=right)
+        negated = False
+        if self.at_keyword("NOT") and self.peek(1).is_keyword("BETWEEN", "IN", "LIKE"):
+            self.advance()
+            negated = True
+        if self.accept_keyword("IS"):
+            is_not = self.accept_keyword("NOT")
+            self.expect_keyword("NULL")
+            return ast.IsNullExpr(expr=left, negated=is_not)
+        if self.accept_keyword("BETWEEN"):
+            low = self.parse_additive()
+            self.expect_keyword("AND")
+            high = self.parse_additive()
+            return ast.BetweenExpr(expr=left, low=low, high=high, negated=negated)
+        if self.accept_keyword("IN"):
+            self.expect_punct("(")
+            if self.at_keyword("SELECT"):
+                subquery = self.parse_select()
+                self.expect_punct(")")
+                # NOT IN is x <> ALL (subquery); IN is x = ANY (subquery).
+                if negated:
+                    return ast.SubLinkExpr(
+                        kind="all", subquery=subquery, testexpr=left, operator="<>"
+                    )
+                return ast.SubLinkExpr(kind="any", subquery=subquery, testexpr=left, operator="=")
+            items = [self.parse_expr()]
+            while self.accept_punct(","):
+                items.append(self.parse_expr())
+            self.expect_punct(")")
+            return ast.InListExpr(expr=left, items=tuple(items), negated=negated)
+        if self.accept_keyword("LIKE"):
+            pattern = self.parse_additive()
+            return ast.LikeExpr(expr=left, pattern=pattern, negated=negated)
+        if negated:
+            raise ParseError("dangling NOT", token.position)
+        return left
+
+    def parse_additive(self) -> ast.Expr:
+        left = self.parse_multiplicative()
+        while self.at_operator(*_ADDITIVE_OPS):
+            op = self.advance().value
+            right = self.parse_multiplicative()
+            left = ast.BinaryOp(op=op, left=left, right=right)
+        return left
+
+    def parse_multiplicative(self) -> ast.Expr:
+        left = self.parse_unary()
+        while self.at_operator(*_MULTIPLICATIVE_OPS):
+            op = self.advance().value
+            right = self.parse_unary()
+            left = ast.BinaryOp(op=op, left=left, right=right)
+        return left
+
+    def parse_unary(self) -> ast.Expr:
+        if self.at_operator("-", "+"):
+            op = self.advance().value
+            operand = self.parse_unary()
+            if op == "+":
+                return operand
+            if isinstance(operand, ast.NumberLit):
+                return ast.NumberLit(value=-operand.value)
+            return ast.UnaryOp(op="-", operand=operand)
+        return self.parse_primary()
+
+    def parse_primary(self) -> ast.Expr:
+        token = self.peek()
+        if token.kind is TokenKind.NUMBER:
+            self.advance()
+            text = token.value
+            if "." in text or "e" in text or "E" in text:
+                return ast.NumberLit(value=float(text))
+            return ast.NumberLit(value=int(text))
+        if token.kind is TokenKind.STRING:
+            self.advance()
+            return ast.StringLit(value=token.value)
+        if token.is_keyword("NULL"):
+            self.advance()
+            return ast.NullLit()
+        if token.is_keyword("TRUE"):
+            self.advance()
+            return ast.BoolLit(value=True)
+        if token.is_keyword("FALSE"):
+            self.advance()
+            return ast.BoolLit(value=False)
+        if token.is_keyword("DATE"):
+            self.advance()
+            lit = self.peek()
+            if lit.kind is not TokenKind.STRING:
+                raise ParseError("expected string after DATE", lit.position)
+            self.advance()
+            return ast.DateLit(text=lit.value)
+        if token.is_keyword("INTERVAL"):
+            self.advance()
+            lit = self.peek()
+            if lit.kind is not TokenKind.STRING:
+                raise ParseError("expected string after INTERVAL", lit.position)
+            self.advance()
+            unit_token = self.peek()
+            if unit_token.kind is not TokenKind.IDENT:
+                raise ParseError("expected interval unit", unit_token.position)
+            self.advance()
+            return ast.IntervalLit(quantity=lit.value, unit=unit_token.value)
+        if token.is_keyword("CASE"):
+            return self.parse_case()
+        if token.is_keyword("EXISTS"):
+            self.advance()
+            self.expect_punct("(")
+            subquery = self.parse_select()
+            self.expect_punct(")")
+            return ast.SubLinkExpr(kind="exists", subquery=subquery)
+        if token.is_keyword("CAST"):
+            self.advance()
+            self.expect_punct("(")
+            expr = self.parse_expr()
+            self.expect_keyword("AS")
+            type_name = self._parse_type_name()
+            self.expect_punct(")")
+            return ast.CastExpr(expr=expr, type_name=type_name)
+        if token.is_keyword("EXTRACT"):
+            self.advance()
+            self.expect_punct("(")
+            field_token = self.advance()
+            self.expect_keyword("FROM")
+            expr = self.parse_expr()
+            self.expect_punct(")")
+            return ast.ExtractExpr(fieldname=field_token.value.lower(), expr=expr)
+        if token.is_keyword("SUBSTRING"):
+            self.advance()
+            self.expect_punct("(")
+            expr = self.parse_expr()
+            if self.accept_keyword("FROM"):
+                start = self.parse_expr()
+                length = self.parse_expr() if self.accept_keyword("FOR") else None
+            else:
+                self.expect_punct(",")
+                start = self.parse_expr()
+                length = self.parse_expr() if self.accept_punct(",") else None
+            self.expect_punct(")")
+            return ast.SubstringExpr(expr=expr, start=start, length=length)
+        if self.at_punct("("):
+            if self._paren_starts_select():
+                self.advance()
+                subquery = self.parse_select()
+                self.expect_punct(")")
+                return ast.SubLinkExpr(kind="scalar", subquery=subquery)
+            self.advance()
+            expr = self.parse_expr()
+            self.expect_punct(")")
+            return expr
+        if token.kind is TokenKind.IDENT:
+            return self.parse_identifier_expr()
+        raise ParseError(f"unexpected token {token.value!r} in expression", token.position)
+
+    def parse_case(self) -> ast.CaseExpr:
+        self.expect_keyword("CASE")
+        operand: Optional[ast.Expr] = None
+        if not self.at_keyword("WHEN"):
+            operand = self.parse_expr()
+        whens: list[tuple[ast.Expr, ast.Expr]] = []
+        while self.accept_keyword("WHEN"):
+            cond = self.parse_expr()
+            self.expect_keyword("THEN")
+            result = self.parse_expr()
+            whens.append((cond, result))
+        if not whens:
+            raise ParseError("CASE requires at least one WHEN", self.peek().position)
+        default: Optional[ast.Expr] = None
+        if self.accept_keyword("ELSE"):
+            default = self.parse_expr()
+        self.expect_keyword("END")
+        return ast.CaseExpr(whens=tuple(whens), operand=operand, default=default)
+
+    def parse_identifier_expr(self) -> ast.Expr:
+        name = self.advance().value
+        if self.at_punct("("):
+            self.advance()
+            if self.at_operator("*"):
+                self.advance()
+                self.expect_punct(")")
+                return ast.FuncCall(name=name, star=True)
+            if self.at_punct(")"):
+                self.advance()
+                return ast.FuncCall(name=name)
+            distinct = self.accept_keyword("DISTINCT")
+            args = [self.parse_expr()]
+            while self.accept_punct(","):
+                args.append(self.parse_expr())
+            self.expect_punct(")")
+            return ast.FuncCall(name=name, args=tuple(args), distinct=distinct)
+        if self.at_punct(".") and not (
+            self.peek(1).kind is TokenKind.OPERATOR and self.peek(1).value == "*"
+        ):
+            self.advance()
+            column = self.expect_ident("column name")
+            return ast.ColumnRef(name=column, relation=name)
+        if self.at_punct(".") and self.peek(1).kind is TokenKind.OPERATOR:
+            # t.* in an expression position (only valid in select lists,
+            # handled by parse_res_target; reject elsewhere).
+            raise ParseError("qualified * only allowed in the select list", self.peek().position)
+        return ast.ColumnRef(name=name)

@@ -1,0 +1,94 @@
+"""Rendering of raw AST select statements back to SQL text.
+
+Primarily a debugging and documentation aid; round-tripping is not
+guaranteed to be byte-identical, only semantically equivalent.
+"""
+
+from __future__ import annotations
+
+from repro.sql import ast
+
+
+def format_select(node: ast.SelectNode) -> str:
+    if isinstance(node, ast.SetOpSelect):
+        op = node.op.upper() + (" ALL" if node.all else "")
+        text = f"({format_select(node.left)}) {op} ({format_select(node.right)})"
+        return text + _format_tail(node)
+    parts = ["SELECT"]
+    if node.provenance:
+        parts.append("PROVENANCE")
+    if node.distinct:
+        parts.append("DISTINCT")
+    targets = []
+    for target in node.target_list:
+        piece = str(target.expr)
+        if target.name:
+            piece += f" AS {target.name}"
+        targets.append(piece)
+    parts.append(", ".join(targets))
+    if node.into:
+        parts.append(f"INTO {node.into}")
+    if node.from_clause:
+        parts.append("FROM " + ", ".join(_format_from_item(f) for f in node.from_clause))
+    if node.where is not None:
+        parts.append(f"WHERE {node.where}")
+    if node.group_by:
+        parts.append("GROUP BY " + ", ".join(str(e) for e in node.group_by))
+    if node.having is not None:
+        parts.append(f"HAVING {node.having}")
+    return " ".join(parts) + _format_tail(node)
+
+
+def _format_tail(node: ast.SelectNode) -> str:
+    pieces = []
+    if node.order_by:
+        items = []
+        for sort in node.order_by:
+            item = str(sort.expr)
+            if sort.descending:
+                item += " DESC"
+            if sort.nulls_first is True:
+                item += " NULLS FIRST"
+            elif sort.nulls_first is False:
+                item += " NULLS LAST"
+            items.append(item)
+        pieces.append("ORDER BY " + ", ".join(items))
+    if node.limit is not None:
+        pieces.append(f"LIMIT {node.limit}")
+    if node.offset is not None:
+        pieces.append(f"OFFSET {node.offset}")
+    return (" " + " ".join(pieces)) if pieces else ""
+
+
+def _format_from_item(item: ast.FromItem) -> str:
+    if isinstance(item, ast.RangeVar):
+        text = item.name
+        if item.base_relation:
+            text += " BASERELATION"
+        if item.alias:
+            text += f" AS {item.alias}"
+        if item.column_aliases:
+            text += " (" + ", ".join(item.column_aliases) + ")"
+        if item.provenance_attrs is not None:
+            text += " PROVENANCE (" + ", ".join(item.provenance_attrs) + ")"
+        return text
+    if isinstance(item, ast.RangeSubselect):
+        text = f"({format_select(item.subquery)})"
+        if item.base_relation:
+            text += " BASERELATION"
+        text += f" AS {item.alias}"
+        if item.column_aliases:
+            text += " (" + ", ".join(item.column_aliases) + ")"
+        if item.provenance_attrs is not None:
+            text += " PROVENANCE (" + ", ".join(item.provenance_attrs) + ")"
+        return text
+    if isinstance(item, ast.JoinExpr):
+        join = {"inner": "JOIN", "left": "LEFT JOIN", "right": "RIGHT JOIN",
+                "full": "FULL JOIN", "cross": "CROSS JOIN"}[item.join_type]
+        text = f"{_format_from_item(item.left)} {join} {_format_from_item(item.right)}"
+        if item.condition is not None:
+            text += f" ON {item.condition}"
+        elif item.using:
+            text += " USING (" + ", ".join(item.using) + ")"
+        return text
+    raise TypeError(f"unknown from item {item!r}")

@@ -1,0 +1,53 @@
+"""Token definitions for the SQL lexer."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class TokenKind(enum.Enum):
+    IDENT = "ident"
+    KEYWORD = "keyword"
+    NUMBER = "number"
+    STRING = "string"
+    OPERATOR = "operator"
+    PUNCT = "punct"  # ( ) , ; .
+    EOF = "eof"
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokenKind
+    value: str  # keywords are upper-cased, identifiers lower-cased
+    position: int  # character offset in the source text
+
+    def is_keyword(self, *names: str) -> bool:
+        return self.kind is TokenKind.KEYWORD and self.value in names
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind.value}, {self.value!r}@{self.position})"
+
+
+# Reserved words.  Everything else lexes as an identifier, so e.g. a column
+# may be called "year" as long as it does not collide with the grammar.
+KEYWORDS = frozenset(
+    """
+    SELECT FROM WHERE GROUP BY HAVING ORDER LIMIT OFFSET AS ON USING
+    AND OR NOT IN EXISTS BETWEEN LIKE IS NULL TRUE FALSE
+    JOIN INNER LEFT RIGHT FULL OUTER CROSS NATURAL
+    UNION INTERSECT EXCEPT ALL DISTINCT ANY SOME
+    CASE WHEN THEN ELSE END CAST
+    ASC DESC NULLS FIRST LAST
+    CREATE TABLE VIEW INSERT INTO VALUES DROP IF REPLACE
+    PRIMARY KEY
+    DATE INTERVAL EXTRACT SUBSTRING FOR
+    PROVENANCE BASERELATION
+    EXPLAIN
+    """.split()
+)
+
+# Multi-character operators, longest first so the lexer is greedy.
+OPERATORS = ("<>", "!=", "<=", ">=", "||", "=", "<", ">", "+", "-", "*", "/", "%")
+
+PUNCTUATION = ("(", ")", ",", ";", ".")

@@ -1,0 +1,6 @@
+"""In-memory storage: bag-semantics relations and heap tables."""
+
+from repro.storage.relation import Relation
+from repro.storage.table import Table
+
+__all__ = ["Relation", "Table"]

@@ -1,0 +1,169 @@
+"""Bag-semantics relations.
+
+The Perm algebra (paper Fig. 1) is defined over *bags*: each tuple ``t``
+carries a multiplicity ``n``, written ``t^n`` in the paper.  This module
+provides the canonical in-memory representation used by
+
+* the formal algebra interpreter (``repro.algebra``), where multiplicities
+  are explicit, and
+* test assertions comparing query results as bags.
+
+The physical executor streams plain row tuples (a tuple appearing ``n``
+times simply occurs ``n`` times in the stream); :meth:`Relation.from_rows`
+converts such streams to the canonical counted form.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any, Iterable, Iterator, Sequence
+
+Row = tuple  # a row is a tuple of SQL values
+
+
+class Relation:
+    """An immutable bag of rows with named columns.
+
+    Rows are stored as a ``Counter`` mapping row-tuples to multiplicities.
+    Following the paper's convention, a multiplicity of zero or below means
+    the tuple is not in the relation; such entries are dropped eagerly.
+    """
+
+    __slots__ = ("columns", "_counts")
+
+    def __init__(self, columns: Sequence[str], counts: Counter | None = None) -> None:
+        self.columns: tuple[str, ...] = tuple(columns)
+        clean: Counter = Counter()
+        if counts:
+            for row, n in counts.items():
+                if n > 0:
+                    clean[row] = n
+        self._counts = clean
+
+    # -- constructors -------------------------------------------------------
+
+    @classmethod
+    def from_rows(cls, columns: Sequence[str], rows: Iterable[Sequence[Any]]) -> "Relation":
+        """Build a relation from a stream of rows (each row counted once)."""
+        counts: Counter = Counter()
+        width = len(columns)
+        for row in rows:
+            row = tuple(row)
+            if len(row) != width:
+                raise ValueError(
+                    f"row width {len(row)} does not match {width} columns {columns}"
+                )
+            counts[row] += 1
+        return cls(columns, counts)
+
+    @classmethod
+    def from_counted(
+        cls, columns: Sequence[str], counted: Iterable[tuple[Sequence[Any], int]]
+    ) -> "Relation":
+        """Build a relation from ``(row, multiplicity)`` pairs."""
+        counts: Counter = Counter()
+        for row, n in counted:
+            counts[tuple(row)] += n
+        return cls(columns, counts)
+
+    @classmethod
+    def empty(cls, columns: Sequence[str]) -> "Relation":
+        return cls(columns, Counter())
+
+    # -- bag access ---------------------------------------------------------
+
+    def multiplicity(self, row: Sequence[Any]) -> int:
+        """The multiplicity ``n`` of ``t^n``; 0 when the tuple is absent."""
+        return self._counts.get(tuple(row), 0)
+
+    def counted(self) -> Iterator[tuple[Row, int]]:
+        """Iterate ``(row, multiplicity)`` pairs."""
+        return iter(self._counts.items())
+
+    def rows(self) -> Iterator[Row]:
+        """Iterate rows with repetition according to multiplicity."""
+        for row, n in self._counts.items():
+            for _ in range(n):
+                yield row
+
+    def distinct_rows(self) -> Iterator[Row]:
+        """Iterate the distinct rows (the set-semantics projection ΠS)."""
+        return iter(self._counts.keys())
+
+    def to_set(self) -> frozenset:
+        return frozenset(self._counts.keys())
+
+    # -- size ---------------------------------------------------------------
+
+    def __len__(self) -> int:
+        """Total number of rows counting multiplicities."""
+        return sum(self._counts.values())
+
+    def distinct_count(self) -> int:
+        return len(self._counts)
+
+    def __bool__(self) -> bool:
+        return bool(self._counts)
+
+    # -- comparison ---------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        """Bag equality: same columns and same multiplicities."""
+        if not isinstance(other, Relation):
+            return NotImplemented
+        return self.columns == other.columns and self._counts == other._counts
+
+    def __hash__(self) -> int:  # pragma: no cover - relations rarely hashed
+        return hash((self.columns, frozenset(self._counts.items())))
+
+    def bag_equal(self, other: "Relation") -> bool:
+        """Bag equality ignoring column names (used by set-op tests)."""
+        return self._counts == other._counts
+
+    def set_equal(self, other: "Relation") -> bool:
+        """Set equality ignoring multiplicities (the paper's ΠS_T(T+) = ΠS_T(T))."""
+        return self.to_set() == other.to_set()
+
+    # -- helpers used by the algebra interpreter ----------------------------
+
+    def column_index(self, name: str) -> int:
+        try:
+            return self.columns.index(name)
+        except ValueError:
+            raise KeyError(f"no column {name!r} in {self.columns}") from None
+
+    def project_columns(self, names: Sequence[str]) -> "Relation":
+        """Bag projection onto a list of existing columns (no renaming)."""
+        idx = [self.column_index(n) for n in names]
+        counts: Counter = Counter()
+        for row, n in self._counts.items():
+            counts[tuple(row[i] for i in idx)] += n
+        return Relation(names, counts)
+
+    def rename(self, new_columns: Sequence[str]) -> "Relation":
+        if len(new_columns) != len(self.columns):
+            raise ValueError("rename requires the same number of columns")
+        return Relation(new_columns, self._counts)
+
+    def __repr__(self) -> str:
+        return f"Relation({list(self.columns)!r}, {len(self)} rows)"
+
+    def pretty(self, limit: int = 20) -> str:
+        """A small fixed-width rendering for examples and debugging."""
+        from repro.datatypes import format_value
+
+        header = list(self.columns)
+        body = [[format_value(v) for v in row] for row in list(self.rows())[:limit]]
+        widths = [len(h) for h in header]
+        for row in body:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = [
+            " | ".join(h.ljust(w) for h, w in zip(header, widths)),
+            "-+-".join("-" * w for w in widths),
+        ]
+        lines += [" | ".join(c.ljust(w) for c, w in zip(row, widths)) for row in body]
+        extra = len(self) - len(body)
+        if extra > 0:
+            lines.append(f"... ({extra} more rows)")
+        return "\n".join(lines)

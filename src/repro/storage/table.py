@@ -1,0 +1,73 @@
+"""Heap tables: the mutable storage behind catalog relations.
+
+A :class:`Table` owns a list of row tuples plus its schema.  It is the
+physical object scanned by the executor and the object INSERT/SELECT INTO
+write into.  Duplicate rows are naturally represented by repetition, which
+matches the bag semantics of the Perm algebra.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, Sequence
+
+from repro.catalog.schema import TableSchema
+from repro.errors import ExecutionError
+from repro.storage.relation import Relation
+
+
+class Table:
+    """A named heap of rows conforming to a :class:`TableSchema`."""
+
+    def __init__(self, schema: TableSchema, rows: Iterable[Sequence[Any]] | None = None) -> None:
+        self.schema = schema
+        self._rows: list[tuple] = []
+        if rows is not None:
+            self.insert_many(rows)
+
+    @property
+    def name(self) -> str:
+        return self.schema.name
+
+    @property
+    def column_names(self) -> tuple[str, ...]:
+        return self.schema.column_names
+
+    def insert(self, row: Sequence[Any]) -> None:
+        """Insert one row, validating width and (cheaply) types."""
+        row = tuple(row)
+        if len(row) != len(self.schema.columns):
+            raise ExecutionError(
+                f"INSERT into {self.name}: row has {len(row)} values, "
+                f"table has {len(self.schema.columns)} columns"
+            )
+        self._rows.append(row)
+
+    def insert_many(self, rows: Iterable[Sequence[Any]]) -> int:
+        count = 0
+        for row in rows:
+            self.insert(row)
+            count += 1
+        return count
+
+    def truncate(self) -> None:
+        self._rows.clear()
+
+    def scan(self) -> Iterator[tuple]:
+        """Iterate the stored rows (the executor's SeqScan source)."""
+        return iter(self._rows)
+
+    def raw_rows(self) -> list[tuple]:
+        """Direct access to the row list; used by scans for speed."""
+        return self._rows
+
+    def row_count(self) -> int:
+        return len(self._rows)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def to_relation(self) -> Relation:
+        return Relation.from_rows(self.column_names, self._rows)
+
+    def __repr__(self) -> str:
+        return f"Table({self.name!r}, {len(self._rows)} rows)"

@@ -1,0 +1,21 @@
+"""TPC-H substrate: schema, data generator and query generator.
+
+The paper evaluates Perm on the TPC-H decision-support benchmark
+(section V).  Since the official ``dbgen``/``qgen`` binaries are not
+available offline, this package implements a pure-Python equivalent that
+preserves the schema, the column value distributions and the random
+query parameter substitution, at laptop-sized scale factors.
+"""
+
+from repro.tpch.dbgen import generate, load_into
+from repro.tpch.queries import SUPPORTED_QUERIES, UNSUPPORTED_QUERIES, query_template
+from repro.tpch.qgen import generate_query
+
+__all__ = [
+    "generate",
+    "load_into",
+    "SUPPORTED_QUERIES",
+    "UNSUPPORTED_QUERIES",
+    "query_template",
+    "generate_query",
+]

@@ -1,0 +1,269 @@
+"""Deterministic TPC-H data generator (dbgen equivalent).
+
+Row counts follow the specification's scaling rules::
+
+    supplier = SF * 10_000        customer = SF * 150_000
+    part     = SF * 200_000       orders   = SF * 1_500_000
+    partsupp = 4 * part           lineitem = 1..7 lines per order
+
+Value distributions preserve what the benchmark queries select on:
+uniform dates in [1992-01-01, 1998-08-02], discounts in [0, 0.10],
+quantities in [1, 50], the five market segments, the seven ship modes,
+and the comment patterns used by Q13 and Q16.  Everything is generated
+from a seeded ``random.Random``, so a (scale_factor, seed) pair always
+yields the same database -- benchmark configurations are reproducible.
+"""
+
+from __future__ import annotations
+
+import datetime
+import random
+from dataclasses import dataclass, field
+
+from repro.database import PermDatabase
+from repro.tpch import text_pools as pools
+from repro.tpch.schema import ALL_SCHEMAS
+
+START_DATE = datetime.date(1992, 1, 1)
+END_DATE = datetime.date(1998, 8, 2)
+CURRENT_DATE = datetime.date(1995, 6, 17)
+
+_DATE_RANGE_DAYS = (END_DATE - START_DATE).days
+
+
+@dataclass
+class TPCHData:
+    """All eight generated tables, as lists of row tuples."""
+
+    scale_factor: float
+    seed: int
+    region: list[tuple] = field(default_factory=list)
+    nation: list[tuple] = field(default_factory=list)
+    supplier: list[tuple] = field(default_factory=list)
+    part: list[tuple] = field(default_factory=list)
+    partsupp: list[tuple] = field(default_factory=list)
+    customer: list[tuple] = field(default_factory=list)
+    orders: list[tuple] = field(default_factory=list)
+    lineitem: list[tuple] = field(default_factory=list)
+
+    def tables(self) -> dict[str, list[tuple]]:
+        return {
+            "region": self.region,
+            "nation": self.nation,
+            "supplier": self.supplier,
+            "part": self.part,
+            "partsupp": self.partsupp,
+            "customer": self.customer,
+            "orders": self.orders,
+            "lineitem": self.lineitem,
+        }
+
+    def total_rows(self) -> int:
+        return sum(len(rows) for rows in self.tables().values())
+
+
+def _comment(rng: random.Random, min_words: int = 4, max_words: int = 10) -> str:
+    count = rng.randint(min_words, max_words)
+    return " ".join(rng.choice(pools.COMMENT_WORDS) for _ in range(count))
+
+
+def _phone(rng: random.Random, nationkey: int) -> str:
+    return (
+        f"{10 + nationkey}-{rng.randint(100, 999)}-"
+        f"{rng.randint(100, 999)}-{rng.randint(1000, 9999)}"
+    )
+
+
+def _random_date(rng: random.Random) -> datetime.date:
+    return START_DATE + datetime.timedelta(days=rng.randint(0, _DATE_RANGE_DAYS))
+
+
+def generate(scale_factor: float = 0.001, seed: int = 42) -> TPCHData:
+    """Generate a TPC-H database at the given scale factor."""
+    rng = random.Random(seed)
+    data = TPCHData(scale_factor=scale_factor, seed=seed)
+
+    n_supplier = max(int(scale_factor * 10_000), 3)
+    n_part = max(int(scale_factor * 200_000), 10)
+    n_customer = max(int(scale_factor * 150_000), 10)
+    n_orders = max(int(scale_factor * 1_500_000), 30)
+
+    # region / nation: fixed 5 + 25 rows.
+    for key, name in enumerate(pools.REGIONS):
+        data.region.append((key, name, _comment(rng)))
+    for key, (name, regionkey) in enumerate(pools.NATIONS):
+        data.nation.append((key, name, regionkey, _comment(rng)))
+
+    # supplier; ~5 per 10000 get the Q16 complaints pattern.
+    for key in range(1, n_supplier + 1):
+        nationkey = rng.randrange(25)
+        comment = _comment(rng, 6, 12)
+        roll = rng.random()
+        if roll < 0.0005 or (n_supplier <= 100 and roll < 0.05):
+            comment = f"{comment} Customer {_comment(rng, 1, 2)} Complaints {comment}"
+        data.supplier.append(
+            (
+                key,
+                f"Supplier#{key:09d}",
+                _comment(rng, 2, 3),
+                nationkey,
+                _phone(rng, nationkey),
+                round(rng.uniform(-999.99, 9999.99), 2),
+                comment,
+            )
+        )
+
+    # part / partsupp.
+    for key in range(1, n_part + 1):
+        name = " ".join(rng.sample(pools.P_NAME_WORDS, 5))
+        mfgr_id = rng.randint(1, 5)
+        brand_id = rng.randint(1, 5)
+        part_type = (
+            f"{rng.choice(pools.TYPE_SYLLABLE_1)} "
+            f"{rng.choice(pools.TYPE_SYLLABLE_2)} "
+            f"{rng.choice(pools.TYPE_SYLLABLE_3)}"
+        )
+        retail = round(
+            (90000 + (key % 20001) * 100 / 2000.0 + 100 * (key % 1000)) / 100.0, 2
+        )
+        data.part.append(
+            (
+                key,
+                name,
+                f"Manufacturer#{mfgr_id}",
+                f"Brand#{mfgr_id}{brand_id}",
+                part_type,
+                rng.randint(1, 50),
+                f"{rng.choice(pools.CONTAINER_SYLLABLE_1)} "
+                f"{rng.choice(pools.CONTAINER_SYLLABLE_2)}",
+                retail,
+                _comment(rng, 2, 5),
+            )
+        )
+        for supplier_offset in range(4):
+            suppkey = (
+                (key + supplier_offset * (n_supplier // 4 + 1)) % n_supplier
+            ) + 1
+            data.partsupp.append(
+                (
+                    key,
+                    suppkey,
+                    rng.randint(1, 9999),
+                    round(rng.uniform(1.0, 1000.0), 2),
+                    _comment(rng, 10, 20),
+                )
+            )
+
+    # customer.
+    for key in range(1, n_customer + 1):
+        nationkey = rng.randrange(25)
+        data.customer.append(
+            (
+                key,
+                f"Customer#{key:09d}",
+                _comment(rng, 2, 3),
+                nationkey,
+                _phone(rng, nationkey),
+                round(rng.uniform(-999.99, 9999.99), 2),
+                rng.choice(pools.SEGMENTS),
+                _comment(rng, 6, 12),
+            )
+        )
+
+    # orders / lineitem.
+    part_retail = {row[0]: row[7] for row in data.part}
+    part_suppliers: dict[int, list[int]] = {}
+    for row in data.partsupp:
+        part_suppliers.setdefault(row[0], []).append(row[1])
+
+    line_counter = 0
+    for key in range(1, n_orders + 1):
+        custkey = rng.randint(1, n_customer)
+        orderdate = START_DATE + datetime.timedelta(
+            days=rng.randint(0, _DATE_RANGE_DAYS - 151)
+        )
+        comment = _comment(rng, 5, 12)
+        if rng.random() < 0.01:
+            comment = f"{comment} special{_comment(rng, 1, 2)}requests {comment}"
+        n_lines = rng.randint(1, 7)
+        total = 0.0
+        lines: list[tuple] = []
+        all_f = True
+        any_f = False
+        for line_number in range(1, n_lines + 1):
+            partkey = rng.randint(1, n_part)
+            suppkey = rng.choice(part_suppliers[partkey])
+            quantity = float(rng.randint(1, 50))
+            extended = round(quantity * part_retail[partkey], 2)
+            discount = rng.randint(0, 10) / 100.0
+            tax = rng.randint(0, 8) / 100.0
+            shipdate = orderdate + datetime.timedelta(days=rng.randint(1, 121))
+            commitdate = orderdate + datetime.timedelta(days=rng.randint(30, 90))
+            receiptdate = shipdate + datetime.timedelta(days=rng.randint(1, 30))
+            if receiptdate <= CURRENT_DATE:
+                returnflag = "R" if rng.random() < 0.5 else "A"
+            else:
+                returnflag = "N"
+            linestatus = "F" if shipdate <= CURRENT_DATE else "O"
+            if linestatus == "F":
+                any_f = True
+            else:
+                all_f = False
+            total += extended * (1 + tax) * (1 - discount)
+            lines.append(
+                (
+                    key,
+                    partkey,
+                    suppkey,
+                    line_number,
+                    quantity,
+                    extended,
+                    discount,
+                    tax,
+                    returnflag,
+                    linestatus,
+                    shipdate,
+                    commitdate,
+                    receiptdate,
+                    rng.choice(pools.SHIP_INSTRUCTIONS),
+                    rng.choice(pools.SHIP_MODES),
+                    _comment(rng, 2, 6),
+                )
+            )
+            line_counter += 1
+        if all_f:
+            status = "F"
+        elif any_f:
+            status = "P"
+        else:
+            status = "O"
+        data.orders.append(
+            (
+                key,
+                custkey,
+                status,
+                round(total, 2),
+                orderdate,
+                rng.choice(pools.PRIORITIES),
+                f"Clerk#{rng.randint(1, max(n_orders // 1000, 1)):09d}",
+                0,
+                comment,
+            )
+        )
+        data.lineitem.extend(lines)
+    return data
+
+
+def load_into(db: PermDatabase, data: TPCHData) -> None:
+    """Create the TPC-H schema in ``db`` and load the generated rows."""
+    for schema in ALL_SCHEMAS:
+        db.create_table(schema)
+    for name, rows in data.tables().items():
+        db.load_table(name, rows)
+
+
+def tpch_database(scale_factor: float = 0.001, seed: int = 42) -> PermDatabase:
+    """Convenience: a fresh database pre-loaded with TPC-H data."""
+    db = PermDatabase()
+    load_into(db, generate(scale_factor, seed))
+    return db

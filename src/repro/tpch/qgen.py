@@ -1,0 +1,155 @@
+"""Random query parameter substitution (qgen equivalent).
+
+The paper generated "a set of 100 versions for each benchmark query" with
+the TPC-H query generator; this module reproduces that: parameter ranges
+follow the specification's per-query substitution rules, driven by a
+seeded RNG so workloads are reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.tpch import text_pools as pools
+from repro.tpch.queries import query_template
+
+_NATION_NAMES = [name for name, _ in pools.NATIONS]
+
+_COLORS = [
+    "green", "red", "blue", "brown", "pink", "ivory", "azure", "navy",
+    "olive", "peach", "plum", "salmon", "wheat",
+]
+
+_Q13_WORD1 = ["special", "pending", "unusual", "express"]
+_Q13_WORD2 = ["packages", "requests", "accounts", "deposits"]
+
+
+def _random_date(rng: random.Random, year_lo: int, year_hi: int, month_hi: int = 12) -> str:
+    year = rng.randint(year_lo, year_hi)
+    month = rng.randint(1, month_hi)
+    return f"{year:04d}-{month:02d}-01"
+
+
+def generate_parameters(number: int, rng: random.Random) -> dict:
+    """Spec-conformant random parameters for one query."""
+    if number == 1:
+        return {"delta": rng.randint(60, 120)}
+    if number == 3:
+        return {
+            "segment": rng.choice(pools.SEGMENTS),
+            "date": f"1995-03-{rng.randint(1, 28):02d}",
+        }
+    if number == 5:
+        return {
+            "region": rng.choice(pools.REGIONS),
+            "date": f"{rng.randint(1993, 1997)}-01-01",
+        }
+    if number == 6:
+        return {
+            "date": f"{rng.randint(1993, 1997)}-01-01",
+            "discount": f"0.0{rng.randint(2, 9)}",
+            "quantity": rng.choice([24, 25]),
+        }
+    if number == 7:
+        nation1, nation2 = rng.sample(_NATION_NAMES, 2)
+        return {"nation1": nation1, "nation2": nation2}
+    if number == 8:
+        nation = rng.choice(_NATION_NAMES)
+        region = pools.REGIONS[dict(pools.NATIONS)[nation]]
+        part_type = (
+            f"{rng.choice(pools.TYPE_SYLLABLE_1)} "
+            f"{rng.choice(pools.TYPE_SYLLABLE_2)} "
+            f"{rng.choice(pools.TYPE_SYLLABLE_3)}"
+        )
+        return {"nation": nation, "region": region, "type": part_type}
+    if number == 9:
+        return {"color": rng.choice(_COLORS)}
+    if number == 10:
+        return {"date": _random_date(rng, 1993, 1994)}
+    if number == 11:
+        # The spec divides by SF; small scale factors keep more groups.
+        return {"nation": rng.choice(_NATION_NAMES), "fraction": "0.0001"}
+    if number == 12:
+        mode1, mode2 = rng.sample(pools.SHIP_MODES, 2)
+        return {
+            "mode1": mode1,
+            "mode2": mode2,
+            "date": f"{rng.randint(1993, 1997)}-01-01",
+        }
+    if number == 13:
+        return {"word1": rng.choice(_Q13_WORD1), "word2": rng.choice(_Q13_WORD2)}
+    if number == 14:
+        return {"date": _random_date(rng, 1993, 1997)}
+    if number == 15:
+        return {"date": _random_date(rng, 1993, 1997, month_hi=10)}
+    if number == 16:
+        sizes = rng.sample(range(1, 51), 8)
+        return {
+            "brand": f"Brand#{rng.randint(1, 5)}{rng.randint(1, 5)}",
+            "type": f"{rng.choice(pools.TYPE_SYLLABLE_1)} "
+                    f"{rng.choice(pools.TYPE_SYLLABLE_2)}",
+            **{f"size{i + 1}": size for i, size in enumerate(sizes)},
+        }
+    if number == 19:
+        return {
+            "brand1": f"Brand#{rng.randint(1, 5)}{rng.randint(1, 5)}",
+            "brand2": f"Brand#{rng.randint(1, 5)}{rng.randint(1, 5)}",
+            "brand3": f"Brand#{rng.randint(1, 5)}{rng.randint(1, 5)}",
+            "quantity1": rng.randint(1, 10),
+            "quantity2": rng.randint(10, 20),
+            "quantity3": rng.randint(20, 30),
+        }
+    # Queries outside the paper's supported set (still executable normally).
+    if number == 2:
+        return {
+            "size": rng.randint(1, 50),
+            "type": rng.choice(pools.TYPE_SYLLABLE_3),
+            "region": rng.choice(pools.REGIONS),
+        }
+    if number == 4:
+        return {"date": _random_date(rng, 1993, 1997, month_hi=10)}
+    if number == 17:
+        return {
+            "brand": f"Brand#{rng.randint(1, 5)}{rng.randint(1, 5)}",
+            "container": f"{rng.choice(pools.CONTAINER_SYLLABLE_1)} "
+                         f"{rng.choice(pools.CONTAINER_SYLLABLE_2)}",
+        }
+    if number == 18:
+        return {"quantity": rng.randint(312, 315)}
+    if number == 20:
+        return {
+            "color": rng.choice(_COLORS),
+            "date": f"{rng.randint(1993, 1997)}-01-01",
+            "nation": rng.choice(_NATION_NAMES),
+        }
+    if number == 21:
+        return {"nation": rng.choice(_NATION_NAMES)}
+    if number == 22:
+        codes = rng.sample(range(10, 35), 7)
+        return {f"c{i + 1}": str(code) for i, code in enumerate(codes)}
+    raise KeyError(f"no parameter rules for TPC-H Q{number}")
+
+
+def generate_query(
+    number: int, seed: int = 0, provenance: bool = False
+) -> str:
+    """One randomized instance of a TPC-H query.
+
+    With ``provenance=True`` the SQL-PLE PROVENANCE keyword is injected
+    into the outermost select-clause.
+    """
+    rng = random.Random(seed * 1000 + number)
+    sql = query_template(number).format(**generate_parameters(number, rng))
+    if provenance:
+        sql = sql.replace("SELECT", "SELECT PROVENANCE", 1)
+    return sql
+
+
+def generate_workload(
+    number: int, versions: int, provenance: bool = False, seed: int = 0
+) -> list[str]:
+    """A set of randomized versions of one query (paper: 100 versions)."""
+    return [
+        generate_query(number, seed=seed + i, provenance=provenance)
+        for i in range(versions)
+    ]

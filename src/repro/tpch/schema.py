@@ -1,0 +1,122 @@
+"""The eight-table TPC-H schema (TPC-H specification rev. 2.x, §1.4)."""
+
+from __future__ import annotations
+
+from repro.catalog.schema import TableSchema
+from repro.datatypes import SQLType
+
+I = SQLType.INTEGER
+F = SQLType.FLOAT
+T = SQLType.TEXT
+D = SQLType.DATE
+
+
+REGION = TableSchema.of(
+    "region",
+    [("r_regionkey", I), ("r_name", T), ("r_comment", T)],
+    primary_key=["r_regionkey"],
+)
+
+NATION = TableSchema.of(
+    "nation",
+    [("n_nationkey", I), ("n_name", T), ("n_regionkey", I), ("n_comment", T)],
+    primary_key=["n_nationkey"],
+)
+
+SUPPLIER = TableSchema.of(
+    "supplier",
+    [
+        ("s_suppkey", I),
+        ("s_name", T),
+        ("s_address", T),
+        ("s_nationkey", I),
+        ("s_phone", T),
+        ("s_acctbal", F),
+        ("s_comment", T),
+    ],
+    primary_key=["s_suppkey"],
+)
+
+PART = TableSchema.of(
+    "part",
+    [
+        ("p_partkey", I),
+        ("p_name", T),
+        ("p_mfgr", T),
+        ("p_brand", T),
+        ("p_type", T),
+        ("p_size", I),
+        ("p_container", T),
+        ("p_retailprice", F),
+        ("p_comment", T),
+    ],
+    primary_key=["p_partkey"],
+)
+
+PARTSUPP = TableSchema.of(
+    "partsupp",
+    [
+        ("ps_partkey", I),
+        ("ps_suppkey", I),
+        ("ps_availqty", I),
+        ("ps_supplycost", F),
+        ("ps_comment", T),
+    ],
+    primary_key=["ps_partkey", "ps_suppkey"],
+)
+
+CUSTOMER = TableSchema.of(
+    "customer",
+    [
+        ("c_custkey", I),
+        ("c_name", T),
+        ("c_address", T),
+        ("c_nationkey", I),
+        ("c_phone", T),
+        ("c_acctbal", F),
+        ("c_mktsegment", T),
+        ("c_comment", T),
+    ],
+    primary_key=["c_custkey"],
+)
+
+ORDERS = TableSchema.of(
+    "orders",
+    [
+        ("o_orderkey", I),
+        ("o_custkey", I),
+        ("o_orderstatus", T),
+        ("o_totalprice", F),
+        ("o_orderdate", D),
+        ("o_orderpriority", T),
+        ("o_clerk", T),
+        ("o_shippriority", I),
+        ("o_comment", T),
+    ],
+    primary_key=["o_orderkey"],
+)
+
+LINEITEM = TableSchema.of(
+    "lineitem",
+    [
+        ("l_orderkey", I),
+        ("l_partkey", I),
+        ("l_suppkey", I),
+        ("l_linenumber", I),
+        ("l_quantity", F),
+        ("l_extendedprice", F),
+        ("l_discount", F),
+        ("l_tax", F),
+        ("l_returnflag", T),
+        ("l_linestatus", T),
+        ("l_shipdate", D),
+        ("l_commitdate", D),
+        ("l_receiptdate", D),
+        ("l_shipinstruct", T),
+        ("l_shipmode", T),
+        ("l_comment", T),
+    ],
+    primary_key=["l_orderkey", "l_linenumber"],
+)
+
+ALL_SCHEMAS = [REGION, NATION, SUPPLIER, PART, PARTSUPP, CUSTOMER, ORDERS, LINEITEM]

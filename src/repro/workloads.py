@@ -1,0 +1,133 @@
+"""Artificial query generators for the paper's section V-B experiments.
+
+* :func:`setop_queries` -- random set-operation trees over selections on
+  ``part`` (Fig. 12); union/intersection only, as in the paper, to avoid
+  the exponential result growth of chained set-difference.
+* :func:`spj_queries` -- random SPJ trees with ``numSub`` leaf subqueries
+  (Fig. 13).
+* :func:`aggregation_chain` -- ``agg`` stacked aggregation operations,
+  each grouping on the primary key divided by ``numGrp = agg-th root of
+  |part|`` (Fig. 14).
+* :func:`selection_queries` -- simple primary-key range selections on
+  ``supplier`` (the Fig. 15 Trio comparison workload).
+"""
+
+from __future__ import annotations
+
+import random
+
+
+def _key_range(rng: random.Random, max_key: int, span_fraction: float = 0.2) -> tuple[int, int]:
+    span = max(int(max_key * span_fraction), 1)
+    low = rng.randint(1, max(max_key - span, 1))
+    return low, low + rng.randint(1, span)
+
+
+def setop_queries(
+    num_setops: int,
+    count: int,
+    max_partkey: int,
+    seed: int = 0,
+    provenance: bool = False,
+    operator: str | None = None,
+) -> list[str]:
+    """Random set-operation trees with ``num_setops`` leaf selections.
+
+    ``operator`` fixes every internal node to UNION or INTERSECT
+    (homogeneous trees, used by the set-op strategy ablation); by default
+    operators are chosen per node, as in the paper's Fig. 12 workload.
+    """
+    rng = random.Random(seed)
+    queries = []
+    for _ in range(count):
+        sql = _random_setop_tree(rng, num_setops, max_partkey, operator)
+        if provenance:
+            sql = sql.replace("SELECT", "SELECT PROVENANCE", 1)
+        queries.append(sql)
+    return queries
+
+
+def _part_selection(rng: random.Random, max_partkey: int) -> str:
+    low, high = _key_range(rng, max_partkey)
+    return (
+        "SELECT p_partkey, p_name, p_retailprice FROM part "
+        f"WHERE p_partkey >= {low} AND p_partkey <= {high}"
+    )
+
+
+def _random_setop_tree(
+    rng: random.Random, leaves: int, max_partkey: int, operator: str | None = None
+) -> str:
+    if leaves == 1:
+        return _part_selection(rng, max_partkey)
+    split = rng.randint(1, leaves - 1)
+    left = _random_setop_tree(rng, split, max_partkey, operator)
+    right = _random_setop_tree(rng, leaves - split, max_partkey, operator)
+    op = operator or rng.choice(["UNION", "INTERSECT"])
+    return f"({left}) {op} ({right})"
+
+
+def spj_queries(
+    num_sub: int, count: int, max_partkey: int, seed: int = 0, provenance: bool = False
+) -> list[str]:
+    """Random SPJ trees with ``num_sub`` leaf subqueries joined on the key."""
+    rng = random.Random(seed)
+    queries = []
+    for _ in range(count):
+        sql = _random_spj_tree(rng, num_sub, max_partkey)
+        if provenance:
+            sql = sql.replace("SELECT", "SELECT PROVENANCE", 1)
+        queries.append(sql)
+    return queries
+
+
+def _random_spj_tree(rng: random.Random, leaves: int, max_partkey: int) -> str:
+    if leaves == 1:
+        low, high = _key_range(rng, max_partkey, span_fraction=0.5)
+        return (
+            "SELECT p_partkey AS k, p_retailprice AS v FROM part "
+            f"WHERE p_partkey >= {low} AND p_partkey <= {high}"
+        )
+    split = rng.randint(1, leaves - 1)
+    left = _random_spj_tree(rng, split, max_partkey)
+    right = _random_spj_tree(rng, leaves - split, max_partkey)
+    return (
+        f"SELECT a.k AS k, a.v + b.v AS v FROM ({left}) AS a, ({right}) AS b "
+        "WHERE a.k = b.k"
+    )
+
+
+def aggregation_chain(depth: int, part_count: int, provenance: bool = False) -> str:
+    """``depth`` stacked aggregations over ``part`` (paper section V-B.3).
+
+    Each level groups on the key divided by ``numGrp`` so every level
+    performs roughly the same number of aggregate computations.
+    """
+    num_grp = max(round(part_count ** (1.0 / depth)), 2)
+    sql = "SELECT p_partkey AS k, p_retailprice AS v FROM part"
+    for _ in range(depth):
+        sql = (
+            f"SELECT k / {num_grp} AS k, sum(v) AS v "
+            f"FROM ({sql}) AS t GROUP BY k / {num_grp}"
+        )
+    if provenance:
+        sql = sql.replace("SELECT", "SELECT PROVENANCE", 1)
+    return sql
+
+
+def selection_queries(
+    count: int, max_suppkey: int, seed: int = 0, provenance: bool = False
+) -> list[str]:
+    """Simple key-range selections on supplier (Fig. 15 workload)."""
+    rng = random.Random(seed)
+    queries = []
+    for _ in range(count):
+        low, high = _key_range(rng, max_suppkey)
+        sql = (
+            "SELECT s_suppkey, s_name, s_acctbal FROM supplier "
+            f"WHERE s_suppkey >= {low} AND s_suppkey <= {high}"
+        )
+        if provenance:
+            sql = sql.replace("SELECT", "SELECT PROVENANCE", 1)
+        queries.append(sql)
+    return queries

@@ -1,0 +1,213 @@
+"""Direct interpreter tests against the Fig. 1 operator definitions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algebra import (
+    Aggregate,
+    AggSpec,
+    Attr,
+    BagDifference,
+    BagIntersection,
+    BagProject,
+    BagUnion,
+    BaseRelation,
+    Cmp,
+    Cross,
+    Join,
+    Lit,
+    Select,
+    SetDifference,
+    SetIntersection,
+    SetProject,
+    SetUnion,
+    evaluate,
+)
+from repro.algebra.evaluate import AlgebraError
+from repro.algebra.expr import attr_equal
+from repro.storage.relation import Relation
+
+
+def rel(columns, counted):
+    return Relation.from_counted(columns, counted)
+
+
+R = BaseRelation("r", ["a", "b"])
+S = BaseRelation("s", ["c"])
+
+
+@pytest.fixture
+def db():
+    return {
+        "r": rel(["a", "b"], [((1, "x"), 2), ((2, "y"), 1)]),
+        "s": rel(["c"], [((1,), 1), ((3,), 2)]),
+    }
+
+
+def test_base_relation_renames_to_reference_schema(db):
+    result = evaluate(BaseRelation("r", ["p", "q"]), db)
+    assert result.columns == ("p", "q")
+    assert result.multiplicity((1, "x")) == 2
+
+
+def test_base_relation_arity_mismatch(db):
+    with pytest.raises(AlgebraError):
+        evaluate(BaseRelation("r", ["only_one"]), db)
+
+
+def test_missing_relation(db):
+    with pytest.raises(AlgebraError):
+        evaluate(BaseRelation("zzz", ["a"]), db)
+
+
+def test_selection_keeps_multiplicities(db):
+    result = evaluate(Select(R, Cmp("=", Attr("a"), Lit(1))), db)
+    assert result.multiplicity((1, "x")) == 2
+    assert len(result) == 2
+
+
+def test_selection_null_condition_filters(db):
+    db["r"] = rel(["a", "b"], [((None, "n"), 1), ((1, "x"), 1)])
+    result = evaluate(Select(R, Cmp("=", Attr("a"), Lit(1))), db)
+    assert result.to_set() == {(1, "x")}
+
+
+def test_bag_projection_sums_multiplicities(db):
+    result = evaluate(BagProject(R, [(Attr("b"), "b")]), db)
+    assert result.multiplicity(("x",)) == 2
+    assert result.multiplicity(("y",)) == 1
+
+
+def test_set_projection_deduplicates(db):
+    result = evaluate(SetProject(R, [(Attr("b"), "b")]), db)
+    assert result.multiplicity(("x",)) == 1
+
+
+def test_projection_computes_expressions(db):
+    from repro.algebra.expr import BinOp
+
+    result = evaluate(BagProject(R, [(BinOp("*", Attr("a"), Lit(10)), "a10")]), db)
+    assert result.multiplicity((10,)) == 2
+
+
+def test_cross_multiplies_multiplicities(db):
+    result = evaluate(Cross(R, S), db)
+    assert result.multiplicity((1, "x", 3)) == 4  # 2 * 2
+    assert len(result) == 9
+
+
+def test_cross_schema_overlap_rejected(db):
+    with pytest.raises(AlgebraError, match="overlap"):
+        evaluate(Cross(R, BaseRelation("r", ["a", "b"])), db)
+
+
+def test_inner_join(db):
+    result = evaluate(Join(R, S, attr_equal("a", "c"), "inner"), db)
+    assert result.to_set() == {(1, "x", 1)}
+    assert result.multiplicity((1, "x", 1)) == 2
+
+
+def test_left_join_null_extends_with_multiplicity(db):
+    result = evaluate(Join(R, S, attr_equal("a", "c"), "left"), db)
+    assert result.multiplicity((2, "y", None)) == 1
+    assert result.multiplicity((1, "x", 1)) == 2
+
+
+def test_right_and_full_joins(db):
+    right = evaluate(Join(R, S, attr_equal("a", "c"), "right"), db)
+    assert right.multiplicity((None, None, 3)) == 2
+    full = evaluate(Join(R, S, attr_equal("a", "c"), "full"), db)
+    assert full.multiplicity((2, "y", None)) == 1
+    assert full.multiplicity((None, None, 3)) == 2
+
+
+def test_aggregation_groups_and_multiplicity_aware_sums(db):
+    agg = Aggregate(R, ["b"], [AggSpec("sum", Attr("a"), "s"), AggSpec("count", None, "n")])
+    result = evaluate(agg, db)
+    # (1,'x') has multiplicity 2: sum = 2, count = 2.
+    assert result.multiplicity(("x", 2, 2)) == 1
+    assert result.multiplicity(("y", 2, 1)) == 1
+
+
+def test_grand_aggregate_empty_input(db):
+    empty = Select(R, Lit(False))
+    result = evaluate(Aggregate(empty, [], [AggSpec("sum", Attr("a"), "s")]), db)
+    assert list(result.rows()) == [(None,)]
+
+
+def test_grouped_aggregate_empty_input(db):
+    empty = Select(R, Lit(False))
+    result = evaluate(Aggregate(empty, ["b"], [AggSpec("count", None, "n")]), db)
+    assert len(result) == 0
+
+
+def test_aggregate_min_max_avg(db):
+    agg = Aggregate(
+        R,
+        [],
+        [
+            AggSpec("min", Attr("a"), "lo"),
+            AggSpec("max", Attr("a"), "hi"),
+            AggSpec("avg", Attr("a"), "mean"),
+        ],
+    )
+    result = evaluate(agg, db)
+    # values: 1 (x2), 2 (x1) -> avg = 4/3.
+    assert list(result.rows()) == [(1, 2, pytest.approx(4 / 3))]
+
+
+def test_set_union(db):
+    two = {"x": rel(["a"], [((1,), 2), ((2,), 1)]), "y": rel(["a"], [((2,), 3)])}
+    result = evaluate(SetUnion(BaseRelation("x", ["a"]), BaseRelation("y", ["a"])), two)
+    assert result == rel(["a"], [((1,), 1), ((2,), 1)])
+
+
+def test_bag_union_adds(db):
+    two = {"x": rel(["a"], [((1,), 2)]), "y": rel(["a"], [((1,), 3)])}
+    result = evaluate(BagUnion(BaseRelation("x", ["a"]), BaseRelation("y", ["a"])), two)
+    assert result.multiplicity((1,)) == 5
+
+
+def test_bag_intersection_min(db):
+    two = {"x": rel(["a"], [((1,), 2), ((2,), 1)]), "y": rel(["a"], [((1,), 1)])}
+    result = evaluate(
+        BagIntersection(BaseRelation("x", ["a"]), BaseRelation("y", ["a"])), two
+    )
+    assert result == rel(["a"], [((1,), 1)])
+
+
+def test_set_intersection(db):
+    two = {"x": rel(["a"], [((1,), 2), ((2,), 1)]), "y": rel(["a"], [((1,), 5)])}
+    result = evaluate(
+        SetIntersection(BaseRelation("x", ["a"]), BaseRelation("y", ["a"])), two
+    )
+    assert result == rel(["a"], [((1,), 1)])
+
+
+def test_bag_difference_subtracts(db):
+    two = {"x": rel(["a"], [((1,), 3), ((2,), 1)]), "y": rel(["a"], [((1,), 1), ((2,), 5)])}
+    result = evaluate(
+        BagDifference(BaseRelation("x", ["a"]), BaseRelation("y", ["a"])), two
+    )
+    assert result == rel(["a"], [((1,), 2)])
+
+
+def test_set_difference(db):
+    two = {"x": rel(["a"], [((1,), 3), ((2,), 1)]), "y": rel(["a"], [((2,), 1)])}
+    result = evaluate(
+        SetDifference(BaseRelation("x", ["a"]), BaseRelation("y", ["a"])), two
+    )
+    assert result == rel(["a"], [((1,), 1)])
+
+
+def test_setop_incompatible_width(db):
+    with pytest.raises(AlgebraError):
+        evaluate(SetUnion(R, S), db)
+
+
+def test_base_references_are_ordered(db):
+    op = Cross(R, Cross(S, BaseRelation("r", ["a2", "b2"])))
+    refs = op.base_references()
+    assert [r.name for r in refs] == ["r", "s", "r"]
+    assert refs[0].ref_id != refs[2].ref_id

@@ -1,0 +1,392 @@
+"""Analyzer unit tests: resolution, typing, grouping, set ops, correlation."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.analyzer.analyzer import Analyzer, query_references_outer
+from repro.analyzer import expressions as ex
+from repro.analyzer.query_tree import QueryNodeClass, RTEKind
+from repro.datatypes import SQLType
+from repro.errors import AnalyzeError, TypeMismatchError
+from repro.sql.parser import parse_statement
+
+
+@pytest.fixture
+def db():
+    database = repro.connect()
+    database.execute("CREATE TABLE t (a integer, b text, c float)")
+    database.execute("CREATE TABLE s (a integer, d text)")
+    return database
+
+
+def analyze(db, sql):
+    return Analyzer(db.catalog).analyze(parse_statement(sql))
+
+
+# -- name resolution -------------------------------------------------------------
+
+
+def test_unqualified_resolution(db):
+    query = analyze(db, "SELECT b FROM t")
+    var = query.target_list[0].expr
+    assert isinstance(var, ex.Var)
+    assert (var.varno, var.varattno) == (0, 1)
+    assert var.type is SQLType.TEXT
+
+
+def test_qualified_resolution(db):
+    query = analyze(db, "SELECT t.a FROM t, s")
+    var = query.target_list[0].expr
+    assert (var.varno, var.varattno) == (0, 0)
+
+
+def test_ambiguous_column(db):
+    with pytest.raises(AnalyzeError, match="ambiguous"):
+        analyze(db, "SELECT a FROM t, s")
+
+
+def test_unknown_column(db):
+    with pytest.raises(AnalyzeError, match="does not exist"):
+        analyze(db, "SELECT zzz FROM t")
+
+
+def test_unknown_relation(db):
+    with pytest.raises(AnalyzeError, match="does not exist"):
+        analyze(db, "SELECT 1 FROM missing")
+
+
+def test_alias_hides_table_name(db):
+    query = analyze(db, "SELECT x.a FROM t AS x")
+    assert query.range_table[0].alias == "x"
+    with pytest.raises(AnalyzeError):
+        analyze(db, "SELECT t.a FROM t AS x")
+
+
+def test_duplicate_alias_rejected(db):
+    with pytest.raises(AnalyzeError, match="more than once"):
+        analyze(db, "SELECT 1 FROM t, t")
+
+
+def test_self_join_with_aliases(db):
+    query = analyze(db, "SELECT x.a, y.a FROM t AS x, t AS y")
+    vars_ = [t.expr for t in query.target_list]
+    assert vars_[0].varno == 0 and vars_[1].varno == 1
+
+
+def test_column_aliases_on_range_var(db):
+    query = analyze(db, "SELECT p, q FROM t AS x (p, q)")
+    assert query.output_columns() == ["p", "q"]
+
+
+def test_too_many_column_aliases(db):
+    with pytest.raises(AnalyzeError):
+        analyze(db, "SELECT 1 FROM t AS x (p, q, r, s)")
+
+
+# -- star expansion ---------------------------------------------------------------
+
+
+def test_star_expansion(db):
+    query = analyze(db, "SELECT * FROM t, s")
+    assert query.output_columns() == ["a", "b", "c", "a", "d"]
+
+
+def test_qualified_star(db):
+    query = analyze(db, "SELECT s.* FROM t, s")
+    assert query.output_columns() == ["a", "d"]
+
+
+def test_star_without_from(db):
+    with pytest.raises(AnalyzeError):
+        analyze(db, "SELECT *")
+
+
+# -- typing --------------------------------------------------------------------------
+
+
+def test_arithmetic_typing(db):
+    query = analyze(db, "SELECT a + 1, a + c, a / 2 FROM t")
+    types = [t.expr.type for t in query.target_list]
+    assert types == [SQLType.INTEGER, SQLType.FLOAT, SQLType.INTEGER]
+
+
+def test_comparison_requires_compatible_types(db):
+    with pytest.raises(TypeMismatchError):
+        analyze(db, "SELECT 1 FROM t WHERE a = b")
+
+
+def test_where_must_be_boolean(db):
+    with pytest.raises(TypeMismatchError):
+        analyze(db, "SELECT 1 FROM t WHERE a + 1")
+
+
+def test_date_arithmetic_typing(db):
+    query = analyze(
+        db,
+        "SELECT DATE '1995-01-01' + INTERVAL '1' MONTH, "
+        "DATE '1995-02-01' - DATE '1995-01-01'",
+    )
+    assert query.target_list[0].expr.type is SQLType.DATE
+    assert query.target_list[1].expr.type is SQLType.INTEGER
+
+
+def test_case_merges_result_types(db):
+    query = analyze(db, "SELECT CASE WHEN a > 0 THEN 1 ELSE 2.5 END FROM t")
+    assert query.target_list[0].expr.type is SQLType.FLOAT
+
+
+def test_case_incompatible_results(db):
+    with pytest.raises(TypeMismatchError):
+        analyze(db, "SELECT CASE WHEN a > 0 THEN 1 ELSE 'x' END FROM t")
+
+
+def test_unknown_function(db):
+    with pytest.raises(AnalyzeError, match="unknown function"):
+        analyze(db, "SELECT frobnicate(a) FROM t")
+
+
+def test_aggregate_typing(db):
+    query = analyze(db, "SELECT sum(a), avg(a), count(*), min(b) FROM t")
+    types = [t.expr.type for t in query.target_list]
+    assert types == [SQLType.INTEGER, SQLType.FLOAT, SQLType.INTEGER, SQLType.TEXT]
+
+
+def test_sum_requires_numeric(db):
+    with pytest.raises(TypeMismatchError):
+        analyze(db, "SELECT sum(b) FROM t")
+
+
+# -- normalization ----------------------------------------------------------------------
+
+
+def test_between_normalized_to_and(db):
+    query = analyze(db, "SELECT 1 FROM t WHERE a BETWEEN 1 AND 5")
+    quals = query.jointree.quals
+    assert isinstance(quals, ex.BoolOpExpr) and quals.op == "and"
+
+
+def test_in_list_normalized_to_or(db):
+    query = analyze(db, "SELECT 1 FROM t WHERE a IN (1, 2)")
+    quals = query.jointree.quals
+    assert isinstance(quals, ex.BoolOpExpr) and quals.op == "or"
+
+
+def test_not_in_list_normalized_to_and_of_ne(db):
+    query = analyze(db, "SELECT 1 FROM t WHERE a NOT IN (1, 2)")
+    quals = query.jointree.quals
+    assert quals.op == "and"
+    assert all(arg.op == "<>" for arg in quals.args)
+
+
+def test_simple_case_normalized_to_searched(db):
+    query = analyze(db, "SELECT CASE a WHEN 1 THEN 'x' END FROM t")
+    case = query.target_list[0].expr
+    assert isinstance(case, ex.CaseExpr)
+    assert isinstance(case.whens[0][0], ex.OpExpr)
+
+
+# -- aggregation validation ----------------------------------------------------------------
+
+
+def test_bare_column_with_aggregate_rejected(db):
+    with pytest.raises(AnalyzeError, match="GROUP BY"):
+        analyze(db, "SELECT a, sum(c) FROM t")
+
+
+def test_grouped_column_allowed(db):
+    query = analyze(db, "SELECT a, sum(c) FROM t GROUP BY a")
+    assert query.node_class() is QueryNodeClass.ASPJ
+
+
+def test_group_by_expression_match(db):
+    query = analyze(db, "SELECT a + 1, sum(c) FROM t GROUP BY a + 1")
+    assert len(query.group_clause) == 1
+
+
+def test_group_by_ordinal(db):
+    query = analyze(db, "SELECT a, sum(c) FROM t GROUP BY 1")
+    assert query.group_clause[0] == query.target_list[0].expr
+
+
+def test_group_by_output_alias(db):
+    query = analyze(db, "SELECT a AS grp, sum(c) FROM t GROUP BY grp")
+    assert len(query.group_clause) == 1
+
+
+def test_aggregates_not_allowed_in_where(db):
+    with pytest.raises(AnalyzeError):
+        analyze(db, "SELECT 1 FROM t WHERE sum(a) > 1")
+
+
+def test_nested_aggregates_rejected(db):
+    with pytest.raises(AnalyzeError, match="nested|not allowed"):
+        analyze(db, "SELECT sum(count(a)) FROM t")
+
+
+def test_having_without_group_makes_aspj(db):
+    query = analyze(db, "SELECT count(*) FROM t HAVING count(*) > 1")
+    assert query.node_class() is QueryNodeClass.ASPJ
+
+
+def test_having_is_boolean(db):
+    with pytest.raises(TypeMismatchError):
+        analyze(db, "SELECT count(*) FROM t HAVING sum(a)")
+
+
+# -- ORDER BY resolution ------------------------------------------------------------------
+
+
+def test_order_by_output_name(db):
+    query = analyze(db, "SELECT a AS x FROM t ORDER BY x")
+    assert query.sort_clause[0].tlist_index == 0
+
+
+def test_order_by_ordinal(db):
+    query = analyze(db, "SELECT a, b FROM t ORDER BY 2")
+    assert query.sort_clause[0].tlist_index == 1
+
+
+def test_order_by_ordinal_out_of_range(db):
+    with pytest.raises(AnalyzeError, match="out of range"):
+        analyze(db, "SELECT a FROM t ORDER BY 3")
+
+
+def test_order_by_expression_adds_junk_entry(db):
+    query = analyze(db, "SELECT a FROM t ORDER BY c + 1")
+    assert query.target_list[-1].resjunk is True
+    assert query.output_columns() == ["a"]
+
+
+def test_order_by_existing_expression_reused(db):
+    query = analyze(db, "SELECT a, c + 1 AS x FROM t ORDER BY c + 1")
+    assert len(query.target_list) == 2
+    assert query.sort_clause[0].tlist_index == 1
+
+
+def test_limit_must_be_constant(db):
+    with pytest.raises(AnalyzeError):
+        analyze(db, "SELECT a FROM t LIMIT a")
+
+
+# -- set operations ---------------------------------------------------------------------------
+
+
+def test_setop_query_structure(db):
+    query = analyze(db, "SELECT a FROM t UNION SELECT a FROM s")
+    assert query.node_class() is QueryNodeClass.SETOP
+    assert len(query.range_table) == 2
+    assert all(rte.kind is RTEKind.SUBQUERY for rte in query.range_table)
+
+
+def test_setop_width_mismatch(db):
+    with pytest.raises(AnalyzeError, match="same number of columns"):
+        analyze(db, "SELECT a, b FROM t UNION SELECT a FROM s")
+
+
+def test_setop_type_mismatch(db):
+    with pytest.raises(TypeMismatchError):
+        analyze(db, "SELECT a FROM t UNION SELECT b FROM t")
+
+
+def test_setop_output_names_from_left(db):
+    query = analyze(db, "SELECT a AS left_name FROM t UNION SELECT a FROM s")
+    assert query.output_columns() == ["left_name"]
+
+
+def test_setop_order_by_restricted_to_outputs(db):
+    with pytest.raises(AnalyzeError):
+        analyze(db, "SELECT a FROM t UNION SELECT a FROM s ORDER BY a + 1")
+
+
+def test_nested_setops_flatten_into_one_node(db):
+    query = analyze(
+        db, "SELECT a FROM t UNION SELECT a FROM s UNION SELECT a FROM t AS t2"
+    )
+    assert len(query.range_table) == 3
+
+
+# -- subqueries and correlation -------------------------------------------------------------------
+
+
+def test_from_subquery(db):
+    query = analyze(db, "SELECT x FROM (SELECT a AS x FROM t) AS sub")
+    assert query.range_table[0].kind is RTEKind.SUBQUERY
+
+
+def test_uncorrelated_sublink(db):
+    query = analyze(db, "SELECT 1 FROM t WHERE a IN (SELECT a FROM s)")
+    sublink = query.jointree.quals
+    assert isinstance(sublink, ex.SubLink)
+    assert sublink.correlated is False
+
+
+def test_correlated_sublink_detected(db):
+    query = analyze(db, "SELECT 1 FROM t WHERE EXISTS (SELECT 1 FROM s WHERE s.a = t.a)")
+    sublink = query.jointree.quals
+    assert sublink.correlated is True
+
+
+def test_transitively_correlated_sublink(db):
+    # The middle sublink contains an inner sublink referencing the outermost
+    # query: the middle one must be flagged correlated too.
+    query = analyze(
+        db,
+        "SELECT 1 FROM t WHERE EXISTS ("
+        "  SELECT 1 FROM s WHERE EXISTS ("
+        "    SELECT 1 FROM t AS t2 WHERE t2.a = t.a))",
+    )
+    outer_sublink = query.jointree.quals
+    assert outer_sublink.correlated is True
+
+
+def test_query_references_outer_helper(db):
+    query = analyze(db, "SELECT 1 FROM t WHERE EXISTS (SELECT 1 FROM s WHERE s.a = t.a)")
+    assert query_references_outer(query.jointree.quals.subquery) is True
+    assert query_references_outer(query) is False
+
+
+def test_scalar_sublink_typed_from_output(db):
+    query = analyze(db, "SELECT 1 FROM t WHERE c > (SELECT avg(c) FROM t AS t2)")
+    sublink = query.jointree.quals.args[1]
+    assert isinstance(sublink, ex.SubLink)
+    assert sublink.type is SQLType.FLOAT
+
+
+def test_sublink_requires_single_column(db):
+    with pytest.raises(AnalyzeError, match="exactly one column"):
+        analyze(db, "SELECT 1 FROM t WHERE a IN (SELECT a, d FROM s)")
+
+
+def test_from_subqueries_cannot_be_correlated(db):
+    with pytest.raises(AnalyzeError):
+        analyze(db, "SELECT 1 FROM t, (SELECT t.a AS x FROM s) AS sub")
+
+
+# -- joins -------------------------------------------------------------------------------------------
+
+
+def test_join_using_builds_equality(db):
+    query = analyze(db, "SELECT 1 FROM t JOIN s USING (a)")
+    join = query.jointree.items[0]
+    assert join.quals.op == "="
+
+
+def test_natural_join_finds_common_columns(db):
+    query = analyze(db, "SELECT 1 FROM t NATURAL JOIN s")
+    assert query.jointree.items[0].quals is not None
+
+
+def test_natural_join_without_common_columns(db):
+    db.execute("CREATE TABLE u (z integer)")
+    with pytest.raises(AnalyzeError, match="no common columns"):
+        analyze(db, "SELECT 1 FROM t NATURAL JOIN u")
+
+
+def test_view_unfolded_to_subquery(db):
+    db.execute("CREATE VIEW v AS SELECT a, b FROM t")
+    query = analyze(db, "SELECT a FROM v")
+    rte = query.range_table[0]
+    assert rte.kind is RTEKind.SUBQUERY
+    assert rte.column_names == ["a", "b"]

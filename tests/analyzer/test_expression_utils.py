@@ -1,0 +1,141 @@
+"""Expression tree utilities: walk, transform, rebuild, var mapping."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analyzer import expressions as ex
+from repro.datatypes import SQLType
+
+INT = SQLType.INTEGER
+BOOL = SQLType.BOOLEAN
+
+
+def var(no: int, att: int, name: str = "") -> ex.Var:
+    return ex.Var(varno=no, varattno=att, type=INT, name=name or f"v{no}_{att}")
+
+
+def test_walk_yields_all_nodes():
+    expr = ex.OpExpr("+", (var(0, 0), ex.Const(1, INT)), INT)
+    nodes = list(ex.walk(expr))
+    assert len(nodes) == 3
+    assert expr in nodes
+
+
+def test_walk_does_not_enter_sublink_subquery():
+    from repro.analyzer.query_tree import Query
+
+    sublink = ex.SubLink(
+        kind=ex.SubLinkKind.ANY,
+        subquery=Query(),
+        testexpr=var(0, 0),
+        operator="=",
+        type=BOOL,
+    )
+    nodes = list(ex.walk(sublink))
+    # The sublink itself and its testexpr, nothing from inside the Query.
+    assert len(nodes) == 2
+
+
+def test_contains_aggref():
+    agg = ex.Aggref("sum", var(0, 0), INT)
+    wrapped = ex.OpExpr("+", (agg, ex.Const(1, INT)), INT)
+    assert ex.contains_aggref(wrapped)
+    assert not ex.contains_aggref(var(0, 0))
+
+
+def test_collect_vars_filters_levels():
+    inner = var(0, 0)
+    outer = ex.Var(varno=1, varattno=2, type=INT, name="o", levelsup=1)
+    expr = ex.OpExpr("+", (inner, outer), INT)
+    assert ex.collect_vars(expr) == [inner]
+    assert ex.collect_vars(expr, levelsup=1) == [outer]
+
+
+def test_transform_bottom_up():
+    expr = ex.OpExpr("+", (var(0, 0), var(0, 1)), INT)
+
+    def bump(node: ex.Expr):
+        if isinstance(node, ex.Var):
+            return ex.Var(node.varno, node.varattno + 10, node.type, node.name)
+        return None
+
+    result = ex.transform(expr, bump)
+    assert {v.varattno for v in ex.collect_vars(result)} == {10, 11}
+    # Original untouched (immutability).
+    assert {v.varattno for v in ex.collect_vars(expr)} == {0, 1}
+
+
+def test_map_vars_only_touches_level0():
+    outer = ex.Var(varno=0, varattno=0, type=INT, name="o", levelsup=1)
+    expr = ex.BoolOpExpr("and", (
+        ex.OpExpr("=", (var(0, 0), outer), BOOL),
+        ex.NullTest(var(0, 1), negated=False),
+    ))
+    mapped = ex.map_vars(expr, lambda v: ex.Const(99, INT))
+    consts = [n for n in ex.walk(mapped) if isinstance(n, ex.Const)]
+    assert len(consts) == 2
+    assert any(isinstance(n, ex.Var) and n.levelsup == 1 for n in ex.walk(mapped))
+
+
+@pytest.mark.parametrize(
+    "node",
+    [
+        ex.OpExpr("*", (var(0, 0), var(0, 1)), INT),
+        ex.BoolOpExpr("or", (ex.Const(True, BOOL), ex.Const(False, BOOL))),
+        ex.FuncExpr("abs", (var(0, 0),), INT),
+        ex.Aggref("sum", var(0, 0), INT),
+        ex.CaseExpr(((ex.Const(True, BOOL), var(0, 0)),), var(0, 1), INT),
+        ex.NullTest(var(0, 0), negated=True),
+        ex.LikeTest(var(0, 0), ex.Const("x%", SQLType.TEXT), negated=False),
+        ex.InList(var(0, 0), (ex.Const(1, INT), ex.Const(2, INT)), negated=True),
+    ],
+)
+def test_rebuild_with_children_preserves_structure(node):
+    children = list(node.children())
+    rebuilt = ex.rebuild_with_children(node, children)
+    assert type(rebuilt) is type(node)
+    assert rebuilt.children() == node.children()
+    assert rebuilt == node or isinstance(node, ex.SubLink)
+
+
+def test_rebuild_case_pairs_round_trip():
+    case = ex.CaseExpr(
+        whens=(
+            (ex.Const(True, BOOL), ex.Const(1, INT)),
+            (ex.Const(False, BOOL), ex.Const(2, INT)),
+        ),
+        default=ex.Const(3, INT),
+        type=INT,
+    )
+    rebuilt = ex.rebuild_with_children(case, list(case.children()))
+    assert rebuilt == case
+
+
+def test_rebuild_case_without_default():
+    case = ex.CaseExpr(
+        whens=((ex.Const(True, BOOL), ex.Const(1, INT)),), default=None, type=INT
+    )
+    rebuilt = ex.rebuild_with_children(case, list(case.children()))
+    assert rebuilt == case
+    assert rebuilt.default is None
+
+
+def test_frozen_expressions_are_hashable_and_equal():
+    a = ex.OpExpr("+", (var(0, 0), ex.Const(1, INT)), INT)
+    b = ex.OpExpr("+", (var(0, 0), ex.Const(1, INT)), INT)
+    assert a == b
+    assert hash(a) == hash(b)
+    assert len({a, b}) == 1
+
+
+def test_str_rendering_smoke():
+    expr = ex.BoolOpExpr(
+        "and",
+        (
+            ex.OpExpr("=", (var(0, 0, "a"), ex.Const(1, INT)), BOOL),
+            ex.NullTest(var(0, 1, "b"), negated=True),
+        ),
+    )
+    text = str(expr)
+    assert "AND" in text and "IS NOT NULL" in text

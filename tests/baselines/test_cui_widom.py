@@ -1,0 +1,150 @@
+"""Cui-Widom lineage tracing: per-operator contribution semantics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algebra import (
+    Aggregate,
+    AggSpec,
+    Attr,
+    BagProject,
+    BagUnion,
+    BaseRelation,
+    Cross,
+    Join,
+    Select,
+    SetDifference,
+    SetUnion,
+    evaluate,
+)
+from repro.algebra.evaluate import AlgebraError
+from repro.algebra.expr import Cmp, Lit, attr_equal
+from repro.baselines.cui_widom import format_lineage, lineage, lineage_of
+from repro.storage.relation import Relation
+
+
+def rel(columns, rows):
+    return Relation.from_rows(columns, rows)
+
+
+@pytest.fixture
+def db():
+    return {
+        "r": rel(["a", "b"], [(1, "x"), (2, "y"), (3, "y")]),
+        "s": rel(["c"], [(1,), (3,)]),
+    }
+
+
+R = lambda: BaseRelation("r", ["a", "b"])  # noqa: E731
+S = lambda: BaseRelation("s", ["c"])  # noqa: E731
+
+
+def test_base_relation_lineage_is_the_tuple(db):
+    op = R()
+    result = lineage_of(op, db, (1, "x"))
+    assert result[op.ref_id] == frozenset([(1, "x")])
+
+
+def test_missing_tuple_raises(db):
+    with pytest.raises(AlgebraError):
+        lineage_of(R(), db, (99, "zzz"))
+
+
+def test_selection_lineage(db):
+    op = Select(R(), Cmp(">", Attr("a"), Lit(1)))
+    result = lineage_of(op, db, (2, "y"))
+    ref = op.base_references()[0]
+    assert result[ref.ref_id] == frozenset([(2, "y")])
+
+
+def test_projection_lineage_collects_all_preimages(db):
+    op = BagProject(R(), [(Attr("b"), "b")])
+    result = lineage_of(op, db, ("y",))
+    ref = op.base_references()[0]
+    assert result[ref.ref_id] == frozenset([(2, "y"), (3, "y")])
+
+
+def test_join_lineage_splits_tuple(db):
+    op = Join(R(), S(), attr_equal("a", "c"), "inner")
+    refs = op.base_references()
+    result = lineage_of(op, db, (1, "x", 1))
+    assert result[refs[0].ref_id] == frozenset([(1, "x")])
+    assert result[refs[1].ref_id] == frozenset([(1,)])
+
+
+def test_left_join_null_extended_tuple(db):
+    op = Join(R(), S(), attr_equal("a", "c"), "left")
+    refs = op.base_references()
+    result = lineage_of(op, db, (2, "y", None))
+    assert result[refs[0].ref_id] == frozenset([(2, "y")])
+    assert result[refs[1].ref_id] == frozenset()
+
+
+def test_aggregate_lineage_is_the_group(db):
+    op = Aggregate(R(), ["b"], [AggSpec("count", None, "n")])
+    ref = op.base_references()[0]
+    result = lineage_of(op, db, ("y", 2))
+    assert result[ref.ref_id] == frozenset([(2, "y"), (3, "y")])
+
+
+def test_grand_aggregate_lineage_is_everything(db):
+    op = Aggregate(R(), [], [AggSpec("sum", Attr("a"), "s")])
+    ref = op.base_references()[0]
+    result = lineage_of(op, db, (6,))
+    assert result[ref.ref_id] == frozenset([(1, "x"), (2, "y"), (3, "y")])
+
+
+def test_union_lineage_from_both_sides():
+    db = {"x": rel(["v"], [(1,), (2,)]), "y": rel(["v"], [(2,), (3,)])}
+    op = SetUnion(BaseRelation("x", ["v"]), BaseRelation("y", ["v"]))
+    refs = op.base_references()
+    both = lineage_of(op, db, (2,))
+    assert both[refs[0].ref_id] == frozenset([(2,)])
+    assert both[refs[1].ref_id] == frozenset([(2,)])
+    only_left = lineage_of(op, db, (1,))
+    assert only_left[refs[1].ref_id] == frozenset()
+
+
+def test_set_difference_lineage_includes_all_of_t2():
+    db = {"x": rel(["v"], [(1,), (2,)]), "y": rel(["v"], [(2,), (3,)])}
+    op = SetDifference(BaseRelation("x", ["v"]), BaseRelation("y", ["v"]))
+    refs = op.base_references()
+    result = lineage_of(op, db, (1,))
+    assert result[refs[0].ref_id] == frozenset([(1,)])
+    assert result[refs[1].ref_id] == frozenset([(2,), (3,)])
+
+
+def test_lineage_of_all_result_tuples(db):
+    op = Cross(R(), S())
+    per_tuple = lineage(op, db)
+    assert len(per_tuple) == 6
+    for tuple_, lin in per_tuple.items():
+        refs = op.base_references()
+        assert lin[refs[0].ref_id] == frozenset([tuple_[:2]])
+        assert lin[refs[1].ref_id] == frozenset([tuple_[2:]])
+
+
+def test_self_join_references_tracked_separately(db):
+    left = BaseRelation("r", ["a", "b"])
+    right = BaseRelation("r", ["a2", "b2"])
+    op = Join(left, right, Cmp("=", Attr("a"), Attr("a2")), "inner")
+    result = lineage_of(op, db, (1, "x", 1, "x"))
+    assert result[left.ref_id] == frozenset([(1, "x")])
+    assert result[right.ref_id] == frozenset([(1, "x")])
+
+
+def test_format_lineage_is_list_of_relations(db):
+    op = Cross(R(), S())
+    text = format_lineage(op, lineage_of(op, db, (1, "x", 1)))
+    assert text.startswith("(r: {")
+    assert "; s: {" in text
+
+
+def test_bag_union_lineage():
+    db = {"x": rel(["v"], [(1,), (1,)]), "y": rel(["v"], [(1,)])}
+    op = BagUnion(BaseRelation("x", ["v"]), BaseRelation("y", ["v"]))
+    refs = op.base_references()
+    result = lineage_of(op, db, (1,))
+    assert result[refs[0].ref_id] == frozenset([(1,)])
+    assert result[refs[1].ref_id] == frozenset([(1,)])

@@ -1,0 +1,139 @@
+"""Trio-style eager lineage system tests."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+import repro
+from repro.baselines.trio import TrioSystem, TrioUnsupportedError
+
+
+@pytest.fixture
+def db():
+    database = repro.connect()
+    database.execute("CREATE TABLE t (a integer, b text)")
+    database.execute("INSERT INTO t VALUES (1, 'x'), (2, 'y'), (3, 'z')")
+    database.execute("CREATE TABLE s (c integer)")
+    database.execute("INSERT INTO s VALUES (2), (3), (4)")
+    return database
+
+
+@pytest.fixture
+def trio(db):
+    return TrioSystem(db)
+
+
+def test_selection_result_matches_engine(db, trio):
+    result = trio.execute("SELECT a, b FROM t WHERE a > 1")
+    engine = db.execute("SELECT a, b FROM t WHERE a > 1")
+    assert Counter(result.rows) == Counter(engine.rows)
+
+
+def test_selection_lineage_points_to_base(db, trio):
+    result = trio.execute("SELECT a, b FROM t WHERE a = 2")
+    traced = trio.provenance(result)
+    assert len(traced) == 1
+    row, base = traced[0]
+    assert row == (2, "y")
+    assert base == {"t": [1]}  # row index of (2, 'y')
+
+
+def test_provenance_rows_match_perm(db, trio):
+    sql = "SELECT a, b FROM t WHERE a >= 2"
+    result = trio.execute(sql)
+    trio_rows = sorted(trio.provenance_rows(result), key=repr)
+    perm_rows = sorted(
+        db.execute(sql.replace("SELECT", "SELECT PROVENANCE", 1)).rows, key=repr
+    )
+    assert trio_rows == perm_rows
+
+
+def test_stored_provenance_query_matches_dict_based(db, trio):
+    result = trio.execute("SELECT a, b FROM t WHERE a >= 2")
+    via_sql = sorted(trio.query_stored_provenance(result), key=repr)
+    via_dict = sorted(trio.provenance_rows(result), key=repr)
+    assert via_sql == via_dict
+
+
+def test_join_provenance_matches_perm(db, trio):
+    sql = "SELECT a, c FROM t, s WHERE a = c"
+    result = trio.execute(sql)
+    trio_rows = sorted(trio.provenance_rows(result), key=repr)
+    # Trio groups provenance by base table name (alphabetical: s before t);
+    # reorder Perm's columns accordingly before comparing.
+    perm = db.execute(sql.replace("SELECT", "SELECT PROVENANCE", 1))
+    order = [
+        perm.columns.index("a"),
+        perm.columns.index("c"),
+        perm.columns.index("prov_s_c"),
+        perm.columns.index("prov_t_a"),
+        perm.columns.index("prov_t_b"),
+    ]
+    perm_rows = sorted(
+        (tuple(row[i] for i in order) for row in perm.rows), key=repr
+    )
+    assert trio_rows == perm_rows
+
+
+def test_union_lineage(db, trio):
+    result = trio.execute("SELECT a FROM t UNION SELECT c FROM s")
+    assert Counter(result.rows) == Counter(
+        db.execute("SELECT a FROM t UNION SELECT c FROM s").rows
+    )
+    traced = dict(trio.provenance(result))
+    # 2 is in both inputs: lineage from both base tables.
+    assert set(traced[(2,)].keys()) == {"t", "s"}
+    # 1 only from t.
+    assert set(traced[(1,)].keys()) == {"t"}
+
+
+def test_except_lineage_includes_right_side(db, trio):
+    result = trio.execute("SELECT a FROM t EXCEPT SELECT c FROM s")
+    traced = dict(trio.provenance(result))
+    assert set(traced) == {(1,)}
+    assert len(traced[(1,)]["s"]) == 3  # all right-side tuples
+
+
+def test_projection_with_distinct(db, trio):
+    db.execute("INSERT INTO t VALUES (4, 'x')")
+    result = trio.execute("SELECT DISTINCT b FROM t")
+    traced = dict(trio.provenance(result))
+    assert len(traced[("x",)]["t"]) == 2  # both 'x' rows contribute
+
+
+def test_lineage_relations_stored_in_catalog(db, trio):
+    result = trio.execute("SELECT a FROM t WHERE a = 1")
+    lineage_tables = [
+        t.name for t in db.catalog.tables() if t.name.endswith("_lineage")
+    ]
+    assert lineage_tables  # eager storage happened
+    assert db.catalog.has_table(f"{result.table.name}_lineage")
+
+
+def test_aggregation_unsupported(trio):
+    with pytest.raises(TrioUnsupportedError, match="aggregation"):
+        trio.execute("SELECT count(*) FROM t")
+
+
+def test_subqueries_unsupported(trio):
+    with pytest.raises(TrioUnsupportedError, match="subqueries"):
+        trio.execute("SELECT a FROM t WHERE a IN (SELECT c FROM s)")
+
+
+def test_outer_join_unsupported(trio):
+    with pytest.raises(TrioUnsupportedError, match="outer"):
+        trio.execute("SELECT a FROM t LEFT JOIN s ON a = c")
+
+
+def test_multi_level_setops_unsupported(trio):
+    with pytest.raises(TrioUnsupportedError, match="single set operations"):
+        trio.execute(
+            "SELECT a FROM t UNION SELECT c FROM s UNION SELECT a FROM t"
+        )
+
+
+def test_non_select_rejected(trio):
+    with pytest.raises(TrioUnsupportedError):
+        trio.execute("CREATE TABLE zzz (a integer)")

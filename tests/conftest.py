@@ -1,0 +1,36 @@
+"""Shared fixtures: the paper's example database and small helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+
+
+@pytest.fixture
+def db() -> repro.PermDatabase:
+    """A fresh empty database."""
+    return repro.connect()
+
+
+@pytest.fixture
+def example_db() -> repro.PermDatabase:
+    """The shop/sales/items database of paper Fig. 2."""
+    database = repro.connect()
+    database.execute("CREATE TABLE shop (name text, numempl integer)")
+    database.execute("CREATE TABLE sales (sname text, itemid integer)")
+    database.execute("CREATE TABLE items (id integer, price integer)")
+    database.execute("INSERT INTO shop VALUES ('Merdies', 3), ('Joba', 14)")
+    database.execute(
+        "INSERT INTO sales VALUES ('Merdies', 1), ('Merdies', 2), "
+        "('Merdies', 2), ('Joba', 3), ('Joba', 3)"
+    )
+    database.execute("INSERT INTO items VALUES (1, 100), (2, 10), (3, 25)")
+    return database
+
+
+def bag(rows) -> dict:
+    """Rows -> multiset dict, for order-insensitive comparisons."""
+    from collections import Counter
+
+    return dict(Counter(tuple(r) for r in rows))

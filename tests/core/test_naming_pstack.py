@@ -1,0 +1,76 @@
+"""Provenance attribute naming scheme (IV-A.1) and pStack unit tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.naming import ProvenanceAttribute, ProvenanceNamer
+from repro.core.pstack import PStack, concat_plists
+from repro.datatypes import SQLType
+
+
+def test_attribute_name_format():
+    assert ProvenanceNamer.attribute_name("shop", 0, "name") == "prov_shop_name"
+    assert ProvenanceNamer.attribute_name("Shop", 0, "NAME") == "prov_shop_name"
+
+
+def test_repeated_reference_gets_number():
+    assert ProvenanceNamer.attribute_name("shop", 1, "name") == "prov_shop_1_name"
+    assert ProvenanceNamer.attribute_name("shop", 2, "name") == "prov_shop_2_name"
+
+
+def test_namer_counts_references_per_relation():
+    namer = ProvenanceNamer()
+    assert namer.next_reference("shop") == 0
+    assert namer.next_reference("shop") == 1
+    assert namer.next_reference("items") == 0
+    assert namer.next_reference("SHOP") == 2  # case-insensitive
+
+
+def test_attributes_for_relation():
+    namer = ProvenanceNamer()
+    attrs = namer.attributes_for_relation(
+        "items", ["id", "price"], [SQLType.INTEGER, SQLType.INTEGER]
+    )
+    assert [a.name for a in attrs] == ["prov_items_id", "prov_items_price"]
+    assert all(a.ref_id == 0 for a in attrs)
+    second = namer.attributes_for_relation("items", ["id"], [SQLType.INTEGER])
+    assert second[0].name == "prov_items_1_id"
+    assert second[0].ref_id == 1
+
+
+def _attr(name: str) -> ProvenanceAttribute:
+    return ProvenanceAttribute(name, "r", 0, name, SQLType.INTEGER)
+
+
+def test_pstack_push_pop():
+    stack = PStack()
+    stack.push([_attr("a")])
+    stack.push([_attr("b")])
+    assert len(stack) == 2
+    assert [a.name for a in stack.pop()] == ["b"]
+    assert [a.name for a in stack.peek()] == ["a"]
+
+
+def test_pstack_pop_many_in_push_order():
+    stack = PStack()
+    stack.push([_attr("a")])
+    stack.push([_attr("b")])
+    stack.push([_attr("c")])
+    popped = stack.pop_many(2)
+    assert [[a.name for a in plist] for plist in popped] == [["b"], ["c"]]
+    assert len(stack) == 1
+
+
+def test_pstack_underflow():
+    stack = PStack()
+    with pytest.raises(IndexError):
+        stack.pop()
+    with pytest.raises(IndexError):
+        stack.pop_many(1)
+    assert stack.pop_many(0) == []
+
+
+def test_concat_plists_is_the_paper_concatenation():
+    combined = concat_plists([[_attr("a")], [_attr("b"), _attr("c")]])
+    assert [a.name for a in combined] == ["a", "b", "c"]

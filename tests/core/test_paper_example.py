@@ -1,0 +1,115 @@
+"""The running example of the paper (Figs. 2 and 4), checked exactly.
+
+These tests pin the headline behaviour: the rewritten aggregation query
+``qex+`` must produce precisely the result relation printed in Fig. 4,
+including duplicated original tuples and the provenance attribute naming
+scheme of section IV-A.1.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+QEX = (
+    "SELECT name, sum(price) AS sum FROM shop, sales, items "
+    "WHERE name = sname AND itemid = id GROUP BY name"
+)
+QEX_PROV = (
+    "SELECT PROVENANCE name, sum(price) AS sum FROM shop, sales, items "
+    "WHERE name = sname AND itemid = id GROUP BY name"
+)
+
+
+def test_original_query_result(example_db):
+    result = example_db.execute(QEX)
+    assert result.columns == ["name", "sum"]
+    assert sorted(result.rows) == [("Joba", 50), ("Merdies", 120)]
+
+
+def test_provenance_schema_matches_paper(example_db):
+    result = example_db.execute(QEX_PROV)
+    assert result.columns == [
+        "name",
+        "sum",
+        "prov_shop_name",
+        "prov_shop_numempl",
+        "prov_sales_sname",
+        "prov_sales_itemid",
+        "prov_items_id",
+        "prov_items_price",
+    ]
+
+
+def test_provenance_result_matches_figure_4(example_db):
+    result = example_db.execute(QEX_PROV)
+    expected = Counter(
+        {
+            ("Merdies", 120, "Merdies", 3, "Merdies", 1, 1, 100): 1,
+            ("Merdies", 120, "Merdies", 3, "Merdies", 2, 2, 10): 2,
+            ("Joba", 50, "Joba", 14, "Joba", 3, 3, 25): 2,
+        }
+    )
+    assert Counter(result.rows) == expected
+
+
+def test_provenance_preserves_original_tuples(example_db):
+    """Step 1 of the paper's correctness proof: ΠT(T+) = ΠT(T)."""
+    original = example_db.execute(QEX)
+    prov = example_db.execute(QEX_PROV)
+    original_part = {row[:2] for row in prov.rows}
+    assert original_part == set(original.rows)
+
+
+def test_query_over_provenance_result(example_db):
+    """The paper's q1: items sold by shops with total sales > 100."""
+    result = example_db.execute(
+        "SELECT DISTINCT prov_items_id FROM "
+        f"({QEX_PROV}) AS prov WHERE sum > 100"
+    )
+    assert sorted(result.rows) == [(1,), (2,)]
+
+
+def test_provenance_method_equivalent_to_keyword(example_db):
+    via_keyword = example_db.execute(QEX_PROV)
+    via_method = example_db.provenance(QEX)
+    assert via_keyword.columns == via_method.columns
+    assert Counter(via_keyword.rows) == Counter(via_method.rows)
+
+
+def test_disjunctive_sublink_example(example_db):
+    """Section IV-E: C true independent of the sublink -> all sales tuples."""
+    result = example_db.execute(
+        "SELECT PROVENANCE name FROM shop "
+        "WHERE numempl < 10 OR name IN (SELECT sname FROM sales)"
+    )
+    merdies = Counter(r for r in result.rows if r[0] == "Merdies")
+    joba = Counter(r for r in result.rows if r[0] == "Joba")
+    # Merdies satisfies numempl < 10: all five sales tuples contribute.
+    assert sum(merdies.values()) == 5
+    # Joba only via the IN sublink: exactly its two witnesses.
+    assert sum(joba.values()) == 2
+    assert set(joba) == {("Joba", "Joba", 14, "Joba", 3)}
+
+
+def test_baserelation_keyword(example_db):
+    """Section IV-A.4: BASERELATION stops provenance at the subquery."""
+    result = example_db.execute(
+        "SELECT PROVENANCE total * 10 FROM "
+        "(SELECT sum(price) AS total FROM items) BASERELATION AS sub"
+    )
+    assert result.columns == ["?column?", "prov_sub_total"]
+    assert result.rows == [(1350, 135)]
+
+
+def test_incremental_provenance_via_view(example_db):
+    """Section IV-A.3: stored provenance is reused, not recomputed."""
+    example_db.execute(
+        "CREATE VIEW totalitemprice AS "
+        "SELECT PROVENANCE sum(price) AS total FROM items"
+    )
+    result = example_db.execute(
+        "SELECT PROVENANCE total * 10 FROM totalitemprice "
+        "PROVENANCE (prov_items_id, prov_items_price)"
+    )
+    assert result.columns == ["?column?", "prov_items_id", "prov_items_price"]
+    assert sorted(result.rows) == [(1350, 1, 100), (1350, 2, 10), (1350, 3, 25)]

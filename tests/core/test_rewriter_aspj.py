@@ -1,0 +1,137 @@
+"""ASPJ rewrite tests: rule R5 / Fig. 6.2 (aggregation provenance)."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+import repro
+
+
+@pytest.fixture
+def db():
+    database = repro.connect()
+    database.execute("CREATE TABLE t (g integer, v integer)")
+    database.execute(
+        "INSERT INTO t VALUES (1, 10), (1, 20), (2, 30), (NULL, 5), (NULL, 7)"
+    )
+    return database
+
+
+def test_group_provenance_contains_all_group_members(db):
+    result = db.execute("SELECT PROVENANCE g, sum(v) FROM t GROUP BY g")
+    assert result.columns == ["g", "sum", "prov_t_g", "prov_t_v"]
+    by_group = Counter(row[:2] for row in result.rows)
+    # Each original group row is duplicated once per contributing tuple.
+    assert by_group[(1, 30)] == 2
+    assert by_group[(2, 30)] == 1
+
+
+def test_null_group_key_matches_its_own_group(db):
+    """GROUP BY collects NULL keys into one group; the R5 join must be
+    null-safe so that group's provenance is attached (not lost)."""
+    result = db.execute("SELECT PROVENANCE g, sum(v) FROM t GROUP BY g")
+    null_rows = [row for row in result.rows if row[0] is None]
+    assert Counter(null_rows) == Counter(
+        {(None, 12, None, 5): 1, (None, 12, None, 7): 1}
+    )
+
+
+def test_grand_aggregate_provenance_is_whole_input(db):
+    result = db.execute("SELECT PROVENANCE sum(v) FROM t")
+    assert len(result) == 5  # every input tuple contributed
+    assert {row[0] for row in result.rows} == {72}
+
+
+def test_grand_aggregate_over_empty_input_footnote4(db):
+    """Paper Fig. 11 footnote 4: 1 normal row, 0 provenance rows."""
+    normal = db.execute("SELECT sum(v) FROM t WHERE v > 999")
+    assert normal.rows == [(None,)]
+    prov = db.execute("SELECT PROVENANCE sum(v) FROM t WHERE v > 999")
+    assert prov.rows == []
+
+
+def test_group_not_in_output_still_joins_correctly(db):
+    # The grouping attribute is not selected; the rewrite must still join
+    # q_agg with the rewritten duplicate on it.
+    result = db.execute("SELECT PROVENANCE sum(v) FROM t GROUP BY g")
+    assert len(result) == 5
+    sums = Counter(row[0] for row in result.rows)
+    assert sums == Counter({30: 3, 12: 2})
+
+
+def test_group_by_expression(db):
+    result = db.execute(
+        "SELECT PROVENANCE g * 10, count(*) FROM t WHERE g IS NOT NULL GROUP BY g * 10"
+    )
+    assert Counter(row[:2] for row in result.rows) == Counter(
+        {(10, 2): 2, (20, 1): 1}
+    )
+
+
+def test_having_preserved(db):
+    result = db.execute(
+        "SELECT PROVENANCE g, count(*) FROM t GROUP BY g HAVING count(*) > 1"
+    )
+    groups = {row[0] for row in result.rows}
+    assert groups == {1, None}
+
+
+def test_multiple_aggregates(db):
+    result = db.execute(
+        "SELECT PROVENANCE g, sum(v), min(v), max(v), avg(v), count(*) "
+        "FROM t WHERE g = 1 GROUP BY g"
+    )
+    assert len(result) == 2
+    assert result.rows[0][:6] == (1, 30, 10, 20, 15.0, 2)
+
+
+def test_aggregation_over_join(db):
+    db.execute("CREATE TABLE names (id integer, label text)")
+    db.execute("INSERT INTO names VALUES (1, 'one'), (2, 'two')")
+    result = db.execute(
+        "SELECT PROVENANCE label, sum(v) FROM t, names WHERE g = id GROUP BY label"
+    )
+    assert result.columns == [
+        "label", "sum", "prov_t_g", "prov_t_v", "prov_names_id", "prov_names_label",
+    ]
+    one_rows = [r for r in result.rows if r[0] == "one"]
+    assert len(one_rows) == 2
+
+
+def test_nested_aggregation(db):
+    result = db.execute(
+        "SELECT PROVENANCE sum(s) FROM "
+        "(SELECT g, sum(v) AS s FROM t GROUP BY g) AS inner_agg"
+    )
+    # Provenance reaches through both aggregation levels to all 5 tuples.
+    assert result.columns == ["sum", "prov_t_g", "prov_t_v"]
+    assert len(result) == 5
+
+
+def test_aggregate_with_distinct(db):
+    db.execute("INSERT INTO t VALUES (1, 10)")
+    result = db.execute(
+        "SELECT PROVENANCE count(DISTINCT v) FROM t WHERE g = 1"
+    )
+    assert {row[0] for row in result.rows} == {2}
+    assert len(result) == 3  # three contributing tuples
+
+
+def test_order_by_on_aggregation(db):
+    result = db.execute(
+        "SELECT PROVENANCE g, sum(v) AS s FROM t WHERE g IS NOT NULL "
+        "GROUP BY g ORDER BY s DESC"
+    )
+    # ORDER BY applies inside q_agg; the top join may reorder duplicated
+    # rows but every row must still be present.
+    assert Counter(row[:2] for row in result.rows) == Counter(
+        {(1, 30): 2, (2, 30): 1}
+    )
+
+
+def test_original_aggregate_values_unchanged(db):
+    normal = db.execute("SELECT g, sum(v) FROM t GROUP BY g")
+    prov = db.execute("SELECT PROVENANCE g, sum(v) FROM t GROUP BY g")
+    assert {r[:2] for r in prov.rows} == set(normal.rows)

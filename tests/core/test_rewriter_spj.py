@@ -1,0 +1,129 @@
+"""SPJ rewrite tests: rules R1-R4 at the SQL level (paper Fig. 6.1)."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+import repro
+
+
+@pytest.fixture
+def db():
+    database = repro.connect()
+    database.execute("CREATE TABLE t (a integer, b text)")
+    database.execute("INSERT INTO t VALUES (1, 'x'), (2, 'y'), (2, 'y')")
+    database.execute("CREATE TABLE s (c integer, d text)")
+    database.execute("INSERT INTO s VALUES (1, 'p'), (3, 'q')")
+    return database
+
+
+def test_r1_base_relation_duplicates_attributes(db):
+    result = db.execute("SELECT PROVENANCE a, b FROM t")
+    assert result.columns == ["a", "b", "prov_t_a", "prov_t_b"]
+    assert Counter(result.rows) == Counter(
+        {(1, "x", 1, "x"): 1, (2, "y", 2, "y"): 2}
+    )
+
+
+def test_r2_projection_keeps_full_source_tuples(db):
+    result = db.execute("SELECT PROVENANCE b FROM t")
+    assert result.columns == ["b", "prov_t_a", "prov_t_b"]
+    # b='y' appears twice; each carries the full source tuple.
+    assert Counter(result.rows) == Counter(
+        {("x", 1, "x"): 1, ("y", 2, "y"): 2}
+    )
+
+
+def test_r2_set_projection_distinct_over_extended_tuples(db):
+    db.execute("INSERT INTO t VALUES (3, 'y')")
+    result = db.execute("SELECT PROVENANCE DISTINCT b FROM t")
+    # DISTINCT applies to the extended tuple: 'y' from (2,y) and (3,y)
+    # remain distinct provenance rows (paper rule R2, set version).
+    assert Counter(result.rows) == Counter(
+        {("x", 1, "x"): 1, ("y", 2, "y"): 1, ("y", 3, "y"): 1}
+    )
+
+
+def test_r3_selection_applies_to_rewritten_input(db):
+    result = db.execute("SELECT PROVENANCE a FROM t WHERE a > 1")
+    assert Counter(result.rows) == Counter({(2, 2, "y"): 2})
+
+
+def test_r4_cross_product_concatenates_plists(db):
+    result = db.execute("SELECT PROVENANCE a, c FROM t, s WHERE a = c")
+    assert result.columns == [
+        "a", "c", "prov_t_a", "prov_t_b", "prov_s_c", "prov_s_d",
+    ]
+    assert result.rows == [(1, 1, 1, "x", 1, "p")]
+
+
+def test_inner_join_rewrite(db):
+    via_join = db.execute("SELECT PROVENANCE a, c FROM t JOIN s ON a = c")
+    via_where = db.execute("SELECT PROVENANCE a, c FROM t, s WHERE a = c")
+    assert via_join.columns == via_where.columns
+    assert Counter(via_join.rows) == Counter(via_where.rows)
+
+
+def test_left_outer_join_rewrite_null_pads_provenance(db):
+    result = db.execute("SELECT PROVENANCE a, c FROM t LEFT JOIN s ON a = c")
+    rows = Counter(result.rows)
+    # Unmatched t-rows carry NULL provenance for s.
+    assert rows[(2, None, 2, "y", None, None)] == 2
+    assert rows[(1, 1, 1, "x", 1, "p")] == 1
+
+
+def test_self_join_gets_numbered_provenance_names(db):
+    result = db.execute(
+        "SELECT PROVENANCE x.a FROM t AS x, t AS y WHERE x.a = y.a"
+    )
+    assert result.columns == [
+        "a", "prov_t_a", "prov_t_b", "prov_t_1_a", "prov_t_1_b",
+    ]
+
+
+def test_subquery_rewritten_recursively(db):
+    result = db.execute(
+        "SELECT PROVENANCE v FROM (SELECT a + 10 AS v FROM t) AS sub"
+    )
+    assert result.columns == ["v", "prov_t_a", "prov_t_b"]
+    assert Counter(result.rows) == Counter(
+        {(11, 1, "x"): 1, (12, 2, "y"): 2}
+    )
+
+
+def test_provenance_marker_on_inner_subquery_only(db):
+    # Outer query is plain; provenance attributes are ordinary columns.
+    result = db.execute(
+        "SELECT prov_t_a FROM (SELECT PROVENANCE b FROM t) AS sub"
+    )
+    assert sorted(result.rows) == [(1,), (2,), (2,)]
+
+
+def test_order_by_and_limit_preserved(db):
+    result = db.execute("SELECT PROVENANCE a FROM t ORDER BY a DESC LIMIT 2")
+    assert result.rows[0][0] == 2
+    assert len(result) == 2
+
+
+def test_constants_and_expressions_in_targets(db):
+    result = db.execute("SELECT PROVENANCE a * 2 + 1, 'k' FROM t WHERE a = 1")
+    assert result.rows == [(3, "k", 1, "x")]
+
+
+def test_query_without_from(db):
+    result = db.execute("SELECT PROVENANCE 1 + 1")
+    assert result.columns == ["?column?"]
+    assert result.rows == [(2,)]
+
+
+def test_provenance_of_empty_selection(db):
+    result = db.execute("SELECT PROVENANCE a FROM t WHERE a > 100")
+    assert result.rows == []
+
+
+def test_original_multiplicities_preserved_for_spj(db):
+    normal = db.execute("SELECT a FROM t")
+    prov = db.execute("SELECT PROVENANCE a FROM t")
+    assert Counter(r[:1] for r in prov.rows) == Counter(normal.rows)

@@ -1,0 +1,269 @@
+"""Execution semantics: joins, aggregation, distinct, sort, limit, set ops."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+import repro
+
+
+@pytest.fixture
+def db():
+    database = repro.connect()
+    database.execute("CREATE TABLE l (id integer, v text)")
+    database.execute("CREATE TABLE r (id integer, w text)")
+    database.execute(
+        "INSERT INTO l VALUES (1, 'a'), (2, 'b'), (3, 'c'), (NULL, 'n')"
+    )
+    database.execute("INSERT INTO r VALUES (2, 'x'), (3, 'y'), (4, 'z'), (NULL, 'm')")
+    return database
+
+
+def rows(db, sql):
+    return sorted(db.execute(sql).rows, key=repr)
+
+
+# -- joins -----------------------------------------------------------------------
+
+
+def test_inner_join(db):
+    result = rows(db, "SELECT l.id, w FROM l JOIN r ON l.id = r.id")
+    assert result == [(2, "x"), (3, "y")]
+
+
+def test_comma_join_with_where_equals_inner_join(db):
+    explicit = rows(db, "SELECT l.id, w FROM l JOIN r ON l.id = r.id")
+    implicit = rows(db, "SELECT l.id, w FROM l, r WHERE l.id = r.id")
+    assert explicit == implicit
+
+
+def test_null_keys_never_match(db):
+    result = rows(db, "SELECT l.v, r.w FROM l JOIN r ON l.id = r.id")
+    assert ("n", "m") not in result
+
+
+def test_left_join_null_extends(db):
+    result = rows(db, "SELECT l.id, w FROM l LEFT JOIN r ON l.id = r.id")
+    assert (1, None) in result
+    assert (None, None) in result  # the NULL-key row survives null-extended
+    assert len(result) == 4
+
+
+def test_right_join(db):
+    result = rows(db, "SELECT v, r.id FROM l RIGHT JOIN r ON l.id = r.id")
+    assert (None, 4) in result
+    assert (None, None) in result
+    assert len(result) == 4
+
+
+def test_full_join(db):
+    result = rows(db, "SELECT v, w FROM l FULL JOIN r ON l.id = r.id")
+    assert len(result) == 6  # 2 matches + 2 left-only + 2 right-only
+
+
+def test_cross_join(db):
+    result = db.execute("SELECT 1 FROM l CROSS JOIN r")
+    assert len(result) == 16
+
+
+def test_join_on_complex_condition(db):
+    # Non-equi condition exercises the nested-loop path.
+    result = rows(db, "SELECT l.id, r.id FROM l JOIN r ON l.id < r.id")
+    assert (1, 2) in result and (3, 4) in result and (3, 2) not in result
+
+
+def test_left_join_with_residual_condition(db):
+    # ON with equi + extra predicate: the residual must be part of the join,
+    # not a post-filter (unmatched rows survive).
+    result = rows(
+        db,
+        "SELECT l.id, w FROM l LEFT JOIN r ON l.id = r.id AND r.w = 'x'",
+    )
+    assert (2, "x") in result
+    assert (3, None) in result  # 3 matched the key but failed the residual
+
+
+# -- aggregation ----------------------------------------------------------------------
+
+
+def test_grand_aggregate_over_empty_input(db):
+    result = db.execute("SELECT count(*), sum(id), min(id) FROM l WHERE id > 100")
+    assert result.rows == [(0, None, None)]
+
+
+def test_group_by_empty_input_yields_no_rows(db):
+    result = db.execute("SELECT v, count(*) FROM l WHERE id > 100 GROUP BY v")
+    assert result.rows == []
+
+
+def test_aggregates_skip_nulls(db):
+    result = db.execute("SELECT count(id), count(*), avg(id) FROM l")
+    assert result.rows == [(3, 4, 2.0)]
+
+
+def test_group_by_null_forms_its_own_group(db):
+    result = rows(db, "SELECT id, count(*) FROM l GROUP BY id")
+    assert (None, 1) in result
+    assert len(result) == 4
+
+
+def test_sum_min_max(db):
+    result = db.execute("SELECT sum(id), min(id), max(id) FROM l")
+    assert result.rows == [(6, 1, 3)]
+
+
+def test_count_distinct(db):
+    db.execute("INSERT INTO l VALUES (1, 'dup')")
+    result = db.execute("SELECT count(DISTINCT id) FROM l")
+    assert result.rows == [(3,)]
+
+
+def test_sum_distinct(db):
+    db.execute("INSERT INTO l VALUES (1, 'dup')")
+    assert db.execute("SELECT sum(DISTINCT id) FROM l").scalar() == 6
+    assert db.execute("SELECT sum(id) FROM l").scalar() == 7
+
+
+def test_having_filters_groups(db):
+    db.execute("INSERT INTO l VALUES (2, 'bb')")
+    result = rows(db, "SELECT id, count(*) FROM l GROUP BY id HAVING count(*) > 1")
+    assert result == [(2, 2)]
+
+
+def test_aggregate_of_expression(db):
+    assert db.execute("SELECT sum(id * 2) FROM l").scalar() == 12
+
+
+def test_group_by_expression(db):
+    result = rows(db, "SELECT id % 2, count(*) FROM l WHERE id IS NOT NULL GROUP BY id % 2")
+    assert result == [(0, 1), (1, 2)]
+
+
+# -- distinct ---------------------------------------------------------------------------------
+
+
+def test_select_distinct(db):
+    db.execute("INSERT INTO l VALUES (1, 'a')")
+    result = db.execute("SELECT DISTINCT id, v FROM l")
+    assert len(result) == 4
+
+
+def test_distinct_treats_nulls_as_equal(db):
+    db.execute("INSERT INTO l VALUES (NULL, 'n')")
+    result = db.execute("SELECT DISTINCT id, v FROM l")
+    assert len(result) == 4
+
+
+# -- sorting and limits ---------------------------------------------------------------------------
+
+
+def test_order_by_asc_nulls_last(db):
+    result = db.execute("SELECT id FROM l ORDER BY id").rows
+    assert result == [(1,), (2,), (3,), (None,)]
+
+
+def test_order_by_desc_nulls_first(db):
+    result = db.execute("SELECT id FROM l ORDER BY id DESC").rows
+    assert result == [(None,), (3,), (2,), (1,)]
+
+
+def test_order_by_explicit_nulls(db):
+    asc_first = db.execute("SELECT id FROM l ORDER BY id NULLS FIRST").rows
+    assert asc_first[0] == (None,)
+    desc_last = db.execute("SELECT id FROM l ORDER BY id DESC NULLS LAST").rows
+    assert desc_last[-1] == (None,)
+
+
+def test_multi_key_sort(db):
+    db.execute("CREATE TABLE m (a integer, b integer)")
+    db.execute("INSERT INTO m VALUES (1, 2), (1, 1), (2, 1), (2, 3)")
+    result = db.execute("SELECT a, b FROM m ORDER BY a, b DESC").rows
+    assert result == [(1, 2), (1, 1), (2, 3), (2, 1)]
+
+
+def test_order_by_hidden_expression(db):
+    result = db.execute(
+        "SELECT v FROM l WHERE id IS NOT NULL ORDER BY id * -1"
+    ).rows
+    assert result == [("c",), ("b",), ("a",)]
+
+
+def test_limit_offset(db):
+    result = db.execute("SELECT id FROM l ORDER BY id LIMIT 2 OFFSET 1").rows
+    assert result == [(2,), (3,)]
+
+
+def test_limit_zero(db):
+    assert db.execute("SELECT id FROM l LIMIT 0").rows == []
+
+
+# -- set operations ---------------------------------------------------------------------------------
+
+
+@pytest.fixture
+def setdb():
+    database = repro.connect()
+    database.execute("CREATE TABLE a (x integer)")
+    database.execute("CREATE TABLE b (x integer)")
+    database.execute("INSERT INTO a VALUES (1), (2), (2), (3)")
+    database.execute("INSERT INTO b VALUES (2), (3), (3), (4)")
+    return database
+
+
+def bag(result):
+    return Counter(result.rows)
+
+
+def test_union_distinct(setdb):
+    result = setdb.execute("SELECT x FROM a UNION SELECT x FROM b")
+    assert bag(result) == Counter({(1,): 1, (2,): 1, (3,): 1, (4,): 1})
+
+
+def test_union_all(setdb):
+    result = setdb.execute("SELECT x FROM a UNION ALL SELECT x FROM b")
+    assert bag(result) == Counter({(1,): 1, (2,): 3, (3,): 3, (4,): 1})
+
+
+def test_intersect_distinct(setdb):
+    result = setdb.execute("SELECT x FROM a INTERSECT SELECT x FROM b")
+    assert bag(result) == Counter({(2,): 1, (3,): 1})
+
+
+def test_intersect_all_uses_min_multiplicity(setdb):
+    result = setdb.execute("SELECT x FROM a INTERSECT ALL SELECT x FROM b")
+    assert bag(result) == Counter({(2,): 1, (3,): 1})
+
+
+def test_except_distinct(setdb):
+    result = setdb.execute("SELECT x FROM a EXCEPT SELECT x FROM b")
+    assert bag(result) == Counter({(1,): 1})
+
+
+def test_except_all_subtracts_multiplicities(setdb):
+    result = setdb.execute("SELECT x FROM a EXCEPT ALL SELECT x FROM b")
+    assert bag(result) == Counter({(1,): 1, (2,): 1})
+
+
+def test_three_way_setop(setdb):
+    setdb.execute("CREATE TABLE c (x integer)")
+    setdb.execute("INSERT INTO c VALUES (1)")
+    result = setdb.execute(
+        "SELECT x FROM a UNION SELECT x FROM b EXCEPT SELECT x FROM c"
+    )
+    assert bag(result) == Counter({(2,): 1, (3,): 1, (4,): 1})
+
+
+def test_setop_null_handling(setdb):
+    setdb.execute("INSERT INTO a VALUES (NULL)")
+    setdb.execute("INSERT INTO b VALUES (NULL)")
+    result = setdb.execute("SELECT x FROM a INTERSECT SELECT x FROM b")
+    assert (None,) in result.rows  # set ops treat NULLs as equal
+
+
+def test_setop_order_by_and_limit(setdb):
+    result = setdb.execute(
+        "SELECT x FROM a UNION SELECT x FROM b ORDER BY x DESC LIMIT 2"
+    )
+    assert result.rows == [(4,), (3,)]

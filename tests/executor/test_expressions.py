@@ -1,0 +1,217 @@
+"""Expression evaluation through the full pipeline (SQL -> result).
+
+These tests exercise compiled expressions with SQL three-valued logic,
+PostgreSQL-compatible arithmetic, string/date functions and CASE.
+"""
+
+from __future__ import annotations
+
+import datetime
+
+import pytest
+
+import repro
+from repro.errors import ExecutionError
+
+
+@pytest.fixture
+def db():
+    return repro.connect()
+
+
+def scalar(db, expression):
+    return db.execute(f"SELECT {expression}").scalar()
+
+
+# -- literals and arithmetic ------------------------------------------------------
+
+
+def test_integer_arithmetic(db):
+    assert scalar(db, "1 + 2 * 3") == 7
+    assert scalar(db, "(1 + 2) * 3") == 9
+    assert scalar(db, "10 - 4 - 3") == 3
+
+
+def test_integer_division_truncates_like_postgres(db):
+    assert scalar(db, "7 / 2") == 3
+    assert scalar(db, "-7 / 2") == -3  # truncation toward zero
+    assert scalar(db, "1 / 2") == 0
+
+
+def test_float_division(db):
+    assert scalar(db, "7.0 / 2") == 3.5
+
+
+def test_division_by_zero(db):
+    with pytest.raises(ExecutionError, match="division by zero"):
+        scalar(db, "1 / 0")
+
+
+def test_modulo_sign_follows_dividend(db):
+    assert scalar(db, "7 % 3") == 1
+    assert scalar(db, "-7 % 3") == -1
+    assert scalar(db, "7 % -3") == 1
+
+
+def test_unary_minus(db):
+    assert scalar(db, "-(2 + 3)") == -5
+
+
+def test_null_propagates_through_arithmetic(db):
+    assert scalar(db, "1 + NULL") is None
+    assert scalar(db, "NULL * 3") is None
+
+
+# -- three-valued logic --------------------------------------------------------------
+
+
+def test_comparison_with_null_is_null(db):
+    assert scalar(db, "1 = NULL") is None
+    assert scalar(db, "NULL <> NULL") is None
+
+
+def test_and_or_three_valued(db):
+    assert scalar(db, "FALSE AND NULL") is False
+    assert scalar(db, "TRUE AND NULL") is None
+    assert scalar(db, "TRUE OR NULL") is True
+    assert scalar(db, "FALSE OR NULL") is None
+
+
+def test_not_three_valued(db):
+    assert scalar(db, "NOT TRUE") is False
+    assert scalar(db, "NOT NULL") is None
+
+
+def test_is_null(db):
+    assert scalar(db, "NULL IS NULL") is True
+    assert scalar(db, "1 IS NULL") is False
+    assert scalar(db, "1 IS NOT NULL") is True
+
+
+def test_in_list_three_valued(db):
+    assert scalar(db, "1 IN (1, 2)") is True
+    assert scalar(db, "3 IN (1, 2)") is False
+    assert scalar(db, "3 IN (1, NULL)") is None
+    assert scalar(db, "3 NOT IN (1, NULL)") is None
+    assert scalar(db, "1 NOT IN (2, 3)") is True
+
+
+def test_between(db):
+    assert scalar(db, "2 BETWEEN 1 AND 3") is True
+    assert scalar(db, "0 NOT BETWEEN 1 AND 3") is True
+
+
+# -- strings ------------------------------------------------------------------------------
+
+
+def test_concatenation(db):
+    assert scalar(db, "'a' || 'b' || 'c'") == "abc"
+    assert scalar(db, "'n=' || 5") == "n=5"
+    assert scalar(db, "'x' || NULL") is None
+
+
+def test_like_patterns(db):
+    assert scalar(db, "'hello' LIKE 'h%'") is True
+    assert scalar(db, "'hello' LIKE 'h_llo'") is True
+    assert scalar(db, "'hello' LIKE 'H%'") is False  # case sensitive
+    assert scalar(db, "'hello' NOT LIKE '%z%'") is True
+    assert scalar(db, "'50%' LIKE '50\\%'") is True  # escaped wildcard
+
+
+def test_like_with_null(db):
+    assert scalar(db, "NULL LIKE 'x'") is None
+
+
+def test_like_regex_metacharacters_escaped(db):
+    assert scalar(db, "'a.b' LIKE 'a.b'") is True
+    assert scalar(db, "'axb' LIKE 'a.b'") is False
+
+
+def test_string_functions(db):
+    assert scalar(db, "upper('abc')") == "ABC"
+    assert scalar(db, "lower('ABC')") == "abc"
+    assert scalar(db, "length('abcd')") == 4
+    assert scalar(db, "trim('  x  ')") == "x"
+    assert scalar(db, "strpos('hello', 'll')") == 3
+    assert scalar(db, "SUBSTRING('hello' FROM 2 FOR 3)") == "ell"
+    assert scalar(db, "SUBSTRING('hello', 4)") == "lo"
+
+
+def test_substring_clamps(db):
+    assert scalar(db, "SUBSTRING('abc' FROM 0 FOR 2)") == "a"
+
+
+# -- numeric functions -------------------------------------------------------------------------
+
+
+def test_numeric_functions(db):
+    assert scalar(db, "abs(-3)") == 3
+    assert scalar(db, "round(2.567, 2)") == 2.57
+    assert scalar(db, "floor(2.7)") == 2.0
+    assert scalar(db, "ceil(2.1)") == 3.0
+    assert scalar(db, "sqrt(9)") == 3.0
+    assert scalar(db, "power(2, 10)") == 1024.0
+    assert scalar(db, "mod(7, 3)") == 1
+
+
+def test_conditional_functions(db):
+    assert scalar(db, "coalesce(NULL, NULL, 3)") == 3
+    assert scalar(db, "coalesce(NULL, NULL)") is None
+    assert scalar(db, "nullif(1, 1)") is None
+    assert scalar(db, "nullif(1, 2)") == 1
+    assert scalar(db, "greatest(1, NULL, 3)") == 3
+    assert scalar(db, "least(5, 2, NULL)") == 2
+
+
+# -- dates ------------------------------------------------------------------------------------------
+
+
+def test_date_literals_and_arithmetic(db):
+    assert scalar(db, "DATE '1995-06-17'") == datetime.date(1995, 6, 17)
+    assert scalar(db, "DATE '1995-01-01' + INTERVAL '90' DAY") == datetime.date(1995, 4, 1)
+    assert scalar(db, "DATE '1995-01-01' + INTERVAL '3' MONTH") == datetime.date(1995, 4, 1)
+    assert scalar(db, "DATE '1995-01-01' + INTERVAL '1' YEAR") == datetime.date(1996, 1, 1)
+    assert scalar(db, "DATE '1995-01-31' - INTERVAL '1' MONTH") == datetime.date(1994, 12, 31)
+    assert scalar(db, "DATE '1995-03-01' - DATE '1995-02-01'") == 28
+
+
+def test_extract(db):
+    assert scalar(db, "EXTRACT(YEAR FROM DATE '1995-06-17')") == 1995
+    assert scalar(db, "EXTRACT(MONTH FROM DATE '1995-06-17')") == 6
+    assert scalar(db, "EXTRACT(DAY FROM DATE '1995-06-17')") == 17
+
+
+def test_date_comparison(db):
+    assert scalar(db, "DATE '1995-01-01' < DATE '1995-01-02'") is True
+
+
+# -- CASE -----------------------------------------------------------------------------------------------
+
+
+def test_case_searched(db):
+    assert scalar(db, "CASE WHEN 1 = 1 THEN 'yes' ELSE 'no' END") == "yes"
+    assert scalar(db, "CASE WHEN 1 = 2 THEN 'yes' END") is None
+
+
+def test_case_first_match_wins(db):
+    assert scalar(db, "CASE WHEN TRUE THEN 1 WHEN TRUE THEN 2 END") == 1
+
+
+def test_case_null_condition_is_not_a_match(db):
+    assert scalar(db, "CASE WHEN NULL THEN 1 ELSE 2 END") == 2
+
+
+def test_case_simple(db):
+    assert scalar(db, "CASE 2 WHEN 1 THEN 'one' WHEN 2 THEN 'two' END") == "two"
+
+
+# -- casts ------------------------------------------------------------------------------------------------
+
+
+def test_casts(db):
+    assert scalar(db, "CAST('42' AS integer)") == 42
+    assert scalar(db, "CAST(3 AS float)") == 3.0
+    assert scalar(db, "CAST(3.9 AS integer)") == 3
+    assert scalar(db, "CAST(17 AS text)") == "17"
+    assert scalar(db, "CAST('1995-06-17' AS date)") == datetime.date(1995, 6, 17)
+    assert scalar(db, "CAST(NULL AS integer)") is None

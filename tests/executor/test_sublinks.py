@@ -1,0 +1,165 @@
+"""Sublink execution: scalar, EXISTS, ANY/ALL, correlated re-execution."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.errors import ExecutionError
+
+
+@pytest.fixture
+def db():
+    database = repro.connect()
+    database.execute("CREATE TABLE emp (name text, dept integer, salary integer)")
+    database.execute("CREATE TABLE dept (id integer, budget integer)")
+    database.execute(
+        "INSERT INTO emp VALUES ('ann', 1, 100), ('bob', 1, 200), "
+        "('cat', 2, 150), ('dan', NULL, 50)"
+    )
+    database.execute("INSERT INTO dept VALUES (1, 1000), (2, 500)")
+    return database
+
+
+# -- scalar sublinks ----------------------------------------------------------
+
+
+def test_scalar_sublink_in_where(db):
+    result = db.execute(
+        "SELECT name FROM emp WHERE salary > (SELECT avg(salary) FROM emp)"
+    )
+    assert sorted(result.rows) == [("bob",), ("cat",)]
+
+
+def test_scalar_sublink_in_select_list(db):
+    result = db.execute("SELECT name, (SELECT max(salary) FROM emp) FROM emp")
+    assert all(row[1] == 200 for row in result.rows)
+
+
+def test_scalar_sublink_empty_is_null(db):
+    value = db.execute("SELECT (SELECT salary FROM emp WHERE salary > 999)").scalar()
+    assert value is None
+
+
+def test_scalar_sublink_multiple_rows_error(db):
+    with pytest.raises(ExecutionError, match="more than one row"):
+        db.execute("SELECT (SELECT salary FROM emp)")
+
+
+# -- EXISTS -------------------------------------------------------------------------
+
+
+def test_exists_uncorrelated(db):
+    assert len(db.execute("SELECT 1 FROM emp WHERE EXISTS (SELECT 1 FROM dept)")) == 4
+    assert (
+        len(
+            db.execute(
+                "SELECT 1 FROM emp WHERE EXISTS (SELECT 1 FROM dept WHERE id > 99)"
+            )
+        )
+        == 0
+    )
+
+
+def test_not_exists(db):
+    result = db.execute(
+        "SELECT 1 FROM emp WHERE NOT EXISTS (SELECT 1 FROM dept WHERE id > 99)"
+    )
+    assert len(result) == 4
+
+
+def test_exists_correlated(db):
+    result = db.execute(
+        "SELECT name FROM emp WHERE EXISTS "
+        "(SELECT 1 FROM dept WHERE dept.id = emp.dept AND budget > 600)"
+    )
+    assert sorted(result.rows) == [("ann",), ("bob",)]
+
+
+# -- IN / ANY / ALL -------------------------------------------------------------------
+
+
+def test_in_subquery(db):
+    result = db.execute("SELECT name FROM emp WHERE dept IN (SELECT id FROM dept)")
+    assert len(result) == 3  # dan's NULL dept does not match
+
+
+def test_not_in_subquery(db):
+    db.execute("CREATE TABLE small (id integer)")
+    db.execute("INSERT INTO small VALUES (2)")
+    result = db.execute("SELECT name FROM emp WHERE dept NOT IN (SELECT id FROM small)")
+    assert sorted(result.rows) == [("ann",), ("bob",)]
+
+
+def test_not_in_with_null_in_subquery_filters_all(db):
+    db.execute("CREATE TABLE withnull (id integer)")
+    db.execute("INSERT INTO withnull VALUES (99), (NULL)")
+    result = db.execute(
+        "SELECT name FROM emp WHERE dept NOT IN (SELECT id FROM withnull)"
+    )
+    assert result.rows == []  # NULL makes NOT IN unknown for every row
+
+
+def test_any_with_operator(db):
+    result = db.execute(
+        "SELECT name FROM emp WHERE salary > ANY (SELECT budget / 5 FROM dept)"
+    )
+    assert sorted(result.rows) == [("bob",), ("cat",)]
+
+
+def test_all_with_operator(db):
+    result = db.execute(
+        "SELECT name FROM emp WHERE salary <= ALL (SELECT salary FROM emp)"
+    )
+    assert result.rows == [("dan",)]
+
+
+def test_any_over_empty_subquery_is_false(db):
+    result = db.execute(
+        "SELECT 1 FROM emp WHERE salary = ANY (SELECT salary FROM emp WHERE salary > 999)"
+    )
+    assert result.rows == []
+
+
+def test_all_over_empty_subquery_is_true(db):
+    result = db.execute(
+        "SELECT 1 FROM emp WHERE salary > ALL (SELECT salary FROM emp WHERE salary > 999)"
+    )
+    assert len(result) == 4
+
+
+# -- correlated scalar sublinks -----------------------------------------------------------
+
+
+def test_correlated_scalar_in_select(db):
+    result = db.execute(
+        "SELECT name, (SELECT budget FROM dept WHERE id = emp.dept) FROM emp"
+    )
+    as_dict = dict(result.rows)
+    assert as_dict == {"ann": 1000, "bob": 1000, "cat": 500, "dan": None}
+
+
+def test_correlated_comparison_with_group(db):
+    # Employees earning more than their department's average.
+    result = db.execute(
+        "SELECT name FROM emp WHERE salary > "
+        "(SELECT avg(salary) FROM emp AS inner_emp WHERE inner_emp.dept = emp.dept)"
+    )
+    assert sorted(result.rows) == [("bob",)]
+
+
+def test_doubly_nested_correlation(db):
+    result = db.execute(
+        "SELECT name FROM emp WHERE EXISTS ("
+        "  SELECT 1 FROM dept WHERE dept.id = emp.dept AND EXISTS ("
+        "    SELECT 1 FROM emp AS e2 WHERE e2.dept = dept.id AND e2.salary > 150))"
+    )
+    assert sorted(result.rows) == [("ann",), ("bob",)]
+
+
+def test_sublink_in_having(db):
+    result = db.execute(
+        "SELECT dept, sum(salary) FROM emp GROUP BY dept "
+        "HAVING sum(salary) > (SELECT avg(salary) FROM emp)"
+    )
+    assert sorted(result.rows, key=repr) == [(1, 300), (2, 150)]

@@ -1,0 +1,165 @@
+"""Hypothesis strategies generating random Perm-algebra queries.
+
+Queries are built over two base relations with small integer domains (to
+force duplicates and join collisions) and occasional NULLs in non-key
+columns.  Every operator output uses fresh column names, so schemas stay
+collision-free through joins and the rewrite rules' renamings.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from hypothesis import strategies as st
+
+from repro.algebra import (
+    Aggregate,
+    AggSpec,
+    Attr,
+    BagDifference,
+    BagIntersection,
+    BagProject,
+    BagUnion,
+    BaseRelation,
+    Cross,
+    Join,
+    Select,
+    SetDifference,
+    SetIntersection,
+    SetProject,
+    SetUnion,
+)
+from repro.algebra.expr import BinOp, Cmp, Lit
+from repro.storage.relation import Relation
+
+_fresh = itertools.count()
+
+
+def fresh_name(prefix: str = "c") -> str:
+    return f"{prefix}{next(_fresh)}"
+
+
+# Small domains force collisions; first column never NULL so that no base
+# tuple is entirely NULL (all-NULL provenance groups mean "no contribution").
+_value = st.integers(min_value=0, max_value=3)
+_maybe_null_value = st.one_of(st.none(), _value)
+
+
+@st.composite
+def base_rows(draw) -> list[tuple]:
+    size = draw(st.integers(min_value=0, max_value=5))
+    return [
+        (draw(_value), draw(_maybe_null_value))
+        for _ in range(size)
+    ]
+
+
+@st.composite
+def databases(draw) -> dict[str, Relation]:
+    return {
+        "r": Relation.from_rows(["r_k", "r_v"], draw(base_rows())),
+        "s": Relation.from_rows(["s_k", "s_v"], draw(base_rows())),
+    }
+
+
+def _leaf(draw) -> BaseRelation:
+    name = draw(st.sampled_from(["r", "s"]))
+    return BaseRelation(name, [fresh_name(), fresh_name()])
+
+
+def _condition(draw, columns: list[str]):
+    column = draw(st.sampled_from(columns))
+    op = draw(st.sampled_from(["=", "<", "<=", ">", ">=", "<>"]))
+    return Cmp(op, Attr(column), Lit(draw(_value)))
+
+
+@st.composite
+def algebra_queries(draw, max_depth: int = 3):
+    """A random algebra expression of bounded depth."""
+    return _query(draw, max_depth)
+
+
+def _query(draw, depth: int):
+    if depth <= 0:
+        return _leaf(draw)
+    kind = draw(
+        st.sampled_from(
+            [
+                "leaf",
+                "select",
+                "project_bag",
+                "project_set",
+                "join",
+                "cross",
+                "aggregate",
+                "setop",
+            ]
+        )
+    )
+    if kind == "leaf":
+        return _leaf(draw)
+    if kind == "select":
+        child = _query(draw, depth - 1)
+        return Select(child, _condition(draw, child.schema()))
+    if kind in ("project_bag", "project_set"):
+        child = _query(draw, depth - 1)
+        schema = child.schema()
+        count = draw(st.integers(min_value=1, max_value=len(schema)))
+        chosen = draw(
+            st.lists(
+                st.sampled_from(schema), min_size=count, max_size=count, unique=True
+            )
+        )
+        items = [(Attr(c), fresh_name()) for c in chosen]
+        if draw(st.booleans()) and len(schema) >= 2:
+            items.append(
+                (BinOp("+", Attr(schema[0]), Lit(draw(_value))), fresh_name())
+            )
+        cls = BagProject if kind == "project_bag" else SetProject
+        return cls(child, items)
+    if kind in ("join", "cross"):
+        left = _query(draw, depth - 1)
+        right = _query(draw, depth - 1)
+        if kind == "cross":
+            return Cross(left, right)
+        condition = Cmp(
+            "=",
+            Attr(draw(st.sampled_from(left.schema()))),
+            Attr(draw(st.sampled_from(right.schema()))),
+        )
+        join_kind = draw(st.sampled_from(["inner", "left", "right", "full"]))
+        return Join(left, right, condition, join_kind)
+    if kind == "aggregate":
+        child = _query(draw, depth - 1)
+        schema = child.schema()
+        group_count = draw(st.integers(min_value=0, max_value=min(2, len(schema))))
+        group_by = draw(
+            st.lists(
+                st.sampled_from(schema),
+                min_size=group_count,
+                max_size=group_count,
+                unique=True,
+            )
+        )
+        func = draw(st.sampled_from(["sum", "count", "min", "max"]))
+        arg = None if func == "count" and draw(st.booleans()) else Attr(
+            draw(st.sampled_from(schema))
+        )
+        return Aggregate(child, group_by, [AggSpec(func, arg, fresh_name())])
+    # set operation: equal-width operands via projection onto two columns.
+    left = _project_to_two(draw, _query(draw, depth - 1))
+    right = _project_to_two(draw, _query(draw, depth - 1))
+    cls = draw(
+        st.sampled_from(
+            [SetUnion, BagUnion, SetIntersection, BagIntersection,
+             SetDifference, BagDifference]
+        )
+    )
+    return cls(left, right)
+
+
+def _project_to_two(draw, child):
+    schema = child.schema()
+    first = draw(st.sampled_from(schema))
+    second = draw(st.sampled_from(schema))
+    return BagProject(child, [(Attr(first), fresh_name()), (Attr(second), fresh_name())])

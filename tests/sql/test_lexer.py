@@ -1,0 +1,125 @@
+"""Lexer unit tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import LexError
+from repro.sql.lexer import tokenize
+from repro.sql.tokens import TokenKind
+
+
+def kinds(text):
+    return [t.kind for t in tokenize(text)[:-1]]
+
+
+def values(text):
+    return [t.value for t in tokenize(text)[:-1]]
+
+
+def test_empty_input_yields_only_eof():
+    tokens = tokenize("")
+    assert len(tokens) == 1
+    assert tokens[0].kind is TokenKind.EOF
+
+
+def test_keywords_are_uppercased():
+    assert values("select from where") == ["SELECT", "FROM", "WHERE"]
+    assert kinds("select") == [TokenKind.KEYWORD]
+
+
+def test_identifiers_are_lowercased():
+    assert values("Foo BAR_baz qux1") == ["foo", "bar_baz", "qux1"]
+    assert kinds("foo") == [TokenKind.IDENT]
+
+
+def test_quoted_identifiers_preserve_case():
+    tokens = tokenize('"MixedCase"')
+    assert tokens[0].kind is TokenKind.IDENT
+    assert tokens[0].value == "MixedCase"
+
+
+def test_quoted_identifier_with_escaped_quote():
+    tokens = tokenize('"a""b"')
+    assert tokens[0].value == 'a"b'
+
+
+def test_unterminated_quoted_identifier():
+    with pytest.raises(LexError):
+        tokenize('"oops')
+
+
+def test_integer_and_decimal_numbers():
+    assert values("1 23 4.5 0.001 1e3 2.5E-2") == ["1", "23", "4.5", "0.001", "1e3", "2.5E-2"]
+    assert all(k is TokenKind.NUMBER for k in kinds("1 4.5 1e3"))
+
+
+def test_number_starting_with_dot():
+    tokens = tokenize(".5")
+    assert tokens[0].kind is TokenKind.NUMBER
+    assert tokens[0].value == ".5"
+
+
+def test_string_literal_with_escape():
+    tokens = tokenize("'it''s'")
+    assert tokens[0].kind is TokenKind.STRING
+    assert tokens[0].value == "it's"
+
+
+def test_unterminated_string():
+    with pytest.raises(LexError) as excinfo:
+        tokenize("'oops")
+    assert excinfo.value.position == 0
+
+
+def test_operators_longest_match():
+    assert values("a <= b <> c || d") == ["a", "<=", "b", "<>", "c", "||", "d"]
+
+
+def test_not_equals_alias():
+    assert values("a != b") == ["a", "!=", "b"]
+
+
+def test_punctuation():
+    assert values("(a, b);") == ["(", "a", ",", "b", ")", ";"]
+
+
+def test_line_comment_is_skipped():
+    assert values("a -- comment here\n b") == ["a", "b"]
+
+
+def test_line_comment_at_end_without_newline():
+    assert values("a -- trailing") == ["a"]
+
+
+def test_block_comment_is_skipped():
+    assert values("a /* multi\nline */ b") == ["a", "b"]
+
+
+def test_unterminated_block_comment():
+    with pytest.raises(LexError):
+        tokenize("a /* oops")
+
+
+def test_minus_is_operator_not_comment():
+    assert values("a - b") == ["a", "-", "b"]
+
+
+def test_positions_are_character_offsets():
+    tokens = tokenize("ab  cd")
+    assert tokens[0].position == 0
+    assert tokens[1].position == 4
+
+
+def test_unexpected_character():
+    with pytest.raises(LexError):
+        tokenize("a ? b")
+
+
+def test_provenance_keywords_are_reserved():
+    assert values("provenance baserelation") == ["PROVENANCE", "BASERELATION"]
+    assert kinds("provenance") == [TokenKind.KEYWORD]
+
+
+def test_dollar_in_identifier_tail():
+    assert values("a$1") == ["a$1"]

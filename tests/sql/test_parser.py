@@ -1,0 +1,434 @@
+"""Parser unit tests: statement structure, precedence, SQL-PLE extensions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ParseError
+from repro.sql import ast
+from repro.sql.parser import parse_expression, parse_sql, parse_statement
+
+
+# -- basic select structure ---------------------------------------------------
+
+
+def test_minimal_select():
+    stmt = parse_statement("SELECT 1")
+    assert isinstance(stmt, ast.SelectStmt)
+    assert len(stmt.target_list) == 1
+    assert stmt.target_list[0].expr == ast.NumberLit(1)
+
+
+def test_select_with_alias():
+    stmt = parse_statement("SELECT a AS x, b y FROM t")
+    assert stmt.target_list[0].name == "x"
+    assert stmt.target_list[1].name == "y"
+
+
+def test_select_star_and_qualified_star():
+    stmt = parse_statement("SELECT *, t.* FROM t")
+    assert stmt.target_list[0].expr == ast.Star()
+    assert stmt.target_list[1].expr == ast.Star(relation="t")
+
+
+def test_from_where_group_having_order_limit():
+    stmt = parse_statement(
+        "SELECT a, sum(b) FROM t WHERE a > 1 GROUP BY a HAVING sum(b) > 2 "
+        "ORDER BY a DESC LIMIT 5 OFFSET 2"
+    )
+    assert stmt.where is not None
+    assert len(stmt.group_by) == 1
+    assert stmt.having is not None
+    assert stmt.order_by[0].descending is True
+    assert stmt.limit == ast.NumberLit(5)
+    assert stmt.offset == ast.NumberLit(2)
+
+
+def test_order_by_nulls_first_last():
+    stmt = parse_statement("SELECT a FROM t ORDER BY a NULLS FIRST, a ASC NULLS LAST")
+    assert stmt.order_by[0].nulls_first is True
+    assert stmt.order_by[1].nulls_first is False
+
+
+def test_distinct():
+    assert parse_statement("SELECT DISTINCT a FROM t").distinct is True
+    assert parse_statement("SELECT ALL a FROM t").distinct is False
+
+
+def test_multiple_statements():
+    statements = parse_sql("SELECT 1; SELECT 2;")
+    assert len(statements) == 2
+
+
+def test_parse_statement_rejects_multiple():
+    with pytest.raises(ParseError):
+        parse_statement("SELECT 1; SELECT 2")
+
+
+# -- FROM clause ------------------------------------------------------------------
+
+
+def test_comma_join():
+    stmt = parse_statement("SELECT 1 FROM a, b, c")
+    assert len(stmt.from_clause) == 3
+    assert all(isinstance(f, ast.RangeVar) for f in stmt.from_clause)
+
+
+def test_explicit_joins():
+    stmt = parse_statement(
+        "SELECT 1 FROM a JOIN b ON a.x = b.x LEFT JOIN c ON b.y = c.y"
+    )
+    join = stmt.from_clause[0]
+    assert isinstance(join, ast.JoinExpr)
+    assert join.join_type == "left"
+    assert isinstance(join.left, ast.JoinExpr)
+    assert join.left.join_type == "inner"
+
+
+def test_outer_keyword_is_optional():
+    stmt = parse_statement("SELECT 1 FROM a LEFT OUTER JOIN b ON a.x = b.x")
+    assert stmt.from_clause[0].join_type == "left"
+
+
+def test_cross_join():
+    stmt = parse_statement("SELECT 1 FROM a CROSS JOIN b")
+    assert stmt.from_clause[0].join_type == "cross"
+    assert stmt.from_clause[0].condition is None
+
+
+def test_join_using():
+    stmt = parse_statement("SELECT 1 FROM a JOIN b USING (x, y)")
+    assert stmt.from_clause[0].using == ("x", "y")
+
+
+def test_natural_join():
+    stmt = parse_statement("SELECT 1 FROM a NATURAL JOIN b")
+    assert stmt.from_clause[0].natural is True
+
+
+def test_join_without_condition_is_an_error():
+    with pytest.raises(ParseError):
+        parse_statement("SELECT 1 FROM a JOIN b")
+
+
+def test_subquery_in_from_requires_alias():
+    with pytest.raises(ParseError):
+        parse_statement("SELECT 1 FROM (SELECT 1)")
+
+
+def test_subquery_with_alias_and_column_aliases():
+    stmt = parse_statement("SELECT 1 FROM (SELECT 1, 2) AS s (a, b)")
+    sub = stmt.from_clause[0]
+    assert isinstance(sub, ast.RangeSubselect)
+    assert sub.alias == "s"
+    assert sub.column_aliases == ("a", "b")
+
+
+def test_table_alias_without_as():
+    stmt = parse_statement("SELECT 1 FROM nation n1")
+    assert stmt.from_clause[0].alias == "n1"
+
+
+# -- SQL-PLE extensions -----------------------------------------------------------
+
+
+def test_select_provenance_flag():
+    assert parse_statement("SELECT PROVENANCE a FROM t").provenance is True
+    assert parse_statement("SELECT a FROM t").provenance is False
+
+
+def test_from_item_provenance_annotation():
+    stmt = parse_statement("SELECT 1 FROM v PROVENANCE (p_a, p_b)")
+    assert stmt.from_clause[0].provenance_attrs == ("p_a", "p_b")
+
+
+def test_from_item_provenance_after_alias():
+    stmt = parse_statement("SELECT 1 FROM v AS x PROVENANCE (p_a)")
+    item = stmt.from_clause[0]
+    assert item.alias == "x"
+    assert item.provenance_attrs == ("p_a",)
+
+
+def test_baserelation_on_table():
+    stmt = parse_statement("SELECT 1 FROM t BASERELATION AS s")
+    assert stmt.from_clause[0].base_relation is True
+
+
+def test_baserelation_on_subquery():
+    stmt = parse_statement("SELECT 1 FROM (SELECT 1) BASERELATION AS s")
+    assert stmt.from_clause[0].base_relation is True
+    assert stmt.from_clause[0].alias == "s"
+
+
+def test_provenance_lifts_to_setop_root():
+    stmt = parse_statement("SELECT PROVENANCE a FROM t UNION SELECT a FROM s")
+    assert isinstance(stmt, ast.SetOpSelect)
+    assert stmt.provenance is True
+    assert stmt.left.provenance is False
+
+
+def test_select_into():
+    stmt = parse_statement("SELECT a INTO saved FROM t")
+    assert stmt.into == "saved"
+
+
+# -- set operations ------------------------------------------------------------------
+
+
+def test_union_intersect_precedence():
+    # INTERSECT binds tighter than UNION.
+    stmt = parse_statement("SELECT 1 UNION SELECT 2 INTERSECT SELECT 3")
+    assert isinstance(stmt, ast.SetOpSelect)
+    assert stmt.op == "union"
+    assert isinstance(stmt.right, ast.SetOpSelect)
+    assert stmt.right.op == "intersect"
+
+
+def test_union_is_left_associative():
+    stmt = parse_statement("SELECT 1 UNION SELECT 2 EXCEPT SELECT 3")
+    assert stmt.op == "except"
+    assert isinstance(stmt.left, ast.SetOpSelect)
+    assert stmt.left.op == "union"
+
+
+def test_union_all():
+    stmt = parse_statement("SELECT 1 UNION ALL SELECT 2")
+    assert stmt.all is True
+
+
+def test_parenthesized_setop():
+    stmt = parse_statement("(SELECT 1 UNION SELECT 2) INTERSECT SELECT 3")
+    assert stmt.op == "intersect"
+    assert isinstance(stmt.left, ast.SetOpSelect)
+
+
+def test_order_by_attaches_to_setop_root():
+    stmt = parse_statement("SELECT a FROM t UNION SELECT a FROM s ORDER BY a")
+    assert isinstance(stmt, ast.SetOpSelect)
+    assert len(stmt.order_by) == 1
+
+
+# -- expressions -----------------------------------------------------------------------
+
+
+def test_arithmetic_precedence():
+    expr = parse_expression("1 + 2 * 3")
+    assert isinstance(expr, ast.BinaryOp)
+    assert expr.op == "+"
+    assert isinstance(expr.right, ast.BinaryOp)
+    assert expr.right.op == "*"
+
+
+def test_unary_minus_folds_into_literal():
+    assert parse_expression("-5") == ast.NumberLit(-5)
+
+
+def test_unary_minus_on_expression():
+    expr = parse_expression("-(a + b)")
+    assert isinstance(expr, ast.UnaryOp)
+
+
+def test_boolean_precedence():
+    expr = parse_expression("a = 1 OR b = 2 AND c = 3")
+    assert isinstance(expr, ast.BoolOp)
+    assert expr.op == "or"
+    assert isinstance(expr.args[1], ast.BoolOp)
+    assert expr.args[1].op == "and"
+
+
+def test_not_precedence():
+    expr = parse_expression("NOT a = 1 AND b = 2")
+    assert expr.op == "and"
+    assert expr.args[0].op == "not"
+
+
+def test_between():
+    expr = parse_expression("a BETWEEN 1 AND 5")
+    assert isinstance(expr, ast.BetweenExpr)
+    assert not expr.negated
+
+
+def test_not_between():
+    expr = parse_expression("a NOT BETWEEN 1 AND 5")
+    assert expr.negated
+
+
+def test_in_list():
+    expr = parse_expression("a IN (1, 2, 3)")
+    assert isinstance(expr, ast.InListExpr)
+    assert len(expr.items) == 3
+
+
+def test_not_in_subquery_becomes_all_sublink():
+    expr = parse_expression("a NOT IN (SELECT b FROM t)")
+    assert isinstance(expr, ast.SubLinkExpr)
+    assert expr.kind == "all"
+    assert expr.operator == "<>"
+
+
+def test_in_subquery_becomes_any_sublink():
+    expr = parse_expression("a IN (SELECT b FROM t)")
+    assert expr.kind == "any"
+    assert expr.operator == "="
+
+
+def test_exists():
+    expr = parse_expression("EXISTS (SELECT 1 FROM t)")
+    assert isinstance(expr, ast.SubLinkExpr)
+    assert expr.kind == "exists"
+
+
+def test_scalar_subquery():
+    expr = parse_expression("(SELECT max(a) FROM t)")
+    assert isinstance(expr, ast.SubLinkExpr)
+    assert expr.kind == "scalar"
+
+
+def test_quantified_comparison():
+    expr = parse_expression("a > ALL (SELECT b FROM t)")
+    assert expr.kind == "all"
+    assert expr.operator == ">"
+
+
+def test_like_and_not_like():
+    assert parse_expression("a LIKE 'x%'").negated is False
+    assert parse_expression("a NOT LIKE 'x%'").negated is True
+
+
+def test_is_null_and_is_not_null():
+    assert parse_expression("a IS NULL").negated is False
+    assert parse_expression("a IS NOT NULL").negated is True
+
+
+def test_case_searched():
+    expr = parse_expression("CASE WHEN a = 1 THEN 'x' ELSE 'y' END")
+    assert isinstance(expr, ast.CaseExpr)
+    assert expr.operand is None
+    assert expr.default == ast.StringLit("y")
+
+
+def test_case_simple():
+    expr = parse_expression("CASE a WHEN 1 THEN 'x' END")
+    assert expr.operand == ast.ColumnRef("a")
+    assert expr.default is None
+
+
+def test_case_requires_when():
+    with pytest.raises(ParseError):
+        parse_expression("CASE ELSE 1 END")
+
+
+def test_date_and_interval_literals():
+    assert parse_expression("DATE '1995-01-01'") == ast.DateLit("1995-01-01")
+    interval = parse_expression("INTERVAL '3' MONTH")
+    assert interval == ast.IntervalLit("3", "month")
+
+
+def test_extract():
+    expr = parse_expression("EXTRACT(YEAR FROM o_orderdate)")
+    assert isinstance(expr, ast.ExtractExpr)
+    assert expr.fieldname == "year"
+
+
+def test_substring_from_for():
+    expr = parse_expression("SUBSTRING(a FROM 1 FOR 2)")
+    assert isinstance(expr, ast.SubstringExpr)
+    assert expr.length == ast.NumberLit(2)
+
+
+def test_substring_comma_form():
+    expr = parse_expression("SUBSTRING(a, 1, 2)")
+    assert expr.length == ast.NumberLit(2)
+
+
+def test_cast():
+    expr = parse_expression("CAST(a AS integer)")
+    assert isinstance(expr, ast.CastExpr)
+    assert expr.type_name == "integer"
+
+
+def test_count_star_and_distinct():
+    assert parse_expression("count(*)").star is True
+    assert parse_expression("count(DISTINCT a)").distinct is True
+
+
+def test_string_concatenation():
+    expr = parse_expression("a || b || c")
+    assert expr.op == "||"
+    assert expr.left.op == "||"
+
+
+def test_qualified_column():
+    expr = parse_expression("t.a")
+    assert expr == ast.ColumnRef("a", relation="t")
+
+
+# -- other statements --------------------------------------------------------------------
+
+
+def test_create_table():
+    stmt = parse_statement(
+        "CREATE TABLE t (a integer, b varchar(10), c double precision, "
+        "PRIMARY KEY (a))"
+    )
+    assert isinstance(stmt, ast.CreateTableStmt)
+    assert [c.name for c in stmt.columns] == ["a", "b", "c"]
+    assert stmt.columns[1].type_name == "varchar(10)"
+    assert stmt.columns[2].type_name == "double precision"
+    assert stmt.primary_key == ("a",)
+
+
+def test_create_view():
+    stmt = parse_statement("CREATE VIEW v AS SELECT 1 AS x")
+    assert isinstance(stmt, ast.CreateViewStmt)
+    assert stmt.name == "v"
+
+
+def test_create_view_with_provenance_attrs():
+    stmt = parse_statement("CREATE VIEW v PROVENANCE (p_a) AS SELECT 1 AS p_a")
+    assert stmt.provenance_attrs == ("p_a",)
+
+
+def test_insert_values():
+    stmt = parse_statement("INSERT INTO t VALUES (1, 'x'), (2, 'y')")
+    assert isinstance(stmt, ast.InsertStmt)
+    assert len(stmt.values) == 2
+
+
+def test_insert_with_columns():
+    stmt = parse_statement("INSERT INTO t (a, b) VALUES (1, 2)")
+    assert stmt.columns == ("a", "b")
+
+
+def test_insert_select():
+    stmt = parse_statement("INSERT INTO t SELECT a FROM s")
+    assert stmt.query is not None
+
+
+def test_drop_table_if_exists():
+    stmt = parse_statement("DROP TABLE IF EXISTS t")
+    assert stmt.kind == "table"
+    assert stmt.if_exists is True
+
+
+def test_drop_view():
+    stmt = parse_statement("DROP VIEW v")
+    assert stmt.kind == "view"
+
+
+def test_explain():
+    stmt = parse_statement("EXPLAIN SELECT 1")
+    assert isinstance(stmt, ast.ExplainStmt)
+
+
+def test_trailing_garbage_is_an_error():
+    with pytest.raises(ParseError):
+        parse_statement("SELECT 1 2")
+    with pytest.raises(ParseError):
+        parse_statement("SELECT a FROM t WHERE")
+
+
+def test_error_positions_reported():
+    with pytest.raises(ParseError) as excinfo:
+        parse_statement("SELECT FROM")
+    assert excinfo.value.position >= 0

@@ -1,0 +1,89 @@
+"""Catalog unit tests: tables, views, name collisions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.catalog.catalog import Catalog, ViewDefinition
+from repro.catalog.schema import TableSchema
+from repro.datatypes import SQLType
+from repro.errors import CatalogError
+from repro.sql.parser import parse_statement
+
+
+def _schema(name: str = "t") -> TableSchema:
+    return TableSchema.of(name, [("a", SQLType.INTEGER)])
+
+
+def _view(name: str = "v") -> ViewDefinition:
+    return ViewDefinition(name=name, sql="SELECT 1 AS x", statement=parse_statement("SELECT 1 AS x"))
+
+
+def test_create_and_lookup_table():
+    catalog = Catalog()
+    table = catalog.create_table(_schema())
+    assert catalog.table("t") is table
+    assert catalog.table("T") is table  # case-insensitive
+    assert catalog.has_table("t")
+    assert catalog.has_relation("t")
+
+
+def test_duplicate_table_rejected():
+    catalog = Catalog()
+    catalog.create_table(_schema())
+    with pytest.raises(CatalogError):
+        catalog.create_table(_schema())
+
+
+def test_table_name_cannot_collide_with_view():
+    catalog = Catalog()
+    catalog.create_view(_view("x"))
+    with pytest.raises(CatalogError):
+        catalog.create_table(_schema("x"))
+
+
+def test_drop_table():
+    catalog = Catalog()
+    catalog.create_table(_schema())
+    catalog.drop_table("t")
+    assert not catalog.has_table("t")
+    with pytest.raises(CatalogError):
+        catalog.drop_table("t")
+    catalog.drop_table("t", missing_ok=True)
+
+
+def test_missing_table_lookup():
+    with pytest.raises(CatalogError):
+        Catalog().table("nope")
+
+
+def test_create_and_lookup_view():
+    catalog = Catalog()
+    catalog.create_view(_view())
+    assert catalog.view("v").sql == "SELECT 1 AS x"
+    assert catalog.has_view("V")
+    assert catalog.has_relation("v")
+
+
+def test_duplicate_view_rejected():
+    catalog = Catalog()
+    catalog.create_view(_view())
+    with pytest.raises(CatalogError):
+        catalog.create_view(_view())
+
+
+def test_drop_view():
+    catalog = Catalog()
+    catalog.create_view(_view())
+    catalog.drop_view("v")
+    assert not catalog.has_view("v")
+    with pytest.raises(CatalogError):
+        catalog.drop_view("v")
+    catalog.drop_view("v", missing_ok=True)
+
+
+def test_tables_listing():
+    catalog = Catalog()
+    catalog.create_table(_schema("a"))
+    catalog.create_table(_schema("b"))
+    assert {t.name for t in catalog.tables()} == {"a", "b"}

@@ -1,0 +1,76 @@
+"""CLI smoke tests (python -m repro)."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+
+import pytest
+
+
+def run_cli(*args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+
+
+def test_single_command_mode():
+    result = run_cli("--example", "-c", "SELECT name FROM shop ORDER BY name")
+    assert result.returncode == 0
+    assert "Joba" in result.stdout
+    assert "Merdies" in result.stdout
+
+
+def test_provenance_command():
+    result = run_cli(
+        "--example",
+        "-c",
+        "SELECT PROVENANCE name FROM shop WHERE numempl < 10",
+    )
+    assert result.returncode == 0
+    assert "prov_shop_name" in result.stdout
+
+
+def test_error_exit_code():
+    result = run_cli("--example", "-c", "SELECT zzz FROM shop")
+    assert result.returncode == 1
+    assert "error" in result.stderr
+
+
+def test_ddl_command_tag():
+    result = run_cli("-c", "CREATE TABLE t (a integer)")
+    assert result.returncode == 0
+    assert "CREATE TABLE" in result.stdout
+
+
+@pytest.mark.parametrize("meta", ["\\d", "\\q"])
+def test_interactive_meta_commands(meta):
+    result = subprocess.run(
+        [sys.executable, "-m", "repro", "--example"],
+        input=f"{meta}\n\\q\n",
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert result.returncode == 0
+
+
+def test_interactive_query_and_rewrite():
+    script = (
+        "SELECT name FROM shop;\n"
+        "\\rewrite SELECT PROVENANCE name FROM shop\n"
+        "\\q\n"
+    )
+    result = subprocess.run(
+        [sys.executable, "-m", "repro", "--example"],
+        input=script,
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert result.returncode == 0
+    assert "Merdies" in result.stdout
+    assert "prov_shop_name" in result.stdout

@@ -1,0 +1,155 @@
+"""Value-domain unit tests: types, intervals, date arithmetic, coercion."""
+
+from __future__ import annotations
+
+import datetime
+
+import pytest
+
+from repro.datatypes import (
+    Interval,
+    SQLType,
+    add_months,
+    coerce_types,
+    date_add,
+    format_value,
+    is_distinct,
+    parse_date,
+    sort_key,
+    sql_eq,
+    type_from_name,
+    type_of_value,
+)
+
+
+# -- type names -------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "name,expected",
+    [
+        ("integer", SQLType.INTEGER),
+        ("INT", SQLType.INTEGER),
+        ("bigint", SQLType.INTEGER),
+        ("decimal(15,2)", SQLType.FLOAT),
+        ("varchar(25)", SQLType.TEXT),
+        ("character varying(44)", SQLType.TEXT),
+        ("double precision", SQLType.FLOAT),
+        ("date", SQLType.DATE),
+        ("boolean", SQLType.BOOLEAN),
+    ],
+)
+def test_type_from_name(name, expected):
+    assert type_from_name(name) is expected
+
+
+def test_type_from_name_unknown():
+    with pytest.raises(ValueError):
+        type_from_name("geometry")
+
+
+def test_type_of_value():
+    assert type_of_value(None) is SQLType.NULL
+    assert type_of_value(True) is SQLType.BOOLEAN  # bool before int
+    assert type_of_value(3) is SQLType.INTEGER
+    assert type_of_value(3.5) is SQLType.FLOAT
+    assert type_of_value("x") is SQLType.TEXT
+    assert type_of_value(datetime.date(2020, 1, 1)) is SQLType.DATE
+    assert type_of_value(Interval(days=1)) is SQLType.INTERVAL
+
+
+# -- intervals and dates ---------------------------------------------------------
+
+
+def test_interval_parse_units():
+    assert Interval.parse("3", "day") == Interval(days=3)
+    assert Interval.parse("2", "months") == Interval(months=2)
+    assert Interval.parse("1", "YEAR") == Interval(months=12)
+
+
+def test_interval_parse_bad_unit():
+    with pytest.raises(ValueError):
+        Interval.parse("1", "fortnight")
+
+
+def test_interval_negation_and_addition():
+    assert -Interval(days=3, months=1) == Interval(days=-3, months=-1)
+    assert Interval(days=1) + Interval(months=2) == Interval(days=1, months=2)
+
+
+def test_add_months_simple():
+    assert add_months(datetime.date(1995, 1, 15), 3) == datetime.date(1995, 4, 15)
+
+
+def test_add_months_clamps_day():
+    # Jan 31 + 1 month -> Feb 28 (PostgreSQL clamping).
+    assert add_months(datetime.date(1995, 1, 31), 1) == datetime.date(1995, 2, 28)
+
+
+def test_add_months_year_rollover():
+    assert add_months(datetime.date(1995, 11, 1), 3) == datetime.date(1996, 2, 1)
+
+
+def test_date_add_interval():
+    base = datetime.date(1995, 1, 1)
+    assert date_add(base, Interval(days=90)) == datetime.date(1995, 4, 1)
+    assert date_add(base, Interval(months=1)) == datetime.date(1995, 2, 1)
+    assert date_add(base, -Interval(months=12)) == datetime.date(1994, 1, 1)
+
+
+def test_parse_date():
+    assert parse_date(" 1998-12-01 ") == datetime.date(1998, 12, 1)
+    with pytest.raises(ValueError):
+        parse_date("1998-13-01")
+
+
+# -- null-aware comparison ----------------------------------------------------------
+
+
+def test_sql_eq_three_valued():
+    assert sql_eq(1, 1) is True
+    assert sql_eq(1, 2) is False
+    assert sql_eq(None, 1) is None
+    assert sql_eq(None, None) is None
+
+
+def test_is_distinct():
+    assert is_distinct(None, None) is False
+    assert is_distinct(None, 1) is True
+    assert is_distinct(1, 1) is False
+    assert is_distinct(1, 2) is True
+
+
+def test_sort_key_puts_nulls_last():
+    values = [3, None, 1, None, 2]
+    assert sorted(values, key=sort_key) == [1, 2, 3, None, None]
+
+
+# -- coercion -----------------------------------------------------------------------
+
+
+def test_numeric_promotion():
+    assert coerce_types(SQLType.INTEGER, SQLType.FLOAT) is SQLType.FLOAT
+    assert coerce_types(SQLType.INTEGER, SQLType.INTEGER) is SQLType.INTEGER
+
+
+def test_null_coerces_to_other():
+    assert coerce_types(SQLType.NULL, SQLType.TEXT) is SQLType.TEXT
+    assert coerce_types(SQLType.DATE, SQLType.NULL) is SQLType.DATE
+
+
+def test_incompatible_types_raise():
+    with pytest.raises(ValueError):
+        coerce_types(SQLType.TEXT, SQLType.INTEGER)
+
+
+# -- formatting ------------------------------------------------------------------------
+
+
+def test_format_value():
+    assert format_value(None) == "NULL"
+    assert format_value(True) == "t"
+    assert format_value(False) == "f"
+    assert format_value(1.5) == "1.5"
+    assert format_value(datetime.date(1995, 6, 17)) == "1995-06-17"
+    assert format_value("x") == "x"

@@ -1,0 +1,137 @@
+"""Error taxonomy: every pipeline stage fails loudly and specifically."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.errors import (
+    AnalyzeError,
+    CatalogError,
+    ExecutionError,
+    LexError,
+    ParseError,
+    PermError,
+    RewriteError,
+    TypeMismatchError,
+)
+
+
+@pytest.fixture
+def db(example_db):
+    return example_db
+
+
+def test_all_errors_are_permerrors():
+    for cls in (LexError, ParseError, AnalyzeError, CatalogError,
+                RewriteError, ExecutionError, TypeMismatchError):
+        assert issubclass(cls, PermError)
+    assert issubclass(TypeMismatchError, AnalyzeError)
+
+
+def test_lex_error(db):
+    with pytest.raises(LexError):
+        db.execute("SELECT @ FROM shop")
+
+
+def test_parse_error_with_position(db):
+    with pytest.raises(ParseError) as excinfo:
+        db.execute("SELECT FROM shop")
+    assert excinfo.value.position > 0
+
+
+def test_analyze_error_unknown_table(db):
+    with pytest.raises(AnalyzeError, match="does not exist"):
+        db.execute("SELECT 1 FROM ghosts")
+
+
+def test_analyze_error_unknown_column(db):
+    with pytest.raises(AnalyzeError, match="does not exist"):
+        db.execute("SELECT ghost FROM shop")
+
+
+def test_type_mismatch_error(db):
+    with pytest.raises(TypeMismatchError):
+        db.execute("SELECT name + 1 FROM shop")
+
+
+def test_catalog_error_duplicate_table(db):
+    with pytest.raises(CatalogError, match="already exists"):
+        db.execute("CREATE TABLE shop (x integer)")
+
+
+def test_rewrite_error_correlated(db):
+    with pytest.raises(RewriteError, match="correlated"):
+        db.execute(
+            "SELECT PROVENANCE name FROM shop WHERE EXISTS "
+            "(SELECT 1 FROM sales WHERE sname = name)"
+        )
+
+
+def test_rewrite_error_does_not_poison_database(db):
+    """A failed rewrite must leave the database fully usable."""
+    with pytest.raises(RewriteError):
+        db.execute(
+            "SELECT PROVENANCE name FROM shop WHERE EXISTS "
+            "(SELECT 1 FROM sales WHERE sname = name)"
+        )
+    assert len(db.execute("SELECT name FROM shop")) == 2
+    assert len(db.execute("SELECT PROVENANCE name FROM shop")) == 2
+
+
+def test_execution_error_division_by_zero(db):
+    with pytest.raises(ExecutionError, match="division by zero"):
+        db.execute("SELECT numempl / 0 FROM shop")
+
+
+def test_execution_error_mid_stream_leaves_catalog_intact(db):
+    with pytest.raises(ExecutionError):
+        db.execute("SELECT 1 / (numempl - 3) FROM shop")
+    assert db.execute("SELECT count(*) FROM shop").scalar() == 2
+
+
+def test_insert_into_missing_table(db):
+    with pytest.raises(CatalogError):
+        db.execute("INSERT INTO ghosts VALUES (1)")
+
+
+def test_provenance_annotation_bad_attribute(db):
+    with pytest.raises(RewriteError, match="not found"):
+        db.execute("SELECT PROVENANCE name FROM shop PROVENANCE (nope)")
+
+
+def test_ambiguous_column_message_names_the_column(db):
+    db.execute("CREATE TABLE shop2 (name text)")
+    with pytest.raises(AnalyzeError, match="name"):
+        db.execute("SELECT name FROM shop, shop2")
+
+
+def test_union_width_mismatch_message(db):
+    with pytest.raises(AnalyzeError, match="same number of columns"):
+        db.execute("SELECT name, numempl FROM shop UNION SELECT name FROM shop")
+
+
+def test_scalar_sublink_cardinality_error_is_runtime(db):
+    # Passes analysis and planning; fails only during execution.
+    prepared = db.prepare("SELECT (SELECT name FROM shop)")
+    with pytest.raises(ExecutionError, match="more than one row"):
+        prepared.run()
+
+
+def test_aggregate_in_where_rejected(db):
+    with pytest.raises(AnalyzeError, match="not allowed"):
+        db.execute("SELECT name FROM shop WHERE sum(numempl) > 1")
+
+
+def test_group_by_violation_message(db):
+    with pytest.raises(AnalyzeError, match="GROUP BY"):
+        db.execute("SELECT name, numempl, count(*) FROM shop GROUP BY name")
+
+
+def test_empty_sql_is_noop(db):
+    assert db.execute("").command == "EMPTY"
+
+
+def test_unknown_function_named_in_error(db):
+    with pytest.raises(AnalyzeError, match="frobnicate"):
+        db.execute("SELECT frobnicate(name) FROM shop")

@@ -1,0 +1,101 @@
+"""Workload generators: valid SQL, deterministic, correct shapes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sql.parser import parse_statement
+from repro.sql import ast
+from repro.tpch.dbgen import tpch_database
+from repro.workloads import (
+    aggregation_chain,
+    selection_queries,
+    setop_queries,
+    spj_queries,
+)
+
+
+@pytest.fixture(scope="module")
+def db():
+    return tpch_database(scale_factor=0.001)
+
+
+def test_setop_queries_parse_and_run(db):
+    for sql in setop_queries(3, count=4, max_partkey=200, seed=1):
+        parse_statement(sql)
+        db.execute(sql)
+
+
+def test_setop_single_leaf_is_plain_select():
+    (sql,) = setop_queries(1, count=1, max_partkey=100, seed=0)
+    assert "UNION" not in sql and "INTERSECT" not in sql
+
+
+def test_setop_leaf_count():
+    (sql,) = setop_queries(4, count=1, max_partkey=100, seed=0)
+    assert sql.count("SELECT") == 4
+
+
+def test_setop_fixed_operator():
+    (sql,) = setop_queries(4, count=1, max_partkey=100, seed=0, operator="UNION")
+    assert "INTERSECT" not in sql
+
+
+def test_setop_provenance_flag():
+    (sql,) = setop_queries(2, count=1, max_partkey=100, seed=0, provenance=True)
+    assert sql.count("PROVENANCE") == 1
+    stmt = parse_statement(sql)
+    assert isinstance(stmt, ast.SetOpSelect)
+    assert stmt.provenance
+
+
+def test_spj_queries_run_and_provenance(db):
+    for sql in spj_queries(3, count=3, max_partkey=200, seed=2):
+        db.execute(sql)
+    for sql in spj_queries(3, count=2, max_partkey=200, seed=2, provenance=True):
+        result = db.execute(sql)
+        assert any(c.startswith("prov_") for c in result.columns)
+
+
+def test_spj_leaf_count():
+    (sql,) = spj_queries(5, count=1, max_partkey=100, seed=0)
+    assert sql.count("FROM part") == 5
+
+
+def test_aggregation_chain_depth(db):
+    sql = aggregation_chain(3, part_count=200)
+    assert sql.count("GROUP BY") == 3
+    result = db.execute(sql)
+    assert len(result) >= 1
+
+
+def test_aggregation_chain_provenance_reaches_base(db):
+    sql = aggregation_chain(2, part_count=200, provenance=True)
+    result = db.execute(sql)
+    assert "prov_part_p_partkey" in result.columns
+    # Deep chains keep exactly one provenance block (a single base access).
+    assert len([c for c in result.columns if c.startswith("prov_")]) == 9
+
+
+def test_aggregation_chain_group_sizes():
+    sql = aggregation_chain(4, part_count=10000)
+    # numGrp = 4th root of 10000 = 10.
+    assert "/ 10" in sql
+
+
+def test_selection_queries(db):
+    max_key = db.catalog.table("supplier").row_count()
+    queries = selection_queries(5, max_key, seed=3)
+    assert len(queries) == 5
+    for sql in queries:
+        db.execute(sql)
+    prov = selection_queries(2, max_key, seed=3, provenance=True)
+    for sql in prov:
+        result = db.execute(sql)
+        assert "prov_supplier_s_suppkey" in result.columns
+
+
+def test_generators_are_deterministic():
+    assert setop_queries(3, 2, 100, seed=5) == setop_queries(3, 2, 100, seed=5)
+    assert spj_queries(3, 2, 100, seed=5) == spj_queries(3, 2, 100, seed=5)
+    assert selection_queries(3, 100, seed=5) == selection_queries(3, 100, seed=5)

@@ -1,0 +1,109 @@
+"""TPC-H data generator tests: determinism, scaling, distributions."""
+
+from __future__ import annotations
+
+import datetime
+
+import pytest
+
+from repro.tpch import text_pools as pools
+from repro.tpch.dbgen import END_DATE, START_DATE, TPCHData, generate, tpch_database
+
+
+@pytest.fixture(scope="module")
+def data() -> TPCHData:
+    return generate(scale_factor=0.001, seed=42)
+
+
+def test_fixed_tables(data):
+    assert len(data.region) == 5
+    assert len(data.nation) == 25
+    assert [r[1] for r in data.region] == pools.REGIONS
+
+
+def test_scaling_rules(data):
+    assert len(data.supplier) == 10
+    assert len(data.part) == 200
+    assert len(data.partsupp) == 4 * len(data.part)
+    assert len(data.customer) == 150
+    assert len(data.orders) == 1500
+
+
+def test_lineitem_per_order(data):
+    per_order: dict[int, int] = {}
+    for row in data.lineitem:
+        per_order[row[0]] = per_order.get(row[0], 0) + 1
+    assert set(per_order) == {row[0] for row in data.orders}
+    assert all(1 <= n <= 7 for n in per_order.values())
+
+
+def test_determinism():
+    a = generate(scale_factor=0.001, seed=7)
+    b = generate(scale_factor=0.001, seed=7)
+    assert a.lineitem == b.lineitem
+    assert a.orders == b.orders
+
+
+def test_different_seeds_differ():
+    a = generate(scale_factor=0.001, seed=1)
+    b = generate(scale_factor=0.001, seed=2)
+    assert a.lineitem != b.lineitem
+
+
+def test_order_dates_in_range(data):
+    for row in data.orders:
+        assert START_DATE <= row[4] <= END_DATE
+
+
+def test_lineitem_date_consistency(data):
+    for row in data.lineitem[:500]:
+        shipdate, commitdate, receiptdate = row[10], row[11], row[12]
+        assert receiptdate > shipdate
+        assert isinstance(commitdate, datetime.date)
+
+
+def test_discounts_and_taxes_in_spec_range(data):
+    for row in data.lineitem[:500]:
+        assert 0.0 <= row[6] <= 0.10  # discount
+        assert 0.0 <= row[7] <= 0.08  # tax
+        assert 1 <= row[4] <= 50  # quantity
+
+
+def test_market_segments(data):
+    segments = {row[6] for row in data.customer}
+    assert segments <= set(pools.SEGMENTS)
+    assert len(segments) >= 3
+
+
+def test_ship_modes_and_flags(data):
+    modes = {row[14] for row in data.lineitem}
+    assert modes <= set(pools.SHIP_MODES)
+    flags = {row[8] for row in data.lineitem}
+    assert flags <= {"R", "A", "N"}
+
+
+def test_partsupp_references_valid_suppliers(data):
+    supplier_keys = {row[0] for row in data.supplier}
+    assert {row[1] for row in data.partsupp} <= supplier_keys
+
+
+def test_q16_complaint_pattern_exists(data):
+    # Small scales inject the pattern with boosted probability so Q16's
+    # NOT IN sublink has work to do.
+    assert any("Customer" in row[6] and "Complaints" in row[6] for row in data.supplier)
+
+
+def test_orders_reference_valid_customers(data):
+    customer_keys = {row[0] for row in data.customer}
+    assert {row[1] for row in data.orders} <= customer_keys
+
+
+def test_tpch_database_loads_all_tables():
+    db = tpch_database(scale_factor=0.001, seed=42)
+    for name in ("region", "nation", "supplier", "part", "partsupp",
+                 "customer", "orders", "lineitem"):
+        assert db.catalog.table(name).row_count() > 0
+
+
+def test_total_rows_accounting(data):
+    assert data.total_rows() == sum(len(rows) for rows in data.tables().values())

@@ -1,0 +1,97 @@
+"""Deparsed rewritten queries re-executed over TPC-H.
+
+The strongest form of the paper's "q+ is an ordinary SQL query" claim:
+for the supported benchmark queries, deparse the provenance-rewritten
+query tree back to SQL, run that SQL as a *plain* query, and compare
+with the direct SELECT PROVENANCE execution.
+
+The repro parser does not accept ``IS NOT DISTINCT FROM`` (emitted for
+null-safe rewrite joins), so queries whose rewrite needs it are checked
+for deparse *stability* only; everything else must round-trip
+bit-identically.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.errors import ParseError
+from repro.tpch.dbgen import tpch_database
+from repro.tpch.qgen import generate_query
+from repro.tpch.queries import SUPPORTED_QUERIES
+
+
+@pytest.fixture(scope="module")
+def db():
+    return tpch_database(scale_factor=0.001, seed=42)
+
+
+@pytest.mark.parametrize("number", SUPPORTED_QUERIES)
+def test_rewritten_sql_roundtrip(db, number):
+    prov_sql = generate_query(number, seed=2, provenance=True)
+    rewritten = db.rewritten_sql(prov_sql)
+    assert "prov_" in rewritten  # the rewrite actually happened
+
+    direct = db.execute(prov_sql)
+    if "IS NOT DISTINCT FROM" in rewritten:
+        # Null-safe joins are not re-parsable in this dialect; the deparse
+        # must at least be stable (deparse of the same tree is identical).
+        assert db.rewritten_sql(prov_sql) == rewritten
+        return
+    roundtrip = db.execute(rewritten)
+    assert roundtrip.columns == direct.columns
+    assert Counter(roundtrip.rows) == Counter(direct.rows)
+
+
+def _accessed_relations(query) -> set[str]:
+    """Base relations accessed anywhere in a query tree (incl. sublinks)."""
+    from repro.analyzer import expressions as ex
+    from repro.analyzer.query_tree import RTEKind
+
+    found: set[str] = set()
+    for rte in query.range_table:
+        if rte.kind is RTEKind.RELATION:
+            found.add(rte.relation_name)
+        elif rte.subquery is not None:
+            found |= _accessed_relations(rte.subquery)
+    for target in query.target_list:
+        for node in ex.walk(target.expr):
+            if isinstance(node, ex.SubLink):
+                found |= _accessed_relations(node.subquery)
+    for clause in ([query.jointree.quals] if query.jointree.quals is not None else []) + (
+        [query.having] if query.having is not None else []
+    ):
+        for node in ex.walk(clause):
+            if isinstance(node, ex.SubLink):
+                found |= _accessed_relations(node.subquery)
+    return found
+
+
+@pytest.mark.parametrize("number", SUPPORTED_QUERIES)
+def test_rewritten_sql_mentions_all_base_relations(db, number):
+    """Every base relation accessed by the query appears in a provenance
+    attribute of the rewritten SQL (the paper's schema definition)."""
+    from repro.analyzer.analyzer import Analyzer
+    from repro.sql.parser import parse_statement
+
+    normal_sql = generate_query(number, seed=2)
+    accessed = _accessed_relations(
+        Analyzer(db.catalog).analyze(parse_statement(normal_sql))
+    )
+    assert accessed  # every TPC-H query reads at least one table
+    prov_sql = generate_query(number, seed=2, provenance=True)
+    rewritten = db.rewritten_sql(prov_sql).lower()
+    for table in accessed:
+        assert f"prov_{table}_" in rewritten, (number, table)
+
+
+def test_second_seed_full_sweep(db):
+    """A second qgen parameterization of every supported query, normal and
+    provenance, to guard against parameter-dependent regressions."""
+    for number in SUPPORTED_QUERIES:
+        normal = db.execute(generate_query(number, seed=5))
+        prov = db.execute(generate_query(number, seed=5, provenance=True))
+        width = len(normal.columns)
+        assert {row[:width] for row in prov.rows} <= set(normal.rows), number
