@@ -1,0 +1,89 @@
+"""Witness lists vs. provenance polynomials on the Fig. 13 SPJ workloads.
+
+Both semantics run through the same rewrite-plan-execute pipeline; this
+benchmark compares their compile time (parse + analyze + rewrite + plan,
+the paper's Fig. 9 quantity) and execution time on the same random SPJ
+trees.  The polynomial rewrite adds one collapse aggregation on top of
+the derivation query, so a modest constant-factor overhead over witness
+lists is the expected shape.
+
+``PERM_BENCH_QUICK=1`` (CI smoke mode) shrinks the sweep and the database.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from benchmarks._support import fmt_seconds, tpch_db
+from benchmarks.conftest import run_once
+from repro.workloads import spj_queries
+
+QUICK = bool(os.environ.get("PERM_BENCH_QUICK"))
+QUERIES_PER_POINT = 3 if QUICK else 10
+SWEEP = (1, 2) if QUICK else (1, 2, 3, 4)
+SIZE = "small" if QUICK else "medium"
+
+
+def _compile_all(db, queries) -> float:
+    start = time.perf_counter()
+    for sql in queries:
+        db.prepare(sql)
+    return (time.perf_counter() - start) / len(queries)
+
+
+def _run_all(db, queries) -> float:
+    start = time.perf_counter()
+    for sql in queries:
+        db.execute(sql)
+    return (time.perf_counter() - start) / len(queries)
+
+
+@pytest.mark.parametrize("num_sub", SWEEP)
+def test_semiring_vs_witness_spj(benchmark, figures, num_sub):
+    figures.configure(
+        "semiring",
+        "SPJ queries: witness-list vs polynomial rewrite (avg per query)",
+        [
+            "witness_compile",
+            "poly_compile",
+            "witness_exec",
+            "poly_exec",
+            "exec_factor",
+        ],
+    )
+    db = tpch_db(SIZE)
+    max_key = db.catalog.table("part").row_count()
+    witness = spj_queries(
+        num_sub, QUERIES_PER_POINT, max_key, seed=7, provenance=True
+    )
+    poly = spj_queries(
+        num_sub,
+        QUERIES_PER_POINT,
+        max_key,
+        seed=7,
+        provenance=True,
+        semantics="polynomial",
+    )
+
+    witness_compile = _compile_all(db, witness)
+    poly_compile = _compile_all(db, poly)
+    witness_exec = _run_all(db, witness)
+    poly_exec = run_once(benchmark, lambda: _run_all(db, poly))
+    factor = poly_exec / witness_exec
+
+    figures.record("semiring", num_sub, "witness_compile", fmt_seconds(witness_compile))
+    figures.record("semiring", num_sub, "poly_compile", fmt_seconds(poly_compile))
+    figures.record("semiring", num_sub, "witness_exec", fmt_seconds(witness_exec))
+    figures.record("semiring", num_sub, "poly_exec", fmt_seconds(poly_exec))
+    figures.record("semiring", num_sub, "exec_factor", f"{factor:.1f}x")
+
+    # Sanity: the polynomial path must actually produce annotated results.
+    result = db.execute(poly[0])
+    assert result.annotation_column == "prov_polynomial"
+    assert all(row[-1] is not None for row in result.rows)
+    # Shape claim: like SPJ witness lists, the polynomial rewrite stays
+    # within a small constant factor of the witness rewrite.
+    assert factor < 25, f"polynomial/witness factor {factor:.1f}x out of bounds"

@@ -15,6 +15,22 @@ Quickstart::
     db.execute("INSERT INTO shop VALUES ('Merdies', 3), ('Joba', 14)")
     result = db.execute("SELECT PROVENANCE name FROM shop WHERE numempl < 10")
     print(result.columns)   # ['name', 'prov_shop_name', 'prov_shop_numempl']
+
+Beyond witness lists, the semiring subsystem (``repro.semiring``) computes
+*how*-provenance as ``N[X]`` polynomials through the same rewriting
+machinery (``docs/semirings.md``)::
+
+    result = db.execute(
+        "SELECT PROVENANCE (polynomial) name FROM shop WHERE numempl < 10"
+    )
+    print(result.columns)                        # ['name', 'prov_polynomial']
+    print(result.annotations()[0])               # shop(Merdies,3)
+    print(result.evaluate_provenance("counting"))  # [1] -- bag multiplicity
+    print(result.evaluate_provenance("boolean"))   # [True] -- lineage
+
+Custom contribution semantics plug in through the rewrite-strategy
+registry (``repro.core.registry``) and custom annotation domains through
+``repro.semiring.register_semiring``.
 """
 
 from repro.database import PermDatabase, PreparedQuery, QueryResult, connect
@@ -27,6 +43,13 @@ from repro.errors import (
     ParseError,
     PermError,
     RewriteError,
+)
+from repro.semiring import (
+    Polynomial,
+    Semiring,
+    get_semiring,
+    register_semiring,
+    semiring_names,
 )
 from repro.storage.relation import Relation
 
@@ -41,6 +64,11 @@ __all__ = [
     "TableSchema",
     "SQLType",
     "Relation",
+    "Polynomial",
+    "Semiring",
+    "get_semiring",
+    "register_semiring",
+    "semiring_names",
     "PermError",
     "ParseError",
     "AnalyzeError",

@@ -10,7 +10,11 @@ Inside the shell, end statements with ``;``.  Meta commands:
 
 * ``\\q`` quit, ``\\d`` list relations,
 * ``\\rewrite <query>`` print the provenance-rewritten SQL,
-* ``\\explain <query>`` print the physical plan.
+* ``\\explain <query>`` print the physical plan,
+* ``\\semirings`` list registered semirings and rewrite strategies.
+
+``SELECT PROVENANCE (polynomial) ...`` computes semiring provenance
+polynomials instead of witness lists.
 """
 
 from __future__ import annotations
@@ -60,7 +64,21 @@ def _handle_meta(db: repro.PermDatabase, line: str) -> bool:
     if command == "\\explain":
         print(db.explain(rest))
         return True
-    print(f"unknown meta command {command!r} (\\q, \\d, \\rewrite, \\explain)")
+    if command == "\\semirings":
+        from repro.core.registry import get_rewrite_strategy, rewrite_strategy_names
+        from repro.semiring import get_semiring, semiring_names
+
+        print("rewrite strategies (SELECT PROVENANCE (<name>) ...):")
+        for name in rewrite_strategy_names():
+            print(f"  {name}: {get_rewrite_strategy(name).description}")
+        print("semirings (QueryResult.evaluate_provenance(<name>)):")
+        for name in semiring_names():
+            print(f"  {name}: {get_semiring(name).description}")
+        return True
+    print(
+        "unknown meta command "
+        f"{command!r} (\\q, \\d, \\rewrite, \\explain, \\semirings)"
+    )
     return True
 
 
@@ -91,7 +109,7 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     print("Perm repro shell -- SELECT PROVENANCE ... to compute provenance.")
-    print("\\q quit, \\d relations, \\rewrite <q>, \\explain <q>")
+    print("\\q quit, \\d relations, \\rewrite <q>, \\explain <q>, \\semirings")
     buffer = ""
     while True:
         try:

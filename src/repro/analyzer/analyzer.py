@@ -138,6 +138,7 @@ class Analyzer:
     def _analyze_plain_select(self, stmt: ast.SelectStmt, outer_scopes: list[_Scope]) -> Query:
         query = Query()
         query.provenance = stmt.provenance
+        query.provenance_type = stmt.provenance_type
         query.distinct = stmt.distinct
         query.into = stmt.into
         scope = _Scope(query)
@@ -344,11 +345,12 @@ class Analyzer:
         """
         if not subquery.provenance:
             return subquery, provenance_attrs
-        from repro.core.rewriter import rewrite_query_node
+        from repro.core.registry import get_rewrite_strategy
 
-        rewritten, plist = rewrite_query_node(subquery)
+        strategy = get_rewrite_strategy(subquery.provenance_type)
+        rewritten, attrs = strategy.rewrite_subquery(subquery)
         if provenance_attrs is None:
-            provenance_attrs = tuple(a.name for a in plist)
+            provenance_attrs = attrs
         return rewritten, provenance_attrs
 
     @staticmethod
@@ -442,6 +444,7 @@ class Analyzer:
     def _analyze_setop(self, stmt: ast.SetOpSelect, outer_scopes: list[_Scope]) -> Query:
         query = Query()
         query.provenance = stmt.provenance
+        query.provenance_type = stmt.provenance_type
         query.into = stmt.into
         tree = self._build_setop_tree(stmt, query, outer_scopes, is_root=True)
         query.set_operations = tree

@@ -223,6 +223,12 @@ class Query:
     limit_offset: Optional[Expr] = None
     # SQL-PLE: marked for provenance rewrite (SELECT PROVENANCE).
     provenance: bool = False
+    # Which rewrite strategy computes the provenance (None = the default
+    # witness-list semantics; "polynomial" = semiring annotations, ...).
+    provenance_type: Optional[str] = None
+    # Name of a single annotation-carrying output column (set by rewrite
+    # strategies that produce one, e.g. the polynomial strategy).
+    annotation_column: Optional[str] = None
     into: Optional[str] = None
 
     # -- classification -------------------------------------------------------
@@ -266,6 +272,42 @@ class Query:
             f"Query({cls}, targets={[t.name for t in self.target_list]}, "
             f"rtes={len(self.range_table)}, provenance={self.provenance})"
         )
+
+
+def subquery_rte(subquery: Query, alias: str) -> RangeTableEntry:
+    """Wrap a query node as a subquery range table entry."""
+    return RangeTableEntry(
+        kind=RTEKind.SUBQUERY,
+        alias=alias,
+        column_names=list(subquery.output_columns()),
+        column_types=list(subquery.output_types()),
+        subquery=subquery,
+    )
+
+
+def binary_setop_query(op: str, all_flag: bool, left: Query, right: Query) -> Query:
+    """A fresh binary set-operation query node over two subqueries."""
+    q = Query()
+    left_rte = subquery_rte(left, alias="*setop*0")
+    right_rte = subquery_rte(right, alias="*setop*1")
+    left_index = q.add_rte(left_rte)
+    q.add_rte(right_rte)
+    q.set_operations = SetOpNode(
+        op=op,
+        all=all_flag,
+        left=SetOpRangeRef(left_index),
+        right=SetOpRangeRef(left_index + 1),
+    )
+    for attno, (column, col_type) in enumerate(
+        zip(left_rte.column_names, left_rte.column_types)
+    ):
+        q.target_list.append(
+            TargetEntry(
+                expr=Var(varno=left_index, varattno=attno, type=col_type, name=column),
+                name=column,
+            )
+        )
+    return q
 
 
 def make_var_for_rte_column(

@@ -15,6 +15,13 @@ of paper Fig. 7 over the query-tree representation of section IV-B:
 
 from repro.core.naming import ProvenanceAttribute, ProvenanceNamer
 from repro.core.pstack import PStack
+from repro.core.registry import (
+    DEFAULT_STRATEGY,
+    RewriteStrategy,
+    get_rewrite_strategy,
+    register_rewrite_strategy,
+    rewrite_strategy_names,
+)
 from repro.core.rewriter import rewrite_query_node, traverse_query_tree
 
 __all__ = [
@@ -23,4 +30,9 @@ __all__ = [
     "PStack",
     "rewrite_query_node",
     "traverse_query_tree",
+    "RewriteStrategy",
+    "DEFAULT_STRATEGY",
+    "get_rewrite_strategy",
+    "register_rewrite_strategy",
+    "rewrite_strategy_names",
 ]

@@ -1,0 +1,81 @@
+"""Registry of provenance rewrite strategies (contribution semantics).
+
+The Perm architecture computes provenance by rewriting marked query nodes
+into ordinary queries over the same data model.  *Which* rewrite is
+applied -- which contribution semantics is computed -- is pluggable:
+
+* ``witness`` -- the paper's witness-list rewrite (``repro.core.rewriter``):
+  every result tuple is paired with the contributing base tuples, one
+  column block per base relation reference.  The default.
+* ``polynomial`` -- the semiring rewrite (``repro.semiring.rewriter``):
+  every result tuple carries one ``N[X]`` provenance polynomial.
+
+SQL selects a strategy with ``SELECT PROVENANCE (<name>) ...``; a bare
+``SELECT PROVENANCE`` uses the default.  Future semantics
+(influence-contribution, copy-contribution, access-control policies)
+register here and become available through the same syntax.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, TYPE_CHECKING
+
+from repro.errors import RewriteError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.analyzer.query_tree import Query
+
+DEFAULT_STRATEGY = "witness"
+
+
+@dataclass(frozen=True)
+class RewriteStrategy:
+    """One pluggable contribution semantics.
+
+    ``rewrite_root`` rewrites a marked top-level query node into its
+    provenance-computing form.  ``rewrite_subquery`` rewrites a marked
+    subquery and additionally names the provenance columns it exposes, so
+    enclosing rewrites can treat the entry as already computed
+    (incremental provenance, paper section IV-A.3).
+    """
+
+    name: str
+    description: str
+    rewrite_root: Callable[["Query"], "Query"]
+    rewrite_subquery: Callable[["Query"], tuple["Query", tuple[str, ...]]]
+
+
+_STRATEGIES: dict[str, RewriteStrategy] = {}
+
+
+def register_rewrite_strategy(strategy: RewriteStrategy, replace: bool = False) -> RewriteStrategy:
+    key = strategy.name.lower()
+    if key in _STRATEGIES and not replace:
+        raise ValueError(f"rewrite strategy {strategy.name!r} is already registered")
+    _STRATEGIES[key] = strategy
+    return strategy
+
+
+def get_rewrite_strategy(name: str | None) -> RewriteStrategy:
+    """Look up a strategy by name (None = the default witness semantics)."""
+    _ensure_builtin_strategies()
+    key = (name or DEFAULT_STRATEGY).lower()
+    try:
+        return _STRATEGIES[key]
+    except KeyError:
+        known = ", ".join(sorted(_STRATEGIES))
+        raise RewriteError(
+            f"unknown provenance semantics {name!r} (available: {known})"
+        ) from None
+
+
+def rewrite_strategy_names() -> list[str]:
+    _ensure_builtin_strategies()
+    return sorted(_STRATEGIES)
+
+
+def _ensure_builtin_strategies() -> None:
+    """Import the built-in strategy modules so they self-register."""
+    import repro.core.rewriter  # noqa: F401  (registers "witness")
+    import repro.semiring.rewriter  # noqa: F401  (registers "polynomial")

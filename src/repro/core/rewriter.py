@@ -55,9 +55,17 @@ from repro.analyzer.query_tree import (
     SetOpRangeRef,
     SetOpTreeNode,
     TargetEntry,
+    binary_setop_query,
+    subquery_rte,
 )
 from repro.core.naming import ProvenanceAttribute, ProvenanceNamer
 from repro.core.pstack import PList, PStack, concat_plists
+from repro.core.registry import (
+    DEFAULT_STRATEGY,
+    RewriteStrategy,
+    get_rewrite_strategy,
+    register_rewrite_strategy,
+)
 
 BOOL = SQLType.BOOLEAN
 
@@ -92,7 +100,17 @@ class ProvenanceRewriter:
         for rte in query.range_table:
             if rte.kind is RTEKind.SUBQUERY and rte.subquery is not None:
                 sub = rte.subquery
-                if sub.provenance:
+                if sub.provenance and (sub.provenance_type or DEFAULT_STRATEGY) != DEFAULT_STRATEGY:
+                    # A nested node marked with a non-default semantics
+                    # (e.g. polynomial) rewrites through the registry.
+                    strategy = get_rewrite_strategy(sub.provenance_type)
+                    rewritten, attrs = strategy.rewrite_subquery(sub)
+                    rte.subquery = rewritten
+                    rte.column_names = list(rewritten.output_columns())
+                    rte.column_types = list(rewritten.output_types())
+                    if rte.provenance_attrs is None:
+                        rte.provenance_attrs = attrs
+                elif sub.provenance:
                     rewritten, plist = self.rewrite_node(sub)
                     rte.subquery = rewritten
                     rte.column_names = list(rewritten.output_columns())
@@ -845,7 +863,14 @@ class ProvenanceRewriter:
 
 
 def traverse_query_tree(query: Query, setop_strategy: str = "split") -> Query:
-    """Rewrite all provenance-marked nodes of a query tree (Fig. 7)."""
+    """Rewrite all provenance-marked nodes of a query tree (Fig. 7).
+
+    A root marked with a non-default contribution semantics (``SELECT
+    PROVENANCE (polynomial) ...``) dispatches to the registered rewrite
+    strategy; everything else takes the witness-list path.
+    """
+    if query.provenance and (query.provenance_type or DEFAULT_STRATEGY) != DEFAULT_STRATEGY:
+        return get_rewrite_strategy(query.provenance_type).rewrite_root(query)
     return ProvenanceRewriter(setop_strategy).traverse(query)
 
 
@@ -854,6 +879,26 @@ def rewrite_query_node(
 ) -> tuple[Query, PList]:
     """Rewrite one query node unconditionally; returns (q+, P-list)."""
     return ProvenanceRewriter(setop_strategy).rewrite_node(query)
+
+
+def _rewrite_witness_root(query: Query) -> Query:
+    rewritten, _ = ProvenanceRewriter().rewrite_node(query)
+    return rewritten
+
+
+def _rewrite_witness_subquery(query: Query) -> tuple[Query, tuple[str, ...]]:
+    rewritten, plist = ProvenanceRewriter().rewrite_node(query)
+    return rewritten, tuple(a.name for a in plist)
+
+
+register_rewrite_strategy(
+    RewriteStrategy(
+        name="witness",
+        description="witness lists: contributing base tuples per result tuple",
+        rewrite_root=_rewrite_witness_root,
+        rewrite_subquery=_rewrite_witness_subquery,
+    )
+)
 
 
 # ---------------------------------------------------------------------------
@@ -968,39 +1013,9 @@ def _rte_var(query: Query, rtindex: int, attno: int) -> ex.Var:
     )
 
 
-def _subquery_rte(subquery: Query, alias: str) -> RangeTableEntry:
-    return RangeTableEntry(
-        kind=RTEKind.SUBQUERY,
-        alias=alias,
-        column_names=list(subquery.output_columns()),
-        column_types=list(subquery.output_types()),
-        subquery=subquery,
-    )
-
-
-def _binary_setop_query(op: str, all_flag: bool, left: Query, right: Query) -> Query:
-    """A fresh set-operation query node over two subqueries."""
-    q = Query()
-    left_rte = _subquery_rte(left, alias="*setop*0")
-    right_rte = _subquery_rte(right, alias="*setop*1")
-    left_index = q.add_rte(left_rte)
-    right_index = q.add_rte(right_rte)
-    q.set_operations = SetOpNode(
-        op=op,
-        all=all_flag,
-        left=SetOpRangeRef(left_index),
-        right=SetOpRangeRef(right_index),
-    )
-    for attno, (column, col_type) in enumerate(
-        zip(left_rte.column_names, left_rte.column_types)
-    ):
-        q.target_list.append(
-            TargetEntry(
-                expr=ex.Var(varno=left_index, varattno=attno, type=col_type, name=column),
-                name=column,
-            )
-        )
-    return q
+# Shared query-tree builders; kept under their historical local names.
+_subquery_rte = subquery_rte
+_binary_setop_query = binary_setop_query
 
 
 def _copy_rte(rte: RangeTableEntry) -> RangeTableEntry:

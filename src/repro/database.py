@@ -37,17 +37,58 @@ from repro.storage.table import Table
 
 @dataclass
 class QueryResult:
-    """Result of one statement: column names and materialized rows."""
+    """Result of one statement: column names and materialized rows.
+
+    ``annotation_column`` names the semiring annotation column when the
+    statement was rewritten with an annotation-carrying strategy
+    (``SELECT PROVENANCE (polynomial)``); :meth:`annotations` and
+    :meth:`evaluate_provenance` read and specialize it.
+    """
 
     columns: list[str]
     rows: list[tuple]
     command: str = "SELECT"
+    annotation_column: Optional[str] = None
 
     def __iter__(self) -> Iterator[tuple]:
         return iter(self.rows)
 
     def __len__(self) -> int:
         return len(self.rows)
+
+    # -- semiring annotations ---------------------------------------------
+
+    def annotation_index(self) -> int:
+        """Position of the annotation column; raises if there is none."""
+        if self.annotation_column is None:
+            raise PermError(
+                "result carries no provenance annotation column "
+                "(use SELECT PROVENANCE (polynomial) ...)"
+            )
+        return self.columns.index(self.annotation_column)
+
+    def annotations(self) -> list[Any]:
+        """The provenance polynomial of every result row, in row order."""
+        index = self.annotation_index()
+        return [row[index] for row in self.rows]
+
+    def evaluate_provenance(
+        self, semiring: Any = "counting", valuation: Any = None
+    ) -> list[Any]:
+        """Evaluate each row's polynomial in a semiring.
+
+        ``semiring`` is a registered name or a
+        :class:`repro.semiring.Semiring`; ``valuation`` maps tuple
+        variables to semiring values (missing/None = ``semiring.one``).
+        """
+        from repro.semiring import get_semiring
+
+        if isinstance(semiring, str):
+            semiring = get_semiring(semiring)
+        return [
+            polynomial.evaluate(valuation, semiring)
+            for polynomial in self.annotations()
+        ]
 
     def relation(self) -> Relation:
         """The result as a bag-semantics relation (for comparisons)."""
@@ -82,7 +123,11 @@ class PreparedQuery:
     def run(self) -> QueryResult:
         ctx = ExecContext()
         rows = list(self.plan.run(ctx))
-        return QueryResult(columns=list(self.plan.output_names), rows=rows)
+        return QueryResult(
+            columns=list(self.plan.output_names),
+            rows=rows,
+            annotation_column=self.query.annotation_column,
+        )
 
 
 class PermDatabase:
@@ -116,11 +161,14 @@ class PermDatabase:
         """Alias of :meth:`execute` for read queries."""
         return self.execute(sql)
 
-    def provenance(self, sql: str) -> QueryResult:
+    def provenance(self, sql: str, semantics: Optional[str] = None) -> QueryResult:
         """Compute the provenance of a plain SELECT.
 
         Equivalent to adding the ``PROVENANCE`` keyword to the outermost
-        select-clause (SQL-PLE, paper section IV-A.2).
+        select-clause (SQL-PLE, paper section IV-A.2).  ``semantics``
+        selects a registered rewrite strategy by name (``"polynomial"``
+        for semiring annotations); ``None`` keeps the default witness-list
+        semantics.
         """
         statements = parse_sql(sql)
         if len(statements) != 1 or not isinstance(
@@ -129,6 +177,8 @@ class PermDatabase:
             raise PermError("provenance() expects a single SELECT statement")
         stmt = statements[0]
         stmt.provenance = True
+        if semantics is not None:
+            stmt.provenance_type = semantics
         return self._execute_statement(stmt)
 
     def prepare(self, sql: str) -> PreparedQuery:

@@ -31,6 +31,7 @@ class SQLType(enum.Enum):
     BOOLEAN = "boolean"
     DATE = "date"
     INTERVAL = "interval"
+    POLYNOMIAL = "polynomial"  # N[X] provenance annotations (repro.semiring)
     NULL = "null"  # type of a bare NULL literal before coercion
     ANY = "any"  # wildcard used by a few polymorphic functions
 
@@ -65,6 +66,7 @@ _TYPE_NAME_ALIASES = {
     "boolean": SQLType.BOOLEAN,
     "date": SQLType.DATE,
     "interval": SQLType.INTERVAL,
+    "polynomial": SQLType.POLYNOMIAL,
 }
 
 
@@ -93,6 +95,10 @@ def type_of_value(value: Any) -> SQLType:
         return SQLType.DATE
     if isinstance(value, Interval):
         return SQLType.INTERVAL
+    from repro.semiring.polynomial import Polynomial
+
+    if isinstance(value, Polynomial):
+        return SQLType.POLYNOMIAL
     raise ValueError(f"value {value!r} has no SQL type")
 
 
@@ -208,6 +214,7 @@ _SORT_RANK = {
     SQLType.TEXT: 2,
     SQLType.DATE: 3,
     SQLType.INTERVAL: 4,
+    SQLType.POLYNOMIAL: 5,
 }
 
 

@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from typing import Any, Callable, Optional
 
+from repro.semiring.polynomial import Polynomial
+
 
 class AggState:
     """Base accumulator; one instance per group per aggregate."""
@@ -110,6 +112,27 @@ class MaxState(AggState):
         return self.best
 
 
+class PolySumState(AggState):
+    """Semiring sum of ``N[X]`` provenance polynomials.
+
+    Used by the polynomial rewrite's collapse step: the annotations of all
+    derivations of one result tuple are added up.  NULL inputs are skipped
+    like in any aggregate, leaving the zero polynomial.
+    """
+
+    __slots__ = ("total",)
+
+    def __init__(self) -> None:
+        self.total = Polynomial.zero()
+
+    def add(self, value: Any) -> None:
+        if value is not None:
+            self.total = self.total + value
+
+    def result(self) -> Any:
+        return self.total
+
+
 class DistinctWrapper(AggState):
     """Feeds only first occurrences of each value into the inner state."""
 
@@ -135,6 +158,7 @@ _STATE_CLASSES: dict[str, Callable[[], AggState]] = {
     "avg": AvgState,
     "min": MinState,
     "max": MaxState,
+    "perm_poly_sum": PolySumState,
 }
 
 

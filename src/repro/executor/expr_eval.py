@@ -230,6 +230,33 @@ def _cast_date(v):
     return parse_date(str(v))
 
 
+# -- provenance polynomial primitives (repro.semiring) ----------------------
+#
+# Emitted only by the polynomial rewrite strategy; they give annotations a
+# path through ordinary plan nodes: token minting at scans, products at
+# joins (sums live in the perm_poly_sum aggregate).
+
+from repro.semiring.minting import mint_variable as _mint_variable
+from repro.semiring.polynomial import Polynomial as _Polynomial
+
+
+def _poly_token(relation, *identity):
+    return _Polynomial.variable(_mint_variable(relation, identity))
+
+
+def _poly_mul(*factors):
+    product = _Polynomial.one()
+    for factor in factors:
+        if factor is None:
+            return None
+        product = product * factor
+    return product
+
+
+def _poly_one():
+    return _Polynomial.one()
+
+
 SCALAR_FUNCTIONS: dict[str, Callable] = {
     "upper": _null_guard(lambda s: s.upper()),
     "lower": _null_guard(lambda s: s.lower()),
@@ -257,6 +284,9 @@ SCALAR_FUNCTIONS: dict[str, Callable] = {
     "cast_text": _null_guard(_text),
     "cast_date": _null_guard(_cast_date),
     "cast_boolean": _null_guard(bool),
+    "perm_poly_token": _poly_token,
+    "perm_poly_mul": _poly_mul,
+    "perm_poly_one": _poly_one,
 }
 
 

@@ -1,0 +1,111 @@
+"""Commutative semirings and the semiring registry.
+
+A commutative semiring ``(K, +, ·, 0, 1)`` is the annotation domain of a
+K-relation (Green et al.).  The engine computes annotations symbolically
+as ``N[X]`` polynomials (:mod:`repro.semiring.polynomial`) -- the free
+and therefore most informative semiring -- and specializes them to any
+registered concrete semiring via :meth:`Polynomial.evaluate`:
+
+* ``counting`` -- natural numbers: bag multiplicities,
+* ``boolean`` -- two-valued logic: lineage / "does this tuple exist",
+* ``tropical`` -- (min, +): minimal derivation cost,
+* ``polynomial`` -- ``N[X]`` itself (the identity specialization).
+
+Custom semirings plug in through :func:`register_semiring`; anything with
+associative-commutative ``plus``/``times`` and matching identities works
+(access-control lattices, fuzzy memberships, why-provenance sets, ...).
+"""
+
+from __future__ import annotations
+
+import math
+import operator
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.semiring.polynomial import Polynomial
+
+
+@dataclass(frozen=True)
+class Semiring:
+    """A commutative semiring ``(K, plus, times, zero, one)``.
+
+    ``zero`` must be neutral for ``plus`` and annihilating for ``times``;
+    ``one`` neutral for ``times``.  The engine relies on nothing else.
+    """
+
+    name: str
+    zero: Any
+    one: Any
+    plus: Callable[[Any, Any], Any]
+    times: Callable[[Any, Any], Any]
+    description: str = ""
+
+    def __repr__(self) -> str:
+        return f"Semiring({self.name!r})"
+
+
+COUNTING = Semiring(
+    name="counting",
+    zero=0,
+    one=1,
+    plus=operator.add,
+    times=operator.mul,
+    description="natural numbers (N, +, *, 0, 1): bag multiplicities",
+)
+
+BOOLEAN = Semiring(
+    name="boolean",
+    zero=False,
+    one=True,
+    plus=operator.or_,
+    times=operator.and_,
+    description="booleans (B, or, and, false, true): lineage / possibility",
+)
+
+TROPICAL = Semiring(
+    name="tropical",
+    zero=math.inf,
+    one=0.0,
+    plus=min,
+    times=operator.add,
+    description="tropical (R u {inf}, min, +, inf, 0): minimal derivation cost",
+)
+
+POLYNOMIAL = Semiring(
+    name="polynomial",
+    zero=Polynomial.zero(),
+    one=Polynomial.one(),
+    plus=operator.add,
+    times=operator.mul,
+    description="N[X] provenance polynomials (the free semiring)",
+)
+
+
+_REGISTRY: dict[str, Semiring] = {}
+
+
+def register_semiring(semiring: Semiring, replace: bool = False) -> Semiring:
+    """Register ``semiring`` under its name for lookup by SQL/API users."""
+    key = semiring.name.lower()
+    if key in _REGISTRY and not replace:
+        raise ValueError(f"semiring {semiring.name!r} is already registered")
+    _REGISTRY[key] = semiring
+    return semiring
+
+
+def get_semiring(name: str) -> Semiring:
+    """Look up a registered semiring by (case-insensitive) name."""
+    try:
+        return _REGISTRY[name.lower()]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ValueError(f"unknown semiring {name!r} (registered: {known})") from None
+
+
+def semiring_names() -> list[str]:
+    return sorted(_REGISTRY)
+
+
+for _semiring in (COUNTING, BOOLEAN, TROPICAL, POLYNOMIAL):
+    register_semiring(_semiring)

@@ -361,6 +361,9 @@ class SelectStmt(Node):
     having: Optional[Expr] = None
     distinct: bool = False
     provenance: bool = False  # SELECT PROVENANCE marker
+    # SELECT PROVENANCE (<semantics>): named rewrite strategy ("polynomial",
+    # ...); None selects the default witness-list semantics.
+    provenance_type: Optional[str] = None
     order_by: list[SortBy] = field(default_factory=list)
     limit: Optional[Expr] = None
     offset: Optional[Expr] = None
@@ -387,6 +390,7 @@ class SetOpSelect(Node):
     limit: Optional[Expr] = None
     offset: Optional[Expr] = None
     provenance: bool = False
+    provenance_type: Optional[str] = None
     into: Optional[str] = None
 
     def __str__(self) -> str:  # pragma: no cover - debugging aid

@@ -173,7 +173,9 @@ class _Parser:
                 leaf = leaf.left
             if leaf.provenance:
                 node.provenance = True
+                node.provenance_type = leaf.provenance_type
                 leaf.provenance = False
+                leaf.provenance_type = None
             if leaf.into is not None and node.into is None:
                 node.into = leaf.into
                 leaf.into = None
@@ -235,9 +237,11 @@ class _Parser:
     def parse_select_core(self) -> ast.SelectStmt:
         self.expect_keyword("SELECT")
         stmt = ast.SelectStmt()
-        # SQL-PLE: SELECT PROVENANCE ... (section IV-A.2)
+        # SQL-PLE: SELECT PROVENANCE ... (section IV-A.2), optionally with
+        # a named contribution semantics: SELECT PROVENANCE (polynomial).
         if self.accept_keyword("PROVENANCE"):
             stmt.provenance = True
+            stmt.provenance_type = self._parse_provenance_semantics()
         if self.accept_keyword("DISTINCT"):
             stmt.distinct = True
         elif self.accept_keyword("ALL"):
@@ -423,6 +427,28 @@ class _Parser:
         item.provenance_attrs = self._parse_provenance_clause()
         if not item.base_relation:
             item.base_relation = self.accept_keyword("BASERELATION")
+
+    def _parse_provenance_semantics(self) -> Optional[str]:
+        """``(name)`` directly after ``SELECT PROVENANCE``.
+
+        A single parenthesized identifier names the rewrite strategy
+        (``polynomial``, ``witness``, ...).  Anything else -- including a
+        parenthesized expression over one column -- is left untouched for
+        the select list.  A bare column must not be wrapped in parentheses
+        as the first target of a ``SELECT PROVENANCE``; alias it or drop
+        the parentheses.
+        """
+        if (
+            self.at_punct("(")
+            and self.peek(1).kind is TokenKind.IDENT
+            and self.peek(2).kind is TokenKind.PUNCT
+            and self.peek(2).value == ")"
+        ):
+            self.advance()  # '('
+            name = self.advance().value.lower()
+            self.advance()  # ')'
+            return name
+        return None
 
     def _parse_provenance_clause(self) -> Optional[tuple[str, ...]]:
         """``PROVENANCE (attr, ...)`` marking already-rewritten inputs."""

@@ -13,10 +13,14 @@ def format_select(node: ast.SelectNode) -> str:
     if isinstance(node, ast.SetOpSelect):
         op = node.op.upper() + (" ALL" if node.all else "")
         text = f"({format_select(node.left)}) {op} ({format_select(node.right)})"
+        if node.provenance:
+            # The marker lives in the first select-clause (SQL-PLE); the
+            # parser lifts it back to the set-operation root on re-parse.
+            text = text.replace("SELECT", "SELECT " + _provenance_marker(node), 1)
         return text + _format_tail(node)
     parts = ["SELECT"]
     if node.provenance:
-        parts.append("PROVENANCE")
+        parts.append(_provenance_marker(node))
     if node.distinct:
         parts.append("DISTINCT")
     targets = []
@@ -37,6 +41,12 @@ def format_select(node: ast.SelectNode) -> str:
     if node.having is not None:
         parts.append(f"HAVING {node.having}")
     return " ".join(parts) + _format_tail(node)
+
+
+def _provenance_marker(node: ast.SelectNode) -> str:
+    if node.provenance_type:
+        return f"PROVENANCE ({node.provenance_type})"
+    return "PROVENANCE"
 
 
 def _format_tail(node: ast.SelectNode) -> str:

@@ -30,21 +30,30 @@ def setop_queries(
     seed: int = 0,
     provenance: bool = False,
     operator: str | None = None,
+    semantics: str | None = None,
 ) -> list[str]:
     """Random set-operation trees with ``num_setops`` leaf selections.
 
     ``operator`` fixes every internal node to UNION or INTERSECT
     (homogeneous trees, used by the set-op strategy ablation); by default
     operators are chosen per node, as in the paper's Fig. 12 workload.
+    ``semantics`` names the contribution semantics for provenance queries
+    (``"polynomial"``; None = default witness lists).
     """
     rng = random.Random(seed)
     queries = []
     for _ in range(count):
         sql = _random_setop_tree(rng, num_setops, max_partkey, operator)
         if provenance:
-            sql = sql.replace("SELECT", "SELECT PROVENANCE", 1)
+            sql = sql.replace("SELECT", _provenance_marker(semantics), 1)
         queries.append(sql)
     return queries
+
+
+def _provenance_marker(semantics: str | None) -> str:
+    if semantics is None:
+        return "SELECT PROVENANCE"
+    return f"SELECT PROVENANCE ({semantics})"
 
 
 def _part_selection(rng: random.Random, max_partkey: int) -> str:
@@ -68,7 +77,12 @@ def _random_setop_tree(
 
 
 def spj_queries(
-    num_sub: int, count: int, max_partkey: int, seed: int = 0, provenance: bool = False
+    num_sub: int,
+    count: int,
+    max_partkey: int,
+    seed: int = 0,
+    provenance: bool = False,
+    semantics: str | None = None,
 ) -> list[str]:
     """Random SPJ trees with ``num_sub`` leaf subqueries joined on the key."""
     rng = random.Random(seed)
@@ -76,7 +90,7 @@ def spj_queries(
     for _ in range(count):
         sql = _random_spj_tree(rng, num_sub, max_partkey)
         if provenance:
-            sql = sql.replace("SELECT", "SELECT PROVENANCE", 1)
+            sql = sql.replace("SELECT", _provenance_marker(semantics), 1)
         queries.append(sql)
     return queries
 

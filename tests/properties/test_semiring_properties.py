@@ -1,0 +1,160 @@
+"""Semiring provenance invariants over randomly generated SQL queries.
+
+The two specialization properties of ``N[X]`` polynomials (Green et al.):
+
+1. **Counting**: evaluating a result tuple's polynomial in the counting
+   semiring (every tuple variable -> 1) yields the tuple's bag
+   multiplicity in the original query result.  Holds for the positive
+   bag algebra: SPJ queries (without duplicate elimination) and
+   ``UNION ALL``.
+2. **Boolean / lineage**: the variables of a result tuple's polynomial
+   are exactly the contributing base tuples the witness-list rewriter
+   attaches to that tuple, and evaluating the polynomial in the boolean
+   semiring under the witness valuation is true.  Holds for SPJ and
+   union/intersection set operations (EXCEPT differs by design: the
+   polynomial keeps only the left input's provenance, witness lists also
+   attach the filtering right-side tuples).
+
+Together these pin the polynomial rewrite against two independent
+oracles: the engine's own bag semantics and the paper's witness rewrite.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+import repro
+from repro.semiring import get_semiring
+from repro.semiring.minting import mint_variable
+
+_SETTINGS = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.function_scoped_fixture],
+)
+
+_value = st.integers(min_value=0, max_value=3)
+_rows_r = st.lists(st.tuples(_value, st.one_of(st.none(), _value)), max_size=6)
+_rows_s = st.lists(st.tuples(_value, _value), max_size=6)
+
+
+def _make_db(rows_r, rows_s) -> repro.PermDatabase:
+    db = repro.connect()
+    db.execute("CREATE TABLE r (k integer, v integer)")
+    db.execute("CREATE TABLE s (k2 integer, w integer)")
+    db.load_table("r", rows_r)
+    db.load_table("s", rows_s)
+    return db
+
+
+def _polynomial_sql(sql: str) -> str:
+    return sql.replace("SELECT", "SELECT PROVENANCE (polynomial)", 1)
+
+
+@st.composite
+def counting_queries(draw) -> str:
+    """Positive bag-algebra queries: SPJ (no DISTINCT) and UNION ALL."""
+    shape = draw(st.sampled_from(["filter", "join", "union_all", "project"]))
+    comparison = draw(st.sampled_from(["=", "<", ">", "<=", ">=", "<>"]))
+    constant = draw(_value)
+    if shape == "filter":
+        return f"SELECT k, v FROM r WHERE k {comparison} {constant}"
+    if shape == "join":
+        return f"SELECT k, w FROM r, s WHERE k {comparison} k2"
+    if shape == "project":
+        return "SELECT k FROM r"
+    return "SELECT k FROM r UNION ALL SELECT k2 FROM s"
+
+
+@given(rows_r=_rows_r, rows_s=_rows_s, sql=counting_queries())
+@_SETTINGS
+def test_counting_semiring_equals_bag_multiplicity(rows_r, rows_s, sql):
+    db = _make_db(rows_r, rows_s)
+    normal = db.execute(sql)
+    poly = db.execute(_polynomial_sql(sql))
+    counting = get_semiring("counting")
+
+    width = len(normal.columns)
+    assert poly.columns == normal.columns + ["prov_polynomial"]
+    assert poly.annotation_column == "prov_polynomial"
+
+    multiplicities = Counter(normal.rows)
+    # One annotated row per distinct original tuple (the K-relation view).
+    assert {row[:width] for row in poly.rows} == set(multiplicities)
+    assert len(poly.rows) == len(set(multiplicities))
+    for row in poly.rows:
+        evaluated = row[width].evaluate(semiring=counting)
+        assert evaluated == multiplicities[row[:width]], (sql, row)
+
+
+@st.composite
+def lineage_queries(draw) -> str:
+    """SPJ + union/intersection shapes comparable with witness lists."""
+    shape = draw(st.sampled_from(["filter", "join", "setop"]))
+    comparison = draw(st.sampled_from(["=", "<", ">", "<=", ">=", "<>"]))
+    constant = draw(_value)
+    if shape == "filter":
+        return f"SELECT k, v FROM r WHERE k {comparison} {constant}"
+    if shape == "join":
+        return f"SELECT k, w FROM r, s WHERE k {comparison} k2"
+    op = draw(st.sampled_from(["UNION", "UNION ALL", "INTERSECT", "INTERSECT ALL"]))
+    return f"SELECT k FROM r {op} SELECT k2 FROM s"
+
+
+@given(rows_r=_rows_r, rows_s=_rows_s, sql=lineage_queries())
+@_SETTINGS
+def test_boolean_semiring_agrees_with_witness_lists(rows_r, rows_s, sql):
+    db = _make_db(rows_r, rows_s)
+    witness = db.provenance(sql)
+    poly = db.execute(_polynomial_sql(sql))
+    boolean = get_semiring("boolean")
+
+    width = len(witness.columns) - sum(
+        1 for c in witness.columns if c.startswith("prov_")
+    )
+
+    # Group the witness provenance columns into per-base-relation blocks.
+    blocks: dict[str, list[int]] = {}
+    for i, column in enumerate(witness.columns[width:], start=width):
+        table = column.split("_")[1]
+        blocks.setdefault(table, []).append(i)
+
+    # Witness oracle: for each result tuple, the set of contributing base
+    # tuples encoded as minted variable names.
+    witnessed: dict[tuple, set[str]] = {}
+    for row in witness.rows:
+        variables = witnessed.setdefault(row[:width], set())
+        for table, positions in blocks.items():
+            block = tuple(row[i] for i in positions)
+            if all(value is None for value in block):
+                continue
+            variables.add(mint_variable(table, block))
+
+    annotated = {row[:width]: row[width] for row in poly.rows}
+    assert set(annotated) == set(witnessed), sql
+    for tuple_, polynomial in annotated.items():
+        expected = witnessed[tuple_]
+        assert polynomial.variables() == expected, (sql, tuple_)
+        # The boolean evaluation under the witness valuation must confirm
+        # the tuple's existence.
+        valuation = {name: True for name in expected}
+        assert polynomial.evaluate(valuation, boolean) is True, (sql, tuple_)
+
+
+@given(rows_r=_rows_r, sql=st.sampled_from([
+    "SELECT k, sum(v), count(*) FROM r GROUP BY k",
+    "SELECT k, count(*) FROM r WHERE v IS NOT NULL GROUP BY k",
+]))
+@_SETTINGS
+def test_counting_semiring_counts_group_derivations(rows_r, sql):
+    """For GROUP BY, the polynomial sums one variable per group member,
+    so its counting evaluation equals count(*) of the group."""
+    db = _make_db(rows_r, [])
+    poly = db.execute(_polynomial_sql(sql))
+    counting = get_semiring("counting")
+    count_index = len(poly.columns) - 2  # count(*) is the last visible column
+    for row in poly.rows:
+        assert row[-1].evaluate(semiring=counting) == row[count_index], (sql, row)

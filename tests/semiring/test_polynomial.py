@@ -1,0 +1,128 @@
+"""Unit tests for the N[X] polynomial datatype."""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.semiring import Polynomial, get_semiring
+
+
+def x() -> Polynomial:
+    return Polynomial.variable("x")
+
+
+def y() -> Polynomial:
+    return Polynomial.variable("y")
+
+
+# -- normalization ----------------------------------------------------------
+
+
+def test_like_terms_collect():
+    assert x() + x() == Polynomial({((("x", 1),)): 2})
+    assert str(x() + x()) == "2*x"
+
+
+def test_powers_collect():
+    assert str(x() * x()) == "x^2"
+    assert (x() * x()).degree() == 2
+
+
+def test_zero_and_one_identities():
+    zero, one = Polynomial.zero(), Polynomial.one()
+    assert x() + zero == x()
+    assert x() * one == x()
+    assert x() * zero == zero
+    assert str(zero) == "0" and str(one) == "1"
+    assert zero.is_zero() and one.is_one()
+
+
+def test_structural_equality_and_hash():
+    a = (x() + y()) * (x() + y())
+    b = x() * x() + Polynomial({((("x", 1), ("y", 1))): 2}) + y() * y()
+    assert a == b
+    assert hash(a) == hash(b)
+    assert len({a, b}) == 1
+
+
+def test_variables_and_rendering():
+    p = (x() + y()) * x()
+    assert p.variables() == {"x", "y"}
+    assert str(p) == "x*y + x^2"
+
+
+def test_negative_coefficients_rejected():
+    try:
+        Polynomial({(): -1})
+    except ValueError:
+        pass
+    else:  # pragma: no cover
+        raise AssertionError("negative coefficient accepted")
+
+
+# -- algebraic laws (hypothesis) -------------------------------------------
+
+
+@st.composite
+def polynomials(draw) -> Polynomial:
+    total = Polynomial.zero()
+    for _ in range(draw(st.integers(min_value=0, max_value=3))):
+        term = Polynomial.constant(draw(st.integers(min_value=1, max_value=3)))
+        for _ in range(draw(st.integers(min_value=0, max_value=2))):
+            term = term * Polynomial.variable(draw(st.sampled_from("xyz")))
+        total = total + term
+    return total
+
+
+@given(a=polynomials(), b=polynomials(), c=polynomials())
+def test_semiring_laws(a, b, c):
+    assert a + b == b + a
+    assert a * b == b * a
+    assert (a + b) + c == a + (b + c)
+    assert (a * b) * c == a * (b * c)
+    assert a * (b + c) == a * b + a * c
+
+
+@given(a=polynomials())
+def test_counting_evaluation_is_a_homomorphism(a):
+    counting = get_semiring("counting")
+    assert (a + a).evaluate(semiring=counting) == 2 * a.evaluate(semiring=counting)
+    assert (a * a).evaluate(semiring=counting) == a.evaluate(semiring=counting) ** 2
+
+
+# -- evaluation in the concrete semirings -----------------------------------
+
+
+def test_counting_evaluation():
+    p = x() + x() + x() * y()
+    assert p.evaluate(semiring=get_semiring("counting")) == 3
+    assert p.evaluate({"x": 2, "y": 5}, get_semiring("counting")) == 14
+
+
+def test_boolean_evaluation():
+    p = x() + x() * y()
+    boolean = get_semiring("boolean")
+    assert p.evaluate(semiring=boolean) is True
+    assert p.evaluate({"x": False, "y": True}, boolean) is False
+    assert p.evaluate({"x": True, "y": False}, boolean) is True
+    assert Polynomial.zero().evaluate(semiring=boolean) is False
+
+
+def test_tropical_evaluation_minimal_cost():
+    # x costs 3, y costs 5: the cheapest derivation of x + x*y costs 3.
+    p = x() + x() * y()
+    tropical = get_semiring("tropical")
+    assert p.evaluate({"x": 3, "y": 5}, tropical) == 3
+    assert (x() * y()).evaluate({"x": 3, "y": 5}, tropical) == 8
+    assert Polynomial.zero().evaluate({}, tropical) == math.inf
+
+
+def test_polynomial_semiring_evaluation_is_identity_like():
+    p = x() * y() + x()
+    result = p.evaluate(
+        lambda name: Polynomial.variable(name), get_semiring("polynomial")
+    )
+    assert result == p

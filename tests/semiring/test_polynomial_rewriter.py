@@ -1,0 +1,290 @@
+"""End-to-end tests for ``SELECT PROVENANCE (polynomial)``."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+import repro
+from repro.semiring import Polynomial, get_semiring
+
+
+def V(name: str) -> Polynomial:
+    return Polynomial.variable(name)
+
+
+@pytest.fixture
+def db() -> repro.PermDatabase:
+    database = repro.connect()
+    database.execute("CREATE TABLE shop (name text, numempl integer)")
+    database.execute("CREATE TABLE sales (sname text, itemid integer)")
+    database.execute("CREATE TABLE items (id integer, price integer)")
+    database.execute("INSERT INTO shop VALUES ('Merdies', 3), ('Joba', 14)")
+    database.execute(
+        "INSERT INTO sales VALUES ('Merdies', 1), ('Merdies', 2), "
+        "('Merdies', 2), ('Joba', 3), ('Joba', 3)"
+    )
+    database.execute("INSERT INTO items VALUES (1, 100), (2, 10), (3, 25)")
+    return database
+
+
+# -- acceptance criterion ---------------------------------------------------
+
+
+def test_shop_example_counting_matches_bag_multiplicity(db):
+    result = db.execute(
+        "SELECT PROVENANCE (polynomial) name FROM shop WHERE numempl < 10"
+    )
+    assert result.columns == ["name", "prov_polynomial"]
+    assert result.annotation_column == "prov_polynomial"
+    normal = db.execute("SELECT name FROM shop WHERE numempl < 10")
+    multiplicities = Counter(normal.rows)
+    assert {row[:1] for row in result.rows} == set(multiplicities)
+    for row, value in zip(result.rows, result.evaluate_provenance("counting")):
+        assert value == multiplicities[row[:1]]
+
+
+def test_default_witness_path_unchanged(db):
+    result = db.execute("SELECT PROVENANCE name FROM shop WHERE numempl < 10")
+    assert result.columns == ["name", "prov_shop_name", "prov_shop_numempl"]
+    assert result.rows == [("Merdies", "Merdies", 3)]
+    assert result.annotation_column is None
+    with pytest.raises(repro.PermError):
+        result.annotations()
+
+
+# -- SPJ --------------------------------------------------------------------
+
+
+def test_base_scan_mints_one_variable_per_tuple(db):
+    result = db.execute("SELECT PROVENANCE (polynomial) name, numempl FROM shop")
+    annotated = {row[:2]: row[2] for row in result.rows}
+    assert annotated[("Merdies", 3)] == V("shop(Merdies,3)")
+    assert annotated[("Joba", 14)] == V("shop(Joba,14)")
+
+
+def test_join_multiplies_annotations(db):
+    result = db.execute(
+        "SELECT PROVENANCE (polynomial) name, price FROM shop, sales, items "
+        "WHERE name = sname AND itemid = id AND price > 20"
+    )
+    annotated = {row[:2]: row[2] for row in result.rows}
+    assert annotated[("Merdies", 100)] == (
+        V("shop(Merdies,3)") * V("sales(Merdies,1)") * V("items(1,100)")
+    )
+    # Two identical sales tuples -> coefficient 2 through the join.
+    assert annotated[("Joba", 25)] == (
+        Polynomial.constant(2) * V("shop(Joba,14)") * V("sales(Joba,3)") * V("items(3,25)")
+    )
+
+
+def test_self_join_squares_the_variable(db):
+    result = db.execute(
+        "SELECT PROVENANCE (polynomial) a.name AS n FROM shop AS a, shop AS b "
+        "WHERE a.name = b.name AND a.numempl < 10"
+    )
+    assert result.rows == [("Merdies", V("shop(Merdies,3)") * V("shop(Merdies,3)"))]
+    assert result.rows[0][1].degree() == 2
+
+
+def test_distinct_sums_duplicate_derivations(db):
+    result = db.execute("SELECT PROVENANCE (polynomial) DISTINCT sname FROM sales")
+    annotated = dict(result.rows)
+    assert annotated["Merdies"] == (
+        V("sales(Merdies,1)") + Polynomial.constant(2) * V("sales(Merdies,2)")
+    )
+    assert annotated["Joba"] == Polynomial.constant(2) * V("sales(Joba,3)")
+
+
+def test_order_by_and_limit_apply_before_annotation(db):
+    result = db.execute(
+        "SELECT PROVENANCE (polynomial) itemid FROM sales ORDER BY itemid DESC LIMIT 2"
+    )
+    assert [row[0] for row in result.rows] == [3]
+    # LIMIT keeps two derivation rows of itemid=3; the collapse sums them.
+    assert result.rows[0][1] == Polynomial.constant(2) * V("sales(Joba,3)")
+
+
+def test_order_by_expression_not_in_select_list_rejected(db):
+    with pytest.raises(repro.RewriteError, match="ORDER BY"):
+        db.execute("SELECT PROVENANCE (polynomial) name FROM shop ORDER BY numempl")
+
+
+# -- aggregation ------------------------------------------------------------
+
+
+def test_aggregation_two_level_rewrite(db):
+    result = db.execute(
+        "SELECT PROVENANCE (polynomial) sname, count(*) AS c FROM sales GROUP BY sname"
+    )
+    annotated = {row[0]: (row[1], row[2]) for row in result.rows}
+    count, polynomial = annotated["Merdies"]
+    assert count == 3
+    assert polynomial == (
+        V("sales(Merdies,1)") + Polynomial.constant(2) * V("sales(Merdies,2)")
+    )
+    assert polynomial.evaluate(semiring=get_semiring("counting")) == count
+
+
+def test_having_preserved(db):
+    result = db.execute(
+        "SELECT PROVENANCE (polynomial) sname, sum(itemid) AS s FROM sales "
+        "GROUP BY sname HAVING count(*) > 2"
+    )
+    assert [row[:2] for row in result.rows] == [("Merdies", 5)]
+
+
+def test_grand_aggregate_over_empty_input_footnote4(db):
+    """Same deviation handling as the witness rewrite: the grand aggregate
+    row over empty input has no derivations and disappears from q+."""
+    assert db.execute("SELECT sum(numempl) FROM shop WHERE numempl > 999").rows == [
+        (None,)
+    ]
+    result = db.execute(
+        "SELECT PROVENANCE (polynomial) sum(numempl) FROM shop WHERE numempl > 999"
+    )
+    assert result.rows == []
+
+
+# -- set operations ---------------------------------------------------------
+
+
+def test_union_adds_annotations(db):
+    result = db.execute(
+        "SELECT PROVENANCE (polynomial) name FROM shop "
+        "UNION SELECT sname FROM sales"
+    )
+    annotated = dict(result.rows)
+    assert annotated["Merdies"] == (
+        V("shop(Merdies,3)")
+        + V("sales(Merdies,1)")
+        + Polynomial.constant(2) * V("sales(Merdies,2)")
+    )
+
+
+def test_intersect_multiplies_annotations(db):
+    result = db.execute(
+        "SELECT PROVENANCE (polynomial) name FROM shop "
+        "INTERSECT SELECT sname FROM sales"
+    )
+    annotated = dict(result.rows)
+    assert annotated["Joba"] == (
+        V("shop(Joba,14)") * (Polynomial.constant(2) * V("sales(Joba,3)"))
+    )
+
+
+def test_except_keeps_left_provenance(db):
+    db.execute("INSERT INTO shop VALUES ('Solo', 1)")
+    result = db.execute(
+        "SELECT PROVENANCE (polynomial) name FROM shop EXCEPT SELECT sname FROM sales"
+    )
+    assert result.rows == [("Solo", V("shop(Solo,1)"))]
+
+
+def test_setop_with_limit_keeps_original_semantics(db):
+    result = db.execute(
+        "SELECT PROVENANCE (polynomial) name FROM shop "
+        "UNION SELECT sname FROM sales ORDER BY name LIMIT 1"
+    )
+    assert [row[0] for row in result.rows] == ["Joba"]
+    assert result.rows[0][1].variables() == {"shop(Joba,14)", "sales(Joba,3)"}
+
+
+# -- nesting & incremental computation --------------------------------------
+
+
+def test_annotated_subquery_flows_through_plain_query(db):
+    result = db.execute(
+        "SELECT name, prov_polynomial FROM "
+        "(SELECT PROVENANCE (polynomial) name FROM shop) AS t WHERE name = 'Joba'"
+    )
+    assert result.rows == [("Joba", V("shop(Joba,14)"))]
+
+
+def test_incremental_reuse_of_stored_polynomials(db):
+    db.execute(
+        "SELECT PROVENANCE (polynomial) sname INTO stored FROM sales"
+    )
+    result = db.execute(
+        "SELECT PROVENANCE (polynomial) sname FROM stored PROVENANCE (prov_polynomial)"
+    )
+    direct = db.execute("SELECT PROVENANCE (polynomial) sname FROM sales")
+    assert sorted(result.rows) == sorted(direct.rows)
+
+
+def test_polynomial_view_unfolds(db):
+    db.execute(
+        "CREATE VIEW annotated AS SELECT PROVENANCE (polynomial) name FROM shop"
+    )
+    result = db.execute("SELECT name, prov_polynomial FROM annotated")
+    assert dict(result.rows)["Merdies"] == V("shop(Merdies,3)")
+
+
+def test_witness_attributes_cannot_feed_polynomial_rewrite(db):
+    db.execute("SELECT PROVENANCE name INTO wstored FROM shop")
+    with pytest.raises(repro.RewriteError, match="witness-list"):
+        db.execute(
+            "SELECT PROVENANCE (polynomial) name FROM wstored "
+            "PROVENANCE (prov_shop_name, prov_shop_numempl)"
+        )
+
+
+# -- guard rails ------------------------------------------------------------
+
+
+def test_annotation_name_dodges_user_column_collisions(db):
+    db.execute("CREATE TABLE clash (a integer, prov_polynomial integer)")
+    db.execute("INSERT INTO clash VALUES (1, 99)")
+    result = db.execute(
+        "SELECT PROVENANCE (polynomial) a, prov_polynomial FROM clash"
+    )
+    assert result.annotation_column == "prov_polynomial_1"
+    assert result.columns == ["a", "prov_polynomial", "prov_polynomial_1"]
+    assert result.rows[0][1] == 99  # the user's column, untouched
+    assert result.evaluate_provenance("counting") == [1]
+
+
+def test_sublinks_rejected(db):
+    with pytest.raises(repro.RewriteError, match="sublink"):
+        db.execute(
+            "SELECT PROVENANCE (polynomial) name FROM shop "
+            "WHERE name IN (SELECT sname FROM sales)"
+        )
+
+
+def test_unknown_semantics_rejected(db):
+    with pytest.raises(repro.RewriteError, match="unknown provenance semantics"):
+        db.execute("SELECT PROVENANCE (frobnicate) name FROM shop")
+
+
+def test_explicit_witness_semantics_matches_default(db):
+    default = db.execute("SELECT PROVENANCE name FROM shop")
+    explicit = db.execute("SELECT PROVENANCE (witness) name FROM shop")
+    assert explicit.columns == default.columns
+    assert sorted(explicit.rows) == sorted(default.rows)
+
+
+# -- surfaces ---------------------------------------------------------------
+
+
+def test_rewritten_sql_is_ordinary_sql(db):
+    text = db.rewritten_sql(
+        "SELECT PROVENANCE (polynomial) name FROM shop WHERE numempl < 10"
+    )
+    assert "perm_poly_token" in text
+    assert "perm_poly_sum" in text
+    assert "GROUP BY" in text
+
+
+def test_provenance_api_semantics_parameter(db):
+    result = db.provenance("SELECT name FROM shop", semantics="polynomial")
+    assert result.annotation_column == "prov_polynomial"
+    assert result.evaluate_provenance("boolean") == [True, True]
+
+
+def test_prepared_query_exposes_annotation(db):
+    prepared = db.prepare("SELECT PROVENANCE (polynomial) name FROM shop")
+    result = prepared.run()
+    assert result.annotation_column == "prov_polynomial"
+    assert prepared.rewrite_seconds >= 0.0

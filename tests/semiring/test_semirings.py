@@ -1,0 +1,87 @@
+"""Semiring registry and custom-semiring extension tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.semiring import (
+    Polynomial,
+    Semiring,
+    get_semiring,
+    register_semiring,
+    semiring_names,
+)
+from repro.semiring.minting import TupleVariableMinter, mint_variable
+
+
+def test_builtin_semirings_registered():
+    assert {"counting", "boolean", "tropical", "polynomial"} <= set(semiring_names())
+
+
+def test_lookup_is_case_insensitive():
+    assert get_semiring("Counting") is get_semiring("counting")
+
+
+def test_unknown_semiring_lists_known_names():
+    with pytest.raises(ValueError, match="counting"):
+        get_semiring("no-such-semiring")
+
+
+def test_duplicate_registration_rejected_unless_replace():
+    fuzzy = Semiring(
+        name="test-fuzzy",
+        zero=0.0,
+        one=1.0,
+        plus=max,
+        times=min,
+        description="Viterbi-style confidence scores",
+    )
+    register_semiring(fuzzy)
+    with pytest.raises(ValueError):
+        register_semiring(fuzzy)
+    register_semiring(fuzzy, replace=True)
+    assert get_semiring("test-fuzzy") is fuzzy
+
+
+def test_custom_semiring_evaluates_polynomials():
+    fuzzy = get_semiring("test-fuzzy") if "test-fuzzy" in semiring_names() else (
+        register_semiring(
+            Semiring("test-fuzzy", 0.0, 1.0, max, min), replace=True
+        )
+    )
+    p = Polynomial.variable("a") * Polynomial.variable("b") + Polynomial.variable("c")
+    # max over derivations of the min confidence along each derivation
+    assert p.evaluate({"a": 0.9, "b": 0.5, "c": 0.4}, fuzzy) == 0.5
+
+
+def test_mint_variable_formats_values():
+    assert mint_variable("shop", ("Merdies", 3)) == "shop(Merdies,3)"
+    assert mint_variable("r", (1, None)) == "r(1,NULL)"
+
+
+def test_minter_prefers_primary_key(tmp_path):
+    import repro
+
+    db = repro.connect()
+    db.execute("CREATE TABLE keyed (id integer, payload text, PRIMARY KEY (id))")
+    db.execute("INSERT INTO keyed VALUES (7, 'long payload that should not appear')")
+    result = db.execute("SELECT PROVENANCE (polynomial) payload FROM keyed")
+    assert result.annotations()[0].variables() == {"keyed(7)"}
+
+
+def test_minter_uses_all_columns_without_key():
+    import repro
+
+    db = repro.connect()
+    db.execute("CREATE TABLE plain (a integer, b text)")
+    db.execute("INSERT INTO plain VALUES (1, 'x')")
+    result = db.execute("SELECT PROVENANCE (polynomial) a FROM plain")
+    assert result.annotations()[0].variables() == {"plain(1,x)"}
+
+
+def test_identity_attnos_without_schema():
+    class FakeRTE:
+        schema = None
+        column_names = ["a", "b", "c"]
+
+    assert TupleVariableMinter.identity_attnos(FakeRTE()) == [0, 1, 2]

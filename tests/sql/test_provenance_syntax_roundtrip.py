@@ -1,0 +1,73 @@
+"""Printer round-trip stability for the PROVENANCE select syntax.
+
+``parse -> format_select -> parse`` must be a fixpoint for the provenance
+markers: the bare ``SELECT PROVENANCE``, the named-semantics form
+``SELECT PROVENANCE (polynomial)`` and markers lifted to set-operation
+roots (which the printer pushes back into the first select-clause).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sql import ast
+from repro.sql.parser import parse_statement
+from repro.sql.printer import format_select
+
+ROUNDTRIP_QUERIES = [
+    "SELECT PROVENANCE a FROM t",
+    "SELECT PROVENANCE (polynomial) a FROM t",
+    "SELECT PROVENANCE (witness) a, b FROM t WHERE a < 3",
+    "SELECT PROVENANCE (polynomial) DISTINCT a FROM t ORDER BY a LIMIT 2",
+    "SELECT PROVENANCE (polynomial) a FROM t UNION SELECT b FROM s",
+    "SELECT PROVENANCE a FROM t UNION ALL SELECT b FROM s",
+    "SELECT PROVENANCE (polynomial) a FROM t INTERSECT SELECT b FROM s ORDER BY a",
+    "SELECT PROVENANCE (polynomial) a FROM t PROVENANCE (pa, pb)",
+    "SELECT PROVENANCE (polynomial) a FROM (SELECT PROVENANCE b FROM s) AS sub",
+]
+
+
+def _marks(node: ast.SelectNode) -> tuple[bool, str | None]:
+    return node.provenance, node.provenance_type
+
+
+@pytest.mark.parametrize("sql", ROUNDTRIP_QUERIES)
+def test_parse_print_parse_is_stable(sql):
+    first = parse_statement(sql)
+    printed = format_select(first)
+    second = parse_statement(printed)
+    assert _marks(second) == _marks(first), printed
+    # The fixpoint: printing the re-parsed tree reproduces the same text.
+    assert format_select(second) == printed
+
+
+def test_semantics_name_is_lowercased():
+    stmt = parse_statement("SELECT PROVENANCE (POLYNOMIAL) a FROM t")
+    assert stmt.provenance and stmt.provenance_type == "polynomial"
+
+
+def test_setop_root_keeps_marker_through_print():
+    stmt = parse_statement(
+        "SELECT PROVENANCE (polynomial) a FROM t EXCEPT SELECT b FROM s"
+    )
+    assert isinstance(stmt, ast.SetOpSelect)
+    assert stmt.provenance and stmt.provenance_type == "polynomial"
+    printed = format_select(stmt)
+    reparsed = parse_statement(printed)
+    assert isinstance(reparsed, ast.SetOpSelect)
+    assert reparsed.provenance and reparsed.provenance_type == "polynomial"
+    # The leaf must not carry a duplicate marker after the lift.
+    assert not reparsed.left.provenance
+
+
+def test_bare_provenance_has_no_semantics():
+    stmt = parse_statement("SELECT PROVENANCE a FROM t")
+    assert stmt.provenance and stmt.provenance_type is None
+
+
+def test_parenthesized_expression_targets_still_parse():
+    # Only a single parenthesized identifier is a semantics marker; an
+    # expression in parentheses stays a select-list target.
+    stmt = parse_statement("SELECT PROVENANCE (a + 1) FROM t")
+    assert stmt.provenance and stmt.provenance_type is None
+    assert len(stmt.target_list) == 1

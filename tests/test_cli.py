@@ -74,3 +74,14 @@ def test_interactive_query_and_rewrite():
     assert result.returncode == 0
     assert "Merdies" in result.stdout
     assert "prov_shop_name" in result.stdout
+
+
+def test_polynomial_provenance_command():
+    result = run_cli(
+        "--example",
+        "-c",
+        "SELECT PROVENANCE (polynomial) name FROM shop WHERE numempl < 10",
+    )
+    assert result.returncode == 0
+    assert "prov_polynomial" in result.stdout
+    assert "shop(Merdies,3)" in result.stdout
