@@ -20,17 +20,21 @@ from repro.tpch.dbgen import generate, load_into
 
 SCALE_FACTORS = {"small": 0.002, "medium": 0.005, "large": 0.01}
 
-_DB_CACHE: dict[tuple[str, bool], PermDatabase] = {}
+_DB_CACHE: dict[tuple[str, bool, str], PermDatabase] = {}
 _DATA_CACHE: dict[str, object] = {}
 
 
-def tpch_db(size: str, provenance_module: bool = True) -> PermDatabase:
-    """A cached TPC-H database of the given size."""
-    key = (size, provenance_module)
+def tpch_db(
+    size: str, provenance_module: bool = True, backend: str = "python"
+) -> PermDatabase:
+    """A cached TPC-H database of the given size on the given backend."""
+    key = (size, provenance_module, backend)
     if key not in _DB_CACHE:
         if size not in _DATA_CACHE:
             _DATA_CACHE[size] = generate(SCALE_FACTORS[size], seed=42)
-        db = PermDatabase(provenance_module_enabled=provenance_module)
+        db = PermDatabase(
+            provenance_module_enabled=provenance_module, backend=backend
+        )
         load_into(db, _DATA_CACHE[size])
         _DB_CACHE[key] = db
     return _DB_CACHE[key]

@@ -1,0 +1,119 @@
+"""Backend comparison -- TPC-H execution, Python executor vs. SQLite.
+
+Fig. 10 shape, with the execution backend as the extra dimension: each
+supported TPC-H query runs normally and as ``SELECT PROVENANCE`` on both
+the in-process Python backend and the embedded-SQLite backend.  The
+interesting quantities:
+
+* per-backend provenance overhead factors (the paper's Fig. 10 claim —
+  provenance costs a small factor over the normal query — should hold on
+  a *real* DBMS, not just the reference interpreter);
+* the Python/SQLite speed ratio, i.e. what shipping ``q+`` to a compiled
+  host DBMS buys.
+
+SQLite timings exclude the one-time catalog mirror load (``sync`` is
+performed before timing), matching how the paper measures warm
+executions; the mirror sync cost itself is reported once per size as the
+``sync`` row.
+
+``PERM_BENCH_QUICK=1`` (CI smoke mode) shrinks the query set and the
+database.  Emits the standard pytest-benchmark JSON via
+``--benchmark-json``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from benchmarks._support import fmt_seconds, tpch_db
+from benchmarks.conftest import run_once
+from repro.backends.base import collect_base_relations
+from repro.errors import BackendUnsupportedError
+from repro.tpch.qgen import generate_query
+from repro.tpch.queries import SUPPORTED_QUERIES
+
+QUICK = bool(os.environ.get("PERM_BENCH_QUICK"))
+SIZES = ("small",) if QUICK else ("small", "medium")
+QUERIES = (1, 3, 6, 12) if QUICK else SUPPORTED_QUERIES
+BACKENDS = ("python", "sqlite")
+
+_HEADERS = [
+    f"{backend} {kind} {size}"
+    for size in SIZES
+    for backend in BACKENDS
+    for kind in ("normal", "prov")
+]
+
+
+def _timed(db, sql) -> float:
+    start = time.perf_counter()
+    db.execute(sql)
+    return time.perf_counter() - start
+
+
+def _warm(db, sql) -> None:
+    """Mirror the catalog tables so timings measure execution only."""
+    from repro.sql.parser import parse_statement
+
+    if db.backend_name == "sqlite":
+        query, _ = db._analyze_and_rewrite(parse_statement(sql))
+        db.backend.sync_tables(collect_base_relations(query))
+
+
+@pytest.mark.parametrize("size", SIZES)
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("number", QUERIES)
+def test_backend_execution(benchmark, figures, number, backend, size):
+    figures.configure(
+        "backends",
+        "TPC-H execution: Python executor vs. SQLite backend",
+        _HEADERS,
+    )
+    db = tpch_db(size, backend=backend)
+    normal_sql = generate_query(number, seed=11)
+    prov_sql = generate_query(number, seed=11, provenance=True)
+
+    try:
+        _warm(db, prov_sql)
+        normal_time = _timed(db, normal_sql)
+        prov_time = run_once(benchmark, lambda: _timed(db, prov_sql))
+    except BackendUnsupportedError as exc:
+        figures.record(
+            "backends", f"Q{number}", f"{backend} normal {size}", f"unsup: {exc.feature}"
+        )
+        pytest.skip(f"Q{number} on {backend}: {exc}")
+
+    figures.record(
+        "backends", f"Q{number}", f"{backend} normal {size}", fmt_seconds(normal_time)
+    )
+    figures.record(
+        "backends", f"Q{number}", f"{backend} prov {size}", fmt_seconds(prov_time)
+    )
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_sqlite_mirror_sync_cost(benchmark, figures, size):
+    """One-time cost of shipping the catalog into the SQLite mirror."""
+    figures.configure(
+        "backends",
+        "TPC-H execution: Python executor vs. SQLite backend",
+        _HEADERS,
+    )
+    from repro.backends import SqliteBackend
+
+    db = tpch_db(size, backend="python")
+    names = [table.name for table in db.catalog.tables()]
+
+    def sync() -> float:
+        backend = SqliteBackend(db.catalog)
+        start = time.perf_counter()
+        backend.sync_tables(names)
+        elapsed = time.perf_counter() - start
+        backend.close()
+        return elapsed
+
+    elapsed = run_once(benchmark, sync)
+    figures.record("backends", "sync", f"sqlite normal {size}", fmt_seconds(elapsed))

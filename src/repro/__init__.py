@@ -31,13 +31,21 @@ machinery (``docs/semirings.md``)::
 Custom contribution semantics plug in through the rewrite-strategy
 registry (``repro.core.registry``) and custom annotation domains through
 ``repro.semiring.register_semiring``.
+
+Execution is pluggable (``repro.backends``, ``docs/backends.md``): the
+rewritten query tree runs on the built-in Python executor or — deparsed
+through a dialect layer — on an embedded SQLite database::
+
+    db = repro.connect(backend="sqlite")   # q+ executed by a real DBMS
 """
 
 from repro.database import PermDatabase, PreparedQuery, QueryResult, connect
+from repro.backends import ExecutionBackend, backend_names, register_backend
 from repro.catalog.schema import Column, TableSchema
 from repro.datatypes import SQLType
 from repro.errors import (
     AnalyzeError,
+    BackendUnsupportedError,
     CatalogError,
     ExecutionError,
     ParseError,
@@ -69,9 +77,13 @@ __all__ = [
     "get_semiring",
     "register_semiring",
     "semiring_names",
+    "ExecutionBackend",
+    "backend_names",
+    "register_backend",
     "PermError",
     "ParseError",
     "AnalyzeError",
+    "BackendUnsupportedError",
     "CatalogError",
     "RewriteError",
     "ExecutionError",

@@ -11,7 +11,9 @@ Inside the shell, end statements with ``;``.  Meta commands:
 * ``\\q`` quit, ``\\d`` list relations,
 * ``\\rewrite <query>`` print the provenance-rewritten SQL,
 * ``\\explain <query>`` print the physical plan,
-* ``\\semirings`` list registered semirings and rewrite strategies.
+* ``\\semirings`` list registered semirings and rewrite strategies,
+* ``\\backend [name]`` show or switch the execution backend
+  (``python`` / ``sqlite``).
 
 ``SELECT PROVENANCE (polynomial) ...`` computes semiring provenance
 polynomials instead of witness lists.
@@ -31,8 +33,11 @@ def _build_database(args: argparse.Namespace) -> repro.PermDatabase:
         from repro.tpch.dbgen import tpch_database
 
         print(f"loading TPC-H at SF {args.tpch} ...", file=sys.stderr)
-        return tpch_database(scale_factor=args.tpch)
-    db = repro.connect()
+        db = tpch_database(scale_factor=args.tpch)
+        if args.backend != "python":
+            db.set_backend(args.backend)
+        return db
+    db = repro.connect(backend=args.backend)
     if args.example:
         db.execute("CREATE TABLE shop (name text, numempl integer)")
         db.execute("CREATE TABLE sales (sname text, itemid integer)")
@@ -64,6 +69,19 @@ def _handle_meta(db: repro.PermDatabase, line: str) -> bool:
     if command == "\\explain":
         print(db.explain(rest))
         return True
+    if command == "\\backend":
+        from repro.backends import backend_names
+
+        choice = rest.strip()
+        if choice:
+            db.set_backend(choice)
+            print(f"execution backend: {db.backend_name} ({db.backend.describe()})")
+            return True
+        for name in backend_names():
+            marker = "*" if name == db.backend_name else " "
+            print(f" {marker} {name}")
+        print(f"active: {db.backend.describe()}")
+        return True
     if command == "\\semirings":
         from repro.core.registry import get_rewrite_strategy, rewrite_strategy_names
         from repro.semiring import get_semiring, semiring_names
@@ -77,7 +95,7 @@ def _handle_meta(db: repro.PermDatabase, line: str) -> bool:
         return True
     print(
         "unknown meta command "
-        f"{command!r} (\\q, \\d, \\rewrite, \\explain, \\semirings)"
+        f"{command!r} (\\q, \\d, \\rewrite, \\explain, \\semirings, \\backend)"
     )
     return True
 
@@ -93,6 +111,8 @@ def main(argv: list[str] | None = None) -> int:
                         help="pre-load the paper's shop/sales/items example")
     parser.add_argument("--command", "-c", default=None,
                         help="execute one statement and exit")
+    parser.add_argument("--backend", default="python",
+                        help="execution backend (python, sqlite)")
     args = parser.parse_args(argv)
 
     db = _build_database(args)
@@ -109,7 +129,10 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     print("Perm repro shell -- SELECT PROVENANCE ... to compute provenance.")
-    print("\\q quit, \\d relations, \\rewrite <q>, \\explain <q>, \\semirings")
+    print(
+        "\\q quit, \\d relations, \\rewrite <q>, \\explain <q>, "
+        "\\semirings, \\backend [name]"
+    )
     buffer = ""
     while True:
         try:

@@ -37,7 +37,9 @@ from repro.analyzer.query_tree import (
     TargetEntry,
 )
 
-AGGREGATE_NAMES = frozenset({"sum", "count", "avg", "min", "max"})
+AGGREGATE_NAMES = frozenset(
+    {"sum", "count", "avg", "min", "max", "perm_poly_sum"}
+)
 
 # scalar function -> (min args, max args, result type or None for "same as arg")
 _SCALAR_FUNCTIONS: dict[str, tuple[int, int, Optional[SQLType]]] = {
@@ -59,6 +61,12 @@ _SCALAR_FUNCTIONS: dict[str, tuple[int, int, Optional[SQLType]]] = {
     "nullif": (2, 2, None),
     "greatest": (1, 99, None),
     "least": (1, 99, None),
+    # Provenance-polynomial primitives: normally injected by the polynomial
+    # rewrite strategy, but accepted in source SQL too so deparsed rewritten
+    # queries re-parse and re-analyze (parse→deparse→parse round-tripping).
+    "perm_poly_token": (1, 99, SQLType.POLYNOMIAL),
+    "perm_poly_mul": (1, 99, SQLType.POLYNOMIAL),
+    "perm_poly_one": (0, 0, SQLType.POLYNOMIAL),
 }
 
 _EXTRACT_FIELDS = frozenset({"year", "month", "day"})
@@ -101,15 +109,26 @@ def _query_level_exprs(query: Query):
 
 
 def _has_free_vars(query: Query, depth: int) -> bool:
+    from repro.analyzer.query_tree import setop_leaf_indexes
+
     for expr in _query_level_exprs(query):
         for node in ex.walk(expr):
             if isinstance(node, ex.Var) and node.levelsup > depth:
                 return True
             if isinstance(node, ex.SubLink) and _has_free_vars(node.subquery, depth + 1):
                 return True
-    for rte in query.range_table:
+    # Set-operation leaves are analyzed against the same outer scopes as
+    # the set-operation node itself (no extra level); FROM subqueries add
+    # a scope level.
+    leaves = (
+        set(setop_leaf_indexes(query.set_operations))
+        if query.set_operations is not None
+        else set()
+    )
+    for rtindex, rte in enumerate(query.range_table):
         if rte.kind is RTEKind.SUBQUERY and rte.subquery is not None:
-            if _has_free_vars(rte.subquery, depth + 1):
+            child_depth = depth if rtindex in leaves else depth + 1
+            if _has_free_vars(rte.subquery, child_depth):
                 return True
     return False
 
@@ -238,7 +257,9 @@ class Analyzer:
                 "ORDER BY on a set operation may only use output column "
                 "names or ordinals"
             )
-        analyzed = self._analyze_expr(expr, scopes, allow_aggs=query.has_aggs)
+        analyzed = self._analyze_expr(
+            expr, scopes, allow_aggs=query.has_aggs or bool(query.group_clause)
+        )
         for i, target in enumerate(query.target_list):
             if target.expr == analyzed:
                 return i
@@ -800,6 +821,13 @@ class Analyzer:
             raise AnalyzeError("aggregate calls cannot be nested")
         if name == "count":
             result = SQLType.INTEGER
+        elif name == "perm_poly_sum":
+            if arg.type not in (SQLType.POLYNOMIAL, SQLType.NULL):
+                raise TypeMismatchError(
+                    "perm_poly_sum requires a polynomial argument, got "
+                    f"{arg.type.value}"
+                )
+            result = SQLType.POLYNOMIAL
         elif name == "avg":
             self._require_numeric(arg, name)
             result = SQLType.FLOAT
@@ -895,6 +923,14 @@ class Analyzer:
         if arg.type not in (SQLType.TEXT, SQLType.NULL):
             raise TypeMismatchError("LIKE requires text arguments")
         return ex.LikeTest(arg, pattern, node.negated)
+
+    def _analyze_DistinctExpr(self, node: ast.DistinctExpr, scopes, allow_aggs) -> ex.Expr:
+        left = self._analyze_expr(node.left, scopes, allow_aggs)
+        right = self._analyze_expr(node.right, scopes, allow_aggs)
+        self._check_comparable(left.type, right.type, "IS DISTINCT FROM")
+        # negated == IS NOT DISTINCT FROM == null-safe equality (<=>).
+        op = "<=>" if node.negated else "<!=>"
+        return ex.OpExpr(op, (left, right), SQLType.BOOLEAN)
 
     def _analyze_IsNullExpr(self, node: ast.IsNullExpr, scopes, allow_aggs) -> ex.Expr:
         arg = self._analyze_expr(node.expr, scopes, allow_aggs)

@@ -1,0 +1,80 @@
+"""Pluggable execution backends.
+
+The compile pipeline (parse → analyze → provenance-rewrite) is shared;
+*where the rewritten query runs* is a backend choice:
+
+* ``python`` — the built-in planner/executor (reference semantics),
+* ``sqlite`` — deparse to SQLite SQL and execute on an embedded
+  ``sqlite3`` database, the paper's "q+ is an ordinary SQL query the
+  DBMS executes" deployment model.
+
+Select a backend with ``PermDatabase(backend="sqlite")``, switch at
+runtime with ``PermDatabase.set_backend``, or register your own::
+
+    from repro.backends import ExecutionBackend, register_backend
+
+    class MyBackend(ExecutionBackend):
+        name = "mydbms"
+        def run_select(self, query): ...
+
+    register_backend(MyBackend)
+
+See ``docs/backends.md`` for the architecture and dialect caveats.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Union
+
+from repro.errors import PermError
+from repro.backends.base import ExecutionBackend, collect_base_relations
+from repro.backends.python_backend import PythonBackend
+from repro.backends.sqlite_backend import SqliteBackend
+
+#: A backend is selected by registry name or constructed from a factory
+#: (any callable taking the catalog — typically the backend class itself).
+BackendSpec = Union[str, Callable[..., ExecutionBackend]]
+
+_REGISTRY: dict[str, Callable[..., ExecutionBackend]] = {}
+
+
+def register_backend(factory: Callable[..., ExecutionBackend], name: str | None = None) -> None:
+    """Register a backend factory under ``name`` (default: its ``name``)."""
+    key = (name or getattr(factory, "name", "")).lower()
+    if not key:
+        raise PermError("backend factory needs a name")
+    _REGISTRY[key] = factory
+
+
+def backend_names() -> list[str]:
+    """Registered backend names, sorted."""
+    return sorted(_REGISTRY)
+
+
+def create_backend(spec: BackendSpec, catalog) -> ExecutionBackend:
+    """Instantiate a backend from a registry name or factory."""
+    if isinstance(spec, str):
+        key = spec.lower()
+        if key not in _REGISTRY:
+            known = ", ".join(backend_names())
+            raise PermError(f"unknown backend {spec!r} (known: {known})")
+        return _REGISTRY[key](catalog)
+    backend = spec(catalog)
+    if not isinstance(backend, ExecutionBackend):
+        raise PermError(f"backend factory {spec!r} did not produce an ExecutionBackend")
+    return backend
+
+
+register_backend(PythonBackend)
+register_backend(SqliteBackend)
+
+__all__ = [
+    "ExecutionBackend",
+    "PythonBackend",
+    "SqliteBackend",
+    "BackendSpec",
+    "backend_names",
+    "collect_base_relations",
+    "create_backend",
+    "register_backend",
+]

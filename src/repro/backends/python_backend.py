@@ -1,0 +1,39 @@
+"""The in-process Python backend: the original planner/executor pipeline.
+
+This wraps the repro's own physical layer (``repro.planner`` +
+``repro.executor``) behind the :class:`ExecutionBackend` protocol with
+zero behavior change — it is the default backend and the semantic
+reference the other backends are differentially tested against.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.analyzer.query_tree import Query
+from repro.backends.base import ExecutionBackend
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.database import QueryResult
+
+
+class PythonBackend(ExecutionBackend):
+    """Plan and interpret query trees with the built-in executor."""
+
+    name = "python"
+
+    def run_select(self, query: Query) -> "QueryResult":
+        from repro.database import QueryResult
+        from repro.executor.context import ExecContext
+        from repro.planner.planner import Planner
+
+        plan = Planner(self.catalog).plan(query)
+        rows = list(plan.run(ExecContext()))
+        return QueryResult(
+            columns=list(plan.output_names),
+            rows=rows,
+            annotation_column=query.annotation_column,
+        )
+
+    def describe(self) -> str:
+        return "in-process Python planner/executor (reference semantics)"

@@ -309,9 +309,7 @@ class ProvenanceRewriter:
 
         join_cond = self._witness_condition(sublink, rtindex, rte)
         if condition is not None:
-            independent = _simplify_bools(
-                _replace_node(condition, sublink, ex.Const(False, BOOL))
-            )
+            independent = _simplify_bools(_neutralize_sublink(condition, sublink))
             if not _is_const_false(independent):
                 join_cond = ex.BoolOpExpr("or", (join_cond, independent))
 
@@ -578,7 +576,7 @@ class ProvenanceRewriter:
             )
             if condition is not None:
                 independent = _simplify_bools(
-                    _replace_node(condition, sublink, ex.Const(False, BOOL))
+                    _neutralize_sublink(condition, sublink)
                 )
                 if not _is_const_false(independent):
                     indep_slot = len(q_agg.target_list)
@@ -949,6 +947,33 @@ def _replace_node(expr: ex.Expr, target: ex.Expr, replacement: ex.Expr) -> ex.Ex
     if all(new is old for new, old in zip(new_children, children)):
         return expr
     return ex.rebuild_with_children(expr, new_children)
+
+
+def _contains_node(expr: ex.Expr, target: ex.Expr) -> bool:
+    return any(node is target for node in ex.walk(expr))
+
+
+def _neutralize_sublink(condition: ex.Expr, sublink: ex.SubLink) -> ex.Expr:
+    """``condition`` with the sublink's contribution made FALSE.
+
+    Boolean sublinks (EXISTS, ANY, ALL) are replaced directly.  A *scalar*
+    sublink appears as a non-boolean operand (``x = (SELECT ...)``); there
+    the tightest boolean predicate containing it is replaced, keeping the
+    result well-typed (``x = FALSE`` would be a float/boolean comparison —
+    and, insidiously, ``0.0 = FALSE`` holds in the value domain).
+    """
+    if condition is sublink:
+        return ex.Const(False, BOOL)
+    if not _contains_node(condition, sublink):
+        return condition
+    if isinstance(condition, ex.BoolOpExpr):
+        return ex.BoolOpExpr(
+            condition.op,
+            tuple(_neutralize_sublink(a, sublink) for a in condition.args),
+        )
+    # A non-AND/OR/NOT predicate containing the sublink: the whole
+    # predicate is governed by the sublink's value.
+    return ex.Const(False, BOOL)
 
 
 def _simplify_bools(expr: ex.Expr) -> ex.Expr:

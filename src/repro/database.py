@@ -11,13 +11,22 @@ query tree looking for nodes marked ``SELECT PROVENANCE`` and rewrites
 them; unmarked queries pass through untouched.  The
 ``provenance_module_enabled`` switch reproduces the paper's Fig. 9
 configurations (Perm module present vs. plain PostgreSQL).
+
+Where the rewritten tree *executes* is pluggable (``repro.backends``):
+the default ``python`` backend is the built-in planner/executor; the
+``sqlite`` backend deparses the tree to SQLite SQL and runs it on an
+embedded ``sqlite3`` database — the paper's actual deployment model,
+where ``q+`` is ordinary SQL executed by the host DBMS.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Any, Iterable, Iterator, Optional, Sequence
+from typing import TYPE_CHECKING, Any, Iterable, Iterator, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.backends import BackendSpec
 
 from repro.catalog.catalog import Catalog, ViewDefinition
 from repro.catalog.schema import Column, TableSchema
@@ -140,9 +149,35 @@ class PermDatabase:
     ['a', 'prov_t_a', 'prov_t_b']
     """
 
-    def __init__(self, provenance_module_enabled: bool = True) -> None:
+    def __init__(
+        self,
+        provenance_module_enabled: bool = True,
+        backend: "BackendSpec" = "python",
+    ) -> None:
+        from repro.backends import create_backend
+
         self.catalog = Catalog()
         self.provenance_module_enabled = provenance_module_enabled
+        self._backend = create_backend(backend, self.catalog)
+
+    # -- execution backends ----------------------------------------------------
+
+    @property
+    def backend(self):
+        """The active :class:`~repro.backends.ExecutionBackend`."""
+        return self._backend
+
+    @property
+    def backend_name(self) -> str:
+        return self._backend.name
+
+    def set_backend(self, backend: "BackendSpec") -> None:
+        """Switch execution backends; catalog data is untouched."""
+        from repro.backends import create_backend
+
+        replacement = create_backend(backend, self.catalog)
+        self._backend.close()
+        self._backend = replacement
 
     # -- statement execution ---------------------------------------------------
 
@@ -194,17 +229,20 @@ class PermDatabase:
         prepared = self.prepare(sql)
         return prepared.plan.explain()
 
-    def rewritten_sql(self, sql: str) -> str:
+    def rewritten_sql(self, sql: str, dialect: Optional[str] = None) -> str:
         """The SQL text of the provenance-rewritten query tree.
 
         Makes the paper's central point inspectable: ``q+`` is an ordinary
         SQL query over the same schema (null-safe join predicates render
-        as ``IS NOT DISTINCT FROM``).
+        as ``IS NOT DISTINCT FROM``, which the repro parser re-parses).
+        ``dialect`` selects the target syntax (``"postgres"`` — the
+        default — or ``"sqlite"``, the form the SQLite backend executes).
         """
-        from repro.sql.deparse import deparse_query
+        from repro.sql.deparse import deparse_query, get_dialect
 
         prepared = self.prepare(sql)
-        return deparse_query(prepared.query)
+        chosen = get_dialect(dialect) if dialect is not None else None
+        return deparse_query(prepared.query, dialect=chosen)
 
     # -- programmatic helpers -----------------------------------------------------
 
@@ -219,8 +257,8 @@ class PermDatabase:
 
     # -- pipeline ---------------------------------------------------------------------
 
-    def _prepare_select(self, stmt: ast.SelectNode) -> PreparedQuery:
-        start = time.perf_counter()
+    def _analyze_and_rewrite(self, stmt: ast.SelectNode) -> tuple[Query, float]:
+        """Parse-tree → analyzed (and provenance-rewritten) query tree."""
         analyzer = Analyzer(self.catalog)
         query = analyzer.analyze(stmt)
         rewrite_seconds = 0.0
@@ -230,6 +268,11 @@ class PermDatabase:
             rewrite_start = time.perf_counter()
             query = traverse_query_tree(query)
             rewrite_seconds = time.perf_counter() - rewrite_start
+        return query, rewrite_seconds
+
+    def _prepare_select(self, stmt: ast.SelectNode) -> PreparedQuery:
+        start = time.perf_counter()
+        query, rewrite_seconds = self._analyze_and_rewrite(stmt)
         plan = Planner(self.catalog).plan(query)
         compile_seconds = time.perf_counter() - start
         return PreparedQuery(
@@ -239,12 +282,16 @@ class PermDatabase:
             rewrite_seconds=rewrite_seconds,
         )
 
+    def _run_select(self, stmt: ast.SelectNode) -> tuple[Query, QueryResult]:
+        """Analyze, rewrite, and execute a SELECT on the active backend."""
+        query, _ = self._analyze_and_rewrite(stmt)
+        return query, self._backend.run_select(query)
+
     def _execute_statement(self, stmt: ast.Statement) -> QueryResult:
         if isinstance(stmt, (ast.SelectStmt, ast.SetOpSelect)):
-            prepared = self._prepare_select(stmt)
-            result = prepared.run()
-            if prepared.query.into is not None:
-                self._store_into(prepared.query.into, prepared, result)
+            query, result = self._run_select(stmt)
+            if query.into is not None:
+                self._store_into(query.into, query, result)
                 return QueryResult(
                     columns=[], rows=[], command=f"SELECT INTO {len(result)}"
                 )
@@ -300,8 +347,7 @@ class PermDatabase:
         width = len(table.schema.columns)
 
         if stmt.query is not None:
-            prepared = self._prepare_select(stmt.query)
-            source_rows = prepared.run().rows
+            source_rows = self._run_select(stmt.query)[1].rows
         else:
             source_rows = [self._eval_values_row(row) for row in stmt.values]
 
@@ -336,13 +382,11 @@ class PermDatabase:
         self.catalog.drop_view(stmt.name, missing_ok=stmt.if_exists)
         return QueryResult(columns=[], rows=[], command="DROP VIEW")
 
-    def _store_into(
-        self, name: str, prepared: PreparedQuery, result: QueryResult
-    ) -> None:
+    def _store_into(self, name: str, query: Query, result: QueryResult) -> None:
         """SELECT INTO: materialize a result (e.g. stored provenance)."""
         if self.catalog.has_relation(name):
             raise CatalogError(f"relation {name!r} already exists")
-        types = prepared.query.output_types()
+        types = query.output_types()
         columns = [
             Column(col, SQLType.TEXT if t == SQLType.NULL else t)
             for col, t in zip(result.columns, types)
@@ -352,6 +396,10 @@ class PermDatabase:
         table.insert_many(result.rows)
 
 
-def connect(provenance_module_enabled: bool = True) -> PermDatabase:
+def connect(
+    provenance_module_enabled: bool = True, backend: "BackendSpec" = "python"
+) -> PermDatabase:
     """Create a fresh in-memory Perm database."""
-    return PermDatabase(provenance_module_enabled=provenance_module_enabled)
+    return PermDatabase(
+        provenance_module_enabled=provenance_module_enabled, backend=backend
+    )

@@ -49,6 +49,21 @@ class UnsupportedFeatureError(PermError):
     """Raised for SQL features outside the implemented subset."""
 
 
+class BackendUnsupportedError(UnsupportedFeatureError):
+    """Raised when an execution backend cannot run a (valid) query.
+
+    Backends must *never* return silently wrong results; any construct a
+    backend's dialect cannot translate faithfully raises this error with
+    ``feature`` naming the offending construct.
+    """
+
+    def __init__(self, feature: str, backend: str = "") -> None:
+        self.feature = feature
+        self.backend = backend
+        where = f" by the {backend} backend" if backend else ""
+        super().__init__(f"{feature} is not supported{where}")
+
+
 class PlanError(PermError):
     """Raised when no physical plan can be produced for a query tree."""
 

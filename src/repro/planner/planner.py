@@ -453,7 +453,11 @@ class Planner:
     def _plan_setop_tree(self, node: SetOpTreeNode, query: Query) -> PlanNode:
         if isinstance(node, SetOpRangeRef):
             rte = query.range_table[node.rtindex]
-            return Planner(self.catalog).plan(rte.subquery)
+            # Leaf subqueries are analyzed against the same outer scopes as
+            # the set-operation node (no extra level), so the enclosing
+            # layouts pass through unchanged — a correlated sublink whose
+            # body is a set operation reads the same outer-row stack.
+            return Planner(self.catalog, self.outer_varmaps).plan(rte.subquery)
         left = self._plan_setop_tree(node.left, query)
         right = self._plan_setop_tree(node.right, query)
         return SetOpPlanNode(node.op, node.all, left, right)

@@ -120,6 +120,40 @@ class Polynomial:
     def is_one(self) -> bool:
         return self._terms == ((_CONSTANT_MONOMIAL, 1),)
 
+    # -- wire format --------------------------------------------------------
+
+    def to_wire(self) -> str:
+        """Serialize to a canonical JSON string.
+
+        Used to ship polynomials through systems that only move scalar
+        values (the SQLite execution backend): the encoding is a pure
+        function of the normal form, so equal polynomials have equal wire
+        strings and GROUP BY / DISTINCT over wire values behaves exactly
+        like GROUP BY / DISTINCT over the polynomials themselves.
+        """
+        import json
+
+        payload = [
+            [[[variable, exponent] for variable, exponent in monomial], coefficient]
+            for monomial, coefficient in self._terms
+        ]
+        return json.dumps(payload, separators=(",", ":"))
+
+    @classmethod
+    def from_wire(cls, text: str) -> "Polynomial":
+        """Parse a string produced by :meth:`to_wire`."""
+        import json
+
+        try:
+            payload = json.loads(text)
+            terms = {
+                tuple((str(v), int(e)) for v, e in monomial): int(coefficient)
+                for monomial, coefficient in payload
+            }
+        except (ValueError, TypeError) as exc:
+            raise ValueError(f"invalid polynomial wire value {text!r}: {exc}") from None
+        return cls(terms)
+
     # -- evaluation ---------------------------------------------------------
 
     def evaluate(

@@ -88,6 +88,7 @@ class PolynomialRewriter:
         """Rewrite a marked node into its annotated K-relation form."""
         into = query.into
         query.into = None
+        promoted = self._promote_junk_sort_targets(query)
         sort_spec = self._visible_sort_spec(query)
         original_width = len(query.visible_targets)
         annotation_name = self._unique_annotation_name(query)
@@ -111,9 +112,42 @@ class PolynomialRewriter:
                     nulls_first=nulls_first,
                 )
             )
+        # Promoted ordering columns stay grouped (they refine the collapse)
+        # but are hidden from the visible result, like any resjunk entry.
+        for position in promoted:
+            top.target_list[position].resjunk = True
         top.into = into
         top.annotation_column = annotation_name
         return top
+
+    @staticmethod
+    def _promote_junk_sort_targets(query: Query) -> list[int]:
+        """Make resjunk ORDER BY targets visible for the rewrite.
+
+        The witness rewrite carries junk sort entries through untouched;
+        the polynomial rewrite reuses that device by promoting each junk
+        target to a named visible column so it survives the derivation
+        layer and the collapse (which groups by it — ordering attributes
+        refine the K-relation's tuple identity).  :meth:`rewrite_root`
+        re-marks the promoted columns as resjunk on the top node, so the
+        visible result schema is unchanged.
+
+        Returns the visible output positions of the promoted targets.
+        """
+        promoted: list[int] = []
+        for clause in query.sort_clause:
+            target = query.target_list[clause.tlist_index]
+            if not target.resjunk:
+                continue
+            target.resjunk = False
+            position = sum(
+                1
+                for t in query.target_list[: clause.tlist_index]
+                if not t.resjunk
+            )
+            target.name = f"perm_ord_{position}"
+            promoted.append(position)
+        return promoted
 
     @staticmethod
     def _unique_annotation_name(query: Query) -> str:

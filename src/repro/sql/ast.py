@@ -220,6 +220,23 @@ class LikeExpr(Expr):
 
 
 @dataclass(frozen=True)
+class DistinctExpr(Expr):
+    """``left IS [NOT] DISTINCT FROM right`` (null-safe comparison).
+
+    ``negated`` is True for ``IS NOT DISTINCT FROM`` — i.e. null-safe
+    *equality*, the form the provenance rewrites emit for their joins.
+    """
+
+    left: Expr
+    right: Expr
+    negated: bool = False
+
+    def __str__(self) -> str:
+        keyword = "IS NOT DISTINCT FROM" if self.negated else "IS DISTINCT FROM"
+        return f"({self.left} {keyword} {self.right})"
+
+
+@dataclass(frozen=True)
 class IsNullExpr(Expr):
     expr: Expr
     negated: bool = False  # True for IS NOT NULL

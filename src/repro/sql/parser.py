@@ -373,7 +373,13 @@ class _Parser:
         return item
 
     def _paren_starts_select(self) -> bool:
-        """After a '(', decide between a subselect and a nested from-item."""
+        """After a '(', decide between a subselect and a nested from-item.
+
+        A parenthesized group whose first depth-1 token is SELECT is a
+        subselect; one whose first decisive depth-1 token is a set-operation
+        keyword (``((...) UNION (...))``) is a *compound* subselect — the
+        shape the provenance rewrites deparse for set-operation inputs.
+        """
         depth = 0
         offset = 0
         while True:
@@ -387,7 +393,7 @@ class _Parser:
                     continue
                 continue
             if depth == 1:
-                return token.is_keyword("SELECT")
+                return token.is_keyword("SELECT", "UNION", "INTERSECT", "EXCEPT")
             if token.kind is TokenKind.PUNCT and token.value == ")":
                 depth -= 1
             offset += 1
@@ -618,7 +624,18 @@ class _Parser:
             self.advance()
             negated = True
         if self.accept_keyword("IS"):
+            # IS [NOT] DISTINCT FROM — the null-safe comparison emitted by
+            # the provenance rewrites; accepting it closes the
+            # parse→deparse→parse round-trip for rewritten queries.
+            if self.accept_keyword("DISTINCT"):
+                self.expect_keyword("FROM")
+                right = self.parse_additive()
+                return ast.DistinctExpr(left=left, right=right, negated=False)
             is_not = self.accept_keyword("NOT")
+            if is_not and self.accept_keyword("DISTINCT"):
+                self.expect_keyword("FROM")
+                right = self.parse_additive()
+                return ast.DistinctExpr(left=left, right=right, negated=True)
             self.expect_keyword("NULL")
             return ast.IsNullExpr(expr=left, negated=is_not)
         if self.accept_keyword("BETWEEN"):

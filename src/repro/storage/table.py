@@ -8,6 +8,7 @@ matches the bag semantics of the Perm algebra.
 
 from __future__ import annotations
 
+import itertools
 from typing import Any, Iterable, Iterator, Sequence
 
 from repro.catalog.schema import TableSchema
@@ -15,12 +16,27 @@ from repro.errors import ExecutionError
 from repro.storage.relation import Relation
 
 
+_UID_COUNTER = itertools.count(1)
+
+
 class Table:
-    """A named heap of rows conforming to a :class:`TableSchema`."""
+    """A named heap of rows conforming to a :class:`TableSchema`.
+
+    Mutation tracking for execution backends that mirror catalog data
+    (e.g. the SQLite backend):
+
+    * ``uid`` uniquely identifies this heap for the process lifetime, so a
+      dropped-and-recreated table of the same name is recognizably new;
+    * ``epoch`` increments on :meth:`truncate` — within one epoch the row
+      list only ever *grows*, so a mirror that remembers how many rows it
+      copied can sync incrementally by shipping just the appended suffix.
+    """
 
     def __init__(self, schema: TableSchema, rows: Iterable[Sequence[Any]] | None = None) -> None:
         self.schema = schema
         self._rows: list[tuple] = []
+        self.uid = next(_UID_COUNTER)
+        self.epoch = 0
         if rows is not None:
             self.insert_many(rows)
 
@@ -51,6 +67,7 @@ class Table:
 
     def truncate(self) -> None:
         self._rows.clear()
+        self.epoch += 1
 
     def scan(self) -> Iterator[tuple]:
         """Iterate the stored rows (the executor's SeqScan source)."""

@@ -1,0 +1,60 @@
+"""Shared helpers for backend differential tests."""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import repro
+
+#: Tolerance for float columns: independent summation orders (Python
+#: executor vs. SQLite) legitimately differ in the last few bits.
+_REL_TOL = 1e-6
+_ABS_TOL = 1e-9
+
+
+def _sort_key(row: tuple) -> tuple:
+    # Pair rows across backends: floats are blurred to 5 significant
+    # digits for ordering so near-equal values land next to each other.
+    return tuple(
+        f"{value:.5g}" if isinstance(value, float) else repr(value)
+        for value in row
+    )
+
+
+def _values_match(a, b) -> bool:
+    if isinstance(a, float) or isinstance(b, float):
+        if a is None or b is None:
+            return a is b
+        return math.isclose(a, b, rel_tol=_REL_TOL, abs_tol=_ABS_TOL)
+    return a == b
+
+
+def assert_same_result(
+    reference: repro.QueryResult, candidate: repro.QueryResult, context: str = ""
+) -> None:
+    """Row-for-row multiset equality, with float summation tolerance."""
+    assert reference.columns == candidate.columns, (
+        f"column mismatch {context}: {reference.columns} != {candidate.columns}"
+    )
+    assert len(reference.rows) == len(candidate.rows), (
+        f"row count mismatch {context}: "
+        f"{len(reference.rows)} != {len(candidate.rows)}"
+    )
+    left = sorted(reference.rows, key=_sort_key)
+    right = sorted(candidate.rows, key=_sort_key)
+    for row_a, row_b in zip(left, right):
+        assert len(row_a) == len(row_b) and all(
+            _values_match(a, b) for a, b in zip(row_a, row_b)
+        ), f"row mismatch {context}: {row_a!r} != {row_b!r}"
+
+
+def run_on_both(sql: str, setup: Sequence[str]) -> None:
+    """Execute ``setup`` + ``sql`` on both backends and compare results."""
+    results = []
+    for backend in ("python", "sqlite"):
+        db = repro.connect(backend=backend)
+        for statement in setup:
+            db.execute(statement)
+        results.append(db.execute(sql))
+    assert_same_result(results[0], results[1], context=f"for {sql!r}")

@@ -106,9 +106,25 @@ def test_order_by_and_limit_apply_before_annotation(db):
     assert result.rows[0][1] == Polynomial.constant(2) * V("sales(Joba,3)")
 
 
-def test_order_by_expression_not_in_select_list_rejected(db):
-    with pytest.raises(repro.RewriteError, match="ORDER BY"):
-        db.execute("SELECT PROVENANCE (polynomial) name FROM shop ORDER BY numempl")
+def test_order_by_expression_not_in_select_list(db):
+    """Junk ORDER BY columns ride through the rewrite (like the witness
+    rewrite): the ordering attribute refines the collapse grouping but is
+    hidden from the visible result."""
+    result = db.execute(
+        "SELECT PROVENANCE (polynomial) name FROM shop ORDER BY numempl DESC"
+    )
+    assert result.columns == ["name", "prov_polynomial"]
+    assert [row[0] for row in result.rows] == ["Joba", "Merdies"]
+    assert result.annotations() == [V("shop(Joba,14)"), V("shop(Merdies,3)")]
+
+
+def test_order_by_junk_aggregate(db):
+    result = db.execute(
+        "SELECT PROVENANCE (polynomial) sname FROM sales "
+        "GROUP BY sname ORDER BY count(*) DESC"
+    )
+    assert result.columns == ["sname", "prov_polynomial"]
+    assert [row[0] for row in result.rows] == ["Merdies", "Joba"]
 
 
 # -- aggregation ------------------------------------------------------------
