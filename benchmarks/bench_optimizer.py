@@ -1,0 +1,178 @@
+"""Optimizer benchmark — TPC-H provenance queries, optimizer on vs off.
+
+Fig. 10 shape with the logical optimizer as the extra dimension: every
+supported TPC-H query runs as ``SELECT PROVENANCE`` with the rule-based
+optimizer enabled and disabled, on both execution backends.  The paper's
+§VI performance argument — rewritten provenance queries are cheap
+*because the DBMS optimizer simplifies q+* — finally has a measurable
+mechanism: the ``off`` configuration plans the rewriter's nested output
+verbatim, the ``on`` configuration runs subquery pull-up, projection
+pruning, predicate pushdown, constant folding, aggregation-join fusion
+and common-subplan sharing first.
+
+Methodology (matching the paper's warm measurements and the
+``bench_backends`` precedent): each query is executed once to warm the
+prepared-statement cache (and the SQLite mirror), then timed over
+``REPEATS`` runs taking the minimum — results are asserted identical
+across configurations while timing.
+
+Emits ``BENCH_optimizer.json`` (geometric-mean speedup per backend plus
+per-query timings) so the perf trajectory is tracked from this PR on;
+the CI smoke gate fails when optimizer-on is slower than optimizer-off.
+``PERM_BENCH_QUICK=1`` shrinks the query set and repeat count.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import time
+
+import pytest
+
+from benchmarks._support import fmt_factor, fmt_seconds
+from repro.database import PermDatabase
+from repro.tpch.dbgen import generate, load_into
+from repro.tpch.qgen import generate_query
+from repro.tpch.queries import SUPPORTED_QUERIES
+
+QUICK = bool(os.environ.get("PERM_BENCH_QUICK"))
+QUERIES = (1, 3, 6, 12) if QUICK else SUPPORTED_QUERIES
+BACKENDS = ("python",) if QUICK else ("python", "sqlite")
+REPEATS = 3 if QUICK else 7
+SCALE_FACTOR = 0.002  # SF-tiny
+
+JSON_PATH = os.environ.get("PERM_BENCH_OPTIMIZER_JSON", "BENCH_optimizer.json")
+
+_DB_CACHE: dict[tuple[str, bool], PermDatabase] = {}
+_DATA = None
+
+#: Collected measurements: results["python"][query] = {"on": s, "off": s}
+_RESULTS: dict[str, dict[int, dict[str, float]]] = {}
+
+
+def _db(backend: str, optimize: bool) -> PermDatabase:
+    global _DATA
+    key = (backend, optimize)
+    if key not in _DB_CACHE:
+        if _DATA is None:
+            _DATA = generate(SCALE_FACTOR, seed=42)
+        db = PermDatabase(backend=backend, optimize=optimize)
+        load_into(db, _DATA)
+        _DB_CACHE[key] = db
+    return _DB_CACHE[key]
+
+
+def _timed_interleaved(on_db: PermDatabase, off_db: PermDatabase, sql: str):
+    """Best-of-N warm timings, on/off interleaved per repetition so CPU
+    frequency / cache drift hits both configurations alike."""
+    best = {"on": float("inf"), "off": float("inf")}
+    rows: dict[str, list] = {}
+    for db in (on_db, off_db):
+        db.execute(sql)  # warm: statement cache, SQLite mirror
+    for _ in range(REPEATS):
+        for tag, db in (("on", on_db), ("off", off_db)):
+            start = time.perf_counter()
+            result = db.execute(sql)
+            best[tag] = min(best[tag], time.perf_counter() - start)
+            rows[tag] = sorted(map(repr, result.rows))
+    return best, rows
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("number", QUERIES)
+def test_optimizer_speedup(benchmark, figures, number, backend):
+    figures.configure(
+        "optimizer",
+        "TPC-H provenance execution: optimizer on vs off",
+        [
+            f"{b} {mode}"
+            for b in BACKENDS
+            for mode in ("on", "off", "speedup")
+        ],
+    )
+    sql = generate_query(number, seed=11, provenance=True)
+    on_db = _db(backend, True)
+    off_db = _db(backend, False)
+
+    def measure():
+        best, rows = _timed_interleaved(on_db, off_db, sql)
+        assert rows["on"] == rows["off"], (
+            f"optimizer changed Q{number} results on {backend}"
+        )
+        return best["on"], best["off"]
+
+    on_time, off_time = benchmark.pedantic(
+        measure, rounds=1, iterations=1, warmup_rounds=0
+    )
+    _RESULTS.setdefault(backend, {})[number] = {
+        "on": on_time, "off": off_time
+    }
+    speedup = off_time / on_time if on_time > 0 else float("inf")
+    figures.record("optimizer", f"Q{number}", f"{backend} on", fmt_seconds(on_time))
+    figures.record("optimizer", f"Q{number}", f"{backend} off", fmt_seconds(off_time))
+    figures.record("optimizer", f"Q{number}", f"{backend} speedup", fmt_factor(speedup))
+
+
+def _geomean(values: list[float]) -> float:
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_optimizer_geomean_gate(figures, backend):
+    """Aggregate gate + BENCH_optimizer.json emission.
+
+    * optimizer-on must not be slower than optimizer-off overall
+      (CI smoke criterion);
+    * no single query may regress by more than 10%;
+    * on the Python backend the full run must show a >= 2x
+      geometric-mean speedup (the headline claim; quick mode only
+      enforces the no-slower gate).
+    """
+    measurements = _RESULTS.get(backend)
+    if not measurements or len(measurements) < len(QUERIES):
+        pytest.skip("per-query measurements incomplete")
+    speedups = {
+        number: timing["off"] / timing["on"]
+        for number, timing in sorted(measurements.items())
+    }
+    geomean = _geomean(list(speedups.values()))
+    figures.record("optimizer", "geomean", f"{backend} speedup", fmt_factor(geomean))
+
+    # Full and quick runs live in separate sections so a CI smoke run
+    # never corrupts the committed full-run trajectory.
+    payload = {}
+    if os.path.exists(JSON_PATH):
+        with open(JSON_PATH) as handle:
+            payload = json.load(handle)
+    section = payload.setdefault("quick" if QUICK else "full", {})
+    section["scale_factor"] = SCALE_FACTOR
+    section.setdefault("backends", {})
+    section["backends"][backend] = {
+        "geomean_speedup": round(geomean, 3),
+        "queries": {
+            f"Q{number}": {
+                "on_seconds": round(timing["on"], 6),
+                "off_seconds": round(timing["off"], 6),
+                "speedup": round(timing["off"] / timing["on"], 3),
+            }
+            for number, timing in sorted(measurements.items())
+        },
+    }
+    with open(JSON_PATH, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+
+    worst = min(speedups, key=speedups.get)
+    assert speedups[worst] >= 0.9, (
+        f"Q{worst} regressed more than 10% on {backend} "
+        f"({speedups[worst]:.2f}x)"
+    )
+    assert geomean >= 1.0, (
+        f"optimizer-on slower than optimizer-off on {backend} "
+        f"({geomean:.2f}x)"
+    )
+    if backend == "python" and not QUICK:
+        assert geomean >= 2.0, (
+            f"python-backend geomean speedup {geomean:.2f}x below the 2x target"
+        )

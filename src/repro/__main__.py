@@ -10,7 +10,10 @@ Inside the shell, end statements with ``;``.  Meta commands:
 
 * ``\\q`` quit, ``\\d`` list relations,
 * ``\\rewrite <query>`` print the provenance-rewritten SQL,
-* ``\\explain <query>`` print the physical plan,
+* ``\\explain <query>`` print the logical trees (before/after
+  optimization) and the physical plan,
+* ``\\optimize [on|off]`` show or toggle the logical optimizer,
+* ``\\stats`` prepared-statement cache hit/miss counters,
 * ``\\semirings`` list registered semirings and rewrite strategies,
 * ``\\backend [name]`` show or switch the execution backend
   (``python`` / ``sqlite``).
@@ -36,8 +39,9 @@ def _build_database(args: argparse.Namespace) -> repro.PermDatabase:
         db = tpch_database(scale_factor=args.tpch)
         if args.backend != "python":
             db.set_backend(args.backend)
+        db.optimizer_enabled = not args.no_optimize
         return db
-    db = repro.connect(backend=args.backend)
+    db = repro.connect(backend=args.backend, optimize=not args.no_optimize)
     if args.example:
         db.execute("CREATE TABLE shop (name text, numempl integer)")
         db.execute("CREATE TABLE sales (sname text, itemid integer)")
@@ -69,6 +73,25 @@ def _handle_meta(db: repro.PermDatabase, line: str) -> bool:
     if command == "\\explain":
         print(db.explain(rest))
         return True
+    if command == "\\optimize":
+        choice = rest.strip().lower()
+        if choice in ("on", "off"):
+            db.optimizer_enabled = choice == "on"
+        elif choice:
+            print("usage: \\optimize [on|off]")
+            return True
+        state = "on" if db.optimizer_enabled else "off"
+        print(f"logical optimizer: {state}")
+        return True
+    if command == "\\stats":
+        stats = db.cache_stats()
+        print(
+            "prepared-statement cache: "
+            f"{stats['hits']} hits, {stats['misses']} misses, "
+            f"{stats['entries']}/{stats['capacity']} entries"
+        )
+        print(f"backend: {db.backend.describe()}")
+        return True
     if command == "\\backend":
         from repro.backends import backend_names
 
@@ -95,7 +118,8 @@ def _handle_meta(db: repro.PermDatabase, line: str) -> bool:
         return True
     print(
         "unknown meta command "
-        f"{command!r} (\\q, \\d, \\rewrite, \\explain, \\semirings, \\backend)"
+        f"{command!r} (\\q, \\d, \\rewrite, \\explain, \\optimize, "
+        "\\stats, \\semirings, \\backend)"
     )
     return True
 
@@ -113,6 +137,9 @@ def main(argv: list[str] | None = None) -> int:
                         help="execute one statement and exit")
     parser.add_argument("--backend", default="python",
                         help="execution backend (python, sqlite)")
+    parser.add_argument("--no-optimize", action="store_true",
+                        help="disable the logical optimizer (plan the "
+                             "rewritten tree verbatim)")
     args = parser.parse_args(argv)
 
     db = _build_database(args)
@@ -131,7 +158,7 @@ def main(argv: list[str] | None = None) -> int:
     print("Perm repro shell -- SELECT PROVENANCE ... to compute provenance.")
     print(
         "\\q quit, \\d relations, \\rewrite <q>, \\explain <q>, "
-        "\\semirings, \\backend [name]"
+        "\\optimize [on|off], \\stats, \\semirings, \\backend [name]"
     )
     buffer = ""
     while True:

@@ -68,6 +68,13 @@ class RangeTableEntry:
       already rewritten.
     * ``base_relation`` — the BASERELATION marker: the rewriter applies R1
       to this entry instead of descending into it.
+
+    Optimizer annotation (physical-only, set by projection pruning):
+
+    * ``used_attnos`` — for RELATION entries, the attribute numbers the
+      query actually references; the planner narrows the ``SeqScan``
+      accordingly.  ``None`` means "all columns".  Var numbering and the
+      deparser always use the relation's full schema.
     """
 
     kind: RTEKind
@@ -79,6 +86,7 @@ class RangeTableEntry:
     subquery: Optional["Query"] = None  # for SUBQUERY entries
     provenance_attrs: Optional[tuple[str, ...]] = None
     base_relation: bool = False
+    used_attnos: Optional[frozenset[int]] = None
 
     def width(self) -> int:
         return len(self.column_names)
@@ -221,6 +229,19 @@ class Query:
     sort_clause: list[SortClause] = field(default_factory=list)
     limit_count: Optional[Expr] = None
     limit_offset: Optional[Expr] = None
+    # Optimizer annotation (physical-only, set by aggregation-join
+    # fusion): each ``(agg_rtindex, prov_rtindex, agg_key_positions)``
+    # entry marks a pair of subquery RTEs joined on null-safe group-key
+    # equality whose FROM/WHERE cores are bag-equivalent — the provenance
+    # rewriter's ``q_agg ⋈ d+`` pattern.  The planner evaluates each
+    # pair's shared core once and joins the aggregate back onto it; the
+    # deparser ignores the hint (the tree stays an ordinary SQL join).
+    agg_shares: list[tuple[int, int, tuple[int, ...]]] = field(default_factory=list)
+    # Optimizer annotation (physical-only, set by subplan-sharing
+    # detection): this query node is a closed subquery that appears,
+    # structurally identical, more than once in the statement — the
+    # planner plans one shared, materialized instance for the whole group.
+    share_candidate: bool = False
     # SQL-PLE: marked for provenance rewrite (SELECT PROVENANCE).
     provenance: bool = False
     # Which rewrite strategy computes the provenance (None = the default

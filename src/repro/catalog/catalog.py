@@ -31,11 +31,20 @@ class ViewDefinition:
 
 
 class Catalog:
-    """Name -> table/view mapping with case-insensitive lookup."""
+    """Name -> table/view mapping with case-insensitive lookup.
+
+    ``epoch`` is a schema version counter: it increments on every DDL
+    change (create/drop of a table or view).  Compiled statements are
+    schema-bound but *data*-independent — plans resolve tables by name at
+    execution and scans read the live heap (each :class:`Table` carries
+    its own ``uid``/``epoch`` for data-mirroring backends) — so the
+    prepared-statement cache keys on this counter alone.
+    """
 
     def __init__(self) -> None:
         self._tables: dict[str, Table] = {}
         self._views: dict[str, ViewDefinition] = {}
+        self.epoch = 0
 
     # -- tables -------------------------------------------------------------
 
@@ -45,6 +54,7 @@ class Catalog:
             raise CatalogError(f"relation {schema.name!r} already exists")
         table = Table(schema)
         self._tables[key] = table
+        self.epoch += 1
         return table
 
     def drop_table(self, name: str, missing_ok: bool = False) -> None:
@@ -54,6 +64,7 @@ class Catalog:
                 return
             raise CatalogError(f"table {name!r} does not exist")
         del self._tables[key]
+        self.epoch += 1
 
     def table(self, name: str) -> Table:
         key = name.lower()
@@ -74,6 +85,7 @@ class Catalog:
         if key in self._tables or key in self._views:
             raise CatalogError(f"relation {view.name!r} already exists")
         self._views[key] = view
+        self.epoch += 1
 
     def drop_view(self, name: str, missing_ok: bool = False) -> None:
         key = name.lower()
@@ -82,6 +94,7 @@ class Catalog:
                 return
             raise CatalogError(f"view {name!r} does not exist")
         del self._views[key]
+        self.epoch += 1
 
     def view(self, name: str) -> ViewDefinition:
         key = name.lower()

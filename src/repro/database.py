@@ -22,6 +22,7 @@ where ``q+`` is ordinary SQL executed by the host DBMS.
 from __future__ import annotations
 
 import time
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Iterable, Iterator, Optional, Sequence
 
@@ -139,6 +140,49 @@ class PreparedQuery:
         )
 
 
+class _StatementCache:
+    """Tiny LRU keyed on (sql text, mode, backend, catalog epoch, flags).
+
+    Caches analyzed/rewritten/optimized query *trees*, not results: a hit
+    skips parse → analyze → rewrite → optimize and goes straight to the
+    backend, which re-executes against the live data.  DDL bumps the
+    catalog epoch, so schema changes produce new keys and stale entries
+    age out via the LRU bound.
+    """
+
+    def __init__(self, maxsize: int) -> None:
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        self._entries: "OrderedDict[tuple, Query]" = OrderedDict()
+
+    def get(self, key: tuple) -> Optional[Query]:
+        entry = self._entries.get(key)
+        if entry is None:
+            # Misses are counted at ``put`` time instead: every statement
+            # probes the cache before parsing, so counting here would let
+            # DDL/DML noise swamp the hit rate ``\stats`` reports.
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def put(self, key: tuple, query: Query) -> None:
+        if self.maxsize <= 0:
+            return
+        self.misses += 1  # a cacheable statement that wasn't cached yet
+        self._entries[key] = query
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+
 class PermDatabase:
     """An in-memory relational database with the Perm provenance module.
 
@@ -153,12 +197,16 @@ class PermDatabase:
         self,
         provenance_module_enabled: bool = True,
         backend: "BackendSpec" = "python",
+        optimize: bool = True,
+        statement_cache_size: int = 64,
     ) -> None:
         from repro.backends import create_backend
 
         self.catalog = Catalog()
         self.provenance_module_enabled = provenance_module_enabled
+        self.optimizer_enabled = optimize
         self._backend = create_backend(backend, self.catalog)
+        self._stmt_cache = _StatementCache(statement_cache_size)
 
     # -- execution backends ----------------------------------------------------
 
@@ -185,11 +233,27 @@ class PermDatabase:
         """Execute one or more ``;``-separated statements.
 
         Returns the result of the last statement (DDL returns an empty
-        result with a command tag).
+        result with a command tag).  Single-statement SELECTs hit the
+        prepared-statement cache: a repeat of the same text on the same
+        backend and catalog epoch skips the whole frontend pipeline.
         """
+        key = self._cache_key(sql, "plain")
+        if key is not None:
+            cached = self._stmt_cache.get(key)
+            if cached is not None:
+                return self._backend.run_select(cached)
+        statements = parse_sql(sql)
         result = QueryResult(columns=[], rows=[], command="EMPTY")
-        for stmt in parse_sql(sql):
-            result = self._execute_statement(stmt)
+        cacheable: Optional[Query] = None
+        for stmt in statements:
+            if isinstance(stmt, (ast.SelectStmt, ast.SetOpSelect)):
+                query, result = self._execute_select(stmt)
+                cacheable = query if len(statements) == 1 else None
+            else:
+                result = self._execute_statement(stmt)
+                cacheable = None
+        if key is not None and cacheable is not None:
+            self._stmt_cache.put(key, cacheable)
         return result
 
     def query(self, sql: str) -> QueryResult:
@@ -205,6 +269,11 @@ class PermDatabase:
         for semiring annotations); ``None`` keeps the default witness-list
         semantics.
         """
+        key = self._cache_key(sql, f"prov:{semantics or ''}")
+        if key is not None:
+            cached = self._stmt_cache.get(key)
+            if cached is not None:
+                return self._backend.run_select(cached)
         statements = parse_sql(sql)
         if len(statements) != 1 or not isinstance(
             statements[0], (ast.SelectStmt, ast.SetOpSelect)
@@ -214,7 +283,33 @@ class PermDatabase:
         stmt.provenance = True
         if semantics is not None:
             stmt.provenance_type = semantics
-        return self._execute_statement(stmt)
+        query, result = self._execute_select(stmt)
+        if key is not None and query is not None:
+            self._stmt_cache.put(key, query)
+        return result
+
+    # -- prepared-statement cache ------------------------------------------
+
+    def _cache_key(self, sql: str, mode: str) -> Optional[tuple]:
+        if self._stmt_cache.maxsize <= 0:
+            return None
+        return (
+            sql,
+            mode,
+            self._backend.name,
+            self.catalog.epoch,
+            self.provenance_module_enabled,
+            self.optimizer_enabled,
+        )
+
+    def cache_stats(self) -> dict[str, int]:
+        """Hit/miss/size counters of the prepared-statement cache."""
+        return {
+            "hits": self._stmt_cache.hits,
+            "misses": self._stmt_cache.misses,
+            "entries": len(self._stmt_cache),
+            "capacity": self._stmt_cache.maxsize,
+        }
 
     def prepare(self, sql: str) -> PreparedQuery:
         """Parse, analyze, provenance-rewrite and plan without executing."""
@@ -226,10 +321,52 @@ class PermDatabase:
         return self._prepare_select(statements[0])
 
     def explain(self, sql: str) -> str:
-        prepared = self.prepare(sql)
-        return prepared.plan.explain()
+        """Logical query trees (before/after optimization) + physical plan.
 
-    def rewritten_sql(self, sql: str, dialect: Optional[str] = None) -> str:
+        Shows the optimizer's work on the provenance-rewritten tree: the
+        tree as the rewriter left it, the tree after the rule-based
+        optimizer (when enabled), and the plan the backend-independent
+        planner builds from it.
+        """
+        from repro.optimizer import format_query_tree, optimize_query_tree
+
+        query = self._rewritten_tree(sql, caller="explain")
+        sections = [
+            "-- logical query tree (after rewrite) --",
+            format_query_tree(query),
+        ]
+        if self.optimizer_enabled:
+            query = optimize_query_tree(query)
+            sections += [
+                "-- logical query tree (after optimization) --",
+                format_query_tree(query),
+            ]
+        plan = Planner(self.catalog).plan(query)
+        sections += ["-- physical plan --", plan.explain()]
+        return "\n".join(sections)
+
+    def _rewritten_tree(self, sql: str, caller: str) -> Query:
+        """Parse a single SELECT, analyze and provenance-rewrite it
+        (shared frontend of :meth:`explain` / :meth:`rewritten_sql` —
+        everything before the optimizer)."""
+        statements = parse_sql(sql)
+        if len(statements) != 1 or not isinstance(
+            statements[0], (ast.SelectStmt, ast.SetOpSelect)
+        ):
+            raise PermError(f"{caller}() expects a single SELECT statement")
+        query = Analyzer(self.catalog).analyze(statements[0])
+        if self.provenance_module_enabled:
+            from repro.core.rewriter import traverse_query_tree
+
+            query = traverse_query_tree(query)
+        return query
+
+    def rewritten_sql(
+        self,
+        sql: str,
+        dialect: Optional[str] = None,
+        optimized: Optional[bool] = None,
+    ) -> str:
         """The SQL text of the provenance-rewritten query tree.
 
         Makes the paper's central point inspectable: ``q+`` is an ordinary
@@ -237,12 +374,19 @@ class PermDatabase:
         as ``IS NOT DISTINCT FROM``, which the repro parser re-parses).
         ``dialect`` selects the target syntax (``"postgres"`` — the
         default — or ``"sqlite"``, the form the SQLite backend executes).
+        ``optimized`` controls whether the logical optimizer runs first;
+        ``None`` follows the database setting, so by default the text is
+        exactly what the SQLite backend ships.
         """
         from repro.sql.deparse import deparse_query, get_dialect
 
-        prepared = self.prepare(sql)
+        query = self._rewritten_tree(sql, caller="rewritten_sql")
+        if optimized if optimized is not None else self.optimizer_enabled:
+            from repro.optimizer import optimize_query_tree
+
+            query = optimize_query_tree(query)
         chosen = get_dialect(dialect) if dialect is not None else None
-        return deparse_query(prepared.query, dialect=chosen)
+        return deparse_query(query, dialect=chosen)
 
     # -- programmatic helpers -----------------------------------------------------
 
@@ -258,7 +402,7 @@ class PermDatabase:
     # -- pipeline ---------------------------------------------------------------------
 
     def _analyze_and_rewrite(self, stmt: ast.SelectNode) -> tuple[Query, float]:
-        """Parse-tree → analyzed (and provenance-rewritten) query tree."""
+        """Parse-tree → analyzed, provenance-rewritten, optimized tree."""
         analyzer = Analyzer(self.catalog)
         query = analyzer.analyze(stmt)
         rewrite_seconds = 0.0
@@ -268,6 +412,10 @@ class PermDatabase:
             rewrite_start = time.perf_counter()
             query = traverse_query_tree(query)
             rewrite_seconds = time.perf_counter() - rewrite_start
+        if self.optimizer_enabled:
+            from repro.optimizer import optimize_query_tree
+
+            query = optimize_query_tree(query)
         return query, rewrite_seconds
 
     def _prepare_select(self, stmt: ast.SelectNode) -> PreparedQuery:
@@ -287,15 +435,19 @@ class PermDatabase:
         query, _ = self._analyze_and_rewrite(stmt)
         return query, self._backend.run_select(query)
 
+    def _execute_select(self, stmt: ast.SelectNode) -> tuple[Optional[Query], QueryResult]:
+        """Run one SELECT; returns (query-tree-if-cacheable, result)."""
+        query, result = self._run_select(stmt)
+        if query.into is not None:
+            self._store_into(query.into, query, result)
+            return None, QueryResult(
+                columns=[], rows=[], command=f"SELECT INTO {len(result)}"
+            )
+        return query, result
+
     def _execute_statement(self, stmt: ast.Statement) -> QueryResult:
         if isinstance(stmt, (ast.SelectStmt, ast.SetOpSelect)):
-            query, result = self._run_select(stmt)
-            if query.into is not None:
-                self._store_into(query.into, query, result)
-                return QueryResult(
-                    columns=[], rows=[], command=f"SELECT INTO {len(result)}"
-                )
-            return result
+            return self._execute_select(stmt)[1]
         if isinstance(stmt, ast.CreateTableStmt):
             return self._execute_create_table(stmt)
         if isinstance(stmt, ast.CreateViewStmt):
@@ -397,9 +549,18 @@ class PermDatabase:
 
 
 def connect(
-    provenance_module_enabled: bool = True, backend: "BackendSpec" = "python"
+    provenance_module_enabled: bool = True,
+    backend: "BackendSpec" = "python",
+    optimize: bool = True,
 ) -> PermDatabase:
-    """Create a fresh in-memory Perm database."""
+    """Create a fresh in-memory Perm database.
+
+    ``optimize=False`` disables the logical optimizer (the rewritten
+    query tree is planned/deparsed verbatim) — the paper's "no DBMS
+    optimization phase" configuration, kept for benchmarks and tests.
+    """
     return PermDatabase(
-        provenance_module_enabled=provenance_module_enabled, backend=backend
+        provenance_module_enabled=provenance_module_enabled,
+        backend=backend,
+        optimize=optimize,
     )

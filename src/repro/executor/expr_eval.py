@@ -370,12 +370,39 @@ class ExprCompiler:
         if len(expr.args) == 1:  # unary minus
             arg = self.compile(expr.args[0])
             return lambda row, ctx: None if (v := arg(row, ctx)) is None else -v
-        left_type = expr.args[0].type
-        right_type = expr.args[1].type
-        left = self.compile(expr.args[0])
-        right = self.compile(expr.args[1])
-        fn = self._select_binary_fn(expr.op, left_type, right_type)
+        left_expr, right_expr = expr.args
+        fn = self._select_binary_fn(expr.op, left_expr.type, right_expr.type)
+        # Operand inlining: slot reads and constants bind directly into
+        # the operator closure, cutting call frames in the hottest paths
+        # (scan predicates, aggregate arguments, join keys).
+        lslot = self._direct_slot(left_expr)
+        rslot = self._direct_slot(right_expr)
+        if lslot is not None:
+            if rslot is not None:
+                return lambda row, ctx: fn(row[lslot], row[rslot])
+            if isinstance(right_expr, ex.Const):
+                rval = right_expr.value
+                return lambda row, ctx: fn(row[lslot], rval)
+            right = self.compile(right_expr)
+            return lambda row, ctx: fn(row[lslot], right(row, ctx))
+        if rslot is not None:
+            if isinstance(left_expr, ex.Const):
+                lval = left_expr.value
+                return lambda row, ctx: fn(lval, row[rslot])
+            left = self.compile(left_expr)
+            return lambda row, ctx: fn(left(row, ctx), row[rslot])
+        left = self.compile(left_expr)
+        if isinstance(right_expr, ex.Const):
+            rval = right_expr.value
+            return lambda row, ctx: fn(left(row, ctx), rval)
+        right = self.compile(right_expr)
         return lambda row, ctx: fn(left(row, ctx), right(row, ctx))
+
+    def _direct_slot(self, expr: ex.Expr) -> Optional[int]:
+        """Input slot for a local Var operand; None otherwise."""
+        if isinstance(expr, ex.Var) and expr.levelsup == 0:
+            return self.varmap.get((expr.varno, expr.varattno))
+        return None
 
     def _select_binary_fn(
         self, op: str, left_type: SQLType, right_type: SQLType

@@ -30,6 +30,19 @@ Predicate = Callable[[Row, ExecContext], Any]
 Scalar = Callable[[Row, ExecContext], Any]
 
 
+def make_row_getter(indexes: list[int]) -> Callable[[Row], Row]:
+    """A ``row -> tuple`` rearranger for the given positions (itemgetter
+    with the 0/1-arity cases normalized to always return a tuple)."""
+    if len(indexes) == 1:
+        index = indexes[0]
+        return lambda row: (row[index],)
+    if not indexes:
+        return lambda row: ()
+    import operator
+
+    return operator.itemgetter(*indexes)
+
+
 class PlanNode:
     """Base class for physical plan nodes."""
 
@@ -55,27 +68,53 @@ class PlanNode:
 
 
 class SeqScan(PlanNode):
-    """Full scan of a heap table, optionally filtered."""
+    """Full scan of a heap table, optionally filtered and column-narrowed.
 
-    def __init__(self, table: Table, output_names: list[str], predicate: Optional[Predicate] = None) -> None:
+    ``columns`` (when set) lists the heap attribute numbers to emit, in
+    output order — the physical realization of the optimizer's projection
+    pruning.  Predicates always evaluate against the emitted (narrow)
+    row layout.
+    """
+
+    def __init__(
+        self,
+        table: Table,
+        output_names: list[str],
+        predicate: Optional[Predicate] = None,
+        columns: Optional[list[int]] = None,
+    ) -> None:
         self.table = table
         self.output_names = output_names
         self.predicate = predicate
+        self.columns = columns
         rows = table.row_count()
         self.estimate = max(rows * (0.25 if predicate else 1.0), 1.0)
 
     def run(self, ctx: ExecContext) -> Iterator[Row]:
         rows = self.table.raw_rows()
         predicate = self.predicate
+        if self.columns is None:
+            if predicate is None:
+                yield from rows
+            else:
+                for row in rows:
+                    if predicate(row, ctx) is True:
+                        yield row
+            return
+        getter = make_row_getter(self.columns)
         if predicate is None:
-            yield from rows
+            for row in rows:
+                yield getter(row)
         else:
             for row in rows:
-                if predicate(row, ctx) is True:
-                    yield row
+                narrow = getter(row)
+                if predicate(narrow, ctx) is True:
+                    yield narrow
 
     def label(self) -> str:
         suffix = " (filtered)" if self.predicate else ""
+        if self.columns is not None:
+            suffix += f" [{len(self.columns)} cols]"
         return f"SeqScan on {self.table.name}{suffix}"
 
 
@@ -120,23 +159,61 @@ class FilterNode(PlanNode):
 
 
 class ProjectNode(PlanNode):
-    def __init__(self, child: PlanNode, exprs: list[Scalar], output_names: list[str]) -> None:
+    """Expression projection.
+
+    ``slots`` (optional, parallel to ``exprs``) marks positions that are
+    plain input-slot reads; the per-row emitter is code-generated into a
+    single lambda with slot reads inlined, so a wide provenance target
+    list costs one call per row instead of one per column.
+    """
+
+    def __init__(
+        self,
+        child: PlanNode,
+        exprs: list[Scalar],
+        output_names: list[str],
+        slots: Optional[list[Optional[int]]] = None,
+    ) -> None:
         self.child = child
         self.exprs = exprs
         self.output_names = output_names
+        self.slots = slots
         self.estimate = child.estimate
+        self._emit = self._build_emitter()
+
+    def _build_emitter(self):
+        slots = self.slots if self.slots is not None else [None] * len(self.exprs)
+        parts: list[str] = []
+        env: dict[str, Any] = {}
+        for index, (fn, slot) in enumerate(zip(self.exprs, slots)):
+            if slot is not None:
+                parts.append(f"row[{int(slot)}]")
+            else:
+                env[f"_f{index}"] = fn
+                parts.append(f"_f{index}(row, ctx)")
+        if not parts:
+            return lambda row, ctx: ()
+        body = ", ".join(parts)
+        return eval(f"lambda row, ctx: ({body},)", env)  # generated slots/calls only
 
     def children(self) -> list[PlanNode]:
         return [self.child]
 
     def run(self, ctx: ExecContext) -> Iterator[Row]:
-        exprs = self.exprs
+        emit = self._emit
         for row in self.child.run(ctx):
-            yield tuple(fn(row, ctx) for fn in exprs)
+            yield emit(row, ctx)
 
 
 class SliceNode(PlanNode):
-    """Keeps a positional subset of columns (drops resjunk sort columns)."""
+    """Re-emits a positional selection of columns (any order, duplicates
+    allowed): junk-column removal and Var-only projections.
+
+    Unlike :class:`ProjectNode` this evaluates no expressions — the row is
+    rearranged with a C-level ``itemgetter``, which is what makes the
+    optimizer's pulled-up trees cheap (their projections are plain column
+    references).
+    """
 
     def __init__(self, child: PlanNode, keep: list[int], output_names: list[str]) -> None:
         self.child = child
@@ -148,9 +225,9 @@ class SliceNode(PlanNode):
         return [self.child]
 
     def run(self, ctx: ExecContext) -> Iterator[Row]:
-        keep = self.keep
+        getter = make_row_getter(self.keep)
         for row in self.child.run(ctx):
-            yield tuple(row[i] for i in keep)
+            yield getter(row)
 
 
 class NestedLoopJoin(PlanNode):
@@ -185,6 +262,19 @@ class NestedLoopJoin(PlanNode):
         right_width = self.right.width()
         null_left = (None,) * left_width
         null_right = (None,) * right_width
+
+        if condition is None and join_type in ("inner", "left", "cross"):
+            # Unconditional cross product (the shape the provenance
+            # rewrite's scalar-sublink joins fold to): no per-pair checks.
+            if right_rows:
+                for left_row in self.left.run(ctx):
+                    for right_row in right_rows:
+                        yield left_row + right_row
+            elif join_type == "left":
+                for left_row in self.left.run(ctx):
+                    yield left_row + null_right
+            return
+
         right_matched = [False] * len(right_rows) if join_type in ("right", "full") else None
 
         for left_row in self.left.run(ctx):
@@ -253,48 +343,80 @@ class HashJoin(PlanNode):
     def label(self) -> str:
         return f"HashJoin ({self.join_type}, {len(self.left_keys)} keys)"
 
-    def _make_key(self, row: Row, ctx: ExecContext, fns: list[Scalar]) -> Optional[tuple]:
-        """Hash key for a row; None when a non-null-safe key is NULL."""
-        values = []
-        for fn, safe in zip(fns, self.null_safe):
-            value = fn(row, ctx)
-            if value is None:
-                if not safe:
-                    return None
-                value = NULL_KEY
-            values.append(value)
-        return tuple(values)
+    def _key_builder(self, fns: list[Scalar]):
+        """A specialized ``row, ctx -> key | None`` closure.
+
+        Returns None when a non-null-safe key column is NULL (such rows
+        can never match).  Specialized per arity/null-safety because key
+        construction runs once per input row on both join sides.
+        """
+        null_safe = self.null_safe
+        if len(fns) == 1:
+            fn = fns[0]
+            if null_safe[0]:
+
+                def build_one_safe(row: Row, ctx: ExecContext):
+                    value = fn(row, ctx)
+                    return (NULL_KEY,) if value is None else (value,)
+
+                return build_one_safe
+
+            def build_one(row: Row, ctx: ExecContext):
+                value = fn(row, ctx)
+                return None if value is None else (value,)
+
+            return build_one
+        pairs = list(zip(fns, null_safe))
+
+        def build_many(row: Row, ctx: ExecContext) -> Optional[tuple]:
+            values = []
+            for fn, safe in pairs:
+                value = fn(row, ctx)
+                if value is None:
+                    if not safe:
+                        return None
+                    value = NULL_KEY
+                values.append(value)
+            return tuple(values)
+
+        return build_many
 
     def run(self, ctx: ExecContext) -> Iterator[Row]:
         join_type = self.join_type
         residual = self.residual
         null_left = (None,) * self.left.width()
         null_right = (None,) * self.right.width()
+        build_key = self._key_builder(self.right_keys)
+        probe_key = self._key_builder(self.left_keys)
 
         build: dict[tuple, list[tuple[int, Row]]] = defaultdict(list)
         right_rows: list[Row] = []
         for row in self.right.run(ctx):
             index = len(right_rows)
             right_rows.append(row)
-            key = self._make_key(row, ctx, self.right_keys)
+            key = build_key(row, ctx)
             if key is not None:
                 build[key].append((index, row))
         right_matched = (
             [False] * len(right_rows) if join_type in ("right", "full") else None
         )
+        build_get = build.get
+        preserve_left = join_type in ("left", "full")
 
         for left_row in self.left.run(ctx):
-            key = self._make_key(left_row, ctx, self.left_keys)
+            key = probe_key(left_row, ctx)
             matched = False
             if key is not None:
-                for index, right_row in build.get(key, ()):
-                    combined = left_row + right_row
-                    if residual is None or residual(combined, ctx) is True:
-                        matched = True
-                        if right_matched is not None:
-                            right_matched[index] = True
-                        yield combined
-            if not matched and join_type in ("left", "full"):
+                bucket = build_get(key)
+                if bucket is not None:
+                    for index, right_row in bucket:
+                        combined = left_row + right_row
+                        if residual is None or residual(combined, ctx) is True:
+                            matched = True
+                            if right_matched is not None:
+                                right_matched[index] = True
+                            yield combined
+            if not matched and preserve_left:
                 yield left_row + null_right
         if right_matched is not None:
             for index, right_row in enumerate(right_rows):
@@ -318,11 +440,28 @@ class HashAggregate(PlanNode):
         agg_factories: list[Callable[[], AggState]],
         agg_arg_exprs: list[Optional[Scalar]],
         output_names: list[str],
+        arg_slots: Optional[list[Optional[int]]] = None,
+        unique_args: Optional[list[Scalar]] = None,
     ) -> None:
         self.child = child
         self.group_exprs = group_exprs
         self.agg_factories = agg_factories
         self.agg_arg_exprs = agg_arg_exprs
+        # Argument-evaluation sharing (``sum(x)`` + ``avg(x)`` read one
+        # evaluation of ``x`` per row): ``unique_args`` are the distinct
+        # compiled argument expressions, ``arg_slots[i]`` the index each
+        # aggregate state reads (None = no argument, e.g. count(*)).
+        if arg_slots is None:
+            arg_slots = []
+            unique_args = []
+            for fn in agg_arg_exprs:
+                if fn is None:
+                    arg_slots.append(None)
+                else:
+                    arg_slots.append(len(unique_args))
+                    unique_args.append(fn)
+        self.arg_slots = arg_slots
+        self.unique_args = unique_args or []
         self.output_names = output_names
         self.estimate = max(child.estimate * 0.1, 1.0)
 
@@ -334,19 +473,38 @@ class HashAggregate(PlanNode):
 
     def run(self, ctx: ExecContext) -> Iterator[Row]:
         group_exprs = self.group_exprs
+        factories = self.agg_factories
+        unique_args = self.unique_args
+        arg_slots = self.arg_slots
+        agg_count = len(factories)
+        single_group = group_exprs[0] if len(group_exprs) == 1 else None
+        single_arg = (
+            unique_args[0]
+            if agg_count == 1 and arg_slots and arg_slots[0] == 0
+            else None
+        )
         groups: dict[tuple, list[AggState]] = {}
+        groups_get = groups.get
         order: list[tuple] = []
         for row in self.child.run(ctx):
-            key = tuple(fn(row, ctx) for fn in group_exprs)
-            states = groups.get(key)
+            if single_group is not None:
+                key = (single_group(row, ctx),)
+            else:
+                key = tuple(fn(row, ctx) for fn in group_exprs)
+            states = groups_get(key)
             if states is None:
-                states = [factory() for factory in self.agg_factories]
+                states = [factory() for factory in factories]
                 groups[key] = states
                 order.append(key)
-            for state, arg_expr in zip(states, self.agg_arg_exprs):
-                state.add(arg_expr(row, ctx) if arg_expr is not None else None)
+            if single_arg is not None:
+                states[0].add(single_arg(row, ctx))
+            else:
+                values = [fn(row, ctx) for fn in unique_args]
+                for i in range(agg_count):
+                    slot = arg_slots[i]
+                    states[i].add(values[slot] if slot is not None else None)
         if not groups and not group_exprs:
-            states = [factory() for factory in self.agg_factories]
+            states = [factory() for factory in factories]
             yield tuple(state.result() for state in states)
             return
         for key in order:

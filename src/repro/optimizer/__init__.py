@@ -1,0 +1,35 @@
+"""Rule-based logical optimizer for analyzed/rewritten query trees.
+
+The paper's performance argument (§VI) assumes the host DBMS simplifies
+the rewritten query ``q+`` before executing it; this package reproduces
+that rewrite/optimization phase for the repro's pluggable backends.  It
+runs between the provenance rewriter and plan/deparse, so both the Python
+executor and the SQLite backend receive the simplified tree.
+
+Rules: subquery pull-up, projection pruning, predicate pushdown, constant
+folding + trivial-pass cleanup.  See :mod:`repro.optimizer.driver`.
+"""
+
+from repro.optimizer.driver import (
+    MAX_PASSES,
+    RULE_NAMES,
+    optimize_query_tree,
+)
+from repro.optimizer.explain import format_query_tree
+from repro.optimizer.folding import cleanup_node, fold_node
+from repro.optimizer.pruning import prune_query_tree
+from repro.optimizer.pullup import normalize_jointree, pull_up_node
+from repro.optimizer.pushdown import push_down_node
+
+__all__ = [
+    "MAX_PASSES",
+    "RULE_NAMES",
+    "optimize_query_tree",
+    "format_query_tree",
+    "cleanup_node",
+    "fold_node",
+    "normalize_jointree",
+    "prune_query_tree",
+    "pull_up_node",
+    "push_down_node",
+]

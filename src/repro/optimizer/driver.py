@@ -1,0 +1,83 @@
+"""The rule-based logical optimizer: fixpoint driver over rewrite rules.
+
+Runs between the provenance rewriter and the planner / deparser (paper
+Fig. 5 places the host DBMS's rewrite/optimization phase exactly there):
+the same optimized tree is interpreted by the Python backend and deparsed
+to SQL for the SQLite backend.
+
+Rules (each separately importable and testable):
+
+1. ``cleanup`` / ``fold``   — repro.optimizer.folding
+2. ``normalize`` / ``pullup`` — repro.optimizer.pullup
+3. ``pushdown``             — repro.optimizer.pushdown
+4. ``prune``                — repro.optimizer.pruning
+
+The driver applies the per-node rules bottom-up over every query node
+(subquery RTEs, set-operation operands, sublink bodies), then the
+top-down pruning pass, and repeats until a pass changes nothing (bounded
+by ``MAX_PASSES`` as a defensive backstop — rules are monotone, so the
+fixpoint normally lands in 2-3 passes).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+from repro.analyzer.query_tree import Query
+from repro.optimizer.folding import cleanup_node, fold_node
+from repro.optimizer.fusion import fuse_agg_join
+from repro.optimizer.pruning import prune_query_tree
+from repro.optimizer.pullup import normalize_jointree, pull_up_node
+from repro.optimizer.pushdown import push_down_node
+from repro.optimizer.sharing import mark_shared_subplans
+from repro.optimizer.treeutils import walk_query_nodes
+
+MAX_PASSES = 8
+
+#: Per-node rules in application order; names are stable identifiers for
+#: tests and the ``disable`` parameter.  Fusion runs before normalization
+#: and pull-up so the rewriter's pristine ``q_agg ⋈ d+`` join shape is
+#: still intact when it looks for the pattern.
+NODE_RULES: Sequence[tuple[str, Callable[[Query], bool]]] = (
+    ("fold", fold_node),
+    ("fuse", fuse_agg_join),
+    ("normalize", normalize_jointree),
+    ("pullup", pull_up_node),
+    ("pushdown", push_down_node),
+)
+
+RULE_NAMES = (
+    ("cleanup",) + tuple(name for name, _ in NODE_RULES) + ("prune", "share")
+)
+
+
+def optimize_query_tree(
+    query: Query, disable: Optional[set[str]] = None
+) -> Query:
+    """Optimize an analyzed (and possibly provenance-rewritten) query tree
+    in place and return it.
+
+    ``disable`` names rules to skip (see :data:`RULE_NAMES`) — used by the
+    per-rule tests and the ablation benchmark.
+    """
+    disabled = disable or set()
+    active = [(name, rule) for name, rule in NODE_RULES if name not in disabled]
+    run_cleanup = "cleanup" not in disabled
+    run_prune = "prune" not in disabled
+    for _ in range(MAX_PASSES):
+        changed = False
+        for node, is_root in walk_query_nodes(query):
+            if run_cleanup:
+                changed |= cleanup_node(node, is_root)
+            for _name, rule in active:
+                changed |= rule(node)
+        if run_prune:
+            changed |= prune_query_tree(query)
+        if not changed:
+            break
+    # Subplan-sharing marks are placed after the fixpoint: rules
+    # specialize each subquery copy to its context, and the marks must
+    # reflect (and keep reflecting) the final trees.
+    if "share" not in disabled:
+        mark_shared_subplans(query)
+    return query

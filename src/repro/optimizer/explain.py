@@ -1,0 +1,110 @@
+"""Readable rendering of logical query trees (for ``explain`` output).
+
+The physical plan explains *how* a query runs; this formatter shows
+*what* the planner was given — which is where the optimizer's work is
+visible: pulled-up join trees, shrunk target lists, narrowed scans,
+pushed-down predicates.
+"""
+
+from __future__ import annotations
+
+from repro.analyzer.query_tree import (
+    JoinTreeExpr,
+    JoinTreeNode,
+    Query,
+    RangeTableRef,
+    RTEKind,
+    SetOpNode,
+    SetOpTreeNode,
+)
+
+
+def format_query_tree(query: Query, indent: int = 0) -> str:
+    """Indented, information-dense text form of a logical query tree."""
+    return "\n".join(_format(query, indent))
+
+
+def _format(query: Query, indent: int) -> list[str]:
+    pad = "  " * indent
+    lines: list[str] = []
+    flags = []
+    if query.distinct:
+        flags.append("DISTINCT")
+    if query.limit_count is not None or query.limit_offset is not None:
+        flags.append("LIMIT")
+    suffix = f" [{' '.join(flags)}]" if flags else ""
+    lines.append(f"{pad}Query({query.node_class().value}){suffix}")
+    for agg_index, prov_index, positions in query.agg_shares:
+        lines.append(
+            f"{pad}  fused agg pair: ${agg_index} ⋈ ${prov_index} "
+            f"on {len(positions)} group key(s), shared core"
+        )
+
+    rendered_targets = ", ".join(
+        f"{t.name}={t.expr}" + ("/junk" if t.resjunk else "")
+        for t in query.target_list
+    )
+    lines.append(f"{pad}  targets: {rendered_targets}")
+
+    if query.set_operations is not None:
+        lines.append(f"{pad}  setop:")
+        lines.extend(_format_setop(query.set_operations, query, indent + 2))
+    elif query.jointree.items:
+        lines.append(f"{pad}  from:")
+        for item in query.jointree.items:
+            lines.extend(_format_jointree(item, query, indent + 2))
+    if query.jointree.quals is not None:
+        lines.append(f"{pad}  where: {query.jointree.quals}")
+    if query.group_clause:
+        grouped = ", ".join(str(g) for g in query.group_clause)
+        lines.append(f"{pad}  group by: {grouped}")
+    if query.having is not None:
+        lines.append(f"{pad}  having: {query.having}")
+    if query.sort_clause:
+        order = ", ".join(
+            f"#{c.tlist_index}{' desc' if c.descending else ''}"
+            for c in query.sort_clause
+        )
+        lines.append(f"{pad}  order by: {order}")
+    return lines
+
+
+def _format_rte(rtindex: int, query: Query, indent: int) -> list[str]:
+    pad = "  " * indent
+    rte = query.range_table[rtindex]
+    if rte.kind is RTEKind.RELATION:
+        if rte.used_attnos is not None:
+            kept = ",".join(
+                rte.column_names[i] for i in sorted(rte.used_attnos)
+            )
+            columns = f" cols[{kept or '-'}]"
+        else:
+            columns = ""
+        return [f"{pad}${rtindex} rel {rte.relation_name} as {rte.alias}{columns}"]
+    shared = " [shared subplan]" if rte.subquery.share_candidate else ""
+    lines = [f"{pad}${rtindex} subquery as {rte.alias}:{shared}"]
+    lines.extend(_format(rte.subquery, indent + 1))
+    return lines
+
+
+def _format_jointree(node: JoinTreeNode, query: Query, indent: int) -> list[str]:
+    if isinstance(node, RangeTableRef):
+        return _format_rte(node.rtindex, query, indent)
+    assert isinstance(node, JoinTreeExpr)
+    pad = "  " * indent
+    condition = f" on {node.quals}" if node.quals is not None else ""
+    lines = [f"{pad}{node.join_type} join{condition}"]
+    lines.extend(_format_jointree(node.left, query, indent + 1))
+    lines.extend(_format_jointree(node.right, query, indent + 1))
+    return lines
+
+
+def _format_setop(node: SetOpTreeNode, query: Query, indent: int) -> list[str]:
+    pad = "  " * indent
+    if isinstance(node, SetOpNode):
+        keyword = node.op + (" all" if node.all else "")
+        lines = [f"{pad}{keyword}"]
+        lines.extend(_format_setop(node.left, query, indent + 1))
+        lines.extend(_format_setop(node.right, query, indent + 1))
+        return lines
+    return _format_rte(node.rtindex, query, indent)

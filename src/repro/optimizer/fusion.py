@@ -1,0 +1,237 @@
+"""Aggregation-join fusion: share the core of ``q_agg ⋈ d+``.
+
+The aggregation rewrite (paper rule R5) joins the original aggregation
+``q_agg`` with a stripped duplicate ``d+`` of its own FROM/WHERE on
+null-safe group-key equality.  Planned naively, the join below the
+aggregation is computed **twice** — once feeding the aggregate, once
+producing the provenance rows.  A cost-based DBMS optimizer shares such
+common subplans; this rule reproduces that:
+
+* detect an inner join of two subquery range table entries ``A`` (the
+  aggregating side) and ``B`` (a simple SPJ) whose join condition is
+  exactly the rewriter's ``A.g_i <=> B.g_i`` group-key pattern and whose
+  FROM/WHERE cores are *bag-equivalent*;
+* record the pair on the query node (``Query.agg_share``); the planner
+  then evaluates the shared core once, aggregates it, and hash-joins the
+  aggregate back onto the materialized core rows.
+
+Bag equivalence is checked structurally and strictly: identical join
+trees, identical quals, identical relations, and subquery RTEs that may
+differ only by *appended output columns* (the witness rewrite's R1-style
+extension, which never changes row multiplicity).  Anything that does
+change multiplicity — sublink provenance joins, rewritten nested
+aggregations, rewritten set operations — fails the strict comparison and
+the pair is left unfused, falling back to the (correct) double
+evaluation.
+
+The hint is physical only: the tree still deparses to the ordinary SQL
+join, so execution backends with their own optimizers (SQLite) are
+unaffected.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.analyzer import expressions as ex
+from repro.analyzer.query_tree import (
+    JoinTreeExpr,
+    JoinTreeNode,
+    Query,
+    RangeTableEntry,
+    RangeTableRef,
+    RTEKind,
+)
+from repro.optimizer.treeutils import (
+    exprs_equal,
+    _jointrees_equal,
+)
+
+
+def fuse_agg_join(query: Query) -> bool:
+    """Mark every fusable aggregation-join pair of one query node."""
+    if query.set_operations is not None:
+        return False
+    taken = {index for pair in query.agg_shares for index in pair[:2]}
+    changed = False
+    for join in _inner_pair_joins(query.jointree.items):
+        assert isinstance(join.left, RangeTableRef)
+        assert isinstance(join.right, RangeTableRef)
+        if {join.left.rtindex, join.right.rtindex} & taken:
+            continue
+        for a_index, b_index in (
+            (join.left.rtindex, join.right.rtindex),
+            (join.right.rtindex, join.left.rtindex),
+        ):
+            positions = _match_pair(query, join, a_index, b_index)
+            if positions is not None:
+                query.agg_shares.append((a_index, b_index, positions))
+                taken.update((a_index, b_index))
+                changed = True
+                break
+    return changed
+
+
+def _inner_pair_joins(items: list[JoinTreeNode]) -> list[JoinTreeExpr]:
+    """All inner joins whose both children are range table leaves."""
+    found: list[JoinTreeExpr] = []
+    stack: list[JoinTreeNode] = list(items)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, JoinTreeExpr):
+            if (
+                node.join_type in ("inner", "cross")
+                and isinstance(node.left, RangeTableRef)
+                and isinstance(node.right, RangeTableRef)
+            ):
+                found.append(node)
+            stack.append(node.left)
+            stack.append(node.right)
+    return found
+
+
+def _match_pair(
+    query: Query, join: JoinTreeExpr, a_index: int, b_index: int
+) -> Optional[tuple[int, ...]]:
+    """A-side group-key output positions when (A, B) is a fusable pair."""
+    a_rte = query.range_table[a_index]
+    b_rte = query.range_table[b_index]
+    if a_rte.kind is not RTEKind.SUBQUERY or b_rte.kind is not RTEKind.SUBQUERY:
+        return None
+    agg = a_rte.subquery
+    prov = b_rte.subquery
+    if agg is None or prov is None:
+        return None
+    if not (agg.has_aggs or agg.group_clause):
+        return None
+    if (
+        prov.has_aggs
+        or prov.group_clause
+        or prov.having is not None
+        or prov.distinct
+        or prov.set_operations is not None
+        or prov.limit_count is not None
+        or prov.limit_offset is not None
+        or prov.sort_clause
+        or any(t.resjunk for t in prov.target_list)
+    ):
+        return None
+    group_count = len(agg.group_clause)
+    if len(prov.target_list) < group_count:
+        return None
+    # B's leading outputs must be the grouping expressions.
+    for i in range(group_count):
+        if not exprs_equal(prov.target_list[i].expr, agg.group_clause[i]):
+            return None
+    positions = _key_positions(join.quals, a_index, b_index, group_count)
+    if positions is None:
+        return None
+    if not _same_row_source(agg, prov):
+        return None
+    return positions
+
+
+def _key_positions(
+    quals: Optional[ex.Expr], a_index: int, b_index: int, group_count: int
+) -> Optional[tuple[int, ...]]:
+    """Decode ``A.x_i <=> B.i`` conjuncts; A-side positions indexed by i."""
+    if quals is None:
+        return () if group_count == 0 else None
+    conjuncts = _split_and(quals)
+    if len(conjuncts) != group_count:
+        return None
+    positions: dict[int, int] = {}
+    for conjunct in conjuncts:
+        if not (isinstance(conjunct, ex.OpExpr) and conjunct.op == "<=>"):
+            return None
+        left, right = conjunct.args
+        if not (isinstance(left, ex.Var) and isinstance(right, ex.Var)):
+            return None
+        if left.levelsup or right.levelsup:
+            return None
+        if left.varno == a_index and right.varno == b_index:
+            a_var, b_var = left, right
+        elif left.varno == b_index and right.varno == a_index:
+            a_var, b_var = right, left
+        else:
+            return None
+        if b_var.varattno in positions or b_var.varattno >= group_count:
+            return None
+        positions[b_var.varattno] = a_var.varattno
+    return tuple(positions[i] for i in range(group_count))
+
+
+def _split_and(expr: ex.Expr) -> list[ex.Expr]:
+    if isinstance(expr, ex.BoolOpExpr) and expr.op == "and":
+        result: list[ex.Expr] = []
+        for arg in expr.args:
+            result.extend(_split_and(arg))
+        return result
+    return [expr]
+
+
+# ---------------------------------------------------------------------------
+# Bag-equivalence of the two cores
+# ---------------------------------------------------------------------------
+
+
+def _same_row_source(agg: Query, prov: Query) -> bool:
+    """True when A's and B's FROM/WHERE produce the same bag of rows."""
+    if len(agg.range_table) != len(prov.range_table):
+        return False
+    if not _jointrees_equal(agg.jointree, prov.jointree):
+        return False
+    return all(
+        _rte_extends(base, ext)
+        for base, ext in zip(agg.range_table, prov.range_table)
+    )
+
+
+def _rte_extends(base: RangeTableEntry, ext: RangeTableEntry) -> bool:
+    if base.kind is not ext.kind or base.alias != ext.alias:
+        return False
+    if base.kind is RTEKind.RELATION:
+        return base.relation_name == ext.relation_name
+    if base.subquery is None or ext.subquery is None:
+        return False
+    return _query_extends(base.subquery, ext.subquery)
+
+
+def _query_extends(base: Query, ext: Query) -> bool:
+    """``ext`` equals ``base`` except for output columns appended at the
+    end — the only rewrite shape that preserves row multiplicity."""
+    if (
+        base.distinct != ext.distinct
+        or base.has_aggs != ext.has_aggs
+        or len(base.group_clause) != len(ext.group_clause)
+        or base.set_operations is not None
+        or ext.set_operations is not None
+        or base.sort_clause
+        or ext.sort_clause
+        or len(base.target_list) > len(ext.target_list)
+    ):
+        return False
+    for ta, tb in zip(base.target_list, ext.target_list):
+        if ta.resjunk != tb.resjunk or not exprs_equal(ta.expr, tb.expr):
+            return False
+    if any(t.resjunk for t in ext.target_list[len(base.target_list):]):
+        return False
+    if not all(
+        exprs_equal(a, b)
+        for a, b in zip(base.group_clause, ext.group_clause)
+    ):
+        return False
+    if not exprs_equal(base.having, ext.having):
+        return False
+    if not exprs_equal(base.limit_count, ext.limit_count):
+        return False
+    if not exprs_equal(base.limit_offset, ext.limit_offset):
+        return False
+    if len(base.range_table) != len(ext.range_table):
+        return False
+    if not _jointrees_equal(base.jointree, ext.jointree):
+        return False
+    return all(
+        _rte_extends(a, b)
+        for a, b in zip(base.range_table, ext.range_table)
+    )

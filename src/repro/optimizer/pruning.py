@@ -1,0 +1,181 @@
+"""Projection pruning (optimizer rule 2).
+
+Rewritten provenance queries drag every provenance attribute of every
+base relation through every query level, and the original query's side
+(``q_agg`` in the aggregation rewrite, ``q_set`` in the set-operation
+rewrite) frequently computes columns its parent never reads.  This pass
+computes required-column sets top-down and
+
+* **shrinks subquery target lists** — visible outputs the parent does not
+  reference are dropped (or demoted to resjunk when their own ORDER BY
+  still needs them), with every parent reference renumbered;
+* **annotates base-relation scans** — each relation range table entry
+  gets a ``used_attnos`` hint naming the columns actually referenced; the
+  planner narrows the corresponding ``SeqScan`` so joins concatenate
+  short tuples instead of full base rows.  The hint is physical only —
+  the deparser ignores it, and Var numbering stays in terms of the
+  relation's full schema.
+
+Safety rules: a DISTINCT subquery's target list is never shrunk
+(deduplication over fewer columns changes the result), set-operation
+outputs are never shrunk (operand multiplicity/duplicate semantics depend
+on the full row), and the root query keeps its full output.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import replace as _dc_replace
+from typing import Optional
+
+from repro.datatypes import SQLType
+from repro.analyzer import expressions as ex
+from repro.analyzer.query_tree import Query, RangeTableEntry, RTEKind
+from repro.optimizer.treeutils import (
+    level_exprs,
+    remap_level_vars,
+    visit_level_vars,
+)
+
+#: old visible position -> new visible position for a shrunk target list
+_Mapping = dict[int, int]
+
+
+def prune_query_tree(root: Query) -> bool:
+    """Run projection pruning over the whole tree; returns True on change."""
+    changed, _ = _prune(root, required=None)
+    return changed
+
+
+def _prune(query: Query, required: Optional[set[int]]) -> tuple[bool, Optional[_Mapping]]:
+    changed = False
+    mapping: Optional[_Mapping] = None
+
+    if query.set_operations is not None:
+        # Set-operation node: outputs stay; prune inside each operand.
+        for rte in query.range_table:
+            if rte.kind is RTEKind.SUBQUERY and rte.subquery is not None:
+                sub_changed, _ = _prune(rte.subquery, required=None)
+                changed |= sub_changed
+        return changed, None
+
+    if required is not None:
+        shrunk, mapping = _shrink_targets(query, required)
+        changed |= shrunk
+
+    # Sublink subqueries: internal pruning only (their single output
+    # column is the sublink's value and always required).
+    for expr in level_exprs(query):
+        for node in ex.walk(expr):
+            if isinstance(node, ex.SubLink):
+                sub_changed, _ = _prune(node.subquery, required=None)
+                changed |= sub_changed
+
+    # Per-RTE usage, including correlated references from sublink bodies.
+    usage: dict[int, set[int]] = defaultdict(set)
+    visit_level_vars(query, lambda var: usage[var.varno].add(var.varattno))
+
+    for rtindex, rte in enumerate(query.range_table):
+        used = usage.get(rtindex, set())
+        if rte.kind is RTEKind.RELATION:
+            hint = frozenset(used) if len(used) < rte.width() else None
+            if rte.used_attnos != hint:
+                rte.used_attnos = hint
+                changed = True
+            continue
+        sub = rte.subquery
+        if sub is None:
+            continue
+        if any(rtindex in pair[:2] for pair in query.agg_shares):
+            # Fused pair: left completely untouched.  The fused planner
+            # compiles the aggregate side's Vars against the provenance
+            # side's core layout, so even internal shrinking (which would
+            # renumber one side's Vars but not the other's) must not run.
+            continue
+        if sub.set_operations is not None or sub.distinct:
+            sub_changed, _ = _prune(sub, required=None)
+            changed |= sub_changed
+            continue
+        sub_changed, sub_mapping = _prune(sub, required=set(used))
+        changed |= sub_changed
+        if sub_mapping is not None:
+            _apply_output_mapping(query, rtindex, rte, sub, sub_mapping)
+    return changed, mapping
+
+
+def _shrink_targets(query: Query, required: set[int]) -> tuple[bool, Optional[_Mapping]]:
+    """Drop/demote visible targets the parent does not need.
+
+    Returns (changed, mapping) where mapping renumbers surviving visible
+    positions; ``None`` mapping means the output layout is unchanged.
+    """
+    if query.distinct or query.set_operations is not None:
+        return False, None
+    visible = [i for i, t in enumerate(query.target_list) if not t.resjunk]
+    if all(pos in required for pos in range(len(visible))):
+        return False, None
+
+    sort_targets = {clause.tlist_index for clause in query.sort_clause}
+    keep: list[int] = []  # tlist indexes surviving (visible or junk)
+    mapping: _Mapping = {}
+    new_visible = 0
+    for tlist_index, target in enumerate(query.target_list):
+        if target.resjunk:
+            keep.append(tlist_index)
+            continue
+        position = visible.index(tlist_index)
+        if position in required:
+            mapping[position] = new_visible
+            new_visible += 1
+            keep.append(tlist_index)
+        elif tlist_index in sort_targets:
+            # Still feeds this query's ORDER BY: keep it, hidden.
+            target.resjunk = True
+            keep.append(tlist_index)
+        # else: dropped entirely
+
+    if new_visible == 0:
+        # Parent reads nothing (pure cardinality input): keep one cheap
+        # visible column so the node stays a valid SELECT.  A grand
+        # aggregate must keep an aggregate in its target list — the
+        # ``has_aggs`` flag is tree metadata the deparser cannot render,
+        # and ``SELECT 1 FROM t`` has different cardinality than
+        # ``SELECT count(*) FROM t``.
+        first = visible[0]
+        target = query.target_list[first]
+        if query.has_aggs and not query.group_clause:
+            target.expr = ex.Aggref(
+                "count", None, SQLType.INTEGER, star=True
+            )
+        else:
+            target.expr = ex.Const(1, SQLType.INTEGER)
+        target.resjunk = False
+        keep = sorted(set(keep) | {first})
+
+    renumber = {old: new for new, old in enumerate(keep)}
+    query.target_list = [query.target_list[i] for i in keep]
+    for clause in query.sort_clause:
+        clause.tlist_index = renumber[clause.tlist_index]
+    return True, mapping
+
+
+def _apply_output_mapping(
+    query: Query,
+    rtindex: int,
+    rte: RangeTableEntry,
+    sub: Query,
+    mapping: _Mapping,
+) -> None:
+    """Renumber parent references into a shrunk subquery RTE."""
+    rte.column_names = list(sub.output_columns())
+    rte.column_types = list(sub.output_types())
+
+    def remap(var: ex.Var) -> Optional[ex.Expr]:
+        if var.varno != rtindex:
+            return None
+        new_attno = mapping[var.varattno]
+        if new_attno == var.varattno:
+            return None
+        return _dc_replace(var, varattno=new_attno)
+
+    remap_level_vars(query, remap)

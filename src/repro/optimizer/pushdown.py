@@ -1,0 +1,176 @@
+"""Predicate pushdown (optimizer rule 3).
+
+WHERE conjuncts that reference the outputs of exactly one subquery range
+table entry move inside that subquery, where they filter before joins,
+aggregation and set operations instead of after:
+
+* into a plain SPJ subquery (including DISTINCT): appended to its WHERE —
+  filtering commutes with projection and duplicate elimination;
+* into an aggregating subquery: only when every referenced output column
+  is a grouping expression; the conjunct then filters whole groups and
+  may run before the aggregation (the classic group-key pushdown);
+* into a set-operation subquery: pushed into **every** operand (predicates
+  over output columns commute with UNION/INTERSECT/EXCEPT in both ALL and
+  DISTINCT forms); the push happens only if every operand accepts it.
+
+A conjunct is only *removed* from the parent when the subquery sits in a
+WHERE-safe join position (a top-level FROM item or under inner joins
+only); below an outer join the parent filter also eliminates null-extended
+rows, which a pushed-down copy cannot.  Subqueries with LIMIT/OFFSET never
+accept pushdown (the filter would change which rows the limit keeps), and
+conjuncts containing sublinks or correlated references stay put.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.analyzer import expressions as ex
+from repro.analyzer.query_tree import (
+    JoinTreeExpr,
+    Query,
+    RangeTableRef,
+    RTEKind,
+    setop_leaf_indexes,
+)
+
+_Commit = Callable[[], None]
+
+
+def push_down_node(query: Query) -> bool:
+    """Push single-subquery WHERE conjuncts of one node into the subquery."""
+    if query.set_operations is not None or query.jointree.quals is None:
+        return False
+    from repro.planner.planner import split_conjuncts
+
+    safe = _where_safe_indexes(query)
+    conjuncts = split_conjuncts(query.jointree.quals)
+    kept: list[ex.Expr] = []
+    changed = False
+    for conjunct in conjuncts:
+        owner = _single_subquery_owner(query, conjunct, safe)
+        if owner is None:
+            kept.append(conjunct)
+            continue
+        commit = _accept(query.range_table[owner].subquery, conjunct, owner)
+        if commit is None:
+            kept.append(conjunct)
+            continue
+        commit()
+        changed = True
+    if not changed:
+        return False
+    if kept:
+        query.jointree.quals = (
+            kept[0] if len(kept) == 1 else ex.BoolOpExpr("and", tuple(kept))
+        )
+    else:
+        query.jointree.quals = None
+    return True
+
+
+def _where_safe_indexes(query: Query) -> set[int]:
+    """RTE indexes whose rows the WHERE clause filters one-to-one: leaves
+    reachable from the FROM items through inner joins only."""
+    safe: set[int] = set()
+    stack = list(query.jointree.items)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, RangeTableRef):
+            safe.add(node.rtindex)
+        elif isinstance(node, JoinTreeExpr) and node.join_type in ("inner", "cross"):
+            stack.append(node.left)
+            stack.append(node.right)
+    return safe
+
+
+def _single_subquery_owner(
+    query: Query, conjunct: ex.Expr, safe: set[int]
+) -> Optional[int]:
+    if ex.contains_sublink(conjunct):
+        return None
+    all_vars = [n for n in ex.walk(conjunct) if isinstance(n, ex.Var)]
+    if not all_vars or any(v.levelsup > 0 for v in all_vars):
+        return None
+    owners = {v.varno for v in all_vars}
+    if len(owners) != 1:
+        return None
+    owner = owners.pop()
+    if owner not in safe:
+        return None
+    if any(owner in pair[:2] for pair in query.agg_shares):
+        # Pushing into one side of a fused pair would break the strict
+        # core equivalence the fusion hint asserts.
+        return None
+    rte = query.range_table[owner]
+    if rte.kind is not RTEKind.SUBQUERY or rte.subquery is None:
+        return None
+    return owner
+
+
+def _accept(sub: Query, conjunct: ex.Expr, source: int) -> Optional[_Commit]:
+    """Check whether ``sub`` can absorb ``conjunct`` (phrased over
+    ``source``'s output columns); return the commit action or None.
+
+    Two-phase so a set operation pushes into either *all* operands or
+    none — a partial push must not remove the parent conjunct.
+    """
+    if (
+        sub.limit_count is not None
+        or sub.limit_offset is not None
+        or sub.sort_clause
+    ):
+        return None
+    if sub.set_operations is not None:
+        commits: list[_Commit] = []
+        for leaf_index in setop_leaf_indexes(sub.set_operations):
+            leaf = sub.range_table[leaf_index].subquery
+            if leaf is None:
+                return None
+            commit = _accept(leaf, conjunct, source)
+            if commit is None:
+                return None
+            commits.append(commit)
+
+        def commit_all() -> None:
+            for commit in commits:
+                commit()
+
+        return commit_all
+
+    targets = sub.visible_targets
+    positions = {
+        node.varattno
+        for node in ex.walk(conjunct)
+        if isinstance(node, ex.Var) and node.varno == source
+    }
+    grouped = sub.has_aggs or bool(sub.group_clause)
+    for position in positions:
+        if position >= len(targets):
+            return None
+        expr = targets[position].expr
+        if ex.contains_sublink(expr) or ex.contains_aggref(expr):
+            return None
+        if grouped and expr not in sub.group_clause:
+            # Below an aggregation only group-key filters may sink.
+            return None
+
+    mapped = _substitute(conjunct, source, targets)
+
+    def commit() -> None:
+        sub.jointree.quals = (
+            mapped
+            if sub.jointree.quals is None
+            else ex.BoolOpExpr("and", (sub.jointree.quals, mapped))
+        )
+
+    return commit
+
+
+def _substitute(conjunct: ex.Expr, source: int, targets) -> ex.Expr:
+    def visit(node: ex.Expr) -> Optional[ex.Expr]:
+        if isinstance(node, ex.Var) and node.levelsup == 0 and node.varno == source:
+            return targets[node.varattno].expr
+        return None
+
+    return ex.transform(conjunct, visit)

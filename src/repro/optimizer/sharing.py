@@ -1,0 +1,74 @@
+"""Common-subplan detection (optimizer rule 5).
+
+The provenance rewrite duplicates whole subqueries: the filtering sublink
+and its rewritten provenance copy, the inputs of ``q_agg`` inside the
+stripped duplicate ``d``, TPC-H Q15's twice-inlined revenue view.  A
+cost-based DBMS shares such common subexpressions with a spool; here the
+optimizer marks every *closed* (uncorrelated) subquery that appears
+structurally identical more than once in the statement, and the planner
+plans one materialized instance per group.
+
+Runs once, **after** the rule fixpoint: earlier rules (pruning in
+particular) specialize each copy to its context, and marking must reflect
+the final trees — two copies that converged are guaranteed to stay equal
+because no further rewrites run.  The planner still verifies structural
+equality before reusing a plan, so the flag is purely an opt-in.
+"""
+
+from __future__ import annotations
+
+from repro.analyzer import expressions as ex
+from repro.analyzer.query_tree import Query, RTEKind
+from repro.optimizer.treeutils import (
+    level_exprs,
+    queries_structurally_equal,
+)
+
+
+def mark_shared_subplans(root: Query) -> bool:
+    """Flag closed subqueries occurring (structurally) more than once."""
+    from repro.analyzer.analyzer import query_references_outer
+
+    candidates: list[Query] = []
+
+    def collect(query: Query) -> None:
+        for rte in query.range_table:
+            if rte.kind is RTEKind.SUBQUERY and rte.subquery is not None:
+                if not query_references_outer(rte.subquery):
+                    candidates.append(rte.subquery)
+                collect(rte.subquery)
+        for expr in level_exprs(query):
+            for node in ex.walk(expr):
+                if isinstance(node, ex.SubLink):
+                    if not node.correlated and not query_references_outer(
+                        node.subquery
+                    ):
+                        candidates.append(node.subquery)
+                    collect(node.subquery)
+
+    collect(root)
+
+    changed = False
+    buckets: dict[tuple, list[Query]] = {}
+    for query in candidates:
+        signature = (
+            query.node_class().value,
+            len(query.target_list),
+            len(query.range_table),
+            tuple(query.output_columns()),
+        )
+        buckets.setdefault(signature, []).append(query)
+    for group in buckets.values():
+        if len(group) < 2:
+            continue
+        for i, query in enumerate(group):
+            if query.share_candidate:
+                continue
+            for other in group[:i] + group[i + 1:]:
+                if other is not query and queries_structurally_equal(
+                    query, other
+                ):
+                    query.share_candidate = True
+                    changed = True
+                    break
+    return changed

@@ -60,38 +60,162 @@ from repro.executor.nodes import (
 _POST_AGG_VARNO = -1
 
 
+def _slot_reader(slot: int):
+    """A compiled expression that reads one input slot."""
+    return lambda row, ctx: row[slot]
+
+
+def _conjoin_predicates(first, second):
+    """Combine two compiled predicates into one three-valued AND.
+
+    Filter semantics only keep rows where the predicate is exactly True,
+    so short-circuiting on ``is not True`` preserves NULL handling.
+    """
+
+    def combined(row, ctx):
+        verdict = first(row, ctx)
+        if verdict is not True:
+            return verdict
+        return second(row, ctx)
+
+    return combined
+
+
 class _Unit:
-    """A placed or placeable join operand: subplan + var layout."""
+    """A placed or placeable join operand: subplan + var layout.
 
-    __slots__ = ("plan", "varmap", "rtindexes")
+    ``from_subquery`` marks units derived from subquery RTEs (directly or
+    inside an outer-join subtree).  The greedy join order prefers base
+    scans among connected candidates: a small aggregate result joined
+    early fans out through the remaining chain (its group keys are far
+    less selective than the base tables' foreign keys), so aggregate-ish
+    units attach last — the shape the provenance rewrite intends.
+    """
 
-    def __init__(self, plan: PlanNode, varmap: VarMap, rtindexes: set[int]) -> None:
+    __slots__ = ("plan", "varmap", "rtindexes", "from_subquery")
+
+    def __init__(
+        self,
+        plan: PlanNode,
+        varmap: VarMap,
+        rtindexes: set[int],
+        from_subquery: bool = False,
+    ) -> None:
         self.plan = plan
         self.varmap = varmap
         self.rtindexes = rtindexes
+        self.from_subquery = from_subquery
+
+
+class _SharedSubplans:
+    """Statement-scoped registry for common-subplan deduplication.
+
+    The provenance rewrite duplicates whole subqueries (the original
+    sublink and its rewritten copy, q_agg's inputs inside d, TPC-H Q15's
+    twice-inlined revenue view).  Structurally identical, uncorrelated
+    subqueries plan once and share a materialized result — the spool/CTE
+    sharing a cost-based DBMS applies to common subexpressions.
+    """
+
+    __slots__ = ("entries",)
+
+    def __init__(self) -> None:
+        # (cheap signature, query tree, shared materialized plan)
+        self.entries: list[tuple[tuple, Query, PlanNode]] = []
+
+    @staticmethod
+    def signature(query: Query) -> tuple:
+        return (
+            query.node_class().value,
+            len(query.target_list),
+            len(query.range_table),
+            tuple(query.output_columns()),
+        )
+
+    def lookup(self, query: Query) -> Optional[PlanNode]:
+        from repro.optimizer.treeutils import queries_structurally_equal
+
+        signature = self.signature(query)
+        for entry_signature, entry_query, node in self.entries:
+            if entry_signature != signature:
+                continue
+            if entry_query is query or queries_structurally_equal(
+                query, entry_query
+            ):
+                return node
+        return None
+
+    def remember(self, query: Query, plan: PlanNode) -> PlanNode:
+        from repro.executor.nodes import MaterializeNode
+
+        node = MaterializeNode(plan)
+        self.entries.append((self.signature(query), query, node))
+        return node
 
 
 class Planner:
-    def __init__(self, catalog: Catalog, outer_varmaps: Optional[list[VarMap]] = None) -> None:
+    def __init__(
+        self,
+        catalog: Catalog,
+        outer_varmaps: Optional[list[VarMap]] = None,
+        shared: Optional[_SharedSubplans] = None,
+    ) -> None:
         self.catalog = catalog
         self.outer_varmaps = list(outer_varmaps or [])
+        self.shared = shared if shared is not None else _SharedSubplans()
 
     # -- public API -----------------------------------------------------------
 
-    def plan(self, query: Query) -> PlanNode:
-        """Plan a query; output columns = visible target entries."""
+    def plan(self, query: Query, joined: Optional["_Unit"] = None) -> PlanNode:
+        """Plan a query; output columns = visible target entries.
+
+        ``joined`` (internal, aggregation-join fusion) substitutes an
+        already-planned FROM/WHERE unit: the query's own join tree and
+        quals are skipped and its aggregation/projection/sort pipeline is
+        planned on top of the given subplan.
+        """
         if query.set_operations is not None:
             plan = self._plan_setop_query(query)
-        else:
-            plan = self._plan_plain_query(query)
-        plan = self._apply_sort_limit(query, plan)
-        plan = self._slice_junk(query, plan)
-        return plan
+            plan = self._apply_sort(query, plan)
+            plan = self._apply_limit(query, plan)
+            return self._slice_junk(query, plan)
+        # SELECT DISTINCT with ORDER BY expressions outside the select
+        # list: sort the junk-extended projection first, slice the junk,
+        # then deduplicate — DistinctNode keeps first occurrences, so the
+        # output is ordered by each distinct row's first sort position.
+        defer_distinct = query.distinct and any(
+            t.resjunk for t in query.target_list
+        )
+        plan = self._plan_plain_query(
+            query, skip_distinct=defer_distinct, joined=joined
+        )
+        if defer_distinct:
+            plan = self._apply_sort(query, plan)
+            plan = self._slice_junk(query, plan)
+            plan = DistinctNode(plan)
+            return self._apply_limit(query, plan)
+        plan = self._apply_sort(query, plan)
+        plan = self._apply_limit(query, plan)
+        return self._slice_junk(query, plan)
 
     # -- helpers shared with the expression compiler ----------------------------
 
     def _plan_sublink(self, query: Query, outer_varmaps: list[VarMap]) -> PlanNode:
-        return Planner(self.catalog, outer_varmaps).plan(query)
+        if query.share_candidate:
+            return self._plan_shared_subquery(query)
+        return Planner(self.catalog, outer_varmaps, self.shared).plan(query)
+
+    def _plan_shared_subquery(self, query: Query) -> PlanNode:
+        """Plan a closed subquery; optimizer-marked duplicates share one
+        materialized plan (``share_candidate`` implies the query is
+        closed and occurs structurally repeated in the statement)."""
+        if not query.share_candidate:
+            return Planner(self.catalog, shared=self.shared).plan(query)
+        cached = self.shared.lookup(query)
+        if cached is not None:
+            return cached
+        plan = Planner(self.catalog, shared=self.shared).plan(query)
+        return self.shared.remember(query, plan)
 
     def _compiler(self, varmap: VarMap) -> ExprCompiler:
         return ExprCompiler(varmap, self.outer_varmaps, plan_subquery=self._plan_sublink)
@@ -103,36 +227,88 @@ class Planner:
             table = self.catalog.table(rte.relation_name)
             from repro.executor.nodes import SeqScan
 
-            plan: PlanNode = SeqScan(table, list(rte.column_names))
+            if rte.used_attnos is not None and len(rte.used_attnos) < rte.width():
+                # Optimizer projection-pruning hint: emit only the columns
+                # this query references, so joins concatenate short tuples.
+                keep = sorted(rte.used_attnos)
+                plan: PlanNode = SeqScan(
+                    table, [rte.column_names[i] for i in keep], columns=keep
+                )
+                varmap = {
+                    (rtindex, attno): slot for slot, attno in enumerate(keep)
+                }
+                return _Unit(plan, varmap, {rtindex})
+            plan = SeqScan(table, list(rte.column_names))
         else:
             # FROM subqueries are uncorrelated (no LATERAL), so they plan
-            # with an empty enclosing-layout stack.
-            plan = Planner(self.catalog).plan(rte.subquery)
+            # with an empty enclosing-layout stack — and being closed,
+            # structurally identical ones share one materialized plan.
+            plan = self._plan_shared_subquery(rte.subquery)
         varmap = {(rtindex, attno): attno for attno in range(rte.width())}
-        return _Unit(plan, varmap, {rtindex})
+        return _Unit(
+            plan, varmap, {rtindex}, from_subquery=rte.kind is RTEKind.SUBQUERY
+        )
 
     # -- plain (A)SPJ queries -----------------------------------------------------------
 
-    def _plan_plain_query(self, query: Query) -> PlanNode:
-        joined = self._plan_from_where(query)
+    def _plan_plain_query(
+        self,
+        query: Query,
+        skip_distinct: bool = False,
+        joined: Optional[_Unit] = None,
+    ) -> PlanNode:
+        if joined is None:
+            joined = self._plan_from_where(query)
         if query.has_aggs or query.group_clause:
             plan, varmap, target_exprs = self._plan_aggregation(query, joined)
         else:
             plan, varmap = joined.plan, joined.varmap
             target_exprs = [t.expr for t in query.target_list]
-        # Project the full target list (visible + junk).
-        compiler = self._compiler(varmap)
-        exprs = [compiler.compile(e) for e in target_exprs]
+        # Project the full target list (visible + junk).  A target list of
+        # plain column references — the dominant shape in provenance
+        # rewrites — becomes a SliceNode (C-level row rearrangement)
+        # instead of per-expression closure calls.
         names = [t.name for t in query.target_list]
-        plan = ProjectNode(plan, exprs, names)
-        if query.distinct:
-            if any(t.resjunk for t in query.target_list):
-                raise PlanError(
-                    "SELECT DISTINCT with ORDER BY expressions not in the "
-                    "select list is not supported"
-                )
+        slots = self._var_only_slots(target_exprs, varmap)
+        if slots is not None:
+            plan = SliceNode(plan, slots, names)
+        else:
+            compiler = self._compiler(varmap)
+            exprs = [compiler.compile(e) for e in target_exprs]
+            plan = ProjectNode(
+                plan, exprs, names,
+                slots=self._slot_hints(target_exprs, varmap),
+            )
+        if query.distinct and not skip_distinct:
             plan = DistinctNode(plan)
         return plan
+
+    @staticmethod
+    def _var_only_slots(
+        target_exprs: list[ex.Expr], varmap: VarMap
+    ) -> Optional[list[int]]:
+        """Input slots when every target is a local Var; None otherwise."""
+        slots: list[int] = []
+        for expr in target_exprs:
+            if not isinstance(expr, ex.Var) or expr.levelsup != 0:
+                return None
+            slot = varmap.get((expr.varno, expr.varattno))
+            if slot is None:
+                return None
+            slots.append(slot)
+        return slots
+
+    @staticmethod
+    def _slot_hints(
+        target_exprs: list[ex.Expr], varmap: VarMap
+    ) -> list[Optional[int]]:
+        """Per-position input slots for plain-Var targets (mixed lists)."""
+        return [
+            varmap.get((expr.varno, expr.varattno))
+            if isinstance(expr, ex.Var) and expr.levelsup == 0
+            else None
+            for expr in target_exprs
+        ]
 
     def _plan_from_where(self, query: Query) -> _Unit:
         # WHERE conjuncts are collected *first* so that conjuncts referencing
@@ -142,10 +318,15 @@ class Planner:
         where_conjuncts: list[ex.Expr] = []
         if query.jointree.quals is not None:
             where_conjuncts = split_conjuncts(query.jointree.quals)
+        # Uncorrelated-sublink conjuncts may sink too: their subplans read
+        # nothing from the enclosing layout, and filtering the preserved
+        # side before an outer join is where the provenance rewrite's
+        # original WHERE evaluated them.
         pushable = [
             c
             for c in where_conjuncts
-            if not ex.contains_sublink(c) and ex.collect_vars(c)
+            if ex.collect_vars(c)
+            and not any(s.correlated for s in ex.collect_sublinks(c))
         ]
         non_pushable = [c for c in where_conjuncts if c not in pushable]
         units: list[_Unit] = []
@@ -165,12 +346,17 @@ class Planner:
                 unit = _Unit(FilterNode(unit.plan, predicate), {}, set())
             return unit
 
-        # Classify conjuncts: single-unit filters are pushed down; sublink
-        # conjuncts run after all joins; the rest participate in joins.
+        # Classify conjuncts: single-unit filters are pushed down
+        # (sublink conjuncts too — the subplan compiles against the
+        # unit's layout, and filtering before the joins is where a
+        # pulled-up subquery evaluated it); multi-unit sublink conjuncts
+        # run after all joins; the rest participate in joins.
         join_pool: list[ex.Expr] = []
         late: list[ex.Expr] = []
         for conjunct in conjuncts:
-            if ex.contains_sublink(conjunct):
+            if any(s.correlated for s in ex.collect_sublinks(conjunct)):
+                # A correlated sublink body may reference any unit; it
+                # must see the full joined layout.
                 late.append(conjunct)
                 continue
             vars_used = ex.collect_vars(conjunct)
@@ -179,7 +365,7 @@ class Planner:
                 unit = owners.pop()
                 predicate = self._compiler(unit.varmap).compile(conjunct)
                 self._push_filter(unit, predicate)
-            elif len(owners) == 0:
+            elif ex.contains_sublink(conjunct) or len(owners) == 0:
                 late.append(conjunct)
             else:
                 join_pool.append(conjunct)
@@ -192,12 +378,21 @@ class Planner:
 
     @staticmethod
     def _push_filter(unit: _Unit, predicate) -> None:
-        """Attach a single-unit filter, merging into a bare scan if possible."""
+        """Attach a single-unit filter, merging into an existing scan
+        predicate or filter node — conjuncts arrive one at a time and a
+        stack of generator frames costs more than one combined check."""
         from repro.executor.nodes import SeqScan
 
         plan = unit.plan
-        if isinstance(plan, SeqScan) and plan.predicate is None:
-            plan.predicate = predicate
+        if isinstance(plan, SeqScan):
+            if plan.predicate is None:
+                plan.predicate = predicate
+            else:
+                plan.predicate = _conjoin_predicates(plan.predicate, predicate)
+            plan.estimate = max(plan.estimate * 0.25, 1.0)
+            return
+        if isinstance(plan, FilterNode):
+            plan.predicate = _conjoin_predicates(plan.predicate, predicate)
             plan.estimate = max(plan.estimate * 0.25, 1.0)
             return
         unit.plan = FilterNode(plan, predicate)
@@ -220,6 +415,12 @@ class Planner:
         if isinstance(node, RangeTableRef):
             units.append(self._plan_rte(node.rtindex, query.range_table[node.rtindex]))
             return
+        pair = self._fused_pair(query, node)
+        if pair is not None:
+            # Aggregation-join fusion: the pair's group-key quals are
+            # enforced by the fused hash join itself.
+            units.append(self._plan_fused_unit(query, pair))
+            return
         if node.join_type == "inner":
             self._flatten_inner(node.left, query, units, conjuncts, pushable)
             self._flatten_inner(node.right, query, units, conjuncts, pushable)
@@ -227,6 +428,112 @@ class Planner:
                 conjuncts.extend(split_conjuncts(node.quals))
             return
         units.append(self._plan_outer_join(node, query, pushable))
+
+    # -- aggregation-join fusion (Query.agg_share) -----------------------------
+
+    @staticmethod
+    def _fused_pair(
+        query: Query, node: JoinTreeNode
+    ) -> Optional[tuple[int, int, tuple[int, ...]]]:
+        if (
+            not query.agg_shares
+            or not isinstance(node, JoinTreeExpr)
+            or node.join_type not in ("inner", "cross")
+            or not isinstance(node.left, RangeTableRef)
+            or not isinstance(node.right, RangeTableRef)
+        ):
+            return None
+        indexes = {node.left.rtindex, node.right.rtindex}
+        for pair in query.agg_shares:
+            if set(pair[:2]) == indexes:
+                return pair
+        return None
+
+    def _plan_fused_unit(
+        self, query: Query, pair: tuple[int, int, tuple[int, ...]]
+    ) -> _Unit:
+        """Plan the ``q_agg ⋈ d+`` pair over one shared, materialized core.
+
+        The optimizer verified that both subqueries' FROM/WHERE produce
+        the same bag of rows and that their range tables are numbered
+        isomorphically (the provenance side only appends output columns),
+        so the aggregate side's expressions compile directly against the
+        core's variable layout.  The core runs once: the aggregation
+        consumes the materialization, then the provenance projection
+        re-reads it while hash-joining the aggregate rows back on the
+        (null-safe) group keys.
+        """
+        from repro.executor.nodes import MaterializeNode
+
+        agg_index, prov_index, positions = pair
+        agg = query.range_table[agg_index].subquery
+        prov = query.range_table[prov_index].subquery
+        assert agg is not None and prov is not None
+
+        inner = Planner(self.catalog, shared=self.shared)
+        core = inner._plan_from_where(prov)
+        mat = MaterializeNode(core.plan)
+
+        # Provenance-side projection over the core.  When every output is
+        # a plain column reference (the rewriter's usual shape) no
+        # projection runs at all — the parent's Vars map straight onto
+        # core slots and the join emits raw core rows.
+        names = [t.name for t in prov.target_list]
+        target_exprs = [t.expr for t in prov.target_list]
+        slots = self._var_only_slots(target_exprs, core.varmap)
+        if slots is not None:
+            left: PlanNode = mat
+            b_slots = slots
+        else:
+            compiler = inner._compiler(core.varmap)
+            left = ProjectNode(
+                mat,
+                [compiler.compile(e) for e in target_exprs],
+                names,
+                slots=self._slot_hints(target_exprs, core.varmap),
+            )
+            b_slots = list(range(len(target_exprs)))
+
+        # Aggregate-side pipeline (agg + having + targets + sort/limit)
+        # over the same materialization.  A structurally shared twin
+        # elsewhere in the statement (Q13's inner aggregate, a HAVING
+        # sublink's body) reuses one plan through the subplan registry.
+        agg_plan: Optional[PlanNode] = None
+        if agg.share_candidate:
+            agg_plan = self.shared.lookup(agg)
+        if agg_plan is None:
+            agg_plan = Planner(self.catalog, shared=self.shared).plan(
+                agg, joined=_Unit(mat, dict(core.varmap), set(core.rtindexes))
+            )
+            if agg.share_candidate:
+                agg_plan = self.shared.remember(agg, agg_plan)
+
+        if positions:
+            left_keys = [_slot_reader(b_slots[i]) for i in range(len(positions))]
+            right_keys = [_slot_reader(p) for p in positions]
+            join: PlanNode = HashJoin(
+                left,
+                agg_plan,
+                "inner",
+                left_keys,
+                right_keys,
+                None,
+                [True] * len(positions),
+            )
+        else:
+            # Grand aggregate: a single aggregate row attaches to every
+            # core row (and none when the core is empty — footnote 4).
+            join = NestedLoopJoin(left, agg_plan, "inner", None)
+
+        b_width = left.width()
+        varmap: VarMap = {
+            (prov_index, p): b_slots[p] for p in range(len(target_exprs))
+        }
+        for slot in range(agg_plan.width()):
+            varmap[(agg_index, slot)] = b_width + slot
+        return _Unit(
+            join, varmap, {agg_index, prov_index}, from_subquery=True
+        )
 
     def _plan_join_operand(
         self,
@@ -242,7 +549,20 @@ class Planner:
         if len(units) == 1 and not conjuncts:
             return units[0]
         late = [c for c in conjuncts if ex.contains_sublink(c)]
-        pool = [c for c in conjuncts if not ex.contains_sublink(c)]
+        pool = []
+        for conjunct in conjuncts:
+            if ex.contains_sublink(conjunct):
+                continue
+            # Single-unit conjuncts filter at the scan, exactly as in
+            # _plan_from_where — without this, a filter that lived inside
+            # a pulled-up subquery would run as a join residual.
+            vars_used = ex.collect_vars(conjunct)
+            owners = {self._unit_of(units, var.varno) for var in vars_used}
+            if len(owners) == 1:
+                unit = owners.pop()
+                self._push_filter(unit, self._compiler(unit.varmap).compile(conjunct))
+            else:
+                pool.append(conjunct)
         joined = self._greedy_join(units, pool)
         for conjunct in late:
             predicate = self._compiler(joined.varmap).compile(conjunct)
@@ -289,10 +609,37 @@ class Planner:
         condition_conjuncts = (
             split_conjuncts(node.quals) if node.quals is not None else []
         )
+        # ON-condition conjuncts over the null-producing side alone
+        # pre-filter that input: ``L LEFT JOIN R ON (c AND w(R))`` is
+        # ``L LEFT JOIN (σ_w R) ON c``.  (Preserved-side conjuncts must
+        # stay in the condition — they decide null extension, not row
+        # survival.)
+        if node.join_type in ("left", "right"):
+            nullable = right if node.join_type == "left" else left
+            kept: list[ex.Expr] = []
+            for conjunct in condition_conjuncts:
+                vars_used = ex.collect_vars(conjunct)
+                if (
+                    vars_used
+                    and not ex.contains_sublink(conjunct)
+                    and all(v.varno in nullable.rtindexes for v in vars_used)
+                ):
+                    self._push_filter(
+                        nullable,
+                        self._compiler(nullable.varmap).compile(conjunct),
+                    )
+                else:
+                    kept.append(conjunct)
+            condition_conjuncts = kept
         plan = self._make_join(
             left, right, merged_map, node.join_type, condition_conjuncts
         )
-        return _Unit(plan, merged_map, left.rtindexes | right.rtindexes)
+        return _Unit(
+            plan,
+            merged_map,
+            left.rtindexes | right.rtindexes,
+            from_subquery=left.from_subquery or right.from_subquery,
+        )
 
     def _make_join(
         self,
@@ -328,8 +675,10 @@ class Planner:
         """Left-deep greedy join ordering over inner-join units."""
         remaining = list(units)
         pool = list(pool)
-        # Start from the smallest estimated unit.
-        remaining.sort(key=lambda u: u.plan.estimate)
+        # Start from the smallest estimated *base* unit; subquery-derived
+        # units (aggregates re-attached by the provenance rewrite) join
+        # last, after the base join chain narrowed the row stream.
+        remaining.sort(key=lambda u: (u.from_subquery, u.plan.estimate))
         current = remaining.pop(0)
         while remaining:
             connected = [
@@ -338,7 +687,10 @@ class Planner:
                 if any(self._connects(c, current, unit) for c in pool)
             ]
             candidates = connected or list(enumerate(remaining))
-            best_index = min(candidates, key=lambda pair: pair[1].plan.estimate)[0]
+            best_index = min(
+                candidates,
+                key=lambda pair: (pair[1].from_subquery, pair[1].plan.estimate),
+            )[0]
             next_unit = remaining.pop(best_index)
             applicable: list[ex.Expr] = []
             still_pooled: list[ex.Expr] = []
@@ -393,20 +745,40 @@ class Planner:
         input_compiler = self._compiler(joined.varmap)
         group_fns = [input_compiler.compile(g) for g in query.group_clause]
         agg_factories = []
-        agg_args = []
+        agg_args: list[Optional[Callable]] = []
+        # Distinct argument expressions are compiled (and evaluated) once;
+        # sum(x) and avg(x) share one evaluation of x per input row.
+        arg_slots: list[Optional[int]] = []
+        unique_arg_exprs: list[ex.Expr] = []
+        unique_arg_fns: list[Callable] = []
         for aggref in aggrefs:
             agg_factories.append(
                 make_aggregate_factory(aggref.aggname, aggref.star, aggref.distinct)
             )
-            agg_args.append(
-                input_compiler.compile(aggref.arg) if aggref.arg is not None else None
-            )
+            if aggref.arg is None:
+                agg_args.append(None)
+                arg_slots.append(None)
+                continue
+            try:
+                slot = unique_arg_exprs.index(aggref.arg)
+            except ValueError:
+                slot = len(unique_arg_exprs)
+                unique_arg_exprs.append(aggref.arg)
+                unique_arg_fns.append(input_compiler.compile(aggref.arg))
+            agg_args.append(unique_arg_fns[slot])
+            arg_slots.append(slot)
         group_count = len(query.group_clause)
         output_names = [f"g{i}" for i in range(group_count)] + [
             f"agg{i}" for i in range(len(aggrefs))
         ]
         agg_plan: PlanNode = HashAggregate(
-            joined.plan, group_fns, agg_factories, agg_args, output_names
+            joined.plan,
+            group_fns,
+            agg_factories,
+            agg_args,
+            output_names,
+            arg_slots=arg_slots,
+            unique_args=unique_arg_fns,
         )
         post_varmap: VarMap = {
             (_POST_AGG_VARNO, slot): slot for slot in range(group_count + len(aggrefs))
@@ -457,7 +829,9 @@ class Planner:
             # the set-operation node (no extra level), so the enclosing
             # layouts pass through unchanged — a correlated sublink whose
             # body is a set operation reads the same outer-row stack.
-            return Planner(self.catalog, self.outer_varmaps).plan(rte.subquery)
+            return Planner(self.catalog, self.outer_varmaps, self.shared).plan(
+                rte.subquery
+            )
         left = self._plan_setop_tree(node.left, query)
         right = self._plan_setop_tree(node.right, query)
         return SetOpPlanNode(node.op, node.all, left, right)
@@ -469,13 +843,16 @@ class Planner:
 
     # -- sort / limit / junk removal -------------------------------------------------------------
 
-    def _apply_sort_limit(self, query: Query, plan: PlanNode) -> PlanNode:
+    def _apply_sort(self, query: Query, plan: PlanNode) -> PlanNode:
         if query.sort_clause:
             specs = [
                 (clause.tlist_index, clause.descending, clause.nulls_first)
                 for clause in query.sort_clause
             ]
             plan = SortNode(plan, specs)
+        return plan
+
+    def _apply_limit(self, query: Query, plan: PlanNode) -> PlanNode:
         if query.limit_count is not None or query.limit_offset is not None:
             count = self._const_int(query.limit_count)
             offset = self._const_int(query.limit_offset) or 0

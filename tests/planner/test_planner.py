@@ -130,8 +130,22 @@ def test_null_safe_join_operator_via_rewriter(db):
     assert len(null_group) == 2  # both NULL-key tuples attached
 
 
-def test_distinct_with_hidden_sort_column_rejected(db):
-    from repro.errors import PlanError
+def test_distinct_with_hidden_sort_column(db):
+    """SELECT DISTINCT with an ORDER BY expression outside the select
+    list: sort the junk-extended projection, slice, then deduplicate —
+    each distinct value appears once, ordered by its first occurrence."""
+    from repro.executor.context import ExecContext
 
-    with pytest.raises(PlanError):
-        plan_of(db, "SELECT DISTINCT v FROM big ORDER BY id")
+    plan = plan_of(db, "SELECT DISTINCT v FROM big ORDER BY id DESC")
+    rows = list(plan.run(ExecContext()))
+    assert plan.output_names == ["v"]
+    assert rows == [(v,) for v in range(998, -2, -2)]
+
+
+def test_distinct_with_hidden_sort_column_and_limit(db):
+    db.execute("CREATE TABLE dd (a integer, b integer)")
+    db.load_table("dd", [(1, 9), (1, 1), (2, 5), (3, 7)])
+    result = db.execute("SELECT DISTINCT a FROM dd ORDER BY b LIMIT 2")
+    # Sorted by b: (1,1),(2,5),(3,7),(1,9) -> distinct a keeps first
+    # occurrences 1, 2 -> LIMIT 2 applies after deduplication.
+    assert result.rows == [(1,), (2,)]

@@ -36,9 +36,12 @@ def test_plain_query_roundtrip(db):
 
 
 def test_aggregation_rewrite_structure(db):
+    # optimized=False: this test pins the *rewriter's* R5 shape; the
+    # optimizer legitimately collapses perm_prov into the top-level join.
     rewritten = db.rewritten_sql(
         "SELECT PROVENANCE name, sum(price) FROM shop, sales, items "
-        "WHERE name = sname AND itemid = id GROUP BY name"
+        "WHERE name = sname AND itemid = id GROUP BY name",
+        optimized=False,
     )
     # R5 structure: the original aggregation and the stripped duplicate
     # joined on the (null-safe) grouping attributes.
@@ -59,8 +62,11 @@ def test_setop_rewrite_structure(db):
 
 
 def test_sublink_rewrite_shows_left_join(db):
+    # optimized=False: pins the rewriter's sublink join shape (the
+    # optimizer pulls the perm_sublink wrapper up into the join tree).
     rewritten = db.rewritten_sql(
-        "SELECT PROVENANCE name FROM shop WHERE name IN (SELECT sname FROM sales)"
+        "SELECT PROVENANCE name FROM shop WHERE name IN (SELECT sname FROM sales)",
+        optimized=False,
     )
     assert "LEFT JOIN" in rewritten
     assert "perm_sublink_0" in rewritten
@@ -68,9 +74,11 @@ def test_sublink_rewrite_shows_left_join(db):
 
 
 def test_deparse_scalar_functions(db):
+    # optimized=False: constant folding would evaluate the EXTRACT.
     rewritten = db.rewritten_sql(
         "SELECT SUBSTRING(name FROM 1 FOR 2), CAST(numempl AS text), "
-        "EXTRACT(YEAR FROM DATE '1995-06-17') FROM shop"
+        "EXTRACT(YEAR FROM DATE '1995-06-17') FROM shop",
+        optimized=False,
     )
     assert "SUBSTRING(shop.name FROM 1 FOR 2)" in rewritten
     assert "CAST(shop.numempl AS text)" in rewritten
@@ -95,10 +103,12 @@ def test_deparse_string_escaping(db):
 
 
 def test_deparse_interval_literals(db):
+    # optimized=False: constant folding collapses date ± interval.
     rewritten = db.rewritten_sql(
         "SELECT DATE '1995-01-01' + INTERVAL '3' MONTH, "
         "DATE '1995-01-01' + INTERVAL '1' YEAR, "
-        "DATE '1995-01-01' + INTERVAL '7' DAY FROM shop"
+        "DATE '1995-01-01' + INTERVAL '7' DAY FROM shop",
+        optimized=False,
     )
     assert "INTERVAL '3' MONTH" in rewritten
     assert "INTERVAL '1' YEAR" in rewritten
@@ -107,7 +117,8 @@ def test_deparse_interval_literals(db):
 
 def test_deparse_nested_subquery(db):
     sql = "SELECT v FROM (SELECT numempl AS v FROM shop) AS sub WHERE v > 5"
-    rewritten = db.rewritten_sql(sql)
+    # optimized=False: subquery pull-up would inline ``sub``.
+    rewritten = db.rewritten_sql(sql, optimized=False)
     assert "AS sub" in rewritten
     assert db.execute(rewritten).rows == db.execute(sql).rows
 

@@ -46,6 +46,38 @@ def test_ddl_command_tag():
     assert "CREATE TABLE" in result.stdout
 
 
+def test_no_optimize_flag():
+    result = run_cli(
+        "--example", "--no-optimize",
+        "-c", "SELECT PROVENANCE name FROM shop WHERE numempl < 10",
+    )
+    assert result.returncode == 0
+    assert "prov_shop_name" in result.stdout
+
+
+def test_interactive_optimize_and_stats():
+    script = (
+        "\\optimize off\n"
+        "SELECT name FROM shop;\n"
+        "\\optimize on\n"
+        "\\stats\n"
+        "\\explain SELECT PROVENANCE name FROM shop\n"
+        "\\q\n"
+    )
+    result = subprocess.run(
+        [sys.executable, "-m", "repro", "--example"],
+        input=script,
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert result.returncode == 0
+    assert "logical optimizer: off" in result.stdout
+    assert "logical optimizer: on" in result.stdout
+    assert "prepared-statement cache:" in result.stdout
+    assert "after optimization" in result.stdout
+
+
 @pytest.mark.parametrize("meta", ["\\d", "\\q"])
 def test_interactive_meta_commands(meta):
     result = subprocess.run(
