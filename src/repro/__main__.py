@@ -12,7 +12,10 @@ Inside the shell, end statements with ``;``.  Meta commands:
 * ``\\rewrite <query>`` print the provenance-rewritten SQL,
 * ``\\explain <query>`` print the logical trees (before/after
   optimization) and the physical plan,
+* ``\\explain+ <query>`` additionally execute the plan and annotate
+  every node with actual row/batch counts and wall time,
 * ``\\optimize [on|off]`` show or toggle the logical optimizer,
+* ``\\vectorize [on|off]`` show or toggle batch-at-a-time execution,
 * ``\\stats`` prepared-statement cache hit/miss counters,
 * ``\\semirings`` list registered semirings and rewrite strategies,
 * ``\\backend [name]`` show or switch the execution backend
@@ -40,8 +43,13 @@ def _build_database(args: argparse.Namespace) -> repro.PermDatabase:
         if args.backend != "python":
             db.set_backend(args.backend)
         db.optimizer_enabled = not args.no_optimize
+        db.vectorize_enabled = not args.no_vectorize
         return db
-    db = repro.connect(backend=args.backend, optimize=not args.no_optimize)
+    db = repro.connect(
+        backend=args.backend,
+        optimize=not args.no_optimize,
+        vectorize=not args.no_vectorize,
+    )
     if args.example:
         db.execute("CREATE TABLE shop (name text, numempl integer)")
         db.execute("CREATE TABLE sales (sname text, itemid integer)")
@@ -73,6 +81,9 @@ def _handle_meta(db: repro.PermDatabase, line: str) -> bool:
     if command == "\\explain":
         print(db.explain(rest))
         return True
+    if command == "\\explain+":
+        print(db.explain(rest, analyze=True))
+        return True
     if command == "\\optimize":
         choice = rest.strip().lower()
         if choice in ("on", "off"):
@@ -82,6 +93,16 @@ def _handle_meta(db: repro.PermDatabase, line: str) -> bool:
             return True
         state = "on" if db.optimizer_enabled else "off"
         print(f"logical optimizer: {state}")
+        return True
+    if command == "\\vectorize":
+        choice = rest.strip().lower()
+        if choice in ("on", "off"):
+            db.vectorize_enabled = choice == "on"
+        elif choice:
+            print("usage: \\vectorize [on|off]")
+            return True
+        state = "on" if db.vectorize_enabled else "off"
+        print(f"vectorized execution: {state}")
         return True
     if command == "\\stats":
         stats = db.cache_stats()
@@ -118,8 +139,8 @@ def _handle_meta(db: repro.PermDatabase, line: str) -> bool:
         return True
     print(
         "unknown meta command "
-        f"{command!r} (\\q, \\d, \\rewrite, \\explain, \\optimize, "
-        "\\stats, \\semirings, \\backend)"
+        f"{command!r} (\\q, \\d, \\rewrite, \\explain, \\explain+, "
+        "\\optimize, \\vectorize, \\stats, \\semirings, \\backend)"
     )
     return True
 
@@ -140,6 +161,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--no-optimize", action="store_true",
                         help="disable the logical optimizer (plan the "
                              "rewritten tree verbatim)")
+    parser.add_argument("--no-vectorize", action="store_true",
+                        help="disable batch-at-a-time execution (run the "
+                             "Python engine tuple-at-a-time)")
     args = parser.parse_args(argv)
 
     db = _build_database(args)
@@ -157,8 +181,9 @@ def main(argv: list[str] | None = None) -> int:
 
     print("Perm repro shell -- SELECT PROVENANCE ... to compute provenance.")
     print(
-        "\\q quit, \\d relations, \\rewrite <q>, \\explain <q>, "
-        "\\optimize [on|off], \\stats, \\semirings, \\backend [name]"
+        "\\q quit, \\d relations, \\rewrite <q>, \\explain[+] <q>, "
+        "\\optimize [on|off], \\vectorize [on|off], \\stats, "
+        "\\semirings, \\backend [name]"
     )
     buffer = ""
     while True:

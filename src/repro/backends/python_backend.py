@@ -1,9 +1,15 @@
-"""The in-process Python backend: the original planner/executor pipeline.
+"""The in-process Python backend: the repro's own physical layer.
 
-This wraps the repro's own physical layer (``repro.planner`` +
-``repro.executor``) behind the :class:`ExecutionBackend` protocol with
-zero behavior change — it is the default backend and the semantic
-reference the other backends are differentially tested against.
+This wraps the planner plus executor behind the
+:class:`ExecutionBackend` protocol.  It is the default backend and the
+semantic reference the other backends are differentially tested against.
+
+Execution runs **vectorized** by default: the planner attaches batch
+kernels to the plan and the engine pulls columnar
+:class:`~repro.storage.chunk.Chunk` batches through ``run_batches``.
+``vectorize=False`` (or ``PermDatabase(vectorize=False)``) switches to
+the original tuple-at-a-time row engine — same plan shapes, same
+semantics, differentially tested against each other.
 """
 
 from __future__ import annotations
@@ -14,6 +20,7 @@ from repro.analyzer.query_tree import Query
 from repro.backends.base import ExecutionBackend
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.catalog.catalog import Catalog
     from repro.database import QueryResult
 
 
@@ -22,13 +29,45 @@ class PythonBackend(ExecutionBackend):
 
     name = "python"
 
+    #: Bound on the number of cached physical plans.
+    PLAN_CACHE_SIZE = 64
+
+    def __init__(self, catalog: "Catalog", vectorize: bool = True) -> None:
+        super().__init__(catalog)
+        self.vectorize = vectorize
+        # Physical plans keyed by query-tree identity.  Plans are
+        # re-runnable because all per-execution state (materialized
+        # spools, sublink memos) lives in the ExecContext; the cached
+        # Query reference keeps the id() key from being recycled.  DDL
+        # invalidates via the catalog epoch; a vectorize toggle via the
+        # mode in the key.
+        self._plan_cache: dict[tuple[int, bool], tuple[Query, object]] = {}
+        self._plan_cache_epoch = -1
+
+    def _plan(self, query: Query):
+        from repro.planner.planner import Planner
+
+        epoch = getattr(self.catalog, "epoch", None)
+        if epoch != self._plan_cache_epoch:
+            self._plan_cache.clear()
+            self._plan_cache_epoch = epoch
+        key = (id(query), self.vectorize)
+        entry = self._plan_cache.get(key)
+        if entry is not None:
+            return entry[1]
+        plan = Planner(self.catalog, vectorize=self.vectorize).plan(query)
+        if len(self._plan_cache) >= self.PLAN_CACHE_SIZE:
+            self._plan_cache.pop(next(iter(self._plan_cache)))
+        self._plan_cache[key] = (query, plan)
+        return plan
+
     def run_select(self, query: Query) -> "QueryResult":
         from repro.database import QueryResult
         from repro.executor.context import ExecContext
-        from repro.planner.planner import Planner
+        from repro.executor.nodes import run_plan_rows
 
-        plan = Planner(self.catalog).plan(query)
-        rows = list(plan.run(ExecContext()))
+        plan = self._plan(query)
+        rows = run_plan_rows(plan, ExecContext(vectorized=self.vectorize))
         return QueryResult(
             columns=list(plan.output_names),
             rows=rows,
@@ -36,4 +75,5 @@ class PythonBackend(ExecutionBackend):
         )
 
     def describe(self) -> str:
-        return "in-process Python planner/executor (reference semantics)"
+        mode = "vectorized" if self.vectorize else "row-at-a-time"
+        return f"in-process Python planner/executor ({mode}, reference semantics)"

@@ -123,16 +123,24 @@ class PreparedQuery:
 
     ``compile_seconds`` covers parse + analyze + provenance-rewrite + plan,
     the quantity measured by the paper's Fig. 9.
+
+    Each :meth:`run` executes on a fresh :class:`ExecContext`, and all
+    per-execution memoization (materialized shared subplans, uncorrelated
+    sublink results) lives in that context — so re-running a prepared
+    statement after table mutation returns fresh rows.
     """
 
     plan: PlanNode
     query: Query
     compile_seconds: float
     rewrite_seconds: float = 0.0
+    vectorize: bool = False
 
     def run(self) -> QueryResult:
-        ctx = ExecContext()
-        rows = list(self.plan.run(ctx))
+        from repro.executor.nodes import run_plan_rows
+
+        ctx = ExecContext(vectorized=self.vectorize)
+        rows = run_plan_rows(self.plan, ctx)
         return QueryResult(
             columns=list(self.plan.output_names),
             rows=rows,
@@ -198,6 +206,7 @@ class PermDatabase:
         provenance_module_enabled: bool = True,
         backend: "BackendSpec" = "python",
         optimize: bool = True,
+        vectorize: bool = True,
         statement_cache_size: int = 64,
     ) -> None:
         from repro.backends import create_backend
@@ -205,7 +214,9 @@ class PermDatabase:
         self.catalog = Catalog()
         self.provenance_module_enabled = provenance_module_enabled
         self.optimizer_enabled = optimize
+        self._vectorize = vectorize
         self._backend = create_backend(backend, self.catalog)
+        self._propagate_vectorize()
         self._stmt_cache = _StatementCache(statement_cache_size)
 
     # -- execution backends ----------------------------------------------------
@@ -226,6 +237,26 @@ class PermDatabase:
         replacement = create_backend(backend, self.catalog)
         self._backend.close()
         self._backend = replacement
+        self._propagate_vectorize()
+
+    # -- vectorized execution toggle -------------------------------------------
+
+    @property
+    def vectorize_enabled(self) -> bool:
+        """Whether the Python engine executes batch-at-a-time (vectorized)."""
+        return self._vectorize
+
+    @vectorize_enabled.setter
+    def vectorize_enabled(self, value: bool) -> None:
+        self._vectorize = bool(value)
+        self._propagate_vectorize()
+
+    def _propagate_vectorize(self) -> None:
+        # Only the in-process Python backend interprets plans itself;
+        # other backends (SQLite, ...) execute deparsed SQL and have no
+        # notion of chunked interpretation.
+        if hasattr(self._backend, "vectorize"):
+            self._backend.vectorize = self._vectorize
 
     # -- statement execution ---------------------------------------------------
 
@@ -320,13 +351,18 @@ class PermDatabase:
             raise PermError("prepare() expects a single SELECT statement")
         return self._prepare_select(statements[0])
 
-    def explain(self, sql: str) -> str:
+    def explain(self, sql: str, analyze: bool = False) -> str:
         """Logical query trees (before/after optimization) + physical plan.
 
         Shows the optimizer's work on the provenance-rewritten tree: the
         tree as the rewriter left it, the tree after the rule-based
         optimizer (when enabled), and the plan the backend-independent
         planner builds from it.
+
+        ``analyze=True`` additionally *executes* the plan (with the
+        in-process engine, in the database's current vectorize mode) and
+        annotates every node with actual row counts, batch counts and
+        inclusive wall time.
         """
         from repro.optimizer import format_query_tree, optimize_query_tree
 
@@ -341,8 +377,30 @@ class PermDatabase:
                 "-- logical query tree (after optimization) --",
                 format_query_tree(query),
             ]
-        plan = Planner(self.catalog).plan(query)
-        sections += ["-- physical plan --", plan.explain()]
+        plan = Planner(self.catalog, vectorize=self._vectorize).plan(query)
+        if not analyze:
+            sections += ["-- physical plan --", plan.explain()]
+            return "\n".join(sections)
+
+        from repro.executor.instrument import (
+            format_plan_with_stats,
+            instrument_plan,
+        )
+
+        stats = instrument_plan(plan)
+        ctx = ExecContext(vectorized=self._vectorize)
+        start = time.perf_counter()
+        if self._vectorize:
+            total_rows = sum(len(chunk) for chunk in plan.run_batches(ctx))
+        else:
+            total_rows = sum(1 for _ in plan.run(ctx))
+        elapsed = time.perf_counter() - start
+        mode = "vectorized" if self._vectorize else "row-at-a-time"
+        sections += [
+            f"-- physical plan (analyzed, {mode}) --",
+            format_plan_with_stats(plan, stats),
+            f"-- execution: {total_rows} rows in {elapsed * 1000.0:.3f}ms --",
+        ]
         return "\n".join(sections)
 
     def _rewritten_tree(self, sql: str, caller: str) -> Query:
@@ -421,13 +479,14 @@ class PermDatabase:
     def _prepare_select(self, stmt: ast.SelectNode) -> PreparedQuery:
         start = time.perf_counter()
         query, rewrite_seconds = self._analyze_and_rewrite(stmt)
-        plan = Planner(self.catalog).plan(query)
+        plan = Planner(self.catalog, vectorize=self._vectorize).plan(query)
         compile_seconds = time.perf_counter() - start
         return PreparedQuery(
             plan=plan,
             query=query,
             compile_seconds=compile_seconds,
             rewrite_seconds=rewrite_seconds,
+            vectorize=self._vectorize,
         )
 
     def _run_select(self, stmt: ast.SelectNode) -> tuple[Query, QueryResult]:
@@ -552,15 +611,20 @@ def connect(
     provenance_module_enabled: bool = True,
     backend: "BackendSpec" = "python",
     optimize: bool = True,
+    vectorize: bool = True,
 ) -> PermDatabase:
     """Create a fresh in-memory Perm database.
 
     ``optimize=False`` disables the logical optimizer (the rewritten
     query tree is planned/deparsed verbatim) — the paper's "no DBMS
     optimization phase" configuration, kept for benchmarks and tests.
+    ``vectorize=False`` runs the Python engine tuple-at-a-time instead
+    of batch-at-a-time (the pre-vectorization physical layer, kept
+    differentially testable).
     """
     return PermDatabase(
         provenance_module_enabled=provenance_module_enabled,
         backend=backend,
         optimize=optimize,
+        vectorize=vectorize,
     )

@@ -14,12 +14,29 @@ from repro.semiring.polynomial import Polynomial
 
 
 class AggState:
-    """Base accumulator; one instance per group per aggregate."""
+    """Base accumulator; one instance per group per aggregate.
+
+    ``add_many``/``add_count`` are the vectorized entry points: a batch
+    executor feeds a whole column slice (or a bare row count for
+    argument-less aggregates) per group per chunk.  The defaults loop
+    over :meth:`add`, and the hot states override them with C-level
+    reductions.  Accumulation order matches the row engine: values
+    arrive in row order, chunk after chunk, so fold-sensitive results
+    (float sums) differ only by partial-sum regrouping.
+    """
 
     __slots__ = ()
 
     def add(self, value: Any) -> None:  # pragma: no cover - interface
         raise NotImplementedError
+
+    def add_many(self, values: list) -> None:
+        for value in values:
+            self.add(value)
+
+    def add_count(self, count: int) -> None:
+        for _ in range(count):
+            self.add(None)
 
     def result(self) -> Any:  # pragma: no cover - interface
         raise NotImplementedError
@@ -33,6 +50,12 @@ class CountStarState(AggState):
 
     def add(self, value: Any) -> None:
         self.n += 1
+
+    def add_many(self, values: list) -> None:
+        self.n += len(values)
+
+    def add_count(self, count: int) -> None:
+        self.n += count
 
     def result(self) -> int:
         return self.n
@@ -48,6 +71,9 @@ class CountState(AggState):
         if value is not None:
             self.n += 1
 
+    def add_many(self, values: list) -> None:
+        self.n += sum(1 for value in values if value is not None)
+
     def result(self) -> int:
         return self.n
 
@@ -62,6 +88,12 @@ class SumState(AggState):
     def add(self, value: Any) -> None:
         if value is not None:
             self.total += value
+            self.seen = True
+
+    def add_many(self, values: list) -> None:
+        present = [value for value in values if value is not None]
+        if present:
+            self.total += sum(present[1:], start=present[0])
             self.seen = True
 
     def result(self) -> Any:
@@ -80,6 +112,12 @@ class AvgState(AggState):
             self.total += value
             self.n += 1
 
+    def add_many(self, values: list) -> None:
+        present = [value for value in values if value is not None]
+        if present:
+            self.total += sum(present)
+            self.n += len(present)
+
     def result(self) -> Optional[float]:
         return self.total / self.n if self.n else None
 
@@ -94,6 +132,13 @@ class MinState(AggState):
         if value is not None and (self.best is None or value < self.best):
             self.best = value
 
+    def add_many(self, values: list) -> None:
+        present = [value for value in values if value is not None]
+        if present:
+            low = min(present)
+            if self.best is None or low < self.best:
+                self.best = low
+
     def result(self) -> Any:
         return self.best
 
@@ -107,6 +152,13 @@ class MaxState(AggState):
     def add(self, value: Any) -> None:
         if value is not None and (self.best is None or value > self.best):
             self.best = value
+
+    def add_many(self, values: list) -> None:
+        present = [value for value in values if value is not None]
+        if present:
+            high = max(present)
+            if self.best is None or high > self.best:
+                self.best = high
 
     def result(self) -> Any:
         return self.best
@@ -128,6 +180,14 @@ class PolySumState(AggState):
     def add(self, value: Any) -> None:
         if value is not None:
             self.total = self.total + value
+
+    def add_many(self, values: list) -> None:
+        present = [value for value in values if value is not None]
+        if present:
+            # One merged normalization pass instead of a quadratic
+            # re-normalizing fold — the big vectorization win for
+            # polynomial provenance over large groups.
+            self.total = Polynomial.sum_all([self.total, *present])
 
     def result(self) -> Any:
         return self.total

@@ -2,20 +2,42 @@
 
 from __future__ import annotations
 
+from typing import Any
+
+from repro.storage.chunk import DEFAULT_BATCH_SIZE
+
 
 class ExecContext:
     """Carries cross-node execution state.
 
     ``outer_rows`` is the stack of rows from enclosing queries, used by
     correlated sublinks: a Var with ``levelsup = k`` reads from
-    ``outer_rows[-k]``.  Uncorrelated sublinks cache their results in
-    closures, so the context stays tiny.
+    ``outer_rows[-k]``.
+
+    ``caches`` holds all per-*execution* memoization: uncorrelated
+    sublink results and :class:`~repro.executor.nodes.MaterializeNode`
+    spools, keyed by a per-closure sentinel or the node itself.  Keeping
+    this state here (instead of inside plan objects) is what makes a
+    plan re-runnable: a fresh context sees fresh data, while shared
+    subplans still evaluate once *within* an execution.
+
+    ``batch_size`` is the chunk row count for vectorized execution, and
+    ``vectorized`` records which protocol drives this execution so that
+    *subplans* (sublinks) run in the same mode as the main pipeline —
+    float aggregates fold identically on both sides of a comparison
+    (TPC-H Q15's ``total_revenue = (SELECT max(total_revenue) ...)``)
+    only when the folds regroup partial sums the same way.
     """
 
-    __slots__ = ("outer_rows",)
+    __slots__ = ("outer_rows", "caches", "batch_size", "vectorized")
 
-    def __init__(self) -> None:
+    def __init__(
+        self, batch_size: int = DEFAULT_BATCH_SIZE, vectorized: bool = False
+    ) -> None:
         self.outer_rows: list[tuple] = []
+        self.caches: dict[Any, Any] = {}
+        self.batch_size = batch_size
+        self.vectorized = vectorized
 
     def push_outer(self, row: tuple) -> None:
         self.outer_rows.append(row)

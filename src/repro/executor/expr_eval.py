@@ -12,9 +12,15 @@ Design points:
 * Three-valued logic is implemented exactly: comparisons return None on
   NULL input, AND/OR short-circuit per SQL, NOT maps None to None.
 * Sublinks compile to subplan executions.  Uncorrelated sublinks execute
-  once per query and cache (sets for IN/NOT IN); correlated sublinks
+  once per query and cache their result in ``ctx.caches`` (so a re-run of
+  the same plan on a fresh context recomputes); correlated sublinks
   re-execute per row with the row pushed onto the context's outer stack.
 * LIKE patterns that are constants are compiled to regexes once.
+
+Batch mode (:meth:`ExprCompiler.compile_batch`) compiles the same
+expressions to *column-wise* kernels ``fn(chunk, ctx) -> list`` over
+:class:`~repro.storage.chunk.Chunk` inputs; see the section at the bottom
+of this module.
 """
 
 from __future__ import annotations
@@ -29,7 +35,12 @@ from repro.errors import ExecutionError, PlanError
 from repro.analyzer import expressions as ex
 
 CompiledExpr = Callable[[tuple, Any], Any]
+#: Batch kernels map a Chunk to one output column (list of values).
+BatchExpr = Callable[[Any, Any], list]
 VarMap = dict[tuple[int, int], int]
+
+#: Sentinel distinguishing "not cached yet" from a cached None result.
+_UNCACHED = object()
 
 
 # ---------------------------------------------------------------------------
@@ -334,12 +345,22 @@ class ExprCompiler:
         self.varmap = varmap
         self.outer_varmaps = list(outer_varmaps)
         self.plan_subquery = plan_subquery
+        # Row closures memoized per expression node: the planner compiles
+        # most expressions twice under vectorize (row form + batch form,
+        # whose fallbacks wrap the row closure), and re-compiling a
+        # SubLink would plan its subquery again.
+        self._row_memo: dict[int, tuple[ex.Expr, CompiledExpr]] = {}
 
     def compile(self, expr: ex.Expr) -> CompiledExpr:
+        memoized = self._row_memo.get(id(expr))
+        if memoized is not None and memoized[0] is expr:
+            return memoized[1]
         method = getattr(self, f"_compile_{type(expr).__name__}", None)
         if method is None:
             raise PlanError(f"cannot compile expression {expr!r}")
-        return method(expr)
+        compiled = method(expr)
+        self._row_memo[id(expr)] = (expr, compiled)
+        return compiled
 
     # -- leaves -------------------------------------------------------------
 
@@ -568,21 +589,31 @@ class ExprCompiler:
 
     @staticmethod
     def _run_subplan(subplan, ctx, row, correlated: bool) -> list[tuple]:
+        # Subplans execute in the same protocol as the main pipeline so
+        # that order-of-fold-sensitive results (float sums) agree with
+        # the enclosing query's own computation of the same aggregate.
+        from repro.executor.nodes import run_plan_rows
+
         if correlated:
             ctx.push_outer(row)
             try:
-                return list(subplan.run(ctx))
+                return run_plan_rows(subplan, ctx)
             finally:
                 ctx.pop_outer()
-        return list(subplan.run(ctx))
+        return run_plan_rows(subplan, ctx)
 
     def _compile_scalar_sublink(self, expr: ex.SubLink, subplan) -> CompiledExpr:
         correlated = expr.correlated
-        cache: list = []
+        # Uncorrelated sublinks evaluate once per *execution*: the memo
+        # lives in ctx.caches under a per-closure sentinel, so a prepared
+        # plan re-run on a fresh context recomputes against live data.
+        key = object()
 
         def _scalar(row, ctx):
-            if not correlated and cache:
-                return cache[0]
+            if not correlated:
+                cached = ctx.caches.get(key, _UNCACHED)
+                if cached is not _UNCACHED:
+                    return cached
             rows = self._run_subplan(subplan, ctx, row, correlated)
             if len(rows) > 1:
                 raise ExecutionError(
@@ -590,27 +621,31 @@ class ExprCompiler:
                 )
             value = rows[0][0] if rows else None
             if not correlated:
-                cache.append(value)
+                ctx.caches[key] = value
             return value
 
         return _scalar
 
     def _compile_exists_sublink(self, expr: ex.SubLink, subplan) -> CompiledExpr:
         correlated = expr.correlated
-        cache: list = []
+        key = object()
+
+        def _probe(ctx) -> bool:
+            if ctx.vectorized:
+                return next(iter(subplan.run_batches(ctx)), None) is not None
+            return next(iter(subplan.run(ctx)), None) is not None
 
         def _exists(row, ctx):
-            if not correlated and cache:
-                return cache[0]
             if correlated:
                 ctx.push_outer(row)
                 try:
-                    found = next(iter(subplan.run(ctx)), None) is not None
+                    return _probe(ctx)
                 finally:
                     ctx.pop_outer()
-            else:
-                found = next(iter(subplan.run(ctx)), None) is not None
-                cache.append(found)
+            found = ctx.caches.get(key, _UNCACHED)
+            if found is _UNCACHED:
+                found = _probe(ctx)
+                ctx.caches[key] = found
             return found
 
         return _exists
@@ -622,15 +657,17 @@ class ExprCompiler:
         cmp = COMPARISONS[op]
         is_any = expr.kind == ex.SubLinkKind.ANY
         correlated = expr.correlated
-        cache: list[Optional[list]] = [None]
+        key = object()
 
         def _values(row, ctx) -> list:
-            if not correlated and cache[0] is not None:
-                return cache[0]
+            if not correlated:
+                values = ctx.caches.get(key)
+                if values is not None:
+                    return values
             rows = self._run_subplan(subplan, ctx, row, correlated)
             values = [r[0] for r in rows]
             if not correlated:
-                cache[0] = values
+                ctx.caches[key] = values
             return values
 
         def _quantified(row, ctx):
@@ -654,3 +691,311 @@ class ExprCompiler:
             return None if saw_null else True
 
         return _quantified
+
+    # ------------------------------------------------------------------
+    # Batch mode: expressions -> column-wise kernels over Chunks
+    # ------------------------------------------------------------------
+    #
+    # ``compile_batch`` produces ``fn(chunk, ctx) -> list`` evaluating the
+    # expression for every logical row of the chunk at once.  NULLs stay
+    # in-band (None entries; boolean columns are True/False/None — the
+    # 3VL "null mask" is the None pattern itself).  Two invariants keep
+    # batch mode exactly equivalent to row mode:
+    #
+    # * Conditional constructs (AND, OR, CASE) evaluate later arms only
+    #   on still-active rows, via sub-chunks carrying selection vectors.
+    #   Row mode's short-circuiting therefore transfers: an arm that
+    #   would raise (division by zero, say) on a row the earlier arms
+    #   already decided is never evaluated on that row in batch mode
+    #   either.
+    # * Anything that resists vectorization — correlated sublinks, odd
+    #   engine edge cases — falls back to evaluating the row closure per
+    #   row over ``chunk.rows()``.  The fallback is local to the one
+    #   expression: the surrounding pipeline stays batched.
+
+    def compile_batch(self, expr: ex.Expr) -> BatchExpr:
+        method = getattr(self, f"_batch_{type(expr).__name__}", None)
+        if method is not None:
+            kernel = method(expr)
+            if kernel is not None:
+                return kernel
+        return self._batch_fallback(expr)
+
+    def _batch_fallback(self, expr: ex.Expr) -> BatchExpr:
+        """Per-row fallback: the row closure applied over the chunk's rows."""
+        fn = self.compile(expr)
+
+        def kernel(chunk, ctx):
+            return [fn(row, ctx) for row in chunk.rows()]
+
+        return kernel
+
+    # -- leaves -------------------------------------------------------------
+
+    def _batch_Var(self, expr: ex.Var) -> Optional[BatchExpr]:
+        if expr.levelsup == 0:
+            key = (expr.varno, expr.varattno)
+            if key not in self.varmap:
+                raise PlanError(f"variable {expr} not found in plan layout")
+            slot = self.varmap[key]
+            return lambda chunk, ctx: chunk.column(slot)
+        level = expr.levelsup
+        if level > len(self.outer_varmaps):
+            raise PlanError(f"outer reference {expr} exceeds nesting depth")
+        outer_map = self.outer_varmaps[-level]
+        key = (expr.varno, expr.varattno)
+        if key not in outer_map:
+            raise PlanError(f"outer variable {expr} not found in enclosing layout")
+        slot = outer_map[key]
+        # Constant within the batch: the enclosing row is fixed while a
+        # correlated subplan's chunks stream by.
+        return lambda chunk, ctx: [ctx.outer_rows[-level][slot]] * len(chunk)
+
+    def _batch_Const(self, expr: ex.Const) -> BatchExpr:
+        value = expr.value
+        return lambda chunk, ctx: [value] * len(chunk)
+
+    # -- operators ----------------------------------------------------------
+
+    def _batch_OpExpr(self, expr: ex.OpExpr) -> Optional[BatchExpr]:
+        if len(expr.args) == 1:  # unary minus
+            arg = self.compile_batch(expr.args[0])
+            return lambda chunk, ctx: [
+                None if v is None else -v for v in arg(chunk, ctx)
+            ]
+        left_expr, right_expr = expr.args
+        fn = self._select_binary_fn(expr.op, left_expr.type, right_expr.type)
+        template = _BATCH_BINARY_TEMPLATES.get(fn)
+        if isinstance(right_expr, ex.Const):
+            left = self.compile_batch(left_expr)
+            const = right_expr.value
+            if template is not None:
+                return _KERNEL_COL_CONST(template)(left, const)
+            return lambda chunk, ctx: [fn(a, const) for a in left(chunk, ctx)]
+        if isinstance(left_expr, ex.Const):
+            right = self.compile_batch(right_expr)
+            const = left_expr.value
+            if template is not None:
+                return _KERNEL_CONST_COL(template)(right, const)
+            return lambda chunk, ctx: [fn(const, b) for b in right(chunk, ctx)]
+        left = self.compile_batch(left_expr)
+        right = self.compile_batch(right_expr)
+        if template is not None:
+            return _KERNEL_COL_COL(template)(left, right)
+        return lambda chunk, ctx: [
+            fn(a, b) for a, b in zip(left(chunk, ctx), right(chunk, ctx))
+        ]
+
+    def _batch_BoolOpExpr(self, expr: ex.BoolOpExpr) -> Optional[BatchExpr]:
+        if expr.op == "not":
+            arg = self.compile_batch(expr.args[0])
+            return lambda chunk, ctx: [
+                None if v is None else not v for v in arg(chunk, ctx)
+            ]
+        kernels = [self.compile_batch(a) for a in expr.args]
+        if expr.op == "and":
+            return self._batch_progressive(kernels, short_on=False)
+        return self._batch_progressive(kernels, short_on=True)
+
+    @staticmethod
+    def _batch_progressive(kernels: list[BatchExpr], short_on: bool) -> BatchExpr:
+        """AND/OR over columns with row-mode short-circuit semantics.
+
+        ``short_on`` is the verdict that decides a row immediately (False
+        for AND, True for OR).  Decided rows drop out of the active set,
+        and later arms are evaluated on a sub-chunk of only the still
+        active rows — so an arm never runs on a row an earlier arm
+        already decided, exactly like the row engine's short-circuit.
+        NULL marks the row "undecided-with-null": it stays active (a
+        later decisive verdict overrides) and resolves to None at the
+        end, matching SQL's 3VL.
+        """
+        neutral = not short_on
+
+        def _boolop(chunk, ctx):
+            n = len(chunk)
+            out: list = [neutral] * n
+            active = list(range(n))
+            sub = chunk
+            for position, fn in enumerate(kernels):
+                if not active:
+                    break
+                if position:
+                    sub = chunk.select(active)
+                verdicts = fn(sub, ctx)
+                next_active: list[int] = []
+                push = next_active.append
+                for index, verdict in zip(active, verdicts):
+                    if verdict is short_on:
+                        out[index] = short_on
+                    elif verdict is None:
+                        out[index] = None
+                        push(index)
+                    else:
+                        push(index)
+                active = next_active
+            return out
+
+        return _boolop
+
+    def _batch_FuncExpr(self, expr: ex.FuncExpr) -> Optional[BatchExpr]:
+        if expr.name not in SCALAR_FUNCTIONS:
+            raise PlanError(f"unknown function {expr.name!r}")
+        fn = SCALAR_FUNCTIONS[expr.name]
+        kernels = [self.compile_batch(a) for a in expr.args]
+        if not kernels:
+            return lambda chunk, ctx: [fn() for _ in range(len(chunk))]
+        if len(kernels) == 1:
+            arg0 = kernels[0]
+            return lambda chunk, ctx: [fn(a) for a in arg0(chunk, ctx)]
+        if len(kernels) == 2:
+            arg0, arg1 = kernels
+            return lambda chunk, ctx: [
+                fn(a, b) for a, b in zip(arg0(chunk, ctx), arg1(chunk, ctx))
+            ]
+        return lambda chunk, ctx: [
+            fn(*vals) for vals in zip(*(k(chunk, ctx) for k in kernels))
+        ]
+
+    def _batch_Aggref(self, expr: ex.Aggref) -> BatchExpr:
+        raise PlanError(
+            "internal error: Aggref must be replaced by the planner before "
+            "expression compilation"
+        )
+
+    def _batch_CaseExpr(self, expr: ex.CaseExpr) -> Optional[BatchExpr]:
+        whens = [
+            (self.compile_batch(c), self.compile_batch(r)) for c, r in expr.whens
+        ]
+        default = (
+            self.compile_batch(expr.default) if expr.default is not None else None
+        )
+
+        def _case(chunk, ctx):
+            n = len(chunk)
+            out: list = [None] * n
+            active = list(range(n))
+            for position, (cond, result) in enumerate(whens):
+                if not active:
+                    break
+                sub = chunk if position == 0 and len(active) == n else chunk.select(active)
+                verdicts = cond(sub, ctx)
+                matched = [i for i, v in zip(active, verdicts) if v is True]
+                if matched:
+                    values = result(chunk.select(matched), ctx)
+                    for index, value in zip(matched, values):
+                        out[index] = value
+                active = [i for i, v in zip(active, verdicts) if v is not True]
+            if default is not None and active:
+                values = default(chunk.select(active), ctx)
+                for index, value in zip(active, values):
+                    out[index] = value
+            return out
+
+        return _case
+
+    def _batch_NullTest(self, expr: ex.NullTest) -> Optional[BatchExpr]:
+        arg = self.compile_batch(expr.arg)
+        if expr.negated:
+            return lambda chunk, ctx: [v is not None for v in arg(chunk, ctx)]
+        return lambda chunk, ctx: [v is None for v in arg(chunk, ctx)]
+
+    def _batch_LikeTest(self, expr: ex.LikeTest) -> Optional[BatchExpr]:
+        if not (isinstance(expr.pattern, ex.Const) and expr.pattern.value is not None):
+            return None  # dynamic pattern: per-row fallback
+        arg = self.compile_batch(expr.arg)
+        match = like_to_regex(str(expr.pattern.value)).fullmatch
+        if expr.negated:
+            return lambda chunk, ctx: [
+                None if v is None else match(v) is None for v in arg(chunk, ctx)
+            ]
+        return lambda chunk, ctx: [
+            None if v is None else match(v) is not None for v in arg(chunk, ctx)
+        ]
+
+    def _batch_InList(self, expr: ex.InList) -> Optional[BatchExpr]:
+        if not all(isinstance(item, ex.Const) for item in expr.items):
+            return None  # expression items: per-row fallback
+        arg = self.compile_batch(expr.arg)
+        values = {item.value for item in expr.items if item.value is not None}
+        saw_null = any(item.value is None for item in expr.items)
+        negated = expr.negated
+        hit = False if negated else True
+        miss = None if saw_null else (True if negated else False)
+
+        def _in(chunk, ctx):
+            return [
+                None if v is None else (hit if v in values else miss)
+                for v in arg(chunk, ctx)
+            ]
+
+        return _in
+
+    # -- sublinks (batch) ---------------------------------------------------
+
+    def _batch_SubLink(self, expr: ex.SubLink) -> Optional[BatchExpr]:
+        if expr.correlated:
+            return None  # re-executes per row: fall back to the row closure
+        if expr.kind not in (ex.SubLinkKind.SCALAR, ex.SubLinkKind.EXISTS):
+            # ANY/ALL: the comparison runs per row anyway and the row
+            # closure caches the subquery's values in ctx — fall back.
+            return None
+        fn = self.compile(expr)
+
+        def _broadcast(chunk, ctx):
+            n = len(chunk)
+            if n == 0:
+                return []
+            # Uncorrelated: the row argument is ignored and the result is
+            # cached in ctx, so one evaluation serves the whole batch.
+            return [fn((), ctx)] * n
+
+        return _broadcast
+
+
+# -- generated column kernels for the common binary operators ---------------
+#
+# For the hot operators (comparisons, + - *, null-safe =) the kernel body
+# is generated source with the null checks inlined in the comprehension:
+# no per-element Python call at all.  ``a``/``b`` name the two operands;
+# the three shapes bind them to two columns, column+constant, or
+# constant+column.
+
+_BATCH_BINARY_TEMPLATES: dict[Callable, str] = {
+    _eq: "(None if a is None or b is None else a == b)",
+    _ne: "(None if a is None or b is None else a != b)",
+    _lt: "(None if a is None or b is None else a < b)",
+    _le: "(None if a is None or b is None else a <= b)",
+    _gt: "(None if a is None or b is None else a > b)",
+    _ge: "(None if a is None or b is None else a >= b)",
+    _add: "(None if a is None or b is None else a + b)",
+    _sub: "(None if a is None or b is None else a - b)",
+    _mul: "(None if a is None or b is None else a * b)",
+    _null_safe_eq: "((b is None) if a is None else (False if b is None else a == b))",
+    _null_safe_ne: "((b is not None) if a is None else (True if b is None else a != b))",
+}
+
+
+def _kernel_factory(source: str) -> Callable:
+    cache: dict[str, Callable] = {}
+
+    def factory(template: str) -> Callable:
+        built = cache.get(template)
+        if built is None:
+            built = eval(source.format(expr=template))  # generated templates only
+            cache[template] = built
+        return built
+
+    return factory
+
+
+_KERNEL_COL_COL = _kernel_factory(
+    "lambda lk, rk: lambda chunk, ctx: "
+    "[{expr} for a, b in zip(lk(chunk, ctx), rk(chunk, ctx))]"
+)
+_KERNEL_COL_CONST = _kernel_factory(
+    "lambda lk, b: lambda chunk, ctx: [{expr} for a in lk(chunk, ctx)]"
+)
+_KERNEL_CONST_COL = _kernel_factory(
+    "lambda rk, a: lambda chunk, ctx: [{expr} for b in rk(chunk, ctx)]"
+)

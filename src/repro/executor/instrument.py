@@ -1,0 +1,113 @@
+"""EXPLAIN ANALYZE support: per-node runtime statistics.
+
+:func:`instrument_plan` wraps every node's ``run``/``run_batches`` with
+counting shims (instance attributes shadow the class methods, so inner
+nodes calling ``self.child.run(...)`` hit the shims too).  After the
+plan is drained, :func:`format_plan_with_stats` renders the usual
+EXPLAIN tree annotated with actual row counts, batch counts, wall time,
+and loop counts.
+
+Timing is *inclusive* (a node's time contains its children's), measured
+as the sum of the per-``next()`` latencies of the node's iterator —  the
+same convention as PostgreSQL's ``EXPLAIN ANALYZE``.  ``loops`` counts
+how many times the node was started: materialized subplans restart per
+consumer, correlated sublink subplans restart per outer row.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.executor.nodes import PlanNode
+
+
+@dataclass
+class NodeStats:
+    """Actual execution counters for one plan node."""
+
+    rows: int = 0
+    batches: int = 0
+    loops: int = 0
+    seconds: float = 0.0
+
+    def describe(self) -> str:
+        if self.loops == 0:
+            return "(never executed)"
+        parts = [f"actual rows={self.rows}"]
+        if self.batches:
+            parts.append(f"batches={self.batches}")
+        parts.append(f"time={self.seconds * 1000.0:.3f}ms")
+        if self.loops > 1:
+            parts.append(f"loops={self.loops}")
+        return "(" + " ".join(parts) + ")"
+
+
+def instrument_plan(plan: PlanNode) -> dict[int, NodeStats]:
+    """Attach counting shims to every node; returns stats keyed by id()."""
+    stats: dict[int, NodeStats] = {}
+    for node in _walk(plan):
+        if id(node) in stats:
+            continue  # shared subplans appear under several parents
+        stats[id(node)] = _wrap_node(node)
+    return stats
+
+
+def _walk(node: PlanNode):
+    yield node
+    for child in node.children():
+        yield from _walk(child)
+
+
+def _wrap_node(node: PlanNode) -> NodeStats:
+    stats = NodeStats()
+    original_run = node.run
+    original_batches = node.run_batches
+    clock = time.perf_counter
+
+    def run(ctx):
+        stats.loops += 1
+        iterator = iter(original_run(ctx))
+        while True:
+            started = clock()
+            try:
+                row = next(iterator)
+            except StopIteration:
+                stats.seconds += clock() - started
+                return
+            stats.seconds += clock() - started
+            stats.rows += 1
+            yield row
+
+    def run_batches(ctx):
+        stats.loops += 1
+        iterator = iter(original_batches(ctx))
+        while True:
+            started = clock()
+            try:
+                chunk = next(iterator)
+            except StopIteration:
+                stats.seconds += clock() - started
+                return
+            stats.seconds += clock() - started
+            stats.batches += 1
+            stats.rows += len(chunk)
+            yield chunk
+
+    node.run = run  # type: ignore[method-assign]
+    node.run_batches = run_batches  # type: ignore[method-assign]
+    return stats
+
+
+def format_plan_with_stats(
+    plan: PlanNode, stats: dict[int, NodeStats], indent: int = 0
+) -> str:
+    """The EXPLAIN tree with per-node actual counters appended."""
+    node_stats = stats.get(id(plan))
+    suffix = f"  {node_stats.describe()}" if node_stats is not None else ""
+    lines = ["  " * indent + f"-> {plan.label()}{suffix}"]
+    lines += [
+        format_plan_with_stats(child, stats, indent + 1)
+        for child in plan.children()
+    ]
+    return "\n".join(lines)

@@ -1,10 +1,19 @@
 """Physical plan nodes.
 
-Each node implements ``run(ctx) -> Iterator[tuple]`` (volcano-style, with
-materialization where the algorithm requires it: hash builds, sorts,
-aggregation).  Nodes carry ``output_names`` for EXPLAIN and result schema
-construction, and an ``estimate`` used by the planner's greedy join
-ordering.
+Each node implements two execution protocols over the same plan tree:
+
+* ``run(ctx) -> Iterator[tuple]`` — the original volcano-style row
+  engine (with materialization where the algorithm requires it: hash
+  builds, sorts, aggregation);
+* ``run_batches(ctx) -> Iterator[Chunk]`` — vectorized batch-at-a-time
+  execution over columnar :class:`~repro.storage.chunk.Chunk` inputs.
+  Nodes the planner equipped with batch kernels (``batch_*``
+  attributes) execute column-wise; nodes without them fall back to the
+  base-class bridge, which runs the row protocol for that subtree and
+  re-chunks its output — so batch and row subtrees compose freely.
+
+Nodes carry ``output_names`` for EXPLAIN and result schema construction,
+and an ``estimate`` used by the planner's greedy join ordering.
 
 Join semantics notes:
 
@@ -23,11 +32,55 @@ from typing import Any, Callable, Iterator, Optional, Sequence
 from repro.errors import ExecutionError
 from repro.executor.aggregates import AggState
 from repro.executor.context import ExecContext
+from repro.storage.chunk import Chunk, chunk_rows
 from repro.storage.table import Table
 
 Row = tuple
 Predicate = Callable[[Row, ExecContext], Any]
 Scalar = Callable[[Row, ExecContext], Any]
+#: Batch kernel: one Chunk in, one output column (list) out.
+BatchExpr = Callable[[Chunk, ExecContext], list]
+
+
+def run_plan_rows(plan: "PlanNode", ctx: ExecContext) -> list[Row]:
+    """Execute a plan in the context's protocol and return its rows.
+
+    The single dispatch point between the two engines: top-level result
+    assembly and subplan execution all flow through here, so the two
+    protocols cannot drift apart call site by call site.
+    """
+    if ctx.vectorized:
+        return [row for chunk in plan.run_batches(ctx) for row in chunk.rows()]
+    return list(plan.run(ctx))
+
+
+def apply_batch_predicates(
+    chunk: Chunk, kernels: Sequence[BatchExpr], ctx: ExecContext
+) -> Chunk:
+    """Filter a chunk through predicate kernels via selection vectors.
+
+    Kernels run in order on the *surviving* rows only (each pass narrows
+    the selection), mirroring the row engine's merged-conjunct
+    short-circuit.  Column-backed chunks are never copied — only index
+    lists; row-backed chunks gather the surviving row tuples directly.
+    """
+    for kernel in kernels:
+        if len(chunk) == 0:
+            return chunk
+        verdicts = kernel(chunk, ctx)
+        if chunk.is_row_backed():
+            chunk = Chunk.from_rows(
+                [row for row, v in zip(chunk.rows(), verdicts) if v is True],
+                chunk.width,
+            )
+            continue
+        sel = chunk.sel
+        if sel is None:
+            new_sel = [i for i, v in enumerate(verdicts) if v is True]
+        else:
+            new_sel = [i for i, v in zip(sel, verdicts) if v is True]
+        chunk = chunk.with_sel(new_sel)
+    return chunk
 
 
 def make_row_getter(indexes: list[int]) -> Callable[[Row], Row]:
@@ -51,6 +104,16 @@ class PlanNode:
 
     def run(self, ctx: ExecContext) -> Iterator[Row]:  # pragma: no cover
         raise NotImplementedError
+
+    def run_batches(self, ctx: ExecContext) -> Iterator[Chunk]:
+        """Vectorized execution; the default bridges the row protocol.
+
+        Subtrees without batch kernels (conditional nested-loop joins,
+        plans built with ``vectorize=False``) run row-at-a-time here and
+        are re-chunked, so a batched parent never needs to care which
+        mode its input runs in.
+        """
+        return chunk_rows(self.run(ctx), self.width(), ctx.batch_size)
 
     def children(self) -> list["PlanNode"]:
         return []
@@ -82,11 +145,16 @@ class SeqScan(PlanNode):
         output_names: list[str],
         predicate: Optional[Predicate] = None,
         columns: Optional[list[int]] = None,
+        batch_predicates: Optional[list[BatchExpr]] = None,
     ) -> None:
         self.table = table
         self.output_names = output_names
         self.predicate = predicate
         self.columns = columns
+        # Batch-mode filter kernels, applied in order with selection
+        # vectors.  None (as opposed to []) means "no batch form": the
+        # scan falls back to the row bridge when a predicate exists.
+        self.batch_predicates = batch_predicates
         rows = table.row_count()
         self.estimate = max(rows * (0.25 if predicate else 1.0), 1.0)
 
@@ -111,6 +179,18 @@ class SeqScan(PlanNode):
                 if predicate(narrow, ctx) is True:
                     yield narrow
 
+    def run_batches(self, ctx: ExecContext) -> Iterator[Chunk]:
+        if self.predicate is not None and self.batch_predicates is None:
+            yield from PlanNode.run_batches(self, ctx)
+            return
+        kernels = self.batch_predicates
+        for chunk in self.table.scan_chunks(ctx.batch_size, self.columns):
+            if kernels:
+                chunk = apply_batch_predicates(chunk, kernels, ctx)
+                if len(chunk) == 0:
+                    continue
+            yield chunk
+
     def label(self) -> str:
         suffix = " (filtered)" if self.predicate else ""
         if self.columns is not None:
@@ -128,6 +208,9 @@ class OneRow(PlanNode):
     def run(self, ctx: ExecContext) -> Iterator[Row]:
         yield ()
 
+    def run_batches(self, ctx: ExecContext) -> Iterator[Chunk]:
+        yield Chunk(nrows=1, width=0, rows=[()])
+
 
 class ValuesNode(PlanNode):
     """A constant list of rows (INSERT ... VALUES and tests)."""
@@ -140,11 +223,21 @@ class ValuesNode(PlanNode):
     def run(self, ctx: ExecContext) -> Iterator[Row]:
         yield from self.rows
 
+    def run_batches(self, ctx: ExecContext) -> Iterator[Chunk]:
+        if self.rows:
+            yield Chunk.from_rows(list(self.rows), self.width())
+
 
 class FilterNode(PlanNode):
-    def __init__(self, child: PlanNode, predicate: Predicate) -> None:
+    def __init__(
+        self,
+        child: PlanNode,
+        predicate: Predicate,
+        batch_predicates: Optional[list[BatchExpr]] = None,
+    ) -> None:
         self.child = child
         self.predicate = predicate
+        self.batch_predicates = batch_predicates
         self.output_names = list(child.output_names)
         self.estimate = max(child.estimate * 0.25, 1.0)
 
@@ -156,6 +249,16 @@ class FilterNode(PlanNode):
         for row in self.child.run(ctx):
             if predicate(row, ctx) is True:
                 yield row
+
+    def run_batches(self, ctx: ExecContext) -> Iterator[Chunk]:
+        kernels = self.batch_predicates
+        if kernels is None:
+            yield from PlanNode.run_batches(self, ctx)
+            return
+        for chunk in self.child.run_batches(ctx):
+            chunk = apply_batch_predicates(chunk, kernels, ctx)
+            if len(chunk):
+                yield chunk
 
 
 class ProjectNode(PlanNode):
@@ -173,11 +276,15 @@ class ProjectNode(PlanNode):
         exprs: list[Scalar],
         output_names: list[str],
         slots: Optional[list[Optional[int]]] = None,
+        batch_exprs: Optional[list[Optional[BatchExpr]]] = None,
     ) -> None:
         self.child = child
         self.exprs = exprs
         self.output_names = output_names
         self.slots = slots
+        # Batch kernels parallel to ``exprs``; positions covered by a
+        # slot read may be None (the column passes through untouched).
+        self.batch_exprs = batch_exprs
         self.estimate = child.estimate
         self._emit = self._build_emitter()
 
@@ -204,6 +311,29 @@ class ProjectNode(PlanNode):
         for row in self.child.run(ctx):
             yield emit(row, ctx)
 
+    def run_batches(self, ctx: ExecContext) -> Iterator[Chunk]:
+        if self.batch_exprs is None:
+            yield from PlanNode.run_batches(self, ctx)
+            return
+        slots = self.slots if self.slots is not None else [None] * len(self.exprs)
+        pairs = list(zip(self.batch_exprs, slots))
+        emit = self._emit
+        for chunk in self.child.run_batches(ctx):
+            n = len(chunk)
+            if chunk.is_row_backed():
+                # Row-backed input (join output): the generated row
+                # emitter costs one call per row, cheaper than
+                # extracting every slot-read column separately.
+                yield Chunk.from_rows(
+                    [emit(row, ctx) for row in chunk.rows()], len(pairs)
+                )
+                continue
+            columns = [
+                chunk.column(slot) if slot is not None else kernel(chunk, ctx)
+                for kernel, slot in pairs
+            ]
+            yield Chunk(columns=columns, nrows=n, width=len(pairs))
+
 
 class SliceNode(PlanNode):
     """Re-emits a positional selection of columns (any order, duplicates
@@ -229,6 +359,13 @@ class SliceNode(PlanNode):
         for row in self.child.run(ctx):
             yield getter(row)
 
+    def run_batches(self, ctx: ExecContext) -> Iterator[Chunk]:
+        keep = self.keep
+        for chunk in self.child.run_batches(ctx):
+            # Column-backed chunks rearrange by reference (zero copy);
+            # row-backed ones fall back to the itemgetter path.
+            yield chunk.project(keep)
+
 
 class NestedLoopJoin(PlanNode):
     """General join for arbitrary conditions; right side is materialized."""
@@ -239,11 +376,13 @@ class NestedLoopJoin(PlanNode):
         right: PlanNode,
         join_type: str,
         condition: Optional[Predicate],
+        batch_condition: Optional[BatchExpr] = None,
     ) -> None:
         self.left = left
         self.right = right
         self.join_type = join_type
         self.condition = condition
+        self.batch_condition = batch_condition
         self.output_names = list(left.output_names) + list(right.output_names)
         selectivity = 0.1 if condition else 1.0
         self.estimate = max(left.estimate * right.estimate * selectivity, 1.0)
@@ -293,6 +432,117 @@ class NestedLoopJoin(PlanNode):
                 if not right_matched[i]:
                     yield null_left + right_row
 
+    def run_batches(self, ctx: ExecContext) -> Iterator[Chunk]:
+        """Batch nested loop.
+
+        The unconditional inner/left/cross shapes build output *columns*
+        directly (repeat/tile gathers, zero row materialization — the
+        provenance rewrite's scalar-aggregate joins are the single-right-
+        row case).  Conditional loops stream left chunks but check pairs
+        with the row-mode condition closure, which is evaluated per pair
+        either way; children stay vectorized, keeping fold-sensitive
+        float aggregates consistent across the plan.
+        """
+        condition = self.condition
+        join_type = self.join_type
+        width = self.width()
+        right_rows = [
+            row for chunk in self.right.run_batches(ctx) for row in chunk.rows()
+        ]
+
+        if condition is None and join_type in ("inner", "left", "cross"):
+            left_width = self.left.width()
+            if not right_rows:
+                if join_type == "left":
+                    for chunk in self.left.run_batches(ctx):
+                        n = len(chunk)
+                        columns = [chunk.column(i) for i in range(left_width)]
+                        columns += [[None] * n for _ in range(self.right.width())]
+                        yield Chunk(columns=columns, nrows=n, width=width)
+                return
+            if len(right_rows) == 1:
+                # The dominant provenance shape: one (scalar/grand-
+                # aggregate) row glued onto every left row.
+                single = right_rows[0]
+                for chunk in self.left.run_batches(ctx):
+                    n = len(chunk)
+                    columns = [chunk.column(i) for i in range(left_width)]
+                    columns += [[value] * n for value in single]
+                    yield Chunk(columns=columns, nrows=n, width=width)
+                return
+            for chunk in self.left.run_batches(ctx):
+                # Wide cross product: one tuple concatenation per pair
+                # beats building every output column element-wise.
+                out = [
+                    left_row + right_row
+                    for left_row in chunk.rows()
+                    for right_row in right_rows
+                ]
+                yield from chunk_rows(out, width, ctx.batch_size)
+            return
+
+        null_left = (None,) * self.left.width()
+        null_right = (None,) * self.right.width()
+        right_matched = (
+            bytearray(len(right_rows)) if join_type in ("right", "full") else None
+        )
+        preserve_left = join_type in ("left", "full")
+        batch_condition = self.batch_condition
+        count = len(right_rows)
+        # Left rows are processed in blocks sized so that one candidate
+        # cross product fits a batch; the condition then evaluates as
+        # one vectorized kernel call per block instead of one closure
+        # call per pair.
+        step = max(1, ctx.batch_size // count) if count else 1
+        for chunk in self.left.run_batches(ctx):
+            left_rows = chunk.rows()
+            out = []
+            append = out.append
+            for start in range(0, len(left_rows), step):
+                block = left_rows[start : start + step]
+                if batch_condition is not None and condition is not None and count:
+                    pairs = [
+                        left_row + right_row
+                        for left_row in block
+                        for right_row in right_rows
+                    ]
+                    verdicts = batch_condition(
+                        Chunk.from_rows(pairs, width), ctx
+                    )
+                    for offset, left_row in enumerate(block):
+                        base = offset * count
+                        matched = False
+                        for index in range(count):
+                            if verdicts[base + index] is True:
+                                matched = True
+                                if right_matched is not None:
+                                    right_matched[index] = 1
+                                append(pairs[base + index])
+                        if not matched and preserve_left:
+                            append(left_row + null_right)
+                    continue
+                for left_row in block:
+                    matched = False
+                    for index, right_row in enumerate(right_rows):
+                        combined = left_row + right_row
+                        if condition is None or condition(combined, ctx) is True:
+                            matched = True
+                            if right_matched is not None:
+                                right_matched[index] = 1
+                            append(combined)
+                    if not matched and preserve_left:
+                        append(left_row + null_right)
+            if out:
+                yield from chunk_rows(out, width, ctx.batch_size)
+        if right_matched is not None:
+            leftovers = [
+                null_left + right_row
+                for index, right_row in enumerate(right_rows)
+                if not right_matched[index]
+            ]
+            if leftovers:
+                yield from chunk_rows(leftovers, width, ctx.batch_size)
+
 
 class _NullKey:
     """Hashable stand-in letting null-safe keys match NULL with NULL."""
@@ -324,6 +574,9 @@ class HashJoin(PlanNode):
         right_keys: list[Scalar],
         residual: Optional[Predicate] = None,
         null_safe: Optional[list[bool]] = None,
+        batch_left_keys: Optional[list[BatchExpr]] = None,
+        batch_right_keys: Optional[list[BatchExpr]] = None,
+        batch_residual: Optional[BatchExpr] = None,
     ) -> None:
         if not left_keys or len(left_keys) != len(right_keys):
             raise ExecutionError("hash join requires matching key lists")
@@ -334,6 +587,9 @@ class HashJoin(PlanNode):
         self.right_keys = right_keys
         self.residual = residual
         self.null_safe = null_safe or [False] * len(left_keys)
+        self.batch_left_keys = batch_left_keys
+        self.batch_right_keys = batch_right_keys
+        self.batch_residual = batch_residual
         self.output_names = list(left.output_names) + list(right.output_names)
         self.estimate = max(left.estimate, right.estimate)
 
@@ -423,6 +679,193 @@ class HashJoin(PlanNode):
                 if not right_matched[index]:
                     yield null_left + right_row
 
+    # -- batch protocol -----------------------------------------------------
+
+    def _batch_key_rows(self, key_columns: list[list]) -> list:
+        """Per-row hash keys from key columns (None = can never match).
+
+        Single-column keys stay *raw values* (no tuple wrapping): NULL
+        maps to None (never matches) or, for null-safe keys, to the
+        NULL_KEY sentinel (NULL matches NULL).  Multi-column keys are
+        tuples with the same per-column treatment.
+        """
+        null_safe = self.null_safe
+        if len(key_columns) == 1:
+            column = key_columns[0]
+            if null_safe[0]:
+                return [NULL_KEY if v is None else v for v in column]
+            return column
+        keys: list = []
+        append = keys.append
+        for values in zip(*key_columns):
+            if None in values:
+                parts = []
+                dead = False
+                for value, safe in zip(values, null_safe):
+                    if value is None:
+                        if not safe:
+                            dead = True
+                            break
+                        value = NULL_KEY
+                    parts.append(value)
+                append(None if dead else tuple(parts))
+            else:
+                append(values)
+        return keys
+
+    def run_batches(self, ctx: ExecContext) -> Iterator[Chunk]:
+        """Batch hash join, hybrid row/column.
+
+        Keys are computed *column-wise* (the batch kernels) and the
+        probe is a handful of C-level comprehensions over the key
+        column; output rows are assembled with one tuple concatenation
+        per match — for the wide rows of provenance joins, a single
+        C memcpy beats per-column gathers.  The output chunk is
+        row-backed; downstream kernels extract just the columns they
+        touch.  Residual conditions on inner joins vectorize as a
+        filter over the candidate pairs; residual outer joins keep the
+        per-pair check (the verdict drives null extension).
+        """
+        if self.batch_left_keys is None or self.batch_right_keys is None:
+            yield from PlanNode.run_batches(self, ctx)
+            return
+        if self.residual is not None and (
+            self.join_type != "inner" or self.batch_residual is None
+        ):
+            yield from self._run_batches_residual(ctx)
+            return
+        residual_kernel = self.batch_residual if self.residual is not None else None
+        join_type = self.join_type
+        width = self.width()
+        null_left = (None,) * self.left.width()
+        null_right = (None,) * self.right.width()
+
+        build, right_rows, right_matched = self._spool_build_side(ctx)
+        build_get = build.get
+        preserve_left = join_type in ("left", "full")
+
+        for chunk in self.left.run_batches(ctx):
+            keys = self._batch_key_rows(
+                [kernel(chunk, ctx) for kernel in self.batch_left_keys]
+            )
+            left_rows = chunk.rows()
+            if right_matched is None and not preserve_left:
+                # Inner join fast path: two C-level comprehensions.
+                # None keys look up None, which is never a dict key
+                # (keys hash to values or tuples).
+                buckets = [build_get(key) for key in keys]
+                out = [
+                    left_rows[position] + right_rows[index]
+                    for position, bucket in enumerate(buckets)
+                    if bucket is not None
+                    for index in bucket
+                ]
+            else:
+                out = []
+                append = out.append
+                for position, key in enumerate(keys):
+                    bucket = build_get(key) if key is not None else None
+                    if bucket is not None:
+                        left_row = left_rows[position]
+                        if right_matched is None:
+                            for index in bucket:
+                                append(left_row + right_rows[index])
+                        else:
+                            for index in bucket:
+                                append(left_row + right_rows[index])
+                                right_matched[index] = 1
+                    elif preserve_left:
+                        append(left_rows[position] + null_right)
+            if not out:
+                continue
+            result = Chunk.from_rows(out, width)
+            if residual_kernel is not None:
+                # Inner join: the residual is a plain filter over the
+                # candidate pairs, so it vectorizes like any predicate.
+                result = apply_batch_predicates(result, (residual_kernel,), ctx)
+                if len(result) == 0:
+                    continue
+            yield result
+        if right_matched is not None:
+            leftovers = [
+                null_left + right_rows[index]
+                for index in range(len(right_rows))
+                if not right_matched[index]
+            ]
+            if leftovers:
+                yield Chunk.from_rows(leftovers, width)
+
+    def _spool_build_side(
+        self, ctx: ExecContext
+    ) -> tuple[dict, list[Row], Optional[bytearray]]:
+        """Spool the right input as rows, hashing the key columns.
+
+        Shared by the residual and no-residual batch paths: returns the
+        ``key -> [row index]`` build table, the spooled rows, and the
+        matched-flag array for right/full outer joins.
+        """
+        build: dict = {}
+        build_setdefault = build.setdefault
+        right_rows: list[Row] = []
+        for chunk in self.right.run_batches(ctx):
+            keys = self._batch_key_rows(
+                [kernel(chunk, ctx) for kernel in self.batch_right_keys]
+            )
+            base = len(right_rows)
+            right_rows.extend(chunk.rows())
+            for offset, key in enumerate(keys):
+                if key is not None:
+                    build_setdefault(key, []).append(base + offset)
+        right_matched = (
+            bytearray(len(right_rows))
+            if self.join_type in ("right", "full")
+            else None
+        )
+        return build, right_rows, right_matched
+
+    def _run_batches_residual(self, ctx: ExecContext) -> Iterator[Chunk]:
+        join_type = self.join_type
+        residual = self.residual
+        width = self.width()
+        null_left = (None,) * self.left.width()
+        null_right = (None,) * self.right.width()
+        batch_size = ctx.batch_size
+
+        build, right_rows, right_matched = self._spool_build_side(ctx)
+        build_get = build.get
+        preserve_left = join_type in ("left", "full")
+
+        for chunk in self.left.run_batches(ctx):
+            keys = self._batch_key_rows(
+                [kernel(chunk, ctx) for kernel in self.batch_left_keys]
+            )
+            out: list[Row] = []
+            append = out.append
+            for left_row, key in zip(chunk.rows(), keys):
+                matched = False
+                if key is not None:
+                    bucket = build_get(key)
+                    if bucket is not None:
+                        for index in bucket:
+                            combined = left_row + right_rows[index]
+                            if residual(combined, ctx) is True:
+                                matched = True
+                                if right_matched is not None:
+                                    right_matched[index] = 1
+                                append(combined)
+                if not matched and preserve_left:
+                    append(left_row + null_right)
+            if out:
+                yield from chunk_rows(out, width, batch_size)
+        if right_matched is not None:
+            leftovers = [
+                null_left + right_rows[index]
+                for index in range(len(right_rows))
+                if not right_matched[index]
+            ]
+            if leftovers:
+                yield from chunk_rows(leftovers, width, batch_size)
+
 
 class HashAggregate(PlanNode):
     """Grouped aggregation.
@@ -442,11 +885,15 @@ class HashAggregate(PlanNode):
         output_names: list[str],
         arg_slots: Optional[list[Optional[int]]] = None,
         unique_args: Optional[list[Scalar]] = None,
+        batch_group_exprs: Optional[list[BatchExpr]] = None,
+        batch_unique_args: Optional[list[BatchExpr]] = None,
     ) -> None:
         self.child = child
         self.group_exprs = group_exprs
         self.agg_factories = agg_factories
         self.agg_arg_exprs = agg_arg_exprs
+        self.batch_group_exprs = batch_group_exprs
+        self.batch_unique_args = batch_unique_args
         # Argument-evaluation sharing (``sum(x)`` + ``avg(x)`` read one
         # evaluation of ``x`` per row): ``unique_args`` are the distinct
         # compiled argument expressions, ``arg_slots[i]`` the index each
@@ -510,6 +957,92 @@ class HashAggregate(PlanNode):
         for key in order:
             yield key + tuple(state.result() for state in groups[key])
 
+    # -- batch protocol -----------------------------------------------------
+
+    def run_batches(self, ctx: ExecContext) -> Iterator[Chunk]:
+        if self.batch_group_exprs is None or self.batch_unique_args is None:
+            yield from PlanNode.run_batches(self, ctx)
+            return
+        factories = self.agg_factories
+        arg_slots = self.arg_slots
+        group_kernels = self.batch_group_exprs
+        arg_kernels = self.batch_unique_args
+        state_slots = list(zip(range(len(factories)), arg_slots))
+        groups: dict[tuple, list[AggState]] = {}
+        groups_get = groups.get
+        order: list[tuple] = []
+
+        grand_states: Optional[list[AggState]] = None
+        for chunk in self.child.run_batches(ctx):
+            n = len(chunk)
+            if n == 0:
+                continue
+            arg_columns = [kernel(chunk, ctx) for kernel in arg_kernels]
+            if not group_kernels:
+                # Grand aggregate: every aggregate consumes whole column
+                # slices (C-level folds in the hot accumulators).
+                if grand_states is None:
+                    grand_states = [factory() for factory in factories]
+                for index, slot in state_slots:
+                    if slot is None:
+                        grand_states[index].add_count(n)
+                    else:
+                        grand_states[index].add_many(arg_columns[slot])
+                continue
+            group_columns = [kernel(chunk, ctx) for kernel in group_kernels]
+            if len(group_columns) == 1:
+                keys: Sequence[tuple] = [(v,) for v in group_columns[0]]
+            else:
+                keys = list(zip(*group_columns))
+            # Two-pass: partition the chunk's row positions by key, then
+            # feed each group's slice of every argument column at once.
+            partitions: dict[tuple, list[int]] = {}
+            partitions_get = partitions.get
+            for position, key in enumerate(keys):
+                bucket = partitions_get(key)
+                if bucket is None:
+                    partitions[key] = [position]
+                else:
+                    bucket.append(position)
+            for key, positions in partitions.items():
+                states = groups_get(key)
+                if states is None:
+                    states = [factory() for factory in factories]
+                    groups[key] = states
+                    order.append(key)
+                count = len(positions)
+                # Gather each unique argument slot once per group; every
+                # aggregate reading that slot (sum(x) + avg(x)) shares
+                # the slice, mirroring the row engine's arg sharing.
+                gathered: dict[int, list] = {}
+                for index, slot in state_slots:
+                    if slot is None:
+                        states[index].add_count(count)
+                        continue
+                    values = gathered.get(slot)
+                    if values is None:
+                        column = arg_columns[slot]
+                        values = [column[i] for i in positions]
+                        gathered[slot] = values
+                    states[index].add_many(values)
+
+        width = self.width()
+        if grand_states is not None:
+            yield Chunk.from_rows(
+                [tuple(state.result() for state in grand_states)], width
+            )
+            return
+        if not groups and not self.group_exprs:
+            states = [factory() for factory in factories]
+            yield Chunk.from_rows(
+                [tuple(state.result() for state in states)], width
+            )
+            return
+        out = [
+            key + tuple(state.result() for state in groups[key]) for key in order
+        ]
+        yield from chunk_rows(out, width, ctx.batch_size)
+
 
 class SortNode(PlanNode):
     """Sort on output slots.  ``specs``: (slot, descending, nulls_first)."""
@@ -524,14 +1057,22 @@ class SortNode(PlanNode):
         return [self.child]
 
     def run(self, ctx: ExecContext) -> Iterator[Row]:
-        rows = list(self.child.run(ctx))
+        yield from self._sorted_rows(list(self.child.run(ctx)))
+
+    def run_batches(self, ctx: ExecContext) -> Iterator[Chunk]:
+        rows = [
+            row for chunk in self.child.run_batches(ctx) for row in chunk.rows()
+        ]
+        yield from chunk_rows(self._sorted_rows(rows), self.width(), ctx.batch_size)
+
+    def _sorted_rows(self, rows: list[Row]) -> list[Row]:
         # Stable sort from the last key to the first gives multi-key order.
         for slot, descending, nulls_first in reversed(self.specs):
             rows.sort(
                 key=self._make_key(slot, descending, nulls_first),
                 reverse=descending,
             )
-        yield from rows
+        return rows
 
     @staticmethod
     def _make_key(slot: int, descending: bool, nulls_first: Optional[bool]):
@@ -577,6 +1118,28 @@ class LimitNode(PlanNode):
             emitted += 1
             yield row
 
+    def run_batches(self, ctx: ExecContext) -> Iterator[Chunk]:
+        to_skip = self.offset
+        remaining = self.count
+        for chunk in self.child.run_batches(ctx):
+            n = len(chunk)
+            if to_skip:
+                if n <= to_skip:
+                    to_skip -= n
+                    continue
+                chunk = chunk.slice(to_skip, None)
+                n = len(chunk)
+                to_skip = 0
+            if remaining is not None:
+                if remaining <= 0:
+                    return
+                if n > remaining:
+                    chunk = chunk.slice(0, remaining)
+                    n = remaining
+                remaining -= n
+            if n:
+                yield chunk
+
 
 class DistinctNode(PlanNode):
     def __init__(self, child: PlanNode) -> None:
@@ -593,6 +1156,20 @@ class DistinctNode(PlanNode):
             if row not in seen:
                 seen.add(row)
                 yield row
+
+    def run_batches(self, ctx: ExecContext) -> Iterator[Chunk]:
+        seen: set = set()
+        add = seen.add
+        width = self.width()
+        for chunk in self.child.run_batches(ctx):
+            fresh: list[Row] = []
+            append = fresh.append
+            for row in chunk.rows():
+                if row not in seen:
+                    add(row)
+                    append(row)
+            if fresh:
+                yield Chunk.from_rows(fresh, width)
 
 
 class SetOpPlanNode(PlanNode):
@@ -666,20 +1243,116 @@ class SetOpPlanNode(PlanNode):
             return
         raise ExecutionError(f"unknown set operation {self.op!r}")
 
+    def run_batches(self, ctx: ExecContext) -> Iterator[Chunk]:
+        width = self.width()
+        if self.op == "union":
+            if self.all:
+                yield from self.left.run_batches(ctx)
+                yield from self.right.run_batches(ctx)
+                return
+            seen: set = set()
+            add = seen.add
+            for source in (self.left, self.right):
+                for chunk in source.run_batches(ctx):
+                    fresh: list[Row] = []
+                    for row in chunk.rows():
+                        if row not in seen:
+                            add(row)
+                            fresh.append(row)
+                    if fresh:
+                        yield Chunk.from_rows(fresh, width)
+            return
+        right_counts = Counter(
+            row for chunk in self.right.run_batches(ctx) for row in chunk.rows()
+        )
+        if self.op == "intersect":
+            if self.all:
+                remaining = dict(right_counts)
+                for chunk in self.left.run_batches(ctx):
+                    out: list[Row] = []
+                    for row in chunk.rows():
+                        count = remaining.get(row, 0)
+                        if count > 0:
+                            remaining[row] = count - 1
+                            out.append(row)
+                    if out:
+                        yield Chunk.from_rows(out, width)
+                return
+            emitted: set = set()
+            for chunk in self.left.run_batches(ctx):
+                out = []
+                for row in chunk.rows():
+                    if row in right_counts and row not in emitted:
+                        emitted.add(row)
+                        out.append(row)
+                if out:
+                    yield Chunk.from_rows(out, width)
+            return
+        if self.op == "except":
+            if self.all:
+                remaining = dict(right_counts)
+                for chunk in self.left.run_batches(ctx):
+                    out = []
+                    for row in chunk.rows():
+                        count = remaining.get(row, 0)
+                        if count > 0:
+                            remaining[row] = count - 1
+                            continue
+                        out.append(row)
+                    if out:
+                        yield Chunk.from_rows(out, width)
+                return
+            emitted = set()
+            for chunk in self.left.run_batches(ctx):
+                out = []
+                for row in chunk.rows():
+                    if row not in right_counts and row not in emitted:
+                        emitted.add(row)
+                        out.append(row)
+                if out:
+                    yield Chunk.from_rows(out, width)
+            return
+        raise ExecutionError(f"unknown set operation {self.op!r}")
+
 
 class MaterializeNode(PlanNode):
-    """Caches child output; used when a subplan is executed repeatedly."""
+    """Caches child output; used when a subplan is executed repeatedly.
+
+    The spool lives in ``ctx.caches`` (keyed by the node), not on the
+    plan object: within one execution every consumer shares one
+    materialization, while a prepared plan re-run on a fresh context
+    re-reads live table data.
+    """
 
     def __init__(self, child: PlanNode) -> None:
         self.child = child
         self.output_names = list(child.output_names)
         self.estimate = child.estimate
-        self._cache: Optional[list[Row]] = None
 
     def children(self) -> list[PlanNode]:
         return [self.child]
 
     def run(self, ctx: ExecContext) -> Iterator[Row]:
-        if self._cache is None:
-            self._cache = list(self.child.run(ctx))
-        return iter(self._cache)
+        cache = ctx.caches.get(self)
+        if cache is None:
+            chunks = ctx.caches.get((self, "chunks"))
+            if chunks is not None:
+                # A batched consumer already spooled the child; reuse it.
+                cache = [row for chunk in chunks for row in chunk.rows()]
+            else:
+                cache = list(self.child.run(ctx))
+            ctx.caches[self] = cache
+        return iter(cache)
+
+    def run_batches(self, ctx: ExecContext) -> Iterator[Chunk]:
+        chunks = ctx.caches.get((self, "chunks"))
+        if chunks is None:
+            rows = ctx.caches.get(self)
+            if rows is not None:
+                chunks = list(chunk_rows(rows, self.width(), ctx.batch_size))
+            else:
+                chunks = [
+                    chunk.compact() for chunk in self.child.run_batches(ctx)
+                ]
+            ctx.caches[(self, "chunks")] = chunks
+        return iter(chunks)

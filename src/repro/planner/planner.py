@@ -65,6 +65,11 @@ def _slot_reader(slot: int):
     return lambda row, ctx: row[slot]
 
 
+def _slot_column(slot: int):
+    """The batch-mode twin of :func:`_slot_reader`: one chunk column."""
+    return lambda chunk, ctx: chunk.column(slot)
+
+
 def _conjoin_predicates(first, second):
     """Combine two compiled predicates into one three-valued AND.
 
@@ -159,10 +164,18 @@ class Planner:
         catalog: Catalog,
         outer_varmaps: Optional[list[VarMap]] = None,
         shared: Optional[_SharedSubplans] = None,
+        vectorize: bool = False,
     ) -> None:
         self.catalog = catalog
         self.outer_varmaps = list(outer_varmaps or [])
         self.shared = shared if shared is not None else _SharedSubplans()
+        # When set, every expression is additionally compiled to a batch
+        # kernel and attached to the plan nodes, enabling the vectorized
+        # ``run_batches`` protocol on the whole tree.  Subtrees whose
+        # expressions resist vectorization degrade per-expression (the
+        # kernel falls back to the row closure internally) or per-node
+        # (conditional nested loops bridge to the row protocol).
+        self.vectorize = vectorize
 
     # -- public API -----------------------------------------------------------
 
@@ -203,22 +216,75 @@ class Planner:
     def _plan_sublink(self, query: Query, outer_varmaps: list[VarMap]) -> PlanNode:
         if query.share_candidate:
             return self._plan_shared_subquery(query)
-        return Planner(self.catalog, outer_varmaps, self.shared).plan(query)
+        return Planner(
+            self.catalog, outer_varmaps, self.shared, vectorize=self.vectorize
+        ).plan(query)
+
+    def _sub_planner(self) -> "Planner":
+        """A child planner for closed subqueries (no enclosing layouts)."""
+        return Planner(self.catalog, shared=self.shared, vectorize=self.vectorize)
 
     def _plan_shared_subquery(self, query: Query) -> PlanNode:
         """Plan a closed subquery; optimizer-marked duplicates share one
         materialized plan (``share_candidate`` implies the query is
         closed and occurs structurally repeated in the statement)."""
         if not query.share_candidate:
-            return Planner(self.catalog, shared=self.shared).plan(query)
+            return self._sub_planner().plan(query)
         cached = self.shared.lookup(query)
         if cached is not None:
             return cached
-        plan = Planner(self.catalog, shared=self.shared).plan(query)
+        plan = self._sub_planner().plan(query)
         return self.shared.remember(query, plan)
 
     def _compiler(self, varmap: VarMap) -> ExprCompiler:
         return ExprCompiler(varmap, self.outer_varmaps, plan_subquery=self._plan_sublink)
+
+    # -- batch-kernel compilation helpers --------------------------------------
+
+    def _batch_compile(self, compiler: ExprCompiler, expr: ex.Expr):
+        """The expression's batch kernel, or None when not vectorizing."""
+        return compiler.compile_batch(expr) if self.vectorize else None
+
+    def _batch_compile_all(
+        self, compiler: ExprCompiler, exprs: list[ex.Expr]
+    ) -> Optional[list]:
+        if not self.vectorize:
+            return None
+        return [compiler.compile_batch(e) for e in exprs]
+
+    def _batch_target_exprs(
+        self,
+        compiler: ExprCompiler,
+        exprs: list[ex.Expr],
+        slots: list[Optional[int]],
+    ) -> Optional[list]:
+        """Projection kernels; slot-covered positions pass through as None."""
+        if not self.vectorize:
+            return None
+        return [
+            None if slot is not None else compiler.compile_batch(expr)
+            for expr, slot in zip(exprs, slots)
+        ]
+
+    def _filter_node(
+        self, plan: PlanNode, compiler: ExprCompiler, conjunct: ex.Expr
+    ) -> FilterNode:
+        """A FilterNode with both row and (when vectorizing) batch forms."""
+        batch = self._batch_compile(compiler, conjunct)
+        return FilterNode(
+            plan,
+            compiler.compile(conjunct),
+            [batch] if batch is not None else None,
+        )
+
+    def _push_conjunct(self, unit: "_Unit", conjunct: ex.Expr) -> None:
+        """Compile a conjunct against a unit's layout and push it down."""
+        compiler = self._compiler(unit.varmap)
+        self._push_filter(
+            unit,
+            compiler.compile(conjunct),
+            self._batch_compile(compiler, conjunct),
+        )
 
     # -- RTE plans ------------------------------------------------------------------
 
@@ -271,13 +337,17 @@ class Planner:
         names = [t.name for t in query.target_list]
         slots = self._var_only_slots(target_exprs, varmap)
         if slots is not None:
-            plan = SliceNode(plan, slots, names)
+            plan = _make_slice(plan, slots, names)
         else:
             compiler = self._compiler(varmap)
             exprs = [compiler.compile(e) for e in target_exprs]
+            slot_hints = self._slot_hints(target_exprs, varmap)
             plan = ProjectNode(
                 plan, exprs, names,
-                slots=self._slot_hints(target_exprs, varmap),
+                slots=slot_hints,
+                batch_exprs=self._batch_target_exprs(
+                    compiler, target_exprs, slot_hints
+                ),
             )
         if query.distinct and not skip_distinct:
             plan = DistinctNode(plan)
@@ -342,8 +412,11 @@ class Planner:
             base: PlanNode = OneRow()
             unit = _Unit(base, {}, set())
             for conjunct in conjuncts:
-                predicate = self._compiler({}).compile(conjunct)
-                unit = _Unit(FilterNode(unit.plan, predicate), {}, set())
+                unit = _Unit(
+                    self._filter_node(unit.plan, self._compiler({}), conjunct),
+                    {},
+                    set(),
+                )
             return unit
 
         # Classify conjuncts: single-unit filters are pushed down
@@ -363,8 +436,7 @@ class Planner:
             owners = {self._unit_of(units, var.varno) for var in vars_used}
             if len(owners) == 1:
                 unit = owners.pop()
-                predicate = self._compiler(unit.varmap).compile(conjunct)
-                self._push_filter(unit, predicate)
+                self._push_conjunct(unit, conjunct)
             elif ex.contains_sublink(conjunct) or len(owners) == 0:
                 late.append(conjunct)
             else:
@@ -372,30 +444,54 @@ class Planner:
 
         joined = self._greedy_join(units, join_pool)
         for conjunct in late:
-            predicate = self._compiler(joined.varmap).compile(conjunct)
-            joined.plan = FilterNode(joined.plan, predicate)
+            joined.plan = self._filter_node(
+                joined.plan, self._compiler(joined.varmap), conjunct
+            )
         return joined
 
     @staticmethod
-    def _push_filter(unit: _Unit, predicate) -> None:
+    def _push_filter(unit: _Unit, predicate, batch_predicate=None) -> None:
         """Attach a single-unit filter, merging into an existing scan
         predicate or filter node — conjuncts arrive one at a time and a
-        stack of generator frames costs more than one combined check."""
+        stack of generator frames costs more than one combined check.
+
+        Batch kernels accumulate as a list (applied in order over
+        selection vectors); a conjunct without a batch form poisons the
+        node's batch predicate so execution falls back to the row bridge
+        rather than silently dropping the conjunct.
+        """
         from repro.executor.nodes import SeqScan
 
         plan = unit.plan
         if isinstance(plan, SeqScan):
-            if plan.predicate is None:
+            had_predicate = plan.predicate is not None
+            if not had_predicate:
                 plan.predicate = predicate
             else:
                 plan.predicate = _conjoin_predicates(plan.predicate, predicate)
+            if batch_predicate is None:
+                plan.batch_predicates = None
+            elif had_predicate and plan.batch_predicates is None:
+                pass  # earlier row-only conjunct already poisoned batch mode
+            else:
+                if plan.batch_predicates is None:
+                    plan.batch_predicates = []
+                plan.batch_predicates.append(batch_predicate)
             plan.estimate = max(plan.estimate * 0.25, 1.0)
             return
         if isinstance(plan, FilterNode):
             plan.predicate = _conjoin_predicates(plan.predicate, predicate)
+            if batch_predicate is None or plan.batch_predicates is None:
+                plan.batch_predicates = None
+            else:
+                plan.batch_predicates.append(batch_predicate)
             plan.estimate = max(plan.estimate * 0.25, 1.0)
             return
-        unit.plan = FilterNode(plan, predicate)
+        unit.plan = FilterNode(
+            plan,
+            predicate,
+            [batch_predicate] if batch_predicate is not None else None,
+        )
 
     @staticmethod
     def _unit_of(units: list[_Unit], rtindex: int) -> _Unit:
@@ -470,7 +566,7 @@ class Planner:
         prov = query.range_table[prov_index].subquery
         assert agg is not None and prov is not None
 
-        inner = Planner(self.catalog, shared=self.shared)
+        inner = self._sub_planner()
         core = inner._plan_from_where(prov)
         mat = MaterializeNode(core.plan)
 
@@ -486,11 +582,15 @@ class Planner:
             b_slots = slots
         else:
             compiler = inner._compiler(core.varmap)
+            slot_hints = self._slot_hints(target_exprs, core.varmap)
             left = ProjectNode(
                 mat,
                 [compiler.compile(e) for e in target_exprs],
                 names,
-                slots=self._slot_hints(target_exprs, core.varmap),
+                slots=slot_hints,
+                batch_exprs=self._batch_target_exprs(
+                    compiler, target_exprs, slot_hints
+                ),
             )
             b_slots = list(range(len(target_exprs)))
 
@@ -502,7 +602,7 @@ class Planner:
         if agg.share_candidate:
             agg_plan = self.shared.lookup(agg)
         if agg_plan is None:
-            agg_plan = Planner(self.catalog, shared=self.shared).plan(
+            agg_plan = self._sub_planner().plan(
                 agg, joined=_Unit(mat, dict(core.varmap), set(core.rtindexes))
             )
             if agg.share_candidate:
@@ -519,6 +619,16 @@ class Planner:
                 right_keys,
                 None,
                 [True] * len(positions),
+                batch_left_keys=(
+                    [_slot_column(b_slots[i]) for i in range(len(positions))]
+                    if self.vectorize
+                    else None
+                ),
+                batch_right_keys=(
+                    [_slot_column(p) for p in positions]
+                    if self.vectorize
+                    else None
+                ),
             )
         else:
             # Grand aggregate: a single aggregate row attaches to every
@@ -560,13 +670,14 @@ class Planner:
             owners = {self._unit_of(units, var.varno) for var in vars_used}
             if len(owners) == 1:
                 unit = owners.pop()
-                self._push_filter(unit, self._compiler(unit.varmap).compile(conjunct))
+                self._push_conjunct(unit, conjunct)
             else:
                 pool.append(conjunct)
         joined = self._greedy_join(units, pool)
         for conjunct in late:
-            predicate = self._compiler(joined.varmap).compile(conjunct)
-            joined.plan = FilterNode(joined.plan, predicate)
+            joined.plan = self._filter_node(
+                joined.plan, self._compiler(joined.varmap), conjunct
+            )
         return joined
 
     def _plan_outer_join(
@@ -624,10 +735,7 @@ class Planner:
                     and not ex.contains_sublink(conjunct)
                     and all(v.varno in nullable.rtindexes for v in vars_used)
                 ):
-                    self._push_filter(
-                        nullable,
-                        self._compiler(nullable.varmap).compile(conjunct),
-                    )
+                    self._push_conjunct(nullable, conjunct)
                 else:
                     kept.append(conjunct)
             condition_conjuncts = kept
@@ -649,6 +757,14 @@ class Planner:
         join_type: str,
         conjuncts: list[ex.Expr],
     ) -> PlanNode:
+        # ``ON TRUE`` (the rewriter's unconditional join marker) adds
+        # nothing: dropping it turns the join into the condition-free
+        # nested loop, which has the cheap vectorized cross-product path.
+        conjuncts = [
+            c
+            for c in conjuncts
+            if not (isinstance(c, ex.Const) and c.value is True)
+        ]
         left_keys, right_keys, null_safe, residual = extract_equi_keys(
             conjuncts, left, right
         )
@@ -667,9 +783,28 @@ class Planner:
                 [right_compiler.compile(k) for k in right_keys],
                 residual_fn,
                 null_safe,
+                batch_left_keys=self._batch_compile_all(left_compiler, left_keys),
+                batch_right_keys=self._batch_compile_all(
+                    right_compiler, right_keys
+                ),
+                batch_residual=(
+                    self._batch_compile(compiler, conjoin(residual))
+                    if residual
+                    else None
+                ),
             )
         condition_fn = compiler.compile(conjoin(conjuncts)) if conjuncts else None
-        return NestedLoopJoin(left.plan, right.plan, join_type, condition_fn)
+        return NestedLoopJoin(
+            left.plan,
+            right.plan,
+            join_type,
+            condition_fn,
+            batch_condition=(
+                self._batch_compile(compiler, conjoin(conjuncts))
+                if conjuncts
+                else None
+            ),
+        )
 
     def _greedy_join(self, units: list[_Unit], pool: list[ex.Expr]) -> _Unit:
         """Left-deep greedy join ordering over inner-join units."""
@@ -710,8 +845,9 @@ class Planner:
             current = _Unit(plan, merged_map, combined_rts)
         for conjunct in pool:
             # Conjuncts referencing no vars (constants) or left over.
-            predicate = self._compiler(current.varmap).compile(conjunct)
-            current.plan = FilterNode(current.plan, predicate)
+            current.plan = self._filter_node(
+                current.plan, self._compiler(current.varmap), conjunct
+            )
         return current
 
     @staticmethod
@@ -779,6 +915,12 @@ class Planner:
             output_names,
             arg_slots=arg_slots,
             unique_args=unique_arg_fns,
+            batch_group_exprs=self._batch_compile_all(
+                input_compiler, list(query.group_clause)
+            ),
+            batch_unique_args=self._batch_compile_all(
+                input_compiler, unique_arg_exprs
+            ),
         )
         post_varmap: VarMap = {
             (_POST_AGG_VARNO, slot): slot for slot in range(group_count + len(aggrefs))
@@ -811,8 +953,9 @@ class Planner:
 
         target_exprs = [replace(t.expr) for t in query.target_list]
         if query.having is not None:
-            having_fn = self._compiler(post_varmap).compile(replace(query.having))
-            agg_plan = FilterNode(agg_plan, having_fn)
+            agg_plan = self._filter_node(
+                agg_plan, self._compiler(post_varmap), replace(query.having)
+            )
         return agg_plan, post_varmap, target_exprs
 
     # -- set operations ---------------------------------------------------------------------
@@ -829,9 +972,12 @@ class Planner:
             # the set-operation node (no extra level), so the enclosing
             # layouts pass through unchanged — a correlated sublink whose
             # body is a set operation reads the same outer-row stack.
-            return Planner(self.catalog, self.outer_varmaps, self.shared).plan(
-                rte.subquery
-            )
+            return Planner(
+                self.catalog,
+                self.outer_varmaps,
+                self.shared,
+                vectorize=self.vectorize,
+            ).plan(rte.subquery)
         left = self._plan_setop_tree(node.left, query)
         right = self._plan_setop_tree(node.right, query)
         return SetOpPlanNode(node.op, node.all, left, right)
@@ -873,7 +1019,48 @@ class Planner:
             return plan
         keep = [i for i, t in enumerate(query.target_list) if not t.resjunk]
         names = [query.target_list[i].name for i in keep]
-        return SliceNode(plan, keep, names)
+        return _make_slice(plan, keep, names)
+
+
+def _make_slice(plan: PlanNode, keep: list[int], names: list[str]) -> PlanNode:
+    """A SliceNode, pushed through unconditional nested loops.
+
+    Slicing commutes with a condition-free cross product (the output is
+    left columns followed by right columns) as long as the requested
+    order keeps the sides contiguous, so the rearrangement runs on the
+    operands — typically orders of magnitude fewer rows than the
+    product.
+    """
+    from repro.executor.nodes import NestedLoopJoin
+
+    left_width = plan.left.width() if isinstance(plan, NestedLoopJoin) else 0
+    if (
+        isinstance(plan, NestedLoopJoin)
+        and plan.condition is None
+        # Every left-side slot must precede every right-side slot.
+        and all(
+            not (a >= left_width and b < left_width)
+            for a, b in zip(keep, keep[1:])
+        )
+    ):
+        keep_left = [i for i in keep if i < left_width]
+        keep_right = [i - left_width for i in keep if i >= left_width]
+        left = plan.left
+        right = plan.right
+        if keep_left != list(range(left_width)):
+            left = _make_slice(
+                left, keep_left, [plan.left.output_names[i] for i in keep_left]
+            )
+        if keep_right != list(range(plan.right.width())):
+            right = _make_slice(
+                right,
+                keep_right,
+                [plan.right.output_names[i] for i in keep_right],
+            )
+        pushed = NestedLoopJoin(left, right, plan.join_type, None)
+        pushed.output_names = list(names)
+        return pushed
+    return SliceNode(plan, keep, names)
 
 
 # ---------------------------------------------------------------------------

@@ -82,6 +82,23 @@ class Polynomial:
             terms[monomial] = terms.get(monomial, 0) + coefficient
         return Polynomial(terms)
 
+    @classmethod
+    def sum_all(cls, polynomials: Iterable["Polynomial"]) -> "Polynomial":
+        """The semiring sum of many polynomials in one normalization pass.
+
+        Equivalent to folding ``+`` (addition is associative and
+        commutative, and the result is canonical either way) but O(total
+        terms) instead of re-normalizing the growing partial sum at every
+        step — the accumulation pattern of the vectorized
+        ``perm_poly_sum`` aggregate over a whole column.
+        """
+        terms: dict[Monomial, int] = {}
+        get = terms.get
+        for polynomial in polynomials:
+            for monomial, coefficient in polynomial._terms:
+                terms[monomial] = get(monomial, 0) + coefficient
+        return cls(terms)
+
     def __mul__(self, other: "Polynomial") -> "Polynomial":
         if not isinstance(other, Polynomial):
             return NotImplemented

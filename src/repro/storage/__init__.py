@@ -1,6 +1,8 @@
-"""In-memory storage: bag-semantics relations and heap tables."""
+"""In-memory storage: bag-semantics relations, heap tables, and the
+columnar chunks the vectorized executor scans them as."""
 
+from repro.storage.chunk import DEFAULT_BATCH_SIZE, Chunk, chunk_rows
 from repro.storage.relation import Relation
 from repro.storage.table import Table
 
-__all__ = ["Relation", "Table"]
+__all__ = ["Chunk", "DEFAULT_BATCH_SIZE", "Relation", "Table", "chunk_rows"]

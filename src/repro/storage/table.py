@@ -13,6 +13,7 @@ from typing import Any, Iterable, Iterator, Sequence
 
 from repro.catalog.schema import TableSchema
 from repro.errors import ExecutionError
+from repro.storage.chunk import DEFAULT_BATCH_SIZE, Chunk
 from repro.storage.relation import Relation
 
 
@@ -37,6 +38,12 @@ class Table:
         self._rows: list[tuple] = []
         self.uid = next(_UID_COUNTER)
         self.epoch = 0
+        # Columnar view of the heap for vectorized scans, rebuilt lazily
+        # whenever the (epoch, row count) it was derived from goes stale.
+        # The epoch matters: truncate() + reinserting the same number of
+        # rows must not serve the pre-truncate columns.
+        self._columns: list[list] | None = None
+        self._columns_state: tuple[int, int] = (-1, -1)
         if rows is not None:
             self.insert_many(rows)
 
@@ -72,6 +79,62 @@ class Table:
     def scan(self) -> Iterator[tuple]:
         """Iterate the stored rows (the executor's SeqScan source)."""
         return iter(self._rows)
+
+    def columnar(self) -> list[list]:
+        """The heap transposed to per-attribute columns, cached.
+
+        Within one epoch the row list only grows, so the cache is valid
+        exactly when it was built from the current (epoch, row count);
+        otherwise it is rebuilt with one C-level transpose.
+        """
+        state = (self.epoch, len(self._rows))
+        if self._columns is None or self._columns_state != state:
+            width = len(self.schema.columns)
+            if not self._rows:
+                self._columns = [[] for _ in range(width)]
+            else:
+                self._columns = [list(col) for col in zip(*self._rows)]
+            self._columns_state = state
+        return self._columns
+
+    def scan_chunks(
+        self,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+        columns: list[int] | None = None,
+    ) -> Iterator[Chunk]:
+        """Scan the heap as columnar chunks (the vectorized SeqScan source).
+
+        ``columns`` (when given) narrows to the listed attribute numbers in
+        output order.  When the whole table fits one batch the cached
+        column lists are handed out directly — consumers never mutate
+        chunk columns, so the hot path copies nothing.
+        """
+        total = len(self._rows)
+        if total == 0:
+            return
+        data = self.columnar()
+        narrow = columns is not None
+        if narrow:
+            data = [data[i] for i in columns]
+        if total <= batch_size:
+            # Full-width single chunks also share the heap's row list:
+            # a downstream consumer that needs row tuples (a hash-join
+            # spool) then gathers original rows instead of transposing.
+            yield Chunk(
+                columns=data,
+                nrows=total,
+                width=len(data),
+                phys_rows=None if narrow else self._rows,
+            )
+            return
+        for start in range(0, total, batch_size):
+            stop = min(start + batch_size, total)
+            yield Chunk(
+                columns=[col[start:stop] for col in data],
+                nrows=stop - start,
+                width=len(data),
+                phys_rows=None if narrow else self._rows[start:stop],
+            )
 
     def raw_rows(self) -> list[tuple]:
         """Direct access to the row list; used by scans for speed."""

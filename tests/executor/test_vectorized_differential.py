@@ -1,0 +1,201 @@
+"""Differential suite: vectorized engine ≡ row engine.
+
+The batch executor must be semantically invisible: every query returns
+the same result multiset (float summation tolerance aside — partial
+sums regroup across chunks) with ``vectorize=True`` and
+``vectorize=False``.  Checked over the paper's shop/sales/items
+examples, the TPC-H SF-tiny workload (normal, provenance and
+polynomial-provenance forms), and hypothesis-generated queries covering
+every operator shape.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+import repro
+from repro.tpch.dbgen import tpch_database
+from repro.tpch.qgen import generate_query
+from repro.tpch.queries import SUPPORTED_QUERIES
+
+from tests.backends.support import assert_same_result
+
+_EXAMPLE_SETUP = (
+    "CREATE TABLE shop (name text, numempl integer)",
+    "CREATE TABLE sales (sname text, itemid integer)",
+    "CREATE TABLE items (id integer, price integer)",
+    "INSERT INTO shop VALUES ('Merdies', 3), ('Joba', 14)",
+    "INSERT INTO sales VALUES ('Merdies', 1), ('Merdies', 2), "
+    "('Merdies', 2), ('Joba', 3), ('Joba', 3)",
+    "INSERT INTO items VALUES (1, 100), (2, 10), (3, 25)",
+)
+
+# The paper's running examples plus shapes exercising every batch node:
+# filtered scans, joins (hash + nested loop, outer), aggregation (grand
+# and grouped, HAVING), DISTINCT, set operations, sorting with NULLs,
+# LIMIT/OFFSET, sublinks (scalar/EXISTS/IN, correlated), CASE and LIKE.
+_EXAMPLE_QUERIES = (
+    "SELECT PROVENANCE name FROM shop WHERE numempl < 10",
+    "SELECT PROVENANCE name, sum(price) FROM shop, sales, items "
+    "WHERE name = sname AND itemid = id GROUP BY name",
+    "SELECT PROVENANCE name FROM shop WHERE name IN (SELECT sname FROM sales)",
+    "SELECT PROVENANCE sname FROM sales UNION SELECT name FROM shop",
+    "SELECT PROVENANCE * FROM (SELECT sname AS n, itemid FROM sales "
+    "WHERE itemid > 1) AS sub",
+    "SELECT PROVENANCE name, (SELECT max(price) FROM items) FROM shop",
+    "SELECT PROVENANCE (polynomial) name FROM shop WHERE numempl < 10",
+    "SELECT PROVENANCE (polynomial) sname, count(*) FROM sales GROUP BY sname",
+    "SELECT name, total FROM shop, (SELECT sname, count(*) AS total "
+    "FROM sales GROUP BY sname) AS agg WHERE name = sname AND total > 1",
+    "SELECT DISTINCT sname FROM sales ORDER BY itemid",
+    "SELECT name FROM shop LEFT JOIN sales ON name = sname AND itemid > 2",
+    "SELECT sname FROM sales INTERSECT SELECT name FROM shop",
+    "SELECT sname FROM sales EXCEPT ALL SELECT sname FROM sales WHERE itemid = 2",
+    "SELECT CASE WHEN numempl < 10 THEN 'small' ELSE 'big' END FROM shop",
+    "SELECT name FROM shop WHERE name LIKE 'M%'",
+    "SELECT name FROM shop WHERE EXISTS "
+    "(SELECT 1 FROM sales WHERE sname = name AND itemid = 2)",
+    "SELECT sname, itemid FROM sales ORDER BY itemid DESC LIMIT 2 OFFSET 1",
+    "SELECT count(*), sum(itemid), min(sname), max(itemid), avg(itemid) FROM sales",
+    "SELECT sum(itemid) FROM sales WHERE itemid > 99",
+    "SELECT name, (SELECT count(*) FROM sales WHERE sname = name) FROM shop",
+)
+
+
+def _example_db(vectorize: bool) -> repro.PermDatabase:
+    db = repro.connect(vectorize=vectorize)
+    for statement in _EXAMPLE_SETUP:
+        db.execute(statement)
+    return db
+
+
+@pytest.mark.parametrize("sql", _EXAMPLE_QUERIES)
+def test_paper_examples_match(sql):
+    reference = _example_db(vectorize=False).execute(sql)
+    candidate = _example_db(vectorize=True).execute(sql)
+    assert_same_result(reference, candidate, context=f"vectorized: {sql!r}")
+
+
+# ---------------------------------------------------------------------------
+# TPC-H SF-tiny: normal, provenance, and polynomial forms
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def tpch_dbs():
+    databases = {}
+    for vectorize in (False, True):
+        db = tpch_database(scale_factor=0.001, seed=42)
+        db.vectorize_enabled = vectorize
+        databases[vectorize] = db
+    return databases
+
+
+def _compare(tpch_dbs, sql, tag):
+    reference = tpch_dbs[False].execute(sql)
+    candidate = tpch_dbs[True].execute(sql)
+    assert_same_result(reference, candidate, context=tag)
+    return reference, candidate
+
+
+@pytest.mark.parametrize("number", SUPPORTED_QUERIES)
+def test_tpch_normal_match(tpch_dbs, number):
+    sql = generate_query(number, seed=7)
+    _compare(tpch_dbs, sql, f"Q{number} normal")
+
+
+@pytest.mark.parametrize("number", SUPPORTED_QUERIES)
+def test_tpch_provenance_match(tpch_dbs, number):
+    sql = generate_query(number, seed=7, provenance=True)
+    _compare(tpch_dbs, sql, f"Q{number} provenance")
+
+
+@pytest.mark.parametrize("number", (1, 3, 6, 12))
+def test_tpch_polynomial_match(tpch_dbs, number):
+    sql = generate_query(number, seed=7, provenance=True).replace(
+        "SELECT PROVENANCE", "SELECT PROVENANCE (polynomial)", 1
+    )
+    reference, candidate = _compare(tpch_dbs, sql, f"Q{number} polynomial")
+    # Annotations are canonical N[X] polynomials: exact equality holds.
+    assert sorted(map(str, reference.annotations())) == sorted(
+        map(str, candidate.annotations())
+    )
+
+
+# ---------------------------------------------------------------------------
+# Hypothesis: random small databases × random query shapes
+# ---------------------------------------------------------------------------
+
+_SETTINGS = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+_value = st.integers(min_value=0, max_value=3)
+_rows_r = st.lists(st.tuples(_value, st.one_of(st.none(), _value)), max_size=6)
+_rows_s = st.lists(st.tuples(_value, _value), max_size=5)
+
+
+@st.composite
+def _queries(draw) -> str:
+    shape = draw(
+        st.sampled_from(
+            ["spj", "subquery", "agg", "setop", "sublink", "outer", "scalar"]
+        )
+    )
+    comparison = draw(st.sampled_from(["=", "<", ">", "<=", ">=", "<>"]))
+    constant = draw(_value)
+    provenance = draw(st.sampled_from(["", "PROVENANCE "]))
+    if shape == "spj":
+        return f"SELECT {provenance}k, v FROM r WHERE k {comparison} {constant}"
+    if shape == "subquery":
+        return (
+            f"SELECT {provenance}a, b FROM "
+            f"(SELECT k AS a, v AS b FROM r WHERE k {comparison} {constant}) "
+            "AS sub WHERE a IS NOT NULL"
+        )
+    if shape == "agg":
+        having = draw(st.sampled_from(["", " HAVING count(*) > 1"]))
+        return (
+            f"SELECT {provenance}k, sum(v), count(*) FROM r "
+            f"WHERE k {comparison} {constant} GROUP BY k{having}"
+        )
+    if shape == "setop":
+        op = draw(st.sampled_from(["UNION", "UNION ALL", "INTERSECT", "EXCEPT"]))
+        return (
+            f"SELECT {provenance}a FROM (SELECT k AS a FROM r {op} "
+            f"SELECT k2 FROM s) AS u WHERE a {comparison} {constant}"
+        )
+    if shape == "sublink":
+        negated = draw(st.sampled_from(["", "NOT "]))
+        return (
+            f"SELECT {provenance}k FROM r WHERE v IS NOT NULL AND "
+            f"k {negated}IN (SELECT k2 FROM s)"
+        )
+    if shape == "outer":
+        return (
+            f"SELECT {provenance}k, w FROM r LEFT JOIN "
+            f"(SELECT k2 AS j, w FROM s WHERE w {comparison} {constant}) "
+            "AS sub ON k = j"
+        )
+    return (
+        f"SELECT {provenance}k FROM r "
+        f"WHERE v {comparison} (SELECT max(w) FROM s)"
+    )
+
+
+@given(rows_r=_rows_r, rows_s=_rows_s, sql=_queries())
+@_SETTINGS
+def test_hypothesis_vectorized_equivalence(rows_r, rows_s, sql):
+    results = []
+    for vectorize in (False, True):
+        db = repro.connect(vectorize=vectorize)
+        db.execute("CREATE TABLE r (k integer, v integer)")
+        db.execute("CREATE TABLE s (k2 integer, w integer)")
+        db.load_table("r", rows_r)
+        db.load_table("s", rows_s)
+        results.append(db.execute(sql))
+    assert_same_result(results[0], results[1], context=sql)

@@ -117,3 +117,34 @@ def test_polynomial_provenance_command():
     assert result.returncode == 0
     assert "prov_polynomial" in result.stdout
     assert "shop(Merdies,3)" in result.stdout
+
+
+def test_no_vectorize_flag():
+    result = run_cli(
+        "--example", "--no-vectorize",
+        "-c", "SELECT PROVENANCE name FROM shop WHERE numempl < 10",
+    )
+    assert result.returncode == 0
+    assert "prov_shop_name" in result.stdout
+
+
+def test_interactive_vectorize_toggle_and_explain_analyze():
+    script = (
+        "\\vectorize off\n"
+        "SELECT name FROM shop;\n"
+        "\\vectorize on\n"
+        "\\explain+ SELECT PROVENANCE name FROM shop\n"
+        "\\q\n"
+    )
+    result = subprocess.run(
+        [sys.executable, "-m", "repro", "--example"],
+        input=script,
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert result.returncode == 0
+    assert "vectorized execution: off" in result.stdout
+    assert "vectorized execution: on" in result.stdout
+    assert "physical plan (analyzed, vectorized)" in result.stdout
+    assert "actual rows=" in result.stdout
