@@ -16,7 +16,9 @@ Inside the shell, end statements with ``;``.  Meta commands:
   every node with actual row/batch counts and wall time,
 * ``\\optimize [on|off]`` show or toggle the logical optimizer,
 * ``\\vectorize [on|off]`` show or toggle batch-at-a-time execution,
-* ``\\stats`` prepared-statement cache hit/miss counters,
+* ``\\costbased [on|off]`` show or toggle cost-based planning,
+* ``\\analyze [table]`` collect planner statistics (ANALYZE),
+* ``\\stats`` statement-cache counters + collected table statistics,
 * ``\\semirings`` list registered semirings and rewrite strategies,
 * ``\\backend [name]`` show or switch the execution backend
   (``python`` / ``sqlite``).
@@ -44,11 +46,13 @@ def _build_database(args: argparse.Namespace) -> repro.PermDatabase:
             db.set_backend(args.backend)
         db.optimizer_enabled = not args.no_optimize
         db.vectorize_enabled = not args.no_vectorize
+        db.cost_based_enabled = not args.no_cost_based
         return db
     db = repro.connect(
         backend=args.backend,
         optimize=not args.no_optimize,
         vectorize=not args.no_vectorize,
+        cost_based=not args.no_cost_based,
     )
     if args.example:
         db.execute("CREATE TABLE shop (name text, numempl integer)")
@@ -104,6 +108,21 @@ def _handle_meta(db: repro.PermDatabase, line: str) -> bool:
         state = "on" if db.vectorize_enabled else "off"
         print(f"vectorized execution: {state}")
         return True
+    if command == "\\costbased":
+        choice = rest.strip().lower()
+        if choice in ("on", "off"):
+            db.cost_based_enabled = choice == "on"
+        elif choice:
+            print("usage: \\costbased [on|off]")
+            return True
+        state = "on" if db.cost_based_enabled else "off"
+        print(f"cost-based planning: {state}")
+        return True
+    if command == "\\analyze":
+        result = db.analyze(rest.strip() or None)
+        for name, rows, columns in result.rows:
+            print(f"  analyzed {name}: {rows} rows, {columns} columns")
+        return True
     if command == "\\stats":
         stats = db.cache_stats()
         print(
@@ -112,6 +131,24 @@ def _handle_meta(db: repro.PermDatabase, line: str) -> bool:
             f"{stats['entries']}/{stats['capacity']} entries"
         )
         print(f"backend: {db.backend.describe()}")
+        analyzed = db.catalog.analyzed_tables()
+        if not analyzed:
+            print("table statistics: none collected (run \\analyze)")
+            return True
+        print("table statistics:")
+        for table_stats in analyzed:
+            widest = max(
+                table_stats.columns.values(),
+                key=lambda c: c.ndv,
+                default=None,
+            )
+            detail = (
+                f", max ndv {widest.ndv}" if widest is not None else ""
+            )
+            print(
+                f"  {table_stats.table_name}: {table_stats.row_count} rows, "
+                f"{len(table_stats.columns)} columns{detail}"
+            )
         return True
     if command == "\\backend":
         from repro.backends import backend_names
@@ -140,7 +177,8 @@ def _handle_meta(db: repro.PermDatabase, line: str) -> bool:
     print(
         "unknown meta command "
         f"{command!r} (\\q, \\d, \\rewrite, \\explain, \\explain+, "
-        "\\optimize, \\vectorize, \\stats, \\semirings, \\backend)"
+        "\\optimize, \\vectorize, \\costbased, \\analyze, \\stats, "
+        "\\semirings, \\backend)"
     )
     return True
 
@@ -164,6 +202,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--no-vectorize", action="store_true",
                         help="disable batch-at-a-time execution (run the "
                              "Python engine tuple-at-a-time)")
+    parser.add_argument("--no-cost-based", action="store_true",
+                        help="plan with the legacy heuristic join ordering "
+                             "instead of the statistics-driven cost model")
     args = parser.parse_args(argv)
 
     db = _build_database(args)
@@ -182,8 +223,8 @@ def main(argv: list[str] | None = None) -> int:
     print("Perm repro shell -- SELECT PROVENANCE ... to compute provenance.")
     print(
         "\\q quit, \\d relations, \\rewrite <q>, \\explain[+] <q>, "
-        "\\optimize [on|off], \\vectorize [on|off], \\stats, "
-        "\\semirings, \\backend [name]"
+        "\\optimize [on|off], \\vectorize [on|off], \\costbased [on|off], "
+        "\\analyze [table], \\stats, \\semirings, \\backend [name]"
     )
     buffer = ""
     while True:

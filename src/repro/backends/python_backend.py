@@ -10,6 +10,11 @@ kernels to the plan and the engine pulls columnar
 ``vectorize=False`` (or ``PermDatabase(vectorize=False)``) switches to
 the original tuple-at-a-time row engine — same plan shapes, same
 semantics, differentially tested against each other.
+
+Planning is **cost-based** by default: the statistics-driven
+:class:`~repro.planner.physical.CostBasedPlanner` picks join orders and
+operator strategies from ANALYZE statistics.  ``cost_based=False``
+selects the legacy heuristic planner, kept as the differential baseline.
 """
 
 from __future__ import annotations
@@ -32,30 +37,41 @@ class PythonBackend(ExecutionBackend):
     #: Bound on the number of cached physical plans.
     PLAN_CACHE_SIZE = 64
 
-    def __init__(self, catalog: "Catalog", vectorize: bool = True) -> None:
+    def __init__(
+        self,
+        catalog: "Catalog",
+        vectorize: bool = True,
+        cost_based: bool = True,
+    ) -> None:
         super().__init__(catalog)
         self.vectorize = vectorize
+        self.cost_based = cost_based
         # Physical plans keyed by query-tree identity.  Plans are
         # re-runnable because all per-execution state (materialized
         # spools, sublink memos) lives in the ExecContext; the cached
         # Query reference keeps the id() key from being recycled.  DDL
-        # invalidates via the catalog epoch; a vectorize toggle via the
-        # mode in the key.
-        self._plan_cache: dict[tuple[int, bool], tuple[Query, object]] = {}
-        self._plan_cache_epoch = -1
+        # invalidates via the catalog epoch, fresh statistics via the
+        # stats epoch; vectorize/cost-based toggles via the key.
+        self._plan_cache: dict[tuple[int, bool, bool], tuple[Query, object]] = {}
+        self._plan_cache_epochs: tuple = (-1, -1)
 
     def _plan(self, query: Query):
-        from repro.planner.planner import Planner
+        from repro.planner import make_planner
 
-        epoch = getattr(self.catalog, "epoch", None)
-        if epoch != self._plan_cache_epoch:
+        epochs = (
+            getattr(self.catalog, "epoch", None),
+            getattr(self.catalog, "stats_epoch", None),
+        )
+        if epochs != self._plan_cache_epochs:
             self._plan_cache.clear()
-            self._plan_cache_epoch = epoch
-        key = (id(query), self.vectorize)
+            self._plan_cache_epochs = epochs
+        key = (id(query), self.vectorize, self.cost_based)
         entry = self._plan_cache.get(key)
         if entry is not None:
             return entry[1]
-        plan = Planner(self.catalog, vectorize=self.vectorize).plan(query)
+        plan = make_planner(
+            self.catalog, cost_based=self.cost_based, vectorize=self.vectorize
+        ).plan(query)
         if len(self._plan_cache) >= self.PLAN_CACHE_SIZE:
             self._plan_cache.pop(next(iter(self._plan_cache)))
         self._plan_cache[key] = (query, plan)
@@ -65,9 +81,14 @@ class PythonBackend(ExecutionBackend):
         from repro.database import QueryResult
         from repro.executor.context import ExecContext
         from repro.executor.nodes import run_plan_rows
+        from repro.storage.chunk import DEFAULT_BATCH_SIZE
 
         plan = self._plan(query)
-        rows = run_plan_rows(plan, ExecContext(vectorized=self.vectorize))
+        ctx = ExecContext(
+            batch_size=plan.batch_size_hint or DEFAULT_BATCH_SIZE,
+            vectorized=self.vectorize,
+        )
+        rows = run_plan_rows(plan, ctx)
         return QueryResult(
             columns=list(plan.output_names),
             rows=rows,
@@ -76,4 +97,8 @@ class PythonBackend(ExecutionBackend):
 
     def describe(self) -> str:
         mode = "vectorized" if self.vectorize else "row-at-a-time"
-        return f"in-process Python planner/executor ({mode}, reference semantics)"
+        planner = "cost-based" if self.cost_based else "heuristic"
+        return (
+            f"in-process Python planner/executor ({mode}, {planner} planner, "
+            "reference semantics)"
+        )

@@ -37,7 +37,7 @@ from repro.analyzer.query_tree import (
     SetOpRangeRef,
 )
 from repro.analyzer import expressions as ex
-from repro.planner.planner import split_conjuncts
+from repro.planner.logical import split_conjuncts
 
 
 class TrioUnsupportedError(PermError):

@@ -8,13 +8,14 @@ rewriter stage (paper Fig. 5: Perm runs *after* view unfolding).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Optional
 
 from repro.catalog.schema import TableSchema
 from repro.errors import CatalogError
 from repro.storage.table import Table
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.planner.stats import TableStats
     from repro.sql.ast import SelectStmt
 
 
@@ -45,6 +46,11 @@ class Catalog:
         self._tables: dict[str, Table] = {}
         self._views: dict[str, ViewDefinition] = {}
         self.epoch = 0
+        # ANALYZE-collected statistics, keyed by lower-cased table name.
+        # ``stats_epoch`` increments on every (re)collection so cached
+        # plans keyed on it re-plan with the fresh numbers.
+        self._table_stats: dict[str, "TableStats"] = {}
+        self.stats_epoch = 0
 
     # -- tables -------------------------------------------------------------
 
@@ -77,6 +83,52 @@ class Catalog:
 
     def tables(self) -> list[Table]:
         return list(self._tables.values())
+
+    # -- statistics (ANALYZE) ------------------------------------------------
+
+    def analyze(self, name: Optional[str] = None) -> list["TableStats"]:
+        """Collect statistics for one table (or all tables).
+
+        Returns the collected :class:`~repro.planner.stats.TableStats`
+        snapshots.  Stale entries for dropped tables are purged so the
+        statistics dictionary tracks the live schema.
+        """
+        from repro.planner.stats import collect_table_stats
+
+        if name is not None:
+            tables = [self.table(name)]
+        else:
+            tables = self.tables()
+        collected = []
+        for table in tables:
+            stats = collect_table_stats(table)
+            self._table_stats[table.name.lower()] = stats
+            collected.append(stats)
+        for key in list(self._table_stats):
+            if key not in self._tables:
+                del self._table_stats[key]
+        self.stats_epoch += 1
+        return collected
+
+    def stats_for(self, name: str) -> Optional["TableStats"]:
+        """Fresh statistics for a table, or None (never analyzed, the
+        heap was truncated/recreated since, or the table is gone)."""
+        key = name.lower()
+        stats = self._table_stats.get(key)
+        if stats is None:
+            return None
+        table = self._tables.get(key)
+        if table is None or not stats.is_fresh_for(table):
+            return None
+        return stats
+
+    def analyzed_tables(self) -> list["TableStats"]:
+        """All statistics snapshots that are still fresh."""
+        return [
+            stats
+            for name, stats in sorted(self._table_stats.items())
+            if self.stats_for(name) is not None
+        ]
 
     # -- views --------------------------------------------------------------
 

@@ -38,7 +38,7 @@ from repro.analyzer.query_tree import Query
 from repro.executor.context import ExecContext
 from repro.executor.expr_eval import ExprCompiler
 from repro.executor.nodes import PlanNode
-from repro.planner.planner import Planner
+from repro.planner import make_planner
 from repro.sql import ast
 from repro.sql.parser import parse_sql
 from repro.storage.relation import Relation
@@ -138,8 +138,12 @@ class PreparedQuery:
 
     def run(self) -> QueryResult:
         from repro.executor.nodes import run_plan_rows
+        from repro.storage.chunk import DEFAULT_BATCH_SIZE
 
-        ctx = ExecContext(vectorized=self.vectorize)
+        ctx = ExecContext(
+            batch_size=self.plan.batch_size_hint or DEFAULT_BATCH_SIZE,
+            vectorized=self.vectorize,
+        )
         rows = run_plan_rows(self.plan, ctx)
         return QueryResult(
             columns=list(self.plan.output_names),
@@ -207,6 +211,7 @@ class PermDatabase:
         backend: "BackendSpec" = "python",
         optimize: bool = True,
         vectorize: bool = True,
+        cost_based: bool = True,
         statement_cache_size: int = 64,
     ) -> None:
         from repro.backends import create_backend
@@ -215,8 +220,10 @@ class PermDatabase:
         self.provenance_module_enabled = provenance_module_enabled
         self.optimizer_enabled = optimize
         self._vectorize = vectorize
+        self._cost_based = cost_based
         self._backend = create_backend(backend, self.catalog)
         self._propagate_vectorize()
+        self._propagate_cost_based()
         self._stmt_cache = _StatementCache(statement_cache_size)
 
     # -- execution backends ----------------------------------------------------
@@ -238,6 +245,7 @@ class PermDatabase:
         self._backend.close()
         self._backend = replacement
         self._propagate_vectorize()
+        self._propagate_cost_based()
 
     # -- vectorized execution toggle -------------------------------------------
 
@@ -257,6 +265,44 @@ class PermDatabase:
         # notion of chunked interpretation.
         if hasattr(self._backend, "vectorize"):
             self._backend.vectorize = self._vectorize
+
+    # -- cost-based planning toggle ---------------------------------------------
+
+    @property
+    def cost_based_enabled(self) -> bool:
+        """Whether the Python planner makes statistics-driven cost-based
+        choices (join order, operator selection); ``False`` selects the
+        legacy heuristic planner, kept for differential testing."""
+        return self._cost_based
+
+    @cost_based_enabled.setter
+    def cost_based_enabled(self, value: bool) -> None:
+        self._cost_based = bool(value)
+        self._propagate_cost_based()
+
+    def _propagate_cost_based(self) -> None:
+        if hasattr(self._backend, "cost_based"):
+            self._backend.cost_based = self._cost_based
+
+    # -- statistics (ANALYZE) ---------------------------------------------------
+
+    def analyze(self, table: Optional[str] = None) -> QueryResult:
+        """Collect planner statistics (``ANALYZE [table]``).
+
+        Returns a per-table summary of what was collected.  The
+        statistics feed the cost-based planner's selectivity and
+        cardinality estimates; collected numbers go stale only on
+        TRUNCATE / re-creation (appends merely lag until the next run).
+        """
+        collected = self.catalog.analyze(table)
+        return QueryResult(
+            columns=["table", "rows", "columns"],
+            rows=[
+                (stats.table_name, stats.row_count, len(stats.columns))
+                for stats in collected
+            ],
+            command=f"ANALYZE {len(collected)}",
+        )
 
     # -- statement execution ---------------------------------------------------
 
@@ -329,8 +375,10 @@ class PermDatabase:
             mode,
             self._backend.name,
             self.catalog.epoch,
+            self.catalog.stats_epoch,
             self.provenance_module_enabled,
             self.optimizer_enabled,
+            self._cost_based,
         )
 
     def cache_stats(self) -> dict[str, int]:
@@ -377,7 +425,9 @@ class PermDatabase:
                 "-- logical query tree (after optimization) --",
                 format_query_tree(query),
             ]
-        plan = Planner(self.catalog, vectorize=self._vectorize).plan(query)
+        plan = make_planner(
+            self.catalog, cost_based=self._cost_based, vectorize=self._vectorize
+        ).plan(query)
         if not analyze:
             sections += ["-- physical plan --", plan.explain()]
             return "\n".join(sections)
@@ -387,8 +437,13 @@ class PermDatabase:
             instrument_plan,
         )
 
+        from repro.storage.chunk import DEFAULT_BATCH_SIZE
+
         stats = instrument_plan(plan)
-        ctx = ExecContext(vectorized=self._vectorize)
+        ctx = ExecContext(
+            batch_size=plan.batch_size_hint or DEFAULT_BATCH_SIZE,
+            vectorized=self._vectorize,
+        )
         start = time.perf_counter()
         if self._vectorize:
             total_rows = sum(len(chunk) for chunk in plan.run_batches(ctx))
@@ -479,7 +534,9 @@ class PermDatabase:
     def _prepare_select(self, stmt: ast.SelectNode) -> PreparedQuery:
         start = time.perf_counter()
         query, rewrite_seconds = self._analyze_and_rewrite(stmt)
-        plan = Planner(self.catalog, vectorize=self._vectorize).plan(query)
+        plan = make_planner(
+            self.catalog, cost_based=self._cost_based, vectorize=self._vectorize
+        ).plan(query)
         compile_seconds = time.perf_counter() - start
         return PreparedQuery(
             plan=plan,
@@ -521,6 +578,8 @@ class PermDatabase:
             return QueryResult(
                 columns=["query plan"], rows=[(line,) for line in lines]
             )
+        if isinstance(stmt, ast.AnalyzeStmt):
+            return self.analyze(stmt.table)
         raise PermError(f"unsupported statement {stmt!r}")
 
     # -- DDL / DML -------------------------------------------------------------------------
@@ -612,6 +671,7 @@ def connect(
     backend: "BackendSpec" = "python",
     optimize: bool = True,
     vectorize: bool = True,
+    cost_based: bool = True,
 ) -> PermDatabase:
     """Create a fresh in-memory Perm database.
 
@@ -620,11 +680,14 @@ def connect(
     optimization phase" configuration, kept for benchmarks and tests.
     ``vectorize=False`` runs the Python engine tuple-at-a-time instead
     of batch-at-a-time (the pre-vectorization physical layer, kept
-    differentially testable).
+    differentially testable).  ``cost_based=False`` plans with the
+    legacy heuristic join ordering instead of the statistics-driven
+    cost model (the planner's own differential baseline).
     """
     return PermDatabase(
         provenance_module_enabled=provenance_module_enabled,
         backend=backend,
         optimize=optimize,
         vectorize=vectorize,
+        cost_based=cost_based,
     )

@@ -350,6 +350,9 @@ class ExprCompiler:
         # whose fallbacks wrap the row closure), and re-compiling a
         # SubLink would plan its subquery again.
         self._row_memo: dict[int, tuple[ex.Expr, CompiledExpr]] = {}
+        # Sublink subplans memoized the same way: the row closure and the
+        # dedicated batch kernel of one SubLink share one planned subtree.
+        self._subplan_memo: dict[int, tuple[ex.Expr, Any]] = {}
 
     def compile(self, expr: ex.Expr) -> CompiledExpr:
         memoized = self._row_memo.get(id(expr))
@@ -575,12 +578,26 @@ class ExprCompiler:
 
     # -- sublinks -----------------------------------------------------------------
 
+    def _sublink_subplan(self, expr: ex.SubLink):
+        """The sublink's planned subquery, shared across compilations.
+
+        The enclosing-layout stack is ordered outermost..innermost, so
+        the current layout is appended last (Var levelsup=k reads
+        stack[-k]).
+        """
+        memoized = self._subplan_memo.get(id(expr))
+        if memoized is not None and memoized[0] is expr:
+            return memoized[1]
+        subplan = self.plan_subquery(
+            expr.subquery, [*self.outer_varmaps, self.varmap]
+        )
+        self._subplan_memo[id(expr)] = (expr, subplan)
+        return subplan
+
     def _compile_SubLink(self, expr: ex.SubLink) -> CompiledExpr:
         if self.plan_subquery is None:
             raise PlanError("sublinks are not allowed in this context")
-        # The enclosing-layout stack is ordered outermost..innermost, so the
-        # current layout is appended last (Var levelsup=k reads stack[-k]).
-        subplan = self.plan_subquery(expr.subquery, [*self.outer_varmaps, self.varmap])
+        subplan = self._sublink_subplan(expr)
         if expr.kind == ex.SubLinkKind.SCALAR:
             return self._compile_scalar_sublink(expr, subplan)
         if expr.kind == ex.SubLinkKind.EXISTS:
@@ -936,10 +953,8 @@ class ExprCompiler:
     def _batch_SubLink(self, expr: ex.SubLink) -> Optional[BatchExpr]:
         if expr.correlated:
             return None  # re-executes per row: fall back to the row closure
-        if expr.kind not in (ex.SubLinkKind.SCALAR, ex.SubLinkKind.EXISTS):
-            # ANY/ALL: the comparison runs per row anyway and the row
-            # closure caches the subquery's values in ctx — fall back.
-            return None
+        if expr.kind in (ex.SubLinkKind.ANY, ex.SubLinkKind.ALL):
+            return self._batch_quantified_sublink(expr)
         fn = self.compile(expr)
 
         def _broadcast(chunk, ctx):
@@ -951,6 +966,115 @@ class ExprCompiler:
             return [fn((), ctx)] * n
 
         return _broadcast
+
+    def _batch_quantified_sublink(self, expr: ex.SubLink) -> Optional[BatchExpr]:
+        """Vectorized uncorrelated ``x op ANY/ALL (subq)``.
+
+        The subquery column is reduced *once per execution* into the
+        cheapest digest the operator admits — a hash set for ``=`` /
+        ``<>`` (the IN / NOT IN rewrites), the extreme value for the
+        range operators (``x < ANY(S)`` ⇔ ``x < max(S)``, ``x < ALL(S)``
+        ⇔ ``x < min(S)``, and dually for ``>``) — and the whole test
+        column probes it in one comprehension, replacing the former
+        per-row fallback loop.  Exact 3VL is preserved: a NULL test
+        value or a NULL among the subquery values yields NULL whenever
+        the quantifier is not already decided without it.
+        """
+        op = expr.operator or "="
+        if op not in ("=", "<>", "<", "<=", ">", ">="):
+            return None  # null-safe operators keep the row path
+        if self.plan_subquery is None:
+            raise PlanError("sublinks are not allowed in this context")
+        subplan = self._sublink_subplan(expr)
+        test_kernel = self.compile_batch(expr.testexpr)
+        is_any = expr.kind == ex.SubLinkKind.ANY
+        cache_key = object()
+
+        def _digest(ctx):
+            digest = ctx.caches.get(cache_key)
+            if digest is None:
+                rows = self._run_subplan(subplan, ctx, (), correlated=False)
+                values = [r[0] for r in rows]
+                non_null = [v for v in values if v is not None]
+                saw_null = len(non_null) < len(values)
+                if op in ("=", "<>"):
+                    reduced: Any = set(non_null)
+                elif non_null:
+                    # ANY wants the loosest bound, ALL the tightest.
+                    if (op in ("<", "<=")) == is_any:
+                        reduced = max(non_null)
+                    else:
+                        reduced = min(non_null)
+                else:
+                    reduced = None
+                digest = (reduced, bool(non_null), saw_null)
+                ctx.caches[cache_key] = digest
+            return digest
+
+        cmp = COMPARISONS[op]
+        eq_based = op in ("=", "<>")
+
+        def _kernel(chunk, ctx):
+            reduced, has_values, saw_null = _digest(ctx)
+            tests = test_kernel(chunk, ctx)
+            if not has_values and not saw_null:
+                # Empty subquery: ANY is False, ALL is True, regardless
+                # of the test value (even NULL).
+                return [is_any is False for _ in tests]
+            out = []
+            append = out.append
+            if eq_based:
+                members = reduced
+                if is_any:
+                    # x = ANY: True on membership; x <> ANY: True unless
+                    # every value equals x (set has other values).
+                    for v in tests:
+                        if v is None:
+                            append(None)
+                        elif op == "=":
+                            append(True if v in members else (None if saw_null else False))
+                        else:  # <> ANY
+                            others = len(members) - (1 if v in members else 0)
+                            append(True if others > 0 else (None if saw_null else False))
+                else:
+                    for v in tests:
+                        if v is None:
+                            append(None)
+                        elif op == "=":
+                            # = ALL: every value equals x.
+                            only_x = members == {v}
+                            append(
+                                False
+                                if (members and not only_x)
+                                else (None if saw_null else only_x)
+                            )
+                        else:  # <> ALL (NOT IN)
+                            append(
+                                False
+                                if v in members
+                                else (None if saw_null else True)
+                            )
+                return out
+            bound = reduced
+            if is_any:
+                for v in tests:
+                    if v is None:
+                        append(None)
+                    elif bound is not None and cmp(v, bound) is True:
+                        append(True)
+                    else:
+                        append(None if saw_null else False)
+            else:
+                for v in tests:
+                    if v is None:
+                        append(None)
+                    elif bound is not None and cmp(v, bound) is not True:
+                        append(False)
+                    else:
+                        append(None if saw_null else True)
+            return out
+
+        return _kernel
 
 
 # -- generated column kernels for the common binary operators ---------------

@@ -22,6 +22,12 @@ from dataclasses import dataclass
 from repro.executor.nodes import PlanNode
 
 
+#: A node whose actual row count is off from the estimate by more than
+#: this factor (either direction) gets flagged — cheap misestimation
+#: debugging: the flagged nodes are where the cost model went wrong.
+MISESTIMATE_FACTOR = 10.0
+
+
 @dataclass
 class NodeStats:
     """Actual execution counters for one plan node."""
@@ -31,16 +37,39 @@ class NodeStats:
     loops: int = 0
     seconds: float = 0.0
 
-    def describe(self) -> str:
+    def describe(self, estimate: float | None = None) -> str:
         if self.loops == 0:
             return "(never executed)"
-        parts = [f"actual rows={self.rows}"]
+        parts = []
+        if estimate is not None:
+            parts.append(f"est={estimate:.0f}")
+        parts.append(f"actual rows={self.rows}")
         if self.batches:
             parts.append(f"batches={self.batches}")
         parts.append(f"time={self.seconds * 1000.0:.3f}ms")
         if self.loops > 1:
             parts.append(f"loops={self.loops}")
-        return "(" + " ".join(parts) + ")"
+        text = "(" + " ".join(parts) + ")"
+        if estimate is not None and self._misestimated(estimate):
+            ratio = max(self._rows_per_loop(), 1.0) / max(estimate, 1.0)
+            if ratio < 1:
+                ratio = 1 / ratio
+            text += f"  !! misestimate {ratio:.0f}x"
+        return text
+
+    def _rows_per_loop(self) -> float:
+        """Actual rows per execution — estimates are per execution, so a
+        node restarted per outer row compares its average, not the
+        accumulated total (PostgreSQL's EXPLAIN convention)."""
+        return self.rows / max(self.loops, 1)
+
+    def _misestimated(self, estimate: float) -> bool:
+        actual = max(self._rows_per_loop(), 1.0)
+        expected = max(estimate, 1.0)
+        return (
+            actual > expected * MISESTIMATE_FACTOR
+            or expected > actual * MISESTIMATE_FACTOR
+        )
 
 
 def instrument_plan(plan: PlanNode) -> dict[int, NodeStats]:
@@ -102,9 +131,17 @@ def _wrap_node(node: PlanNode) -> NodeStats:
 def format_plan_with_stats(
     plan: PlanNode, stats: dict[int, NodeStats], indent: int = 0
 ) -> str:
-    """The EXPLAIN tree with per-node actual counters appended."""
+    """The EXPLAIN tree with per-node estimated/actual counters appended.
+
+    Nodes where actual rows deviate from the planner's estimate by more
+    than :data:`MISESTIMATE_FACTOR` are flagged ``!! misestimate Nx``.
+    """
     node_stats = stats.get(id(plan))
-    suffix = f"  {node_stats.describe()}" if node_stats is not None else ""
+    suffix = (
+        f"  {node_stats.describe(getattr(plan, 'estimate', None))}"
+        if node_stats is not None
+        else ""
+    )
     lines = ["  " * indent + f"-> {plan.label()}{suffix}"]
     lines += [
         format_plan_with_stats(child, stats, indent + 1)

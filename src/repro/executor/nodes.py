@@ -97,10 +97,19 @@ def make_row_getter(indexes: list[int]) -> Callable[[Row], Row]:
 
 
 class PlanNode:
-    """Base class for physical plan nodes."""
+    """Base class for physical plan nodes.
+
+    ``estimate`` is the planner's cardinality estimate for this node's
+    output (statistics-driven under the cost-based planner, magic
+    constants under the heuristic one); ``EXPLAIN`` renders it as
+    ``est=`` next to actual rows.  ``batch_size_hint`` (set on plan
+    roots by the cost-based planner) bounds the vectorized engine's
+    chunk size by the largest estimated intermediate.
+    """
 
     output_names: list[str]
     estimate: float
+    batch_size_hint: Optional[int] = None
 
     def run(self, ctx: ExecContext) -> Iterator[Row]:  # pragma: no cover
         raise NotImplementedError
@@ -563,7 +572,19 @@ class HashJoin(PlanNode):
     matches; keys flagged null-safe (the rewriter's ``<=>`` joins) match
     NULL with NULL.  Unmatched rows are preserved for outer-join null
     extension either way.
+
+    ``left_key_slots`` / ``right_key_slots`` (set by the planner when
+    every key is a plain column reference) record which input slots the
+    key closures read, enabling slice pushdown to remap keys onto
+    narrowed inputs.  ``columnar_output`` switches the batch inner-join
+    fast path from row concatenation to per-column gathers — chosen by
+    the cost-based planner for narrow outputs feeding columnar
+    consumers.
     """
+
+    left_key_slots: Optional[list[int]] = None
+    right_key_slots: Optional[list[int]] = None
+    columnar_output: bool = False
 
     def __init__(
         self,
@@ -744,10 +765,46 @@ class HashJoin(PlanNode):
         build_get = build.get
         preserve_left = join_type in ("left", "full")
 
+        right_columns: Optional[list[list]] = None
+        if (
+            self.columnar_output
+            and residual_kernel is None
+            and join_type == "inner"
+            and right_rows
+        ):
+            right_columns = [list(column) for column in zip(*right_rows)]
+
         for chunk in self.left.run_batches(ctx):
             keys = self._batch_key_rows(
                 [kernel(chunk, ctx) for kernel in self.batch_left_keys]
             )
+            if right_columns is not None and not chunk.is_row_backed():
+                # Columnar output (narrow joins feeding columnar
+                # consumers): gather each surviving column once instead
+                # of concatenating row tuples per match.
+                buckets = [build_get(key) for key in keys]
+                probe_positions: list[int] = []
+                build_positions: list[int] = []
+                for position, bucket in enumerate(buckets):
+                    if bucket is not None:
+                        for index in bucket:
+                            probe_positions.append(position)
+                            build_positions.append(index)
+                if not probe_positions:
+                    continue
+                columns = [
+                    [column[p] for p in probe_positions]
+                    for column in (
+                        chunk.column(i) for i in range(self.left.width())
+                    )
+                ] + [
+                    [column[i] for i in build_positions]
+                    for column in right_columns
+                ]
+                yield Chunk(
+                    columns=columns, nrows=len(probe_positions), width=width
+                )
+                continue
             left_rows = chunk.rows()
             if right_matched is None and not preserve_left:
                 # Inner join fast path: two C-level comprehensions.

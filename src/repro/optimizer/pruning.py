@@ -14,7 +14,10 @@ computes required-column sets top-down and
   planner narrows the corresponding ``SeqScan`` so joins concatenate
   short tuples instead of full base rows.  The hint is physical only —
   the deparser ignores it, and Var numbering stays in terms of the
-  relation's full schema.
+  relation's full schema.  The cost model consumes it too: a narrowed
+  scan's output width feeds the planner's column- vs row-backed operator
+  choices, while its per-column statistics scope stays keyed by the full
+  schema so selectivity estimation is unaffected by the narrowing.
 
 Safety rules: a DISTINCT subquery's target list is never shrunk
 (deduplication over fewer columns changes the result), set-operation

@@ -19,6 +19,12 @@ only); below an outer join the parent filter also eliminates null-extended
 rows, which a pushed-down copy cannot.  Subqueries with LIMIT/OFFSET never
 accept pushdown (the filter would change which rows the limit keeps), and
 conjuncts containing sublinks or correlated references stay put.
+
+Relocated predicates double as cardinality hints for the cost-based
+planner: a conjunct pushed inside a subquery (or into every set-operation
+operand) lands where the recursive planner estimates that subquery's
+cardinality, so the join-order search sees the filtered row count of the
+subquery unit instead of discovering the filter only after the join.
 """
 
 from __future__ import annotations
@@ -41,7 +47,7 @@ def push_down_node(query: Query) -> bool:
     """Push single-subquery WHERE conjuncts of one node into the subquery."""
     if query.set_operations is not None or query.jointree.quals is None:
         return False
-    from repro.planner.planner import split_conjuncts
+    from repro.planner.logical import split_conjuncts
 
     safe = _where_safe_indexes(query)
     conjuncts = split_conjuncts(query.jointree.quals)

@@ -1,5 +1,43 @@
-"""Query planning: query trees -> executable physical plans."""
+"""Query planning: query trees -> executable physical plans.
 
-from repro.planner.planner import Planner
+A three-stage pipeline:
 
-__all__ = ["Planner"]
+1. :mod:`repro.planner.logical` — the query tree's FROM/WHERE decomposes
+   into a backend-neutral logical join graph (operands, pushed filters,
+   join-conjunct pool);
+2. :mod:`repro.planner.stats` / :mod:`repro.planner.cost` — ANALYZE
+   statistics and the selectivity/cardinality model estimated over it;
+3. :mod:`repro.planner.physical` — cost-based operator choices emit the
+   executable plan (:class:`CostBasedPlanner`, the default), with the
+   legacy magic-constant path in :mod:`repro.planner.heuristic` kept
+   reachable for differential testing.
+"""
+
+from typing import Optional
+
+from repro.planner.heuristic import HeuristicPlanner
+from repro.planner.physical import CostBasedPlanner, PlannerBase
+
+#: The default planner class.
+Planner = CostBasedPlanner
+
+
+def make_planner(
+    catalog,
+    cost_based: bool = True,
+    vectorize: bool = False,
+    outer_varmaps: Optional[list] = None,
+    shared=None,
+) -> PlannerBase:
+    """The configured planner: cost-based (default) or legacy heuristic."""
+    cls = CostBasedPlanner if cost_based else HeuristicPlanner
+    return cls(catalog, outer_varmaps, shared, vectorize=vectorize)
+
+
+__all__ = [
+    "CostBasedPlanner",
+    "HeuristicPlanner",
+    "Planner",
+    "PlannerBase",
+    "make_planner",
+]

@@ -1,0 +1,65 @@
+"""The legacy heuristic planner (pre-cost-model), kept as a baseline.
+
+Join ordering is the PR-4 greedy: start from the smallest *estimated*
+base unit, prefer connected equi-join candidates, and attach
+subquery-derived units (the aggregates the provenance rewrite re-joins)
+last — the shape the rewrite intends, but blind to actual data
+distribution.  Reachable through ``PermDatabase(cost_based=False)`` /
+``connect(cost_based=False)`` so the cost-based planner stays
+differentially testable against it.
+"""
+
+from __future__ import annotations
+
+from repro.analyzer import expressions as ex
+from repro.planner.logical import conjunct_touches
+from repro.planner.physical import PlannerBase, _Unit
+
+
+class HeuristicPlanner(PlannerBase):
+    """Magic-constant estimates, subquery-last greedy join ordering."""
+
+    def _order_joins(self, units: list[_Unit], pool: list[ex.Expr]) -> _Unit:
+        """Left-deep greedy join ordering over inner-join units."""
+        remaining = list(units)
+        pool = list(pool)
+        # Start from the smallest estimated *base* unit; subquery-derived
+        # units (aggregates re-attached by the provenance rewrite) join
+        # last, after the base join chain narrowed the row stream.
+        remaining.sort(key=lambda u: (u.from_subquery, u.plan.estimate))
+        current = remaining.pop(0)
+        while remaining:
+            connected = [
+                (i, unit)
+                for i, unit in enumerate(remaining)
+                if any(self._connects(c, current, unit) for c in pool)
+            ]
+            candidates = connected or list(enumerate(remaining))
+            best_index = min(
+                candidates,
+                key=lambda pair: (pair[1].from_subquery, pair[1].plan.estimate),
+            )[0]
+            next_unit = remaining.pop(best_index)
+            applicable: list[ex.Expr] = []
+            still_pooled: list[ex.Expr] = []
+            combined_rts = current.rtindexes | next_unit.rtindexes
+            for conjunct in pool:
+                vars_used = ex.collect_vars(conjunct)
+                if vars_used and all(v.varno in combined_rts for v in vars_used):
+                    applicable.append(conjunct)
+                else:
+                    still_pooled.append(conjunct)
+            pool = still_pooled
+            current = self._join_units(current, next_unit, "inner", applicable)
+        for conjunct in pool:
+            # Conjuncts referencing no vars (constants) or left over.
+            current.plan = self._filter_node(
+                current.plan, self._compiler(current.varmap), conjunct
+            )
+        return current
+
+    @staticmethod
+    def _connects(conjunct: ex.Expr, left: _Unit, right: _Unit) -> bool:
+        if not (isinstance(conjunct, ex.OpExpr) and conjunct.op in ("=", "<=>")):
+            return False
+        return conjunct_touches(conjunct, left.rtindexes, right.rtindexes)

@@ -1,1149 +1,34 @@
-"""The planner: analyzed query trees -> physical plans.
+"""Compatibility shim for the pre-split planner module.
 
-The plan output layout always equals the query's *full* target list
-(including resjunk sort entries); junk columns are sliced away at the very
-end.  Planning steps for an (A)SPJ node:
-
-1. build one *unit* (subplan + varmap) per base relation / subquery /
-   outer-join subtree,
-2. push single-unit WHERE conjuncts down onto their unit,
-3. greedily join units, preferring hash joins on extracted equi-conjuncts
-   and smaller estimated inputs (crude but enough for TPC-H shapes),
-4. apply remaining conjuncts, aggregation + HAVING, projection, DISTINCT,
-   ORDER BY, LIMIT.
-
-Set-operation nodes plan each leaf subquery and fold the set-operation
-tree into SetOpPlanNode instances.
-
-Sublinks are planned through a callback handed to the expression
-compiler; correlated sublinks receive the stack of enclosing layouts so
-their free Vars compile into reads of the executor's outer-row stack.
+The 1,100-line monolith that lived here was split into the pipeline
+stages ``logical.py`` (query-tree decomposition, conjunct utilities),
+``stats.py`` + ``cost.py`` (ANALYZE statistics and estimation) and
+``physical.py`` / ``heuristic.py`` (plan emission and the two decision
+strategies).  Existing imports keep working: ``Planner`` is the default
+(cost-based) planner.
 """
 
-from __future__ import annotations
-
-from typing import Callable, Optional
-
-from repro.catalog.catalog import Catalog
-from repro.datatypes import SQLType
-from repro.errors import PlanError
-from repro.analyzer import expressions as ex
-from repro.analyzer.query_tree import (
-    FromExpr,
-    JoinTreeExpr,
-    JoinTreeNode,
-    Query,
-    RangeTableEntry,
-    RangeTableRef,
-    RTEKind,
-    SetOpNode,
-    SetOpRangeRef,
-    SetOpTreeNode,
+from repro.planner.heuristic import HeuristicPlanner
+from repro.planner.logical import (
+    conjoin,
+    extract_equi_keys,
+    split_conjuncts,
 )
-from repro.executor.expr_eval import ExprCompiler, VarMap
-from repro.executor.nodes import (
-    DistinctNode,
-    FilterNode,
-    HashAggregate,
-    HashJoin,
-    LimitNode,
-    NestedLoopJoin,
-    OneRow,
-    PlanNode,
-    ProjectNode,
-    SetOpPlanNode,
-    SliceNode,
-    SortNode,
+from repro.planner.physical import (
+    CostBasedPlanner,
+    PlannerBase,
+    _SharedSubplans,
+    _Unit,
 )
 
-# Synthetic varno for post-aggregation slots (group keys + agg results).
-_POST_AGG_VARNO = -1
-
-
-def _slot_reader(slot: int):
-    """A compiled expression that reads one input slot."""
-    return lambda row, ctx: row[slot]
-
-
-def _slot_column(slot: int):
-    """The batch-mode twin of :func:`_slot_reader`: one chunk column."""
-    return lambda chunk, ctx: chunk.column(slot)
-
-
-def _conjoin_predicates(first, second):
-    """Combine two compiled predicates into one three-valued AND.
-
-    Filter semantics only keep rows where the predicate is exactly True,
-    so short-circuiting on ``is not True`` preserves NULL handling.
-    """
-
-    def combined(row, ctx):
-        verdict = first(row, ctx)
-        if verdict is not True:
-            return verdict
-        return second(row, ctx)
-
-    return combined
-
-
-class _Unit:
-    """A placed or placeable join operand: subplan + var layout.
-
-    ``from_subquery`` marks units derived from subquery RTEs (directly or
-    inside an outer-join subtree).  The greedy join order prefers base
-    scans among connected candidates: a small aggregate result joined
-    early fans out through the remaining chain (its group keys are far
-    less selective than the base tables' foreign keys), so aggregate-ish
-    units attach last — the shape the provenance rewrite intends.
-    """
-
-    __slots__ = ("plan", "varmap", "rtindexes", "from_subquery")
-
-    def __init__(
-        self,
-        plan: PlanNode,
-        varmap: VarMap,
-        rtindexes: set[int],
-        from_subquery: bool = False,
-    ) -> None:
-        self.plan = plan
-        self.varmap = varmap
-        self.rtindexes = rtindexes
-        self.from_subquery = from_subquery
-
-
-class _SharedSubplans:
-    """Statement-scoped registry for common-subplan deduplication.
-
-    The provenance rewrite duplicates whole subqueries (the original
-    sublink and its rewritten copy, q_agg's inputs inside d, TPC-H Q15's
-    twice-inlined revenue view).  Structurally identical, uncorrelated
-    subqueries plan once and share a materialized result — the spool/CTE
-    sharing a cost-based DBMS applies to common subexpressions.
-    """
-
-    __slots__ = ("entries",)
-
-    def __init__(self) -> None:
-        # (cheap signature, query tree, shared materialized plan)
-        self.entries: list[tuple[tuple, Query, PlanNode]] = []
-
-    @staticmethod
-    def signature(query: Query) -> tuple:
-        return (
-            query.node_class().value,
-            len(query.target_list),
-            len(query.range_table),
-            tuple(query.output_columns()),
-        )
-
-    def lookup(self, query: Query) -> Optional[PlanNode]:
-        from repro.optimizer.treeutils import queries_structurally_equal
-
-        signature = self.signature(query)
-        for entry_signature, entry_query, node in self.entries:
-            if entry_signature != signature:
-                continue
-            if entry_query is query or queries_structurally_equal(
-                query, entry_query
-            ):
-                return node
-        return None
-
-    def remember(self, query: Query, plan: PlanNode) -> PlanNode:
-        from repro.executor.nodes import MaterializeNode
-
-        node = MaterializeNode(plan)
-        self.entries.append((self.signature(query), query, node))
-        return node
-
-
-class Planner:
-    def __init__(
-        self,
-        catalog: Catalog,
-        outer_varmaps: Optional[list[VarMap]] = None,
-        shared: Optional[_SharedSubplans] = None,
-        vectorize: bool = False,
-    ) -> None:
-        self.catalog = catalog
-        self.outer_varmaps = list(outer_varmaps or [])
-        self.shared = shared if shared is not None else _SharedSubplans()
-        # When set, every expression is additionally compiled to a batch
-        # kernel and attached to the plan nodes, enabling the vectorized
-        # ``run_batches`` protocol on the whole tree.  Subtrees whose
-        # expressions resist vectorization degrade per-expression (the
-        # kernel falls back to the row closure internally) or per-node
-        # (conditional nested loops bridge to the row protocol).
-        self.vectorize = vectorize
-
-    # -- public API -----------------------------------------------------------
-
-    def plan(self, query: Query, joined: Optional["_Unit"] = None) -> PlanNode:
-        """Plan a query; output columns = visible target entries.
-
-        ``joined`` (internal, aggregation-join fusion) substitutes an
-        already-planned FROM/WHERE unit: the query's own join tree and
-        quals are skipped and its aggregation/projection/sort pipeline is
-        planned on top of the given subplan.
-        """
-        if query.set_operations is not None:
-            plan = self._plan_setop_query(query)
-            plan = self._apply_sort(query, plan)
-            plan = self._apply_limit(query, plan)
-            return self._slice_junk(query, plan)
-        # SELECT DISTINCT with ORDER BY expressions outside the select
-        # list: sort the junk-extended projection first, slice the junk,
-        # then deduplicate — DistinctNode keeps first occurrences, so the
-        # output is ordered by each distinct row's first sort position.
-        defer_distinct = query.distinct and any(
-            t.resjunk for t in query.target_list
-        )
-        plan = self._plan_plain_query(
-            query, skip_distinct=defer_distinct, joined=joined
-        )
-        if defer_distinct:
-            plan = self._apply_sort(query, plan)
-            plan = self._slice_junk(query, plan)
-            plan = DistinctNode(plan)
-            return self._apply_limit(query, plan)
-        plan = self._apply_sort(query, plan)
-        plan = self._apply_limit(query, plan)
-        return self._slice_junk(query, plan)
-
-    # -- helpers shared with the expression compiler ----------------------------
-
-    def _plan_sublink(self, query: Query, outer_varmaps: list[VarMap]) -> PlanNode:
-        if query.share_candidate:
-            return self._plan_shared_subquery(query)
-        return Planner(
-            self.catalog, outer_varmaps, self.shared, vectorize=self.vectorize
-        ).plan(query)
-
-    def _sub_planner(self) -> "Planner":
-        """A child planner for closed subqueries (no enclosing layouts)."""
-        return Planner(self.catalog, shared=self.shared, vectorize=self.vectorize)
-
-    def _plan_shared_subquery(self, query: Query) -> PlanNode:
-        """Plan a closed subquery; optimizer-marked duplicates share one
-        materialized plan (``share_candidate`` implies the query is
-        closed and occurs structurally repeated in the statement)."""
-        if not query.share_candidate:
-            return self._sub_planner().plan(query)
-        cached = self.shared.lookup(query)
-        if cached is not None:
-            return cached
-        plan = self._sub_planner().plan(query)
-        return self.shared.remember(query, plan)
-
-    def _compiler(self, varmap: VarMap) -> ExprCompiler:
-        return ExprCompiler(varmap, self.outer_varmaps, plan_subquery=self._plan_sublink)
-
-    # -- batch-kernel compilation helpers --------------------------------------
-
-    def _batch_compile(self, compiler: ExprCompiler, expr: ex.Expr):
-        """The expression's batch kernel, or None when not vectorizing."""
-        return compiler.compile_batch(expr) if self.vectorize else None
-
-    def _batch_compile_all(
-        self, compiler: ExprCompiler, exprs: list[ex.Expr]
-    ) -> Optional[list]:
-        if not self.vectorize:
-            return None
-        return [compiler.compile_batch(e) for e in exprs]
-
-    def _batch_target_exprs(
-        self,
-        compiler: ExprCompiler,
-        exprs: list[ex.Expr],
-        slots: list[Optional[int]],
-    ) -> Optional[list]:
-        """Projection kernels; slot-covered positions pass through as None."""
-        if not self.vectorize:
-            return None
-        return [
-            None if slot is not None else compiler.compile_batch(expr)
-            for expr, slot in zip(exprs, slots)
-        ]
-
-    def _filter_node(
-        self, plan: PlanNode, compiler: ExprCompiler, conjunct: ex.Expr
-    ) -> FilterNode:
-        """A FilterNode with both row and (when vectorizing) batch forms."""
-        batch = self._batch_compile(compiler, conjunct)
-        return FilterNode(
-            plan,
-            compiler.compile(conjunct),
-            [batch] if batch is not None else None,
-        )
-
-    def _push_conjunct(self, unit: "_Unit", conjunct: ex.Expr) -> None:
-        """Compile a conjunct against a unit's layout and push it down."""
-        compiler = self._compiler(unit.varmap)
-        self._push_filter(
-            unit,
-            compiler.compile(conjunct),
-            self._batch_compile(compiler, conjunct),
-        )
-
-    # -- RTE plans ------------------------------------------------------------------
-
-    def _plan_rte(self, rtindex: int, rte: RangeTableEntry) -> _Unit:
-        if rte.kind is RTEKind.RELATION:
-            table = self.catalog.table(rte.relation_name)
-            from repro.executor.nodes import SeqScan
-
-            if rte.used_attnos is not None and len(rte.used_attnos) < rte.width():
-                # Optimizer projection-pruning hint: emit only the columns
-                # this query references, so joins concatenate short tuples.
-                keep = sorted(rte.used_attnos)
-                plan: PlanNode = SeqScan(
-                    table, [rte.column_names[i] for i in keep], columns=keep
-                )
-                varmap = {
-                    (rtindex, attno): slot for slot, attno in enumerate(keep)
-                }
-                return _Unit(plan, varmap, {rtindex})
-            plan = SeqScan(table, list(rte.column_names))
-        else:
-            # FROM subqueries are uncorrelated (no LATERAL), so they plan
-            # with an empty enclosing-layout stack — and being closed,
-            # structurally identical ones share one materialized plan.
-            plan = self._plan_shared_subquery(rte.subquery)
-        varmap = {(rtindex, attno): attno for attno in range(rte.width())}
-        return _Unit(
-            plan, varmap, {rtindex}, from_subquery=rte.kind is RTEKind.SUBQUERY
-        )
-
-    # -- plain (A)SPJ queries -----------------------------------------------------------
-
-    def _plan_plain_query(
-        self,
-        query: Query,
-        skip_distinct: bool = False,
-        joined: Optional[_Unit] = None,
-    ) -> PlanNode:
-        if joined is None:
-            joined = self._plan_from_where(query)
-        if query.has_aggs or query.group_clause:
-            plan, varmap, target_exprs = self._plan_aggregation(query, joined)
-        else:
-            plan, varmap = joined.plan, joined.varmap
-            target_exprs = [t.expr for t in query.target_list]
-        # Project the full target list (visible + junk).  A target list of
-        # plain column references — the dominant shape in provenance
-        # rewrites — becomes a SliceNode (C-level row rearrangement)
-        # instead of per-expression closure calls.
-        names = [t.name for t in query.target_list]
-        slots = self._var_only_slots(target_exprs, varmap)
-        if slots is not None:
-            plan = _make_slice(plan, slots, names)
-        else:
-            compiler = self._compiler(varmap)
-            exprs = [compiler.compile(e) for e in target_exprs]
-            slot_hints = self._slot_hints(target_exprs, varmap)
-            plan = ProjectNode(
-                plan, exprs, names,
-                slots=slot_hints,
-                batch_exprs=self._batch_target_exprs(
-                    compiler, target_exprs, slot_hints
-                ),
-            )
-        if query.distinct and not skip_distinct:
-            plan = DistinctNode(plan)
-        return plan
-
-    @staticmethod
-    def _var_only_slots(
-        target_exprs: list[ex.Expr], varmap: VarMap
-    ) -> Optional[list[int]]:
-        """Input slots when every target is a local Var; None otherwise."""
-        slots: list[int] = []
-        for expr in target_exprs:
-            if not isinstance(expr, ex.Var) or expr.levelsup != 0:
-                return None
-            slot = varmap.get((expr.varno, expr.varattno))
-            if slot is None:
-                return None
-            slots.append(slot)
-        return slots
-
-    @staticmethod
-    def _slot_hints(
-        target_exprs: list[ex.Expr], varmap: VarMap
-    ) -> list[Optional[int]]:
-        """Per-position input slots for plain-Var targets (mixed lists)."""
-        return [
-            varmap.get((expr.varno, expr.varattno))
-            if isinstance(expr, ex.Var) and expr.levelsup == 0
-            else None
-            for expr in target_exprs
-        ]
-
-    def _plan_from_where(self, query: Query) -> _Unit:
-        # WHERE conjuncts are collected *first* so that conjuncts referencing
-        # only the preserved side of an outer join can be pushed below it --
-        # essential for the rewriter's sublink left-join chains, where the
-        # whole FROM clause sits under a LEFT JOIN.
-        where_conjuncts: list[ex.Expr] = []
-        if query.jointree.quals is not None:
-            where_conjuncts = split_conjuncts(query.jointree.quals)
-        # Uncorrelated-sublink conjuncts may sink too: their subplans read
-        # nothing from the enclosing layout, and filtering the preserved
-        # side before an outer join is where the provenance rewrite's
-        # original WHERE evaluated them.
-        pushable = [
-            c
-            for c in where_conjuncts
-            if ex.collect_vars(c)
-            and not any(s.correlated for s in ex.collect_sublinks(c))
-        ]
-        non_pushable = [c for c in where_conjuncts if c not in pushable]
-        units: list[_Unit] = []
-        conjuncts: list[ex.Expr] = []
-        for item in query.jointree.items:
-            self._flatten_inner(item, query, units, conjuncts, pushable)
-        # Outer-join pushdown consumed some of ``pushable``; the rest (and
-        # the sublink/no-var conjuncts) apply at this level.
-        conjuncts.extend(pushable)
-        conjuncts.extend(non_pushable)
-
-        if not units:
-            base: PlanNode = OneRow()
-            unit = _Unit(base, {}, set())
-            for conjunct in conjuncts:
-                unit = _Unit(
-                    self._filter_node(unit.plan, self._compiler({}), conjunct),
-                    {},
-                    set(),
-                )
-            return unit
-
-        # Classify conjuncts: single-unit filters are pushed down
-        # (sublink conjuncts too — the subplan compiles against the
-        # unit's layout, and filtering before the joins is where a
-        # pulled-up subquery evaluated it); multi-unit sublink conjuncts
-        # run after all joins; the rest participate in joins.
-        join_pool: list[ex.Expr] = []
-        late: list[ex.Expr] = []
-        for conjunct in conjuncts:
-            if any(s.correlated for s in ex.collect_sublinks(conjunct)):
-                # A correlated sublink body may reference any unit; it
-                # must see the full joined layout.
-                late.append(conjunct)
-                continue
-            vars_used = ex.collect_vars(conjunct)
-            owners = {self._unit_of(units, var.varno) for var in vars_used}
-            if len(owners) == 1:
-                unit = owners.pop()
-                self._push_conjunct(unit, conjunct)
-            elif ex.contains_sublink(conjunct) or len(owners) == 0:
-                late.append(conjunct)
-            else:
-                join_pool.append(conjunct)
-
-        joined = self._greedy_join(units, join_pool)
-        for conjunct in late:
-            joined.plan = self._filter_node(
-                joined.plan, self._compiler(joined.varmap), conjunct
-            )
-        return joined
-
-    @staticmethod
-    def _push_filter(unit: _Unit, predicate, batch_predicate=None) -> None:
-        """Attach a single-unit filter, merging into an existing scan
-        predicate or filter node — conjuncts arrive one at a time and a
-        stack of generator frames costs more than one combined check.
-
-        Batch kernels accumulate as a list (applied in order over
-        selection vectors); a conjunct without a batch form poisons the
-        node's batch predicate so execution falls back to the row bridge
-        rather than silently dropping the conjunct.
-        """
-        from repro.executor.nodes import SeqScan
-
-        plan = unit.plan
-        if isinstance(plan, SeqScan):
-            had_predicate = plan.predicate is not None
-            if not had_predicate:
-                plan.predicate = predicate
-            else:
-                plan.predicate = _conjoin_predicates(plan.predicate, predicate)
-            if batch_predicate is None:
-                plan.batch_predicates = None
-            elif had_predicate and plan.batch_predicates is None:
-                pass  # earlier row-only conjunct already poisoned batch mode
-            else:
-                if plan.batch_predicates is None:
-                    plan.batch_predicates = []
-                plan.batch_predicates.append(batch_predicate)
-            plan.estimate = max(plan.estimate * 0.25, 1.0)
-            return
-        if isinstance(plan, FilterNode):
-            plan.predicate = _conjoin_predicates(plan.predicate, predicate)
-            if batch_predicate is None or plan.batch_predicates is None:
-                plan.batch_predicates = None
-            else:
-                plan.batch_predicates.append(batch_predicate)
-            plan.estimate = max(plan.estimate * 0.25, 1.0)
-            return
-        unit.plan = FilterNode(
-            plan,
-            predicate,
-            [batch_predicate] if batch_predicate is not None else None,
-        )
-
-    @staticmethod
-    def _unit_of(units: list[_Unit], rtindex: int) -> _Unit:
-        for unit in units:
-            if rtindex in unit.rtindexes:
-                return unit
-        raise PlanError(f"range table index {rtindex} not found in any join unit")
-
-    def _flatten_inner(
-        self,
-        node: JoinTreeNode,
-        query: Query,
-        units: list[_Unit],
-        conjuncts: list[ex.Expr],
-        pushable: Optional[list[ex.Expr]] = None,
-    ) -> None:
-        if isinstance(node, RangeTableRef):
-            units.append(self._plan_rte(node.rtindex, query.range_table[node.rtindex]))
-            return
-        pair = self._fused_pair(query, node)
-        if pair is not None:
-            # Aggregation-join fusion: the pair's group-key quals are
-            # enforced by the fused hash join itself.
-            units.append(self._plan_fused_unit(query, pair))
-            return
-        if node.join_type == "inner":
-            self._flatten_inner(node.left, query, units, conjuncts, pushable)
-            self._flatten_inner(node.right, query, units, conjuncts, pushable)
-            if node.quals is not None:
-                conjuncts.extend(split_conjuncts(node.quals))
-            return
-        units.append(self._plan_outer_join(node, query, pushable))
-
-    # -- aggregation-join fusion (Query.agg_share) -----------------------------
-
-    @staticmethod
-    def _fused_pair(
-        query: Query, node: JoinTreeNode
-    ) -> Optional[tuple[int, int, tuple[int, ...]]]:
-        if (
-            not query.agg_shares
-            or not isinstance(node, JoinTreeExpr)
-            or node.join_type not in ("inner", "cross")
-            or not isinstance(node.left, RangeTableRef)
-            or not isinstance(node.right, RangeTableRef)
-        ):
-            return None
-        indexes = {node.left.rtindex, node.right.rtindex}
-        for pair in query.agg_shares:
-            if set(pair[:2]) == indexes:
-                return pair
-        return None
-
-    def _plan_fused_unit(
-        self, query: Query, pair: tuple[int, int, tuple[int, ...]]
-    ) -> _Unit:
-        """Plan the ``q_agg ⋈ d+`` pair over one shared, materialized core.
-
-        The optimizer verified that both subqueries' FROM/WHERE produce
-        the same bag of rows and that their range tables are numbered
-        isomorphically (the provenance side only appends output columns),
-        so the aggregate side's expressions compile directly against the
-        core's variable layout.  The core runs once: the aggregation
-        consumes the materialization, then the provenance projection
-        re-reads it while hash-joining the aggregate rows back on the
-        (null-safe) group keys.
-        """
-        from repro.executor.nodes import MaterializeNode
-
-        agg_index, prov_index, positions = pair
-        agg = query.range_table[agg_index].subquery
-        prov = query.range_table[prov_index].subquery
-        assert agg is not None and prov is not None
-
-        inner = self._sub_planner()
-        core = inner._plan_from_where(prov)
-        mat = MaterializeNode(core.plan)
-
-        # Provenance-side projection over the core.  When every output is
-        # a plain column reference (the rewriter's usual shape) no
-        # projection runs at all — the parent's Vars map straight onto
-        # core slots and the join emits raw core rows.
-        names = [t.name for t in prov.target_list]
-        target_exprs = [t.expr for t in prov.target_list]
-        slots = self._var_only_slots(target_exprs, core.varmap)
-        if slots is not None:
-            left: PlanNode = mat
-            b_slots = slots
-        else:
-            compiler = inner._compiler(core.varmap)
-            slot_hints = self._slot_hints(target_exprs, core.varmap)
-            left = ProjectNode(
-                mat,
-                [compiler.compile(e) for e in target_exprs],
-                names,
-                slots=slot_hints,
-                batch_exprs=self._batch_target_exprs(
-                    compiler, target_exprs, slot_hints
-                ),
-            )
-            b_slots = list(range(len(target_exprs)))
-
-        # Aggregate-side pipeline (agg + having + targets + sort/limit)
-        # over the same materialization.  A structurally shared twin
-        # elsewhere in the statement (Q13's inner aggregate, a HAVING
-        # sublink's body) reuses one plan through the subplan registry.
-        agg_plan: Optional[PlanNode] = None
-        if agg.share_candidate:
-            agg_plan = self.shared.lookup(agg)
-        if agg_plan is None:
-            agg_plan = self._sub_planner().plan(
-                agg, joined=_Unit(mat, dict(core.varmap), set(core.rtindexes))
-            )
-            if agg.share_candidate:
-                agg_plan = self.shared.remember(agg, agg_plan)
-
-        if positions:
-            left_keys = [_slot_reader(b_slots[i]) for i in range(len(positions))]
-            right_keys = [_slot_reader(p) for p in positions]
-            join: PlanNode = HashJoin(
-                left,
-                agg_plan,
-                "inner",
-                left_keys,
-                right_keys,
-                None,
-                [True] * len(positions),
-                batch_left_keys=(
-                    [_slot_column(b_slots[i]) for i in range(len(positions))]
-                    if self.vectorize
-                    else None
-                ),
-                batch_right_keys=(
-                    [_slot_column(p) for p in positions]
-                    if self.vectorize
-                    else None
-                ),
-            )
-        else:
-            # Grand aggregate: a single aggregate row attaches to every
-            # core row (and none when the core is empty — footnote 4).
-            join = NestedLoopJoin(left, agg_plan, "inner", None)
-
-        b_width = left.width()
-        varmap: VarMap = {
-            (prov_index, p): b_slots[p] for p in range(len(target_exprs))
-        }
-        for slot in range(agg_plan.width()):
-            varmap[(agg_index, slot)] = b_width + slot
-        return _Unit(
-            join, varmap, {agg_index, prov_index}, from_subquery=True
-        )
-
-    def _plan_join_operand(
-        self,
-        node: JoinTreeNode,
-        query: Query,
-        extra_conjuncts: Optional[list[ex.Expr]] = None,
-        pushable: Optional[list[ex.Expr]] = None,
-    ) -> _Unit:
-        """Plan a join subtree standalone (used under outer joins)."""
-        units: list[_Unit] = []
-        conjuncts: list[ex.Expr] = list(extra_conjuncts or [])
-        self._flatten_inner(node, query, units, conjuncts, pushable)
-        if len(units) == 1 and not conjuncts:
-            return units[0]
-        late = [c for c in conjuncts if ex.contains_sublink(c)]
-        pool = []
-        for conjunct in conjuncts:
-            if ex.contains_sublink(conjunct):
-                continue
-            # Single-unit conjuncts filter at the scan, exactly as in
-            # _plan_from_where — without this, a filter that lived inside
-            # a pulled-up subquery would run as a join residual.
-            vars_used = ex.collect_vars(conjunct)
-            owners = {self._unit_of(units, var.varno) for var in vars_used}
-            if len(owners) == 1:
-                unit = owners.pop()
-                self._push_conjunct(unit, conjunct)
-            else:
-                pool.append(conjunct)
-        joined = self._greedy_join(units, pool)
-        for conjunct in late:
-            joined.plan = self._filter_node(
-                joined.plan, self._compiler(joined.varmap), conjunct
-            )
-        return joined
-
-    def _plan_outer_join(
-        self,
-        node: JoinTreeExpr,
-        query: Query,
-        pushable: Optional[list[ex.Expr]] = None,
-    ) -> _Unit:
-        from repro.analyzer.query_tree import jointree_rtindexes
-
-        # WHERE conjuncts referencing only the preserved side can move
-        # below the outer join (they filter preserved rows identically
-        # before or after null extension of the other side).
-        left_extra: list[ex.Expr] = []
-        right_extra: list[ex.Expr] = []
-        if pushable:
-            if node.join_type == "left":
-                preserved, extras = set(jointree_rtindexes(node.left)), left_extra
-            elif node.join_type == "right":
-                preserved, extras = set(jointree_rtindexes(node.right)), right_extra
-            else:
-                preserved, extras = set(), []
-            if preserved:
-                for conjunct in list(pushable):
-                    vars_used = ex.collect_vars(conjunct)
-                    if vars_used and all(v.varno in preserved for v in vars_used):
-                        extras.append(conjunct)
-                        pushable.remove(conjunct)
-        # The pool may only flow into the preserved side: pushing WHERE
-        # conjuncts below the null-producing side would let null-extended
-        # rows survive that the original WHERE eliminates.
-        left_pool = pushable if node.join_type == "left" else None
-        right_pool = pushable if node.join_type == "right" else None
-        left = self._plan_join_operand(node.left, query, left_extra, left_pool)
-        right = self._plan_join_operand(node.right, query, right_extra, right_pool)
-        merged_map = dict(left.varmap)
-        offset = left.plan.width()
-        for key, slot in right.varmap.items():
-            merged_map[key] = slot + offset
-        condition_conjuncts = (
-            split_conjuncts(node.quals) if node.quals is not None else []
-        )
-        # ON-condition conjuncts over the null-producing side alone
-        # pre-filter that input: ``L LEFT JOIN R ON (c AND w(R))`` is
-        # ``L LEFT JOIN (σ_w R) ON c``.  (Preserved-side conjuncts must
-        # stay in the condition — they decide null extension, not row
-        # survival.)
-        if node.join_type in ("left", "right"):
-            nullable = right if node.join_type == "left" else left
-            kept: list[ex.Expr] = []
-            for conjunct in condition_conjuncts:
-                vars_used = ex.collect_vars(conjunct)
-                if (
-                    vars_used
-                    and not ex.contains_sublink(conjunct)
-                    and all(v.varno in nullable.rtindexes for v in vars_used)
-                ):
-                    self._push_conjunct(nullable, conjunct)
-                else:
-                    kept.append(conjunct)
-            condition_conjuncts = kept
-        plan = self._make_join(
-            left, right, merged_map, node.join_type, condition_conjuncts
-        )
-        return _Unit(
-            plan,
-            merged_map,
-            left.rtindexes | right.rtindexes,
-            from_subquery=left.from_subquery or right.from_subquery,
-        )
-
-    def _make_join(
-        self,
-        left: _Unit,
-        right: _Unit,
-        merged_map: VarMap,
-        join_type: str,
-        conjuncts: list[ex.Expr],
-    ) -> PlanNode:
-        # ``ON TRUE`` (the rewriter's unconditional join marker) adds
-        # nothing: dropping it turns the join into the condition-free
-        # nested loop, which has the cheap vectorized cross-product path.
-        conjuncts = [
-            c
-            for c in conjuncts
-            if not (isinstance(c, ex.Const) and c.value is True)
-        ]
-        left_keys, right_keys, null_safe, residual = extract_equi_keys(
-            conjuncts, left, right
-        )
-        compiler = self._compiler(merged_map)
-        if left_keys:
-            left_compiler = self._compiler(left.varmap)
-            right_compiler = self._compiler(right.varmap)
-            residual_fn = (
-                compiler.compile(conjoin(residual)) if residual else None
-            )
-            return HashJoin(
-                left.plan,
-                right.plan,
-                join_type,
-                [left_compiler.compile(k) for k in left_keys],
-                [right_compiler.compile(k) for k in right_keys],
-                residual_fn,
-                null_safe,
-                batch_left_keys=self._batch_compile_all(left_compiler, left_keys),
-                batch_right_keys=self._batch_compile_all(
-                    right_compiler, right_keys
-                ),
-                batch_residual=(
-                    self._batch_compile(compiler, conjoin(residual))
-                    if residual
-                    else None
-                ),
-            )
-        condition_fn = compiler.compile(conjoin(conjuncts)) if conjuncts else None
-        return NestedLoopJoin(
-            left.plan,
-            right.plan,
-            join_type,
-            condition_fn,
-            batch_condition=(
-                self._batch_compile(compiler, conjoin(conjuncts))
-                if conjuncts
-                else None
-            ),
-        )
-
-    def _greedy_join(self, units: list[_Unit], pool: list[ex.Expr]) -> _Unit:
-        """Left-deep greedy join ordering over inner-join units."""
-        remaining = list(units)
-        pool = list(pool)
-        # Start from the smallest estimated *base* unit; subquery-derived
-        # units (aggregates re-attached by the provenance rewrite) join
-        # last, after the base join chain narrowed the row stream.
-        remaining.sort(key=lambda u: (u.from_subquery, u.plan.estimate))
-        current = remaining.pop(0)
-        while remaining:
-            connected = [
-                (i, unit)
-                for i, unit in enumerate(remaining)
-                if any(self._connects(c, current, unit) for c in pool)
-            ]
-            candidates = connected or list(enumerate(remaining))
-            best_index = min(
-                candidates,
-                key=lambda pair: (pair[1].from_subquery, pair[1].plan.estimate),
-            )[0]
-            next_unit = remaining.pop(best_index)
-            applicable: list[ex.Expr] = []
-            still_pooled: list[ex.Expr] = []
-            combined_rts = current.rtindexes | next_unit.rtindexes
-            for conjunct in pool:
-                vars_used = ex.collect_vars(conjunct)
-                if vars_used and all(v.varno in combined_rts for v in vars_used):
-                    applicable.append(conjunct)
-                else:
-                    still_pooled.append(conjunct)
-            pool = still_pooled
-            merged_map = dict(current.varmap)
-            offset = current.plan.width()
-            for key, slot in next_unit.varmap.items():
-                merged_map[key] = slot + offset
-            plan = self._make_join(current, next_unit, merged_map, "inner", applicable)
-            current = _Unit(plan, merged_map, combined_rts)
-        for conjunct in pool:
-            # Conjuncts referencing no vars (constants) or left over.
-            current.plan = self._filter_node(
-                current.plan, self._compiler(current.varmap), conjunct
-            )
-        return current
-
-    @staticmethod
-    def _connects(conjunct: ex.Expr, left: _Unit, right: _Unit) -> bool:
-        if not (isinstance(conjunct, ex.OpExpr) and conjunct.op in ("=", "<=>")):
-            return False
-        vars_used = ex.collect_vars(conjunct)
-        touches_left = any(v.varno in left.rtindexes for v in vars_used)
-        touches_right = any(v.varno in right.rtindexes for v in vars_used)
-        return touches_left and touches_right
-
-    # -- aggregation ---------------------------------------------------------------------
-
-    def _plan_aggregation(
-        self, query: Query, joined: _Unit
-    ) -> tuple[PlanNode, VarMap, list[ex.Expr]]:
-        from repro.executor.aggregates import make_aggregate_factory
-
-        aggrefs: list[ex.Aggref] = []
-
-        def collect(expr: ex.Expr) -> None:
-            for node in ex.walk(expr):
-                if isinstance(node, ex.Aggref) and node not in aggrefs:
-                    aggrefs.append(node)
-
-        for target in query.target_list:
-            collect(target.expr)
-        if query.having is not None:
-            collect(query.having)
-
-        input_compiler = self._compiler(joined.varmap)
-        group_fns = [input_compiler.compile(g) for g in query.group_clause]
-        agg_factories = []
-        agg_args: list[Optional[Callable]] = []
-        # Distinct argument expressions are compiled (and evaluated) once;
-        # sum(x) and avg(x) share one evaluation of x per input row.
-        arg_slots: list[Optional[int]] = []
-        unique_arg_exprs: list[ex.Expr] = []
-        unique_arg_fns: list[Callable] = []
-        for aggref in aggrefs:
-            agg_factories.append(
-                make_aggregate_factory(aggref.aggname, aggref.star, aggref.distinct)
-            )
-            if aggref.arg is None:
-                agg_args.append(None)
-                arg_slots.append(None)
-                continue
-            try:
-                slot = unique_arg_exprs.index(aggref.arg)
-            except ValueError:
-                slot = len(unique_arg_exprs)
-                unique_arg_exprs.append(aggref.arg)
-                unique_arg_fns.append(input_compiler.compile(aggref.arg))
-            agg_args.append(unique_arg_fns[slot])
-            arg_slots.append(slot)
-        group_count = len(query.group_clause)
-        output_names = [f"g{i}" for i in range(group_count)] + [
-            f"agg{i}" for i in range(len(aggrefs))
-        ]
-        agg_plan: PlanNode = HashAggregate(
-            joined.plan,
-            group_fns,
-            agg_factories,
-            agg_args,
-            output_names,
-            arg_slots=arg_slots,
-            unique_args=unique_arg_fns,
-            batch_group_exprs=self._batch_compile_all(
-                input_compiler, list(query.group_clause)
-            ),
-            batch_unique_args=self._batch_compile_all(
-                input_compiler, unique_arg_exprs
-            ),
-        )
-        post_varmap: VarMap = {
-            (_POST_AGG_VARNO, slot): slot for slot in range(group_count + len(aggrefs))
-        }
-
-        # Rewrite post-aggregation expressions: whole-group-expr matches and
-        # Aggrefs become Vars over the aggregate output.
-        group_slots = list(enumerate(query.group_clause))
-
-        def replace(expr: ex.Expr) -> ex.Expr:
-            for slot, group_expr in group_slots:
-                if expr == group_expr:
-                    return ex.Var(
-                        varno=_POST_AGG_VARNO,
-                        varattno=slot,
-                        type=expr.type,
-                        name=f"g{slot}",
-                    )
-            if isinstance(expr, ex.Aggref):
-                slot = group_count + aggrefs.index(expr)
-                return ex.Var(
-                    varno=_POST_AGG_VARNO, varattno=slot, type=expr.type, name=f"agg{slot}"
-                )
-            children = expr.children()
-            if not children:
-                return expr
-            from repro.analyzer.expressions import rebuild_with_children
-
-            return rebuild_with_children(expr, [replace(c) for c in children])
-
-        target_exprs = [replace(t.expr) for t in query.target_list]
-        if query.having is not None:
-            agg_plan = self._filter_node(
-                agg_plan, self._compiler(post_varmap), replace(query.having)
-            )
-        return agg_plan, post_varmap, target_exprs
-
-    # -- set operations ---------------------------------------------------------------------
-
-    def _plan_setop_query(self, query: Query) -> PlanNode:
-        plan = self._plan_setop_tree(query.set_operations, query)
-        plan = self._rename_output(plan, [t.name for t in query.target_list])
-        return plan
-
-    def _plan_setop_tree(self, node: SetOpTreeNode, query: Query) -> PlanNode:
-        if isinstance(node, SetOpRangeRef):
-            rte = query.range_table[node.rtindex]
-            # Leaf subqueries are analyzed against the same outer scopes as
-            # the set-operation node (no extra level), so the enclosing
-            # layouts pass through unchanged — a correlated sublink whose
-            # body is a set operation reads the same outer-row stack.
-            return Planner(
-                self.catalog,
-                self.outer_varmaps,
-                self.shared,
-                vectorize=self.vectorize,
-            ).plan(rte.subquery)
-        left = self._plan_setop_tree(node.left, query)
-        right = self._plan_setop_tree(node.right, query)
-        return SetOpPlanNode(node.op, node.all, left, right)
-
-    @staticmethod
-    def _rename_output(plan: PlanNode, names: list[str]) -> PlanNode:
-        plan.output_names = list(names)
-        return plan
-
-    # -- sort / limit / junk removal -------------------------------------------------------------
-
-    def _apply_sort(self, query: Query, plan: PlanNode) -> PlanNode:
-        if query.sort_clause:
-            specs = [
-                (clause.tlist_index, clause.descending, clause.nulls_first)
-                for clause in query.sort_clause
-            ]
-            plan = SortNode(plan, specs)
-        return plan
-
-    def _apply_limit(self, query: Query, plan: PlanNode) -> PlanNode:
-        if query.limit_count is not None or query.limit_offset is not None:
-            count = self._const_int(query.limit_count)
-            offset = self._const_int(query.limit_offset) or 0
-            plan = LimitNode(plan, count, offset)
-        return plan
-
-    @staticmethod
-    def _const_int(expr: Optional[ex.Expr]) -> Optional[int]:
-        if expr is None:
-            return None
-        if not isinstance(expr, ex.Const):
-            raise PlanError("LIMIT/OFFSET must be constants")
-        return int(expr.value)
-
-    @staticmethod
-    def _slice_junk(query: Query, plan: PlanNode) -> PlanNode:
-        if not any(t.resjunk for t in query.target_list):
-            return plan
-        keep = [i for i, t in enumerate(query.target_list) if not t.resjunk]
-        names = [query.target_list[i].name for i in keep]
-        return _make_slice(plan, keep, names)
-
-
-def _make_slice(plan: PlanNode, keep: list[int], names: list[str]) -> PlanNode:
-    """A SliceNode, pushed through unconditional nested loops.
-
-    Slicing commutes with a condition-free cross product (the output is
-    left columns followed by right columns) as long as the requested
-    order keeps the sides contiguous, so the rearrangement runs on the
-    operands — typically orders of magnitude fewer rows than the
-    product.
-    """
-    from repro.executor.nodes import NestedLoopJoin
-
-    left_width = plan.left.width() if isinstance(plan, NestedLoopJoin) else 0
-    if (
-        isinstance(plan, NestedLoopJoin)
-        and plan.condition is None
-        # Every left-side slot must precede every right-side slot.
-        and all(
-            not (a >= left_width and b < left_width)
-            for a, b in zip(keep, keep[1:])
-        )
-    ):
-        keep_left = [i for i in keep if i < left_width]
-        keep_right = [i - left_width for i in keep if i >= left_width]
-        left = plan.left
-        right = plan.right
-        if keep_left != list(range(left_width)):
-            left = _make_slice(
-                left, keep_left, [plan.left.output_names[i] for i in keep_left]
-            )
-        if keep_right != list(range(plan.right.width())):
-            right = _make_slice(
-                right,
-                keep_right,
-                [plan.right.output_names[i] for i in keep_right],
-            )
-        pushed = NestedLoopJoin(left, right, plan.join_type, None)
-        pushed.output_names = list(names)
-        return pushed
-    return SliceNode(plan, keep, names)
-
-
-# ---------------------------------------------------------------------------
-# Conjunct utilities
-# ---------------------------------------------------------------------------
-
-
-def split_conjuncts(expr: ex.Expr) -> list[ex.Expr]:
-    """Flatten nested AND chains into a conjunct list.
-
-    OR nodes whose every arm shares common conjuncts are factored
-    (``(a AND x) OR (a AND y)`` -> ``a AND (x OR y)``), which recovers the
-    join predicate hidden inside TPC-H Q19's disjunction.
-    """
-    if isinstance(expr, ex.BoolOpExpr) and expr.op == "and":
-        result: list[ex.Expr] = []
-        for arg in expr.args:
-            result.extend(split_conjuncts(arg))
-        return result
-    if isinstance(expr, ex.BoolOpExpr) and expr.op == "or":
-        factored = _factor_or(expr)
-        if factored is not None:
-            return factored
-    return [expr]
-
-
-def _factor_or(expr: ex.BoolOpExpr) -> Optional[list[ex.Expr]]:
-    """Extract conjuncts common to every arm of an OR, if any."""
-    arms = [split_conjuncts(arg) for arg in expr.args]
-    common = [c for c in arms[0] if all(any(c == d for d in arm) for arm in arms[1:])]
-    if not common:
-        return None
-    remainders: list[ex.Expr] = []
-    for arm in arms:
-        rest = [c for c in arm if not any(c == k for k in common)]
-        if not rest:
-            # One arm is exactly the common part: the OR adds nothing more.
-            return common
-        remainders.append(conjoin(rest))
-    return common + [ex.BoolOpExpr("or", tuple(remainders))]
-
-
-def conjoin(conjuncts: list[ex.Expr]) -> ex.Expr:
-    if len(conjuncts) == 1:
-        return conjuncts[0]
-    return ex.BoolOpExpr("and", tuple(conjuncts))
-
-
-def extract_equi_keys(
-    conjuncts: list[ex.Expr], left: _Unit, right: _Unit
-) -> tuple[list[ex.Expr], list[ex.Expr], list[bool], list[ex.Expr]]:
-    """Split conjuncts into hash-joinable equi keys and a residual list.
-
-    Both plain ``=`` and the rewriter's null-safe ``<=>`` qualify; the
-    returned flag list marks the null-safe keys.
-    """
-    left_keys: list[ex.Expr] = []
-    right_keys: list[ex.Expr] = []
-    null_safe: list[bool] = []
-    residual: list[ex.Expr] = []
-    for conjunct in conjuncts:
-        if (
-            isinstance(conjunct, ex.OpExpr)
-            and conjunct.op in ("=", "<=>")
-            and not ex.contains_sublink(conjunct)
-        ):
-            a, b = conjunct.args
-            vars_a = ex.collect_vars(a)
-            vars_b = ex.collect_vars(b)
-            if vars_a and vars_b:
-                a_in_left = all(v.varno in left.rtindexes for v in vars_a)
-                a_in_right = all(v.varno in right.rtindexes for v in vars_a)
-                b_in_left = all(v.varno in left.rtindexes for v in vars_b)
-                b_in_right = all(v.varno in right.rtindexes for v in vars_b)
-                if a_in_left and b_in_right:
-                    left_keys.append(a)
-                    right_keys.append(b)
-                    null_safe.append(conjunct.op == "<=>")
-                    continue
-                if a_in_right and b_in_left:
-                    left_keys.append(b)
-                    right_keys.append(a)
-                    null_safe.append(conjunct.op == "<=>")
-                    continue
-        residual.append(conjunct)
-    return left_keys, right_keys, null_safe, residual
+Planner = CostBasedPlanner
+
+__all__ = [
+    "CostBasedPlanner",
+    "HeuristicPlanner",
+    "Planner",
+    "PlannerBase",
+    "conjoin",
+    "extract_equi_keys",
+    "split_conjuncts",
+]

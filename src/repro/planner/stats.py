@@ -1,0 +1,132 @@
+"""Table and column statistics: the planner's view of the data.
+
+Collected by ``ANALYZE`` (the SQL statement, ``db.analyze()``, or the
+shell's ``\\analyze``) in one pass over each heap and stored in the
+catalog.  The cost model (:mod:`repro.planner.cost`) consumes them for
+selectivity and cardinality estimation; without statistics it falls back
+to magic-constant defaults, so ``ANALYZE`` is an optimization, never a
+correctness requirement.
+
+Freshness: a :class:`TableStats` remembers the ``(uid, epoch)`` of the
+heap it was built from.  A dropped-and-recreated table (new ``uid``) or
+a truncate (new ``epoch``) invalidates the entry; plain appends do not
+— like any sampling DBMS, the numbers then lag the data until the next
+``ANALYZE`` (the live row count is always read from the heap itself).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.storage.table import Table
+
+#: Distinct-tracking cap per column: beyond this many values the column
+#: is treated as effectively unique (ndv extrapolated to the row count),
+#: bounding ANALYZE memory on wide-text columns of large heaps.
+MAX_TRACKED_DISTINCT = 131072
+
+
+@dataclass
+class ColumnStats:
+    """One column's statistics snapshot.
+
+    ``ndv`` counts distinct non-NULL values; ``min_value``/``max_value``
+    are populated only for orderable types (numbers, strings, dates) and
+    drive range-predicate interpolation.
+    """
+
+    ndv: int = 0
+    null_frac: float = 0.0
+    min_value: Optional[Any] = None
+    max_value: Optional[Any] = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ColumnStats(ndv={self.ndv}, nulls={self.null_frac:.3f}, "
+            f"range=[{self.min_value!r}, {self.max_value!r}])"
+        )
+
+
+@dataclass
+class TableStats:
+    """Statistics snapshot of one heap table."""
+
+    table_name: str
+    row_count: int
+    columns: dict[str, ColumnStats] = field(default_factory=dict)
+    # Heap identity at collection time (freshness check).
+    table_uid: int = -1
+    table_epoch: int = -1
+
+    def column(self, name: str) -> Optional[ColumnStats]:
+        return self.columns.get(name.lower())
+
+    def is_fresh_for(self, table: "Table") -> bool:
+        return (
+            self.table_uid == table.uid and self.table_epoch == table.epoch
+        )
+
+
+def _orderable(value: Any) -> bool:
+    """Min/max only make sense for homogeneous, orderable scalars."""
+    import datetime
+
+    return isinstance(value, (int, float, str, datetime.date)) and not isinstance(
+        value, bool
+    )
+
+
+def collect_table_stats(table: "Table") -> TableStats:
+    """One full pass over the heap: per-column NDV, nulls, min/max.
+
+    Heaps are transposed through the table's columnar cache, so the
+    per-column loops run over plain lists (one C-level ``set()`` build
+    per column up to :data:`MAX_TRACKED_DISTINCT` values).
+    """
+    rows = table.row_count()
+    stats = TableStats(
+        table_name=table.name,
+        row_count=rows,
+        table_uid=table.uid,
+        table_epoch=table.epoch,
+    )
+    if rows == 0:
+        for name in table.column_names:
+            stats.columns[name.lower()] = ColumnStats()
+        return stats
+    for attno, name in enumerate(table.column_names):
+        column = table.columnar()[attno]
+        non_null = [v for v in column if v is not None]
+        null_frac = 1.0 - len(non_null) / rows
+        if not non_null:
+            stats.columns[name.lower()] = ColumnStats(null_frac=1.0)
+            continue
+        if len(non_null) > MAX_TRACKED_DISTINCT:
+            sample = non_null[:MAX_TRACKED_DISTINCT]
+            seen = len(set(sample))
+            # Extrapolate: if the sample looks unique, assume the column
+            # is; otherwise scale the sample's distinct ratio.
+            ndv = (
+                len(non_null)
+                if seen == len(sample)
+                else max(1, int(seen / len(sample) * len(non_null)))
+            )
+        else:
+            ndv = len(set(non_null))
+        probe = non_null[0]
+        if _orderable(probe):
+            try:
+                min_value, max_value = min(non_null), max(non_null)
+            except TypeError:  # mixed types sneaked in; skip the range
+                min_value = max_value = None
+        else:
+            min_value = max_value = None
+        stats.columns[name.lower()] = ColumnStats(
+            ndv=ndv,
+            null_frac=null_frac,
+            min_value=min_value,
+            max_value=max_value,
+        )
+    return stats

@@ -466,6 +466,14 @@ class ExplainStmt(Node):
     query: SelectNode
 
 
+@dataclass
+class AnalyzeStmt(Node):
+    """``ANALYZE [table]`` — collect planner statistics (all tables when
+    no name is given)."""
+
+    table: Optional[str] = None
+
+
 Statement = Union[
     SelectStmt,
     SetOpSelect,
@@ -474,4 +482,5 @@ Statement = Union[
     InsertStmt,
     DropStmt,
     ExplainStmt,
+    AnalyzeStmt,
 ]

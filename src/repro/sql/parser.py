@@ -153,6 +153,12 @@ class _Parser:
         if token.is_keyword("EXPLAIN"):
             self.advance()
             return ast.ExplainStmt(query=self.parse_select())
+        if token.is_keyword("ANALYZE"):
+            self.advance()
+            name = None
+            if self.peek().kind is TokenKind.IDENT:
+                name = self.expect_ident("table name")
+            return ast.AnalyzeStmt(table=name)
         raise ParseError(f"unexpected token {token.value!r}", token.position)
 
     # -- SELECT with set operations -------------------------------------------

@@ -9,6 +9,17 @@ from __future__ import annotations
 from repro.sql import ast
 
 
+def format_statement(node: ast.Statement) -> str:
+    """Render a statement back to SQL (selects, EXPLAIN and ANALYZE)."""
+    if isinstance(node, ast.AnalyzeStmt):
+        return f"ANALYZE {node.table}" if node.table else "ANALYZE"
+    if isinstance(node, ast.ExplainStmt):
+        return f"EXPLAIN {format_select(node.query)}"
+    if isinstance(node, (ast.SelectStmt, ast.SetOpSelect)):
+        return format_select(node)
+    raise TypeError(f"cannot format statement {node!r}")
+
+
 def format_select(node: ast.SelectNode) -> str:
     if isinstance(node, ast.SetOpSelect):
         op = node.op.upper() + (" ALL" if node.all else "")

@@ -43,7 +43,7 @@ KEYWORDS = frozenset(
     PRIMARY KEY
     DATE INTERVAL EXTRACT SUBSTRING FOR
     PROVENANCE BASERELATION
-    EXPLAIN
+    EXPLAIN ANALYZE
     """.split()
 )
 

@@ -105,13 +105,21 @@ class Table:
         """Scan the heap as columnar chunks (the vectorized SeqScan source).
 
         ``columns`` (when given) narrows to the listed attribute numbers in
-        output order.  When the whole table fits one batch the cached
-        column lists are handed out directly — consumers never mutate
-        chunk columns, so the hot path copies nothing.
+        output order.  ``batch_size`` is always honored — even when the
+        columnar cache holds the whole table: the zero-copy fast path
+        (handing out the cached column lists directly; consumers never
+        mutate chunk columns) applies only when the table genuinely fits
+        one batch, otherwise the cache is sliced into bounded chunks.
+        The cost-based planner shrinks the executor's batch size below
+        the table size when joins fan out
+        (:attr:`~repro.executor.nodes.PlanNode.batch_size_hint`), so at
+        larger scale factors scans stream bounded chunks instead of
+        SF-sized single ones.
         """
         total = len(self._rows)
         if total == 0:
             return
+        batch_size = max(int(batch_size), 1)
         data = self.columnar()
         narrow = columns is not None
         if narrow:

@@ -1,0 +1,80 @@
+"""The hashed-probe batch kernels for uncorrelated ANY/ALL sublinks.
+
+Every 3VL edge case is pinned against the row engine: NULL test values,
+NULLs among the subquery values, empty subqueries, and all six
+operators in both quantifiers.  (The former per-row fallback made these
+the largest remaining scalar loops inside batch plans.)
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+
+
+def _db(vectorize: bool, values) -> repro.PermDatabase:
+    db = repro.connect(vectorize=vectorize)
+    db.execute("CREATE TABLE t (x integer)")
+    db.execute("CREATE TABLE sub (y integer)")
+    db.load_table("t", [(0,), (1,), (2,), (3,), (None,)])
+    db.load_table("sub", [(v,) for v in values])
+    return db
+
+
+_SUBQUERY_VALUES = (
+    (),
+    (1,),
+    (1, 2),
+    (1, None),
+    (None,),
+    (1, 1, 3),
+)
+
+_PREDICATES = tuple(
+    f"x {op} {quantifier} (SELECT y FROM sub)"
+    for op in ("=", "<>", "<", "<=", ">", ">=")
+    for quantifier in ("ANY", "ALL")
+) + (
+    "x IN (SELECT y FROM sub)",
+    "x NOT IN (SELECT y FROM sub)",
+)
+
+
+@pytest.mark.parametrize("values", _SUBQUERY_VALUES, ids=repr)
+@pytest.mark.parametrize("predicate", _PREDICATES)
+def test_batch_matches_row_engine(values, predicate):
+    sql = f"SELECT x FROM t WHERE {predicate}"
+    row = sorted(map(repr, _db(False, values).execute(sql).rows))
+    batch = sorted(map(repr, _db(True, values).execute(sql).rows))
+    assert batch == row, f"{predicate} over {values}"
+
+
+@pytest.mark.parametrize("values", _SUBQUERY_VALUES, ids=repr)
+def test_negated_quantifier_matches(values):
+    # NOT over the kernel's None results must keep 3VL (None stays None).
+    sql = "SELECT x FROM t WHERE NOT (x = ANY (SELECT y FROM sub))"
+    row = sorted(map(repr, _db(False, values).execute(sql).rows))
+    batch = sorted(map(repr, _db(True, values).execute(sql).rows))
+    assert batch == row
+
+
+def test_projection_position_sees_null_verdicts():
+    # In the select list the 3VL verdict itself is visible (not just its
+    # filtering effect), so None/True/False must match exactly.
+    for values in _SUBQUERY_VALUES:
+        sql = "SELECT x, x > ALL (SELECT y FROM sub) FROM t"
+        row = sorted(map(repr, _db(False, values).execute(sql).rows))
+        batch = sorted(map(repr, _db(True, values).execute(sql).rows))
+        assert batch == row, f"values={values}"
+
+
+def test_subquery_evaluates_once_per_execution():
+    db = _db(True, (1, 2))
+    result = db.execute("SELECT count(*) FROM t WHERE x = ANY (SELECT y FROM sub)")
+    assert result.scalar() == 2
+    # Mutating the subquery table between executions is visible (the
+    # digest lives in the per-execution context, not the plan).
+    db.execute("INSERT INTO sub VALUES (3)")
+    result = db.execute("SELECT count(*) FROM t WHERE x = ANY (SELECT y FROM sub)")
+    assert result.scalar() == 3

@@ -1,0 +1,228 @@
+"""Differential suite: cost-based planner ≡ heuristic planner.
+
+The statistics-driven planner must be semantically invisible: every
+query returns the same result multiset (float summation tolerance aside
+— different join orders regroup partial sums) with ``cost_based=True``
+and ``cost_based=False``.  Checked over the paper's shop/sales/items
+examples (analyzed and un-analyzed), the TPC-H SF-tiny workload
+(normal, provenance and polynomial forms) on both execution backends,
+and hypothesis-generated databases × query shapes.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+import repro
+from repro.tpch.dbgen import tpch_database
+from repro.tpch.qgen import generate_query
+from repro.tpch.queries import SUPPORTED_QUERIES
+
+from tests.backends.support import assert_same_result
+
+_EXAMPLE_SETUP = (
+    "CREATE TABLE shop (name text, numempl integer)",
+    "CREATE TABLE sales (sname text, itemid integer)",
+    "CREATE TABLE items (id integer, price integer)",
+    "INSERT INTO shop VALUES ('Merdies', 3), ('Joba', 14)",
+    "INSERT INTO sales VALUES ('Merdies', 1), ('Merdies', 2), "
+    "('Merdies', 2), ('Joba', 3), ('Joba', 3)",
+    "INSERT INTO items VALUES (1, 100), (2, 10), (3, 25)",
+)
+
+# Shapes exercising every ordering/strategy decision: multi-way joins,
+# outer joins with pushable filters, cross-unit OR conditions (the Q7
+# pattern), sublinks, aggregation + fusion, set operations, DISTINCT
+# with hidden sort columns.
+_EXAMPLE_QUERIES = (
+    "SELECT PROVENANCE name FROM shop WHERE numempl < 10",
+    "SELECT PROVENANCE name, sum(price) FROM shop, sales, items "
+    "WHERE name = sname AND itemid = id GROUP BY name",
+    "SELECT name, price FROM shop, sales, items "
+    "WHERE name = sname AND itemid = id AND price > 20",
+    "SELECT a.name, b.name FROM shop AS a, shop AS b "
+    "WHERE (a.name = 'Merdies' AND b.name = 'Joba') "
+    "OR (a.name = 'Joba' AND b.name = 'Merdies')",
+    "SELECT PROVENANCE name FROM shop WHERE name IN (SELECT sname FROM sales)",
+    "SELECT name FROM shop WHERE numempl < ANY (SELECT itemid FROM sales)",
+    "SELECT name FROM shop WHERE numempl > ALL "
+    "(SELECT itemid FROM sales WHERE sname = 'Joba')",
+    "SELECT PROVENANCE sname FROM sales UNION SELECT name FROM shop",
+    "SELECT PROVENANCE name, (SELECT max(price) FROM items) FROM shop",
+    "SELECT PROVENANCE (polynomial) sname, count(*) FROM sales GROUP BY sname",
+    "SELECT name, total FROM shop, (SELECT sname, count(*) AS total "
+    "FROM sales GROUP BY sname) AS agg WHERE name = sname AND total > 1",
+    "SELECT DISTINCT sname FROM sales ORDER BY itemid",
+    "SELECT name FROM shop LEFT JOIN sales ON name = sname AND itemid > 2",
+    "SELECT name, id FROM shop LEFT JOIN sales ON name = sname "
+    "LEFT JOIN items ON itemid = id WHERE numempl < 10",
+    "SELECT sname FROM sales EXCEPT ALL SELECT sname FROM sales WHERE itemid = 2",
+    "SELECT sname, itemid FROM sales ORDER BY itemid DESC LIMIT 2 OFFSET 1",
+    "SELECT name, (SELECT count(*) FROM sales WHERE sname = name) FROM shop",
+)
+
+
+def _example_db(cost_based: bool, analyze: bool) -> repro.PermDatabase:
+    db = repro.connect(cost_based=cost_based)
+    for statement in _EXAMPLE_SETUP:
+        db.execute(statement)
+    if analyze:
+        db.analyze()
+    return db
+
+
+@pytest.mark.parametrize("analyze", (False, True), ids=("raw", "analyzed"))
+@pytest.mark.parametrize("sql", _EXAMPLE_QUERIES)
+def test_paper_examples_match(sql, analyze):
+    reference = _example_db(cost_based=False, analyze=False).execute(sql)
+    candidate = _example_db(cost_based=True, analyze=analyze).execute(sql)
+    assert_same_result(reference, candidate, context=f"cost-based: {sql!r}")
+
+
+# ---------------------------------------------------------------------------
+# TPC-H SF-tiny: normal, provenance, and polynomial forms, both backends
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def tpch_dbs():
+    databases = {}
+    for backend in ("python", "sqlite"):
+        for cost_based in (False, True):
+            db = tpch_database(scale_factor=0.001, seed=42)
+            db.cost_based_enabled = cost_based
+            if backend != "python":
+                db.set_backend(backend)
+            if cost_based:
+                db.analyze()
+            databases[(backend, cost_based)] = db
+    return databases
+
+
+def _compare(tpch_dbs, backend, sql, tag):
+    reference = tpch_dbs[(backend, False)].execute(sql)
+    candidate = tpch_dbs[(backend, True)].execute(sql)
+    assert_same_result(reference, candidate, context=f"{tag} [{backend}]")
+    return reference, candidate
+
+
+@pytest.mark.parametrize("backend", ("python", "sqlite"))
+@pytest.mark.parametrize("number", SUPPORTED_QUERIES)
+def test_tpch_normal_match(tpch_dbs, backend, number):
+    sql = generate_query(number, seed=7)
+    _compare(tpch_dbs, backend, sql, f"Q{number} normal")
+
+
+@pytest.mark.parametrize("backend", ("python", "sqlite"))
+@pytest.mark.parametrize("number", SUPPORTED_QUERIES)
+def test_tpch_provenance_match(tpch_dbs, backend, number):
+    sql = generate_query(number, seed=7, provenance=True)
+    _compare(tpch_dbs, backend, sql, f"Q{number} provenance")
+
+
+@pytest.mark.parametrize("backend", ("python", "sqlite"))
+@pytest.mark.parametrize("number", (1, 3, 6, 12))
+def test_tpch_polynomial_match(tpch_dbs, backend, number):
+    sql = generate_query(number, seed=7, provenance=True).replace(
+        "SELECT PROVENANCE", "SELECT PROVENANCE (polynomial)", 1
+    )
+    reference, candidate = _compare(tpch_dbs, backend, sql, f"Q{number} polynomial")
+    # Annotations are canonical N[X] polynomials: exact equality holds.
+    assert sorted(map(str, reference.annotations())) == sorted(
+        map(str, candidate.annotations())
+    )
+
+
+def test_analyze_does_not_change_results(tpch_dbs):
+    """Fresh statistics may change the plan, never the result."""
+    db = tpch_dbs[("python", True)]
+    sql = generate_query(9, seed=7, provenance=True)
+    before = db.execute(sql)
+    db.analyze()
+    after = db.execute(sql)
+    assert_same_result(before, after, context="re-ANALYZE Q9")
+
+
+# ---------------------------------------------------------------------------
+# Hypothesis: random small databases × random query shapes
+# ---------------------------------------------------------------------------
+
+_SETTINGS = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+_value = st.integers(min_value=0, max_value=3)
+_rows_r = st.lists(st.tuples(_value, st.one_of(st.none(), _value)), max_size=6)
+_rows_s = st.lists(st.tuples(_value, _value), max_size=5)
+
+
+@st.composite
+def _queries(draw) -> str:
+    shape = draw(
+        st.sampled_from(
+            ["join3", "subquery", "agg", "setop", "sublink", "outer", "any_all"]
+        )
+    )
+    comparison = draw(st.sampled_from(["=", "<", ">", "<=", ">=", "<>"]))
+    constant = draw(_value)
+    provenance = draw(st.sampled_from(["", "PROVENANCE "]))
+    if shape == "join3":
+        return (
+            f"SELECT {provenance}a.k, b.k2, c.k FROM r AS a, s AS b, r AS c "
+            f"WHERE a.k = b.k2 AND b.k2 = c.k AND a.v {comparison} {constant}"
+        )
+    if shape == "subquery":
+        return (
+            f"SELECT {provenance}a, b FROM "
+            f"(SELECT k AS a, v AS b FROM r WHERE k {comparison} {constant}) "
+            "AS sub WHERE a IS NOT NULL"
+        )
+    if shape == "agg":
+        having = draw(st.sampled_from(["", " HAVING count(*) > 1"]))
+        return (
+            f"SELECT {provenance}k, sum(v), count(*) FROM r "
+            f"WHERE k {comparison} {constant} GROUP BY k{having}"
+        )
+    if shape == "setop":
+        op = draw(st.sampled_from(["UNION", "UNION ALL", "INTERSECT", "EXCEPT"]))
+        return (
+            f"SELECT {provenance}a FROM (SELECT k AS a FROM r {op} "
+            f"SELECT k2 FROM s) AS u WHERE a {comparison} {constant}"
+        )
+    if shape == "sublink":
+        negated = draw(st.sampled_from(["", "NOT "]))
+        return (
+            f"SELECT {provenance}k FROM r WHERE v IS NOT NULL AND "
+            f"k {negated}IN (SELECT k2 FROM s)"
+        )
+    if shape == "outer":
+        return (
+            f"SELECT {provenance}k, w FROM r LEFT JOIN "
+            f"(SELECT k2 AS j, w FROM s WHERE w {comparison} {constant}) "
+            "AS sub ON k = j"
+        )
+    quantifier = draw(st.sampled_from(["ANY", "ALL"]))
+    return (
+        f"SELECT {provenance}k FROM r "
+        f"WHERE v {comparison} {quantifier} (SELECT w FROM s)"
+    )
+
+
+@given(rows_r=_rows_r, rows_s=_rows_s, sql=_queries(), analyze=st.booleans())
+@_SETTINGS
+def test_hypothesis_cost_based_equivalence(rows_r, rows_s, sql, analyze):
+    results = []
+    for cost_based in (False, True):
+        db = repro.connect(cost_based=cost_based)
+        db.execute("CREATE TABLE r (k integer, v integer)")
+        db.execute("CREATE TABLE s (k2 integer, w integer)")
+        db.load_table("r", rows_r)
+        db.load_table("s", rows_s)
+        if cost_based and analyze:
+            db.analyze()
+        results.append(db.execute(sql))
+    assert_same_result(results[0], results[1], context=sql)

@@ -64,18 +64,45 @@ def test_split_and_conjoin_roundtrip():
     assert split_conjuncts(rebuilt) == parts
 
 
-def test_greedy_join_starts_from_smallest(db):
+def test_heuristic_greedy_join_starts_from_smallest(db):
+    from repro.planner.heuristic import HeuristicPlanner
+
     db.execute("CREATE TABLE medium (id integer)")
     db.load_table("medium", [(i,) for i in range(100)])
+    query = Analyzer(db.catalog).analyze(parse_statement(
+        "SELECT 1 FROM big, medium, small "
+        "WHERE big.id = medium.id AND medium.id = small.id",
+    ))
+    plan = HeuristicPlanner(db.catalog).plan(query)
+    # The first (deepest-left) scan should be the smallest relation.
+    text = plan.explain()
+    first_scan = [line for line in text.splitlines() if "SeqScan" in line]
+    assert "small" in first_scan[0] or "small" in text.splitlines()[2]
+
+
+def test_cost_based_join_builds_on_smaller_input(db):
+    db.execute("CREATE TABLE medium (id integer)")
+    db.load_table("medium", [(i,) for i in range(100)])
+    db.analyze()
     plan = plan_of(
         db,
         "SELECT 1 FROM big, medium, small "
         "WHERE big.id = medium.id AND medium.id = small.id",
     )
-    # The first (deepest-left) scan should be the smallest relation.
-    text = plan.explain()
-    first_scan = [line for line in text.splitlines() if "SeqScan" in line]
-    assert "small" in first_scan[0] or "small" in text.splitlines()[2]
+    # The probe (streamed, left) side of every hash join is the larger
+    # input: ``big`` is never a build side.
+    from repro.executor.nodes import HashJoin
+
+    def joins(node):
+        found = [node] if isinstance(node, HashJoin) else []
+        for child in node.children():
+            found += joins(child)
+        return found
+
+    top = joins(plan)
+    assert top, plan.explain()
+    for join in top:
+        assert "big" not in join.right.explain()
 
 
 def test_projection_slot_resolution(db):

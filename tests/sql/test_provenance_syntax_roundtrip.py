@@ -71,3 +71,16 @@ def test_parenthesized_expression_targets_still_parse():
     stmt = parse_statement("SELECT PROVENANCE (a + 1) FROM t")
     assert stmt.provenance and stmt.provenance_type is None
     assert len(stmt.target_list) == 1
+
+
+def test_statement_formatter_roundtrips_analyze_and_explain():
+    from repro.sql import ast
+    from repro.sql.printer import format_statement
+
+    for text in ("ANALYZE", "ANALYZE lineitem", "EXPLAIN SELECT 1"):
+        stmt = parse_statement(text)
+        printed = format_statement(stmt)
+        again = parse_statement(printed)
+        assert format_statement(again) == printed
+    assert format_statement(ast.AnalyzeStmt(table="t")) == "ANALYZE t"
+    assert format_statement(ast.AnalyzeStmt()) == "ANALYZE"

@@ -148,3 +148,45 @@ def test_interactive_vectorize_toggle_and_explain_analyze():
     assert "vectorized execution: on" in result.stdout
     assert "physical plan (analyzed, vectorized)" in result.stdout
     assert "actual rows=" in result.stdout
+
+
+def test_no_cost_based_flag():
+    result = run_cli(
+        "--example", "--no-cost-based",
+        "-c", "SELECT PROVENANCE name FROM shop WHERE numempl < 10",
+    )
+    assert result.returncode == 0
+    assert "prov_shop_name" in result.stdout
+
+
+def test_analyze_statement_command():
+    result = run_cli("--example", "-c", "ANALYZE shop")
+    assert result.returncode == 0
+    assert "shop" in result.stdout
+
+
+def test_interactive_costbased_analyze_and_stats():
+    script = (
+        "\\costbased off\n"
+        "SELECT name FROM shop;\n"
+        "\\costbased on\n"
+        "\\analyze\n"
+        "\\stats\n"
+        "\\explain+ SELECT PROVENANCE name, sum(itemid) FROM shop, sales "
+        "WHERE name = sname GROUP BY name\n"
+        "\\q\n"
+    )
+    result = subprocess.run(
+        [sys.executable, "-m", "repro", "--example"],
+        input=script,
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert result.returncode == 0
+    assert "cost-based planning: off" in result.stdout
+    assert "cost-based planning: on" in result.stdout
+    assert "analyzed shop" in result.stdout
+    assert "table statistics:" in result.stdout
+    assert "est=" in result.stdout
+    assert "actual rows=" in result.stdout
