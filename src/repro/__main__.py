@@ -17,11 +17,17 @@ Inside the shell, end statements with ``;``.  Meta commands:
 * ``\\optimize [on|off]`` show or toggle the logical optimizer,
 * ``\\vectorize [on|off]`` show or toggle batch-at-a-time execution,
 * ``\\costbased [on|off]`` show or toggle cost-based planning,
+* ``\\parallel [off|N]`` show or set morsel-driven parallel workers,
 * ``\\analyze [table]`` collect planner statistics (ANALYZE),
 * ``\\stats`` statement-cache counters + collected table statistics,
 * ``\\semirings`` list registered semirings and rewrite strategies,
 * ``\\backend [name]`` show or switch the execution backend
-  (``python`` / ``sqlite``).
+  (``python`` / ``sqlite``),
+* ``\\server [start [port]|stats|stop]`` manage a background query
+  server on this database (``repro.server`` wire protocol).
+
+``python -m repro --serve PORT`` skips the shell and serves the
+database over TCP until interrupted.
 
 ``SELECT PROVENANCE (polynomial) ...`` computes semiring provenance
 polynomials instead of witness lists.
@@ -65,6 +71,45 @@ def _build_database(args: argparse.Namespace) -> repro.PermDatabase:
         )
         db.execute("INSERT INTO items VALUES (1, 100), (2, 10), (3, 25)")
     return db
+
+
+#: The shell's background server handle (``\\server start``).
+_server_handle = None
+
+
+def _handle_server(db: repro.PermDatabase, rest: str) -> None:
+    global _server_handle
+    words = rest.split()
+    action = words[0] if words else "stats"
+    if action == "start":
+        if _server_handle is not None:
+            host, port = _server_handle.address
+            print(f"server already running on {host}:{port}")
+            return
+        from repro.server import start_in_thread
+
+        port = int(words[1]) if len(words) > 1 else 0
+        _server_handle = start_in_thread(db, port=port)
+        host, port = _server_handle.address
+        print(f"server listening on {host}:{port}")
+        return
+    if _server_handle is None:
+        print("no server running (use \\server start [port])")
+        return
+    if action == "stop":
+        _server_handle.stop()
+        _server_handle = None
+        print("server stopped")
+        return
+    if action == "stats":
+        stats = _server_handle.server.stats.snapshot(
+            active_sessions=len(_server_handle.server.sessions),
+            pending=_server_handle.server._pending,
+        )
+        for key, value in stats.items():
+            print(f"  {key}: {value}")
+        return
+    print("usage: \\server [start [port]|stats|stop]")
 
 
 def _handle_meta(db: repro.PermDatabase, line: str) -> bool:
@@ -117,6 +162,30 @@ def _handle_meta(db: repro.PermDatabase, line: str) -> bool:
             return True
         state = "on" if db.cost_based_enabled else "off"
         print(f"cost-based planning: {state}")
+        return True
+    if command == "\\parallel":
+        choice = rest.strip().lower()
+        if choice in ("off", "1"):
+            db.parallel_workers = 1
+        elif choice.isdigit():
+            db.parallel_workers = int(choice)
+        elif choice == "on":
+            db.parallel_workers = None  # one worker per core
+        elif choice:
+            print("usage: \\parallel [off|N]")
+            return True
+        workers = db.parallel_workers
+        if workers is None:
+            import os
+
+            print(f"parallel workers: per-core ({os.cpu_count() or 1})")
+        elif workers <= 1:
+            print("parallel workers: off (serial execution)")
+        else:
+            print(f"parallel workers: {workers}")
+        return True
+    if command == "\\server":
+        _handle_server(db, rest.strip())
         return True
     if command == "\\analyze":
         result = db.analyze(rest.strip() or None)
@@ -177,8 +246,8 @@ def _handle_meta(db: repro.PermDatabase, line: str) -> bool:
     print(
         "unknown meta command "
         f"{command!r} (\\q, \\d, \\rewrite, \\explain, \\explain+, "
-        "\\optimize, \\vectorize, \\costbased, \\analyze, \\stats, "
-        "\\semirings, \\backend)"
+        "\\optimize, \\vectorize, \\costbased, \\parallel, \\analyze, "
+        "\\stats, \\semirings, \\backend, \\server)"
     )
     return True
 
@@ -205,9 +274,33 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--no-cost-based", action="store_true",
                         help="plan with the legacy heuristic join ordering "
                              "instead of the statistics-driven cost model")
+    parser.add_argument("--workers", type=int, default=1, metavar="N",
+                        help="morsel-driven parallel workers (1 = serial, "
+                             "0 = one per core)")
+    parser.add_argument("--serve", type=int, default=None, metavar="PORT",
+                        help="serve the database over TCP instead of "
+                             "starting the shell")
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="bind address for --serve (default 127.0.0.1)")
     args = parser.parse_args(argv)
 
     db = _build_database(args)
+    if args.workers != 1:
+        db.parallel_workers = None if args.workers == 0 else args.workers
+    if args.serve is not None:
+        import time as _time
+
+        from repro.server import start_in_thread
+
+        handle = start_in_thread(db, host=args.host, port=args.serve)
+        host, port = handle.address
+        print(f"serving on {host}:{port} (ctrl-c to stop)", file=sys.stderr)
+        try:
+            while True:
+                _time.sleep(3600)
+        except KeyboardInterrupt:
+            handle.stop()
+            return 0
     if args.command is not None:
         try:
             result = db.execute(args.command)
@@ -224,7 +317,8 @@ def main(argv: list[str] | None = None) -> int:
     print(
         "\\q quit, \\d relations, \\rewrite <q>, \\explain[+] <q>, "
         "\\optimize [on|off], \\vectorize [on|off], \\costbased [on|off], "
-        "\\analyze [table], \\stats, \\semirings, \\backend [name]"
+        "\\parallel [off|N], \\analyze [table], \\stats, \\semirings, "
+        "\\backend [name], \\server [start|stats|stop]"
     )
     buffer = ""
     while True:

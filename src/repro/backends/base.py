@@ -34,6 +34,11 @@ class ExecutionBackend(ABC):
     #: Registry name; subclasses override.
     name = "abstract"
 
+    #: Whether ``run_select`` accepts engine-level execution controls
+    #: (``snapshot=``/``timeout=`` keyword arguments).  Only in-process
+    #: backends that interpret plans themselves can honor these.
+    supports_execution_controls = False
+
     def __init__(self, catalog: "Catalog") -> None:
         self.catalog = catalog
 

@@ -19,7 +19,9 @@ selects the legacy heuristic planner, kept as the differential baseline.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+import threading
+import time
+from typing import TYPE_CHECKING, Optional
 
 from repro.analyzer.query_tree import Query
 from repro.backends.base import ExecutionBackend
@@ -34,6 +36,9 @@ class PythonBackend(ExecutionBackend):
 
     name = "python"
 
+    #: The in-process engine honors snapshot/timeout execution controls.
+    supports_execution_controls = True
+
     #: Bound on the number of cached physical plans.
     PLAN_CACHE_SIZE = 64
 
@@ -42,42 +47,70 @@ class PythonBackend(ExecutionBackend):
         catalog: "Catalog",
         vectorize: bool = True,
         cost_based: bool = True,
+        parallel_workers: int = 1,
+        morsel_size: Optional[int] = None,
     ) -> None:
         super().__init__(catalog)
         self.vectorize = vectorize
         self.cost_based = cost_based
+        #: Fan-out for morsel-driven parallel scans (1 = serial).
+        #: ``None`` resolves to the host CPU count at plan time.  Only
+        #: the vectorized cost-based path parallelizes.
+        self.parallel_workers = parallel_workers
+        #: Morsel granularity override (None = repro.parallel default).
+        self.morsel_size = morsel_size
         # Physical plans keyed by query-tree identity.  Plans are
         # re-runnable because all per-execution state (materialized
         # spools, sublink memos) lives in the ExecContext; the cached
         # Query reference keeps the id() key from being recycled.  DDL
         # invalidates via the catalog epoch, fresh statistics via the
-        # stats epoch; vectorize/cost-based toggles via the key.
-        self._plan_cache: dict[tuple[int, bool, bool], tuple[Query, object]] = {}
+        # stats epoch; vectorize/cost-based/parallel toggles via the key.
+        self._plan_cache: dict[tuple, tuple[Query, object]] = {}
         self._plan_cache_epochs: tuple = (-1, -1)
+        # Server sessions share one backend across handler threads, so
+        # cache maintenance (epoch flush, LRU eviction) is serialized.
+        self._plan_cache_lock = threading.Lock()
+
+    def _resolved_workers(self) -> int:
+        from repro.parallel import resolve_worker_count
+
+        return resolve_worker_count(self.parallel_workers)
 
     def _plan(self, query: Query):
         from repro.planner import make_planner
 
+        workers = self._resolved_workers() if self.vectorize else 1
         epochs = (
             getattr(self.catalog, "epoch", None),
             getattr(self.catalog, "stats_epoch", None),
         )
-        if epochs != self._plan_cache_epochs:
-            self._plan_cache.clear()
-            self._plan_cache_epochs = epochs
-        key = (id(query), self.vectorize, self.cost_based)
-        entry = self._plan_cache.get(key)
+        key = (id(query), self.vectorize, self.cost_based, workers, self.morsel_size)
+        with self._plan_cache_lock:
+            if epochs != self._plan_cache_epochs:
+                self._plan_cache.clear()
+                self._plan_cache_epochs = epochs
+            entry = self._plan_cache.get(key)
         if entry is not None:
             return entry[1]
         plan = make_planner(
-            self.catalog, cost_based=self.cost_based, vectorize=self.vectorize
+            self.catalog,
+            cost_based=self.cost_based,
+            vectorize=self.vectorize,
+            parallel_workers=workers,
+            morsel_size=self.morsel_size,
         ).plan(query)
-        if len(self._plan_cache) >= self.PLAN_CACHE_SIZE:
-            self._plan_cache.pop(next(iter(self._plan_cache)))
-        self._plan_cache[key] = (query, plan)
+        with self._plan_cache_lock:
+            if len(self._plan_cache) >= self.PLAN_CACHE_SIZE:
+                self._plan_cache.pop(next(iter(self._plan_cache)))
+            self._plan_cache[key] = (query, plan)
         return plan
 
-    def run_select(self, query: Query) -> "QueryResult":
+    def run_select(
+        self,
+        query: Query,
+        snapshot: Optional[dict] = None,
+        timeout: Optional[float] = None,
+    ) -> "QueryResult":
         from repro.database import QueryResult
         from repro.executor.context import ExecContext
         from repro.executor.nodes import run_plan_rows
@@ -87,6 +120,8 @@ class PythonBackend(ExecutionBackend):
         ctx = ExecContext(
             batch_size=plan.batch_size_hint or DEFAULT_BATCH_SIZE,
             vectorized=self.vectorize,
+            snapshot=snapshot,
+            deadline=None if timeout is None else time.monotonic() + timeout,
         )
         rows = run_plan_rows(plan, ctx)
         return QueryResult(

@@ -7,6 +7,7 @@ rewriter stage (paper Fig. 5: Perm runs *after* view unfolding).
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional
 
@@ -51,6 +52,10 @@ class Catalog:
         # plans keyed on it re-plan with the fresh numbers.
         self._table_stats: dict[str, "TableStats"] = {}
         self.stats_epoch = 0
+        # Serializes (auto-)ANALYZE: server sessions share one catalog
+        # across handler threads, and a concurrent double-collect would
+        # bump ``stats_epoch`` twice and waste two heap passes.
+        self._analyze_lock = threading.Lock()
 
     # -- tables -------------------------------------------------------------
 
@@ -99,16 +104,58 @@ class Catalog:
             tables = [self.table(name)]
         else:
             tables = self.tables()
-        collected = []
-        for table in tables:
-            stats = collect_table_stats(table)
-            self._table_stats[table.name.lower()] = stats
-            collected.append(stats)
-        for key in list(self._table_stats):
-            if key not in self._tables:
-                del self._table_stats[key]
-        self.stats_epoch += 1
+        with self._analyze_lock:
+            collected = []
+            for table in tables:
+                stats = collect_table_stats(table)
+                self._table_stats[table.name.lower()] = stats
+                collected.append(stats)
+            for key in list(self._table_stats):
+                if key not in self._tables:
+                    del self._table_stats[key]
+            self.stats_epoch += 1
         return collected
+
+    #: Auto-ANALYZE fires only after at least this many new rows …
+    AUTO_ANALYZE_MIN_GROWTH = 128
+    #: … and only once the heap grew by this fraction of the analyzed
+    #: row count (the PostgreSQL autovacuum shape: base + scale factor).
+    AUTO_ANALYZE_GROWTH_FRACTION = 0.2
+
+    def maybe_auto_analyze(self) -> list[str]:
+        """Refresh statistics for previously-ANALYZEd tables whose heaps
+        grew past the auto-ANALYZE threshold.
+
+        Deliberately conservative: tables never ANALYZEd stay
+        stats-free (the cost model's defaults apply), so opting a
+        workload into statistics remains an explicit act; only the
+        *staleness* of collected numbers is repaired automatically.
+        Tables whose heap was truncated/recreated (stale uid/epoch) are
+        also re-collected once they hold enough rows to matter.
+        Returns the names of the tables refreshed.
+        """
+        from repro.planner.stats import collect_table_stats
+
+        with self._analyze_lock:
+            refreshed = []
+            for key, stats in list(self._table_stats.items()):
+                table = self._tables.get(key)
+                if table is None:
+                    continue
+                live = table.row_count()
+                threshold = self.AUTO_ANALYZE_MIN_GROWTH + int(
+                    stats.row_count * self.AUTO_ANALYZE_GROWTH_FRACTION
+                )
+                if stats.is_fresh_for(table):
+                    due = live - stats.row_count >= threshold
+                else:
+                    due = live >= self.AUTO_ANALYZE_MIN_GROWTH
+                if due:
+                    self._table_stats[key] = collect_table_stats(table)
+                    refreshed.append(table.name)
+            if refreshed:
+                self.stats_epoch += 1
+            return refreshed
 
     def stats_for(self, name: str) -> Optional["TableStats"]:
         """Fresh statistics for a table, or None (never analyzed, the

@@ -21,6 +21,7 @@ where ``q+`` is ordinary SQL executed by the host DBMS.
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
@@ -167,32 +168,41 @@ class _StatementCache:
         self.hits = 0
         self.misses = 0
         self._entries: "OrderedDict[tuple, Query]" = OrderedDict()
+        # Server sessions share one database across handler threads;
+        # OrderedDict reordering + eviction is not atomic, so all cache
+        # operations serialize on this lock (they are dict-speed — the
+        # lock is never held across parsing or execution).
+        self._lock = threading.Lock()
 
     def get(self, key: tuple) -> Optional[Query]:
-        entry = self._entries.get(key)
-        if entry is None:
-            # Misses are counted at ``put`` time instead: every statement
-            # probes the cache before parsing, so counting here would let
-            # DDL/DML noise swamp the hit rate ``\stats`` reports.
-            return None
-        self._entries.move_to_end(key)
-        self.hits += 1
-        return entry
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                # Misses are counted at ``put`` time instead: every statement
+                # probes the cache before parsing, so counting here would let
+                # DDL/DML noise swamp the hit rate ``\stats`` reports.
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry
 
     def put(self, key: tuple, query: Query) -> None:
         if self.maxsize <= 0:
             return
-        self.misses += 1  # a cacheable statement that wasn't cached yet
-        self._entries[key] = query
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.maxsize:
-            self._entries.popitem(last=False)
+        with self._lock:
+            self.misses += 1  # a cacheable statement that wasn't cached yet
+            self._entries[key] = query
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def clear(self) -> None:
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
 
 class PermDatabase:
@@ -213,6 +223,8 @@ class PermDatabase:
         vectorize: bool = True,
         cost_based: bool = True,
         statement_cache_size: int = 64,
+        parallel_workers: int = 1,
+        auto_analyze: bool = True,
     ) -> None:
         from repro.backends import create_backend
 
@@ -221,9 +233,14 @@ class PermDatabase:
         self.optimizer_enabled = optimize
         self._vectorize = vectorize
         self._cost_based = cost_based
+        self._parallel_workers = parallel_workers
+        #: Refresh stale ANALYZE statistics automatically once a table
+        #: grows past the catalog's auto-ANALYZE threshold.
+        self.auto_analyze_enabled = auto_analyze
         self._backend = create_backend(backend, self.catalog)
         self._propagate_vectorize()
         self._propagate_cost_based()
+        self._propagate_parallel()
         self._stmt_cache = _StatementCache(statement_cache_size)
 
     # -- execution backends ----------------------------------------------------
@@ -246,6 +263,7 @@ class PermDatabase:
         self._backend = replacement
         self._propagate_vectorize()
         self._propagate_cost_based()
+        self._propagate_parallel()
 
     # -- vectorized execution toggle -------------------------------------------
 
@@ -284,6 +302,29 @@ class PermDatabase:
         if hasattr(self._backend, "cost_based"):
             self._backend.cost_based = self._cost_based
 
+    # -- morsel-driven parallelism ----------------------------------------------
+
+    @property
+    def parallel_workers(self) -> int:
+        """Fan-out for morsel-driven parallel query execution.
+
+        ``1`` (the default) keeps execution fully serial; ``N > 1`` lets
+        the cost-based planner insert exchange operators that run
+        parallel-safe scan pipelines on ``N`` worker threads
+        (:mod:`repro.parallel`); ``None`` resolves to the host CPU
+        count.  Only the vectorized Python backend parallelizes.
+        """
+        return self._parallel_workers
+
+    @parallel_workers.setter
+    def parallel_workers(self, value) -> None:
+        self._parallel_workers = value
+        self._propagate_parallel()
+
+    def _propagate_parallel(self) -> None:
+        if hasattr(self._backend, "parallel_workers"):
+            self._backend.parallel_workers = self._parallel_workers
+
     # -- statistics (ANALYZE) ---------------------------------------------------
 
     def analyze(self, table: Optional[str] = None) -> QueryResult:
@@ -304,6 +345,17 @@ class PermDatabase:
             command=f"ANALYZE {len(collected)}",
         )
 
+    def _maybe_auto_analyze(self) -> None:
+        """Auto-ANALYZE hook, run before statement compilation.
+
+        Must run before :meth:`_cache_key` is computed: a refresh bumps
+        the catalog's ``stats_epoch`` (part of every cache key), so a
+        statement compiled this call is keyed against the statistics it
+        was actually planned with.
+        """
+        if self.auto_analyze_enabled:
+            self.catalog.maybe_auto_analyze()
+
     # -- statement execution ---------------------------------------------------
 
     def execute(self, sql: str) -> QueryResult:
@@ -314,6 +366,7 @@ class PermDatabase:
         prepared-statement cache: a repeat of the same text on the same
         backend and catalog epoch skips the whole frontend pipeline.
         """
+        self._maybe_auto_analyze()
         key = self._cache_key(sql, "plain")
         if key is not None:
             cached = self._stmt_cache.get(key)
@@ -346,6 +399,7 @@ class PermDatabase:
         for semiring annotations); ``None`` keeps the default witness-list
         semantics.
         """
+        self._maybe_auto_analyze()
         key = self._cache_key(sql, f"prov:{semantics or ''}")
         if key is not None:
             cached = self._stmt_cache.get(key)
@@ -392,12 +446,78 @@ class PermDatabase:
 
     def prepare(self, sql: str) -> PreparedQuery:
         """Parse, analyze, provenance-rewrite and plan without executing."""
+        self._maybe_auto_analyze()
         statements = parse_sql(sql)
         if len(statements) != 1 or not isinstance(
             statements[0], (ast.SelectStmt, ast.SetOpSelect)
         ):
             raise PermError("prepare() expects a single SELECT statement")
         return self._prepare_select(statements[0])
+
+    # -- compiled execution (server-facing) ---------------------------------
+
+    def snapshot(self) -> dict[int, tuple[int, int]]:
+        """A snapshot token: ``{table.uid: (table epoch, visible rows)}``.
+
+        Heaps are append-only within a table epoch, so a recorded row
+        count is a consistent read boundary: a query executed under the
+        token (:meth:`run_compiled`) sees exactly the rows present when
+        it was taken, regardless of concurrent inserts.  TRUNCATE /
+        re-creation bumps the table epoch and makes the token fail
+        loudly (``snapshot too old``) instead of reading rewritten rows.
+        """
+        return {
+            table.uid: (table.epoch, table.row_count())
+            for table in self.catalog.tables()
+        }
+
+    def compile_select(self, sql: str, provenance: Optional[str] = None) -> Query:
+        """Frontend pipeline only: parse → analyze → rewrite → optimize.
+
+        Returns the executable query tree for :meth:`run_compiled`.
+        ``provenance`` marks the outermost SELECT like
+        :meth:`provenance` does (``"witness"``, ``"polynomial"``, or a
+        registered strategy name).  Bypasses the statement cache:
+        callers (the server's session-scoped prepared-statement caches)
+        key compiled trees themselves.
+        """
+        self._maybe_auto_analyze()
+        statements = parse_sql(sql)
+        if len(statements) != 1 or not isinstance(
+            statements[0], (ast.SelectStmt, ast.SetOpSelect)
+        ):
+            raise PermError("compile_select() expects a single SELECT statement")
+        stmt = statements[0]
+        if provenance is not None:
+            stmt.provenance = True
+            stmt.provenance_type = provenance
+        query, _ = self._analyze_and_rewrite(stmt)
+        if query.into is not None:
+            raise PermError("compile_select() does not support SELECT INTO")
+        return query
+
+    def run_compiled(
+        self,
+        query: Query,
+        snapshot: Optional[dict] = None,
+        timeout: Optional[float] = None,
+    ) -> QueryResult:
+        """Execute a tree from :meth:`compile_select` on the backend.
+
+        ``snapshot`` is a :meth:`snapshot` token for consistent reads;
+        ``timeout`` (seconds) arms cooperative per-query cancellation.
+        Both require the in-process Python backend — data-shipping
+        backends execute deparsed SQL and cannot honor engine-level
+        execution controls.
+        """
+        if snapshot is None and timeout is None:
+            return self._backend.run_select(query)
+        if not getattr(self._backend, "supports_execution_controls", False):
+            raise PermError(
+                f"backend {self._backend.name!r} does not support "
+                "snapshot/timeout execution controls"
+            )
+        return self._backend.run_select(query, snapshot=snapshot, timeout=timeout)
 
     def explain(self, sql: str, analyze: bool = False) -> str:
         """Logical query trees (before/after optimization) + physical plan.
@@ -425,8 +545,14 @@ class PermDatabase:
                 "-- logical query tree (after optimization) --",
                 format_query_tree(query),
             ]
+        from repro.parallel import resolve_worker_count
+
         plan = make_planner(
-            self.catalog, cost_based=self._cost_based, vectorize=self._vectorize
+            self.catalog,
+            cost_based=self._cost_based,
+            vectorize=self._vectorize,
+            parallel_workers=resolve_worker_count(self._parallel_workers),
+            morsel_size=getattr(self._backend, "morsel_size", None),
         ).plan(query)
         if not analyze:
             sections += ["-- physical plan --", plan.explain()]
@@ -672,6 +798,8 @@ def connect(
     optimize: bool = True,
     vectorize: bool = True,
     cost_based: bool = True,
+    parallel_workers: int = 1,
+    auto_analyze: bool = True,
 ) -> PermDatabase:
     """Create a fresh in-memory Perm database.
 
@@ -683,6 +811,10 @@ def connect(
     differentially testable).  ``cost_based=False`` plans with the
     legacy heuristic join ordering instead of the statistics-driven
     cost model (the planner's own differential baseline).
+    ``parallel_workers=N`` (N > 1, or ``None`` for one per core) turns
+    on morsel-driven parallel execution of eligible scan pipelines;
+    the default 1 keeps execution serial.  ``auto_analyze=False``
+    disables automatic refresh of stale ANALYZE statistics.
     """
     return PermDatabase(
         provenance_module_enabled=provenance_module_enabled,
@@ -690,4 +822,6 @@ def connect(
         optimize=optimize,
         vectorize=vectorize,
         cost_based=cost_based,
+        parallel_workers=parallel_workers,
+        auto_analyze=auto_analyze,
     )

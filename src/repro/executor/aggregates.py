@@ -23,6 +23,15 @@ class AggState:
     reductions.  Accumulation order matches the row engine: values
     arrive in row order, chunk after chunk, so fold-sensitive results
     (float sums) differ only by partial-sum regrouping.
+
+    ``merge`` folds another state of the same kind into this one — the
+    combine step of morsel-parallel partial aggregation
+    (:class:`~repro.parallel.exchange.ExchangeNode`).  Every state is a
+    commutative monoid under merge; provenance states are *semiring*
+    merges (:class:`PolySumState` merges by polynomial addition), so
+    parallel provenance aggregation stays inside the N[X] algebra.
+    Merges are applied in morsel order, keeping fold-sensitive results
+    deterministic for a fixed worker/morsel configuration.
     """
 
     __slots__ = ()
@@ -37,6 +46,9 @@ class AggState:
     def add_count(self, count: int) -> None:
         for _ in range(count):
             self.add(None)
+
+    def merge(self, other: "AggState") -> None:  # pragma: no cover - interface
+        raise NotImplementedError
 
     def result(self) -> Any:  # pragma: no cover - interface
         raise NotImplementedError
@@ -57,6 +69,9 @@ class CountStarState(AggState):
     def add_count(self, count: int) -> None:
         self.n += count
 
+    def merge(self, other: "CountStarState") -> None:
+        self.n += other.n
+
     def result(self) -> int:
         return self.n
 
@@ -73,6 +88,9 @@ class CountState(AggState):
 
     def add_many(self, values: list) -> None:
         self.n += sum(1 for value in values if value is not None)
+
+    def merge(self, other: "CountState") -> None:
+        self.n += other.n
 
     def result(self) -> int:
         return self.n
@@ -94,6 +112,11 @@ class SumState(AggState):
         present = [value for value in values if value is not None]
         if present:
             self.total += sum(present[1:], start=present[0])
+            self.seen = True
+
+    def merge(self, other: "SumState") -> None:
+        if other.seen:
+            self.total = other.total if not self.seen else self.total + other.total
             self.seen = True
 
     def result(self) -> Any:
@@ -118,6 +141,10 @@ class AvgState(AggState):
             self.total += sum(present)
             self.n += len(present)
 
+    def merge(self, other: "AvgState") -> None:
+        self.total += other.total
+        self.n += other.n
+
     def result(self) -> Optional[float]:
         return self.total / self.n if self.n else None
 
@@ -139,6 +166,9 @@ class MinState(AggState):
             if self.best is None or low < self.best:
                 self.best = low
 
+    def merge(self, other: "MinState") -> None:
+        self.add(other.best)
+
     def result(self) -> Any:
         return self.best
 
@@ -159,6 +189,9 @@ class MaxState(AggState):
             high = max(present)
             if self.best is None or high > self.best:
                 self.best = high
+
+    def merge(self, other: "MaxState") -> None:
+        self.add(other.best)
 
     def result(self) -> Any:
         return self.best
@@ -189,6 +222,11 @@ class PolySumState(AggState):
             # polynomial provenance over large groups.
             self.total = Polynomial.sum_all([self.total, *present])
 
+    def merge(self, other: "PolySumState") -> None:
+        # Semiring-native combine: partial provenance annotations from
+        # two morsel ranges add in N[X], exactly like the serial fold.
+        self.total = self.total + other.total
+
     def result(self) -> Any:
         return self.total
 
@@ -207,6 +245,12 @@ class DistinctWrapper(AggState):
             return
         self.seen.add(value)
         self.inner.add(value)
+
+    def merge(self, other: "DistinctWrapper") -> None:
+        # Replay the other worker's distinct values; cross-worker
+        # duplicates are filtered here exactly like in-worker ones.
+        for value in other.seen:
+            self.add(value)
 
     def result(self) -> Any:
         return self.inner.result()

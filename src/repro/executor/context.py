@@ -2,8 +2,10 @@
 
 from __future__ import annotations
 
-from typing import Any
+import time
+from typing import Any, Optional
 
+from repro.errors import ExecutionError
 from repro.storage.chunk import DEFAULT_BATCH_SIZE
 
 
@@ -27,20 +29,97 @@ class ExecContext:
     float aggregates fold identically on both sides of a comparison
     (TPC-H Q15's ``total_revenue = (SELECT max(total_revenue) ...)``)
     only when the folds regroup partial sums the same way.
+
+    ``snapshot`` (when set) maps ``Table.uid`` to the ``(epoch,
+    row_count)`` visible to this execution: scans clamp to the recorded
+    prefix (rows are append-only within an epoch) and raise when the
+    epoch moved (TRUNCATE), giving the server its cheap MVCC read token.
+
+    ``morsel`` is the ``(start, stop)`` physical row range a parallel
+    worker is restricted to; it is set only on worker-forked contexts
+    (:meth:`fork_morsel`) and consumed by the pipeline's base scan.
+
+    ``deadline`` is a ``time.monotonic()`` instant after which long
+    loops abort with an :class:`ExecutionError` — cooperative
+    cancellation for per-request timeouts, checked at chunk granularity
+    so the cost stays off the per-row path.
     """
 
-    __slots__ = ("outer_rows", "caches", "batch_size", "vectorized")
+    __slots__ = (
+        "outer_rows",
+        "caches",
+        "batch_size",
+        "vectorized",
+        "snapshot",
+        "morsel",
+        "deadline",
+    )
 
     def __init__(
-        self, batch_size: int = DEFAULT_BATCH_SIZE, vectorized: bool = False
+        self,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+        vectorized: bool = False,
+        snapshot: Optional[dict[int, tuple[int, int]]] = None,
+        deadline: Optional[float] = None,
     ) -> None:
         self.outer_rows: list[tuple] = []
         self.caches: dict[Any, Any] = {}
         self.batch_size = batch_size
         self.vectorized = vectorized
+        self.snapshot = snapshot
+        self.morsel: Optional[tuple[int, int]] = None
+        self.deadline = deadline
 
     def push_outer(self, row: tuple) -> None:
         self.outer_rows.append(row)
 
     def pop_outer(self) -> None:
         self.outer_rows.pop()
+
+    # -- snapshot reads -----------------------------------------------------
+
+    def snapshot_stop(self, table: Any) -> Optional[int]:
+        """The number of rows of ``table`` visible to this execution, or
+        None for all.  Raises when the snapshot no longer applies (the
+        heap was truncated since it was taken).  Tables absent from the
+        snapshot (created after it was taken) are fully visible — the
+        catalog lookup already happened at plan time."""
+        snapshot = self.snapshot
+        if snapshot is None:
+            return None
+        entry = snapshot.get(table.uid)
+        if entry is None:
+            return None
+        epoch, visible_rows = entry
+        if epoch != table.epoch:
+            raise ExecutionError(
+                f"snapshot too old: table {table.name!r} was truncated "
+                "since the snapshot was taken"
+            )
+        return visible_rows
+
+    # -- cooperative cancellation -------------------------------------------
+
+    def check_deadline(self) -> None:
+        deadline = self.deadline
+        if deadline is not None and time.monotonic() >= deadline:
+            raise ExecutionError("query canceled: execution timeout exceeded")
+
+    # -- parallel workers ---------------------------------------------------
+
+    def fork_morsel(self, start: int, stop: int) -> "ExecContext":
+        """A fresh context for one morsel of a parallel pipeline.
+
+        Caches are deliberately *not* shared: exchange pipelines are
+        parallel-safe by construction (no sublinks, no materialized
+        spools), so each worker keeps private memoization and no
+        cross-thread locking is needed on the hot path.
+        """
+        clone = ExecContext(
+            batch_size=self.batch_size,
+            vectorized=True,
+            snapshot=self.snapshot,
+            deadline=self.deadline,
+        )
+        clone.morsel = (start, stop)
+        return clone

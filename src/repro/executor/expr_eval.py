@@ -26,6 +26,7 @@ of this module.
 from __future__ import annotations
 
 import datetime
+import functools
 import math
 import re
 from typing import Any, Callable, Optional, Sequence
@@ -321,6 +322,13 @@ def like_to_regex(pattern: str) -> "re.Pattern[str]":
     return re.compile("".join(out), re.DOTALL)
 
 
+#: Compiled-regex memo for *dynamic* LIKE patterns (the pattern is an
+#: expression, so each row may produce a different — but in practice
+#: heavily repeated — pattern string).  ``lru_cache`` is thread-safe,
+#: which matters because parallel morsel workers share this cache.
+_cached_like_regex = functools.lru_cache(maxsize=256)(like_to_regex)
+
+
 # ---------------------------------------------------------------------------
 # The compiler
 # ---------------------------------------------------------------------------
@@ -549,7 +557,7 @@ class ExprCompiler:
             p = pattern(row, ctx)
             if v is None or p is None:
                 return None
-            matched = like_to_regex(str(p)).fullmatch(v) is not None
+            matched = _cached_like_regex(str(p)).fullmatch(v) is not None
             return (not matched) if negated else matched
 
         return _like
@@ -918,17 +926,46 @@ class ExprCompiler:
         return lambda chunk, ctx: [v is None for v in arg(chunk, ctx)]
 
     def _batch_LikeTest(self, expr: ex.LikeTest) -> Optional[BatchExpr]:
-        if not (isinstance(expr.pattern, ex.Const) and expr.pattern.value is not None):
-            return None  # dynamic pattern: per-row fallback
         arg = self.compile_batch(expr.arg)
-        match = like_to_regex(str(expr.pattern.value)).fullmatch
-        if expr.negated:
+        if isinstance(expr.pattern, ex.Const):
+            if expr.pattern.value is None:
+                return lambda chunk, ctx: [None] * len(chunk)
+            match = like_to_regex(str(expr.pattern.value)).fullmatch
+            if expr.negated:
+                return lambda chunk, ctx: [
+                    None if v is None else match(v) is None
+                    for v in arg(chunk, ctx)
+                ]
             return lambda chunk, ctx: [
-                None if v is None else match(v) is None for v in arg(chunk, ctx)
+                None if v is None else match(v) is not None
+                for v in arg(chunk, ctx)
             ]
-        return lambda chunk, ctx: [
-            None if v is None else match(v) is not None for v in arg(chunk, ctx)
-        ]
+        # Dynamic pattern: evaluate the pattern column batch-wise and
+        # memoize the compiled regex per distinct pattern string — a
+        # chunk-local dict fronts the shared LRU, so the common case
+        # (few distinct patterns per chunk) never touches a lock.
+        pattern = self.compile_batch(expr.pattern)
+        negated = expr.negated
+
+        def _like_dynamic(chunk, ctx):
+            values = arg(chunk, ctx)
+            patterns = pattern(chunk, ctx)
+            matchers: dict[str, Any] = {}
+            out = []
+            for v, p in zip(values, patterns):
+                if v is None or p is None:
+                    out.append(None)
+                    continue
+                key = str(p)
+                match = matchers.get(key)
+                if match is None:
+                    match = _cached_like_regex(key).fullmatch
+                    matchers[key] = match
+                matched = match(v) is not None
+                out.append((not matched) if negated else matched)
+            return out
+
+        return _like_dynamic
 
     def _batch_InList(self, expr: ex.InList) -> Optional[BatchExpr]:
         if not all(isinstance(item, ex.Const) for item in expr.items):

@@ -110,6 +110,12 @@ class PlanNode:
     output_names: list[str]
     estimate: float
     batch_size_hint: Optional[int] = None
+    #: Whether this node may run inside a morsel-parallel worker.  The
+    #: planner clears it on nodes whose expressions depend on
+    #: per-execution shared state (sublinks, correlated outer refs);
+    #: :func:`repro.parallel.planning.insert_exchanges` only wraps
+    #: pipelines where every node keeps the default.
+    parallel_safe: bool = True
 
     def run(self, ctx: ExecContext) -> Iterator[Row]:  # pragma: no cover
         raise NotImplementedError
@@ -167,8 +173,26 @@ class SeqScan(PlanNode):
         rows = table.row_count()
         self.estimate = max(rows * (0.25 if predicate else 1.0), 1.0)
 
+    def _bounds(self, ctx: ExecContext) -> tuple[int, int]:
+        """The physical row range this execution may read: the morsel
+        range (parallel worker) intersected with the snapshot-visible
+        prefix (server MVCC token)."""
+        stop = self.table.row_count()
+        visible = ctx.snapshot_stop(self.table)
+        if visible is not None:
+            stop = min(stop, visible)
+        start = 0
+        if ctx.morsel is not None:
+            morsel_start, morsel_stop = ctx.morsel
+            start = max(start, morsel_start)
+            stop = min(stop, morsel_stop)
+        return start, max(start, stop)
+
     def run(self, ctx: ExecContext) -> Iterator[Row]:
         rows = self.table.raw_rows()
+        if ctx.snapshot is not None or ctx.morsel is not None:
+            start, stop = self._bounds(ctx)
+            rows = rows[start:stop]
         predicate = self.predicate
         if self.columns is None:
             if predicate is None:
@@ -193,7 +217,15 @@ class SeqScan(PlanNode):
             yield from PlanNode.run_batches(self, ctx)
             return
         kernels = self.batch_predicates
-        for chunk in self.table.scan_chunks(ctx.batch_size, self.columns):
+        start, stop = 0, None
+        if ctx.snapshot is not None or ctx.morsel is not None:
+            start, stop = self._bounds(ctx)
+        deadline = ctx.deadline
+        for chunk in self.table.scan_chunks(
+            ctx.batch_size, self.columns, start=start, stop=stop
+        ):
+            if deadline is not None:
+                ctx.check_deadline()
             if kernels:
                 chunk = apply_batch_predicates(chunk, kernels, ctx)
                 if len(chunk) == 0:
@@ -425,7 +457,10 @@ class NestedLoopJoin(PlanNode):
 
         right_matched = [False] * len(right_rows) if join_type in ("right", "full") else None
 
+        deadline = ctx.deadline
         for left_row in self.left.run(ctx):
+            if deadline is not None:
+                ctx.check_deadline()
             matched = False
             for i, right_row in enumerate(right_rows):
                 combined = left_row + right_row
@@ -480,6 +515,8 @@ class NestedLoopJoin(PlanNode):
                     yield Chunk(columns=columns, nrows=n, width=width)
                 return
             for chunk in self.left.run_batches(ctx):
+                if ctx.deadline is not None:
+                    ctx.check_deadline()
                 # Wide cross product: one tuple concatenation per pair
                 # beats building every output column element-wise.
                 out = [
@@ -503,11 +540,14 @@ class NestedLoopJoin(PlanNode):
         # one vectorized kernel call per block instead of one closure
         # call per pair.
         step = max(1, ctx.batch_size // count) if count else 1
+        deadline = ctx.deadline
         for chunk in self.left.run_batches(ctx):
             left_rows = chunk.rows()
             out = []
             append = out.append
             for start in range(0, len(left_rows), step):
+                if deadline is not None:
+                    ctx.check_deadline()
                 block = left_rows[start : start + step]
                 if batch_condition is not None and condition is not None and count:
                     pairs = [
@@ -1020,6 +1060,19 @@ class HashAggregate(PlanNode):
         if self.batch_group_exprs is None or self.batch_unique_args is None:
             yield from PlanNode.run_batches(self, ctx)
             return
+        groups, order, grand_states = self._accumulate_batches(ctx)
+        yield from self._emit_batches(groups, order, grand_states, ctx)
+
+    def _accumulate_batches(
+        self, ctx: ExecContext
+    ) -> tuple[dict[tuple, list[AggState]], list[tuple], Optional[list[AggState]]]:
+        """Drain the child and build per-group accumulator states.
+
+        Split out of :meth:`run_batches` so a morsel-parallel exchange
+        can run the accumulation once per worker (each restricted to its
+        morsel range via the context) and merge the partial states —
+        returns ``(groups, first-encounter key order, grand states)``.
+        """
         factories = self.agg_factories
         arg_slots = self.arg_slots
         group_kernels = self.batch_group_exprs
@@ -1082,7 +1135,17 @@ class HashAggregate(PlanNode):
                         values = [column[i] for i in positions]
                         gathered[slot] = values
                     states[index].add_many(values)
+        return groups, order, grand_states
 
+    def _emit_batches(
+        self,
+        groups: dict[tuple, list[AggState]],
+        order: list[tuple],
+        grand_states: Optional[list[AggState]],
+        ctx: ExecContext,
+    ) -> Iterator[Chunk]:
+        """Finalize accumulated states into output chunks."""
+        factories = self.agg_factories
         width = self.width()
         if grand_states is not None:
             yield Chunk.from_rows(

@@ -1,0 +1,118 @@
+"""Worker-pool strategies for morsel dispatch.
+
+A strategy is a deliberately small interface — ``map_ordered`` takes
+zero-argument tasks and returns their results in task order — so the
+exchange operator never cares *where* morsels run:
+
+* :class:`SerialStrategy` runs tasks inline (the degenerate pool; also
+  the fallback when only one morsel exists).
+* :class:`ThreadPoolStrategy` runs tasks on one shared, lazily grown
+  ``ThreadPoolExecutor``.  Threads are the right default for this
+  engine: morsel tasks spend their time in C-level list/zip/dict
+  operations that release contention points cheaply, and shared-heap
+  access (the table's columnar cache) needs no serialization.
+* A future ``ProcessPoolStrategy`` plugs in by registering another
+  name: because tasks are closures over (plan node, morsel range), a
+  process strategy would ship ``(plan, start, stop)`` picklable
+  descriptions instead — the signature already passes tasks as a
+  sequence, so only the strategy body changes, not the exchange.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable, Sequence
+
+Task = Callable[[], Any]
+
+
+class WorkerPoolStrategy:
+    """Maps zero-argument tasks to results, preserving task order."""
+
+    name = "abstract"
+
+    def map_ordered(self, tasks: Sequence[Task]) -> list:  # pragma: no cover
+        raise NotImplementedError
+
+
+class SerialStrategy(WorkerPoolStrategy):
+    """Run every task inline on the calling thread."""
+
+    name = "serial"
+
+    def map_ordered(self, tasks: Sequence[Task]) -> list:
+        return [task() for task in tasks]
+
+
+#: One process-wide thread pool shared by all exchanges and queries.
+#: Creating a pool per query would pay thread spawn on every statement;
+#: sharing one keeps dispatch at enqueue cost.  The pool grows (never
+#: shrinks) to the largest worker count any exchange has asked for.
+_pool_lock = threading.Lock()
+_pool: ThreadPoolExecutor | None = None
+_pool_size = 0
+
+
+def shared_thread_pool(workers: int) -> ThreadPoolExecutor:
+    global _pool, _pool_size
+    with _pool_lock:
+        if _pool is None or _pool_size < workers:
+            previous = _pool
+            _pool = ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix="repro-morsel"
+            )
+            _pool_size = workers
+            if previous is not None:
+                # Queued tasks still drain; new work goes to the bigger pool.
+                previous.shutdown(wait=False)
+        return _pool
+
+
+class ThreadPoolStrategy(WorkerPoolStrategy):
+    """Dispatch tasks to the shared thread pool.
+
+    Tasks never submit sub-tasks (exchange pipelines contain no nested
+    exchanges), so a bounded shared pool cannot deadlock on itself;
+    concurrent queries simply interleave their morsels.
+    """
+
+    name = "thread"
+
+    def __init__(self, workers: int) -> None:
+        self.workers = max(int(workers), 1)
+
+    def map_ordered(self, tasks: Sequence[Task]) -> list:
+        if len(tasks) <= 1:
+            return [task() for task in tasks]
+        pool = shared_thread_pool(self.workers)
+        futures = [pool.submit(task) for task in tasks]
+        # result() re-raises worker exceptions on the coordinating
+        # thread, so engine errors (snapshot invalidation, timeouts)
+        # surface exactly like in serial execution.
+        return [future.result() for future in futures]
+
+
+_STRATEGIES: dict[str, Callable[[int], WorkerPoolStrategy]] = {
+    "serial": lambda workers: SerialStrategy(),
+    "thread": ThreadPoolStrategy,
+}
+
+
+def get_strategy(name: str, workers: int) -> WorkerPoolStrategy:
+    """Instantiate a registered strategy for the given worker count."""
+    try:
+        factory = _STRATEGIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown worker-pool strategy {name!r} "
+            f"(available: {', '.join(sorted(_STRATEGIES))})"
+        ) from None
+    return factory(workers)
+
+
+def register_strategy(
+    name: str, factory: Callable[[int], WorkerPoolStrategy]
+) -> None:
+    """Register an additional strategy (e.g. a process pool)."""
+    _STRATEGIES[name] = factory

@@ -28,10 +28,21 @@ def make_planner(
     vectorize: bool = False,
     outer_varmaps: Optional[list] = None,
     shared=None,
+    parallel_workers: int = 1,
+    morsel_size: Optional[int] = None,
 ) -> PlannerBase:
-    """The configured planner: cost-based (default) or legacy heuristic."""
+    """The configured planner: cost-based (default) or legacy heuristic.
+
+    ``parallel_workers > 1`` enables the cost-based planner's
+    exchange-insertion post-pass (morsel-driven parallelism,
+    :mod:`repro.parallel`); the heuristic planner always plans serial —
+    it is the differential oracle for the parallel paths.
+    """
     cls = CostBasedPlanner if cost_based else HeuristicPlanner
-    return cls(catalog, outer_varmaps, shared, vectorize=vectorize)
+    planner = cls(catalog, outer_varmaps, shared, vectorize=vectorize)
+    planner.parallel_workers = parallel_workers
+    planner.morsel_size = morsel_size
+    return planner
 
 
 __all__ = [

@@ -186,8 +186,32 @@ class _SharedSubplans:
         return node
 
 
+def _expr_parallel_safe(expr: ex.Expr) -> bool:
+    """Whether an expression may evaluate inside a morsel worker.
+
+    Sublinks are excluded because their subplans execute against
+    per-execution caches and (when correlated) the outer-row stack;
+    outer Vars (``levelsup > 0``) are excluded for the same reason —
+    both read context state an exchange worker does not carry.
+    """
+    return not any(
+        isinstance(node, ex.SubLink)
+        or (isinstance(node, ex.Var) and node.levelsup > 0)
+        for node in ex.walk(expr)
+    )
+
+
 class PlannerBase:
     """Shared plan-emission machinery; subclasses answer the choices."""
+
+    #: Morsel-parallel fan-out for the exchange-insertion post-pass
+    #: (:mod:`repro.parallel.planning`); 1 disables it.  Set by
+    #: :func:`repro.planner.make_planner` on root planners only — child
+    #: planners (sublinks, set-op arms) keep the default, the root's
+    #: post-pass walks the whole reachable tree anyway.
+    parallel_workers: int = 1
+    #: Morsel size override for inserted exchanges (None = default).
+    morsel_size: Optional[int] = None
 
     def __init__(
         self,
@@ -198,6 +222,10 @@ class PlannerBase:
     ) -> None:
         self.catalog = catalog
         self.outer_varmaps = list(outer_varmaps or [])
+        # Root planners (fresh shared-subplan registry) own statement-
+        # level post-passes such as exchange insertion; spawned child
+        # planners inherit the registry and skip them.
+        self._root = shared is None
         self.shared = shared if shared is not None else _SharedSubplans()
         # When set, every expression is additionally compiled to a batch
         # kernel and attached to the plan nodes, enabling the vectorized
@@ -350,11 +378,14 @@ class PlannerBase:
     ) -> FilterNode:
         """A FilterNode with both row and (when vectorizing) batch forms."""
         batch = self._batch_compile(compiler, conjunct)
-        return FilterNode(
+        node = FilterNode(
             plan,
             compiler.compile(conjunct),
             [batch] if batch is not None else None,
         )
+        if not _expr_parallel_safe(conjunct):
+            node.parallel_safe = False
+        return node
 
     def _push_conjunct(self, unit: "_Unit", conjunct: ex.Expr) -> None:
         """Compile a conjunct against a unit's layout and push it down."""
@@ -364,6 +395,11 @@ class PlannerBase:
             compiler.compile(conjunct),
             self._batch_compile(compiler, conjunct),
         )
+        if not _expr_parallel_safe(conjunct):
+            # The push either merged into unit.plan (scan/filter) or
+            # wrapped it in a fresh FilterNode; either way the node now
+            # carrying this conjunct must not run inside a morsel worker.
+            unit.plan.parallel_safe = False
 
     # -- RTE plans ------------------------------------------------------------------
 
@@ -440,6 +476,8 @@ class PlannerBase:
                     compiler, target_exprs, slot_hints
                 ),
             )
+            if not all(_expr_parallel_safe(e) for e in target_exprs):
+                plan.parallel_safe = False
         if query.distinct and not skip_distinct:
             plan = DistinctNode(plan)
         return plan
@@ -859,6 +897,11 @@ class PlannerBase:
                 input_compiler, unique_arg_exprs
             ),
         )
+        if not all(
+            _expr_parallel_safe(e)
+            for e in [*query.group_clause, *unique_arg_exprs]
+        ):
+            agg_plan.parallel_safe = False
         self._annotate_aggregate(agg_plan, query, joined)
         post_varmap: VarMap = {
             (_POST_AGG_VARNO, slot): slot for slot in range(group_count + len(aggrefs))
@@ -1038,6 +1081,21 @@ class CostBasedPlanner(PlannerBase):
         from repro.planner.cost import CostModel
 
         self._cost = CostModel(catalog)
+
+    def plan(self, query: Query, joined: Optional[_Unit] = None) -> PlanNode:
+        plan = super().plan(query, joined)
+        if self._root and self.parallel_workers > 1 and self.vectorize:
+            # Statement-level parallelization: wrap parallel-safe
+            # scan→filter→project(→partial-aggregate) pipelines in
+            # exchange nodes.  Root planners only — the pass reaches
+            # subquery plans through the finished tree, and vectorized
+            # kernels are a precondition for morsel workers.
+            from repro.parallel.planning import insert_exchanges
+
+            plan = insert_exchanges(
+                plan, self.parallel_workers, self.morsel_size
+            )
+        return plan
 
     # -- estimate/statistics annotations -------------------------------------
 

@@ -1,0 +1,35 @@
+"""Client/server front-end for the provenance engine.
+
+The paper's deployment model makes provenance queries ordinary SQL a
+DBMS serves to clients; this package gives the repro that serving
+surface.  An asyncio server (:mod:`repro.server.server`) speaks a
+length-prefixed JSON protocol (:mod:`repro.server.protocol`) carrying
+the query text, the provenance semantics, and a session id.  Sessions
+(:mod:`repro.server.session`) hold prepared-statement caches so
+repeated statements skip the frontend pipeline; every read executes
+under a snapshot token built on the storage layer's append-only heaps,
+so concurrent clients get consistent answers while writers run.
+Admission is bounded and overload is answered, not buffered; per-query
+deadlines cancel runaway execution cooperatively inside the engine.
+:mod:`repro.server.client` is the matching blocking client.
+"""
+
+from repro.server.client import ClientResult, PermClient, ServerError
+from repro.server.protocol import MAX_FRAME, ProtocolError
+from repro.server.server import PermServer, ServerHandle, start_in_thread
+from repro.server.session import Session, SessionManager
+from repro.server.stats import ServerStats
+
+__all__ = [
+    "MAX_FRAME",
+    "ClientResult",
+    "PermClient",
+    "PermServer",
+    "ProtocolError",
+    "ServerError",
+    "ServerHandle",
+    "ServerStats",
+    "Session",
+    "SessionManager",
+    "start_in_thread",
+]

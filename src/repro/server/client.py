@@ -1,0 +1,147 @@
+"""A blocking client for the wire protocol.
+
+One :class:`PermClient` wraps one TCP connection.  Requests are
+strictly request/response on a connection, so a client instance is for
+one thread; concurrent load uses one client per thread (each sharing a
+session id if they want a shared prepared-statement cache).
+
+>>> with PermClient(host, port) as client:          # doctest: +SKIP
+...     result = client.query("SELECT PROVENANCE a FROM t")
+...     result.columns, result.rows
+"""
+
+from __future__ import annotations
+
+import itertools
+import socket
+import uuid
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.errors import PermError
+from repro.server.protocol import decode_row, recv_frame, send_frame
+
+
+class ServerError(PermError):
+    """A typed error response from the server."""
+
+    def __init__(self, kind: str, message: str) -> None:
+        super().__init__(message)
+        self.kind = kind
+
+
+@dataclass
+class ClientResult:
+    """A decoded query response."""
+
+    columns: list[str]
+    rows: list[tuple]
+    command: str = "SELECT"
+    annotation_column: Optional[str] = None
+    cached: bool = False
+    elapsed_ms: float = 0.0
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def scalar(self) -> Any:
+        if len(self.rows) != 1 or len(self.columns) != 1:
+            raise PermError(
+                f"scalar() requires a 1x1 result, got "
+                f"{len(self.rows)}x{len(self.columns)}"
+            )
+        return self.rows[0][0]
+
+
+class PermClient:
+    """Blocking socket client; usable as a context manager."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        session: Optional[str] = None,
+        connect_timeout: float = 10.0,
+    ) -> None:
+        self.session = session or f"client-{uuid.uuid4().hex[:12]}"
+        self._ids = itertools.count(1)
+        self._sock = socket.create_connection((host, port), timeout=connect_timeout)
+        # Individual requests may run long (the server enforces its own
+        # deadline); don't let the connect timeout cut responses short.
+        self._sock.settimeout(None)
+
+    # -- context management --------------------------------------------------
+
+    def __enter__(self) -> "PermClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    # -- request/response ----------------------------------------------------
+
+    def _roundtrip(self, request: dict) -> dict:
+        request["id"] = next(self._ids)
+        send_frame(self._sock, request)
+        response = recv_frame(self._sock)
+        if response is None:
+            raise PermError("server closed the connection")
+        if not response.get("ok"):
+            error = response.get("error") or {}
+            raise ServerError(
+                error.get("type", "unknown"), error.get("message", "unknown error")
+            )
+        return response
+
+    def query(
+        self,
+        sql: str,
+        provenance: Optional[str] = None,
+        timeout: Optional[float] = None,
+    ) -> ClientResult:
+        """Execute one statement; ``provenance`` marks the SELECT like
+        ``SELECT PROVENANCE [(semantics)]`` would."""
+        response = self._roundtrip(
+            {
+                "op": "query",
+                "sql": sql,
+                "provenance": provenance,
+                "session": self.session,
+                "timeout": timeout,
+            }
+        )
+        return ClientResult(
+            columns=response.get("columns", []),
+            rows=[decode_row(row) for row in response.get("rows", [])],
+            command=response.get("command", "SELECT"),
+            annotation_column=response.get("annotation_column"),
+            cached=bool(response.get("cached")),
+            elapsed_ms=float(response.get("elapsed_ms", 0.0)),
+        )
+
+    def provenance(self, sql: str, semantics: Optional[str] = None) -> ClientResult:
+        """Mirror of :meth:`PermDatabase.provenance` over the wire."""
+        return self.query(sql, provenance=semantics or "witness")
+
+    def stats(self) -> dict:
+        """Global + per-session server observability counters."""
+        response = self._roundtrip({"op": "stats"})
+        return {
+            "stats": response.get("stats", {}),
+            "sessions": response.get("sessions", []),
+            "statement_cache": response.get("statement_cache", {}),
+        }
+
+    def close_session(self) -> bool:
+        """Drop this session's server-side prepared-statement cache."""
+        response = self._roundtrip({"op": "close", "session": self.session})
+        return bool(response.get("closed"))

@@ -1,0 +1,174 @@
+"""The wire protocol: length-prefixed JSON frames plus a value codec.
+
+Framing is a 4-byte big-endian payload length followed by that many
+bytes of UTF-8 JSON — trivially parseable from any language, stream
+boundaries are explicit, and oversized frames are rejected before
+allocation (:data:`MAX_FRAME`).
+
+Requests and responses are flat JSON objects:
+
+* request  — ``{"op": "query", "id": 1, "sql": "...",
+  "provenance": null | "witness" | "polynomial" | <strategy>,
+  "session": "<client-chosen id>", "timeout": <seconds, optional>}``;
+  ``op`` may also be ``"stats"`` (observability counters) or
+  ``"close"`` (discard the session's server-side state).
+* response — ``{"id": ..., "ok": true, "columns": [...], "rows":
+  [...], ...}`` or ``{"id": ..., "ok": false, "error":
+  {"type": "timeout" | "overloaded" | "snapshot_invalid" |
+  "query_error" | "protocol_error", "message": "..."}}``.
+
+JSON has no date/interval/polynomial values, so non-scalar engine
+values ride in single-key tagged objects (``{"$date": "2026-01-01"}``,
+``{"$poly": <Polynomial.to_wire()>}``, ``{"$interval": [days,
+months]}``); the provenance polynomial codec reuses the engine's
+canonical wire form, so annotations survive the hop bit-exactly.
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import socket
+import struct
+from typing import Any, Optional
+
+from repro.datatypes import Interval
+from repro.semiring.polynomial import Polynomial
+
+#: Upper bound on one frame's payload, request or response.
+MAX_FRAME = 8 * 1024 * 1024
+
+_HEADER = struct.Struct(">I")
+
+
+class ProtocolError(Exception):
+    """A malformed or oversized frame."""
+
+
+# ---------------------------------------------------------------------------
+# Value codec
+# ---------------------------------------------------------------------------
+
+
+def encode_value(value: Any) -> Any:
+    """One engine value -> a JSON-representable value."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, Polynomial):
+        return {"$poly": value.to_wire()}
+    if isinstance(value, datetime.date):
+        return {"$date": value.isoformat()}
+    if isinstance(value, Interval):
+        return {"$interval": [value.days, value.months]}
+    # Loud-but-lossy fallback: the repr still identifies the value, and
+    # a tagged object keeps it distinguishable from a plain string.
+    return {"$str": str(value)}
+
+
+def decode_value(value: Any) -> Any:
+    """Inverse of :func:`encode_value` (``$str`` stays a string)."""
+    if isinstance(value, dict) and len(value) == 1:
+        if "$poly" in value:
+            return Polynomial.from_wire(value["$poly"])
+        if "$date" in value:
+            return datetime.date.fromisoformat(value["$date"])
+        if "$interval" in value:
+            days, months = value["$interval"]
+            return Interval(days=days, months=months)
+        if "$str" in value:
+            return value["$str"]
+    return value
+
+
+def encode_row(row: tuple) -> list:
+    return [encode_value(value) for value in row]
+
+
+def decode_row(row: list) -> tuple:
+    return tuple(decode_value(value) for value in row)
+
+
+# ---------------------------------------------------------------------------
+# Framing
+# ---------------------------------------------------------------------------
+
+
+def encode_frame(message: dict) -> bytes:
+    payload = json.dumps(message, separators=(",", ":")).encode("utf-8")
+    if len(payload) > MAX_FRAME:
+        raise ProtocolError(
+            f"frame of {len(payload)} bytes exceeds MAX_FRAME ({MAX_FRAME})"
+        )
+    return _HEADER.pack(len(payload)) + payload
+
+
+def decode_payload(payload: bytes) -> dict:
+    try:
+        message = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"undecodable frame: {exc}") from None
+    if not isinstance(message, dict):
+        raise ProtocolError("frame payload must be a JSON object")
+    return message
+
+
+def check_length(length: int) -> int:
+    if length > MAX_FRAME:
+        raise ProtocolError(
+            f"declared frame length {length} exceeds MAX_FRAME ({MAX_FRAME})"
+        )
+    return length
+
+
+# -- asyncio side (server) --------------------------------------------------
+
+
+async def read_frame(reader) -> Optional[dict]:
+    """Read one frame; None on clean EOF at a frame boundary."""
+    import asyncio
+
+    try:
+        header = await reader.readexactly(_HEADER.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise ProtocolError("connection closed mid-header") from None
+    length = check_length(_HEADER.unpack(header)[0])
+    try:
+        payload = await reader.readexactly(length)
+    except asyncio.IncompleteReadError:
+        raise ProtocolError("connection closed mid-frame") from None
+    return decode_payload(payload)
+
+
+# -- blocking side (client) --------------------------------------------------
+
+
+def send_frame(sock: socket.socket, message: dict) -> None:
+    sock.sendall(encode_frame(message))
+
+
+def recv_frame(sock: socket.socket) -> Optional[dict]:
+    """Read one frame from a blocking socket; None on clean EOF."""
+    header = _recv_exact(sock, _HEADER.size, allow_eof=True)
+    if header is None:
+        return None
+    length = check_length(_HEADER.unpack(header)[0])
+    payload = _recv_exact(sock, length, allow_eof=False)
+    return decode_payload(payload)
+
+
+def _recv_exact(
+    sock: socket.socket, count: int, allow_eof: bool
+) -> Optional[bytes]:
+    chunks = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            if allow_eof and remaining == count:
+                return None
+            raise ProtocolError("connection closed mid-frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)

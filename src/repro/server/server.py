@@ -1,0 +1,374 @@
+"""The asyncio query server.
+
+One :class:`PermServer` fronts one :class:`~repro.database.PermDatabase`
+(which must run the in-process Python backend — the server relies on
+its snapshot/timeout execution controls).  The asyncio loop owns all
+protocol work: framing, admission control, session bookkeeping,
+response encoding.  Query execution — the only CPU-heavy part — runs on
+a bounded thread-pool executor so the loop keeps accepting connections
+and answering ``stats`` while queries grind.
+
+Request lifecycle:
+
+1. **Admission.** Requests beyond ``max_concurrency + queue_limit``
+   in flight are refused immediately with an ``overloaded`` error —
+   bounded queueing, never unbounded buffering, so p99 under overload
+   degrades to a fast refusal instead of a growing queue.
+2. **Snapshot.** A consistent-read token
+   (:meth:`PermDatabase.snapshot`) is captured on the asyncio thread
+   once the request clears the concurrency gate, so every query
+   observes a table state that actually existed at its admission point
+   even while writers run on other executor threads.
+3. **Execution.** The session's prepared-statement cache is probed;
+   on a miss the frontend pipeline compiles the statement.  SELECTs
+   execute under the snapshot with a cooperative engine deadline;
+   other statements (DDL/DML) route through ``PermDatabase.execute``.
+4. **Timeout.** The engine deadline fires inside execution; an
+   ``asyncio.wait_for`` backstop (deadline + grace) guards the await
+   so a stuck worker can never wedge its connection.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Optional
+
+from repro.database import PermDatabase, QueryResult
+from repro.errors import ExecutionError, PermError
+from repro.server.protocol import (
+    ProtocolError,
+    encode_row,
+    read_frame,
+    encode_frame,
+)
+from repro.server.session import Session, SessionManager
+from repro.server.stats import ServerStats
+from repro.sql import ast
+from repro.sql.parser import parse_sql
+
+#: Extra seconds the asyncio backstop waits beyond the engine deadline.
+TIMEOUT_GRACE = 5.0
+
+
+class PermServer:
+    """Serve one database over the length-prefixed JSON protocol."""
+
+    def __init__(
+        self,
+        db: PermDatabase,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        max_concurrency: int = 4,
+        queue_limit: int = 64,
+        request_timeout: Optional[float] = 30.0,
+    ) -> None:
+        if not getattr(db.backend, "supports_execution_controls", False):
+            raise PermError(
+                "PermServer requires a backend with snapshot/timeout "
+                f"execution controls (got {db.backend_name!r})"
+            )
+        self.db = db
+        self.host = host
+        self.port = port
+        self.max_concurrency = max(int(max_concurrency), 1)
+        self.queue_limit = max(int(queue_limit), 0)
+        self.request_timeout = request_timeout
+        self.sessions = SessionManager()
+        self.stats = ServerStats()
+        self._pending = 0  # touched only on the asyncio thread
+        self._semaphore: Optional[asyncio.Semaphore] = None
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.max_concurrency, thread_name_prefix="repro-server"
+        )
+        self._aio_server: Optional[asyncio.AbstractServer] = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound (host, port) — resolves ``port=0`` after :meth:`start`."""
+        if self._aio_server is None:
+            return (self.host, self.port)
+        sock = self._aio_server.sockets[0]
+        host, port = sock.getsockname()[:2]
+        return (host, port)
+
+    async def start(self) -> None:
+        self._semaphore = asyncio.Semaphore(self.max_concurrency)
+        self._aio_server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+
+    async def serve_forever(self) -> None:
+        if self._aio_server is None:
+            await self.start()
+        async with self._aio_server:
+            await self._aio_server.serve_forever()
+
+    async def stop(self) -> None:
+        if self._aio_server is not None:
+            self._aio_server.close()
+            await self._aio_server.wait_closed()
+        self._executor.shutdown(wait=False, cancel_futures=True)
+
+    # -- connection handling -------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    request = await read_frame(reader)
+                except ProtocolError as exc:
+                    await self._send(
+                        writer,
+                        _error(None, "protocol_error", str(exc)),
+                    )
+                    break
+                if request is None:
+                    break
+                response = await self._dispatch(request)
+                await self._send(writer, response)
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError, asyncio.CancelledError):
+                # Server shutdown cancels handler tasks mid-close; the
+                # task is ending either way, so don't re-raise here.
+                pass
+
+    async def _send(self, writer: asyncio.StreamWriter, message: dict) -> None:
+        writer.write(encode_frame(message))
+        await writer.drain()
+
+    # -- request dispatch ----------------------------------------------------
+
+    async def _dispatch(self, request: dict) -> dict:
+        op = request.get("op")
+        request_id = request.get("id")
+        if op == "query":
+            return await self._dispatch_query(request)
+        if op == "stats":
+            return {
+                "id": request_id,
+                "ok": True,
+                "stats": self.stats.snapshot(
+                    active_sessions=len(self.sessions), pending=self._pending
+                ),
+                "sessions": self.sessions.stats(),
+                "statement_cache": self.db.cache_stats(),
+            }
+        if op == "close":
+            closed = self.sessions.close(str(request.get("session") or "default"))
+            return {"id": request_id, "ok": True, "closed": closed}
+        return _error(request_id, "protocol_error", f"unknown op {op!r}")
+
+    async def _dispatch_query(self, request: dict) -> dict:
+        request_id = request.get("id")
+        sql = request.get("sql")
+        if not isinstance(sql, str) or not sql.strip():
+            return _error(request_id, "protocol_error", "query without sql text")
+        provenance = request.get("provenance")
+        session = self.sessions.get(str(request.get("session") or "default"))
+        timeout = self._effective_timeout(request.get("timeout"))
+
+        start = time.monotonic()
+        if self._pending >= self.max_concurrency + self.queue_limit:
+            # Refuse before buffering anything: bounded admission is the
+            # overload contract — clients get a fast, typed error and
+            # retry with backoff instead of stacking latency.
+            self.stats.record(time.monotonic() - start, "overloaded")
+            return _error(
+                request_id,
+                "overloaded",
+                f"server at capacity ({self._pending} requests in flight)",
+            )
+        self._pending += 1
+        try:
+            async with self._semaphore:
+                snapshot = self.db.snapshot()
+                loop = asyncio.get_running_loop()
+                future = loop.run_in_executor(
+                    self._executor,
+                    self._execute,
+                    session,
+                    sql,
+                    provenance,
+                    snapshot,
+                    timeout,
+                )
+                if timeout is not None:
+                    payload = await asyncio.wait_for(future, timeout + TIMEOUT_GRACE)
+                else:
+                    payload = await future
+        except asyncio.TimeoutError:
+            session.record(ok=False)
+            self.stats.record(time.monotonic() - start, "timeout")
+            return _error(request_id, "timeout", "query timed out")
+        except ExecutionError as exc:
+            outcome, kind = _classify_execution_error(exc)
+            session.record(ok=False)
+            self.stats.record(time.monotonic() - start, outcome)
+            return _error(request_id, kind, str(exc))
+        except PermError as exc:
+            session.record(ok=False)
+            self.stats.record(time.monotonic() - start, "error")
+            return _error(request_id, "query_error", str(exc))
+        finally:
+            self._pending -= 1
+
+        elapsed = time.monotonic() - start
+        session.record(ok=True)
+        self.stats.record(elapsed, "ok")
+        payload["id"] = request_id
+        payload["ok"] = True
+        payload["elapsed_ms"] = round(elapsed * 1000.0, 3)
+        return payload
+
+    def _effective_timeout(self, requested: Any) -> Optional[float]:
+        """Per-request timeout, capped by the server-wide deadline."""
+        if requested is None:
+            return self.request_timeout
+        try:
+            requested = float(requested)
+        except (TypeError, ValueError):
+            return self.request_timeout
+        if requested <= 0:
+            return self.request_timeout
+        if self.request_timeout is None:
+            return requested
+        return min(requested, self.request_timeout)
+
+    # -- executor-thread work ------------------------------------------------
+
+    def _execute(
+        self,
+        session: Session,
+        sql: str,
+        provenance: Optional[str],
+        snapshot: dict,
+        timeout: Optional[float],
+    ) -> dict:
+        query = session.lookup(self.db, sql, provenance)
+        cached = query is not None
+        if query is None:
+            statements = parse_sql(sql)
+            if len(statements) == 1 and isinstance(
+                statements[0], (ast.SelectStmt, ast.SetOpSelect)
+            ):
+                query, _ = session.compiled(self.db, sql, provenance)
+            else:
+                if provenance is not None:
+                    raise PermError(
+                        "provenance semantics require a single SELECT statement"
+                    )
+                # DDL/DML (and multi-statement scripts) execute outside
+                # the snapshot: they *create* the states snapshots name.
+                result = self.db.execute(sql)
+                return _result_payload(result, cached=False)
+        result = self.db.run_compiled(query, snapshot=snapshot, timeout=timeout)
+        return _result_payload(result, cached=cached)
+
+
+def _result_payload(result: QueryResult, cached: bool) -> dict:
+    return {
+        "columns": list(result.columns),
+        "rows": [encode_row(row) for row in result.rows],
+        "command": result.command,
+        "annotation_column": result.annotation_column,
+        "cached": cached,
+    }
+
+
+def _error(request_id: Any, kind: str, message: str) -> dict:
+    return {
+        "id": request_id,
+        "ok": False,
+        "error": {"type": kind, "message": message},
+    }
+
+
+def _classify_execution_error(exc: ExecutionError) -> tuple[str, str]:
+    text = str(exc)
+    if text.startswith("query canceled"):
+        return "timeout", "timeout"
+    if text.startswith("snapshot too old"):
+        return "error", "snapshot_invalid"
+    return "error", "query_error"
+
+
+# ---------------------------------------------------------------------------
+# Threaded embedding (CLI, tests, benchmarks)
+# ---------------------------------------------------------------------------
+
+
+class ServerHandle:
+    """A server running on a daemon thread with its own event loop."""
+
+    def __init__(self, db: PermDatabase, host: str, port: int, kwargs: dict) -> None:
+        self._db = db
+        self._kwargs = kwargs
+        self._host = host
+        self._port = port
+        self.server: Optional[PermServer] = None
+        self._ready = threading.Event()
+        self._failure: Optional[BaseException] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stop_event: Optional[asyncio.Event] = None
+        self._thread = threading.Thread(
+            target=self._run, name="repro-server-loop", daemon=True
+        )
+
+    def start(self) -> "ServerHandle":
+        self._thread.start()
+        if not self._ready.wait(timeout=10.0):
+            raise PermError("server failed to start within 10s")
+        if self._failure is not None:
+            raise PermError(f"server failed to start: {self._failure}")
+        return self
+
+    @property
+    def address(self) -> tuple[str, int]:
+        assert self.server is not None
+        return self.server.address
+
+    def stop(self) -> None:
+        if self._loop is not None and self._stop_event is not None:
+            self._loop.call_soon_threadsafe(self._stop_event.set)
+        self._thread.join(timeout=10.0)
+
+    def _run(self) -> None:
+        try:
+            asyncio.run(self._main())
+        except BaseException as exc:  # pragma: no cover - startup failures
+            self._failure = exc
+            self._ready.set()
+
+    async def _main(self) -> None:
+        self.server = PermServer(self._db, self._host, self._port, **self._kwargs)
+        await self.server.start()
+        self._loop = asyncio.get_running_loop()
+        self._stop_event = asyncio.Event()
+        self._ready.set()
+        async with self.server._aio_server:
+            await self._stop_event.wait()
+        await self.server.stop()
+
+
+def start_in_thread(
+    db: PermDatabase, host: str = "127.0.0.1", port: int = 0, **kwargs
+) -> ServerHandle:
+    """Start a :class:`PermServer` on a background thread.
+
+    Returns a handle exposing ``address`` and ``stop()`` — the shape the
+    shell's ``\\server start`` and the test/benchmark harnesses use.
+    """
+    return ServerHandle(db, host, port, kwargs).start()

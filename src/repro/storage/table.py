@@ -9,6 +9,7 @@ matches the bag semantics of the Perm algebra.
 from __future__ import annotations
 
 import itertools
+import threading
 from typing import Any, Iterable, Iterator, Sequence
 
 from repro.catalog.schema import TableSchema
@@ -44,6 +45,12 @@ class Table:
         # rows must not serve the pre-truncate columns.
         self._columns: list[list] | None = None
         self._columns_state: tuple[int, int] = (-1, -1)
+        # Serializes columnar-cache rebuilds: concurrent scans (morsel
+        # workers, server requests) may race on a stale cache, and each
+        # would otherwise redo the full transpose.  Appends themselves
+        # stay lock-free — CPython list.append is atomic and within one
+        # epoch the row list only grows.
+        self._columns_lock = threading.Lock()
         if rows is not None:
             self.insert_many(rows)
 
@@ -86,21 +93,38 @@ class Table:
         Within one epoch the row list only grows, so the cache is valid
         exactly when it was built from the current (epoch, row count);
         otherwise it is rebuilt with one C-level transpose.
+
+        Thread-safe via double-checked locking: readers that find a
+        fresh cache never take the lock; a stale cache is rebuilt by one
+        thread while the others wait.  The returned columns are at least
+        as long as any row count read before the call (the row list only
+        grows within an epoch), so callers may slice by their own count.
         """
         state = (self.epoch, len(self._rows))
-        if self._columns is None or self._columns_state != state:
-            width = len(self.schema.columns)
-            if not self._rows:
-                self._columns = [[] for _ in range(width)]
-            else:
-                self._columns = [list(col) for col in zip(*self._rows)]
-            self._columns_state = state
-        return self._columns
+        columns = self._columns
+        if columns is not None and self._columns_state == state:
+            return columns
+        with self._columns_lock:
+            state = (self.epoch, len(self._rows))
+            if self._columns is None or self._columns_state != state:
+                count = state[1]
+                width = len(self.schema.columns)
+                if count == 0:
+                    self._columns = [[] for _ in range(width)]
+                else:
+                    # Bound the transpose to the row count recorded in
+                    # ``state`` so a concurrent append cannot leave the
+                    # cache longer than its recorded state says.
+                    self._columns = [list(col) for col in zip(*self._rows[:count])]
+                self._columns_state = state
+            return self._columns
 
     def scan_chunks(
         self,
         batch_size: int = DEFAULT_BATCH_SIZE,
         columns: list[int] | None = None,
+        start: int = 0,
+        stop: int | None = None,
     ) -> Iterator[Chunk]:
         """Scan the heap as columnar chunks (the vectorized SeqScan source).
 
@@ -115,16 +139,25 @@ class Table:
         (:attr:`~repro.executor.nodes.PlanNode.batch_size_hint`), so at
         larger scale factors scans stream bounded chunks instead of
         SF-sized single ones.
+
+        ``start``/``stop`` bound the scan to a physical row range — the
+        substrate for both morsel-driven parallelism (each worker scans
+        one range) and snapshot reads (the visible prefix of the heap at
+        snapshot time; within one epoch rows are append-only, so a row
+        count *is* a snapshot token).
         """
         total = len(self._rows)
-        if total == 0:
+        bounded = start != 0 or stop is not None
+        stop = total if stop is None else min(stop, total)
+        start = max(start, 0)
+        if start >= stop:
             return
         batch_size = max(int(batch_size), 1)
         data = self.columnar()
         narrow = columns is not None
         if narrow:
             data = [data[i] for i in columns]
-        if total <= batch_size:
+        if not bounded and total <= batch_size:
             # Full-width single chunks also share the heap's row list:
             # a downstream consumer that needs row tuples (a hash-join
             # spool) then gathers original rows instead of transposing.
@@ -135,13 +168,13 @@ class Table:
                 phys_rows=None if narrow else self._rows,
             )
             return
-        for start in range(0, total, batch_size):
-            stop = min(start + batch_size, total)
+        for lower in range(start, stop, batch_size):
+            upper = min(lower + batch_size, stop)
             yield Chunk(
-                columns=[col[start:stop] for col in data],
-                nrows=stop - start,
+                columns=[col[lower:upper] for col in data],
+                nrows=upper - lower,
                 width=len(data),
-                phys_rows=None if narrow else self._rows[start:stop],
+                phys_rows=None if narrow else self._rows[lower:upper],
             )
 
     def raw_rows(self) -> list[tuple]:

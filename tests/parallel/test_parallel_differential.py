@@ -1,0 +1,176 @@
+"""Differential suite: morsel-parallel execution ≡ serial execution.
+
+Parallelism must be semantically invisible.  Streaming pipelines merge
+worker chunks in morsel order, so those results must match the serial
+engine *in row order*, exactly; partial aggregation regroups float
+summation per morsel, so aggregate results match as multisets with the
+usual float tolerance.  Checked over a synthetic table large enough to
+clear the fan-out threshold, the paper's examples, and the TPC-H
+SF-tiny workload — plain, witness-provenance, and polynomial forms,
+across worker counts and morsel sizes.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+import repro
+from repro.parallel import MIN_PARALLEL_ROWS
+
+from tests.backends.support import assert_same_result
+
+ROWS = MIN_PARALLEL_ROWS + 4000  # comfortably above the fan-out gate
+
+_SETUP = (
+    "CREATE TABLE events (id integer, grp integer, val double precision, "
+    "tag text)",
+)
+
+
+def _fill(db: repro.PermDatabase) -> None:
+    rng = random.Random(20260807)
+    rows = [
+        (i, i % 17, round(rng.random() * 1000.0, 6), f"tag{i % 41}")
+        for i in range(ROWS)
+    ]
+    db.catalog.table("events").insert_many(rows)
+    db.execute("ANALYZE")
+
+
+def _database(parallel_workers: int = 1) -> repro.PermDatabase:
+    db = repro.connect(parallel_workers=parallel_workers)
+    for statement in _SETUP:
+        db.execute(statement)
+    _fill(db)
+    return db
+
+
+@pytest.fixture(scope="module")
+def serial_db() -> repro.PermDatabase:
+    return _database()
+
+
+# Streaming pipelines (scan -> filter -> project): exact ordered match.
+STREAMING_QUERIES = (
+    "SELECT id, val FROM events WHERE grp = 3",
+    "SELECT id, tag, val * 2 FROM events WHERE val > 900 AND grp < 8",
+    "SELECT id FROM events WHERE tag LIKE 'tag1%'",
+    "SELECT id, tag FROM events WHERE tag LIKE tag",  # dynamic pattern
+)
+
+# Aggregation pipelines: multiset match with float tolerance.
+AGGREGATE_QUERIES = (
+    "SELECT count(*) FROM events",
+    "SELECT grp, count(*), sum(val) FROM events GROUP BY grp",
+    "SELECT grp, min(val), max(val), avg(val) FROM events GROUP BY grp",
+    "SELECT grp, count(DISTINCT tag) FROM events GROUP BY grp",
+    "SELECT tag, sum(val) FROM events WHERE grp < 9 GROUP BY tag",
+)
+
+
+@pytest.mark.parametrize("workers", (2, 4))
+@pytest.mark.parametrize("morsel_size", (None, 1500))
+def test_streaming_matches_serial_ordered(serial_db, workers, morsel_size):
+    par = _database(parallel_workers=workers)
+    par.backend.morsel_size = morsel_size
+    for sql in STREAMING_QUERIES:
+        expected = serial_db.execute(sql)
+        actual = par.execute(sql)
+        # Ordered, exact: the exchange merges chunks in morsel order,
+        # which is the serial scan order.
+        assert expected.columns == actual.columns, sql
+        assert expected.rows == actual.rows, sql
+
+
+@pytest.mark.parametrize("workers", (2, 4))
+@pytest.mark.parametrize("morsel_size", (None, 1500))
+def test_aggregates_match_serial(serial_db, workers, morsel_size):
+    par = _database(parallel_workers=workers)
+    par.backend.morsel_size = morsel_size
+    for sql in AGGREGATE_QUERIES:
+        assert_same_result(
+            serial_db.execute(sql), par.execute(sql), context=f"for {sql!r}"
+        )
+
+
+def test_group_order_matches_serial(serial_db):
+    # Group output order is first-encounter order over the scan; the
+    # partial-aggregate merge must preserve it, not just the multiset.
+    par = _database(parallel_workers=4)
+    sql = "SELECT grp, count(*) FROM events GROUP BY grp"
+    assert serial_db.execute(sql).rows == par.execute(sql).rows
+
+
+def test_witness_provenance_matches_serial(serial_db):
+    par = _database(parallel_workers=4)
+    for sql in (
+        "SELECT id, tag FROM events WHERE val > 990",
+        "SELECT grp, count(*) FROM events GROUP BY grp",
+    ):
+        expected = serial_db.provenance(sql)
+        actual = par.provenance(sql)
+        assert_same_result(expected, actual, context=f"for provenance {sql!r}")
+
+
+def test_polynomial_provenance_matches_serial(serial_db):
+    # Polynomial aggregation states merge by polynomial addition in the
+    # exchange; annotations must match the serial engine term-for-term.
+    par = _database(parallel_workers=4)
+    sql = "SELECT grp, count(*) FROM events WHERE grp < 4 GROUP BY grp"
+    expected = serial_db.provenance(sql, semantics="polynomial")
+    actual = par.provenance(sql, semantics="polynomial")
+    assert expected.columns == actual.columns
+    assert expected.rows == actual.rows
+    assert all(
+        a.to_wire() == b.to_wire()
+        for a, b in zip(expected.annotations(), actual.annotations())
+    )
+
+
+def test_paper_example_unaffected_by_parallel_setting():
+    # The shop/sales/items tables are far below the fan-out threshold:
+    # plans stay serial, results stay byte-identical.
+    def build(workers):
+        db = repro.connect(parallel_workers=workers)
+        db.execute("CREATE TABLE shop (name text, numempl integer)")
+        db.execute("CREATE TABLE sales (sname text, itemid integer)")
+        db.execute("CREATE TABLE items (id integer, price integer)")
+        db.execute("INSERT INTO shop VALUES ('Merdies', 3), ('Joba', 14)")
+        db.execute(
+            "INSERT INTO sales VALUES ('Merdies', 1), ('Merdies', 2), "
+            "('Merdies', 2), ('Joba', 3), ('Joba', 3)"
+        )
+        db.execute("INSERT INTO items VALUES (1, 100), (2, 10), (3, 25)")
+        return db
+
+    serial, par = build(1), build(4)
+    for sql in (
+        "SELECT PROVENANCE name, sum(price) FROM shop, sales, items "
+        "WHERE name = sname AND itemid = id GROUP BY name",
+        "SELECT PROVENANCE (polynomial) sname, count(*) FROM sales "
+        "GROUP BY sname",
+    ):
+        assert serial.execute(sql).rows == par.execute(sql).rows
+
+
+@pytest.mark.parametrize("query_no", (1, 3, 6))
+def test_tpch_matches_serial(query_no):
+    from repro.tpch.dbgen import tpch_database
+    from repro.tpch.qgen import generate_query
+
+    serial = tpch_database(scale_factor=0.002, seed=11)
+    par = tpch_database(scale_factor=0.002, seed=11)
+    par.parallel_workers = 4
+    for db in (serial, par):
+        db.execute("ANALYZE")
+    sql = generate_query(query_no, seed=5)
+    assert_same_result(
+        serial.execute(sql), par.execute(sql), context=f"TPC-H Q{query_no}"
+    )
+    assert_same_result(
+        serial.provenance(sql),
+        par.provenance(sql),
+        context=f"TPC-H Q{query_no} provenance",
+    )

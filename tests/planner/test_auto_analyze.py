@@ -1,0 +1,88 @@
+"""Auto-ANALYZE regression tests.
+
+PR-5 left "statistics lag appends until re-ANALYZE" as a known limit;
+the catalog now refreshes previously-collected statistics once a heap
+grows past a base + fraction threshold, triggered from the database's
+statement entry points before cache keys are computed.
+"""
+
+from __future__ import annotations
+
+import repro
+from repro.catalog.catalog import Catalog
+
+
+def _grown(db, name, rows):
+    db.catalog.table(name).insert_many(rows)
+
+
+def test_growth_past_threshold_refreshes_stats():
+    db = repro.connect()
+    db.execute("CREATE TABLE t (a integer)")
+    _grown(db, "t", [(i,) for i in range(1000)])
+    db.execute("ANALYZE")
+    epoch = db.catalog.stats_epoch
+    assert db.catalog.stats_for("t").row_count == 1000
+
+    # 128 + 0.2 * 1000 = 328 new rows due; insert 500.
+    _grown(db, "t", [(i,) for i in range(500)])
+    db.execute("SELECT count(*) FROM t")
+    assert db.catalog.stats_epoch > epoch
+    assert db.catalog.stats_for("t").row_count == 1500
+
+
+def test_growth_below_threshold_keeps_stats():
+    db = repro.connect()
+    db.execute("CREATE TABLE t (a integer)")
+    _grown(db, "t", [(i,) for i in range(1000)])
+    db.execute("ANALYZE")
+    epoch = db.catalog.stats_epoch
+
+    _grown(db, "t", [(i,) for i in range(100)])  # below 328
+    db.execute("SELECT count(*) FROM t")
+    assert db.catalog.stats_epoch == epoch
+    assert db.catalog.stats_for("t").row_count == 1000
+
+
+def test_never_analyzed_tables_stay_stats_free():
+    # Conservative contract: auto-ANALYZE repairs staleness, it does not
+    # opt tables into statistics.
+    db = repro.connect()
+    db.execute("CREATE TABLE t (a integer)")
+    _grown(db, "t", [(i,) for i in range(5000)])
+    db.execute("SELECT count(*) FROM t")
+    assert db.catalog.stats_for("t") is None
+
+
+def test_auto_analyze_can_be_disabled():
+    db = repro.connect(auto_analyze=False)
+    db.execute("CREATE TABLE t (a integer)")
+    _grown(db, "t", [(i,) for i in range(1000)])
+    db.execute("ANALYZE")
+    epoch = db.catalog.stats_epoch
+    _grown(db, "t", [(i,) for i in range(5000)])
+    db.execute("SELECT count(*) FROM t")
+    assert db.catalog.stats_epoch == epoch
+
+
+def test_refresh_invalidates_cached_statements():
+    # The refresh bumps stats_epoch before the cache key is computed, so
+    # a cached plan built on stale numbers cannot be reused afterwards.
+    db = repro.connect()
+    db.execute("CREATE TABLE t (a integer)")
+    _grown(db, "t", [(i,) for i in range(1000)])
+    db.execute("ANALYZE")
+    sql = "SELECT count(*) FROM t"
+    db.execute(sql)
+    db.execute(sql)
+    hits_before = db.cache_stats()["hits"]
+    assert hits_before >= 1
+    _grown(db, "t", [(i,) for i in range(500)])
+    assert db.execute(sql).scalar() == 1500  # fresh key, fresh plan, right answer
+    assert db.cache_stats()["hits"] == hits_before
+
+
+def test_catalog_maybe_auto_analyze_direct():
+    catalog = Catalog()
+    refreshed = catalog.maybe_auto_analyze()
+    assert refreshed == []  # nothing collected: nothing refreshed

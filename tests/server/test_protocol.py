@@ -1,0 +1,77 @@
+"""Wire-protocol unit tests: framing and the value codec."""
+
+from __future__ import annotations
+
+import datetime
+
+import pytest
+
+from repro.datatypes import Interval
+from repro.semiring.polynomial import Polynomial
+from repro.server.protocol import (
+    MAX_FRAME,
+    ProtocolError,
+    check_length,
+    decode_payload,
+    decode_row,
+    decode_value,
+    encode_frame,
+    encode_row,
+    encode_value,
+)
+
+
+def test_frame_roundtrip():
+    message = {"op": "query", "sql": "SELECT 1", "id": 7}
+    frame = encode_frame(message)
+    length = int.from_bytes(frame[:4], "big")
+    assert length == len(frame) - 4
+    assert decode_payload(frame[4:]) == message
+
+
+def test_oversized_frame_rejected():
+    with pytest.raises(ProtocolError):
+        encode_frame({"sql": "x" * (MAX_FRAME + 1)})
+    with pytest.raises(ProtocolError):
+        check_length(MAX_FRAME + 1)
+
+
+def test_malformed_payload_rejected():
+    with pytest.raises(ProtocolError):
+        decode_payload(b"\xff\xfe not json")
+    with pytest.raises(ProtocolError):
+        decode_payload(b"[1, 2, 3]")  # not an object
+
+
+def test_scalar_values_pass_through():
+    for value in (None, True, 42, 2.5, "text"):
+        assert encode_value(value) == value
+        assert decode_value(encode_value(value)) == value
+
+
+def test_tagged_values_roundtrip():
+    poly = Polynomial.variable("r(1)") + Polynomial.variable("r(2)")
+    date = datetime.date(2026, 8, 7)
+    interval = Interval(days=3, months=2)
+    row = (1, poly, date, interval, "plain")
+    decoded = decode_row(encode_row(row))
+    assert decoded[0] == 1
+    assert decoded[1] == poly
+    assert decoded[2] == date
+    assert decoded[3] == interval
+    assert decoded[4] == "plain"
+
+
+def test_unknown_value_degrades_to_tagged_string():
+    class Weird:
+        def __str__(self) -> str:
+            return "weird!"
+
+    encoded = encode_value(Weird())
+    assert encoded == {"$str": "weird!"}
+    assert decode_value(encoded) == "weird!"
+
+
+def test_plain_dict_like_values_survive():
+    # A one-key dict that is not a recognized tag decodes unchanged.
+    assert decode_value({"$unknown": 1}) == {"$unknown": 1}

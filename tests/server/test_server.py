@@ -1,0 +1,235 @@
+"""Server integration tests: concurrent clients, snapshot isolation,
+timeout, overload, sessions, and observability."""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+
+import pytest
+
+import repro
+from repro.errors import PermError
+from repro.server import PermClient, PermServer, ServerError, start_in_thread
+
+
+@pytest.fixture
+def served_db():
+    db = repro.connect(parallel_workers=2)
+    db.execute("CREATE TABLE t (a integer, b text)")
+    db.execute("INSERT INTO t VALUES (1, 'x'), (2, 'y'), (3, 'z')")
+    handle = start_in_thread(db, request_timeout=30.0)
+    yield db, handle
+    handle.stop()
+
+
+def test_query_and_provenance_match_embedded(served_db):
+    db, handle = served_db
+    host, port = handle.address
+    with PermClient(host, port) as client:
+        sql = "SELECT a, b FROM t WHERE a > 1"
+        assert client.query(sql).rows == db.execute(sql).rows
+
+        served = client.provenance("SELECT a FROM t", semantics="polynomial")
+        embedded = db.provenance("SELECT a FROM t", semantics="polynomial")
+        assert served.columns == embedded.columns
+        assert served.annotation_column == embedded.annotation_column
+        # Polynomials survive the JSON hop bit-exactly.
+        served_annotations = [row[-1].to_wire() for row in served.rows]
+        embedded_annotations = [row[-1].to_wire() for row in embedded.rows]
+        assert served_annotations == embedded_annotations
+
+
+def test_prepared_statement_cache_hits(served_db):
+    _, handle = served_db
+    host, port = handle.address
+    with PermClient(host, port) as client:
+        sql = "SELECT count(*) FROM t"
+        first = client.query(sql)
+        second = client.query(sql)
+        assert not first.cached and second.cached
+        stats = client.stats()
+        me = [s for s in stats["sessions"] if s["session"] == client.session]
+        assert me and me[0]["cache_hits"] >= 1
+
+
+def test_sessions_isolate_caches(served_db):
+    _, handle = served_db
+    host, port = handle.address
+    sql = "SELECT a FROM t"
+    with PermClient(host, port, session="one") as a, PermClient(
+        host, port, session="two"
+    ) as b:
+        assert not a.query(sql).cached
+        assert not b.query(sql).cached  # different session: own cache
+        assert a.query(sql).cached
+        assert a.close_session()
+        assert not a.query(sql).cached  # cache dropped with the session
+
+
+def test_ddl_and_dml_route_through_execute(served_db):
+    db, handle = served_db
+    host, port = handle.address
+    with PermClient(host, port) as client:
+        result = client.query("INSERT INTO t VALUES (4, 'w')")
+        assert result.command.startswith("INSERT")
+        assert client.query("SELECT count(*) FROM t").scalar() == 4
+        with pytest.raises(ServerError) as exc:
+            client.query("INSERT INTO t VALUES (5, 'v')", provenance="witness")
+        assert exc.value.kind == "query_error"
+    assert db.execute("SELECT count(*) FROM t").scalar() == 4
+
+
+def test_concurrent_clients_zero_wrong_answers(served_db):
+    db, handle = served_db
+    host, port = handle.address
+    expected = db.execute("SELECT sum(a) FROM t").scalar()
+    answers, failures = [], []
+
+    def worker():
+        try:
+            with PermClient(host, port) as client:
+                for _ in range(10):
+                    answers.append(client.query("SELECT sum(a) FROM t").scalar())
+        except Exception as exc:  # pragma: no cover - failure reporting
+            failures.append(exc)
+
+    threads = [threading.Thread(target=worker) for _ in range(12)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not failures
+    assert len(answers) == 120
+    assert set(answers) == {expected}
+
+
+def test_snapshot_isolation_across_concurrent_insert():
+    # A query admitted before a write must not observe it, even when the
+    # write lands mid-execution.  The slow cross product gives the
+    # writer a wide window while the reader is already running.
+    db = repro.connect()
+    db.execute("CREATE TABLE n (v integer)")
+    db.catalog.table("n").insert_many([(i,) for i in range(2000)])
+    handle = start_in_thread(db, max_concurrency=2)
+    host, port = handle.address
+    try:
+        # The always-true predicate forces per-pair evaluation, keeping
+        # the reader busy for over a second while the writer lands.
+        slow_sql = "SELECT count(*) FROM n a, n b WHERE a.v + b.v >= 0"
+        results = {}
+
+        def reader():
+            with PermClient(host, port) as client:
+                results["count"] = client.query(slow_sql).scalar()
+
+        thread = threading.Thread(target=reader)
+        thread.start()
+        time.sleep(0.3)  # let the reader be admitted and start executing
+        with PermClient(host, port) as writer:
+            writer.query("INSERT INTO n VALUES (9999)")
+        thread.join(timeout=60)
+        assert results["count"] == 2000 * 2000
+        # A fresh query sees the new row.
+        with PermClient(host, port) as client:
+            assert client.query("SELECT count(*) FROM n").scalar() == 2001
+    finally:
+        handle.stop()
+
+
+def test_timeout_returns_typed_error():
+    db = repro.connect()
+    db.execute("CREATE TABLE n (v integer)")
+    db.catalog.table("n").insert_many([(i,) for i in range(2000)])
+    handle = start_in_thread(db, request_timeout=0.2)
+    host, port = handle.address
+    try:
+        with PermClient(host, port) as client:
+            with pytest.raises(ServerError) as exc:
+                client.query("SELECT count(*) FROM n a, n b, n c")
+            assert exc.value.kind == "timeout"
+            # The connection survives a timed-out query.
+            assert client.query("SELECT count(*) FROM n").scalar() == 2000
+    finally:
+        handle.stop()
+
+
+def test_overload_refused_not_buffered():
+    db = repro.connect()
+    db.execute("CREATE TABLE n (v integer)")
+    db.catalog.table("n").insert_many([(i,) for i in range(2000)])
+    handle = start_in_thread(db, max_concurrency=1, queue_limit=0)
+    host, port = handle.address
+    try:
+        slow_sql = "SELECT count(*) FROM n a, n b WHERE a.v + b.v >= 0"
+        overloaded = []
+        done = {}
+
+        def occupant():
+            with PermClient(host, port) as client:
+                done["count"] = client.query(slow_sql).scalar()
+
+        thread = threading.Thread(target=occupant)
+        thread.start()
+        time.sleep(0.3)
+        with PermClient(host, port) as client:
+            try:
+                client.query("SELECT 1")
+            except ServerError as exc:
+                overloaded.append(exc.kind)
+        thread.join(timeout=60)
+        assert overloaded == ["overloaded"]
+        assert done["count"] == 2000 * 2000
+        stats_db = handle.server.stats
+        assert stats_db.overloads >= 1
+    finally:
+        handle.stop()
+
+
+def test_stats_op_reports_counters(served_db):
+    _, handle = served_db
+    host, port = handle.address
+    with PermClient(host, port) as client:
+        client.query("SELECT 1")
+        client.query("SELECT 1")
+        stats = client.stats()
+    top = stats["stats"]
+    assert top["total_requests"] >= 2
+    assert top["ok"] >= 2
+    assert "qps" in top
+    assert top["latency_ms"]["p50"] <= top["latency_ms"]["p99"]
+    assert "hits" in stats["statement_cache"]
+
+
+def test_protocol_error_on_garbage(served_db):
+    _, handle = served_db
+    host, port = handle.address
+    with socket.create_connection((host, port), timeout=10) as sock:
+        # Valid header, invalid JSON payload.
+        sock.sendall((7).to_bytes(4, "big") + b"garbage")
+        header = sock.recv(4)
+        length = int.from_bytes(header, "big")
+        payload = b""
+        while len(payload) < length:
+            payload += sock.recv(length - len(payload))
+        import json
+
+        response = json.loads(payload)
+        assert response["ok"] is False
+        assert response["error"]["type"] == "protocol_error"
+
+
+def test_unknown_op_rejected(served_db):
+    _, handle = served_db
+    host, port = handle.address
+    with PermClient(host, port) as client:
+        with pytest.raises(ServerError) as exc:
+            client._roundtrip({"op": "teleport"})
+        assert exc.value.kind == "protocol_error"
+
+
+def test_server_requires_execution_controls():
+    db = repro.connect(backend="sqlite")
+    with pytest.raises(PermError):
+        PermServer(db)
