@@ -20,6 +20,8 @@ Inside the shell, end statements with ``;``.  Meta commands:
 * ``\\parallel [off|N]`` show or set morsel-driven parallel workers,
 * ``\\analyze [table]`` collect planner statistics (ANALYZE),
 * ``\\stats`` statement-cache counters + collected table statistics,
+* ``\\matviews`` list materialized provenance views with freshness and
+  maintenance counters,
 * ``\\semirings`` list registered semirings and rewrite strategies,
 * ``\\backend [name]`` show or switch the execution backend
   (``python`` / ``sqlite``),
@@ -232,6 +234,31 @@ def _handle_meta(db: repro.PermDatabase, line: str) -> bool:
             print(f" {marker} {name}")
         print(f"active: {db.backend.describe()}")
         return True
+    if command == "\\matviews":
+        from repro.matview import maintenance
+
+        views = db.catalog.matviews()
+        if not views:
+            print("no materialized provenance views (CREATE MATERIALIZED "
+                  "PROVENANCE VIEW v AS SELECT PROVENANCE ...)")
+            return True
+        for view in views:
+            state = maintenance.status(view, db.catalog)
+            if view.incremental_eligible:
+                mode = "delta-maintained"
+            else:
+                mode = f"full-refresh ({view.ineligible_reason})"
+            print(
+                f"  {view.name} [{view.semantics}] {state}: "
+                f"{len(view.rows)} rows over "
+                f"{', '.join(sorted(view.deps)) or 'no tables'}; {mode}"
+            )
+            print(
+                f"    reads served {view.served_reads}, refreshes "
+                f"{view.incremental_refreshes} incremental / "
+                f"{view.full_refreshes} full"
+            )
+        return True
     if command == "\\semirings":
         from repro.core.registry import get_rewrite_strategy, rewrite_strategy_names
         from repro.semiring import get_semiring, semiring_names
@@ -247,7 +274,7 @@ def _handle_meta(db: repro.PermDatabase, line: str) -> bool:
         "unknown meta command "
         f"{command!r} (\\q, \\d, \\rewrite, \\explain, \\explain+, "
         "\\optimize, \\vectorize, \\costbased, \\parallel, \\analyze, "
-        "\\stats, \\semirings, \\backend, \\server)"
+        "\\stats, \\matviews, \\semirings, \\backend, \\server)"
     )
     return True
 
@@ -317,8 +344,8 @@ def main(argv: list[str] | None = None) -> int:
     print(
         "\\q quit, \\d relations, \\rewrite <q>, \\explain[+] <q>, "
         "\\optimize [on|off], \\vectorize [on|off], \\costbased [on|off], "
-        "\\parallel [off|N], \\analyze [table], \\stats, \\semirings, "
-        "\\backend [name], \\server [start|stats|stop]"
+        "\\parallel [off|N], \\analyze [table], \\stats, \\matviews, "
+        "\\semirings, \\backend [name], \\server [start|stats|stop]"
     )
     buffer = ""
     while True:

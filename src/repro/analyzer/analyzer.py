@@ -67,6 +67,7 @@ _SCALAR_FUNCTIONS: dict[str, tuple[int, int, Optional[SQLType]]] = {
     "perm_poly_token": (1, 99, SQLType.POLYNOMIAL),
     "perm_poly_mul": (1, 99, SQLType.POLYNOMIAL),
     "perm_poly_one": (0, 0, SQLType.POLYNOMIAL),
+    "perm_poly_monus": (2, 2, SQLType.POLYNOMIAL),
 }
 
 _EXTRACT_FIELDS = frozenset({"year", "month", "day"})

@@ -115,6 +115,16 @@ def _poly_one():
     return Polynomial.one().to_wire()
 
 
+def _poly_monus(left, right):
+    # NULL subtrahend = nothing to remove (LEFT JOIN miss), as in the
+    # Python engine's perm_poly_monus.
+    if left is None:
+        return None
+    if right is None:
+        return left
+    return Polynomial.from_wire(left).monus(Polynomial.from_wire(right)).to_wire()
+
+
 class _PolySum:
     """``create_aggregate`` adapter for the semiring sum of polynomials."""
 
@@ -250,4 +260,5 @@ class SqliteBackend(ExecutionBackend):
         con.create_function("perm_poly_token", -1, _poly_token, deterministic=True)
         con.create_function("perm_poly_mul", -1, _poly_mul, deterministic=True)
         con.create_function("perm_poly_one", 0, _poly_one, deterministic=True)
+        con.create_function("perm_poly_monus", 2, _poly_monus, deterministic=True)
         con.create_aggregate("perm_poly_sum", 1, _PolySum)

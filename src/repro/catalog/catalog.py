@@ -16,6 +16,7 @@ from repro.errors import CatalogError
 from repro.storage.table import Table
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.matview.view import MaterializedProvenanceView
     from repro.planner.stats import TableStats
     from repro.sql.ast import SelectStmt
 
@@ -46,6 +47,7 @@ class Catalog:
     def __init__(self) -> None:
         self._tables: dict[str, Table] = {}
         self._views: dict[str, ViewDefinition] = {}
+        self._matviews: dict[str, "MaterializedProvenanceView"] = {}
         self.epoch = 0
         # ANALYZE-collected statistics, keyed by lower-cased table name.
         # ``stats_epoch`` increments on every (re)collection so cached
@@ -205,4 +207,59 @@ class Catalog:
         return name.lower() in self._views
 
     def has_relation(self, name: str) -> bool:
-        return self.has_table(name) or self.has_view(name)
+        return self.has_table(name) or self.has_view(name) or self.has_matview(name)
+
+    # -- materialized provenance views --------------------------------------
+
+    def create_matview(self, view: "MaterializedProvenanceView") -> None:
+        key = view.name.lower()
+        if key in self._tables or key in self._views or key in self._matviews:
+            raise CatalogError(f"relation {view.name!r} already exists")
+        self._matviews[key] = view
+        self.epoch += 1
+
+    def drop_matview(self, name: str, missing_ok: bool = False) -> None:
+        key = name.lower()
+        if key not in self._matviews:
+            if missing_ok:
+                return
+            raise CatalogError(
+                f"materialized provenance view {name!r} does not exist"
+            )
+        del self._matviews[key]
+        self.epoch += 1
+
+    def matview(self, name: str) -> "MaterializedProvenanceView":
+        key = name.lower()
+        if key not in self._matviews:
+            raise CatalogError(
+                f"materialized provenance view {name!r} does not exist"
+            )
+        return self._matviews[key]
+
+    def has_matview(self, name: str) -> bool:
+        return name.lower() in self._matviews
+
+    def matviews(self) -> list["MaterializedProvenanceView"]:
+        return list(self._matviews.values())
+
+    def matview_for_statement(
+        self, stmt: "SelectStmt"
+    ) -> Optional["MaterializedProvenanceView"]:
+        """The registered view whose definition matches ``stmt``, if any.
+
+        Matching is by normalized statement text (``matview.matching``),
+        so textual variation that prints identically — whitespace, case
+        of keywords, redundant parens — still hits the view.
+        """
+        if not self._matviews:
+            return None
+        from repro.matview.matching import statement_key
+
+        key = statement_key(stmt)
+        if key is None:
+            return None
+        for view in self._matviews.values():
+            if view.statement_key == key:
+                return view
+        return None

@@ -153,6 +153,33 @@ class PreparedQuery:
         )
 
 
+@dataclass(frozen=True)
+class _MatViewAnswer:
+    """Statement-cache marker: this SQL is answered from a materialized
+    provenance view.  Safe to cache because DML leaves the catalog epoch
+    (part of every cache key) untouched — staleness is the *view's*
+    problem, handled on every serve — while dropping the view is DDL and
+    rotates the key."""
+
+    view_name: str
+
+
+@dataclass
+class CompiledViewAnswer:
+    """What :meth:`PermDatabase.compile_select` returns when the SQL
+    matches a materialized provenance view.
+
+    Carries the normally-compiled query tree as the fallback:
+    :meth:`PermDatabase.run_compiled` serves the stored rows only when
+    the view's dependency state matches the request's snapshot token
+    exactly, and otherwise executes ``query`` under the snapshot like
+    any compiled statement.
+    """
+
+    view_name: str
+    query: Query
+
+
 class _StatementCache:
     """Tiny LRU keyed on (sql text, mode, backend, catalog epoch, flags).
 
@@ -160,21 +187,23 @@ class _StatementCache:
     skips parse → analyze → rewrite → optimize and goes straight to the
     backend, which re-executes against the live data.  DDL bumps the
     catalog epoch, so schema changes produce new keys and stale entries
-    age out via the LRU bound.
+    age out via the LRU bound.  Entries may also be
+    :class:`_MatViewAnswer` markers routing the SQL to a materialized
+    provenance view instead of a tree.
     """
 
     def __init__(self, maxsize: int) -> None:
         self.maxsize = maxsize
         self.hits = 0
         self.misses = 0
-        self._entries: "OrderedDict[tuple, Query]" = OrderedDict()
+        self._entries: "OrderedDict[tuple, Any]" = OrderedDict()
         # Server sessions share one database across handler threads;
         # OrderedDict reordering + eviction is not atomic, so all cache
         # operations serialize on this lock (they are dict-speed — the
         # lock is never held across parsing or execution).
         self._lock = threading.Lock()
 
-    def get(self, key: tuple) -> Optional[Query]:
+    def get(self, key: tuple) -> Optional[Any]:
         with self._lock:
             entry = self._entries.get(key)
             if entry is None:
@@ -186,7 +215,7 @@ class _StatementCache:
             self.hits += 1
             return entry
 
-    def put(self, key: tuple, query: Query) -> None:
+    def put(self, key: tuple, query: Any) -> None:
         if self.maxsize <= 0:
             return
         with self._lock:
@@ -371,10 +400,10 @@ class PermDatabase:
         if key is not None:
             cached = self._stmt_cache.get(key)
             if cached is not None:
-                return self._backend.run_select(cached)
+                return self._run_cached(cached)
         statements = parse_sql(sql)
         result = QueryResult(columns=[], rows=[], command="EMPTY")
-        cacheable: Optional[Query] = None
+        cacheable: Optional[Any] = None
         for stmt in statements:
             if isinstance(stmt, (ast.SelectStmt, ast.SetOpSelect)):
                 query, result = self._execute_select(stmt)
@@ -404,7 +433,7 @@ class PermDatabase:
         if key is not None:
             cached = self._stmt_cache.get(key)
             if cached is not None:
-                return self._backend.run_select(cached)
+                return self._run_cached(cached)
         statements = parse_sql(sql)
         if len(statements) != 1 or not isinstance(
             statements[0], (ast.SelectStmt, ast.SetOpSelect)
@@ -420,6 +449,13 @@ class PermDatabase:
         return result
 
     # -- prepared-statement cache ------------------------------------------
+
+    def _run_cached(self, cached: Any) -> QueryResult:
+        """Execute a statement-cache hit: a compiled tree runs on the
+        backend; a view marker serves the materialized rows."""
+        if isinstance(cached, _MatViewAnswer):
+            return self._serve_matview(self.catalog.matview(cached.view_name))
+        return self._backend.run_select(cached)
 
     def _cache_key(self, sql: str, mode: str) -> Optional[tuple]:
         if self._stmt_cache.maxsize <= 0:
@@ -480,6 +516,12 @@ class PermDatabase:
         registered strategy name).  Bypasses the statement cache:
         callers (the server's session-scoped prepared-statement caches)
         key compiled trees themselves.
+
+        When the statement restates a registered materialized
+        provenance view the result is a :class:`CompiledViewAnswer`
+        wrapping the compiled tree — :meth:`run_compiled` then serves
+        the stored rows when the snapshot allows and falls back to the
+        tree otherwise.
         """
         self._maybe_auto_analyze()
         statements = parse_sql(sql)
@@ -491,9 +533,14 @@ class PermDatabase:
         if provenance is not None:
             stmt.provenance = True
             stmt.provenance_type = provenance
+        view = None
+        if getattr(stmt, "provenance", False):
+            view = self.catalog.matview_for_statement(stmt)
         query, _ = self._analyze_and_rewrite(stmt)
         if query.into is not None:
             raise PermError("compile_select() does not support SELECT INTO")
+        if view is not None:
+            return CompiledViewAnswer(view_name=view.name, query=query)
         return query
 
     def run_compiled(
@@ -509,7 +556,20 @@ class PermDatabase:
         Both require the in-process Python backend — data-shipping
         backends execute deparsed SQL and cannot honor engine-level
         execution controls.
+
+        A :class:`CompiledViewAnswer` serves the materialized rows only
+        when the view's recorded dependency states equal the snapshot
+        token (the stored result *is* the state the snapshot names);
+        any mismatch — including a view made unmaintainable by a
+        dropped base table — executes the wrapped tree under the
+        snapshot instead, preserving the typed ``snapshot too old``
+        contract for deleted-from tables.
         """
+        if isinstance(query, CompiledViewAnswer):
+            result = self._run_compiled_view(query, snapshot)
+            if result is not None:
+                return result
+            query = query.query
         if snapshot is None and timeout is None:
             return self._backend.run_select(query)
         if not getattr(self._backend, "supports_execution_controls", False):
@@ -518,6 +578,27 @@ class PermDatabase:
                 "snapshot/timeout execution controls"
             )
         return self._backend.run_select(query, snapshot=snapshot, timeout=timeout)
+
+    def _run_compiled_view(
+        self, compiled: "CompiledViewAnswer", snapshot: Optional[dict]
+    ) -> Optional[QueryResult]:
+        """Serve a compiled view answer, or None to use the fallback tree."""
+        from repro.matview import maintenance
+
+        if not self.catalog.has_matview(compiled.view_name):
+            return None
+        view = self.catalog.matview(compiled.view_name)
+        with view.lock:
+            try:
+                maintenance.ensure_fresh(self, view)
+            except CatalogError:
+                # A dropped base table: the fallback tree raises its own
+                # (equally loud) error when it re-plans.
+                return None
+            if snapshot is None or view.matches_snapshot(snapshot):
+                view.served_reads += 1
+                return view.result()
+        return None
 
     def explain(self, sql: str, analyze: bool = False) -> str:
         """Logical query trees (before/after optimization) + physical plan.
@@ -534,8 +615,9 @@ class PermDatabase:
         """
         from repro.optimizer import format_query_tree, optimize_query_tree
 
+        sections = self._explain_matview_sections(sql)
         query = self._rewritten_tree(sql, caller="explain")
-        sections = [
+        sections += [
             "-- logical query tree (after rewrite) --",
             format_query_tree(query),
         ]
@@ -583,6 +665,34 @@ class PermDatabase:
             f"-- execution: {total_rows} rows in {elapsed * 1000.0:.3f}ms --",
         ]
         return "\n".join(sections)
+
+    def _explain_matview_sections(self, sql: str) -> list[str]:
+        """Explain header when the SQL is answered from a materialized
+        provenance view (the tree sections that follow describe the
+        fallback pipeline the view replaces)."""
+        statements = parse_sql(sql)
+        if len(statements) != 1 or not isinstance(
+            statements[0], (ast.SelectStmt, ast.SetOpSelect)
+        ):
+            return []
+        stmt = statements[0]
+        if not getattr(stmt, "provenance", False):
+            return []
+        view = self.catalog.matview_for_statement(stmt)
+        if view is None:
+            return []
+        from repro.matview import maintenance
+
+        state = maintenance.status(view, self.catalog)
+        detail = (
+            "served as stored"
+            if state == "fresh"
+            else "maintained before serving"
+        )
+        return [
+            f"-- answered from materialized provenance view {view.name!r} "
+            f"({state}; {len(view.rows)} stored rows; {detail}) --"
+        ]
 
     def _rewritten_tree(self, sql: str, caller: str) -> Query:
         """Parse a single SELECT, analyze and provenance-rewrite it
@@ -677,8 +787,19 @@ class PermDatabase:
         query, _ = self._analyze_and_rewrite(stmt)
         return query, self._backend.run_select(query)
 
-    def _execute_select(self, stmt: ast.SelectNode) -> tuple[Optional[Query], QueryResult]:
-        """Run one SELECT; returns (query-tree-if-cacheable, result)."""
+    def _execute_select(self, stmt: ast.SelectNode) -> tuple[Optional[Any], QueryResult]:
+        """Run one SELECT; returns (cacheable-entry-or-None, result).
+
+        A provenance-marked statement that restates a registered
+        materialized provenance view is answered from the view's stored
+        rows (maintaining it first when base tables changed); the
+        cacheable entry is then a :class:`_MatViewAnswer` marker rather
+        than a compiled tree.
+        """
+        if getattr(stmt, "provenance", False):
+            view = self.catalog.matview_for_statement(stmt)
+            if view is not None:
+                return _MatViewAnswer(view.name), self._serve_matview(view)
         query, result = self._run_select(stmt)
         if query.into is not None:
             self._store_into(query.into, query, result)
@@ -696,6 +817,14 @@ class PermDatabase:
             return self._execute_create_view(stmt)
         if isinstance(stmt, ast.InsertStmt):
             return self._execute_insert(stmt)
+        if isinstance(stmt, ast.DeleteStmt):
+            return self._execute_delete(stmt)
+        if isinstance(stmt, ast.UpdateStmt):
+            return self._execute_update(stmt)
+        if isinstance(stmt, ast.CreateMatViewStmt):
+            return self._execute_create_matview(stmt)
+        if isinstance(stmt, ast.RefreshMatViewStmt):
+            return self._execute_refresh_matview(stmt)
         if isinstance(stmt, ast.DropStmt):
             return self._execute_drop(stmt)
         if isinstance(stmt, ast.ExplainStmt):
@@ -748,6 +877,7 @@ class PermDatabase:
             source_rows = [self._eval_values_row(row) for row in stmt.values]
 
         inserted = 0
+        full_rows: list[tuple] = []
         for values in source_rows:
             if len(values) != len(indexes):
                 raise ExecutionError(
@@ -758,8 +888,69 @@ class PermDatabase:
             for index, value in zip(indexes, values):
                 row[index] = value
             table.insert(row)
+            full_rows.append(tuple(row))
             inserted += 1
+        if inserted:
+            table.record_delta("INSERT", inserted=full_rows)
         return QueryResult(columns=[], rows=[], command=f"INSERT {inserted}")
+
+    def _execute_delete(self, stmt: ast.DeleteStmt) -> QueryResult:
+        table = self.catalog.table(stmt.table)
+        matched = self._dml_matched_rows(stmt.table, stmt.where)
+        removed = table.remove_rows(matched)
+        if removed:
+            table.record_delta("DELETE", deleted=matched)
+        return QueryResult(columns=[], rows=[], command=f"DELETE {removed}")
+
+    def _execute_update(self, stmt: ast.UpdateStmt) -> QueryResult:
+        table = self.catalog.table(stmt.table)
+        assigned: dict[str, ast.Expr] = {}
+        for column, expr in stmt.assignments:
+            if not table.schema.has_column(column):
+                raise AnalyzeError(
+                    f"UPDATE {stmt.table}: no column {column!r}"
+                )
+            if column.lower() in assigned:
+                raise ExecutionError(
+                    f"UPDATE assigns column {column!r} more than once"
+                )
+            assigned[column.lower()] = expr
+        # One scan computes both images: the matched pre-image rows and,
+        # per row, the post-image with SET expressions substituted.
+        new_exprs = [
+            ast.ResTarget(
+                expr=assigned.get(col.name, ast.ColumnRef(name=col.name))
+            )
+            for col in table.schema.columns
+        ]
+        select = ast.SelectStmt(
+            target_list=[ast.ResTarget(expr=ast.Star())] + new_exprs,
+            from_clause=[ast.RangeVar(name=stmt.table)],
+            where=stmt.where,
+        )
+        width = len(table.schema.columns)
+        paired = self._prepare_select(select).run().rows
+        old_rows = [row[:width] for row in paired]
+        new_rows = [row[width:] for row in paired]
+        removed = table.remove_rows(old_rows)
+        if removed:
+            table.insert_many(new_rows)
+            table.record_delta("UPDATE", inserted=new_rows, deleted=old_rows)
+        return QueryResult(columns=[], rows=[], command=f"UPDATE {removed}")
+
+    def _dml_matched_rows(self, table_name: str, where: Optional[ast.Expr]) -> list[tuple]:
+        """The full rows a DML predicate matches, evaluated in-process.
+
+        Always runs on the Python engine (never a data-shipping backend):
+        the rows come back by value and are matched against the heap, so
+        any backend-side value conversion would silently miss rows.
+        """
+        select = ast.SelectStmt(
+            target_list=[ast.ResTarget(expr=ast.Star())],
+            from_clause=[ast.RangeVar(name=table_name)],
+            where=where,
+        )
+        return self._prepare_select(select).run().rows
 
     def _eval_values_row(self, exprs: list[ast.Expr]) -> tuple:
         analyzer = Analyzer(self.catalog)
@@ -775,8 +966,65 @@ class PermDatabase:
         if stmt.kind == "table":
             self.catalog.drop_table(stmt.name, missing_ok=stmt.if_exists)
             return QueryResult(columns=[], rows=[], command="DROP TABLE")
+        if stmt.kind == "matview":
+            self.catalog.drop_matview(stmt.name, missing_ok=stmt.if_exists)
+            return QueryResult(
+                columns=[], rows=[], command="DROP MATERIALIZED PROVENANCE VIEW"
+            )
         self.catalog.drop_view(stmt.name, missing_ok=stmt.if_exists)
         return QueryResult(columns=[], rows=[], command="DROP VIEW")
+
+    # -- materialized provenance views ------------------------------------
+
+    def _execute_create_matview(self, stmt: ast.CreateMatViewStmt) -> QueryResult:
+        from repro.matview import maintenance, normalize_semantics
+        from repro.matview.view import MaterializedProvenanceView
+        from repro.sql.printer import format_statement
+
+        if not self.provenance_module_enabled:
+            raise PermError(
+                "materialized provenance views require the provenance "
+                "module (provenance_module_enabled=True)"
+            )
+        maintenance.validate_definition(stmt.query)
+        view = MaterializedProvenanceView(
+            name=stmt.name.lower(),
+            sql=stmt.sql_text or format_statement(stmt),
+            statement=stmt.query,
+            semantics=normalize_semantics(stmt.query.provenance_type),
+        )
+        # Materialize before registering: a definition that fails to
+        # analyze/rewrite/plan must not leave a broken catalog entry.
+        maintenance.full_refresh(self, view)
+        self.catalog.create_matview(view)
+        return QueryResult(
+            columns=[], rows=[], command="CREATE MATERIALIZED PROVENANCE VIEW"
+        )
+
+    def _execute_refresh_matview(self, stmt: ast.RefreshMatViewStmt) -> QueryResult:
+        from repro.matview import maintenance
+
+        view = self.catalog.matview(stmt.name)
+        with view.lock:
+            maintenance.full_refresh(self, view)
+        return QueryResult(
+            columns=[], rows=[], command="REFRESH MATERIALIZED PROVENANCE VIEW"
+        )
+
+    def _serve_matview(self, view) -> QueryResult:
+        """Answer a read from a materialized provenance view.
+
+        Maintain-on-read: stale views are first brought current
+        (incrementally where the delta algebra is exact, else by full
+        refresh), so a served result always equals re-executing the
+        definition against the live tables.
+        """
+        from repro.matview import maintenance
+
+        with view.lock:
+            maintenance.ensure_fresh(self, view)
+            view.served_reads += 1
+            return view.result()
 
     def _store_into(self, name: str, query: Query, result: QueryResult) -> None:
         """SELECT INTO: materialize a result (e.g. stored provenance)."""

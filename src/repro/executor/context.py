@@ -93,8 +93,8 @@ class ExecContext:
         epoch, visible_rows = entry
         if epoch != table.epoch:
             raise ExecutionError(
-                f"snapshot too old: table {table.name!r} was truncated "
-                "since the snapshot was taken"
+                f"snapshot too old: table {table.name!r} was truncated or "
+                "had rows deleted/updated since the snapshot was taken"
             )
         return visible_rows
 

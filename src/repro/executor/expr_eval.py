@@ -269,6 +269,17 @@ def _poly_one():
     return _Polynomial.one()
 
 
+def _poly_monus(left, right):
+    # A NULL subtrahend means "no matching derivations to remove" (the
+    # LEFT JOIN the EXCEPT rewrite emits produced no right-side row), so
+    # it subtracts nothing rather than poisoning the annotation.
+    if left is None:
+        return None
+    if right is None:
+        return left
+    return left.monus(right)
+
+
 SCALAR_FUNCTIONS: dict[str, Callable] = {
     "upper": _null_guard(lambda s: s.upper()),
     "lower": _null_guard(lambda s: s.lower()),
@@ -299,6 +310,7 @@ SCALAR_FUNCTIONS: dict[str, Callable] = {
     "perm_poly_token": _poly_token,
     "perm_poly_mul": _poly_mul,
     "perm_poly_one": _poly_one,
+    "perm_poly_monus": _poly_monus,
 }
 
 

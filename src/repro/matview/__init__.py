@@ -1,0 +1,30 @@
+"""Materialized provenance views with semiring delta maintenance.
+
+``CREATE MATERIALIZED PROVENANCE VIEW v AS SELECT PROVENANCE ...``
+runs the provenance-rewritten definition once and stores the annotated
+result; later reads of the *same* provenance query are answered from
+the stored heap.  Base-table writes are folded in incrementally where
+the semiring structure makes that exact — N[X] addition for inserts,
+monus for deletes — and by a conservative full refresh everywhere else.
+
+Modules:
+
+* :mod:`repro.matview.view` — the stored object and its dependency
+  bookkeeping;
+* :mod:`repro.matview.matching` — normalized statement identity, so a
+  query hits the view it textually restates;
+* :mod:`repro.matview.maintenance` — full and delta refresh, shadow
+  -catalog delta evaluation, eligibility classification.
+"""
+
+from repro.matview.matching import statement_key, normalize_semantics
+from repro.matview.view import DependencyState, MaterializedProvenanceView
+from repro.matview import maintenance
+
+__all__ = [
+    "DependencyState",
+    "MaterializedProvenanceView",
+    "maintenance",
+    "normalize_semantics",
+    "statement_key",
+]

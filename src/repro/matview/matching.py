@@ -1,0 +1,53 @@
+"""Statement matching for materialized provenance views.
+
+A view answers a ``SELECT PROVENANCE`` statement when the statement *is*
+the view's definition.  Matching is textual but normalized: both sides
+are printed through :func:`repro.sql.printer.format_select`, so
+whitespace, keyword case and redundant parentheses do not defeat a
+match.  The provenance marker itself is excluded from the printed text
+and carried as a separate, normalized semantics component — ``SELECT
+PROVENANCE (witness) ...`` and plain ``SELECT PROVENANCE ...`` name the
+same rewrite and produce the same key.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.sql import ast
+from repro.sql.printer import format_select
+
+#: The strategy the rewriter applies when no explicit semantics is named.
+DEFAULT_SEMANTICS = "witness"
+
+
+def normalize_semantics(provenance_type: Optional[str]) -> str:
+    """Canonical rewrite-strategy name for a parsed provenance marker."""
+    if not provenance_type:
+        return DEFAULT_SEMANTICS
+    return provenance_type.strip().lower()
+
+
+def statement_key(stmt: object) -> Optional[tuple[str, str]]:
+    """The ``(semantics, normalized sql)`` identity of a provenance
+    SELECT, or None when the statement cannot be view-answered.
+
+    Only provenance-marked single SELECT statements participate:
+    ordinary queries never hit a materialized provenance view.
+    """
+    if not isinstance(stmt, (ast.SelectStmt, ast.SetOpSelect)):
+        return None
+    if not getattr(stmt, "provenance", False):
+        return None
+    semantics = normalize_semantics(getattr(stmt, "provenance_type", None))
+    # Print the statement *without* its marker so explicit and implicit
+    # spellings of the same semantics normalize to one key.  The marker
+    # fields are restored immediately; the AST is otherwise untouched.
+    saved = (stmt.provenance, stmt.provenance_type)
+    stmt.provenance = False
+    stmt.provenance_type = None
+    try:
+        text = format_select(stmt)
+    finally:
+        stmt.provenance, stmt.provenance_type = saved
+    return (semantics, text)

@@ -1,0 +1,143 @@
+"""The stored form of a materialized provenance view.
+
+A :class:`MaterializedProvenanceView` owns the annotated result heap of
+one ``SELECT PROVENANCE`` query plus the bookkeeping that makes delta
+maintenance possible: which base tables the query reads and exactly
+which state of each — ``(uid, epoch, row count, delta seq)`` — the
+stored rows were computed from.  Freshness is a pure comparison of that
+record against the live catalog; refreshing it is the maintenance
+module's job (:mod:`repro.matview.maintenance`).
+
+All mutation and serving happens under the view's re-entrant lock: the
+server shares one database across executor threads, and a reader must
+never observe a half-replaced heap.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import Counter
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from repro.errors import CatalogError
+from repro.matview.matching import statement_key
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.catalog.catalog import Catalog
+    from repro.sql.ast import SelectNode
+
+
+@dataclass(frozen=True)
+class DependencyState:
+    """The exact base-table state a materialization was computed from.
+
+    ``uid`` pins the heap identity (a dropped-and-recreated table is a
+    different heap); ``epoch``/``row_count`` pin the visible data
+    (within one epoch heaps are append-only); ``delta_seq`` anchors the
+    per-statement delta log so maintenance can ask the table for
+    everything that happened since.
+    """
+
+    uid: int
+    epoch: int
+    row_count: int
+    delta_seq: int
+
+
+class MaterializedProvenanceView:
+    """One registered ``CREATE MATERIALIZED PROVENANCE VIEW``."""
+
+    def __init__(
+        self,
+        name: str,
+        sql: str,
+        statement: "SelectNode",
+        semantics: str,
+    ) -> None:
+        self.name = name
+        self.sql = sql
+        self.statement = statement
+        self.statement_key = statement_key(statement)
+        self.semantics = semantics
+        # Materialized state (all guarded by ``lock``).
+        self.columns: list[str] = []
+        self.rows: list[tuple] = []
+        self.annotation_column: Optional[str] = None
+        self.deps: dict[str, DependencyState] = {}
+        # Incremental-maintenance bookkeeping.  ``poly_map`` (polynomial
+        # semantics) keys each stored row's visible part to its
+        # annotation and ``poly_pos`` locates that key's row so merges
+        # stay delta-sized; ``row_bag`` (witness semantics) counts whole
+        # rows.  One family is populated, by the maintenance module.
+        self.incremental_eligible = False
+        self.ineligible_reason: Optional[str] = "never materialized"
+        self.poly_map: Optional[dict[tuple, object]] = None
+        self.poly_pos: dict[tuple, int] = {}
+        self.row_bag: Optional[Counter] = None
+        self.lock = threading.RLock()
+        # Counters surfaced by the CLI's ``\matviews``.
+        self.full_refreshes = 0
+        self.incremental_refreshes = 0
+        self.served_reads = 0
+
+    # -- freshness ----------------------------------------------------------
+
+    def check_dependencies(self, catalog: "Catalog") -> None:
+        """Raise a clean error when a base table no longer exists."""
+        for dep_name in self.deps:
+            if not catalog.has_table(dep_name):
+                raise CatalogError(
+                    f"materialized provenance view {self.name!r} depends "
+                    f"on table {dep_name!r}, which has been dropped"
+                )
+
+    def is_current(self, catalog: "Catalog") -> bool:
+        """Whether the stored rows still reflect every base table.
+
+        Purely a state comparison — never touches the heaps' data.  A
+        dropped or recreated dependency reads as stale here; serving
+        paths call :meth:`check_dependencies` first to fail loudly.
+        """
+        for dep_name, dep in self.deps.items():
+            if not catalog.has_table(dep_name):
+                return False
+            table = catalog.table(dep_name)
+            if (
+                table.uid != dep.uid
+                or table.epoch != dep.epoch
+                or table.row_count() != dep.row_count
+            ):
+                return False
+        return True
+
+    def matches_snapshot(self, snapshot: dict) -> bool:
+        """Whether the stored rows correspond exactly to a server
+        snapshot token (``{table.uid: (epoch, row_count)}``)."""
+        for dep in self.deps.values():
+            if snapshot.get(dep.uid) != (dep.epoch, dep.row_count):
+                return False
+        return True
+
+    # -- serving ------------------------------------------------------------
+
+    def result(self):
+        """The stored result as a fresh :class:`QueryResult`.
+
+        Rows are copied under the caller-held lock so a concurrent
+        refresh can never tear a served read.
+        """
+        from repro.database import QueryResult
+
+        return QueryResult(
+            columns=list(self.columns),
+            rows=list(self.rows),
+            command="SELECT",
+            annotation_column=self.annotation_column,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MaterializedProvenanceView({self.name!r}, "
+            f"{self.semantics}, {len(self.rows)} rows)"
+        )

@@ -109,6 +109,51 @@ class Polynomial:
                 terms[merged] = terms.get(merged, 0) + left_coeff * right_coeff
         return Polynomial(terms)
 
+    def monus(self, other: "Polynomial") -> "Polynomial":
+        """The m-semiring difference ``self ⊖ other`` on ``N[X]``.
+
+        ``N[X]`` is naturally ordered coefficient-wise, and the monus
+        induced by that order subtracts per monomial, truncating at zero:
+        ``(a ⊖ b)[m] = max(0, a[m] - b[m])`` (Geerts & Poggi, "On database
+        query languages for K-relations").  This makes ``⊖`` the smallest
+        ``c`` with ``self ≤ other + c``, which is exactly what EXCEPT and
+        deletion-delta maintenance need.
+
+        Caveat: unlike ``+``/``*``, the structural monus does not commute
+        with semiring evaluation in general (Amsterdamer et al.) — e.g.
+        under the tropical semiring there is no compatible monus at all.
+        Use :meth:`covers` to know when the subtraction was exact.
+        """
+        if not isinstance(other, Polynomial):
+            raise TypeError(f"cannot monus {type(other).__name__} from Polynomial")
+        if not other._terms:
+            return self
+        terms = dict(self._terms)
+        for monomial, coefficient in other._terms:
+            remaining = terms.get(monomial, 0) - coefficient
+            if remaining > 0:
+                terms[monomial] = remaining
+            else:
+                terms.pop(monomial, None)
+        return Polynomial(terms)
+
+    def covers(self, other: "Polynomial") -> bool:
+        """True iff ``other ≤ self`` in the natural order (coefficient-wise).
+
+        When this holds, ``self.monus(other) + other == self`` — the monus
+        is an exact inverse of addition and incremental deletion
+        maintenance loses no information.  When it does not, the monus
+        truncated at zero somewhere and callers should fall back to a full
+        recomputation.
+        """
+        if not isinstance(other, Polynomial):
+            raise TypeError(f"cannot compare Polynomial with {type(other).__name__}")
+        mine = dict(self._terms)
+        return all(
+            coefficient <= mine.get(monomial, 0)
+            for monomial, coefficient in other._terms
+        )
+
     # -- inspection ---------------------------------------------------------
 
     def terms(self) -> tuple[tuple[Monomial, int], ...]:

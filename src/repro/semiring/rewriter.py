@@ -21,8 +21,11 @@ The rewrite has two layers:
      on the grouping expressions,
    * ``UNION ALL`` concatenates derivations (``+``), ``INTERSECT``
      multiplies the annotations of matching tuples (``·``), ``EXCEPT``
-     keeps the left input's annotations of surviving tuples (difference
-     acts as a filter; true monus is outside ``N[X]``),
+     annotates surviving tuples with the *monus* ``P_left ⊖ P_right``
+     (the natural-order difference on ``N[X]``, following Geerts &
+     Poggi's m-semirings and Senellart et al.'s ``Diff`` rewrite);
+     nested difference is rejected because monus does not compose
+     through further sums and products,
    * duplicate elimination (DISTINCT / set-semantics set operations) sums
      the annotations of collapsed duplicates.
 
@@ -491,18 +494,96 @@ class PolynomialRewriter:
             if all_flag:
                 return top
             return self._collapse_derivations(top, width)
-        # EXCEPT: the right input filters; surviving tuples keep the left
-        # input's annotations (N[X] has no monus, so EXCEPT ALL
-        # multiplicities are not reflected in the polynomial).
-        q_set = binary_setop_query(op, all_flag, left_query.deep_copy(), right_query)
-        left_ann = self.rewrite_node(left_query)
-        width = len(left_ann.visible_targets) - 1
-        return self._join_on_tuple_equality(
-            keep=q_set,
-            keep_alias=self._alias("perm_set"),
-            annotated=left_ann,
-            width=width,
+        # EXCEPT: the right input filters membership; surviving tuples are
+        # annotated with the monus P_left(t) ⊖ P_right(t) — the
+        # m-semiring difference of the two sides' collapsed polynomials
+        # (Senellart et al.'s Diff/Term.sub rewrite, specialized to the
+        # natural-order monus on N[X]).  Monus does not compose: feeding a
+        # truncated difference through further ⊖ is not associative
+        # ((a⊖b)⊖c vs a⊖(b+c) only agree under the natural order), so a
+        # nested EXCEPT below either operand is rejected loudly rather
+        # than silently mis-annotated.
+        for operand, side in ((left_query, "left"), (right_query, "right")):
+            if _contains_difference(operand):
+                raise RewriteError(
+                    "nested EXCEPT is not supported by the polynomial "
+                    f"rewrite (the {side} operand of an EXCEPT contains "
+                    "another difference, and the N[X] monus does not "
+                    "compose); use the default witness-list semantics"
+                )
+        q_set = binary_setop_query(
+            op, all_flag, left_query.deep_copy(), right_query.deep_copy()
         )
+        left_ann = self.rewrite_node(left_query)
+        right_ann = self.rewrite_node(right_query)
+        width = len(left_ann.visible_targets) - 1
+        left_poly = self._collapse_derivations(left_ann, width)
+        right_poly = self._collapse_derivations(right_ann, width)
+
+        # q_set  ⋈ P_left  ⟕ P_right  on null-safe tuple equality; every
+        # survivor exists in the left input (inner join), but set-EXCEPT
+        # survivors by definition have no right-side row (left join,
+        # NULL ⊖-operand subtracts nothing).
+        top = Query()
+        keep_rte = subquery_rte(q_set, alias=self._alias("perm_set"))
+        keep_index = top.add_rte(keep_rte)
+        left_rte = subquery_rte(left_poly, alias=self._alias("perm_poly_l"))
+        left_index = top.add_rte(left_rte)
+        right_rte = subquery_rte(right_poly, alias=self._alias("perm_poly_r"))
+        right_index = top.add_rte(right_rte)
+
+        def equality(other_index: int, other_rte: RangeTableEntry):
+            return _conjoin(
+                [
+                    ex.OpExpr(
+                        "<=>",
+                        (
+                            self._var(keep_index, attno, keep_rte),
+                            self._var(other_index, attno, other_rte),
+                        ),
+                        BOOL,
+                    )
+                    for attno in range(width)
+                ]
+            )
+
+        inner = JoinTreeExpr(
+            join_type="inner",
+            left=RangeTableRef(keep_index),
+            right=RangeTableRef(left_index),
+            quals=equality(left_index, left_rte),
+        )
+        top.jointree = FromExpr(
+            items=[
+                JoinTreeExpr(
+                    join_type="left",
+                    left=inner,
+                    right=RangeTableRef(right_index),
+                    quals=equality(right_index, right_rte),
+                )
+            ]
+        )
+        for attno in range(width):
+            top.target_list.append(
+                TargetEntry(
+                    expr=self._var(keep_index, attno, keep_rte),
+                    name=keep_rte.column_names[attno],
+                )
+            )
+        top.target_list.append(
+            TargetEntry(
+                expr=ex.FuncExpr(
+                    "perm_poly_monus",
+                    (
+                        self._var(left_index, width, left_rte),
+                        self._var(right_index, width, right_rte),
+                    ),
+                    POLY,
+                ),
+                name=ANNOTATION_COLUMN,
+            )
+        )
+        return top
 
     def _join_on_tuple_equality(
         self, keep: Query, keep_alias: str, annotated: Query, width: int
@@ -606,6 +687,20 @@ class PolynomialRewriter:
                         "sublinks are not supported by the polynomial "
                         "rewrite; use the default witness-list semantics"
                     )
+
+
+def _contains_difference(query: Query) -> bool:
+    """True if any node of ``query``'s tree performs an EXCEPT."""
+    from repro.analyzer.query_tree import setop_tree_contains_except
+
+    if query.set_operations is not None and setop_tree_contains_except(
+        query.set_operations
+    ):
+        return True
+    return any(
+        rte.subquery is not None and _contains_difference(rte.subquery)
+        for rte in query.range_table
+    )
 
 
 def _conjoin(conjuncts: list[ex.Expr]) -> Optional[ex.Expr]:

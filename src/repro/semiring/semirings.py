@@ -32,6 +32,13 @@ class Semiring:
 
     ``zero`` must be neutral for ``plus`` and annihilating for ``times``;
     ``one`` neutral for ``times``.  The engine relies on nothing else.
+
+    ``monus`` is optional: when present it makes the semiring an
+    *m-semiring* (Geerts & Poggi) — ``monus(a, b)`` is the smallest ``c``
+    with ``a ≤ b + c`` under the natural order.  EXCEPT provenance and
+    deletion-delta view maintenance require it; semirings without a
+    compatible monus (e.g. tropical, whose natural order is not a partial
+    order under min) leave it ``None`` and those operations raise.
     """
 
     name: str
@@ -40,6 +47,7 @@ class Semiring:
     plus: Callable[[Any, Any], Any]
     times: Callable[[Any, Any], Any]
     description: str = ""
+    monus: Callable[[Any, Any], Any] | None = None
 
     def __repr__(self) -> str:
         return f"Semiring({self.name!r})"
@@ -52,6 +60,7 @@ COUNTING = Semiring(
     plus=operator.add,
     times=operator.mul,
     description="natural numbers (N, +, *, 0, 1): bag multiplicities",
+    monus=lambda a, b: max(0, a - b),
 )
 
 BOOLEAN = Semiring(
@@ -61,6 +70,7 @@ BOOLEAN = Semiring(
     plus=operator.or_,
     times=operator.and_,
     description="booleans (B, or, and, false, true): lineage / possibility",
+    monus=lambda a, b: a and not b,
 )
 
 TROPICAL = Semiring(
@@ -70,6 +80,9 @@ TROPICAL = Semiring(
     plus=min,
     times=operator.add,
     description="tropical (R u {inf}, min, +, inf, 0): minimal derivation cost",
+    # min is idempotent but not cancellative: no monus satisfies
+    # a <= b + (a monus b) minimally, so difference provenance is
+    # undefined here and stays None on purpose.
 )
 
 POLYNOMIAL = Semiring(
@@ -79,6 +92,7 @@ POLYNOMIAL = Semiring(
     plus=operator.add,
     times=operator.mul,
     description="N[X] provenance polynomials (the free semiring)",
+    monus=Polynomial.monus,
 )
 
 

@@ -447,6 +447,28 @@ class CreateViewStmt(Node):
 
 
 @dataclass
+class CreateMatViewStmt(Node):
+    """``CREATE MATERIALIZED PROVENANCE VIEW name AS query``.
+
+    ``query`` must be (or is implicitly marked as) a ``SELECT
+    PROVENANCE`` statement; the view stores its annotated result and is
+    maintained under DML on the base tables it depends on.
+    """
+
+    name: str
+    query: SelectNode
+    sql_text: str = ""
+
+
+@dataclass
+class RefreshMatViewStmt(Node):
+    """``REFRESH MATERIALIZED PROVENANCE VIEW name`` — force a full
+    recomputation regardless of staleness."""
+
+    name: str
+
+
+@dataclass
 class InsertStmt(Node):
     table: str
     columns: tuple[str, ...] = ()
@@ -455,8 +477,25 @@ class InsertStmt(Node):
 
 
 @dataclass
+class DeleteStmt(Node):
+    """``DELETE FROM table [WHERE condition]``."""
+
+    table: str
+    where: Optional[Expr] = None
+
+
+@dataclass
+class UpdateStmt(Node):
+    """``UPDATE table SET col = expr, ... [WHERE condition]``."""
+
+    table: str
+    assignments: list[tuple[str, Expr]] = field(default_factory=list)
+    where: Optional[Expr] = None
+
+
+@dataclass
 class DropStmt(Node):
-    kind: str  # 'table' | 'view'
+    kind: str  # 'table' | 'view' | 'matview'
     name: str
     if_exists: bool = False
 
@@ -479,7 +518,11 @@ Statement = Union[
     SetOpSelect,
     CreateTableStmt,
     CreateViewStmt,
+    CreateMatViewStmt,
+    RefreshMatViewStmt,
     InsertStmt,
+    DeleteStmt,
+    UpdateStmt,
     DropStmt,
     ExplainStmt,
     AnalyzeStmt,

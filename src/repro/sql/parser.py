@@ -148,6 +148,12 @@ class _Parser:
             return self.parse_create()
         if token.is_keyword("INSERT"):
             return self.parse_insert()
+        if token.is_keyword("DELETE"):
+            return self.parse_delete()
+        if token.is_keyword("UPDATE"):
+            return self.parse_update()
+        if token.is_keyword("REFRESH"):
+            return self.parse_refresh()
         if token.is_keyword("DROP"):
             return self.parse_drop()
         if token.is_keyword("EXPLAIN"):
@@ -487,8 +493,16 @@ class _Parser:
             return self.parse_create_table()
         if self.accept_keyword("VIEW"):
             return self.parse_create_view()
+        if self.accept_keyword("MATERIALIZED"):
+            self.expect_keyword("PROVENANCE")
+            self.expect_keyword("VIEW")
+            return self.parse_create_matview()
         token = self.peek()
-        raise ParseError(f"expected TABLE or VIEW, found {token.value!r}", token.position)
+        raise ParseError(
+            f"expected TABLE, VIEW or MATERIALIZED PROVENANCE VIEW, "
+            f"found {token.value!r}",
+            token.position,
+        )
 
     def parse_create_table(self) -> ast.CreateTableStmt:
         name = self.expect_ident("table name")
@@ -543,6 +557,23 @@ class _Parser:
             name=name, query=query, sql_text=sql_text, provenance_attrs=provenance_attrs
         )
 
+    def parse_create_matview(self) -> ast.CreateMatViewStmt:
+        name = self.expect_ident("view name")
+        self.expect_keyword("AS")
+        start = self.peek().position
+        query = self.parse_select()
+        end = self.peek().position
+        sql_text = self.text[start:end].strip()
+        return ast.CreateMatViewStmt(name=name, query=query, sql_text=sql_text)
+
+    def parse_refresh(self) -> ast.RefreshMatViewStmt:
+        self.expect_keyword("REFRESH")
+        self.expect_keyword("MATERIALIZED")
+        self.expect_keyword("PROVENANCE")
+        self.expect_keyword("VIEW")
+        name = self.expect_ident("view name")
+        return ast.RefreshMatViewStmt(name=name)
+
     def parse_insert(self) -> ast.InsertStmt:
         self.expect_keyword("INSERT")
         self.expect_keyword("INTO")
@@ -565,15 +596,51 @@ class _Parser:
         query = self.parse_select()
         return ast.InsertStmt(table=table, columns=columns, query=query)
 
+    def parse_delete(self) -> ast.DeleteStmt:
+        self.expect_keyword("DELETE")
+        self.expect_keyword("FROM")
+        table = self.expect_ident("table name")
+        where = None
+        if self.accept_keyword("WHERE"):
+            where = self.parse_expr()
+        return ast.DeleteStmt(table=table, where=where)
+
+    def parse_update(self) -> ast.UpdateStmt:
+        self.expect_keyword("UPDATE")
+        table = self.expect_ident("table name")
+        self.expect_keyword("SET")
+        assignments: list[tuple[str, ast.Expr]] = []
+        while True:
+            column = self.expect_ident("column name")
+            token = self.peek()
+            if not (token.kind is TokenKind.OPERATOR and token.value == "="):
+                raise ParseError(f"expected =, found {token.value!r}", token.position)
+            self.advance()
+            assignments.append((column, self.parse_expr()))
+            if not self.accept_punct(","):
+                break
+        where = None
+        if self.accept_keyword("WHERE"):
+            where = self.parse_expr()
+        return ast.UpdateStmt(table=table, assignments=assignments, where=where)
+
     def parse_drop(self) -> ast.DropStmt:
         self.expect_keyword("DROP")
         if self.accept_keyword("TABLE"):
             kind = "table"
+        elif self.accept_keyword("MATERIALIZED"):
+            self.accept_keyword("PROVENANCE")
+            self.expect_keyword("VIEW")
+            kind = "matview"
         elif self.accept_keyword("VIEW"):
             kind = "view"
         else:
             token = self.peek()
-            raise ParseError(f"expected TABLE or VIEW, found {token.value!r}", token.position)
+            raise ParseError(
+                f"expected TABLE, VIEW or MATERIALIZED PROVENANCE VIEW, "
+                f"found {token.value!r}",
+                token.position,
+            )
         if_exists = False
         if self.accept_keyword("IF"):
             self.expect_keyword("EXISTS")

@@ -10,13 +10,36 @@ from repro.sql import ast
 
 
 def format_statement(node: ast.Statement) -> str:
-    """Render a statement back to SQL (selects, EXPLAIN and ANALYZE)."""
+    """Render a statement back to SQL (selects, EXPLAIN, ANALYZE, DML and
+    materialized-view statements)."""
     if isinstance(node, ast.AnalyzeStmt):
         return f"ANALYZE {node.table}" if node.table else "ANALYZE"
     if isinstance(node, ast.ExplainStmt):
         return f"EXPLAIN {format_select(node.query)}"
     if isinstance(node, (ast.SelectStmt, ast.SetOpSelect)):
         return format_select(node)
+    if isinstance(node, ast.CreateMatViewStmt):
+        return (
+            f"CREATE MATERIALIZED PROVENANCE VIEW {node.name} "
+            f"AS {format_select(node.query)}"
+        )
+    if isinstance(node, ast.RefreshMatViewStmt):
+        return f"REFRESH MATERIALIZED PROVENANCE VIEW {node.name}"
+    if isinstance(node, ast.DeleteStmt):
+        tail = f" WHERE {node.where}" if node.where is not None else ""
+        return f"DELETE FROM {node.table}{tail}"
+    if isinstance(node, ast.UpdateStmt):
+        sets = ", ".join(f"{col} = {expr}" for col, expr in node.assignments)
+        tail = f" WHERE {node.where}" if node.where is not None else ""
+        return f"UPDATE {node.table} SET {sets}{tail}"
+    if isinstance(node, ast.DropStmt):
+        kind = {
+            "table": "TABLE",
+            "view": "VIEW",
+            "matview": "MATERIALIZED PROVENANCE VIEW",
+        }[node.kind]
+        exists = "IF EXISTS " if node.if_exists else ""
+        return f"DROP {kind} {exists}{node.name}"
     raise TypeError(f"cannot format statement {node!r}")
 
 

@@ -40,6 +40,7 @@ KEYWORDS = frozenset(
     CASE WHEN THEN ELSE END CAST
     ASC DESC NULLS FIRST LAST
     CREATE TABLE VIEW INSERT INTO VALUES DROP IF REPLACE
+    MATERIALIZED REFRESH DELETE UPDATE SET
     PRIMARY KEY
     DATE INTERVAL EXTRACT SUBSTRING FOR
     PROVENANCE BASERELATION

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import itertools
 import threading
+from dataclasses import dataclass
 from typing import Any, Iterable, Iterator, Sequence
 
 from repro.catalog.schema import TableSchema
@@ -19,6 +20,27 @@ from repro.storage.relation import Relation
 
 
 _UID_COUNTER = itertools.count(1)
+
+#: Per-statement deltas retained per table; readers that fall further
+#: behind (``deltas_since`` past the pruned floor) get ``None`` and must
+#: recompute from the full heap.
+DELTA_LOG_CAPACITY = 256
+
+
+@dataclass(frozen=True)
+class TableDelta:
+    """The row sets one DML statement added to / removed from a table.
+
+    ``seq`` orders deltas per table (1-based, gapless while retained).
+    An UPDATE records both sets: the pre-images it removed and the
+    post-images it wrote.  Consumers (materialized-view maintenance,
+    future row versioning) treat the pair as delete-then-insert.
+    """
+
+    seq: int
+    command: str  # 'INSERT' | 'DELETE' | 'UPDATE'
+    inserted: tuple[tuple, ...] = ()
+    deleted: tuple[tuple, ...] = ()
 
 
 class Table:
@@ -51,6 +73,14 @@ class Table:
         # stay lock-free — CPython list.append is atomic and within one
         # epoch the row list only grows.
         self._columns_lock = threading.Lock()
+        # Per-statement delta log (``TableDelta``): what each DML
+        # statement inserted/deleted, for consumers that maintain
+        # derived state incrementally.  ``delta_seq`` is the seq of the
+        # newest recorded delta; ``_delta_floor`` the seq below which
+        # deltas were pruned (or invalidated by truncate).
+        self._deltas: list[TableDelta] = []
+        self.delta_seq = 0
+        self._delta_floor = 0
         if rows is not None:
             self.insert_many(rows)
 
@@ -82,6 +112,70 @@ class Table:
     def truncate(self) -> None:
         self._rows.clear()
         self.epoch += 1
+        # A truncate is not expressible as a bounded delta; invalidate
+        # the whole log so lagging readers recompute from scratch.
+        self._deltas.clear()
+        self._delta_floor = self.delta_seq
+
+    def remove_rows(self, rows: Iterable[Sequence[Any]]) -> int:
+        """Remove one occurrence per listed row (order-preserving multiset
+        difference); returns how many rows were actually removed.
+
+        Removal ends the append-only guarantee the current epoch made to
+        snapshot readers, so the epoch is bumped — in-flight snapshots
+        taken before the removal fail loudly instead of reading rows that
+        may have shifted position.
+        """
+        from collections import Counter
+
+        pending = Counter(tuple(row) for row in rows)
+        if not pending:
+            return 0
+        kept: list[tuple] = []
+        removed = 0
+        for row in self._rows:
+            if pending.get(row, 0) > 0:
+                pending[row] -= 1
+                removed += 1
+            else:
+                kept.append(row)
+        if removed:
+            self._rows[:] = kept
+            self.epoch += 1
+        return removed
+
+    # -- delta log ----------------------------------------------------------
+
+    def record_delta(
+        self,
+        command: str,
+        inserted: Iterable[Sequence[Any]] = (),
+        deleted: Iterable[Sequence[Any]] = (),
+    ) -> TableDelta:
+        """Append one statement's delta row sets to the log."""
+        self.delta_seq += 1
+        delta = TableDelta(
+            seq=self.delta_seq,
+            command=command,
+            inserted=tuple(tuple(r) for r in inserted),
+            deleted=tuple(tuple(r) for r in deleted),
+        )
+        self._deltas.append(delta)
+        if len(self._deltas) > DELTA_LOG_CAPACITY:
+            dropped = self._deltas.pop(0)
+            self._delta_floor = dropped.seq
+        return delta
+
+    def deltas_since(self, seq: int) -> list[TableDelta] | None:
+        """All deltas recorded after ``seq``, oldest first.
+
+        Returns ``None`` when the log cannot answer — ``seq`` predates
+        the pruned floor or a truncate — meaning the caller must fall
+        back to reading the full heap.
+        """
+        if seq < self._delta_floor:
+            return None
+        return [d for d in self._deltas if d.seq > seq]
 
     def scan(self) -> Iterator[tuple]:
         """Iterate the stored rows (the executor's SeqScan source)."""

@@ -1,0 +1,197 @@
+"""Materialized provenance views: DDL surface, routing, catalog and CLI."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.errors import CatalogError, PermError
+from repro.sql.parser import parse_sql
+from repro.sql.printer import format_statement
+from repro.sql import ast
+
+
+CREATE = (
+    "CREATE MATERIALIZED PROVENANCE VIEW emp_prov AS "
+    "SELECT PROVENANCE name FROM shop WHERE numempl < 10"
+)
+READ = "SELECT PROVENANCE name FROM shop WHERE numempl < 10"
+
+
+# -- parser / printer -------------------------------------------------------
+
+
+def test_create_statement_parses_and_prints():
+    (stmt,) = parse_sql(CREATE)
+    assert isinstance(stmt, ast.CreateMatViewStmt)
+    assert stmt.name == "emp_prov"
+    assert stmt.query.provenance
+    text = format_statement(stmt)
+    assert text.startswith("CREATE MATERIALIZED PROVENANCE VIEW emp_prov AS")
+    # The printed form re-parses to the same statement kind.
+    (again,) = parse_sql(text)
+    assert isinstance(again, ast.CreateMatViewStmt)
+
+
+def test_refresh_and_drop_parse_and_print():
+    (refresh,) = parse_sql("REFRESH MATERIALIZED PROVENANCE VIEW v")
+    assert isinstance(refresh, ast.RefreshMatViewStmt)
+    assert format_statement(refresh) == "REFRESH MATERIALIZED PROVENANCE VIEW v"
+    (drop,) = parse_sql("DROP MATERIALIZED PROVENANCE VIEW IF EXISTS v")
+    assert isinstance(drop, ast.DropStmt)
+    assert drop.kind == "matview"
+    assert drop.if_exists
+    (short,) = parse_sql("DROP MATERIALIZED VIEW v")
+    assert short.kind == "matview"
+
+
+# -- create / drop ----------------------------------------------------------
+
+
+def test_create_materializes_and_registers(example_db):
+    example_db.execute(CREATE)
+    view = example_db.catalog.matview("emp_prov")
+    assert view.semantics == "witness"
+    assert view.columns == ["name", "prov_shop_name", "prov_shop_numempl"]
+    assert view.rows == [("Merdies", "Merdies", 3)]
+    assert set(view.deps) == {"shop"}
+    assert view.full_refreshes == 1
+
+
+def test_read_is_answered_from_the_view(example_db):
+    example_db.execute(CREATE)
+    view = example_db.catalog.matview("emp_prov")
+    result = example_db.execute(READ)
+    assert result.rows == [("Merdies", "Merdies", 3)]
+    assert view.served_reads == 1
+    # provenance() routes through the same matcher.
+    result = example_db.provenance("SELECT name FROM shop WHERE numempl < 10")
+    assert view.served_reads == 2
+    assert result.rows == [("Merdies", "Merdies", 3)]
+
+
+def test_view_answer_survives_the_statement_cache(example_db):
+    example_db.execute(CREATE)
+    view = example_db.catalog.matview("emp_prov")
+    first = example_db.execute(READ)
+    second = example_db.execute(READ)  # statement-cache marker hit
+    assert first.rows == second.rows
+    assert view.served_reads == 2
+
+
+def test_unrelated_provenance_query_is_not_routed(example_db):
+    example_db.execute(CREATE)
+    view = example_db.catalog.matview("emp_prov")
+    example_db.execute("SELECT PROVENANCE name FROM shop")
+    assert view.served_reads == 0
+
+
+def test_semantics_distinguish_views(example_db):
+    example_db.execute(
+        "CREATE MATERIALIZED PROVENANCE VIEW poly_v AS "
+        "SELECT PROVENANCE (polynomial) name FROM shop"
+    )
+    view = example_db.catalog.matview("poly_v")
+    assert view.semantics == "polynomial"
+    # The witness-semantics spelling of the same SELECT must not hit it.
+    example_db.execute("SELECT PROVENANCE name FROM shop")
+    assert view.served_reads == 0
+    result = example_db.execute("SELECT PROVENANCE (polynomial) name FROM shop")
+    assert view.served_reads == 1
+    assert result.annotation_column == "prov_polynomial"
+
+
+def test_drop_removes_routing(example_db):
+    example_db.execute(CREATE)
+    example_db.execute(READ)
+    example_db.execute("DROP MATERIALIZED PROVENANCE VIEW emp_prov")
+    assert not example_db.catalog.has_matview("emp_prov")
+    # Still answerable — by the ordinary pipeline now.
+    result = example_db.execute(READ)
+    assert result.rows == [("Merdies", "Merdies", 3)]
+    with pytest.raises(CatalogError):
+        example_db.execute("DROP MATERIALIZED PROVENANCE VIEW emp_prov")
+    example_db.execute("DROP MATERIALIZED PROVENANCE VIEW IF EXISTS emp_prov")
+
+
+def test_refresh_statement_forces_full_refresh(example_db):
+    example_db.execute(CREATE)
+    view = example_db.catalog.matview("emp_prov")
+    example_db.execute("REFRESH MATERIALIZED PROVENANCE VIEW emp_prov")
+    assert view.full_refreshes == 2
+    with pytest.raises(CatalogError):
+        example_db.execute("REFRESH MATERIALIZED PROVENANCE VIEW nope")
+
+
+def test_name_collisions_are_rejected(example_db):
+    example_db.execute(CREATE)
+    with pytest.raises(CatalogError, match="already exists"):
+        example_db.execute(
+            "CREATE MATERIALIZED PROVENANCE VIEW emp_prov AS "
+            "SELECT PROVENANCE name FROM shop"
+        )
+    with pytest.raises(CatalogError, match="already exists"):
+        example_db.execute(
+            "CREATE MATERIALIZED PROVENANCE VIEW shop AS "
+            "SELECT PROVENANCE name FROM shop"
+        )
+
+
+def test_definition_must_be_a_provenance_select(example_db):
+    with pytest.raises(PermError, match="PROVENANCE"):
+        example_db.execute(
+            "CREATE MATERIALIZED PROVENANCE VIEW v AS SELECT name FROM shop"
+        )
+
+
+def test_definition_rejects_order_by(example_db):
+    with pytest.raises(PermError, match="ORDER BY"):
+        example_db.execute(
+            "CREATE MATERIALIZED PROVENANCE VIEW v AS "
+            "SELECT PROVENANCE name FROM shop ORDER BY name"
+        )
+
+
+def test_broken_definition_leaves_no_catalog_entry(example_db):
+    with pytest.raises(PermError):
+        example_db.execute(
+            "CREATE MATERIALIZED PROVENANCE VIEW v AS "
+            "SELECT PROVENANCE nothing FROM missing_table"
+        )
+    assert not example_db.catalog.has_matview("v")
+
+
+def test_requires_provenance_module():
+    db = repro.connect(provenance_module_enabled=False)
+    db.execute("CREATE TABLE t (a integer)")
+    with pytest.raises(PermError, match="provenance module"):
+        db.execute(
+            "CREATE MATERIALIZED PROVENANCE VIEW v AS SELECT PROVENANCE a FROM t"
+        )
+
+
+# -- explain / CLI ----------------------------------------------------------
+
+
+def test_explain_reports_view_answer(example_db):
+    example_db.execute(CREATE)
+    text = example_db.explain(READ)
+    assert "answered from materialized provenance view 'emp_prov'" in text
+    assert "fresh" in text.splitlines()[0]
+    example_db.execute("INSERT INTO shop VALUES ('Tiny', 2)")
+    stale = example_db.explain(READ)
+    assert "stale" in stale.splitlines()[0]
+
+
+def test_cli_matviews_command(example_db, capsys):
+    from repro.__main__ import _handle_meta
+
+    assert _handle_meta(example_db, "\\matviews")
+    assert "no materialized provenance views" in capsys.readouterr().out
+    example_db.execute(CREATE)
+    example_db.execute(READ)
+    assert _handle_meta(example_db, "\\matviews")
+    out = capsys.readouterr().out
+    assert "emp_prov" in out
+    assert "witness" in out
+    assert "reads served 1" in out

@@ -1,0 +1,260 @@
+"""Delta maintenance, eligibility classification, and staleness rules."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.errors import CatalogError, ExecutionError
+
+
+WITNESS_READ = "SELECT PROVENANCE sname, itemid FROM sales"
+POLY_READ = "SELECT PROVENANCE (polynomial) sname FROM sales"
+
+
+def make_view(db, name, body):
+    db.execute(f"CREATE MATERIALIZED PROVENANCE VIEW {name} AS {body}")
+    return db.catalog.matview(name)
+
+
+# -- incremental paths ------------------------------------------------------
+
+
+def test_insert_is_applied_incrementally(example_db):
+    view = make_view(example_db, "v", f"SELECT PROVENANCE sname, itemid FROM sales")
+    example_db.execute("INSERT INTO sales VALUES ('Joba', 1)")
+    result = example_db.execute(WITNESS_READ)
+    assert view.incremental_refreshes == 1
+    assert view.full_refreshes == 1
+    assert ("Joba", 1, "Joba", 1) in result.rows
+
+
+def test_delete_is_applied_incrementally(example_db):
+    view = make_view(example_db, "v", WITNESS_READ)
+    example_db.execute("DELETE FROM sales WHERE sname = 'Joba'")
+    result = example_db.execute(WITNESS_READ)
+    assert view.incremental_refreshes == 1
+    assert all(row[0] != "Joba" for row in result.rows)
+
+
+def test_update_is_applied_incrementally(example_db):
+    view = make_view(example_db, "v", WITNESS_READ)
+    example_db.execute("UPDATE sales SET itemid = 9 WHERE sname = 'Joba'")
+    result = example_db.execute(WITNESS_READ)
+    assert view.incremental_refreshes == 1
+    assert ("Joba", 9, "Joba", 9) in result.rows
+    assert ("Joba", 3, "Joba", 3) not in result.rows
+
+
+def test_insert_then_delete_cancels_to_reanchor(example_db):
+    view = make_view(example_db, "v", WITNESS_READ)
+    before = list(view.rows)
+    example_db.execute("INSERT INTO sales VALUES ('Ghost', 99)")
+    example_db.execute("DELETE FROM sales WHERE sname = 'Ghost'")
+    result = example_db.execute(WITNESS_READ)
+    assert sorted(result.rows) == sorted(before)
+    # The deltas cancelled; no term evaluation or full refresh happened.
+    assert view.incremental_refreshes == 1
+    assert view.full_refreshes == 1
+
+
+def test_polynomial_delete_uses_exact_monus(example_db):
+    view = make_view(example_db, "v", POLY_READ)
+    # 'Merdies' has three sales; deleting one must shrink the
+    # polynomial via monus, not drop the tuple.
+    example_db.execute(
+        "DELETE FROM sales WHERE sname = 'Merdies' AND itemid = 1"
+    )
+    result = example_db.execute(POLY_READ)
+    assert view.incremental_refreshes == 1
+    by_key = dict(result.rows)
+    assert set(by_key) == {"Merdies", "Joba"}
+    # Only the two itemid=2 derivations remain for Merdies.
+    assert len(by_key["Merdies"].terms()) == 1
+    assert by_key["Merdies"].terms()[0][1] == 2
+
+
+def test_join_view_maintained_across_both_tables(example_db):
+    body = "SELECT PROVENANCE name, itemid FROM shop, sales WHERE name = sname"
+    view = make_view(example_db, "v", body)
+    assert view.incremental_eligible, view.ineligible_reason
+    example_db.execute("INSERT INTO shop VALUES ('Pop', 5)")
+    example_db.execute("INSERT INTO sales VALUES ('Pop', 2)")
+    served = example_db.execute(body)
+    assert view.incremental_refreshes == 1
+    example_db.execute("DROP MATERIALIZED PROVENANCE VIEW v")
+    direct = example_db.execute(body)
+    from collections import Counter
+
+    assert Counter(served.rows) == Counter(direct.rows)
+    assert ("Pop", 2, "Pop", 5, "Pop", 2) in served.rows
+
+
+def test_union_all_is_full_refresh_but_correct(example_db):
+    """UNION ALL branches are affine (a branch not referencing the
+    changed table would re-contribute its rows in every delta term), so
+    set operations always take the full-refresh path — and still serve
+    exactly what re-execution returns."""
+    body = "(SELECT PROVENANCE name FROM shop) UNION ALL (SELECT sname FROM sales)"
+    view = make_view(example_db, "v", body)
+    assert not view.incremental_eligible
+    assert "affine" in view.ineligible_reason
+    example_db.execute("INSERT INTO shop VALUES ('New', 1)")
+    served = example_db.execute(body)
+    assert view.incremental_refreshes == 0
+    assert view.full_refreshes == 2
+    example_db.execute("DROP MATERIALIZED PROVENANCE VIEW v")
+    direct = example_db.execute(body)
+    from collections import Counter
+
+    assert Counter(served.rows) == Counter(direct.rows)
+
+
+# -- eligibility classification --------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "body, reason_part",
+    [
+        (
+            "SELECT PROVENANCE sname, count(*) AS n FROM sales GROUP BY sname",
+            "aggregation",
+        ),
+        ("SELECT PROVENANCE DISTINCT sname FROM sales", "DISTINCT"),
+        (
+            "(SELECT PROVENANCE name FROM shop) UNION (SELECT sname FROM sales)",
+            "set operations",
+        ),
+        (
+            "(SELECT PROVENANCE name FROM shop) EXCEPT (SELECT sname FROM sales)",
+            "set operations",
+        ),
+        (
+            "SELECT PROVENANCE name, itemid FROM shop LEFT JOIN sales ON name = sname",
+            "LEFT JOIN",
+        ),
+        # IN-sublinks are desugared to LEFT JOIN by the analyzer, so the
+        # outer-join rule is what rejects them.
+        (
+            "SELECT PROVENANCE name FROM shop WHERE name IN (SELECT sname FROM sales)",
+            "LEFT JOIN",
+        ),
+        (
+            "SELECT PROVENANCE a.name FROM shop AS a, shop AS b",
+            "referenced more than once",
+        ),
+    ],
+)
+def test_ineligible_shapes_fall_back_to_full_refresh(
+    example_db, body, reason_part
+):
+    view = make_view(example_db, "v", body)
+    assert not view.incremental_eligible
+    assert reason_part in view.ineligible_reason
+    # Touch both tables so every parametrized view goes stale.
+    example_db.execute("INSERT INTO sales VALUES ('Merdies', 3)")
+    example_db.execute("INSERT INTO shop VALUES ('Ore', 4)")
+    served = example_db.execute(body)
+    assert view.incremental_refreshes == 0
+    assert view.full_refreshes == 2  # create + maintain-on-read
+    # Differential: still exactly what re-execution returns.
+    example_db.execute(f"DROP MATERIALIZED PROVENANCE VIEW v")
+    direct = example_db.execute(body)
+    from collections import Counter
+
+    assert Counter(served.rows) == Counter(direct.rows)
+
+
+def test_writes_bypassing_the_delta_log_force_full_refresh(example_db):
+    view = make_view(example_db, "v", WITNESS_READ)
+    # load_table appends directly to the heap without a delta record.
+    example_db.load_table("sales", [("Sneaky", 42)])
+    result = example_db.execute(WITNESS_READ)
+    assert view.incremental_refreshes == 0
+    assert view.full_refreshes == 2
+    assert ("Sneaky", 42, "Sneaky", 42) in result.rows
+
+
+def test_dropped_and_recreated_table_forces_full_refresh(example_db):
+    view = make_view(example_db, "v", WITNESS_READ)
+    example_db.execute("DROP TABLE sales")
+    example_db.execute("CREATE TABLE sales (sname text, itemid integer)")
+    example_db.execute("INSERT INTO sales VALUES ('Fresh', 1)")
+    result = example_db.execute(WITNESS_READ)
+    assert view.full_refreshes == 2
+    assert result.rows == [("Fresh", 1, "Fresh", 1)]
+
+
+# -- staleness rules --------------------------------------------------------
+
+
+def test_analyze_does_not_force_refresh(example_db):
+    view = make_view(example_db, "v", WITNESS_READ)
+    assert view.is_current(example_db.catalog)
+    example_db.execute("ANALYZE sales")
+    example_db.execute("ANALYZE")
+    assert view.is_current(example_db.catalog)
+    example_db.execute(WITNESS_READ)
+    assert view.full_refreshes == 1
+    assert view.incremental_refreshes == 0
+    assert view.served_reads == 1
+
+
+def test_dropped_base_table_raises_clean_error(example_db):
+    make_view(example_db, "v", WITNESS_READ)
+    example_db.execute("DROP TABLE sales")
+    with pytest.raises(CatalogError, match="depends on table 'sales'"):
+        example_db.execute(WITNESS_READ)
+    with pytest.raises(CatalogError, match="has been dropped"):
+        example_db.execute("REFRESH MATERIALIZED PROVENANCE VIEW v")
+
+
+def test_truncate_invalidates_the_delta_log(example_db):
+    view = make_view(example_db, "v", WITNESS_READ)
+    table = example_db.catalog.table("sales")
+    table.truncate()
+    example_db.execute("INSERT INTO sales VALUES ('After', 8)")
+    result = example_db.execute(WITNESS_READ)
+    assert view.full_refreshes == 2
+    assert result.rows == [("After", 8, "After", 8)]
+
+
+# -- DML delta-log regression (snapshots) -----------------------------------
+
+
+def test_delete_invalidates_inflight_snapshot(example_db):
+    compiled = example_db.compile_select("SELECT sname FROM sales")
+    snapshot = example_db.snapshot()
+    example_db.execute("DELETE FROM sales WHERE sname = 'Joba'")
+    with pytest.raises(ExecutionError, match="snapshot too old"):
+        example_db.run_compiled(compiled, snapshot=snapshot)
+
+
+def test_update_invalidates_inflight_snapshot(example_db):
+    compiled = example_db.compile_select("SELECT sname FROM sales")
+    snapshot = example_db.snapshot()
+    example_db.execute("UPDATE sales SET itemid = 0 WHERE sname = 'Joba'")
+    with pytest.raises(ExecutionError, match="snapshot too old"):
+        example_db.run_compiled(compiled, snapshot=snapshot)
+
+
+def test_insert_keeps_inflight_snapshot_valid(example_db):
+    compiled = example_db.compile_select("SELECT sname FROM sales")
+    snapshot = example_db.snapshot()
+    example_db.execute("INSERT INTO sales VALUES ('Later', 7)")
+    result = example_db.run_compiled(compiled, snapshot=snapshot)
+    assert all(row[0] != "Later" for row in result.rows)
+
+
+def test_dml_records_per_statement_deltas(example_db):
+    table = example_db.catalog.table("sales")
+    base = table.delta_seq  # the fixture's own INSERT is already logged
+    example_db.execute("INSERT INTO sales VALUES ('A', 1)")
+    example_db.execute("DELETE FROM sales WHERE sname = 'A'")
+    example_db.execute("UPDATE sales SET itemid = 4 WHERE sname = 'Joba'")
+    deltas = table.deltas_since(base)
+    commands = [d.command for d in deltas]
+    assert commands == ["INSERT", "DELETE", "UPDATE"]
+    assert deltas[0].inserted == (("A", 1),)
+    assert deltas[1].deleted == (("A", 1),)
+    assert len(deltas[2].inserted) == len(deltas[2].deleted) == 2

@@ -1,0 +1,140 @@
+"""N[X] monus: the Polynomial operation, the EXCEPT rewrite that emits
+it, and the semiring registry's monus entries."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.errors import RewriteError
+from repro.semiring import Polynomial, get_semiring
+
+
+def V(name: str) -> Polynomial:
+    return Polynomial.variable(name)
+
+
+@pytest.fixture
+def db() -> repro.PermDatabase:
+    database = repro.connect()
+    database.execute("CREATE TABLE a (x integer)")
+    database.execute("CREATE TABLE b (x integer)")
+    database.execute("INSERT INTO a VALUES (1), (1), (2), (3)")
+    database.execute("INSERT INTO b VALUES (1), (3), (4)")
+    return database
+
+
+# -- Polynomial.monus -------------------------------------------------------
+
+
+def test_monus_is_per_monomial_truncated_subtraction():
+    left = V("p") + V("p") + V("q")
+    right = V("p") + V("q") + V("r")
+    assert left.monus(right) == V("p")
+
+
+def test_monus_clamps_at_zero():
+    assert V("p").monus(V("p") + V("p")).is_zero()
+    assert Polynomial.zero().monus(V("p")).is_zero()
+
+
+def test_monus_of_disjoint_terms_is_identity():
+    left = V("p") * V("q")
+    assert left.monus(V("r")) == left
+
+
+def test_monus_rejects_non_polynomial():
+    with pytest.raises(TypeError):
+        V("p").monus(3)
+
+
+def test_covers_is_the_exactness_condition():
+    bigger = V("p") + V("p") + V("q")
+    smaller = V("p") + V("q")
+    assert bigger.covers(smaller)
+    assert not smaller.covers(bigger)
+    # Covered monus inverts addition exactly.
+    assert smaller + (bigger.monus(smaller)) == bigger
+
+
+# -- semiring registry ------------------------------------------------------
+
+
+def test_registered_monus_operations():
+    assert get_semiring("counting").monus(2, 5) == 0
+    assert get_semiring("counting").monus(5, 2) == 3
+    assert get_semiring("boolean").monus(True, False) is True
+    assert not get_semiring("boolean").monus(True, True)
+    # min/+ has no truncated subtraction; deliberately absent.
+    assert get_semiring("tropical").monus is None
+
+
+def test_polynomial_semiring_monus_is_polynomial_monus():
+    monus = get_semiring("polynomial").monus
+    assert monus(V("p") + V("q"), V("q")) == V("p")
+
+
+# -- EXCEPT rewrite ---------------------------------------------------------
+
+
+def test_set_except_survivors_keep_left_annotation(db):
+    result = db.execute(
+        "SELECT PROVENANCE (polynomial) x FROM a EXCEPT SELECT x FROM b"
+    )
+    annotated = dict(result.rows)
+    assert set(annotated) == {2}
+    assert annotated[2] == V("a(2)")
+
+
+def test_except_all_subtracts_overlapping_derivations(db):
+    # a EXCEPT ALL (a WHERE x = 1): the shared x=1 derivations cancel
+    # via monus, so only the non-overlapping tuples survive.
+    result = db.execute(
+        "SELECT PROVENANCE (polynomial) x FROM a "
+        "EXCEPT ALL SELECT x FROM a WHERE x = 1"
+    )
+    annotated = dict(result.rows)
+    assert set(annotated) == {2, 3}
+    assert annotated[2] == V("a(2)")
+    assert annotated[3] == V("a(3)")
+
+
+def test_except_all_differential_row_sets(db):
+    """The annotated result returns exactly the plain EXCEPT ALL rows."""
+    sql = "SELECT x FROM a EXCEPT ALL SELECT x FROM b"
+    plain = db.execute(sql)
+    annotated = db.provenance(sql, semantics="polynomial")
+    from collections import Counter
+
+    assert Counter(row[:1] for row in annotated.rows) == Counter(plain.rows)
+
+
+def test_monus_does_not_commute_with_counting_evaluation(db):
+    """Amsterdamer et al.: monus is computed on N[X] and does NOT
+    commute with semiring evaluation.  a(1) appears twice, b(1) once —
+    the bag multiplicity of x=1 under EXCEPT ALL is 1, but the monus of
+    the *disjoint* polynomials subtracts nothing, so counting-evaluating
+    the annotation gives 2.  This divergence is inherent (documented in
+    docs/semirings.md), not a bug; the returned rows themselves follow
+    bag semantics."""
+    sql = "SELECT x FROM a EXCEPT ALL SELECT x FROM b"
+    annotated = db.provenance(sql, semantics="polynomial")
+    by_key = dict(annotated.rows)
+    assert by_key[1] == V("a(1)") + V("a(1)")
+    assert by_key[1].evaluate(None, get_semiring("counting")) == 2
+
+
+def test_except_matches_witness_row_set(db):
+    sql = "SELECT x FROM a EXCEPT SELECT x FROM b"
+    witness = db.provenance(sql)
+    poly = db.provenance(sql, semantics="polynomial")
+    assert {row[0] for row in witness.rows} == {row[0] for row in poly.rows}
+
+
+def test_nested_except_raises_loudly(db):
+    with pytest.raises(RewriteError, match="nested EXCEPT"):
+        db.execute(
+            "SELECT PROVENANCE (polynomial) x FROM "
+            "((SELECT x FROM a EXCEPT SELECT x FROM b) "
+            "EXCEPT SELECT x FROM b) AS t"
+        )
