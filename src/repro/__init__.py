@@ -37,6 +37,13 @@ rewritten query tree runs on the built-in Python executor or — deparsed
 through a dialect layer — on an embedded SQLite database::
 
     db = repro.connect(backend="sqlite")   # q+ executed by a real DBMS
+
+Durability is opt-in (``repro.wal``, ``docs/durability.md``): give
+``connect`` a ``wal_dir`` and committed statements are write-ahead
+logged, checkpointed, and recovered on the next ``connect`` to the
+same directory::
+
+    db = repro.connect(wal_dir="perm-data")   # crash-safe catalog
 """
 
 from repro.database import PermDatabase, PreparedQuery, QueryResult, connect
@@ -51,6 +58,7 @@ from repro.errors import (
     ParseError,
     PermError,
     RewriteError,
+    WalError,
 )
 from repro.semiring import (
     Polynomial,
@@ -87,5 +95,6 @@ __all__ = [
     "CatalogError",
     "RewriteError",
     "ExecutionError",
+    "WalError",
     "__version__",
 ]

@@ -26,7 +26,10 @@ Inside the shell, end statements with ``;``.  Meta commands:
 * ``\\backend [name]`` show or switch the execution backend
   (``python`` / ``sqlite``),
 * ``\\server [start [port]|stats|stop]`` manage a background query
-  server on this database (``repro.server`` wire protocol).
+  server on this database (``repro.server`` wire protocol),
+* ``\\wal`` write-ahead-log status and last recovery report (requires
+  ``--wal-dir``),
+* ``\\checkpoint`` snapshot the catalog and truncate the WAL.
 
 ``python -m repro --serve PORT`` skips the shell and serves the
 database over TCP until interrupted.
@@ -49,7 +52,11 @@ def _build_database(args: argparse.Namespace) -> repro.PermDatabase:
         from repro.tpch.dbgen import tpch_database
 
         print(f"loading TPC-H at SF {args.tpch} ...", file=sys.stderr)
-        db = tpch_database(scale_factor=args.tpch)
+        db = tpch_database(
+            scale_factor=args.tpch,
+            wal_dir=args.wal_dir,
+            wal_sync=args.wal_sync,
+        )
         if args.backend != "python":
             db.set_backend(args.backend)
         db.optimizer_enabled = not args.no_optimize
@@ -61,7 +68,18 @@ def _build_database(args: argparse.Namespace) -> repro.PermDatabase:
         optimize=not args.no_optimize,
         vectorize=not args.no_vectorize,
         cost_based=not args.no_cost_based,
+        wal_dir=args.wal_dir,
+        wal_sync=args.wal_sync,
     )
+    if db.durable and db.last_recovery is not None:
+        report = db.last_recovery
+        if report.checkpoint_segment is not None or report.statements_replayed:
+            print(
+                f"recovered from {report.directory}: "
+                f"checkpoint segment {report.checkpoint_segment}, "
+                f"{report.statements_replayed} statements replayed",
+                file=sys.stderr,
+            )
     if args.example:
         db.execute("CREATE TABLE shop (name text, numempl integer)")
         db.execute("CREATE TABLE sales (sname text, itemid integer)")
@@ -189,6 +207,23 @@ def _handle_meta(db: repro.PermDatabase, line: str) -> bool:
     if command == "\\server":
         _handle_server(db, rest.strip())
         return True
+    if command == "\\wal":
+        status = db.wal_status()
+        if status is None:
+            print("not durable (start with --wal-dir DIR)")
+            return True
+        recovery = status.pop("last_recovery", None)
+        for key, value in status.items():
+            print(f"  {key}: {value}")
+        if recovery is not None:
+            print("  last recovery:")
+            for key, value in recovery.items():
+                print(f"    {key}: {value}")
+        return True
+    if command == "\\checkpoint":
+        segment = db.checkpoint()
+        print(f"checkpoint written; WAL rolled to segment {segment}")
+        return True
     if command == "\\analyze":
         result = db.analyze(rest.strip() or None)
         for name, rows, columns in result.rows:
@@ -274,7 +309,8 @@ def _handle_meta(db: repro.PermDatabase, line: str) -> bool:
         "unknown meta command "
         f"{command!r} (\\q, \\d, \\rewrite, \\explain, \\explain+, "
         "\\optimize, \\vectorize, \\costbased, \\parallel, \\analyze, "
-        "\\stats, \\matviews, \\semirings, \\backend, \\server)"
+        "\\stats, \\matviews, \\semirings, \\backend, \\server, "
+        "\\wal, \\checkpoint)"
     )
     return True
 
@@ -309,6 +345,13 @@ def main(argv: list[str] | None = None) -> int:
                              "starting the shell")
     parser.add_argument("--host", default="127.0.0.1",
                         help="bind address for --serve (default 127.0.0.1)")
+    parser.add_argument("--wal-dir", default=None, metavar="DIR",
+                        help="durable mode: write-ahead log committed "
+                             "statements to DIR and recover whatever a "
+                             "previous process left there")
+    parser.add_argument("--wal-sync", default="always",
+                        choices=["always", "batch", "never"],
+                        help="WAL fsync policy (default: always)")
     args = parser.parse_args(argv)
 
     db = _build_database(args)
@@ -327,6 +370,7 @@ def main(argv: list[str] | None = None) -> int:
                 _time.sleep(3600)
         except KeyboardInterrupt:
             handle.stop()
+            db.close()
             return 0
     if args.command is not None:
         try:
@@ -334,6 +378,8 @@ def main(argv: list[str] | None = None) -> int:
         except PermError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 1
+        finally:
+            db.close()
         if result.columns:
             print(result.pretty())
         else:
@@ -354,10 +400,12 @@ def main(argv: list[str] | None = None) -> int:
             line = input(prompt)
         except (EOFError, KeyboardInterrupt):
             print()
+            db.close()
             return 0
         if not buffer and line.strip().startswith("\\"):
             try:
                 if not _handle_meta(db, line.strip()):
+                    db.close()
                     return 0
             except PermError as exc:
                 print(f"error: {exc}")

@@ -91,6 +91,36 @@ class Catalog:
     def tables(self) -> list[Table]:
         return list(self._tables.values())
 
+    # -- durability (checkpoint restore) -------------------------------------
+    #
+    # Restore installs pre-built objects without bumping ``epoch`` /
+    # ``stats_epoch``: recovery forces both counters to their persisted
+    # values afterwards so statement caches key identically to the
+    # crashed process.
+
+    def install_table(self, table: Table) -> None:
+        key = table.name.lower()
+        if key in self._tables or key in self._views:
+            raise CatalogError(f"relation {table.name!r} already exists")
+        self._tables[key] = table
+
+    def install_stats(self, name: str, stats: "TableStats") -> None:
+        self._table_stats[name.lower()] = stats
+
+    def stats_entries(self) -> dict[str, "TableStats"]:
+        """Every stored statistics snapshot, fresh or lagging.
+
+        Checkpoints persist the raw entries (not :meth:`analyzed_tables`):
+        a *lagging* snapshot still drives auto-ANALYZE growth thresholds,
+        so recovery must restore exactly what the crashed process held or
+        replayed DML would re-ANALYZE at different points.
+        """
+        return dict(self._table_stats)
+
+    def set_epochs(self, epoch: int, stats_epoch: int) -> None:
+        self.epoch = epoch
+        self.stats_epoch = stats_epoch
+
     # -- statistics (ANALYZE) ------------------------------------------------
 
     def analyze(self, name: Optional[str] = None) -> list["TableStats"]:
@@ -205,6 +235,9 @@ class Catalog:
 
     def has_view(self, name: str) -> bool:
         return name.lower() in self._views
+
+    def views(self) -> list[ViewDefinition]:
+        return list(self._views.values())
 
     def has_relation(self, name: str) -> bool:
         return self.has_table(name) or self.has_view(name) or self.has_matview(name)

@@ -1,0 +1,58 @@
+"""Tagged-JSON value codec shared by the wire protocol and the WAL.
+
+JSON has no date/interval/polynomial values, so non-scalar engine
+values ride in single-key tagged objects (``{"$date": "2026-01-01"}``,
+``{"$poly": <Polynomial.to_wire()>}``, ``{"$interval": [days,
+months]}``).  The provenance polynomial codec reuses the engine's
+canonical wire form, so annotations survive the hop bit-exactly.  Both
+the server protocol (:mod:`repro.server.protocol`) and the durability
+layer's checkpoints (:mod:`repro.wal.checkpoint`) speak exactly this
+encoding — a row that can be served over the wire can be made durable,
+and vice versa.
+"""
+
+from __future__ import annotations
+
+import datetime
+from typing import Any
+
+from repro.datatypes import Interval
+from repro.semiring.polynomial import Polynomial
+
+
+def encode_value(value: Any) -> Any:
+    """One engine value -> a JSON-representable value."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, Polynomial):
+        return {"$poly": value.to_wire()}
+    if isinstance(value, datetime.date):
+        return {"$date": value.isoformat()}
+    if isinstance(value, Interval):
+        return {"$interval": [value.days, value.months]}
+    # Loud-but-lossy fallback: the repr still identifies the value, and
+    # a tagged object keeps it distinguishable from a plain string.
+    return {"$str": str(value)}
+
+
+def decode_value(value: Any) -> Any:
+    """Inverse of :func:`encode_value` (``$str`` stays a string)."""
+    if isinstance(value, dict) and len(value) == 1:
+        if "$poly" in value:
+            return Polynomial.from_wire(value["$poly"])
+        if "$date" in value:
+            return datetime.date.fromisoformat(value["$date"])
+        if "$interval" in value:
+            days, months = value["$interval"]
+            return Interval(days=days, months=months)
+        if "$str" in value:
+            return value["$str"]
+    return value
+
+
+def encode_row(row: tuple) -> list:
+    return [encode_value(value) for value in row]
+
+
+def decode_row(row: list) -> tuple:
+    return tuple(decode_value(value) for value in row)

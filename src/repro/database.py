@@ -24,11 +24,13 @@ from __future__ import annotations
 import threading
 import time
 from collections import OrderedDict
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Iterable, Iterator, Optional, Sequence
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.backends import BackendSpec
+    from repro.wal.recovery import RecoveryReport
 
 from repro.catalog.catalog import Catalog, ViewDefinition
 from repro.catalog.schema import Column, TableSchema
@@ -42,8 +44,38 @@ from repro.executor.nodes import PlanNode
 from repro.planner import make_planner
 from repro.sql import ast
 from repro.sql.parser import parse_sql
+from repro.sql.printer import format_statement
 from repro.storage.relation import Relation
 from repro.storage.table import Table
+
+
+#: Statement kinds the write-ahead log records.  SELECT joins the set
+#: only in its ``SELECT INTO`` form (it creates a table); EXPLAIN and
+#: plain reads never touch the log.
+_DURABLE_STMTS = (
+    ast.CreateTableStmt,
+    ast.CreateViewStmt,
+    ast.CreateMatViewStmt,
+    ast.RefreshMatViewStmt,
+    ast.InsertStmt,
+    ast.DeleteStmt,
+    ast.UpdateStmt,
+    ast.DropStmt,
+    ast.AnalyzeStmt,
+)
+
+
+def _durable_statement(stmt: ast.Statement) -> bool:
+    if isinstance(stmt, _DURABLE_STMTS):
+        return True
+    if isinstance(stmt, (ast.SelectStmt, ast.SetOpSelect)):
+        return bool(getattr(stmt, "into", None))
+    return False
+
+
+#: Reusable no-op guard for the non-durable (read) path, so the
+#: statement loop stays branch-cheap when no WAL is configured.
+_NO_COMMIT_LOCK = nullcontext()
 
 
 @dataclass
@@ -254,6 +286,9 @@ class PermDatabase:
         statement_cache_size: int = 64,
         parallel_workers: int = 1,
         auto_analyze: bool = True,
+        wal_dir: Optional[str] = None,
+        wal_sync: str = "always",
+        wal_checkpoint_interval: Optional[int] = None,
     ) -> None:
         from repro.backends import create_backend
 
@@ -271,6 +306,19 @@ class PermDatabase:
         self._propagate_cost_based()
         self._propagate_parallel()
         self._stmt_cache = _StatementCache(statement_cache_size)
+        # Durability last: attaching recovers any existing WAL directory
+        # by replaying statements through this (fully constructed) db.
+        self._durability = None
+        if wal_dir is not None:
+            from repro.wal.manager import Durability
+
+            self._durability = Durability(
+                self,
+                wal_dir,
+                sync=wal_sync,
+                checkpoint_interval=wal_checkpoint_interval,
+            )
+            self._durability.attach()
 
     # -- execution backends ----------------------------------------------------
 
@@ -385,6 +433,46 @@ class PermDatabase:
         if self.auto_analyze_enabled:
             self.catalog.maybe_auto_analyze()
 
+    # -- durability (write-ahead log) -------------------------------------------
+
+    @property
+    def durable(self) -> bool:
+        """Whether this database writes a WAL (``wal_dir`` was given)."""
+        return self._durability is not None
+
+    @property
+    def last_recovery(self) -> Optional["RecoveryReport"]:
+        """What the attach-time recovery pass found, when durable."""
+        if self._durability is None:
+            return None
+        return self._durability.report
+
+    def checkpoint(self) -> int:
+        """Snapshot the catalog and truncate the WAL (``\\checkpoint``).
+
+        Returns the new active segment number.  Also the way to make
+        *programmatic* loads durable: ``create_table()``/``load_table()``
+        bypass the SQL pipeline and therefore the log — checkpoint after
+        bulk-loading so the snapshot carries the rows.
+        """
+        if self._durability is None:
+            raise PermError(
+                "checkpoint() requires a durable database (wal_dir=...)"
+            )
+        return self._durability.checkpoint()
+
+    def wal_status(self) -> Optional[dict]:
+        """WAL counters for the shell's ``\\wal``; None when not durable."""
+        if self._durability is None:
+            return None
+        return self._durability.status()
+
+    def close(self) -> None:
+        """Flush and close the WAL (when durable) and the backend."""
+        if self._durability is not None:
+            self._durability.close()
+        self._backend.close()
+
     # -- statement execution ---------------------------------------------------
 
     def execute(self, sql: str) -> QueryResult:
@@ -405,12 +493,23 @@ class PermDatabase:
         result = QueryResult(columns=[], rows=[], command="EMPTY")
         cacheable: Optional[Any] = None
         for stmt in statements:
-            if isinstance(stmt, (ast.SelectStmt, ast.SetOpSelect)):
-                query, result = self._execute_select(stmt)
-                cacheable = query if len(statements) == 1 else None
-            else:
-                result = self._execute_statement(stmt)
-                cacheable = None
+            # Commit protocol for durable statements: apply, then append
+            # the canonical printed form to the WAL, both under the
+            # commit lock so a concurrent checkpoint always snapshots at
+            # a statement boundary.  A failed statement is never logged
+            # (its partial effects are atomically absent after recovery);
+            # reads take the no-op guard and never serialize.
+            durable = self._durability is not None and _durable_statement(stmt)
+            guard = self._durability.commit_lock if durable else _NO_COMMIT_LOCK
+            with guard:
+                if isinstance(stmt, (ast.SelectStmt, ast.SetOpSelect)):
+                    query, result = self._execute_select(stmt)
+                    cacheable = query if len(statements) == 1 else None
+                else:
+                    result = self._execute_statement(stmt)
+                    cacheable = None
+                if durable:
+                    self._durability.log_statement(format_statement(stmt))
         if key is not None and cacheable is not None:
             self._stmt_cache.put(key, cacheable)
         return result
@@ -1048,6 +1147,9 @@ def connect(
     cost_based: bool = True,
     parallel_workers: int = 1,
     auto_analyze: bool = True,
+    wal_dir: Optional[str] = None,
+    wal_sync: str = "always",
+    wal_checkpoint_interval: Optional[int] = None,
 ) -> PermDatabase:
     """Create a fresh in-memory Perm database.
 
@@ -1063,6 +1165,15 @@ def connect(
     on morsel-driven parallel execution of eligible scan pipelines;
     the default 1 keeps execution serial.  ``auto_analyze=False``
     disables automatic refresh of stale ANALYZE statistics.
+
+    ``wal_dir`` makes the database durable: committed DML/DDL is
+    write-ahead logged there, any state a previous process left in the
+    directory is recovered before this call returns, and
+    :meth:`PermDatabase.checkpoint` snapshots + truncates the log.
+    ``wal_sync`` picks the fsync policy (``"always"`` — commit implies
+    durable — or ``"batch"``/``"never"``); ``wal_checkpoint_interval``
+    auto-checkpoints after that many logged statements (0 disables).
+    See ``docs/durability.md``.
     """
     return PermDatabase(
         provenance_module_enabled=provenance_module_enabled,
@@ -1072,4 +1183,7 @@ def connect(
         cost_based=cost_based,
         parallel_workers=parallel_workers,
         auto_analyze=auto_analyze,
+        wal_dir=wal_dir,
+        wal_sync=wal_sync,
+        wal_checkpoint_interval=wal_checkpoint_interval,
     )

@@ -74,3 +74,12 @@ class ExecutionError(PermError):
 
 class TypeMismatchError(AnalyzeError):
     """Raised when an expression combines incompatible SQL types."""
+
+
+class WalError(PermError):
+    """Raised by the durability layer: unusable WAL/checkpoint files,
+    interior log corruption, or replay of a logged statement failing.
+
+    A *torn tail* (the residue of a crash mid-append) is not an error —
+    recovery repairs it silently; this class covers states recovery
+    refuses to guess about."""

@@ -1,0 +1,225 @@
+"""Deterministic fault injection for durability and serving tests.
+
+The engine's crash-safety code paths — WAL appends, fsyncs, checkpoint
+renames, server admission — each call :func:`fault_point` with a stable
+point name.  In production no injector is installed and the call is a
+single global read returning ``None`` (the hook stays off the hot
+path).  Tests and the CI chaos job install a :class:`FaultInjector`
+whose *rules* decide, deterministically, what happens at each hit of a
+point:
+
+* ``crash``  — raise :class:`SimulatedCrash` (process death; derives
+  from ``BaseException`` so no engine ``except PermError`` handler can
+  swallow it — only the test harness catches it).
+* ``torn``   — returned to the call site, which writes only
+  ``action.keep`` bytes of the record before raising
+  :class:`SimulatedCrash` (a torn/partial WAL frame).
+* ``error``  — raise :class:`InjectedFault`, a typed, *catchable*
+  engine error (``error_type`` names the failure: ``"io"``,
+  ``"overloaded"``, ``"shutting_down"``...).  The server maps these to
+  typed wire errors, so client retry logic can be driven end to end.
+* ``sleep``  — block for ``seconds`` (slow-I/O and slow-query faults).
+
+Determinism: rules fire on exact hit counts (``nth=3`` = third hit of
+that point) or via a ``probability`` drawn from the injector's seeded
+``random.Random`` — the same seed and workload replay the same fault
+schedule, which is what lets the chaos matrix enumerate crash points
+exhaustively.
+
+>>> inj = FaultInjector(seed=7)
+>>> inj.on("wal.append", "torn", nth=2, keep=5)
+>>> with inj.installed():
+...     ...  # second WAL append writes 5 bytes, then SimulatedCrash
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import Counter
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from random import Random
+from typing import Any, Iterator, Optional
+
+from repro.errors import PermError
+
+
+class SimulatedCrash(BaseException):
+    """The injected process death.
+
+    Deliberately *not* a :class:`PermError` (nor even an
+    ``Exception``): crash recovery must be exercised against whatever
+    bytes reached the disk, so no library-level handler may catch and
+    "clean up" after the crash point.
+    """
+
+    def __init__(self, point: str) -> None:
+        super().__init__(f"simulated crash at fault point {point!r}")
+        self.point = point
+
+
+class InjectedFault(PermError):
+    """A typed, recoverable injected failure (I/O error, admission
+    fault, ...).  ``error_type`` is the machine-readable kind the
+    server surfaces on the wire."""
+
+    def __init__(self, point: str, error_type: str, message: str = "") -> None:
+        super().__init__(
+            message or f"injected {error_type} fault at {point!r}"
+        )
+        self.point = point
+        self.error_type = error_type
+
+
+@dataclass
+class FaultAction:
+    """What a matched rule asks the call site to do.
+
+    Only ``torn`` actions are ever *returned* by :func:`fault_point`
+    (the call site owns the partial write); every other kind is acted
+    on inside the hook itself.
+    """
+
+    kind: str  # 'crash' | 'torn' | 'error' | 'sleep'
+    point: str
+    keep: int = 0  # torn: payload bytes to write before crashing
+    error_type: str = "io"
+    message: str = ""
+    seconds: float = 0.0
+
+
+@dataclass
+class FaultRule:
+    point: str
+    kind: str
+    nth: Optional[int] = None  # fire at exactly the nth hit (1-based)
+    probability: Optional[float] = None  # else fire per-hit with this chance
+    times: Optional[int] = 1  # firings allowed; None = unlimited
+    fired: int = 0
+    keep: int = 0
+    error_type: str = "io"
+    message: str = ""
+    seconds: float = 0.0
+
+    def matches(self, point: str, hit: int, rng: Random) -> bool:
+        if self.point != point:
+            return False
+        if self.times is not None and self.fired >= self.times:
+            return False
+        if self.nth is not None:
+            return hit == self.nth
+        if self.probability is not None:
+            return rng.random() < self.probability
+        return True  # unconditional rule: every hit
+
+
+class FaultInjector:
+    """A seeded schedule of faults over named injection points."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self.rng = Random(seed)
+        self.rules: list[FaultRule] = []
+        self.hits: Counter[str] = Counter()
+        self.fired: list[tuple[str, str]] = []  # (point, kind) log
+        self._lock = threading.Lock()
+
+    def on(
+        self,
+        point: str,
+        kind: str,
+        *,
+        nth: Optional[int] = None,
+        probability: Optional[float] = None,
+        times: Optional[int] = 1,
+        keep: int = 0,
+        error_type: str = "io",
+        message: str = "",
+        seconds: float = 0.0,
+    ) -> "FaultInjector":
+        """Register one rule; returns self for chaining."""
+        if kind not in ("crash", "torn", "error", "sleep"):
+            raise ValueError(f"unknown fault kind {kind!r}")
+        self.rules.append(
+            FaultRule(
+                point=point,
+                kind=kind,
+                nth=nth,
+                probability=probability,
+                times=times,
+                keep=keep,
+                error_type=error_type,
+                message=message,
+                seconds=seconds,
+            )
+        )
+        return self
+
+    def check(self, point: str, ctx: dict) -> Optional[FaultAction]:
+        """Record a hit of ``point`` and return the action to take."""
+        with self._lock:
+            self.hits[point] += 1
+            hit = self.hits[point]
+            for rule in self.rules:
+                if rule.matches(point, hit, self.rng):
+                    rule.fired += 1
+                    self.fired.append((point, rule.kind))
+                    return FaultAction(
+                        kind=rule.kind,
+                        point=point,
+                        keep=rule.keep,
+                        error_type=rule.error_type,
+                        message=rule.message,
+                        seconds=rule.seconds,
+                    )
+        return None
+
+    @contextmanager
+    def installed(self) -> Iterator["FaultInjector"]:
+        """Install this injector globally for the duration of a block."""
+        install(self)
+        try:
+            yield self
+        finally:
+            clear()
+
+
+# ---------------------------------------------------------------------------
+# The global hook
+# ---------------------------------------------------------------------------
+
+_active: Optional[FaultInjector] = None
+
+
+def install(injector: FaultInjector) -> None:
+    global _active
+    _active = injector
+
+
+def clear() -> None:
+    global _active
+    _active = None
+
+
+def active() -> Optional[FaultInjector]:
+    return _active
+
+
+def fault_point(point: str, **ctx: Any) -> Optional[FaultAction]:
+    """The injection hook: a no-op global read unless an injector is
+    installed.  Raises / sleeps for most actions; returns ``torn``
+    actions for the call site to interpret (partial write + crash)."""
+    injector = _active
+    if injector is None:
+        return None
+    action = injector.check(point, ctx)
+    if action is None:
+        return None
+    if action.kind == "crash":
+        raise SimulatedCrash(point)
+    if action.kind == "error":
+        raise InjectedFault(point, action.error_type, action.message)
+    if action.kind == "sleep":
+        time.sleep(action.seconds)
+        return None
+    return action  # 'torn': the caller owns the partial write

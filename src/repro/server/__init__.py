@@ -14,15 +14,22 @@ deadlines cancel runaway execution cooperatively inside the engine.
 :mod:`repro.server.client` is the matching blocking client.
 """
 
-from repro.server.client import ClientResult, PermClient, ServerError
-from repro.server.protocol import MAX_FRAME, ProtocolError
+from repro.server.client import (
+    RETRYABLE_ERRORS,
+    ClientResult,
+    PermClient,
+    ServerError,
+)
+from repro.server.protocol import MAX_FRAME, FrameTooLarge, ProtocolError
 from repro.server.server import PermServer, ServerHandle, start_in_thread
 from repro.server.session import Session, SessionManager
 from repro.server.stats import ServerStats
 
 __all__ = [
     "MAX_FRAME",
+    "RETRYABLE_ERRORS",
     "ClientResult",
+    "FrameTooLarge",
     "PermClient",
     "PermServer",
     "ProtocolError",

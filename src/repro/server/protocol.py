@@ -15,7 +15,12 @@ Requests and responses are flat JSON objects:
 * response — ``{"id": ..., "ok": true, "columns": [...], "rows":
   [...], ...}`` or ``{"id": ..., "ok": false, "error":
   {"type": "timeout" | "overloaded" | "snapshot_invalid" |
-  "query_error" | "protocol_error", "message": "..."}}``.
+  "shutting_down" | "frame_too_large" | "query_error" |
+  "protocol_error", "message": "..."}}``.  ``overloaded`` and
+  ``snapshot_invalid`` are safe to retry for reads (the client's
+  backoff machinery does); ``shutting_down`` means the server is
+  draining and will not admit new work; a frame over the 8 MiB cap
+  gets ``frame_too_large`` followed by a clean close.
 
 JSON has no date/interval/polynomial values, so non-scalar engine
 values ride in single-key tagged objects (``{"$date": "2026-01-01"}``,
@@ -26,17 +31,28 @@ canonical wire form, so annotations survive the hop bit-exactly.
 
 from __future__ import annotations
 
-import datetime
 import json
 import socket
 import struct
-from typing import Any, Optional
+from typing import Optional
 
-from repro.datatypes import Interval
-from repro.semiring.polynomial import Polynomial
+# The value codec is shared with the durability layer's checkpoints;
+# re-exported here so existing protocol users keep their import path.
+from repro.codec import (  # noqa: F401  (re-exports)
+    decode_row,
+    decode_value,
+    encode_row,
+    encode_value,
+)
 
 #: Upper bound on one frame's payload, request or response.
 MAX_FRAME = 8 * 1024 * 1024
+
+#: Most bytes the server will read-and-discard to answer an oversized
+#: frame with a typed error on a clean connection; a declared length
+#: beyond this is treated as a framing desync and the connection is
+#: closed after the error reply without draining.
+MAX_DRAIN = 64 * 1024 * 1024
 
 _HEADER = struct.Struct(">I")
 
@@ -45,47 +61,20 @@ class ProtocolError(Exception):
     """A malformed or oversized frame."""
 
 
-# ---------------------------------------------------------------------------
-# Value codec
-# ---------------------------------------------------------------------------
+class FrameTooLarge(ProtocolError):
+    """A frame whose declared payload exceeds :data:`MAX_FRAME`.
 
+    Distinguished from generic framing corruption so the server can
+    drain the oversized payload, reply with a typed ``frame_too_large``
+    error, and close cleanly instead of resetting the connection under
+    the client's still-in-flight send.
+    """
 
-def encode_value(value: Any) -> Any:
-    """One engine value -> a JSON-representable value."""
-    if value is None or isinstance(value, (bool, int, float, str)):
-        return value
-    if isinstance(value, Polynomial):
-        return {"$poly": value.to_wire()}
-    if isinstance(value, datetime.date):
-        return {"$date": value.isoformat()}
-    if isinstance(value, Interval):
-        return {"$interval": [value.days, value.months]}
-    # Loud-but-lossy fallback: the repr still identifies the value, and
-    # a tagged object keeps it distinguishable from a plain string.
-    return {"$str": str(value)}
-
-
-def decode_value(value: Any) -> Any:
-    """Inverse of :func:`encode_value` (``$str`` stays a string)."""
-    if isinstance(value, dict) and len(value) == 1:
-        if "$poly" in value:
-            return Polynomial.from_wire(value["$poly"])
-        if "$date" in value:
-            return datetime.date.fromisoformat(value["$date"])
-        if "$interval" in value:
-            days, months = value["$interval"]
-            return Interval(days=days, months=months)
-        if "$str" in value:
-            return value["$str"]
-    return value
-
-
-def encode_row(row: tuple) -> list:
-    return [encode_value(value) for value in row]
-
-
-def decode_row(row: list) -> tuple:
-    return tuple(decode_value(value) for value in row)
+    def __init__(self, length: int) -> None:
+        super().__init__(
+            f"declared frame length {length} exceeds MAX_FRAME ({MAX_FRAME})"
+        )
+        self.length = length
 
 
 # ---------------------------------------------------------------------------
@@ -114,9 +103,7 @@ def decode_payload(payload: bytes) -> dict:
 
 def check_length(length: int) -> int:
     if length > MAX_FRAME:
-        raise ProtocolError(
-            f"declared frame length {length} exceeds MAX_FRAME ({MAX_FRAME})"
-        )
+        raise FrameTooLarge(length)
     return length
 
 
@@ -139,6 +126,28 @@ async def read_frame(reader) -> Optional[dict]:
     except asyncio.IncompleteReadError:
         raise ProtocolError("connection closed mid-frame") from None
     return decode_payload(payload)
+
+
+async def drain_payload(reader, length: int, chunk: int = 1 << 20) -> bool:
+    """Read and discard an oversized frame's payload.
+
+    Returns True when the payload was fully consumed (the connection is
+    back at a frame boundary and the error reply will be readable by
+    the client), False when the length is implausible (> ``MAX_DRAIN``)
+    or the peer hung up mid-payload.
+    """
+    import asyncio
+
+    if length > MAX_DRAIN:
+        return False
+    remaining = length
+    while remaining:
+        try:
+            data = await reader.readexactly(min(chunk, remaining))
+        except asyncio.IncompleteReadError:
+            return False
+        remaining -= len(data)
+    return True
 
 
 # -- blocking side (client) --------------------------------------------------

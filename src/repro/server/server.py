@@ -38,8 +38,11 @@ from typing import Any, Optional
 
 from repro.database import PermDatabase, QueryResult
 from repro.errors import ExecutionError, PermError
+from repro.faultinject import InjectedFault, fault_point
 from repro.server.protocol import (
+    FrameTooLarge,
     ProtocolError,
+    drain_payload,
     encode_row,
     read_frame,
     encode_frame,
@@ -80,6 +83,7 @@ class PermServer:
         self.sessions = SessionManager()
         self.stats = ServerStats()
         self._pending = 0  # touched only on the asyncio thread
+        self._draining = False  # graceful shutdown: refuse new queries
         self._semaphore: Optional[asyncio.Semaphore] = None
         self._executor = ThreadPoolExecutor(
             max_workers=self.max_concurrency, thread_name_prefix="repro-server"
@@ -115,6 +119,27 @@ class PermServer:
             await self._aio_server.wait_closed()
         self._executor.shutdown(wait=False, cancel_futures=True)
 
+    async def shutdown(self, drain_timeout: float = 10.0) -> dict:
+        """Graceful stop: drain in-flight queries, then :meth:`stop`.
+
+        From the first moment new queries are refused with a typed
+        ``shutting_down`` error (connections stay open so the refusal
+        is *answered*, not a reset); queries already admitted get up to
+        ``drain_timeout`` seconds to finish.  Returns
+        ``{"drained": bool, "abandoned": <queries still running>}``.
+        """
+        self._draining = True
+        deadline = time.monotonic() + max(drain_timeout, 0.0)
+        while self._pending > 0 and time.monotonic() < deadline:
+            await asyncio.sleep(0.01)
+        abandoned = self._pending
+        await self.stop()
+        return {"drained": abandoned == 0, "abandoned": abandoned}
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
     # -- connection handling -------------------------------------------------
 
     async def _handle_connection(
@@ -124,6 +149,19 @@ class PermServer:
             while True:
                 try:
                     request = await read_frame(reader)
+                except FrameTooLarge as exc:
+                    # Drain the declared payload so the connection is
+                    # back at a frame boundary, then answer with a typed
+                    # error and close cleanly — the client reads the
+                    # reason instead of eating a connection reset while
+                    # its oversized send is still in flight.
+                    await drain_payload(reader, exc.length)
+                    self.stats.record(0.0, "frame_too_large")
+                    await self._send(
+                        writer,
+                        _error(None, "frame_too_large", str(exc)),
+                    )
+                    break
                 except ProtocolError as exc:
                     await self._send(
                         writer,
@@ -181,6 +219,20 @@ class PermServer:
         timeout = self._effective_timeout(request.get("timeout"))
 
         start = time.monotonic()
+        if self._draining:
+            # Graceful shutdown: answer, don't admit.  In-flight queries
+            # keep their executor slots until the drain deadline.
+            self.stats.record(time.monotonic() - start, "shutting_down")
+            return _error(
+                request_id,
+                "shutting_down",
+                "server is draining and refusing new queries",
+            )
+        try:
+            fault_point("server.admission", session=session.session_id)
+        except InjectedFault as exc:
+            self.stats.record(time.monotonic() - start, exc.error_type)
+            return _error(request_id, exc.error_type, str(exc))
         if self._pending >= self.max_concurrency + self.queue_limit:
             # Refuse before buffering anything: bounded admission is the
             # overload contract — clients get a fast, typed error and
@@ -213,6 +265,12 @@ class PermServer:
             session.record(ok=False)
             self.stats.record(time.monotonic() - start, "timeout")
             return _error(request_id, "timeout", "query timed out")
+        except InjectedFault as exc:
+            # Chaos harness: surface the injected failure as its typed
+            # wire error so client retry logic is exercised end to end.
+            session.record(ok=False)
+            self.stats.record(time.monotonic() - start, exc.error_type)
+            return _error(request_id, exc.error_type, str(exc))
         except ExecutionError as exc:
             outcome, kind = _classify_execution_error(exc)
             session.record(ok=False)
@@ -257,6 +315,7 @@ class PermServer:
         snapshot: dict,
         timeout: Optional[float],
     ) -> dict:
+        fault_point("server.query", session=session.session_id, sql=sql)
         query = session.lookup(self.db, sql, provenance)
         cached = query is not None
         if query is None:
@@ -342,8 +401,29 @@ class ServerHandle:
 
     def stop(self) -> None:
         if self._loop is not None and self._stop_event is not None:
-            self._loop.call_soon_threadsafe(self._stop_event.set)
+            try:
+                self._loop.call_soon_threadsafe(self._stop_event.set)
+            except RuntimeError:
+                pass  # loop already closed: the thread is on its way out
         self._thread.join(timeout=10.0)
+
+    def shutdown(self, drain_timeout: float = 10.0) -> Optional[dict]:
+        """Graceful stop from any thread: drain, refuse, then join.
+
+        Returns the server's drain report (see
+        :meth:`PermServer.shutdown`), or None when the loop is already
+        gone.
+        """
+        if self._loop is None or self.server is None or not self._thread.is_alive():
+            return None
+        future = asyncio.run_coroutine_threadsafe(
+            self.server.shutdown(drain_timeout), self._loop
+        )
+        try:
+            report = future.result(timeout=drain_timeout + 10.0)
+        finally:
+            self.stop()
+        return report
 
     def _run(self) -> None:
         try:

@@ -36,12 +36,15 @@ class ServerStats:
         self.errors = 0
         self.timeouts = 0
         self.overloads = 0
+        self.shutdown_refusals = 0
+        self.frames_rejected = 0
         self._latencies: deque[float] = deque(maxlen=LATENCY_WINDOW)
         self._completions: deque[float] = deque(maxlen=LATENCY_WINDOW)
         self._lock = threading.Lock()
 
     def record(self, latency: float, outcome: str) -> None:
-        """Count one finished request (outcome: ok/error/timeout/overloaded)."""
+        """Count one finished request (outcome: ok/error/timeout/
+        overloaded/shutting_down/frame_too_large)."""
         now = time.monotonic()
         with self._lock:
             self.total += 1
@@ -52,6 +55,12 @@ class ServerStats:
                 self.errors += 1
             elif outcome == "overloaded":
                 self.overloads += 1
+                self.errors += 1
+            elif outcome == "shutting_down":
+                self.shutdown_refusals += 1
+                self.errors += 1
+            elif outcome == "frame_too_large":
+                self.frames_rejected += 1
                 self.errors += 1
             else:
                 self.errors += 1
@@ -70,6 +79,8 @@ class ServerStats:
                 "errors": self.errors,
                 "timeouts": self.timeouts,
                 "overloads": self.overloads,
+                "shutdown_refusals": self.shutdown_refusals,
+                "frames_rejected": self.frames_rejected,
             }
         data["qps"] = round(len(recent) / QPS_WINDOW_SECONDS, 3)
         if latencies:

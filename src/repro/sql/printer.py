@@ -1,7 +1,11 @@
 """Rendering of raw AST select statements back to SQL text.
 
-Primarily a debugging and documentation aid; round-tripping is not
-guaranteed to be byte-identical, only semantically equivalent.
+A debugging and documentation aid, but also the canonical *logical log*
+encoding: the write-ahead log (:mod:`repro.wal`) records every durable
+statement as its printed form and recovery re-parses it, so every
+statement kind the engine can commit must print to re-parseable SQL.
+Round-tripping is not guaranteed to be byte-identical, only
+semantically equivalent.
 """
 
 from __future__ import annotations
@@ -40,6 +44,31 @@ def format_statement(node: ast.Statement) -> str:
         }[node.kind]
         exists = "IF EXISTS " if node.if_exists else ""
         return f"DROP {kind} {exists}{node.name}"
+    if isinstance(node, ast.CreateTableStmt):
+        items = [f"{col.name} {col.type_name}" for col in node.columns]
+        if node.primary_key:
+            items.append("PRIMARY KEY (" + ", ".join(node.primary_key) + ")")
+        return f"CREATE TABLE {node.name} (" + ", ".join(items) + ")"
+    if isinstance(node, ast.CreateViewStmt):
+        marker = (
+            " PROVENANCE (" + ", ".join(node.provenance_attrs) + ")"
+            if node.provenance_attrs
+            else ""
+        )
+        return (
+            f"CREATE VIEW {node.name}{marker} AS {format_select(node.query)}"
+        )
+    if isinstance(node, ast.InsertStmt):
+        text = f"INSERT INTO {node.table}"
+        if node.columns:
+            text += " (" + ", ".join(node.columns) + ")"
+        if node.query is not None:
+            return f"{text} {format_select(node.query)}"
+        rows = ", ".join(
+            "(" + ", ".join(str(expr) for expr in row) + ")"
+            for row in node.values
+        )
+        return f"{text} VALUES {rows}"
     raise TypeError(f"cannot format statement {node!r}")
 
 

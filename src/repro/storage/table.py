@@ -177,6 +177,35 @@ class Table:
             return None
         return [d for d in self._deltas if d.seq > seq]
 
+    # -- durability (checkpoint restore) -------------------------------------
+
+    def delta_log_state(self) -> tuple[int, list[TableDelta]]:
+        """(pruned floor, retained deltas) — what a checkpoint persists."""
+        return self._delta_floor, list(self._deltas)
+
+    def restore_state(
+        self,
+        rows: Iterable[Sequence[Any]],
+        epoch: int,
+        delta_seq: int,
+        delta_floor: int,
+        deltas: Iterable[TableDelta],
+    ) -> None:
+        """Rehydrate heap rows, epoch and delta log from a checkpoint.
+
+        The table keeps its fresh ``uid`` (uids are process-lifetime
+        identities, never persisted); everything else — including the
+        in-memory delta log, so incremental matview maintenance resumes
+        where the crashed process left off — is restored exactly.
+        """
+        self._rows = [tuple(row) for row in rows]
+        self.epoch = epoch
+        self.delta_seq = delta_seq
+        self._delta_floor = delta_floor
+        self._deltas = list(deltas)
+        self._columns = None
+        self._columns_state = (-1, -1)
+
     def scan(self) -> Iterator[tuple]:
         """Iterate the stored rows (the executor's SeqScan source)."""
         return iter(self._rows)

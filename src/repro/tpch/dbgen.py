@@ -262,8 +262,18 @@ def load_into(db: PermDatabase, data: TPCHData) -> None:
         db.load_table(name, rows)
 
 
-def tpch_database(scale_factor: float = 0.001, seed: int = 42) -> PermDatabase:
-    """Convenience: a fresh database pre-loaded with TPC-H data."""
-    db = PermDatabase()
+def tpch_database(
+    scale_factor: float = 0.001, seed: int = 42, **db_kwargs
+) -> PermDatabase:
+    """Convenience: a fresh database pre-loaded with TPC-H data.
+
+    Extra keyword arguments go to :class:`PermDatabase` (e.g.
+    ``wal_dir=...`` for a durable database — the bulk load happens
+    through the programmatic helpers, which bypass the WAL, so it is
+    checkpointed afterwards to make the loaded rows durable).
+    """
+    db = PermDatabase(**db_kwargs)
     load_into(db, generate(scale_factor, seed))
+    if db.durable:
+        db.checkpoint()
     return db

@@ -1,0 +1,49 @@
+"""Durability: write-ahead logging, checkpoints, and crash recovery.
+
+The engine's catalog is process memory; this package makes it survive
+crashes.  The design is classic logical redo logging, shaped to the
+repo's statement-level execution model:
+
+* **Logical WAL** (:mod:`repro.wal.wal`, :mod:`repro.wal.format`) —
+  every committed DML/DDL statement is appended to the active log
+  segment as its canonical printed SQL (the printer is the log
+  encoding), wrapped in a length-prefixed, CRC-checksummed frame.  A
+  statement is *committed* when ``execute()`` returns: the in-memory
+  apply happens first, then the append (+ fsync under the default
+  ``sync="always"`` policy), so an acknowledged statement is durable
+  and an unacknowledged one may be lost — never half of one.
+* **Checkpoints** (:mod:`repro.wal.checkpoint`) — a full catalog
+  snapshot (heaps, epochs, per-table delta logs, view and matview
+  definitions, ANALYZE statistics) written atomically
+  (tmp + fsync + rename), after which the WAL rolls to a fresh segment
+  and obsolete files are removed.  Replay cost is bounded by the data
+  since the last checkpoint, not the database's lifetime.
+* **Recovery** (:mod:`repro.wal.recovery`) — load the newest valid
+  checkpoint, replay the WAL suffix through the ordinary ``execute()``
+  pipeline, and truncate any torn tail frame.  The recovered catalog
+  is equivalent to replaying the durable statement prefix on an empty
+  database: equal heaps, epochs, delta logs, statistics; materialized
+  provenance views rebuild through their existing refresh path and
+  resume incremental maintenance from the rehydrated delta logs.
+
+Reads never touch this package: the WAL hook sits only on the
+DML/DDL commit path, so the read hot path (and its benchmarks) is
+byte-for-byte the in-memory engine.
+
+Fault injection points (``repro.faultinject``) cover every crash
+window — mid-frame torn writes, before/after fsync, checkpoint
+interruption between snapshot, rename, roll and cleanup — and the
+tests drive a crash-at-every-byte-boundary recovery matrix over them.
+See ``docs/durability.md``.
+"""
+
+from repro.wal.manager import Durability
+from repro.wal.recovery import RecoveryReport, recover
+from repro.wal.wal import WriteAheadLog
+
+__all__ = [
+    "Durability",
+    "RecoveryReport",
+    "WriteAheadLog",
+    "recover",
+]

@@ -1,0 +1,122 @@
+"""On-disk WAL segment format: framed, checksummed logical records.
+
+A segment file is::
+
+    +--------------------------------------------+
+    | magic  b"PERMWAL1"              (8 bytes)  |
+    | segment number                  (u32 BE)   |
+    | crc32 of the segment-number u32 (u32 BE)   |
+    +--------------------------------------------+
+    | record 0: u32 length | u32 crc32 | payload |
+    | record 1: ...                              |
+
+Payloads are UTF-8 JSON objects ``{"lsn": <int>, "kind": "statement",
+"sql": "<canonical printed SQL>"}``.  The CRC covers the payload
+bytes; the length prefix covers only the payload (not the 8-byte
+record header).
+
+Torn-tail semantics: :func:`scan_segment` walks records until the
+first frame that is short, oversized, CRC-mismatched, or undecodable,
+and reports ``good_offset`` — the byte offset of the last fully valid
+frame boundary.  Recovery truncates the *final* segment there (a torn
+tail is the expected residue of a crash mid-append); corruption before
+the final frame of the log is *not* silently skipped, because records
+after a gap may depend on the missing one.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import zlib
+from dataclasses import dataclass, field
+from typing import Optional
+
+SEGMENT_MAGIC = b"PERMWAL1"
+_SEG_NUM = struct.Struct(">I")
+SEGMENT_HEADER_SIZE = len(SEGMENT_MAGIC) + 2 * _SEG_NUM.size
+
+_REC_HEADER = struct.Struct(">II")  # payload length, crc32(payload)
+
+#: Sanity bound on one logical record; a length prefix beyond this is
+#: treated as tail corruption, not an allocation request.
+MAX_RECORD = 64 * 1024 * 1024
+
+
+def segment_header(segment: int) -> bytes:
+    num = _SEG_NUM.pack(segment)
+    return SEGMENT_MAGIC + num + _SEG_NUM.pack(zlib.crc32(num))
+
+
+def parse_segment_header(data: bytes) -> Optional[int]:
+    """Segment number, or None when the header is torn or foreign."""
+    if len(data) < SEGMENT_HEADER_SIZE:
+        return None
+    if data[: len(SEGMENT_MAGIC)] != SEGMENT_MAGIC:
+        return None
+    num = data[len(SEGMENT_MAGIC) : len(SEGMENT_MAGIC) + _SEG_NUM.size]
+    (crc,) = _SEG_NUM.unpack(
+        data[len(SEGMENT_MAGIC) + _SEG_NUM.size : SEGMENT_HEADER_SIZE]
+    )
+    if zlib.crc32(num) != crc:
+        return None
+    return _SEG_NUM.unpack(num)[0]
+
+
+def encode_record(record: dict) -> bytes:
+    payload = json.dumps(record, separators=(",", ":")).encode("utf-8")
+    if len(payload) > MAX_RECORD:
+        raise ValueError(
+            f"WAL record of {len(payload)} bytes exceeds MAX_RECORD"
+        )
+    return _REC_HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+@dataclass
+class SegmentScan:
+    """Result of walking one segment's frames."""
+
+    segment: Optional[int]  # None: torn/foreign header
+    records: list = field(default_factory=list)
+    #: Offset of the last valid frame boundary; bytes past it are torn.
+    good_offset: int = 0
+    torn: Optional[str] = None  # why the scan stopped early, if it did
+
+
+def scan_segment(data: bytes) -> SegmentScan:
+    """Decode every intact record; stop (don't raise) at the first torn
+    or corrupt frame."""
+    segment = parse_segment_header(data)
+    if segment is None:
+        return SegmentScan(segment=None, torn="torn or invalid segment header")
+    scan = SegmentScan(segment=segment, good_offset=SEGMENT_HEADER_SIZE)
+    offset = SEGMENT_HEADER_SIZE
+    while offset < len(data):
+        if offset + _REC_HEADER.size > len(data):
+            scan.torn = "short record header"
+            return scan
+        length, crc = _REC_HEADER.unpack_from(data, offset)
+        if length > MAX_RECORD:
+            scan.torn = f"implausible record length {length}"
+            return scan
+        start = offset + _REC_HEADER.size
+        end = start + length
+        if end > len(data):
+            scan.torn = "short record payload"
+            return scan
+        payload = data[start:end]
+        if zlib.crc32(payload) != crc:
+            scan.torn = "record checksum mismatch"
+            return scan
+        try:
+            record = json.loads(payload.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            scan.torn = "undecodable record payload"
+            return scan
+        if not isinstance(record, dict) or "lsn" not in record:
+            scan.torn = "malformed record object"
+            return scan
+        scan.records.append(record)
+        scan.good_offset = end
+        offset = end
+    return scan

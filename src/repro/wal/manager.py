@@ -1,0 +1,150 @@
+"""Glue between :class:`~repro.database.PermDatabase` and the WAL.
+
+One :class:`Durability` instance per database owns the log, the
+recovery pass at attach time, and the checkpoint protocol.  It also
+owns the **commit lock**: the database wraps each durable statement's
+``apply → append`` in it, and :meth:`checkpoint` takes it too, so a
+snapshot always sits at a statement boundary — without the lock a
+checkpoint could capture an applied-but-not-yet-logged statement whose
+record then lands in the *next* segment and replays twice.
+
+Reads never take the commit lock; the WAL is invisible to the read
+hot path.
+"""
+
+from __future__ import annotations
+
+import threading
+from pathlib import Path
+from typing import TYPE_CHECKING, Optional
+
+from repro.faultinject import fault_point
+from repro.wal.checkpoint import snapshot_catalog, write_checkpoint
+from repro.wal.recovery import RecoveryReport, recover
+from repro.wal.wal import WriteAheadLog, list_checkpoints, list_segments
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.database import PermDatabase
+
+#: Auto-checkpoint after this many records in the active segment (the
+#: database's ``wal_checkpoint_interval`` overrides; ``0`` disables).
+DEFAULT_CHECKPOINT_INTERVAL = 1024
+
+
+class Durability:
+    """Recovery-at-open + statement logging + checkpoints for one db."""
+
+    def __init__(
+        self,
+        db: "PermDatabase",
+        directory,
+        sync: str = "always",
+        checkpoint_interval: Optional[int] = None,
+    ) -> None:
+        self.db = db
+        self.directory = Path(directory)
+        self.commit_lock = threading.RLock()
+        self.checkpoint_interval = (
+            DEFAULT_CHECKPOINT_INTERVAL
+            if checkpoint_interval is None
+            else checkpoint_interval
+        )
+        self.wal = WriteAheadLog(self.directory, sync=sync)
+        self.report: Optional[RecoveryReport] = None
+        self.checkpoints_taken = 0
+        self._suspended = False
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def attach(self) -> RecoveryReport:
+        """Recover whatever the directory holds, then arm logging."""
+        self._suspended = True
+        try:
+            self.report = recover(self.db, self.directory)
+        finally:
+            self._suspended = False
+        self.wal.open_for_append(
+            segment=self.report.tail_segment,
+            lsn=self.report.last_lsn,
+            records_in_segment=self.report.tail_records,
+        )
+        return self.report
+
+    def close(self) -> None:
+        self.wal.close()
+
+    # -- the commit hook -----------------------------------------------------
+
+    def log_statement(self, sql: str) -> None:
+        """Append one committed statement (no-op during replay).
+
+        The caller holds :attr:`commit_lock` (the database's execute
+        loop takes it around apply+log for durable statements).
+        """
+        if self._suspended:
+            return
+        self.wal.append_statement(sql)
+        if (
+            self.checkpoint_interval
+            and self.wal.records_in_segment >= self.checkpoint_interval
+        ):
+            self.checkpoint()
+
+    @property
+    def suspended(self) -> bool:
+        return self._suspended
+
+    # -- checkpoints ---------------------------------------------------------
+
+    def checkpoint(self) -> int:
+        """Snapshot the catalog, roll the WAL, drop obsolete files.
+
+        Returns the new segment number.  Crash-safe at every point:
+        until the atomic checkpoint rename the old checkpoint + full
+        WAL reconstruct the state; after it the new checkpoint does,
+        with or without its (possibly still missing) segment file.
+        """
+        with self.commit_lock, self.wal.lock:
+            fault_point("wal.checkpoint.begin", segment=self.wal.segment)
+            self.wal.sync()
+            data = snapshot_catalog(self.db)
+            new_segment = self.wal.segment + 1
+            write_checkpoint(
+                self.directory, new_segment, data, lsn=self.wal.lsn
+            )
+            self.wal.roll_segment(new_segment)
+            self._remove_obsolete(new_segment)
+            self.checkpoints_taken += 1
+            fault_point("wal.checkpoint.done", segment=new_segment)
+            return new_segment
+
+    def _remove_obsolete(self, live_segment: int) -> None:
+        for seg, path in list_segments(self.directory):
+            if seg < live_segment:
+                path.unlink(missing_ok=True)
+        for seg, path in list_checkpoints(self.directory):
+            if seg < live_segment:
+                path.unlink(missing_ok=True)
+        fault_point("wal.checkpoint.cleaned", segment=live_segment)
+
+    # -- observability -------------------------------------------------------
+
+    def status(self) -> dict:
+        status = self.wal.status()
+        status.update(
+            checkpoint_interval=self.checkpoint_interval,
+            checkpoints_taken=self.checkpoints_taken,
+            last_recovery=None,
+        )
+        if self.report is not None:
+            status["last_recovery"] = {
+                "checkpoint_segment": self.report.checkpoint_segment,
+                "statements_replayed": self.report.statements_replayed,
+                "segments_replayed": self.report.segments_replayed,
+                "torn_bytes_dropped": self.report.torn_bytes_dropped,
+                "last_lsn": self.report.last_lsn,
+            }
+        return status
+
+
+__all__ = ["Durability", "DEFAULT_CHECKPOINT_INTERVAL"]

@@ -1,0 +1,160 @@
+"""Crash recovery: checkpoint restore + WAL replay + torn-tail repair.
+
+``recover(db, directory)`` brings an *empty* database to the state of
+the durable statement prefix:
+
+1. Pick the newest checkpoint whose payload decodes and whose WAL
+   suffix is present (older candidates are tried if cleanup raced the
+   crash); restore the catalog from it.
+2. Replay every WAL segment ``>= checkpoint.segment`` in order through
+   the ordinary ``db.execute()`` pipeline with logging suspended — the
+   recovered catalog is built by the exact code paths that built the
+   original, so epochs, delta logs and auto-ANALYZE decisions match a
+   process that simply executed the same statements.
+3. Truncate the torn tail of the *final* segment (the expected residue
+   of a crash mid-append).  A torn frame before the end of the log is
+   corruption recovery will not paper over: later statements may
+   depend on the missing one, so it raises :class:`WalError` instead
+   of silently skipping.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Optional
+
+from repro.errors import WalError
+from repro.wal.checkpoint import read_checkpoint, restore_catalog
+from repro.wal.format import scan_segment
+from repro.wal.wal import list_checkpoints, list_segments
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.database import PermDatabase
+
+
+@dataclass
+class RecoveryReport:
+    """What recovery found and did; surfaced by ``\\wal`` and tests."""
+
+    directory: str
+    checkpoint_segment: Optional[int] = None
+    last_lsn: int = 0
+    statements_replayed: int = 0
+    segments_replayed: int = 0
+    torn_bytes_dropped: int = 0
+    torn_reason: Optional[str] = None
+    #: Where appends continue: the highest segment seen (or the
+    #: checkpoint's segment when its WAL file never got created).
+    tail_segment: int = 1
+    #: Intact records already in the tail segment (auto-checkpoint
+    #: accounting continues from here).
+    tail_records: int = 0
+
+
+def recover(db: "PermDatabase", directory) -> RecoveryReport:
+    """Restore ``db`` (which must be empty) from a WAL directory.
+
+    Always safe on a fresh/empty directory: recovery of nothing is a
+    no-op report.  WAL logging on ``db`` must be suspended by the
+    caller (:meth:`repro.wal.manager.Durability.attach` does).
+    """
+    dirpath = Path(directory)
+    dirpath.mkdir(parents=True, exist_ok=True)
+    report = RecoveryReport(directory=str(dirpath))
+
+    segments = list_segments(dirpath)
+    checkpoint = _choose_checkpoint(dirpath, {seg for seg, _ in segments})
+    base_segment = 1
+    if checkpoint is not None:
+        data, report.checkpoint_segment = checkpoint
+        restore_catalog(db, data)
+        report.last_lsn = int(data.get("lsn", 0))
+        base_segment = report.checkpoint_segment
+    report.tail_segment = base_segment
+
+    replay = [(seg, path) for seg, path in segments if seg >= base_segment]
+    for i, (seg, _) in enumerate(replay):
+        if seg != replay[0][0] + i:
+            raise WalError(
+                f"WAL segment sequence has a gap before segment {seg} "
+                f"in {dirpath}"
+            )
+    for index, (seg, path) in enumerate(replay):
+        last = index == len(replay) - 1
+        data = path.read_bytes()
+        scan = scan_segment(data)
+        if scan.segment is None:
+            # A torn header can only be the residue of a crash during a
+            # segment roll: nothing was ever appended, the checkpoint
+            # carries the state.  Anywhere else it is corruption.
+            if last and not scan.records:
+                report.torn_reason = scan.torn
+                report.torn_bytes_dropped += len(data)
+                _truncate(path, 0)
+                report.tail_segment = seg
+                report.tail_records = 0
+                continue
+            raise WalError(f"unreadable WAL segment {path}: {scan.torn}")
+        if scan.segment != seg:
+            raise WalError(
+                f"WAL segment {path} claims number {scan.segment}"
+            )
+        if scan.torn is not None and not last:
+            raise WalError(
+                f"corrupt interior WAL segment {path}: {scan.torn} "
+                f"(refusing to replay past a gap)"
+            )
+        for record in scan.records:
+            lsn = record.get("lsn")
+            if not isinstance(lsn, int) or lsn <= report.last_lsn:
+                raise WalError(
+                    f"non-monotonic lsn {lsn!r} after {report.last_lsn} "
+                    f"in {path}"
+                )
+            sql = record.get("sql")
+            if record.get("kind") != "statement" or not isinstance(sql, str):
+                raise WalError(f"malformed WAL record at lsn {lsn} in {path}")
+            try:
+                db.execute(sql)
+            except BaseException as exc:
+                raise WalError(
+                    f"replay of lsn {lsn} failed ({sql!r}): {exc}"
+                ) from exc
+            report.last_lsn = lsn
+            report.statements_replayed += 1
+        report.segments_replayed += 1
+        report.tail_segment = seg
+        report.tail_records = len(scan.records)
+        if scan.good_offset < len(data):
+            report.torn_reason = scan.torn
+            report.torn_bytes_dropped += len(data) - scan.good_offset
+            _truncate(path, scan.good_offset)
+    return report
+
+
+def _choose_checkpoint(
+    directory: Path, segment_numbers: set[int]
+) -> Optional[tuple[dict, int]]:
+    """Newest usable checkpoint: payload decodes and its replay suffix
+    (segments >= N) is either present or legitimately absent."""
+    for seg, path in reversed(list_checkpoints(directory)):
+        data = read_checkpoint(path)
+        if data is None:
+            continue
+        # A checkpoint with no WAL file of its own number is fine only
+        # when no *later* segments exist either (crash during the roll);
+        # otherwise the suffix is incomplete — try an older checkpoint.
+        later = {n for n in segment_numbers if n >= seg}
+        if later and seg not in later:
+            continue
+        return data, seg
+    return None
+
+
+def _truncate(path: Path, offset: int) -> None:
+    with open(path, "r+b") as fh:
+        fh.truncate(offset)
+        fh.flush()
+        os.fsync(fh.fileno())

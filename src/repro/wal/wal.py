@@ -1,0 +1,240 @@
+"""The append side of the write-ahead log.
+
+One :class:`WriteAheadLog` owns a directory of numbered segment files
+(``wal-00000001.log``, ...) and appends framed logical records to the
+highest one.  Appends are serialized by an internal lock; the read hot
+path never takes it because only the DML/DDL commit hook appends.
+
+Sync policy (``sync=``) — syncs go through :data:`_datasync`
+(``fdatasync`` where available):
+
+* ``"always"`` (default) — sync after every record.  Commit
+  acknowledgement implies durability; this is the mode the durability
+  guarantees in ``docs/durability.md`` are stated for.
+* ``"batch"`` — sync every :data:`BATCH_SYNC_RECORDS` records and
+  at checkpoints/close.  A crash can lose the last unsynced tail of
+  *acknowledged* statements, but recovery still sees a clean prefix.
+* ``"never"`` — no explicit sync (tests and benchmarks of the framing
+  overhead alone).
+
+Fault points (see :mod:`repro.faultinject`): ``wal.append`` (torn
+frames — only ``action.keep`` bytes of the frame reach the file before
+the simulated crash), ``wal.fsync.before`` / ``wal.fsync.after``
+(crash on either side of the durability boundary), and
+``wal.segment.open``.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from pathlib import Path
+from typing import Optional
+
+from repro.errors import WalError
+from repro.faultinject import fault_point
+from repro.wal.format import encode_record, segment_header
+
+BATCH_SYNC_RECORDS = 64
+
+SYNC_MODES = ("always", "batch", "never")
+
+#: Data sync for appends: ``fdatasync`` where the platform has it —
+#: it skips the mtime-only metadata commit ``fsync`` pays per call but
+#: still persists the data and the file-size change a torn-tail scan
+#: depends on (the same trade PostgreSQL's default wal_sync_method
+#: makes on Linux).
+_datasync = getattr(os, "fdatasync", os.fsync)
+
+
+def segment_path(directory: Path, segment: int) -> Path:
+    return directory / f"wal-{segment:08d}.log"
+
+
+def checkpoint_path(directory: Path, segment: int) -> Path:
+    return directory / f"checkpoint-{segment:08d}.ckpt"
+
+
+def list_segments(directory: Path) -> list[tuple[int, Path]]:
+    """(segment number, path) pairs, ascending."""
+    found = []
+    for path in directory.glob("wal-*.log"):
+        try:
+            found.append((int(path.stem.split("-", 1)[1]), path))
+        except (IndexError, ValueError):
+            continue
+    return sorted(found)
+
+
+def list_checkpoints(directory: Path) -> list[tuple[int, Path]]:
+    found = []
+    for path in directory.glob("checkpoint-*.ckpt"):
+        try:
+            found.append((int(path.stem.split("-", 1)[1]), path))
+        except (IndexError, ValueError):
+            continue
+    return sorted(found)
+
+
+def fsync_directory(directory: Path) -> None:
+    """Persist directory-entry changes (new files, renames, unlinks)."""
+    fd = os.open(directory, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+class WriteAheadLog:
+    """Append-only framed log over numbered segment files."""
+
+    def __init__(self, directory, sync: str = "always") -> None:
+        if sync not in SYNC_MODES:
+            raise WalError(
+                f"unknown WAL sync mode {sync!r}; expected one of {SYNC_MODES}"
+            )
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.sync_mode = sync
+        self.lock = threading.RLock()
+        self.segment = 0
+        self.lsn = 0  # last assigned lsn
+        self._fh = None
+        self._unsynced = 0
+        #: records appended (not replayed) into the current segment —
+        #: drives the auto-checkpoint threshold.
+        self.records_in_segment = 0
+        self.appended_records = 0
+        self.appended_bytes = 0
+        self.fsync_count = 0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def open_for_append(
+        self, segment: int, lsn: int, records_in_segment: int = 0
+    ) -> None:
+        """Arm appends after recovery.
+
+        ``segment``/``lsn`` come from the :class:`RecoveryReport`; the
+        tail segment file either exists with its torn tail already
+        truncated (append to it) or does not (crash during a roll —
+        recreate it, the preceding checkpoint carries the state).
+        """
+        with self.lock:
+            self.segment = segment
+            self.lsn = lsn
+            self.records_in_segment = records_in_segment
+            path = segment_path(self.directory, segment)
+            if path.exists() and path.stat().st_size > 0:
+                fault_point("wal.segment.open", segment=segment)
+                self._fh = open(path, "ab")
+            else:
+                self._create_segment(segment)
+
+    def _create_segment(self, segment: int) -> None:
+        fault_point("wal.segment.open", segment=segment)
+        path = segment_path(self.directory, segment)
+        fh = open(path, "wb")
+        fh.write(segment_header(segment))
+        fh.flush()
+        _datasync(fh.fileno())
+        fsync_directory(self.directory)
+        self._fh = fh
+        self.segment = segment
+        self.records_in_segment = 0
+        self._unsynced = 0
+
+    def close(self) -> None:
+        with self.lock:
+            if self._fh is not None:
+                self._fh.flush()
+                if self.sync_mode != "never":
+                    _datasync(self._fh.fileno())
+                self._fh.close()
+                self._fh = None
+
+    @property
+    def closed(self) -> bool:
+        return self._fh is None
+
+    # -- appends -------------------------------------------------------------
+
+    def append_statement(self, sql: str) -> int:
+        """Append one committed statement; returns its lsn.
+
+        Under ``sync="always"`` the record is on disk when this
+        returns — the caller may acknowledge the commit.
+        """
+        with self.lock:
+            if self._fh is None:
+                raise WalError("write-ahead log is closed")
+            lsn = self.lsn + 1
+            frame = encode_record(
+                {"lsn": lsn, "kind": "statement", "sql": sql}
+            )
+            action = fault_point(
+                "wal.append", lsn=lsn, size=len(frame), sql=sql
+            )
+            if action is not None and action.kind == "torn":
+                # Simulated crash mid-frame: only a prefix reaches the
+                # file.  Flush so the bytes are visible to recovery,
+                # then die the way a power cut would.
+                self._fh.write(frame[: max(0, min(action.keep, len(frame)))])
+                self._fh.flush()
+                _datasync(self._fh.fileno())
+                from repro.faultinject import SimulatedCrash
+
+                raise SimulatedCrash("wal.append")
+            self._fh.write(frame)
+            self._fh.flush()
+            self.lsn = lsn
+            self._unsynced += 1
+            if self.sync_mode == "always" or (
+                self.sync_mode == "batch"
+                and self._unsynced >= BATCH_SYNC_RECORDS
+            ):
+                self._fsync()
+            self.records_in_segment += 1
+            self.appended_records += 1
+            self.appended_bytes += len(frame)
+            return lsn
+
+    def sync(self) -> None:
+        """Force durability of everything appended so far."""
+        with self.lock:
+            if self._fh is not None and self._unsynced:
+                self._fsync()
+
+    def _fsync(self) -> None:
+        fault_point("wal.fsync.before", segment=self.segment, lsn=self.lsn)
+        _datasync(self._fh.fileno())
+        self._unsynced = 0
+        self.fsync_count += 1
+        fault_point("wal.fsync.after", segment=self.segment, lsn=self.lsn)
+
+    # -- segment roll (checkpoint support) -----------------------------------
+
+    def roll_segment(self, segment: int) -> None:
+        """Close the current segment (fully synced) and start ``segment``."""
+        with self.lock:
+            if self._fh is not None:
+                self._fh.flush()
+                _datasync(self._fh.fileno())
+                self._fh.close()
+                self._fh = None
+            self._create_segment(segment)
+
+    # -- observability -------------------------------------------------------
+
+    def status(self) -> dict:
+        with self.lock:
+            return {
+                "directory": str(self.directory),
+                "sync": self.sync_mode,
+                "segment": self.segment,
+                "lsn": self.lsn,
+                "records_in_segment": self.records_in_segment,
+                "appended_records": self.appended_records,
+                "appended_bytes": self.appended_bytes,
+                "fsync_count": self.fsync_count,
+            }

@@ -1,0 +1,205 @@
+"""The crash matrix: simulated crashes at every WAL byte boundary and at
+every named fault point, each followed by recovery and a differential
+comparison against a twin that executed the durable statement prefix."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.errors import WalError
+from repro.faultinject import FaultInjector, SimulatedCrash
+from repro.wal import format as walfmt
+from repro.wal.wal import segment_path
+
+from tests.wal.harness import (
+    assert_equivalent,
+    fingerprint,
+    provenance_reads,
+    replay_twin,
+)
+
+# Small on purpose: the byte matrix recovers once per byte of this log.
+COMPACT = [
+    "CREATE TABLE t (a integer, b text)",
+    "INSERT INTO t VALUES (1, 'x'), (2, 'y')",
+    "INSERT INTO t VALUES (3, 'z')",
+    "UPDATE t SET b = 'w' WHERE a = 2",
+    "DELETE FROM t WHERE a = 1",
+    "ANALYZE t",
+]
+
+
+def run_durable(tmp_path, statements, name="wal", **kwargs):
+    db = repro.connect(wal_dir=tmp_path / name, **kwargs)
+    for sql in statements:
+        db.execute(sql)
+    return db
+
+
+class TwinCache:
+    """Reference states per durable-prefix length, built lazily."""
+
+    def __init__(self, statements):
+        self.statements = statements
+        self._cache = {}
+
+    def state(self, prefix_len):
+        if prefix_len not in self._cache:
+            twin = replay_twin(self.statements[:prefix_len])
+            self._cache[prefix_len] = (
+                fingerprint(twin),
+                provenance_reads(twin),
+            )
+        return self._cache[prefix_len]
+
+
+def test_crash_at_every_byte_boundary(tmp_path):
+    db = run_durable(tmp_path, COMPACT)
+    log_bytes = segment_path(tmp_path / "wal", 1).read_bytes()
+    db.close()
+    twins = TwinCache(COMPACT)
+
+    frame_boundaries = {walfmt.SEGMENT_HEADER_SIZE}
+    offset = walfmt.SEGMENT_HEADER_SIZE
+    for scan_record in walfmt.scan_segment(log_bytes).records:
+        offset += len(walfmt.encode_record(scan_record))
+        frame_boundaries.add(offset)
+
+    for cut in range(len(log_bytes) + 1):
+        wal_dir = tmp_path / f"cut{cut}"
+        wal_dir.mkdir()
+        segment_path(wal_dir, 1).write_bytes(log_bytes[:cut])
+        recovered = repro.connect(wal_dir=wal_dir)
+
+        durable_prefix = len(
+            walfmt.scan_segment(log_bytes[:cut]).records
+        )
+        assert recovered.last_recovery.statements_replayed == durable_prefix
+        want_fp, want_reads = twins.state(durable_prefix)
+        assert fingerprint(recovered) == want_fp
+        if cut in frame_boundaries:
+            assert provenance_reads(recovered) == want_reads
+        recovered.close()
+
+
+@pytest.mark.parametrize("keep", [0, 1, 4, 20])
+def test_torn_append_loses_only_the_unacknowledged_statement(tmp_path, keep):
+    db = run_durable(tmp_path, COMPACT[:-1])
+    inj = FaultInjector()
+    inj.on("wal.append", "torn", nth=1, keep=keep)
+    with inj.installed():
+        with pytest.raises(SimulatedCrash):
+            db.execute(COMPACT[-1])
+    # The crashed process is gone; whatever reached the disk, recovery
+    # must land exactly on the acknowledged prefix.
+    recovered = repro.connect(wal_dir=tmp_path / "wal")
+    report = recovered.last_recovery
+    assert report.statements_replayed == len(COMPACT) - 1
+    assert report.torn_bytes_dropped == (keep if keep else 0)
+    assert_equivalent(recovered, replay_twin(COMPACT[:-1]))
+    recovered.close()
+
+
+@pytest.mark.parametrize("point", ["wal.fsync.before", "wal.fsync.after"])
+def test_crash_around_the_fsync_boundary(tmp_path, point):
+    # The frame is fully written before the fsync; a crash on either
+    # side leaves an intact record, so recovery includes the statement
+    # (before the fsync that is permitted, after it it is required).
+    db = run_durable(tmp_path, COMPACT[:-1])
+    inj = FaultInjector()
+    inj.on(point, "crash", nth=1)
+    with inj.installed():
+        with pytest.raises(SimulatedCrash):
+            db.execute(COMPACT[-1])
+    recovered = repro.connect(wal_dir=tmp_path / "wal")
+    assert recovered.last_recovery.statements_replayed == len(COMPACT)
+    assert_equivalent(recovered, replay_twin(COMPACT))
+    recovered.close()
+
+
+CHECKPOINT_POINTS = [
+    ("wal.checkpoint.begin", 1),
+    ("wal.checkpoint.write", 1),
+    ("wal.checkpoint.written", 1),
+    ("wal.checkpoint.renamed", 1),
+    # The injector is installed after attach, so the first counted hit
+    # of wal.segment.open is the roll to the post-checkpoint segment.
+    ("wal.segment.open", 1),
+    ("wal.checkpoint.cleaned", 1),
+    ("wal.checkpoint.done", 1),
+]
+
+
+@pytest.mark.parametrize("point,nth", CHECKPOINT_POINTS)
+def test_crash_inside_the_checkpoint_protocol(tmp_path, point, nth):
+    db = run_durable(tmp_path, COMPACT)
+    inj = FaultInjector()
+    inj.on(point, "crash", nth=nth)
+    with inj.installed():
+        with pytest.raises(SimulatedCrash):
+            db.checkpoint()
+    # No committed statement may be lost or double-applied, whichever
+    # side of the atomic rename the crash fell on.
+    recovered = repro.connect(wal_dir=tmp_path / "wal")
+    assert_equivalent(recovered, replay_twin(COMPACT))
+
+    # And the recovered database must keep working durably.
+    extra = "INSERT INTO t VALUES (9, 'post-crash')"
+    recovered.execute(extra)
+    recovered.close()
+    final = repro.connect(wal_dir=tmp_path / "wal")
+    assert_equivalent(final, replay_twin(COMPACT + [extra]))
+    final.close()
+
+
+class TestRefusedStates:
+    def test_segment_gap_is_refused(self, tmp_path):
+        wal_dir = tmp_path / "wal"
+        wal_dir.mkdir()
+        rec = {"lsn": 1, "kind": "statement", "sql": "CREATE TABLE g (a integer)"}
+        segment_path(wal_dir, 1).write_bytes(
+            walfmt.segment_header(1) + walfmt.encode_record(rec)
+        )
+        segment_path(wal_dir, 3).write_bytes(walfmt.segment_header(3))
+        with pytest.raises(WalError, match="gap"):
+            repro.connect(wal_dir=wal_dir)
+
+    def test_interior_corruption_is_refused(self, tmp_path):
+        # A torn frame is only repairable at the very tail of the log; a
+        # corrupt non-final segment means later records may depend on a
+        # lost one, so recovery must refuse rather than skip.
+        wal_dir = tmp_path / "wal"
+        wal_dir.mkdir()
+        rec = {"lsn": 1, "kind": "statement", "sql": "CREATE TABLE g (a integer)"}
+        frame = walfmt.encode_record(rec)
+        segment_path(wal_dir, 1).write_bytes(
+            walfmt.segment_header(1) + frame[: len(frame) - 2]
+        )
+        segment_path(wal_dir, 2).write_bytes(walfmt.segment_header(2))
+        with pytest.raises(WalError, match="interior"):
+            repro.connect(wal_dir=wal_dir)
+
+    def test_mislabeled_segment_is_refused(self, tmp_path):
+        wal_dir = tmp_path / "wal"
+        wal_dir.mkdir()
+        segment_path(wal_dir, 1).write_bytes(walfmt.segment_header(5))
+        with pytest.raises(WalError, match="claims"):
+            repro.connect(wal_dir=wal_dir)
+
+    def test_corrupt_checkpoint_falls_back_to_full_replay(self, tmp_path):
+        db = run_durable(tmp_path, COMPACT)
+        db.checkpoint()
+        db.close()
+        wal_dir = tmp_path / "wal"
+        (ckpt,) = wal_dir.glob("checkpoint-*.ckpt")
+        blob = bytearray(ckpt.read_bytes())
+        blob[-1] ^= 0xFF
+        ckpt.write_bytes(bytes(blob))
+        # The checkpoint is unreadable and its WAL suffix (segment 2)
+        # is empty: recovery has nothing durable to rebuild from.  It
+        # must still come up — with an empty catalog — rather than trust
+        # a corrupt snapshot.
+        recovered = repro.connect(wal_dir=wal_dir)
+        assert recovered.last_recovery.checkpoint_segment is None
+        recovered.close()

@@ -1,0 +1,122 @@
+"""The fault-injection harness itself: rule matching, determinism, and
+the install/clear lifecycle."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro import faultinject
+from repro.errors import PermError
+from repro.faultinject import (
+    FaultInjector,
+    InjectedFault,
+    SimulatedCrash,
+    fault_point,
+)
+
+
+class TestRuleMatching:
+    def test_uninstalled_hook_is_a_noop(self):
+        assert faultinject.active() is None
+        assert fault_point("anything.at.all") is None
+
+    def test_nth_hit_fires_exactly_once(self):
+        inj = FaultInjector()
+        inj.on("p", "crash", nth=3)
+        with inj.installed():
+            fault_point("p")
+            fault_point("p")
+            with pytest.raises(SimulatedCrash) as exc:
+                fault_point("p")
+            assert exc.value.point == "p"
+            fault_point("p")  # times=1 by default: spent
+        assert inj.hits["p"] == 4
+        assert inj.fired == [("p", "crash")]
+
+    def test_hits_are_counted_per_point(self):
+        inj = FaultInjector()
+        inj.on("a", "crash", nth=2)
+        with inj.installed():
+            fault_point("a")
+            fault_point("b")  # does not advance point "a"
+            with pytest.raises(SimulatedCrash):
+                fault_point("a")
+
+    def test_unconditional_rule_with_times(self):
+        inj = FaultInjector()
+        inj.on("p", "error", times=2, error_type="overloaded")
+        with inj.installed():
+            for _ in range(2):
+                with pytest.raises(InjectedFault) as exc:
+                    fault_point("p")
+                assert exc.value.error_type == "overloaded"
+            assert fault_point("p") is None  # budget spent
+
+    def test_probability_schedule_is_seed_deterministic(self):
+        def schedule(seed):
+            inj = FaultInjector(seed=seed)
+            inj.on("p", "error", probability=0.3, times=None)
+            outcomes = []
+            with inj.installed():
+                for _ in range(40):
+                    try:
+                        fault_point("p")
+                        outcomes.append(False)
+                    except InjectedFault:
+                        outcomes.append(True)
+            return outcomes
+
+        assert schedule(7) == schedule(7)
+        assert schedule(7) != schedule(8)
+        assert any(schedule(7))
+        assert not all(schedule(7))
+
+    def test_torn_action_is_returned_not_raised(self):
+        inj = FaultInjector()
+        inj.on("p", "torn", nth=1, keep=5)
+        with inj.installed():
+            action = fault_point("p")
+        assert action is not None
+        assert action.kind == "torn"
+        assert action.keep == 5
+
+    def test_sleep_action_blocks(self):
+        inj = FaultInjector()
+        inj.on("p", "sleep", nth=1, seconds=0.05)
+        with inj.installed():
+            start = time.monotonic()
+            assert fault_point("p") is None
+            assert time.monotonic() - start >= 0.05
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            FaultInjector().on("p", "explode")
+
+
+class TestLifecycle:
+    def test_installed_clears_on_exit(self):
+        inj = FaultInjector()
+        with inj.installed() as got:
+            assert got is inj
+            assert faultinject.active() is inj
+        assert faultinject.active() is None
+
+    def test_installed_clears_on_crash(self):
+        inj = FaultInjector()
+        inj.on("p", "crash", nth=1)
+        with pytest.raises(SimulatedCrash):
+            with inj.installed():
+                fault_point("p")
+        assert faultinject.active() is None
+
+    def test_simulated_crash_is_not_a_perm_error(self):
+        # Engine code catches PermError/Exception in places; a simulated
+        # crash must sail through all of them to the test harness.
+        assert not issubclass(SimulatedCrash, Exception)
+        assert issubclass(InjectedFault, PermError)
+
+    def test_rules_chain(self):
+        inj = FaultInjector().on("a", "crash", nth=1).on("b", "error", nth=1)
+        assert len(inj.rules) == 2

@@ -1,0 +1,138 @@
+"""Unit tests for the WAL on-disk format: frame codec, segment headers,
+torn-tail scanning, and checkpoint file round trips."""
+
+from __future__ import annotations
+
+import struct
+import zlib
+
+import pytest
+
+from repro.wal import format as walfmt
+from repro.wal.checkpoint import read_checkpoint, write_checkpoint
+
+
+def make_segment(records, segment=1) -> bytes:
+    data = walfmt.segment_header(segment)
+    for record in records:
+        data += walfmt.encode_record(record)
+    return data
+
+
+def records(n):
+    return [
+        {"lsn": i + 1, "kind": "statement", "sql": f"INSERT INTO t VALUES ({i})"}
+        for i in range(n)
+    ]
+
+
+class TestFrameCodec:
+    def test_round_trip(self):
+        payloads = records(3)
+        scan = walfmt.scan_segment(make_segment(payloads))
+        assert scan.segment == 1
+        assert scan.records == payloads
+        assert not scan.torn
+
+    def test_empty_segment(self):
+        scan = walfmt.scan_segment(walfmt.segment_header(7))
+        assert scan.segment == 7
+        assert scan.records == []
+        assert scan.good_offset == walfmt.SEGMENT_HEADER_SIZE
+        assert not scan.torn
+
+    def test_record_too_large_refused_on_encode(self):
+        huge = {"lsn": 1, "kind": "statement", "sql": "x" * walfmt.MAX_RECORD}
+        with pytest.raises(ValueError):
+            walfmt.encode_record(huge)
+
+    def test_segment_header_round_trip(self):
+        header = walfmt.segment_header(42)
+        assert len(header) == walfmt.SEGMENT_HEADER_SIZE
+        assert walfmt.parse_segment_header(header) == 42
+
+    def test_bad_magic_rejected(self):
+        header = b"NOTAWAL1" + walfmt.segment_header(1)[8:]
+        assert walfmt.parse_segment_header(header) is None
+
+    def test_corrupt_header_crc_rejected(self):
+        header = bytearray(walfmt.segment_header(1))
+        header[-1] ^= 0xFF
+        assert walfmt.parse_segment_header(bytes(header)) is None
+
+
+class TestTornTailScan:
+    def test_truncation_at_every_byte_yields_a_prefix(self):
+        payloads = records(4)
+        data = make_segment(payloads)
+        boundaries = [walfmt.SEGMENT_HEADER_SIZE]
+        offset = walfmt.SEGMENT_HEADER_SIZE
+        for record in payloads:
+            offset += len(walfmt.encode_record(record))
+            boundaries.append(offset)
+        for cut in range(walfmt.SEGMENT_HEADER_SIZE, len(data) + 1):
+            scan = walfmt.scan_segment(data[:cut])
+            # The scan keeps exactly the records whose frames fit entirely
+            # inside the cut, and reports the boundary it stopped at.
+            want = sum(1 for b in boundaries[1:] if b <= cut)
+            assert scan.records == payloads[:want]
+            assert scan.good_offset == boundaries[want]
+            assert bool(scan.torn) == (cut != boundaries[want])
+
+    def test_corrupt_payload_stops_scan(self):
+        payloads = records(3)
+        data = bytearray(make_segment(payloads))
+        # Flip one byte inside the second record's payload.
+        first_end = walfmt.SEGMENT_HEADER_SIZE + len(
+            walfmt.encode_record(payloads[0])
+        )
+        data[first_end + 8 + 2] ^= 0xFF
+        scan = walfmt.scan_segment(bytes(data))
+        assert scan.records == payloads[:1]
+        assert scan.torn
+        assert scan.good_offset == first_end
+
+    def test_implausible_length_stops_scan(self):
+        data = walfmt.segment_header(1) + struct.pack(
+            ">II", walfmt.MAX_RECORD + 1, 0
+        )
+        scan = walfmt.scan_segment(data)
+        assert scan.records == []
+        assert scan.torn
+
+    def test_undecodable_payload_stops_scan(self):
+        garbage = b"\x00\xff not json"
+        frame = struct.pack(">II", len(garbage), zlib.crc32(garbage)) + garbage
+        scan = walfmt.scan_segment(walfmt.segment_header(1) + frame)
+        assert scan.records == []
+        assert scan.torn
+
+    def test_torn_segment_header(self):
+        scan = walfmt.scan_segment(walfmt.segment_header(1)[:-3])
+        assert scan.segment is None
+
+
+class TestCheckpointFile:
+    def test_round_trip(self, tmp_path):
+        payload = {"tables": [], "views": [], "catalog_epoch": 9}
+        path = write_checkpoint(tmp_path, segment=3, data=payload, lsn=17)
+        read = read_checkpoint(path)
+        assert read is not None
+        assert read["segment"] == 3
+        assert read["lsn"] == 17
+        for key, value in payload.items():
+            assert read[key] == value
+        assert not list(tmp_path.glob("*.tmp"))
+
+    def test_corruption_returns_none(self, tmp_path):
+        path = write_checkpoint(tmp_path, segment=1, data={"x": 1}, lsn=2)
+        blob = bytearray(path.read_bytes())
+        blob[-1] ^= 0xFF
+        path.write_bytes(bytes(blob))
+        assert read_checkpoint(path) is None
+
+    def test_truncation_returns_none(self, tmp_path):
+        path = write_checkpoint(tmp_path, segment=1, data={"x": 1}, lsn=2)
+        blob = path.read_bytes()
+        path.write_bytes(blob[: len(blob) // 2])
+        assert read_checkpoint(path) is None
