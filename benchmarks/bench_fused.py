@@ -1,0 +1,246 @@
+"""Pipeline-fusion benchmark — residual-heavy TPC-H provenance queries.
+
+The tentpole claim of the fused-kernel codegen: collapsing each
+scan→filter→project pipeline into ONE generated kernel (inlined
+predicate evaluation, no per-operator chunk materialization or
+intermediate selection vectors) beats the per-operator batch engine by
+≥ 1.5× geometric mean on residual-heavy TPC-H SF-tiny provenance
+queries — queries whose cost is dominated by residual predicate
+evaluation over scans and by outer-join residual conditions — while
+returning identical result multisets.
+
+``fuse_pipelines=False`` reproduces the pre-fusion executor exactly:
+per-operator batch pipelines AND per-pair outer-join residual closures
+(the two-phase filter-then-reconcile kernel in ``HashJoin.run_batches``
+rides the same toggle), i.e. the configuration BENCH_vectorized.json
+was measured against.
+
+The workload has two parts:
+
+* **fused pipelines** — provenance SPJ queries over ``lineitem`` /
+  ``orders`` with multi-conjunct predicates and computed targets; the
+  plans show ``FusedPipeline`` boundaries and carry the speedup;
+* **residual outer joins** — provenance aggregates over LEFT joins
+  whose residual references both sides (not pushable into a scan), the
+  two-phase kernel path; these gate at parity — the kernel must never
+  lose to the closure by more than the regression bound.
+
+Methodology matches ``bench_vectorized``: warm once (statement cache,
+plan cache, columnar heap caches), then interleave the two
+configurations per repetition and keep the per-configuration minimum.
+
+Emits ``BENCH_fused.json``; the CI smoke gate (quick mode) fails when
+any query is more than 1.1× slower fused, and the full run additionally
+enforces the ≥ 1.5× geometric-mean speedup.  ``PERM_BENCH_QUICK=1``
+shrinks the query set and repeat count.
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import math
+import os
+import time
+
+import pytest
+
+from benchmarks._support import fmt_factor, fmt_seconds
+from repro.database import PermDatabase
+from repro.tpch.dbgen import generate, load_into
+
+QUICK = bool(os.environ.get("PERM_BENCH_QUICK"))
+REPEATS = 5 if QUICK else 7
+#: Short queries keep repeating past REPEATS until both configurations
+#: have consumed this much measured wall time (best-of-N converges on
+#: noisy runners), bounded by MAX_REPEATS.
+TIME_BUDGET = 0.3 if QUICK else 0.8
+MAX_REPEATS = 60
+SCALE_FACTOR = 0.002  # SF-tiny
+
+JSON_PATH = os.environ.get("PERM_BENCH_FUSED_JSON", "BENCH_fused.json")
+
+#: tag -> provenance SQL.  The first block is the fused-pipeline set
+#: (scan→filter→project chains with computed targets), the second the
+#: residual-outer-join set (both-side residuals, two-phase kernel).
+WORKLOAD: dict[str, str] = {
+    "lineitem revenue": (
+        "SELECT PROVENANCE l_orderkey, "
+        "l_extendedprice * (1 - l_discount) * (1 + l_tax) "
+        "FROM lineitem WHERE l_shipdate > date '1994-01-01' "
+        "AND l_discount > 0.02 AND l_quantity < 45"
+    ),
+    "lineitem case": (
+        "SELECT PROVENANCE l_orderkey, "
+        "CASE WHEN l_discount > 0.05 THEN l_extendedprice * (1 - l_discount) "
+        "ELSE l_extendedprice END "
+        "FROM lineitem WHERE l_shipdate > date '1994-01-01'"
+    ),
+    "lineitem shipmode": (
+        "SELECT PROVENANCE l_orderkey, l_extendedprice * (1 + l_tax) "
+        "FROM lineitem WHERE l_shipmode IN ('MAIL', 'SHIP') "
+        "AND l_receiptdate > l_commitdate AND l_quantity >= 10"
+    ),
+    "lineitem wide": (
+        "SELECT PROVENANCE * FROM lineitem "
+        "WHERE l_shipdate > date '1994-06-30' AND l_discount > 0.01 "
+        "AND l_tax < 0.07"
+    ),
+    "orders priority": (
+        "SELECT PROVENANCE o_orderkey, o_totalprice * 0.9 FROM orders "
+        "WHERE o_orderdate >= date '1994-01-01' "
+        "AND o_orderpriority < '3' AND o_totalprice > 1000"
+    ),
+    "orders residual join": (
+        "SELECT PROVENANCE o_orderkey, count(l_linenumber) FROM orders "
+        "LEFT JOIN lineitem ON o_orderkey = l_orderkey "
+        "AND (l_quantity > 25 OR l_extendedprice > o_totalprice / 4 "
+        "OR l_shipmode = 'AIR') GROUP BY o_orderkey"
+    ),
+    "customer residual join": (
+        "SELECT PROVENANCE c_custkey, count(o_orderkey) FROM customer "
+        "LEFT JOIN orders ON c_custkey = o_custkey "
+        "AND (o_totalprice > c_acctbal OR o_orderpriority = '1-URGENT' "
+        "OR o_comment LIKE '%special%') GROUP BY c_custkey"
+    ),
+}
+
+QUERIES = (
+    ("lineitem revenue", "lineitem shipmode", "orders residual join")
+    if QUICK
+    else tuple(WORKLOAD)
+)
+
+_DB_CACHE: dict[bool, PermDatabase] = {}
+_DATA = None
+
+#: results[tag] = {"fused": seconds, "unfused": seconds}
+_RESULTS: dict[str, dict[str, float]] = {}
+
+
+def _db(fuse: bool) -> PermDatabase:
+    global _DATA
+    if fuse not in _DB_CACHE:
+        if _DATA is None:
+            _DATA = generate(SCALE_FACTOR, seed=42)
+        db = PermDatabase(fuse_pipelines=fuse)
+        load_into(db, _DATA)
+        db.execute("ANALYZE")
+        _DB_CACHE[fuse] = db
+    return _DB_CACHE[fuse]
+
+
+def _blur(row: tuple) -> tuple:
+    return tuple(
+        f"{value:.6g}" if isinstance(value, float) else repr(value)
+        for value in row
+    )
+
+
+def _timed_interleaved(sql: str):
+    """Best-of-N warm timings, fused/unfused interleaved per repetition."""
+    best = {"fused": float("inf"), "unfused": float("inf")}
+    rows: dict[str, list] = {}
+    for fuse in (True, False):
+        _db(fuse).execute(sql)  # warm caches in both configurations
+    # Cycle collection pauses land on whichever configuration happens
+    # to cross the threshold — at near-parity that noise alone can blow
+    # the 1.1x gate, so collect up front and keep the GC off while
+    # timing.
+    gc.collect()
+    gc.disable()
+    spent = 0.0
+    repeats = 0
+    try:
+        while repeats < REPEATS or (
+            spent < TIME_BUDGET and repeats < MAX_REPEATS
+        ):
+            for tag, fuse in (("fused", True), ("unfused", False)):
+                db = _db(fuse)
+                start = time.perf_counter()
+                result = db.execute(sql)
+                elapsed = time.perf_counter() - start
+                best[tag] = min(best[tag], elapsed)
+                spent += elapsed
+                rows[tag] = sorted(map(_blur, result.rows))
+            repeats += 1
+    finally:
+        gc.enable()
+    return best, rows
+
+
+def _run_case(figures, tag: str, sql: str) -> None:
+    figures.configure(
+        "fused",
+        "Residual-heavy TPC-H provenance: fused vs per-operator pipelines",
+        ["fused", "unfused", "speedup"],
+    )
+    best, rows = _timed_interleaved(sql)
+    assert rows["fused"] == rows["unfused"], (
+        f"pipeline fusion changed {tag} results"
+    )
+    _RESULTS[tag] = dict(best)
+    speedup = best["unfused"] / best["fused"]
+    figures.record("fused", tag, "fused", fmt_seconds(best["fused"]))
+    figures.record("fused", tag, "unfused", fmt_seconds(best["unfused"]))
+    figures.record("fused", tag, "speedup", fmt_factor(speedup))
+
+
+@pytest.mark.parametrize("tag", QUERIES)
+def test_fused_speedup(benchmark, figures, tag):
+    sql = WORKLOAD[tag]
+    benchmark.pedantic(
+        lambda: _run_case(figures, tag, sql),
+        rounds=1, iterations=1, warmup_rounds=0,
+    )
+
+
+def _geomean(values: list[float]) -> float:
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def test_fused_gate(figures):
+    """Aggregate gates + BENCH_fused.json emission.
+
+    * no query may run more than 1.1× slower fused than unfused (CI
+      smoke criterion, quick and full);
+    * the full run must show a ≥ 1.5× geometric-mean speedup across the
+      residual-heavy provenance workload (the headline claim).
+    """
+    if len(_RESULTS) < len(QUERIES):
+        pytest.skip("per-query measurements incomplete")
+    speedups = {
+        tag: timing["unfused"] / timing["fused"]
+        for tag, timing in _RESULTS.items()
+    }
+    geomean = _geomean(list(speedups.values()))
+    figures.record("fused", "geomean", "speedup", fmt_factor(geomean))
+
+    payload = {}
+    if os.path.exists(JSON_PATH):
+        with open(JSON_PATH) as handle:
+            payload = json.load(handle)
+    section = payload.setdefault("quick" if QUICK else "full", {})
+    section["scale_factor"] = SCALE_FACTOR
+    section["geomean_speedup"] = round(geomean, 3)
+    section["worst_speedup"] = round(min(speedups.values()), 3)
+    section["queries"] = {
+        tag: {
+            "fused_seconds": round(timing["fused"], 6),
+            "unfused_seconds": round(timing["unfused"], 6),
+            "speedup": round(timing["unfused"] / timing["fused"], 3),
+        }
+        for tag, timing in sorted(_RESULTS.items())
+    }
+    with open(JSON_PATH, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+
+    worst = min(speedups, key=speedups.get)
+    assert speedups[worst] >= 1 / 1.1, (
+        f"{worst} runs more than 1.1x slower fused "
+        f"({speedups[worst]:.2f}x speedup)"
+    )
+    if not QUICK:
+        assert geomean >= 1.5, (
+            f"geometric-mean speedup {geomean:.2f}x below the 1.5x target"
+        )

@@ -16,6 +16,7 @@ Inside the shell, end statements with ``;``.  Meta commands:
   every node with actual row/batch counts and wall time,
 * ``\\optimize [on|off]`` show or toggle the logical optimizer,
 * ``\\vectorize [on|off]`` show or toggle batch-at-a-time execution,
+* ``\\fuse [on|off]`` show or toggle pipeline-fused kernel codegen,
 * ``\\costbased [on|off]`` show or toggle cost-based planning,
 * ``\\parallel [off|N]`` show or set morsel-driven parallel workers,
 * ``\\analyze [table]`` collect planner statistics (ANALYZE),
@@ -173,6 +174,16 @@ def _handle_meta(db: repro.PermDatabase, line: str) -> bool:
         state = "on" if db.vectorize_enabled else "off"
         print(f"vectorized execution: {state}")
         return True
+    if command == "\\fuse":
+        choice = rest.strip().lower()
+        if choice in ("on", "off"):
+            db.fuse_pipelines_enabled = choice == "on"
+        elif choice:
+            print("usage: \\fuse [on|off]")
+            return True
+        state = "on" if db.fuse_pipelines_enabled else "off"
+        print(f"pipeline fusion: {state}")
+        return True
     if command == "\\costbased":
         choice = rest.strip().lower()
         if choice in ("on", "off"):
@@ -308,7 +319,7 @@ def _handle_meta(db: repro.PermDatabase, line: str) -> bool:
     print(
         "unknown meta command "
         f"{command!r} (\\q, \\d, \\rewrite, \\explain, \\explain+, "
-        "\\optimize, \\vectorize, \\costbased, \\parallel, \\analyze, "
+        "\\optimize, \\vectorize, \\fuse, \\costbased, \\parallel, \\analyze, "
         "\\stats, \\matviews, \\semirings, \\backend, \\server, "
         "\\wal, \\checkpoint)"
     )
@@ -389,7 +400,8 @@ def main(argv: list[str] | None = None) -> int:
     print("Perm repro shell -- SELECT PROVENANCE ... to compute provenance.")
     print(
         "\\q quit, \\d relations, \\rewrite <q>, \\explain[+] <q>, "
-        "\\optimize [on|off], \\vectorize [on|off], \\costbased [on|off], "
+        "\\optimize [on|off], \\vectorize [on|off], \\fuse [on|off], "
+        "\\costbased [on|off], "
         "\\parallel [off|N], \\analyze [table], \\stats, \\matviews, "
         "\\semirings, \\backend [name], \\server [start|stats|stop]"
     )

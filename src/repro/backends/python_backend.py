@@ -49,10 +49,14 @@ class PythonBackend(ExecutionBackend):
         cost_based: bool = True,
         parallel_workers: int = 1,
         morsel_size: Optional[int] = None,
+        fuse_pipelines: bool = True,
     ) -> None:
         super().__init__(catalog)
         self.vectorize = vectorize
         self.cost_based = cost_based
+        #: Pipeline-fusion toggle (vectorized plans only); differential
+        #: tests run fused vs. unfused engines against each other.
+        self.fuse_pipelines = fuse_pipelines
         #: Fan-out for morsel-driven parallel scans (1 = serial).
         #: ``None`` resolves to the host CPU count at plan time.  Only
         #: the vectorized cost-based path parallelizes.
@@ -84,7 +88,14 @@ class PythonBackend(ExecutionBackend):
             getattr(self.catalog, "epoch", None),
             getattr(self.catalog, "stats_epoch", None),
         )
-        key = (id(query), self.vectorize, self.cost_based, workers, self.morsel_size)
+        key = (
+            id(query),
+            self.vectorize,
+            self.cost_based,
+            workers,
+            self.morsel_size,
+            self.fuse_pipelines,
+        )
         with self._plan_cache_lock:
             if epochs != self._plan_cache_epochs:
                 self._plan_cache.clear()
@@ -98,6 +109,7 @@ class PythonBackend(ExecutionBackend):
             vectorize=self.vectorize,
             parallel_workers=workers,
             morsel_size=self.morsel_size,
+            fuse_pipelines=self.fuse_pipelines,
         ).plan(query)
         with self._plan_cache_lock:
             if len(self._plan_cache) >= self.PLAN_CACHE_SIZE:

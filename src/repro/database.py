@@ -283,6 +283,7 @@ class PermDatabase:
         optimize: bool = True,
         vectorize: bool = True,
         cost_based: bool = True,
+        fuse_pipelines: bool = True,
         statement_cache_size: int = 64,
         parallel_workers: int = 1,
         auto_analyze: bool = True,
@@ -297,6 +298,7 @@ class PermDatabase:
         self.optimizer_enabled = optimize
         self._vectorize = vectorize
         self._cost_based = cost_based
+        self._fuse_pipelines = fuse_pipelines
         self._parallel_workers = parallel_workers
         #: Refresh stale ANALYZE statistics automatically once a table
         #: grows past the catalog's auto-ANALYZE threshold.
@@ -304,6 +306,7 @@ class PermDatabase:
         self._backend = create_backend(backend, self.catalog)
         self._propagate_vectorize()
         self._propagate_cost_based()
+        self._propagate_fuse()
         self._propagate_parallel()
         self._stmt_cache = _StatementCache(statement_cache_size)
         # Durability last: attaching recovers any existing WAL directory
@@ -340,6 +343,7 @@ class PermDatabase:
         self._backend = replacement
         self._propagate_vectorize()
         self._propagate_cost_based()
+        self._propagate_fuse()
         self._propagate_parallel()
 
     # -- vectorized execution toggle -------------------------------------------
@@ -378,6 +382,25 @@ class PermDatabase:
     def _propagate_cost_based(self) -> None:
         if hasattr(self._backend, "cost_based"):
             self._backend.cost_based = self._cost_based
+
+    # -- pipeline-fusion toggle --------------------------------------------------
+
+    @property
+    def fuse_pipelines_enabled(self) -> bool:
+        """Whether vectorized plans collapse scan→filter→project chains
+        into single generated kernels (:mod:`repro.executor.fusion`);
+        ``False`` keeps the per-operator batch pipeline, the
+        differential oracle for the fused path."""
+        return self._fuse_pipelines
+
+    @fuse_pipelines_enabled.setter
+    def fuse_pipelines_enabled(self, value: bool) -> None:
+        self._fuse_pipelines = bool(value)
+        self._propagate_fuse()
+
+    def _propagate_fuse(self) -> None:
+        if hasattr(self._backend, "fuse_pipelines"):
+            self._backend.fuse_pipelines = self._fuse_pipelines
 
     # -- morsel-driven parallelism ----------------------------------------------
 
@@ -568,6 +591,7 @@ class PermDatabase:
             self.provenance_module_enabled,
             self.optimizer_enabled,
             self._cost_based,
+            self._fuse_pipelines,
         )
 
     def cache_stats(self) -> dict[str, int]:
@@ -734,6 +758,7 @@ class PermDatabase:
             vectorize=self._vectorize,
             parallel_workers=resolve_worker_count(self._parallel_workers),
             morsel_size=getattr(self._backend, "morsel_size", None),
+            fuse_pipelines=self._fuse_pipelines,
         ).plan(query)
         if not analyze:
             sections += ["-- physical plan --", plan.explain()]
@@ -870,7 +895,10 @@ class PermDatabase:
         start = time.perf_counter()
         query, rewrite_seconds = self._analyze_and_rewrite(stmt)
         plan = make_planner(
-            self.catalog, cost_based=self._cost_based, vectorize=self._vectorize
+            self.catalog,
+            cost_based=self._cost_based,
+            vectorize=self._vectorize,
+            fuse_pipelines=self._fuse_pipelines,
         ).plan(query)
         compile_seconds = time.perf_counter() - start
         return PreparedQuery(
@@ -1145,6 +1173,7 @@ def connect(
     optimize: bool = True,
     vectorize: bool = True,
     cost_based: bool = True,
+    fuse_pipelines: bool = True,
     parallel_workers: int = 1,
     auto_analyze: bool = True,
     wal_dir: Optional[str] = None,
@@ -1161,6 +1190,10 @@ def connect(
     differentially testable).  ``cost_based=False`` plans with the
     legacy heuristic join ordering instead of the statistics-driven
     cost model (the planner's own differential baseline).
+    ``fuse_pipelines=False`` keeps vectorized scan→filter→project
+    chains as per-operator batch passes instead of collapsing them
+    into single generated kernels (:mod:`repro.executor.fusion`) — the
+    differential oracle for the fused engine.
     ``parallel_workers=N`` (N > 1, or ``None`` for one per core) turns
     on morsel-driven parallel execution of eligible scan pipelines;
     the default 1 keeps execution serial.  ``auto_analyze=False``
@@ -1181,6 +1214,7 @@ def connect(
         optimize=optimize,
         vectorize=vectorize,
         cost_based=cost_based,
+        fuse_pipelines=fuse_pipelines,
         parallel_workers=parallel_workers,
         auto_analyze=auto_analyze,
         wal_dir=wal_dir,

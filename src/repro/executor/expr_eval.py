@@ -806,6 +806,16 @@ class ExprCompiler:
         if isinstance(right_expr, ex.Const):
             left = self.compile_batch(left_expr)
             const = right_expr.value
+            if (
+                template is None
+                and fn is _div_float
+                and const is not None
+                and const != 0
+            ):
+                # Division is excluded from the hot-operator templates
+                # only because of the zero check; with a constant
+                # nonzero divisor that check happens here, once.
+                template = "(None if a is None else a / b)"
             if template is not None:
                 return _KERNEL_COL_CONST(template)(left, const)
             return lambda chunk, ctx: [fn(a, const) for a in left(chunk, ctx)]

@@ -154,6 +154,12 @@ class SeqScan(PlanNode):
     row layout.
     """
 
+    #: Planner-attached fusion metadata ``(varmap, [analyzed exprs])``
+    #: for the node's predicates/projections, consumed by
+    #: :mod:`repro.executor.fusion`; None = not fusible (no metadata, or
+    #: a conjunct without a batch form poisoned it).
+    fusion = None
+
     def __init__(
         self,
         table: Table,
@@ -270,6 +276,9 @@ class ValuesNode(PlanNode):
 
 
 class FilterNode(PlanNode):
+    #: Fusion metadata; see :class:`SeqScan`.
+    fusion = None
+
     def __init__(
         self,
         child: PlanNode,
@@ -310,6 +319,9 @@ class ProjectNode(PlanNode):
     single lambda with slot reads inlined, so a wide provenance target
     list costs one call per row instead of one per column.
     """
+
+    #: Fusion metadata; see :class:`SeqScan`.
+    fusion = None
 
     def __init__(
         self,
@@ -591,6 +603,54 @@ class NestedLoopJoin(PlanNode):
             ]
             if leftovers:
                 yield from chunk_rows(leftovers, width, ctx.batch_size)
+
+
+class _PairChunk(Chunk):
+    """Candidate join pairs viewed as one chunk, concatenation deferred.
+
+    Residual kernels read a handful of columns of the combined row;
+    gathering those straight from the probe- and build-side tuples
+    avoids allocating a wide concatenated tuple for every candidate
+    pair — only pairs that pass the residual are materialized.  Kernels
+    touch ``column``/``rows``/``select``/``len`` only, all overridden
+    (``rows`` serves per-row fallback kernels and does concatenate).
+    """
+
+    __slots__ = ("left_rows", "right_rows", "split")
+
+    def __init__(
+        self,
+        left_rows: list[Row],
+        right_rows: list[Row],
+        split: int,
+        width: int,
+    ) -> None:
+        super().__init__(nrows=len(left_rows), width=width)
+        self.left_rows = left_rows
+        self.right_rows = right_rows
+        self.split = split
+
+    def column(self, index: int) -> list:
+        if index < self.split:
+            return [row[index] for row in self.left_rows]
+        index -= self.split
+        return [row[index] for row in self.right_rows]
+
+    def rows(self) -> list[tuple]:
+        if self._rows is None:
+            self._rows = [
+                left + right
+                for left, right in zip(self.left_rows, self.right_rows)
+            ]
+        return self._rows
+
+    def select(self, logical: Sequence[int]) -> "Chunk":
+        return _PairChunk(
+            [self.left_rows[i] for i in logical],
+            [self.right_rows[i] for i in logical],
+            self.split,
+            self.width,
+        )
 
 
 class _NullKey:
@@ -921,8 +981,21 @@ class HashJoin(PlanNode):
         return build, right_rows, right_matched
 
     def _run_batches_residual(self, ctx: ExecContext) -> Iterator[Chunk]:
+        """Residual outer joins (and residuals without a batch form).
+
+        With a batch-form residual the per-chunk work is two-phase
+        filter-then-reconcile: every candidate (probe row × bucket
+        entry) pair is gathered into ONE combined chunk, the residual
+        kernel runs once over it, and the verdicts are reconciled back
+        into per-probe matched flags (driving LEFT/FULL null extension)
+        and build-side matched flags (RIGHT/FULL).  Candidate building
+        and the surviving-pair gather are C-level comprehensions; only
+        the flag updates loop in Python.  A row-only residual keeps the
+        per-pair closure loop.
+        """
         join_type = self.join_type
         residual = self.residual
+        residual_kernel = self.batch_residual
         width = self.width()
         null_left = (None,) * self.left.width()
         null_right = (None,) * self.right.width()
@@ -936,22 +1009,81 @@ class HashJoin(PlanNode):
             keys = self._batch_key_rows(
                 [kernel(chunk, ctx) for kernel in self.batch_left_keys]
             )
-            out: list[Row] = []
-            append = out.append
-            for left_row, key in zip(chunk.rows(), keys):
-                matched = False
-                if key is not None:
-                    bucket = build_get(key)
-                    if bucket is not None:
-                        for index in bucket:
-                            combined = left_row + right_rows[index]
-                            if residual(combined, ctx) is True:
-                                matched = True
-                                if right_matched is not None:
+            left_rows = chunk.rows()
+            if residual_kernel is not None:
+                buckets = [
+                    build_get(key) if key is not None else None
+                    for key in keys
+                ]
+                left_gather = [
+                    left_rows[position]
+                    for position, bucket in enumerate(buckets)
+                    if bucket is not None
+                    for _ in bucket
+                ]
+                right_gather = [
+                    right_rows[index]
+                    for bucket in buckets
+                    if bucket is not None
+                    for index in bucket
+                ]
+                verdicts = (
+                    residual_kernel(
+                        _PairChunk(
+                            left_gather, right_gather, len(null_left), width
+                        ),
+                        ctx,
+                    )
+                    if left_gather
+                    else []
+                )
+                out = [
+                    left + right
+                    for left, right, verdict in zip(
+                        left_gather, right_gather, verdicts
+                    )
+                    if verdict is True
+                ]
+                if right_matched is not None:
+                    cursor = 0
+                    for bucket in buckets:
+                        if bucket is not None:
+                            for index in bucket:
+                                if verdicts[cursor] is True:
                                     right_matched[index] = 1
-                                append(combined)
-                if not matched and preserve_left:
-                    append(left_row + null_right)
+                                cursor += 1
+                if preserve_left:
+                    # Candidates are probe-major, so each probe row owns
+                    # one contiguous verdict segment; ``True in seg`` is
+                    # a C-level scan.
+                    cursor = 0
+                    unmatched = []
+                    for position, bucket in enumerate(buckets):
+                        if bucket is None:
+                            unmatched.append(left_rows[position])
+                            continue
+                        step = cursor + len(bucket)
+                        if True not in verdicts[cursor:step]:
+                            unmatched.append(left_rows[position])
+                        cursor = step
+                    out.extend(row + null_right for row in unmatched)
+            else:
+                out = []
+                append = out.append
+                for left_row, key in zip(left_rows, keys):
+                    matched = False
+                    if key is not None:
+                        bucket = build_get(key)
+                        if bucket is not None:
+                            for index in bucket:
+                                combined = left_row + right_rows[index]
+                                if residual(combined, ctx) is True:
+                                    matched = True
+                                    if right_matched is not None:
+                                        right_matched[index] = 1
+                                    append(combined)
+                    if not matched and preserve_left:
+                        append(left_row + null_right)
             if out:
                 yield from chunk_rows(out, width, batch_size)
         if right_matched is not None:

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.executor.fusion import FusedPipelineNode
 from repro.executor.nodes import (
     FilterNode,
     HashAggregate,
@@ -57,7 +58,13 @@ def _pipeline_scan(node: PlanNode) -> Optional[SeqScan]:
             if current.predicate is not None and current.batch_predicates is None:
                 return None  # row-only predicate: no batch form to fork
             return current
-        if isinstance(current, FilterNode):
+        if isinstance(current, FusedPipelineNode):
+            # The fused kernel is pure per-chunk work over its bare
+            # scan; the chain's parallel_safe flags folded into the
+            # node's own at fusion time.
+            if not current.parallel_safe:
+                return None
+        elif isinstance(current, FilterNode):
             if not current.parallel_safe or current.batch_predicates is None:
                 return None
         elif isinstance(current, ProjectNode):

@@ -30,6 +30,7 @@ def make_planner(
     shared=None,
     parallel_workers: int = 1,
     morsel_size: Optional[int] = None,
+    fuse_pipelines: bool = True,
 ) -> PlannerBase:
     """The configured planner: cost-based (default) or legacy heuristic.
 
@@ -37,11 +38,14 @@ def make_planner(
     exchange-insertion post-pass (morsel-driven parallelism,
     :mod:`repro.parallel`); the heuristic planner always plans serial —
     it is the differential oracle for the parallel paths.
+    ``fuse_pipelines`` toggles the pipeline-fusion post-pass
+    (:mod:`repro.executor.fusion`; vectorized plans only).
     """
     cls = CostBasedPlanner if cost_based else HeuristicPlanner
     planner = cls(catalog, outer_varmaps, shared, vectorize=vectorize)
     planner.parallel_workers = parallel_workers
     planner.morsel_size = morsel_size
+    planner.fuse_pipelines = fuse_pipelines
     return planner
 
 

@@ -6,12 +6,21 @@ by: how many rows a filtered scan produces, how large a join output is,
 how many groups an aggregation collapses to.  Estimates follow the
 classic System-R recipes:
 
-* equality against a constant — ``1/ndv``;
-* range predicates — linear interpolation between the column's
-  ``min``/``max`` (numbers and dates);
-* equi-joins — ``|L|·|R| / max(ndv(l), ndv(r))`` per key pair, with
-  per-side NDVs clamped by the side's current row estimate (the
-  containment assumption);
+* equality against a constant — the MCV list when the value (or its
+  absence) is recorded there, ``1/ndv`` over the non-MCV remainder
+  otherwise;
+* range predicates — the MCV fractions satisfying the comparison plus
+  equi-depth histogram interpolation (numbers, dates *and* strings);
+  without a histogram, linear interpolation between ``min``/``max``;
+* ``LIKE`` against a constant pattern — a literal prefix becomes a
+  range probe over the string histogram; patterns without a usable
+  prefix are matched against the MCV values and histogram bounds as a
+  sample;
+* equi-joins — ``|L|·|R| / max(ndv(L keys), ndv(R keys))`` where each
+  side's key NDV is the product of its per-key NDVs clamped by the
+  side's current row estimate (the containment assumption, which also
+  kills the independence error on composite keys: a table cannot carry
+  more distinct key *combinations* than rows);
 * grouping — product of group-key NDVs capped by the input cardinality
   (``extract_year``/``month``/``day`` over a dated column use the value
   range — the shape of every TPC-H provenance aggregate).
@@ -62,6 +71,32 @@ def _clamp_sel(value: float) -> float:
     return min(1.0, max(_MIN_SEL, value))
 
 
+#: Sentinel distinguishing "not a constant" from a constant SQL NULL.
+_NO_CONST = object()
+
+
+def _const_value(expr: ex.Expr) -> Any:
+    """The value of a var-free constant expression, or :data:`_NO_CONST`.
+
+    Constant arithmetic can reach the planner unfolded — TPC-H's
+    ``DATE '1993-01-01' + INTERVAL '1' MONTH`` window bounds are the
+    canonical case — and treating it as opaque cost Q14 a 13× scan
+    misestimate.  Anything var-free and sublink-free evaluates with the
+    ordinary row compiler against no row at all."""
+    if isinstance(expr, ex.Const):
+        return expr.value
+    if not isinstance(expr, (ex.OpExpr, ex.FuncExpr)):
+        return _NO_CONST
+    if ex.collect_vars(expr) or ex.contains_sublink(expr):
+        return _NO_CONST
+    from repro.executor.expr_eval import ExprCompiler
+
+    try:
+        return ExprCompiler({}).compile(expr)(None, None)
+    except Exception:
+        return _NO_CONST
+
+
 class CostModel:
     """Selectivity/cardinality estimation over ANALYZE statistics."""
 
@@ -107,14 +142,21 @@ class CostModel:
             return (1.0 - frac) if e.negated else frac
         if isinstance(e, ex.LikeTest):
             if isinstance(e.pattern, ex.Const) and isinstance(e.pattern.value, str):
-                anchored = not e.pattern.value.startswith("%")
-                sel = DEFAULT_PREFIX_LIKE_SEL if anchored else DEFAULT_LIKE_SEL
+                stats = self._stats_for_var(e.arg, scope)
+                sel = _like_sel(stats, e.pattern.value)
             else:
                 sel = DEFAULT_LIKE_SEL
             return (1.0 - sel) if e.negated else sel
         if isinstance(e, ex.InList):
             stats = self._stats_for_var(e.arg, scope)
-            if stats is not None and stats.ndv > 0:
+            if stats is not None and all(
+                isinstance(item, ex.Const) for item in e.items
+            ):
+                sel = min(
+                    1.0,
+                    sum(_eq_sel(stats, item.value) for item in e.items),
+                )
+            elif stats is not None and stats.ndv > 0:
                 sel = min(1.0, len(e.items) / stats.ndv)
             else:
                 sel = min(1.0, DEFAULT_EQ_SEL * len(e.items))
@@ -135,8 +177,8 @@ class CostModel:
                 # Column-to-column equality within one relation set.
                 return 1.0 / max(left_stats.ndv, right_stats.ndv, 1)
             stats, const = self._var_const(left, right, left_stats, right_stats)
-            if stats is not None and stats.ndv > 0:
-                return 1.0 / stats.ndv
+            if stats is not None:
+                return _eq_sel(stats, const)
             return DEFAULT_EQ_SEL
         if op in ("<>", "<!=>"):
             eq = self._op_sel(
@@ -150,13 +192,55 @@ class CostModel:
             # Orient the operator as ``column op constant``.
             if self._stats_for_var(left, scope) is None:
                 op = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}[op]
-            fraction = _range_fraction(const, stats.min_value, stats.max_value)
-            if fraction is None:
+            sel = _range_sel(stats, const, op)
+            if sel is None:
                 return DEFAULT_RANGE_SEL
-            if op in ("<", "<="):
-                return fraction
-            return 1.0 - fraction
+            return sel
         return DEFAULT_SEL
+
+    def range_bound(
+        self, e: ex.Expr, scope: Scope
+    ) -> Optional[tuple[tuple[int, int], str, float]]:
+        """``((varno, attno), 'lo'|'hi', selectivity)`` when ``e`` is a
+        one-sided range bound on a plain column against a constant whose
+        selectivity the statistics can actually estimate; None otherwise.
+
+        Conjuncts are pushed (and estimated) one at a time, so without
+        pairing them up ``col >= lo AND col < hi`` multiplies two large
+        marginals instead of measuring the interval — TPC-H's one-month
+        windows (Q14's ``l_shipdate`` bounds) came out 13× too big.  The
+        caller pairs opposite bounds on the same column and replaces the
+        independence product with ``s_lo + s_hi - 1``.
+        """
+        scope = scope or {}
+        if not (isinstance(e, ex.OpExpr) and len(e.args) == 2):
+            return None
+        op = e.op
+        if op not in ("<", "<=", ">", ">="):
+            return None
+        left, right = e.args
+        left_stats = self._stats_for_var(left, scope)
+        right_stats = self._stats_for_var(right, scope)
+        if (left_stats is None) == (right_stats is None):
+            return None
+        stats, const = self._var_const(left, right, left_stats, right_stats)
+        if stats is None or const is None:
+            return None
+        if left_stats is None:
+            op = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}[op]
+            var = right
+        else:
+            var = left
+        sel = _range_sel(stats, const, op)
+        if sel is None:
+            return None
+        kind = "lo" if op in (">", ">=") else "hi"
+        return (var.varno, var.varattno), kind, sel
+
+    @staticmethod
+    def combine_range_bounds(lo: float, hi: float) -> float:
+        """Interval mass of paired lower/upper bound selectivities."""
+        return min(lo, hi, max(lo + hi - 1.0, _MIN_SEL))
 
     @staticmethod
     def _var_const(
@@ -166,10 +250,14 @@ class CostModel:
         right_stats: Optional[ColumnStats],
     ) -> tuple[Optional[ColumnStats], Optional[Any]]:
         """(column stats, constant value) for a var-vs-const comparison."""
-        if left_stats is not None and isinstance(right, ex.Const):
-            return left_stats, right.value
-        if right_stats is not None and isinstance(left, ex.Const):
-            return right_stats, left.value
+        if left_stats is not None:
+            value = _const_value(right)
+            if value is not _NO_CONST:
+                return left_stats, value
+        if right_stats is not None:
+            value = _const_value(left)
+            if value is not _NO_CONST:
+                return right_stats, value
         return None, None
 
     # -- join estimation -----------------------------------------------------
@@ -199,8 +287,16 @@ class CostModel:
             live, left.rtindexes, right.rtindexes
         )
         sel = 1.0
-        for lk, rk in zip(left_keys, right_keys):
-            sel *= 1.0 / max(self._key_ndv(lk, left), self._key_ndv(rk, right), 1.0)
+        if left_keys:
+            # Composite keys: the independence assumption (multiplying
+            # per-key selectivities) overstates the distinct-combination
+            # count; a side cannot carry more distinct key tuples than
+            # rows, so clamp each side's NDV product by its estimate.
+            ndv_l = ndv_r = 1.0
+            for lk, rk in zip(left_keys, right_keys):
+                ndv_l *= self._key_ndv(lk, left)
+                ndv_r *= self._key_ndv(rk, right)
+            sel = 1.0 / max(min(ndv_l, la), min(ndv_r, lb), 1.0)
         if residual:
             merged = {**(left.scope or {}), **(right.scope or {})}
             for c in residual:
@@ -279,6 +375,154 @@ def _year_span(stats: Optional[ColumnStats]) -> Optional[float]:
     ):
         return float(stats.max_value.year - stats.min_value.year + 1)
     return None
+
+
+def _eq_sel(stats: ColumnStats, value: Any) -> float:
+    """Selectivity of ``column = value`` from the MCV list + NDV.
+
+    An MCV hit returns the recorded fraction exactly.  A miss spreads
+    the non-NULL, non-MCV row mass uniformly over the remaining distinct
+    values — the classic PostgreSQL recipe.
+    """
+    if stats.mcv:
+        for mcv_value, frac in stats.mcv:
+            if mcv_value == value:
+                return frac
+        rest_ndv = stats.ndv - len(stats.mcv)
+        if rest_ndv <= 0:
+            # Every distinct value is in the MCV list; an absent
+            # constant matches (almost) nothing.
+            return _MIN_SEL
+        rest_frac = max(
+            0.0, 1.0 - stats.null_frac - stats.mcv_total_frac()
+        )
+        return rest_frac / rest_ndv
+    if stats.ndv > 0:
+        return 1.0 / stats.ndv
+    return DEFAULT_EQ_SEL
+
+
+def _range_sel(stats: ColumnStats, value: Any, op: str) -> Optional[float]:
+    """Selectivity of ``column op value`` (op oriented column-first)
+    from the MCV list and the equi-depth histogram; None when neither
+    the histogram nor min/max interpolation applies to the types."""
+    lower = op in ("<", "<=")
+    inclusive = op in ("<=", ">=")
+    mcv_part = 0.0
+    try:
+        for mcv_value, frac in stats.mcv:
+            if mcv_value == value:
+                if inclusive:
+                    mcv_part += frac
+            elif (mcv_value < value) is lower:
+                mcv_part += frac
+    except TypeError:
+        return None
+    if len(stats.histogram) >= 2:
+        below = _hist_fraction_below(stats.histogram, value)
+        if below is None:
+            return None
+        part = below if lower else 1.0 - below
+        return mcv_part + stats.histogram_frac * part
+    fraction = _range_fraction(value, stats.min_value, stats.max_value)
+    if fraction is None:
+        return None
+    rest = max(0.0, 1.0 - stats.null_frac - stats.mcv_total_frac())
+    return mcv_part + rest * (fraction if lower else 1.0 - fraction)
+
+
+def _hist_fraction_below(bounds: tuple, value: Any) -> Optional[float]:
+    """Fraction of histogram-covered rows strictly below ``value``:
+    complete buckets plus linear interpolation inside the straddling
+    bucket (positional 0.5 for strings, which do not interpolate)."""
+    try:
+        if value <= bounds[0]:
+            return 0.0
+        if value >= bounds[-1]:
+            return 1.0
+        import bisect
+
+        index = bisect.bisect_right(bounds, value) - 1
+    except TypeError:
+        return None
+    within = _range_fraction(value, bounds[index], bounds[index + 1])
+    if within is None:
+        within = 0.5
+    return (index + within) / (len(bounds) - 1)
+
+
+def _like_prefix(pattern: str) -> str:
+    """The literal prefix of a LIKE pattern (up to the first wildcard),
+    with escaped wildcards kept literal."""
+    prefix = []
+    i = 0
+    while i < len(pattern):
+        char = pattern[i]
+        if char in ("%", "_"):
+            break
+        if char == "\\" and i + 1 < len(pattern):
+            i += 1
+            char = pattern[i]
+        prefix.append(char)
+        i += 1
+    return "".join(prefix)
+
+
+def _like_sel(stats: Optional[ColumnStats], pattern: str) -> float:
+    """Selectivity of ``column LIKE 'pattern'`` against a constant.
+
+    With statistics, an anchored pattern becomes a range probe over the
+    string histogram: ``prefix <= col < prefix⁺`` (the prefix with its
+    last character incremented), multiplied by a residual factor when
+    wildcards follow the prefix.  Unanchored patterns are matched
+    against the MCV values exactly and against the histogram bounds as
+    a small sample.  Without statistics, the old magic constants.
+    """
+    prefix = _like_prefix(pattern)
+    anchored = bool(prefix)
+    usable = stats is not None and (stats.mcv or len(stats.histogram) >= 2)
+    if not usable:
+        return DEFAULT_PREFIX_LIKE_SEL if anchored else DEFAULT_LIKE_SEL
+    from repro.executor.expr_eval import _cached_like_regex
+
+    regex = _cached_like_regex(pattern)
+    matched = 0.0
+    sampled = 0.0
+    try:
+        for value, frac in stats.mcv:
+            sampled += frac
+            if isinstance(value, str) and regex.fullmatch(value) is not None:
+                matched += frac
+    except TypeError:  # pragma: no cover - non-string MCVs
+        return DEFAULT_LIKE_SEL
+    bounds = stats.histogram
+    if len(bounds) >= 2 and stats.histogram_frac > 0.0:
+        hist_done = False
+        if anchored and all(isinstance(b, str) for b in (bounds[0], bounds[-1])):
+            upper = prefix[:-1] + chr(ord(prefix[-1]) + 1)
+            below_hi = _hist_fraction_below(bounds, upper)
+            below_lo = _hist_fraction_below(bounds, prefix)
+            if below_hi is not None and below_lo is not None:
+                range_frac = max(0.0, below_hi - below_lo)
+                # An exact-prefix pattern ('PROMO%') is the range probe
+                # itself; trailing wildcards keep only part of it.
+                residual = 1.0 if pattern == prefix + "%" else DEFAULT_SEL
+                matched += stats.histogram_frac * range_frac * residual
+                hist_done = True
+        if not hist_done:
+            # No prefix range: treat the bucket bounds as a value
+            # sample — the fraction of bounds matching the pattern
+            # approximates the fraction of rows matching it.
+            hits = sum(
+                1
+                for b in bounds
+                if isinstance(b, str) and regex.fullmatch(b) is not None
+            )
+            matched += stats.histogram_frac * hits / len(bounds)
+        sampled += stats.histogram_frac
+    if sampled <= 0.0:
+        return DEFAULT_PREFIX_LIKE_SEL if anchored else DEFAULT_LIKE_SEL
+    return matched
 
 
 def _range_fraction(value: Any, lo: Any, hi: Any) -> Optional[float]:

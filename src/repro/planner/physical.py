@@ -115,7 +115,14 @@ class _Unit:
     cost model can see NDVs and value ranges across operator boundaries.
     """
 
-    __slots__ = ("plan", "varmap", "rtindexes", "from_subquery", "scope")
+    __slots__ = (
+        "plan",
+        "varmap",
+        "rtindexes",
+        "from_subquery",
+        "scope",
+        "range_bounds",
+    )
 
     def __init__(
         self,
@@ -129,6 +136,31 @@ class _Unit:
         self.varmap = varmap
         self.rtindexes = rtindexes
         self.from_subquery = from_subquery
+        self.scope = scope
+        # Tightest stats-backed range-bound selectivities pushed so far,
+        # per column: (varno, attno) -> {'lo': s, 'hi': s, 'applied': s}.
+        # The cost-based planner pairs opposite bounds on one column so
+        # their interval mass replaces the independence product.
+        self.range_bounds: Optional[dict] = None
+
+
+class _EstUnit:
+    """Cost-model stand-in for a joined operand subset during DP join
+    ordering: quacks like a placed :class:`_Unit` (``plan.estimate``,
+    ``rtindexes``, ``scope``) without emitting any plan nodes, so subset
+    enumeration stays estimation-only."""
+
+    __slots__ = ("plan", "rtindexes", "scope")
+
+    class _Estimate:
+        __slots__ = ("estimate",)
+
+    def __init__(
+        self, estimate: float, rtindexes: set[int], scope: Optional[dict]
+    ) -> None:
+        self.plan = _EstUnit._Estimate()
+        self.plan.estimate = float(max(estimate, 1.0))
+        self.rtindexes = rtindexes
         self.scope = scope
 
 
@@ -212,6 +244,11 @@ class PlannerBase:
     parallel_workers: int = 1
     #: Morsel size override for inserted exchanges (None = default).
     morsel_size: Optional[int] = None
+    #: Pipeline-fusion post-pass toggle (vectorized plans only): when
+    #: set, scan→filter→project chains collapse into one generated
+    #: kernel (:mod:`repro.executor.fusion`).  ``connect`` threads the
+    #: user's ``fuse_pipelines`` flag here through ``make_planner``.
+    fuse_pipelines: bool = True
 
     def __init__(
         self,
@@ -241,9 +278,11 @@ class PlannerBase:
 
     def _spawn(self, outer_varmaps: Optional[list[VarMap]] = None) -> "PlannerBase":
         """A child planner of the same concrete class."""
-        return type(self)(
+        child = type(self)(
             self.catalog, outer_varmaps, self.shared, vectorize=self.vectorize
         )
+        child.fuse_pipelines = self.fuse_pipelines
+        return child
 
     # -- decision hooks (answered by subclasses) ------------------------------
 
@@ -289,6 +328,16 @@ class PlannerBase:
         quals are skipped and its aggregation/projection/sort pipeline is
         planned on top of the given subplan.
         """
+        plan = self._plan_query(query, joined)
+        if self.vectorize and self.fuse_pipelines:
+            from repro.executor.fusion import fuse_pipelines
+
+            plan = fuse_pipelines(plan)
+        return plan
+
+    def _plan_query(
+        self, query: Query, joined: Optional["_Unit"] = None
+    ) -> PlanNode:
         if query.set_operations is not None:
             self.output_stats = None
             plan = self._plan_setop_query(query)
@@ -383,6 +432,8 @@ class PlannerBase:
             compiler.compile(conjunct),
             [batch] if batch is not None else None,
         )
+        if batch is not None:
+            node.fusion = (compiler.varmap, [conjunct])
         if not _expr_parallel_safe(conjunct):
             node.parallel_safe = False
         return node
@@ -390,16 +441,34 @@ class PlannerBase:
     def _push_conjunct(self, unit: "_Unit", conjunct: ex.Expr) -> None:
         """Compile a conjunct against a unit's layout and push it down."""
         compiler = self._compiler(unit.varmap)
-        self._push_filter(
-            unit,
-            compiler.compile(conjunct),
-            self._batch_compile(compiler, conjunct),
-        )
+        batch = self._batch_compile(compiler, conjunct)
+        self._push_filter(unit, compiler.compile(conjunct), batch)
+        self._note_fusion_conjunct(unit.plan, unit.varmap, conjunct, batch)
         if not _expr_parallel_safe(conjunct):
             # The push either merged into unit.plan (scan/filter) or
             # wrapped it in a fresh FilterNode; either way the node now
             # carrying this conjunct must not run inside a morsel worker.
             unit.plan.parallel_safe = False
+
+    @staticmethod
+    def _note_fusion_conjunct(
+        plan: PlanNode, varmap: VarMap, conjunct: ex.Expr, batch
+    ) -> None:
+        """Record a pushed conjunct's analyzed form on the node now
+        carrying it, in parallel with its batch kernel — the fusion
+        pass re-emits it as inline source.  A conjunct without a batch
+        form poisons the metadata exactly as it poisons batch mode."""
+        from repro.executor.nodes import SeqScan
+
+        if not isinstance(plan, (SeqScan, FilterNode)):
+            return
+        if batch is None or plan.batch_predicates is None:
+            plan.fusion = None
+            return
+        if plan.fusion is None:
+            plan.fusion = (varmap, [conjunct])
+        else:
+            plan.fusion[1].append(conjunct)
 
     # -- RTE plans ------------------------------------------------------------------
 
@@ -476,6 +545,8 @@ class PlannerBase:
                     compiler, target_exprs, slot_hints
                 ),
             )
+            if self.vectorize:
+                plan.fusion = (varmap, list(target_exprs))
             if not all(_expr_parallel_safe(e) for e in target_exprs):
                 plan.parallel_safe = False
         if query.distinct and not skip_distinct:
@@ -793,9 +864,15 @@ class PlannerBase:
                 batch_right_keys=self._batch_compile_all(
                     right_compiler, right_keys
                 ),
+                # Outer-join residuals ride the two-phase filter-then-
+                # reconcile kernel only in the fused configuration, so
+                # ``fuse_pipelines=False`` reproduces the pre-fusion
+                # executor (per-pair residual closures) for differential
+                # testing and benchmarking.
                 batch_residual=(
                     self._batch_compile(compiler, conjoin(residual))
                     if residual
+                    and (join_type == "inner" or self.fuse_pipelines)
                     else None
                 ),
             )
@@ -1134,6 +1211,24 @@ class CostBasedPlanner(PlannerBase):
         before = max(unit.plan.estimate, 1.0)
         super()._push_conjunct(unit, conjunct)
         sel = self._cost.conjunct_selectivity(conjunct, unit.scope)
+        bound = self._cost.range_bound(conjunct, unit.scope)
+        if bound is not None:
+            # Re-derive this column's combined selectivity from the
+            # tightest bounds seen so far and apply only the delta, so
+            # ``col >= lo AND col < hi`` contributes the interval mass
+            # rather than the product of two large marginals.
+            key, kind, bound_sel = bound
+            if unit.range_bounds is None:
+                unit.range_bounds = {}
+            bucket = unit.range_bounds.setdefault(key, {"applied": 1.0})
+            bucket[kind] = min(bound_sel, bucket.get(kind, 1.0))
+            lo, hi = bucket.get("lo"), bucket.get("hi")
+            if lo is not None and hi is not None:
+                desired = self._cost.combine_range_bounds(lo, hi)
+            else:
+                desired = lo if lo is not None else hi
+            sel = desired / bucket["applied"]
+            bucket["applied"] = desired
         unit.plan.estimate = max(before * sel, 1.0)
 
     def _annotate_join(
@@ -1193,7 +1288,148 @@ class CostBasedPlanner(PlannerBase):
             return right, left
         return left, right
 
+    #: Largest free inner-join set ordered by exact dynamic programming;
+    #: larger sets fall back to greedy operator ordering.  3^12 split
+    #: enumerations is the classic practical ceiling for DPsub.
+    DP_MAX_RELATIONS = 12
+
     def _order_joins(self, units: list[_Unit], pool: list[ex.Expr]) -> _Unit:
+        """Join ordering: exact DP over subsets, GOO above the cutoff.
+
+        Up to :data:`DP_MAX_RELATIONS` operands the order is chosen by
+        dynamic programming over operand subsets (DPsub), minimizing the
+        summed per-join score of the whole tree — the same
+        :meth:`CostModel.pair_score` GOO minimizes one merge at a time,
+        so the two planners agree whenever greedy happens to be optimal
+        and differ exactly where greediness loses.  Larger sets keep the
+        O(n³)-per-round greedy ordering.
+        """
+        if 2 <= len(units) <= self.DP_MAX_RELATIONS:
+            return self._order_joins_dp(units, pool)
+        return self._order_joins_goo(units, pool)
+
+    def _order_joins_dp(self, units: list[_Unit], pool: list[ex.Expr]) -> _Unit:
+        """Exact bushy join ordering by dynamic programming over subsets.
+
+        Enumeration is estimate-only: each subset's entry carries a
+        cost-model stand-in (estimate, rtindexes, statistics scope)
+        rather than a built plan, and the winning tree is reconstructed
+        through :meth:`_join_units` afterwards so plan emission stays on
+        the single shared path.  A pool conjunct is consumed at the
+        unique join where its referenced operands first land in one
+        subtree; conjuncts referencing a single operand are filtered
+        onto it up front, var-free leftovers wrap the final plan — the
+        same placement rules GOO applies incrementally.  Cost entries
+        are ``(cartesian joins, summed pair score)`` so connected splits
+        beat cross products lexicographically, mirroring GOO's
+        connected-first rule; when any connected split exists for a
+        subset, cartesian splits are not even scored.
+        """
+        n = len(units)
+        bit_of = {}
+        for i, unit in enumerate(units):
+            for rtindex in unit.rtindexes:
+                bit_of[rtindex] = i
+
+        # Partition the pool: per-conjunct operand masks for join-level
+        # placement, single-operand conjuncts pushed as filters now,
+        # var-free conjuncts saved for a final wrapping filter.
+        conjunct_masks: list[tuple[ex.Expr, int]] = []
+        stragglers: list[ex.Expr] = []
+        for conjunct in pool:
+            mask = 0
+            for var in ex.collect_vars(conjunct):
+                bit = bit_of.get(var.varno)
+                if bit is None:
+                    # References something outside the free join set
+                    # (GOO never consumes these either): final filter.
+                    mask = 0
+                    break
+                mask |= 1 << bit
+            if mask == 0:
+                stragglers.append(conjunct)
+            elif mask & (mask - 1) == 0:
+                unit = units[mask.bit_length() - 1]
+                before = max(unit.plan.estimate, 1.0)
+                unit.plan = self._filter_node(
+                    unit.plan, self._compiler(unit.varmap), conjunct
+                )
+                sel = self._cost.conjunct_selectivity(conjunct, unit.scope)
+                unit.plan.estimate = max(before * sel, 1.0)
+            else:
+                conjunct_masks.append((conjunct, mask))
+
+        def conds_for(mask: int, sub: int, other: int) -> list[ex.Expr]:
+            return [
+                c
+                for c, bits in conjunct_masks
+                if bits & ~mask == 0 and bits & ~sub and bits & ~other
+            ]
+
+        # best[mask] -> (cost, split submask or 0, conds, est stand-in)
+        best: dict[int, tuple[tuple[int, float], int, list, _EstUnit]] = {}
+        for i, unit in enumerate(units):
+            best[1 << i] = (
+                (0, 0.0),
+                0,
+                [],
+                _EstUnit(unit.plan.estimate, unit.rtindexes, unit.scope),
+            )
+        for mask in range(1, 1 << n):
+            if mask & (mask - 1) == 0 or mask in best:
+                continue
+            low = mask & -mask
+            splits: list[tuple[int, int, list[ex.Expr]]] = []
+            connected_only = False
+            sub = (mask - 1) & mask
+            while sub:
+                # Canonical halves: the lowest operand stays in ``sub``.
+                if sub & low and (mask ^ sub) in best and sub in best:
+                    other = mask ^ sub
+                    conds = conds_for(mask, sub, other)
+                    if conds and not connected_only:
+                        connected_only = True
+                        splits = []
+                    if bool(conds) == connected_only:
+                        splits.append((sub, other, conds))
+                sub = (sub - 1) & mask
+            choice = None
+            for sub, other, conds in splits:
+                (cart_a, score_a), _, _, est_a = best[sub]
+                (cart_b, score_b), _, _, est_b = best[other]
+                score = self._cost.pair_score(est_a, est_b, conds)
+                cost = (
+                    cart_a + cart_b + (0 if conds else 1),
+                    score_a + score_b + score,
+                )
+                if choice is None or cost < choice[0]:
+                    estimate = self._cost.join_estimate(
+                        est_a, est_b, conds, "inner"
+                    )
+                    scope = {**(est_a.scope or {}), **(est_b.scope or {})}
+                    merged = _EstUnit(
+                        estimate,
+                        est_a.rtindexes | est_b.rtindexes,
+                        scope or None,
+                    )
+                    choice = (cost, sub, conds, merged)
+            assert choice is not None
+            best[mask] = choice
+
+        def build(mask: int) -> _Unit:
+            cost, sub, conds, _est = best[mask]
+            if sub == 0:
+                return units[mask.bit_length() - 1]
+            return self._join_units(build(sub), build(mask ^ sub), "inner", conds)
+
+        current = build((1 << n) - 1)
+        for conjunct in stragglers:
+            current.plan = self._filter_node(
+                current.plan, self._compiler(current.varmap), conjunct
+            )
+        return current
+
+    def _order_joins_goo(self, units: list[_Unit], pool: list[ex.Expr]) -> _Unit:
         """Greedy operator ordering by estimated output cardinality.
 
         Each round scores every operand pair — connected pairs (some

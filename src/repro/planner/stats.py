@@ -16,6 +16,7 @@ a truncate (new ``epoch``) invalidates the entry; plain appends do not
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass, field
 from typing import Any, Optional, TYPE_CHECKING
 
@@ -27,25 +28,46 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 #: bounding ANALYZE memory on wide-text columns of large heaps.
 MAX_TRACKED_DISTINCT = 131072
 
+#: Most-common-value list size.  A value makes the list only when it
+#: repeats and (for high-NDV columns) occurs more often than average, so
+#: unique-key columns carry no MCV list at all.
+MCV_LIST_SIZE = 10
+
+#: Equi-depth histogram resolution: each bucket holds ~1/32 of the
+#: non-NULL, non-MCV rows.
+HISTOGRAM_BUCKETS = 32
+
 
 @dataclass
 class ColumnStats:
     """One column's statistics snapshot.
 
     ``ndv`` counts distinct non-NULL values; ``min_value``/``max_value``
-    are populated only for orderable types (numbers, strings, dates) and
-    drive range-predicate interpolation.
+    are populated only for orderable types (numbers, strings, dates).
+
+    ``mcv`` is the most-common-value list as ``(value, fraction)`` pairs
+    where the fraction is of *all* rows (so NULLs and MCVs and the
+    histogram mass sum to ~1).  ``histogram`` holds equi-depth bucket
+    bounds over the remaining (non-NULL, non-MCV) orderable values, and
+    ``histogram_frac`` is the fraction of all rows those buckets cover.
     """
 
     ndv: int = 0
     null_frac: float = 0.0
     min_value: Optional[Any] = None
     max_value: Optional[Any] = None
+    mcv: tuple = ()
+    histogram: tuple = ()
+    histogram_frac: float = 0.0
+
+    def mcv_total_frac(self) -> float:
+        return sum(frac for _, frac in self.mcv)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"ColumnStats(ndv={self.ndv}, nulls={self.null_frac:.3f}, "
-            f"range=[{self.min_value!r}, {self.max_value!r}])"
+            f"range=[{self.min_value!r}, {self.max_value!r}], "
+            f"mcv={len(self.mcv)}, hist={max(len(self.histogram) - 1, 0)})"
         )
 
 
@@ -79,11 +101,13 @@ def _orderable(value: Any) -> bool:
 
 
 def collect_table_stats(table: "Table") -> TableStats:
-    """One full pass over the heap: per-column NDV, nulls, min/max.
+    """One full pass over the heap: per-column NDV, nulls, min/max,
+    most-common values, and an equi-depth histogram.
 
     Heaps are transposed through the table's columnar cache, so the
-    per-column loops run over plain lists (one C-level ``set()`` build
-    per column up to :data:`MAX_TRACKED_DISTINCT` values).
+    per-column loops run over plain lists (one C-level ``Counter`` build
+    per column over up to :data:`MAX_TRACKED_DISTINCT` values; larger
+    columns are sampled by prefix and extrapolated).
     """
     rows = table.row_count()
     stats = TableStats(
@@ -103,9 +127,14 @@ def collect_table_stats(table: "Table") -> TableStats:
         if not non_null:
             stats.columns[name.lower()] = ColumnStats(null_frac=1.0)
             continue
-        if len(non_null) > MAX_TRACKED_DISTINCT:
-            sample = non_null[:MAX_TRACKED_DISTINCT]
-            seen = len(set(sample))
+        sample = (
+            non_null
+            if len(non_null) <= MAX_TRACKED_DISTINCT
+            else non_null[:MAX_TRACKED_DISTINCT]
+        )
+        counts = Counter(sample)
+        seen = len(counts)
+        if len(sample) < len(non_null):
             # Extrapolate: if the sample looks unique, assume the column
             # is; otherwise scale the sample's distinct ratio.
             ndv = (
@@ -114,7 +143,7 @@ def collect_table_stats(table: "Table") -> TableStats:
                 else max(1, int(seen / len(sample) * len(non_null)))
             )
         else:
-            ndv = len(set(non_null))
+            ndv = seen
         probe = non_null[0]
         if _orderable(probe):
             try:
@@ -123,10 +152,72 @@ def collect_table_stats(table: "Table") -> TableStats:
                 min_value = max_value = None
         else:
             min_value = max_value = None
+        non_null_frac = len(non_null) / rows
+        mcv = _collect_mcv(counts, len(sample), seen, non_null_frac)
+        histogram, histogram_frac = _collect_histogram(
+            counts, {v for v, _ in mcv}, len(sample), non_null_frac
+        )
         stats.columns[name.lower()] = ColumnStats(
             ndv=ndv,
             null_frac=null_frac,
             min_value=min_value,
             max_value=max_value,
+            mcv=mcv,
+            histogram=histogram,
+            histogram_frac=histogram_frac,
         )
     return stats
+
+
+def _collect_mcv(
+    counts: Counter, sample_size: int, seen: int, non_null_frac: float
+) -> tuple:
+    """The most-common-value list as ``(value, fraction-of-all-rows)``.
+
+    Singletons never qualify (a value seen once is not "common"), and on
+    high-NDV columns a value must beat the average frequency — so a
+    uniform column (every TPC-H key) carries no MCV list and estimation
+    falls through to NDV/histogram arithmetic.  Low-NDV columns keep
+    every repeating value, making equality estimates exact.
+    """
+    mcv = []
+    for value, count in counts.most_common(MCV_LIST_SIZE):
+        if count <= 1:
+            break
+        if seen > MCV_LIST_SIZE and count * seen <= sample_size:
+            break  # most_common is descending: the rest fail too
+        mcv.append((value, count / sample_size * non_null_frac))
+    return tuple(mcv)
+
+
+def _collect_histogram(
+    counts: Counter, mcv_values: set, sample_size: int, non_null_frac: float
+) -> tuple[tuple, float]:
+    """Equi-depth bucket bounds over the non-MCV values.
+
+    Returns ``(bounds, fraction-of-all-rows-covered)``; bounds are
+    ``HISTOGRAM_BUCKETS + 1`` values (fewer when the column has fewer
+    distinct values) with each adjacent pair delimiting ~equal row mass.
+    Non-orderable or mixed-type columns get no histogram.
+    """
+    remaining = [(v, c) for v, c in counts.items() if v not in mcv_values]
+    if len(remaining) < 2 or not _orderable(remaining[0][0]):
+        return (), 0.0
+    try:
+        remaining.sort()
+    except TypeError:  # mixed types: no meaningful order
+        return (), 0.0
+    total = sum(c for _, c in remaining)
+    buckets = min(HISTOGRAM_BUCKETS, len(remaining) - 1)
+    bounds = [remaining[0][0]]
+    cumulative = 0
+    threshold = 1
+    for value, count in remaining:
+        cumulative += count
+        while threshold <= buckets and cumulative * buckets >= threshold * total:
+            # A single heavy value can cross several thresholds; it
+            # still contributes one bound (buckets merely go unequal).
+            if value != bounds[-1]:
+                bounds.append(value)
+            threshold += 1
+    return tuple(bounds), total / sample_size * non_null_frac

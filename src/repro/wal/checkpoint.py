@@ -196,6 +196,14 @@ def _encode_stats(stats, table: Table) -> dict:
                 "null_frac": col.null_frac,
                 "min": encode_value(col.min_value),
                 "max": encode_value(col.max_value),
+                # Histogram bounds and MCV entries round-trip exactly so
+                # replay plans (and re-ANALYZE decisions) match the
+                # crashed process.
+                "mcv": [
+                    [encode_value(value), frac] for value, frac in col.mcv
+                ],
+                "hist": [encode_value(bound) for bound in col.histogram],
+                "hist_frac": col.histogram_frac,
             }
             for name, col in stats.columns.items()
         },
@@ -214,6 +222,14 @@ def _decode_stats(encoded: dict, table: Table):
                 null_frac=col["null_frac"],
                 min_value=decode_value(col["min"]),
                 max_value=decode_value(col["max"]),
+                mcv=tuple(
+                    (decode_value(value), frac)
+                    for value, frac in col.get("mcv", ())
+                ),
+                histogram=tuple(
+                    decode_value(bound) for bound in col.get("hist", ())
+                ),
+                histogram_frac=col.get("hist_frac", 0.0),
             )
             for name, col in encoded["columns"].items()
         },

@@ -1,0 +1,128 @@
+"""Unit tests for pipeline-fused kernel codegen (repro.executor.fusion).
+
+The differential guarantees live in test_fused_differential.py; these
+tests pin the mechanics: which chains fuse, which fall back, how the
+toggle threads through connect()/the shell, and that the fused node
+composes with EXPLAIN instrumentation and morsel parallelism.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.executor.fusion import FusedPipelineNode, fuse_pipelines
+from repro.executor.nodes import SeqScan
+
+
+@pytest.fixture()
+def db():
+    database = repro.connect()
+    database.execute("CREATE TABLE t (a integer, b integer, s text)")
+    database.execute(
+        "INSERT INTO t VALUES (1, 2, 'ab'), (3, 4, 'ba'), "
+        "(NULL, 5, NULL), (7, 0, 'abc')"
+    )
+    return database
+
+
+def test_explain_shows_fused_boundary(db):
+    plan = db.explain("SELECT a + b FROM t WHERE a > 1 AND b < 5")
+    assert "FusedPipeline [2 preds -> 1 cols]" in plan
+    assert "SeqScan on t" in plan
+
+
+def test_fused_results_correct(db):
+    result = db.execute("SELECT a + b FROM t WHERE a > 1 AND b < 5")
+    assert sorted(result.rows) == [(7,), (7,)]
+
+
+def test_explain_analyze_instruments_fused_node(db):
+    plan = db.explain("SELECT a FROM t WHERE a > 1", analyze=True)
+    assert "FusedPipeline" in plan
+    assert "actual rows=2" in plan
+
+
+def test_toggle_disables_fusion(db):
+    db.fuse_pipelines_enabled = False
+    assert "FusedPipeline" not in db.explain("SELECT a FROM t WHERE a > 1")
+    db.fuse_pipelines_enabled = True
+    assert "FusedPipeline" in db.explain("SELECT a FROM t WHERE a > 1")
+
+
+def test_connect_flag_disables_fusion():
+    db = repro.connect(fuse_pipelines=False)
+    db.execute("CREATE TABLE t (a integer)")
+    db.execute("INSERT INTO t VALUES (1), (2)")
+    assert "FusedPipeline" not in db.explain("SELECT a FROM t WHERE a > 1")
+    assert db.execute("SELECT a FROM t WHERE a > 1").rows == [(2,)]
+
+
+def test_row_engine_never_fuses(db):
+    db.vectorize_enabled = False
+    assert "FusedPipeline" not in db.explain("SELECT a FROM t WHERE a > 1")
+
+
+def test_projection_only_chain_not_fused(db):
+    # No predicate: nothing to fuse — the zero-copy column paths of the
+    # per-operator pipeline are already optimal.
+    assert "FusedPipeline" not in db.explain("SELECT a FROM t")
+
+
+def test_row_only_predicate_falls_back(db):
+    # A sublink in WHERE has no batch form: the conjunct poisons the
+    # fusion metadata and the plan keeps per-operator execution.
+    sql = "SELECT a FROM t WHERE a = (SELECT min(b) FROM t)"
+    assert "FusedPipeline" not in db.explain(sql)
+    assert db.execute(sql).rows == []
+
+
+def test_fused_node_row_protocol_matches_batches(db):
+    # The fused node's run() delegates to the unfused fallback chain, so
+    # row-protocol consumers (e.g. conditional nested loops) still work.
+    from repro.executor.context import ExecContext
+    from repro.sql.parser import parse_sql
+
+    (stmt,) = parse_sql("SELECT a + b FROM t WHERE a > 1 AND b < 5")
+    query, _ = db._analyze_and_rewrite(stmt)
+    plan = db._backend._plan(query)
+    assert isinstance(plan, FusedPipelineNode)
+    rows = list(plan.run(ExecContext(vectorized=True)))
+    batch_rows = [
+        row
+        for chunk in plan.run_batches(ExecContext(vectorized=True))
+        for row in chunk.rows()
+    ]
+    assert sorted(rows) == sorted(batch_rows) == [(7,), (7,)]
+
+
+def test_fuse_pass_leaves_unfusible_plans_alone(db):
+    scan = SeqScan(db.catalog.table("t"), ["a", "b", "s"])
+    assert fuse_pipelines(scan) is scan
+
+
+def test_fusion_composes_with_morsel_parallelism():
+    db = repro.connect(parallel_workers=2)
+    db.execute("CREATE TABLE big (a integer, b integer)")
+    db.load_table("big", [(i, i % 7) for i in range(20000)])
+    db.execute("ANALYZE")
+    sql = "SELECT a + b FROM big WHERE b = 3 AND a < 15000"
+    plan = db.explain(sql)
+    assert "Exchange" in plan and "FusedPipeline" in plan
+    expected = sorted((a + a % 7,) for a in range(15000) if a % 7 == 3)
+    assert sorted(db.execute(sql).rows) == expected
+
+
+def test_shell_fuse_meta_command(capsys):
+    from repro.__main__ import _handle_meta
+
+    db = repro.connect()
+    _handle_meta(db, "\\fuse off")
+    assert db.fuse_pipelines_enabled is False
+    _handle_meta(db, "\\fuse on")
+    assert db.fuse_pipelines_enabled is True
+    _handle_meta(db, "\\fuse bogus")
+    out = capsys.readouterr().out
+    assert "pipeline fusion: off" in out
+    assert "pipeline fusion: on" in out
+    assert "usage" in out

@@ -131,12 +131,15 @@ def test_null_and_composite_selectivity(db):
 
 def test_in_list_selectivity(db):
     # The analyzer normalizes small IN lists to OR-of-equalities, so the
-    # estimate composes three 1/ndv terms with the overlap correction.
+    # estimate composes per-value equality terms with the overlap
+    # correction.  label's values come from the MCV list, whose
+    # fractions are of *all* rows — 20% NULLs leave each of the 4
+    # labels at 0.2, sharper than the NULL-blind 1/ndv = 0.25.
     assert _selectivity(db, "grp IN (1, 2, 3)") == pytest.approx(
         1.0 - (1.0 - 0.1) ** 3
     )
     assert _selectivity(db, "label IN ('label0', 'label1')") == pytest.approx(
-        1.0 - (1.0 - 0.25) ** 2
+        1.0 - (1.0 - 0.2) ** 2
     )
 
 
@@ -237,3 +240,127 @@ def test_scan_chunks_honors_batch_size_with_cached_columns():
     assert narrow == sizes
     whole = list(table.scan_chunks(batch_size=2048))
     assert len(whole) == 1
+
+
+# ---------------------------------------------------------------------------
+# Histograms, MCV lists, and LIKE selectivity
+# ---------------------------------------------------------------------------
+
+
+def test_collect_mcv_on_skewed_column(db):
+    db.execute("CREATE TABLE skew (v integer)")
+    # 600 copies of 0, 200 of 1, 200 spread uniquely.
+    db.load_table(
+        "skew",
+        [(0,)] * 600 + [(1,)] * 200 + [(i + 100,) for i in range(200)],
+    )
+    stats = collect_table_stats(db.catalog.table("skew"))
+    mcv = dict(stats.column("v").mcv)
+    assert mcv[0] == pytest.approx(0.6)
+    assert mcv[1] == pytest.approx(0.2)
+    # Unique tail values never make the list.
+    assert all(value in (0, 1) for value in mcv)
+
+
+def test_unique_column_has_no_mcv_but_histogram(db):
+    stats = collect_table_stats(db.catalog.table("facts"))
+    k = stats.column("k")
+    assert k.mcv == ()
+    assert len(k.histogram) >= 2
+    assert k.histogram_frac == pytest.approx(1.0)
+    # Equi-depth over uniform [0, 999]: bounds spread evenly.
+    assert k.histogram[0] == 0 and k.histogram[-1] == 999
+    mid = k.histogram[len(k.histogram) // 2]
+    assert mid == pytest.approx(500, abs=60)
+
+
+def test_mcv_equality_beats_uniform_assumption(db):
+    db.execute("CREATE TABLE skew (v integer)")
+    db.load_table(
+        "skew",
+        [(0,)] * 600 + [(1,)] * 200 + [(i + 100,) for i in range(200)],
+    )
+    db.analyze()
+    model = CostModel(db.catalog)
+    scope = {(0, 0): db.catalog.stats_for("skew").column("v")}
+    query = Analyzer(db.catalog).analyze(
+        parse_statement("SELECT v FROM skew WHERE v = 0")
+    )
+    # The uniform 1/ndv guess would say ~0.5%; the MCV list knows 60%.
+    assert model.conjunct_selectivity(
+        query.jointree.quals, scope
+    ) == pytest.approx(0.6)
+
+
+def test_histogram_range_beats_minmax_interpolation(db):
+    db.execute("CREATE TABLE lop (v integer)")
+    # 990 values in [0, 99], 10 outliers at 1e6: min/max interpolation
+    # would put "v < 100" at ~0.01%; the equi-depth histogram sees ~99%.
+    db.load_table(
+        "lop", [(i % 100,) for i in range(990)] + [(1_000_000,)] * 10
+    )
+    db.analyze()
+    model = CostModel(db.catalog)
+    scope = {(0, 0): db.catalog.stats_for("lop").column("v")}
+    query = Analyzer(db.catalog).analyze(
+        parse_statement("SELECT v FROM lop WHERE v < 100")
+    )
+    assert model.conjunct_selectivity(query.jointree.quals, scope) > 0.8
+
+
+def test_like_prefix_selectivity_from_histogram(db):
+    # label values: label0..label3 on 80% of rows ('label%' matches all
+    # of them), NULLs on the rest.
+    assert _selectivity(db, "label LIKE 'label%'") == pytest.approx(
+        0.8, abs=0.05
+    )
+    assert _selectivity(db, "label LIKE 'zzz%'") < 0.01
+    # A narrower prefix keeps only one of the four labels.
+    assert _selectivity(db, "label LIKE 'label0%'") == pytest.approx(
+        0.2, abs=0.05
+    )
+
+
+def test_like_unanchored_matches_value_sample(db):
+    # '%bel0%' matches label0 only: the MCV/bound sample pins ~20%.
+    assert _selectivity(db, "label LIKE '%bel0%'") == pytest.approx(
+        0.2, abs=0.07
+    )
+    # Matches every non-NULL label.
+    assert _selectivity(db, "label LIKE '%label%'") == pytest.approx(
+        0.8, abs=0.07
+    )
+
+
+def test_histograms_survive_wal_checkpoint(tmp_path):
+    db = repro.connect(wal_dir=str(tmp_path))
+    db.execute("CREATE TABLE t (v integer, s text)")
+    db.load_table(
+        "t", [(i % 7, f"s{i % 3}") for i in range(300)] + [(None, None)] * 30
+    )
+    db.execute("ANALYZE")
+    before = db.catalog.stats_for("t").column("v")
+    db.checkpoint()
+    db.close()
+    revived = repro.connect(wal_dir=str(tmp_path))
+    after = revived.catalog.stats_for("t").column("v")
+    assert after is not None
+    assert after.mcv == before.mcv
+    assert after.histogram == before.histogram
+    assert after.histogram_frac == pytest.approx(before.histogram_frac)
+    assert after.null_frac == pytest.approx(before.null_frac)
+
+
+def test_range_pair_estimates_interval_mass(db):
+    db.analyze()
+    # Independent marginals would say 0.35·0.40 = 14%; the paired
+    # bounds measure the [250, 350) interval: ~10%.
+    plan = _plan(db, "SELECT k FROM facts WHERE k >= 250 AND k < 350")
+    assert plan.estimate == pytest.approx(100, rel=0.25)
+    # Folded constant arithmetic on the bound still pairs up.
+    plan = _plan(
+        db,
+        "SELECT k FROM facts WHERE day >= date '2020-01-21' "
+        "AND day < date '2020-01-21' + INTERVAL '10' DAY",
+    )
+    assert plan.estimate == pytest.approx(100, rel=0.35)
