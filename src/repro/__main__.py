@@ -26,6 +26,9 @@ Inside the shell, end statements with ``;``.  Meta commands:
 * ``\\semirings`` list registered semirings and rewrite strategies,
 * ``\\backend [name]`` show or switch the execution backend
   (``python`` / ``sqlite``),
+* ``\\shards`` sharded-backend status: per-table partitioning, scatter
+  and pruning counters, per-shard row/query tallies (requires
+  ``--shards``),
 * ``\\server [start [port]|stats|stop]`` manage a background query
   server on this database (``repro.server`` wire protocol),
 * ``\\wal`` write-ahead-log status and last recovery report (requires
@@ -48,7 +51,21 @@ import repro
 from repro.errors import PermError
 
 
+def _parse_shard_keys(specs: list[str] | None) -> dict[str, str | None] | None:
+    """``--shard-key table=col`` pairs as a dict (``table=`` replicates)."""
+    if not specs:
+        return None
+    keys: dict[str, str | None] = {}
+    for spec in specs:
+        table, eq, column = spec.partition("=")
+        if not table or not eq:
+            raise PermError(f"--shard-key expects TABLE=COLUMN, got {spec!r}")
+        keys[table.strip()] = column.strip() or None
+    return keys
+
+
 def _build_database(args: argparse.Namespace) -> repro.PermDatabase:
+    shard_keys = _parse_shard_keys(args.shard_key)
     if args.tpch is not None:
         from repro.tpch.dbgen import tpch_database
 
@@ -58,17 +75,33 @@ def _build_database(args: argparse.Namespace) -> repro.PermDatabase:
             wal_dir=args.wal_dir,
             wal_sync=args.wal_sync,
         )
-        if args.backend != "python":
+        if args.shards is not None:
+            from repro.sharding.backend import ShardedBackend
+
+            def sharded(catalog, _child=args.backend):
+                return ShardedBackend(
+                    catalog,
+                    shards=args.shards,
+                    shard_keys=shard_keys,
+                    child=_child,
+                )
+
+            db.set_backend(sharded)
+        elif args.backend != "python":
             db.set_backend(args.backend)
         db.optimizer_enabled = not args.no_optimize
         db.vectorize_enabled = not args.no_vectorize
         db.cost_based_enabled = not args.no_cost_based
+        db.parallel_executor = args.executor
         return db
     db = repro.connect(
         backend=args.backend,
         optimize=not args.no_optimize,
         vectorize=not args.no_vectorize,
         cost_based=not args.no_cost_based,
+        parallel_executor=args.executor,
+        shards=args.shards,
+        shard_keys=shard_keys,
         wal_dir=args.wal_dir,
         wal_sync=args.wal_sync,
     )
@@ -280,6 +313,48 @@ def _handle_meta(db: repro.PermDatabase, line: str) -> bool:
             print(f" {marker} {name}")
         print(f"active: {db.backend.describe()}")
         return True
+    if command == "\\shards":
+        stats = getattr(db.backend, "scatter_stats", None)
+        if stats is None:
+            print(
+                "backend is not sharded (start with --shards N or "
+                "connect(shards=N))"
+            )
+            return True
+        info = stats()
+        print(
+            f"{info['shards']} {info['child_backend']} shard(s), "
+            f"{info['executor']} scatter"
+        )
+        print(
+            f"  queries: {info['scattered']} scattered "
+            f"({info['pruned_queries']} pruned), "
+            f"{info['local_fallbacks']} local fallbacks"
+        )
+        for kind, count in sorted(info["fallback_reasons"].items()):
+            print(f"    fallback {kind}: {count}")
+        for shard_id, per in enumerate(info["per_shard"]):
+            print(
+                f"  shard {shard_id}: {per['queries']} queries, "
+                f"{per['rows']} rows returned"
+            )
+        part = info["partitioner"]
+        print(
+            f"  partitioner: {part['full_loads']} full loads, "
+            f"{part['delta_syncs']} delta syncs, "
+            f"{part['appended_rows']} rows appended"
+        )
+        for table in db.backend.partitioner.describe_tables():
+            if table["replicated"]:
+                placement = "replicated to every shard"
+            else:
+                placement = f"hash({table['shard_key']})"
+            counts = "/".join(str(n) for n in table["shard_rows"])
+            print(
+                f"  {table['table']}: {placement}, "
+                f"{table['rows']} rows ({counts})"
+            )
+        return True
     if command == "\\matviews":
         from repro.matview import maintenance
 
@@ -320,7 +395,7 @@ def _handle_meta(db: repro.PermDatabase, line: str) -> bool:
         "unknown meta command "
         f"{command!r} (\\q, \\d, \\rewrite, \\explain, \\explain+, "
         "\\optimize, \\vectorize, \\fuse, \\costbased, \\parallel, \\analyze, "
-        "\\stats, \\matviews, \\semirings, \\backend, \\server, "
+        "\\stats, \\matviews, \\semirings, \\backend, \\shards, \\server, "
         "\\wal, \\checkpoint)"
     )
     return True
@@ -351,6 +426,17 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--workers", type=int, default=1, metavar="N",
                         help="morsel-driven parallel workers (1 = serial, "
                              "0 = one per core)")
+    parser.add_argument("--executor", default="thread",
+                        choices=["thread", "process", "serial"],
+                        help="worker-pool strategy for parallel morsels "
+                             "and shard scatter (default: thread)")
+    parser.add_argument("--shards", type=int, default=None, metavar="N",
+                        help="hash-partition tables over N shard backends "
+                             "and scatter-gather queries across them")
+    parser.add_argument("--shard-key", action="append", default=None,
+                        metavar="TABLE=COL",
+                        help="override a table's shard key (repeatable; "
+                             "TABLE= replicates the table to every shard)")
     parser.add_argument("--serve", type=int, default=None, metavar="PORT",
                         help="serve the database over TCP instead of "
                              "starting the shell")
@@ -403,7 +489,8 @@ def main(argv: list[str] | None = None) -> int:
         "\\optimize [on|off], \\vectorize [on|off], \\fuse [on|off], "
         "\\costbased [on|off], "
         "\\parallel [off|N], \\analyze [table], \\stats, \\matviews, "
-        "\\semirings, \\backend [name], \\server [start|stats|stop]"
+        "\\semirings, \\backend [name], \\shards, "
+        "\\server [start|stats|stop]"
     )
     buffer = ""
     while True:

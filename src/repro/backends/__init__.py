@@ -7,6 +7,9 @@ The compile pipeline (parse → analyze → provenance-rewrite) is shared;
 * ``sqlite`` — deparse to SQLite SQL and execute on an embedded
   ``sqlite3`` database, the paper's "q+ is an ordinary SQL query the
   DBMS executes" deployment model.
+* ``sharded`` — hash-partitioned scatter-gather over N child backends
+  with a semiring-native gather merge (``docs/sharding.md``); usually
+  constructed through ``repro.connect(shards=N, shard_keys={...})``.
 
 Select a backend with ``PermDatabase(backend="sqlite")``, switch at
 runtime with ``PermDatabase.set_backend``, or register your own::
@@ -68,9 +71,16 @@ def create_backend(spec: BackendSpec, catalog) -> ExecutionBackend:
 register_backend(PythonBackend)
 register_backend(SqliteBackend)
 
+# Imported after the registry exists: the sharded backend builds its
+# children through create_backend.
+from repro.sharding.backend import ShardedBackend  # noqa: E402
+
+register_backend(ShardedBackend)
+
 __all__ = [
     "ExecutionBackend",
     "PythonBackend",
+    "ShardedBackend",
     "SqliteBackend",
     "BackendSpec",
     "backend_names",

@@ -50,6 +50,7 @@ class PythonBackend(ExecutionBackend):
         parallel_workers: int = 1,
         morsel_size: Optional[int] = None,
         fuse_pipelines: bool = True,
+        parallel_executor: str = "thread",
     ) -> None:
         super().__init__(catalog)
         self.vectorize = vectorize
@@ -63,6 +64,9 @@ class PythonBackend(ExecutionBackend):
         self.parallel_workers = parallel_workers
         #: Morsel granularity override (None = repro.parallel default).
         self.morsel_size = morsel_size
+        #: Worker-pool strategy for exchange dispatch: ``thread``
+        #: (default), ``process`` (fork-based, GIL-free), ``serial``.
+        self.parallel_executor = parallel_executor
         # Physical plans keyed by query-tree identity.  Plans are
         # re-runnable because all per-execution state (materialized
         # spools, sublink memos) lives in the ExecContext; the cached
@@ -95,6 +99,7 @@ class PythonBackend(ExecutionBackend):
             workers,
             self.morsel_size,
             self.fuse_pipelines,
+            self.parallel_executor,
         )
         with self._plan_cache_lock:
             if epochs != self._plan_cache_epochs:
@@ -110,6 +115,7 @@ class PythonBackend(ExecutionBackend):
             parallel_workers=workers,
             morsel_size=self.morsel_size,
             fuse_pipelines=self.fuse_pipelines,
+            parallel_executor=self.parallel_executor,
         ).plan(query)
         with self._plan_cache_lock:
             if len(self._plan_cache) >= self.PLAN_CACHE_SIZE:

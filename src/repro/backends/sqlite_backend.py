@@ -147,7 +147,11 @@ class SqliteBackend(ExecutionBackend):
     def __init__(self, catalog) -> None:
         super().__init__(catalog)
         self.dialect: SqliteDialect = get_dialect("sqlite")
-        self._con = sqlite3.connect(":memory:")
+        # check_same_thread off: the sharded backend scatters per-shard
+        # queries on pool threads.  The stdlib module is compiled in
+        # serialized mode (sqlite3.threadsafety == 3), so cross-thread
+        # use of one connection is locked inside SQLite itself.
+        self._con = sqlite3.connect(":memory:", check_same_thread=False)
         # The engine's LIKE is case-sensitive (PostgreSQL semantics).
         self._con.execute("PRAGMA case_sensitive_like = ON")
         # Mirror state: table name -> (uid, epoch, rows synced).

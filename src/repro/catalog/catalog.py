@@ -153,6 +153,11 @@ class Catalog:
     #: … and only once the heap grew by this fraction of the analyzed
     #: row count (the PostgreSQL autovacuum shape: base + scale factor).
     AUTO_ANALYZE_GROWTH_FRACTION = 0.2
+    #: Heaps at or above this many live rows are auto-ANALYZEd from a
+    #: reservoir sample instead of a full scan …
+    AUTO_ANALYZE_SAMPLE_THRESHOLD = 50_000
+    #: … of this many rows (seeded deterministically per heap state).
+    AUTO_ANALYZE_SAMPLE_ROWS = 20_000
 
     def maybe_auto_analyze(self) -> list[str]:
         """Refresh statistics for previously-ANALYZEd tables whose heaps
@@ -183,7 +188,18 @@ class Catalog:
                 else:
                     due = live >= self.AUTO_ANALYZE_MIN_GROWTH
                 if due:
-                    self._table_stats[key] = collect_table_stats(table)
+                    # Large heaps refresh from a reservoir sample: the
+                    # background path must not re-scan a multi-100k-row
+                    # table on every 20% growth step.  Explicit ANALYZE
+                    # stays a full scan.
+                    sample = (
+                        self.AUTO_ANALYZE_SAMPLE_ROWS
+                        if live >= self.AUTO_ANALYZE_SAMPLE_THRESHOLD
+                        else None
+                    )
+                    self._table_stats[key] = collect_table_stats(
+                        table, sample_rows=sample
+                    )
                     refreshed.append(table.name)
             if refreshed:
                 self.stats_epoch += 1

@@ -286,6 +286,9 @@ class PermDatabase:
         fuse_pipelines: bool = True,
         statement_cache_size: int = 64,
         parallel_workers: int = 1,
+        parallel_executor: str = "thread",
+        shards: Optional[int] = None,
+        shard_keys: Optional[dict] = None,
         auto_analyze: bool = True,
         wal_dir: Optional[str] = None,
         wal_sync: str = "always",
@@ -300,14 +303,28 @@ class PermDatabase:
         self._cost_based = cost_based
         self._fuse_pipelines = fuse_pipelines
         self._parallel_workers = parallel_workers
+        self._parallel_executor = parallel_executor
         #: Refresh stale ANALYZE statistics automatically once a table
         #: grows past the catalog's auto-ANALYZE threshold.
         self.auto_analyze_enabled = auto_analyze
+        if shards is not None:
+            # Sharded deployment: wrap the requested backend as the
+            # child engine of a hash-partitioned scatter-gather layer.
+            from repro.sharding.backend import ShardedBackend
+
+            child_spec = backend
+
+            def backend(catalog, _child=child_spec):  # type: ignore[no-redef]
+                return ShardedBackend(
+                    catalog, shards=shards, shard_keys=shard_keys, child=_child
+                )
+
         self._backend = create_backend(backend, self.catalog)
         self._propagate_vectorize()
         self._propagate_cost_based()
         self._propagate_fuse()
         self._propagate_parallel()
+        self._propagate_executor()
         self._stmt_cache = _StatementCache(statement_cache_size)
         # Durability last: attaching recovers any existing WAL directory
         # by replaying statements through this (fully constructed) db.
@@ -345,6 +362,7 @@ class PermDatabase:
         self._propagate_cost_based()
         self._propagate_fuse()
         self._propagate_parallel()
+        self._propagate_executor()
 
     # -- vectorized execution toggle -------------------------------------------
 
@@ -424,6 +442,32 @@ class PermDatabase:
     def _propagate_parallel(self) -> None:
         if hasattr(self._backend, "parallel_workers"):
             self._backend.parallel_workers = self._parallel_workers
+
+    @property
+    def parallel_executor(self) -> str:
+        """Worker-pool strategy for parallel dispatch.
+
+        ``thread`` (default) runs morsels and shard scatter on the
+        shared thread pool; ``process`` forks GIL-free workers that
+        inherit the columnar caches copy-on-write and pickle results
+        back; ``serial`` disables concurrent dispatch while keeping the
+        exchange/scatter plumbing (differential oracle).
+        """
+        return self._parallel_executor
+
+    @parallel_executor.setter
+    def parallel_executor(self, value: str) -> None:
+        if value not in ("thread", "process", "serial"):
+            raise PermError(
+                f"unknown parallel executor {value!r} "
+                "(expected thread, process or serial)"
+            )
+        self._parallel_executor = value
+        self._propagate_executor()
+
+    def _propagate_executor(self) -> None:
+        if hasattr(self._backend, "parallel_executor"):
+            self._backend.parallel_executor = self._parallel_executor
 
     # -- statistics (ANALYZE) ---------------------------------------------------
 
@@ -624,7 +668,14 @@ class PermDatabase:
         it was taken, regardless of concurrent inserts.  TRUNCATE /
         re-creation bumps the table epoch and makes the token fail
         loudly (``snapshot too old``) instead of reading rewritten rows.
+
+        Backends owning derived state (the sharded backend's shard
+        mirrors) mint the token themselves so it stays consistent with
+        what their workers will actually read.
         """
+        token = getattr(self._backend, "snapshot_token", None)
+        if token is not None:
+            return token()
         return {
             table.uid: (table.epoch, table.row_count())
             for table in self.catalog.tables()
@@ -759,7 +810,11 @@ class PermDatabase:
             parallel_workers=resolve_worker_count(self._parallel_workers),
             morsel_size=getattr(self._backend, "morsel_size", None),
             fuse_pipelines=self._fuse_pipelines,
+            parallel_executor=self._parallel_executor,
         ).plan(query)
+        describe_scatter = getattr(self._backend, "describe_scatter", None)
+        if describe_scatter is not None:
+            sections += ["-- sharding --", describe_scatter(query)]
         if not analyze:
             sections += ["-- physical plan --", plan.explain()]
             return "\n".join(sections)
@@ -1175,6 +1230,9 @@ def connect(
     cost_based: bool = True,
     fuse_pipelines: bool = True,
     parallel_workers: int = 1,
+    parallel_executor: str = "thread",
+    shards: Optional[int] = None,
+    shard_keys: Optional[dict] = None,
     auto_analyze: bool = True,
     wal_dir: Optional[str] = None,
     wal_sync: str = "always",
@@ -1196,8 +1254,19 @@ def connect(
     differential oracle for the fused engine.
     ``parallel_workers=N`` (N > 1, or ``None`` for one per core) turns
     on morsel-driven parallel execution of eligible scan pipelines;
-    the default 1 keeps execution serial.  ``auto_analyze=False``
-    disables automatic refresh of stale ANALYZE statistics.
+    the default 1 keeps execution serial.
+    ``parallel_executor="process"`` dispatches morsels and shard
+    scatter on fork-based worker processes (GIL-free) instead of the
+    shared thread pool.  ``auto_analyze=False`` disables automatic
+    refresh of stale ANALYZE statistics.
+
+    ``shards=N`` runs queries on the hash-partitioned sharded backend:
+    every catalog table is mirrored across N child instances of
+    ``backend`` (partitioned by ``shard_keys[table]``, defaulting to
+    the first primary-key column; ``None`` replicates), rewritten
+    queries scatter to the relevant shards — pruned by shard-key
+    predicates — and the partial results gather-merge semiring-natively.
+    See ``docs/sharding.md``.
 
     ``wal_dir`` makes the database durable: committed DML/DDL is
     write-ahead logged there, any state a previous process left in the
@@ -1216,6 +1285,9 @@ def connect(
         cost_based=cost_based,
         fuse_pipelines=fuse_pipelines,
         parallel_workers=parallel_workers,
+        parallel_executor=parallel_executor,
+        shards=shards,
+        shard_keys=shard_keys,
         auto_analyze=auto_analyze,
         wal_dir=wal_dir,
         wal_sync=wal_sync,

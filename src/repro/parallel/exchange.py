@@ -90,6 +90,11 @@ class ExchangeNode(PlanNode):
             yield from self.child.run_batches(ctx)
             return
         strategy = self._strategy()
+        # Materialize the scan's columnar cache before fan-out: thread
+        # workers would race to build it, and fork-based workers inherit
+        # the finished cache copy-on-write instead of each transposing
+        # its own copy.
+        self.scan.table.columnar()
         if self.partial_agg:
             yield from self._run_partial_agg(ctx, morsels, strategy)
             return

@@ -80,6 +80,7 @@ def insert_exchanges(
     workers: int,
     morsel_size: Optional[int] = None,
     min_rows: int = MIN_PARALLEL_ROWS,
+    strategy: str = "thread",
 ) -> PlanNode:
     """Wrap eligible pipelines of ``plan`` in exchange nodes.
 
@@ -87,7 +88,9 @@ def insert_exchanges(
     :data:`~repro.parallel.DEFAULT_MORSEL_SIZE`.  ``min_rows`` gates on
     the *actual* heap row count (the scan cost driver — estimated
     output cardinality may be tiny for selective filters whose scans
-    are still worth parallelizing).
+    are still worth parallelizing).  ``strategy`` names the registered
+    worker-pool strategy morsels dispatch on (``thread`` / ``process``
+    / ``serial``).
     """
     if workers <= 1:
         return plan
@@ -95,9 +98,11 @@ def insert_exchanges(
 
     scan = _pipeline_scan(plan)
     if scan is not None and scan.table.row_count() >= max(min_rows, size + 1):
-        return ExchangeNode(plan, scan, workers, size)
+        return ExchangeNode(plan, scan, workers, size, strategy=strategy)
     for attr in _CHILD_ATTRS:
         child = getattr(plan, attr, None)
         if isinstance(child, PlanNode):
-            setattr(plan, attr, insert_exchanges(child, workers, size, min_rows))
+            setattr(
+                plan, attr, insert_exchanges(child, workers, size, min_rows, strategy)
+            )
     return plan

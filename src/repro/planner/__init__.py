@@ -31,6 +31,7 @@ def make_planner(
     parallel_workers: int = 1,
     morsel_size: Optional[int] = None,
     fuse_pipelines: bool = True,
+    parallel_executor: str = "thread",
 ) -> PlannerBase:
     """The configured planner: cost-based (default) or legacy heuristic.
 
@@ -38,6 +39,8 @@ def make_planner(
     exchange-insertion post-pass (morsel-driven parallelism,
     :mod:`repro.parallel`); the heuristic planner always plans serial —
     it is the differential oracle for the parallel paths.
+    ``parallel_executor`` picks the worker-pool strategy exchanges
+    dispatch on (``thread`` / ``process`` / ``serial``).
     ``fuse_pipelines`` toggles the pipeline-fusion post-pass
     (:mod:`repro.executor.fusion`; vectorized plans only).
     """
@@ -46,6 +49,7 @@ def make_planner(
     planner.parallel_workers = parallel_workers
     planner.morsel_size = morsel_size
     planner.fuse_pipelines = fuse_pipelines
+    planner.parallel_executor = parallel_executor
     return planner
 
 

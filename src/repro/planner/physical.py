@@ -244,6 +244,9 @@ class PlannerBase:
     parallel_workers: int = 1
     #: Morsel size override for inserted exchanges (None = default).
     morsel_size: Optional[int] = None
+    #: Worker-pool strategy inserted exchanges dispatch on
+    #: (``thread`` / ``process`` / ``serial``).
+    parallel_executor: str = "thread"
     #: Pipeline-fusion post-pass toggle (vectorized plans only): when
     #: set, scan→filter→project chains collapse into one generated
     #: kernel (:mod:`repro.executor.fusion`).  ``connect`` threads the
@@ -1170,7 +1173,10 @@ class CostBasedPlanner(PlannerBase):
             from repro.parallel.planning import insert_exchanges
 
             plan = insert_exchanges(
-                plan, self.parallel_workers, self.morsel_size
+                plan,
+                self.parallel_workers,
+                self.morsel_size,
+                strategy=self.parallel_executor,
             )
         return plan
 

@@ -16,6 +16,7 @@ a truncate (new ``epoch``) invalidates the entry; plain appends do not
 
 from __future__ import annotations
 
+import random
 from collections import Counter
 from dataclasses import dataclass, field
 from typing import Any, Optional, TYPE_CHECKING
@@ -81,6 +82,9 @@ class TableStats:
     # Heap identity at collection time (freshness check).
     table_uid: int = -1
     table_epoch: int = -1
+    #: Rows actually inspected when the snapshot was sample-based
+    #: (auto-ANALYZE over large heaps); ``None`` means a full scan.
+    sampled_rows: Optional[int] = None
 
     def column(self, name: str) -> Optional[ColumnStats]:
         return self.columns.get(name.lower())
@@ -100,14 +104,56 @@ def _orderable(value: Any) -> bool:
     )
 
 
-def collect_table_stats(table: "Table") -> TableStats:
-    """One full pass over the heap: per-column NDV, nulls, min/max,
+def _reservoir_indices(rows: int, sample_rows: int, seed: int) -> list[int]:
+    """Algorithm-R reservoir over the row-index stream, sorted ascending.
+
+    Seeded deterministically (from the heap's identity) so repeated
+    collections over unchanged data produce identical statistics —
+    estimate-quality tests and WAL replay both rely on that.
+    """
+    rng = random.Random(seed)
+    reservoir = list(range(sample_rows))
+    for index in range(sample_rows, rows):
+        slot = rng.randrange(index + 1)
+        if slot < sample_rows:
+            reservoir[slot] = index
+    reservoir.sort()
+    return reservoir
+
+
+def _chao1_ndv(counts: Counter, seen: int, est_population: int) -> int:
+    """Chao1 richness estimate of population NDV from sample frequencies.
+
+    ``seen + f1^2 / (2 f2)`` with the bias-corrected ``f1 (f1 - 1) / 2``
+    term when no value occurred exactly twice; clamped between the
+    distinct values actually seen and the estimated non-NULL population.
+    """
+    f1 = sum(1 for c in counts.values() if c == 1)
+    f2 = sum(1 for c in counts.values() if c == 2)
+    if f2 > 0:
+        estimate = seen + (f1 * f1) / (2.0 * f2)
+    else:
+        estimate = seen + f1 * (f1 - 1) / 2.0
+    return max(seen, min(int(estimate), est_population))
+
+
+def collect_table_stats(
+    table: "Table", sample_rows: Optional[int] = None
+) -> TableStats:
+    """One pass over the heap: per-column NDV, nulls, min/max,
     most-common values, and an equi-depth histogram.
 
     Heaps are transposed through the table's columnar cache, so the
     per-column loops run over plain lists (one C-level ``Counter`` build
     per column over up to :data:`MAX_TRACKED_DISTINCT` values; larger
     columns are sampled by prefix and extrapolated).
+
+    ``sample_rows`` switches to estimation over a seeded reservoir
+    sample of that many rows (auto-ANALYZE uses this above
+    :attr:`~repro.catalog.catalog.Catalog.AUTO_ANALYZE_SAMPLE_THRESHOLD`
+    rows): fractions scale directly, NDV goes through the Chao1
+    estimator, and min/max narrow to the sampled extremes.  The live
+    ``row_count`` is always exact — only per-column shape is estimated.
     """
     rows = table.row_count()
     stats = TableStats(
@@ -120,10 +166,18 @@ def collect_table_stats(table: "Table") -> TableStats:
         for name in table.column_names:
             stats.columns[name.lower()] = ColumnStats()
         return stats
+    sample_indices = None
+    if sample_rows is not None and rows > sample_rows:
+        seed = hash((table.uid, table.epoch, rows))
+        sample_indices = _reservoir_indices(rows, sample_rows, seed)
+        stats.sampled_rows = len(sample_indices)
     for attno, name in enumerate(table.column_names):
         column = table.columnar()[attno]
+        if sample_indices is not None:
+            column = [column[i] for i in sample_indices]
+        scanned = len(column)
         non_null = [v for v in column if v is not None]
-        null_frac = 1.0 - len(non_null) / rows
+        null_frac = 1.0 - len(non_null) / scanned
         if not non_null:
             stats.columns[name.lower()] = ColumnStats(null_frac=1.0)
             continue
@@ -134,7 +188,10 @@ def collect_table_stats(table: "Table") -> TableStats:
         )
         counts = Counter(sample)
         seen = len(counts)
-        if len(sample) < len(non_null):
+        if sample_indices is not None:
+            est_non_null = max(1, round(rows * (1.0 - null_frac)))
+            ndv = _chao1_ndv(counts, seen, est_non_null)
+        elif len(sample) < len(non_null):
             # Extrapolate: if the sample looks unique, assume the column
             # is; otherwise scale the sample's distinct ratio.
             ndv = (
@@ -152,7 +209,7 @@ def collect_table_stats(table: "Table") -> TableStats:
                 min_value = max_value = None
         else:
             min_value = max_value = None
-        non_null_frac = len(non_null) / rows
+        non_null_frac = len(non_null) / scanned
         mcv = _collect_mcv(counts, len(sample), seen, non_null_frac)
         histogram, histogram_frac = _collect_histogram(
             counts, {v for v, _ in mcv}, len(sample), non_null_frac

@@ -216,11 +216,14 @@ class PermClient:
     def stats(self) -> dict:
         """Global + per-session server observability counters."""
         response = self._roundtrip({"op": "stats"})
-        return {
+        stats = {
             "stats": response.get("stats", {}),
             "sessions": response.get("sessions", []),
             "statement_cache": response.get("statement_cache", {}),
         }
+        if "sharding" in response:  # only present on sharded backends
+            stats["sharding"] = response["sharding"]
+        return stats
 
     def close_session(self) -> bool:
         """Drop this session's server-side prepared-statement cache."""

@@ -195,7 +195,7 @@ class PermServer:
         if op == "query":
             return await self._dispatch_query(request)
         if op == "stats":
-            return {
+            response = {
                 "id": request_id,
                 "ok": True,
                 "stats": self.stats.snapshot(
@@ -204,6 +204,10 @@ class PermServer:
                 "sessions": self.sessions.stats(),
                 "statement_cache": self.db.cache_stats(),
             }
+            scatter_stats = getattr(self.db.backend, "scatter_stats", None)
+            if scatter_stats is not None:
+                response["sharding"] = scatter_stats()
+            return response
         if op == "close":
             closed = self.sessions.close(str(request.get("session") or "default"))
             return {"id": request_id, "ok": True, "closed": closed}

@@ -1,0 +1,42 @@
+"""Sharded scatter-gather execution.
+
+Hash-partitions catalog tables by a per-table shard key across N child
+backend instances, pushes the provenance-rewritten query to every
+relevant shard, and gather-merges the partial results semiring-natively:
+row streams concatenate (witness bags union), aggregate finals merge
+through :meth:`~repro.executor.aggregates.AggState.merge` (polynomial
+annotations add in ``N[X]``), ORDER BY / LIMIT re-apply at the gatherer.
+
+The subsystem splits into:
+
+* :mod:`repro.sharding.partition` — the data layer: deterministic
+  ``shard_of`` hashing, per-table shard-key schemes, and the
+  :class:`Partitioner` that mirrors parent-catalog heaps into per-shard
+  catalogs (suffix appends, delta-log replay, full repartition).
+* :mod:`repro.sharding.analysis` — the planning layer: decides per
+  query whether shard-local execution is exact, which shards the
+  query needs (pruning on shard-key predicates), and which gatherer
+  merge applies; shapes that cannot merge correctly fall back *loudly*
+  with a typed reason, never silently wrong.
+* :mod:`repro.sharding.merge` — the gatherer: concatenation,
+  first-occurrence dedupe, semiring-native re-aggregation, and the
+  ORDER BY / LIMIT replay.
+* :mod:`repro.sharding.backend` — the registered ``sharded``
+  :class:`~repro.backends.ExecutionBackend` tying it together.
+
+See ``docs/sharding.md`` for the partitioning model, pruning rules,
+merge algebra, and the fallback table.
+"""
+
+from repro.sharding.analysis import FallbackDecision, ScatterDecision, decide
+from repro.sharding.backend import ShardedBackend
+from repro.sharding.partition import Partitioner, shard_of
+
+__all__ = [
+    "FallbackDecision",
+    "Partitioner",
+    "ScatterDecision",
+    "ShardedBackend",
+    "decide",
+    "shard_of",
+]

@@ -1,0 +1,728 @@
+"""Scatter analysis: is a rewritten query exact when run shard-locally?
+
+The invariant every decision rests on: a *partitioned* table's row with
+shard-key value ``v`` lives on exactly shard ``shard_of(v)``; a
+*replicated* table is complete on every shard.  From that, each query
+node is classified bottom-up as either
+
+* **broadcast** — reads only replicated tables, so every shard computes
+  the identical result (run it on one shard), or
+* **disjoint** — its global result is exactly the disjoint union of the
+  per-shard results, with a set of *aligned* output positions (columns
+  provably carrying the shard key: a row with value ``v`` there can only
+  come from shard ``shard_of(v)``) and a candidate shard set (pruned by
+  shard-key equality/IN/small-range predicates).
+
+Joins between disjoint inputs are exact only when an equality join
+predicate connects their aligned keys (co-location); grouping and
+DISTINCT are shard-local only when keyed by an aligned column; set
+operations with distinct/intersect/except semantics need co-partitioned
+arms.  Shapes that violate these rules *nested* inside the query raise
+:class:`Fallback` with a typed reason.  At the *root*, two extra merge
+modes recover common shapes: first-occurrence dedupe for a top-level
+DISTINCT, and semiring-native re-aggregation for top-level aggregates
+whose finals merge through ``AggState.merge`` (count/sum/min/max and
+``perm_poly_sum`` — polynomial addition; AVG-style composite finals and
+DISTINCT aggregates still fall back).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Optional
+
+from repro.analyzer import expressions as ex
+from repro.analyzer.query_tree import (
+    JoinTreeExpr,
+    Query,
+    QueryNodeClass,
+    RangeTableRef,
+    RTEKind,
+    SetOpNode,
+    SetOpRangeRef,
+)
+from repro.sharding.partition import Partitioner, shard_of
+
+# Aggregates whose per-shard finals merge exactly at the gatherer.
+MERGEABLE_AGGS = frozenset({"count", "sum", "min", "max", "perm_poly_sum"})
+
+# Integer range predicates on the shard key are enumerated into shard
+# sets only below this span (modulo hashing rarely prunes wide ranges).
+MAX_RANGE_SPAN = 1024
+
+
+class Fallback(Exception):
+    """A query shape that cannot be scattered; carries the typed reason."""
+
+    def __init__(self, kind: str, detail: str) -> None:
+        super().__init__(f"{kind}: {detail}")
+        self.kind = kind
+        self.detail = detail
+
+
+@dataclass(frozen=True)
+class MergeSpec:
+    """What the gatherer does with the per-shard result streams."""
+
+    # (visible position, descending, nulls_first) — SortNode's comparator
+    sort_keys: tuple[tuple[int, bool, Optional[bool]], ...] = ()
+    limit: Optional[int] = None
+    offset: int = 0
+    dedupe: bool = False
+    # Re-aggregation plan: one entry per visible position, either
+    # ("key",) or ("agg", aggname).
+    reagg: Optional[tuple[tuple, ...]] = None
+
+
+@dataclass(frozen=True)
+class ScatterDecision:
+    """Run ``shard_query`` on ``shards`` and merge per ``merge``."""
+
+    shards: tuple[int, ...]
+    total_shards: int
+    shard_query: Query
+    merge: MergeSpec
+    mode: str  # 'single' | 'concat' | 'dedupe' | 'reagg'
+    pruned: bool
+
+
+@dataclass(frozen=True)
+class FallbackDecision:
+    """The query cannot scatter; execute locally on the full catalog."""
+
+    kind: str
+    detail: str
+
+
+@dataclass
+class _Unit:
+    """One join-tree unit during SPJ analysis (var-key granularity)."""
+
+    broadcast: bool
+    aligned: set  # {(varno, varattno)} carrying the shard key
+    varnos: set  # range-table indexes this unit covers
+    shards: Optional[set]  # None = all shards
+
+
+@dataclass(frozen=True)
+class _Info:
+    """A nested query node's shard behaviour (output-position granularity)."""
+
+    broadcast: bool
+    aligned: frozenset  # visible output positions carrying the shard key
+    shards: Optional[frozenset]  # None = all shards
+
+
+class _UnionFind:
+    def __init__(self) -> None:
+        self._parent: dict = {}
+
+    def find(self, item):
+        parent = self._parent
+        root = item
+        while parent.get(root, root) != root:
+            root = parent[root]
+        while parent.get(item, item) != item:
+            parent[item], item = root, parent[item]
+        return root
+
+    def union(self, a, b) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            self._parent[ra] = rb
+
+
+def decide(query: Query, partitioner: Partitioner):
+    """Classify ``query`` into a ScatterDecision or a FallbackDecision."""
+    try:
+        return _Analysis(partitioner).root(query)
+    except Fallback as fb:
+        return FallbackDecision(fb.kind, fb.detail)
+
+
+# ---------------------------------------------------------------------------
+# conjunct utilities
+
+
+def _conjuncts(expr: Optional[ex.Expr]) -> list[ex.Expr]:
+    if expr is None:
+        return []
+    if isinstance(expr, ex.BoolOpExpr) and expr.op == "and":
+        out: list[ex.Expr] = []
+        for arg in expr.args:
+            out.extend(_conjuncts(arg))
+        return out
+    return [expr]
+
+
+def _var_key(node: ex.Expr) -> Optional[tuple[int, int]]:
+    if isinstance(node, ex.Var) and node.levelsup == 0:
+        return (node.varno, node.varattno)
+    return None
+
+
+def _as_equi(conj: ex.Expr) -> Optional[tuple[tuple[int, int], tuple[int, int]]]:
+    """``a = b`` / ``a <=> b`` between two same-level Vars."""
+    if isinstance(conj, ex.OpExpr) and conj.op in ("=", "<=>") and len(conj.args) == 2:
+        a, b = _var_key(conj.args[0]), _var_key(conj.args[1])
+        if a is not None and b is not None:
+            return (a, b)
+    return None
+
+
+def _as_constraint(conj: ex.Expr) -> Optional[tuple[tuple[int, int], frozenset]]:
+    """A shard-key-prunable predicate: Var = Const, IN-list, OR-of-equalities."""
+    if isinstance(conj, ex.OpExpr) and conj.op in ("=", "<=>") and len(conj.args) == 2:
+        for var, const in (conj.args, tuple(reversed(conj.args))):
+            key = _var_key(var)
+            if key is not None and isinstance(const, ex.Const):
+                return (key, frozenset([const.value]))
+        return None
+    if isinstance(conj, ex.InList) and not conj.negated:
+        key = _var_key(conj.arg)
+        if key is not None and all(isinstance(item, ex.Const) for item in conj.items):
+            return (key, frozenset(item.value for item in conj.items))
+        return None
+    if isinstance(conj, ex.BoolOpExpr) and conj.op == "or":
+        # the analyzer lowers IN-lists to OR-of-equality chains
+        key: Optional[tuple[int, int]] = None
+        values = set()
+        for arm in conj.args:
+            sub = _as_constraint(arm)
+            if sub is None:
+                return None
+            arm_key, arm_values = sub
+            if key is None:
+                key = arm_key
+            elif key != arm_key:
+                return None
+            values.update(arm_values)
+        if key is not None:
+            return (key, frozenset(values))
+    return None
+
+
+def _note_range(conj: ex.Expr, ranges: dict) -> None:
+    """Accumulate integer range bounds per var key from a comparison."""
+    if not (isinstance(conj, ex.OpExpr) and conj.op in (">", ">=", "<", "<=") and len(conj.args) == 2):
+        return
+    left, right = conj.args
+    key, const, op = None, None, conj.op
+    if _var_key(left) is not None and isinstance(right, ex.Const):
+        key, const = _var_key(left), right.value
+    elif _var_key(right) is not None and isinstance(left, ex.Const):
+        key, const = _var_key(right), left.value
+        op = {">": "<", ">=": "<=", "<": ">", "<=": ">="}[op]
+    if key is None or not isinstance(const, int) or isinstance(const, bool):
+        return
+    lo, hi = ranges.get(key, (None, None))
+    if op == ">":
+        lo = const + 1 if lo is None else max(lo, const + 1)
+    elif op == ">=":
+        lo = const if lo is None else max(lo, const)
+    elif op == "<":
+        hi = const - 1 if hi is None else min(hi, const - 1)
+    else:
+        hi = const if hi is None else min(hi, const)
+    ranges[key] = (lo, hi)
+
+
+def _isect(current: Optional[set], incoming: Optional[Iterable]) -> Optional[set]:
+    if incoming is None:
+        return current
+    incoming = set(incoming)
+    return incoming if current is None else current & incoming
+
+
+def _union(a: Optional[set], b: Optional[set]) -> Optional[set]:
+    if a is None or b is None:
+        return None
+    return set(a) | set(b)
+
+
+def _jointree_quals(item) -> Iterator[ex.Expr]:
+    stack = [item]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, JoinTreeExpr):
+            if node.quals is not None:
+                yield node.quals
+            stack.append(node.left)
+            stack.append(node.right)
+
+
+def _query_expressions(query: Query) -> Iterator[ex.Expr]:
+    for entry in query.target_list:
+        yield entry.expr
+    if query.jointree.quals is not None:
+        yield query.jointree.quals
+    for item in query.jointree.items:
+        yield from _jointree_quals(item)
+    yield from query.group_clause
+    if query.having is not None:
+        yield query.having
+    if query.limit_count is not None:
+        yield query.limit_count
+    if query.limit_offset is not None:
+        yield query.limit_offset
+
+
+# ---------------------------------------------------------------------------
+# the analysis
+
+
+class _Analysis:
+    def __init__(self, partitioner: Partitioner) -> None:
+        self.partitioner = partitioner
+        self.n = partitioner.shards
+
+    # -- nested nodes -------------------------------------------------------
+
+    def node(self, query: Query) -> _Info:
+        """Strict classification of a nested node (raises Fallback)."""
+        if query.set_operations is not None:
+            info = self._setop_info(query)
+            broadcast, aligned, shards = info.broadcast, info.aligned, info.shards
+        else:
+            core = self._core(query)
+            broadcast = core.broadcast
+            shards = None if core.shards is None else frozenset(core.shards)
+            if not broadcast and query.node_class() is QueryNodeClass.ASPJ:
+                self._require_aligned_group(query, core)
+            aligned = frozenset(self._aligned_positions(query, core.aligned))
+        if not broadcast:
+            if query.distinct and not aligned:
+                raise Fallback(
+                    "distinct-across-shards",
+                    "nested DISTINCT with no shard-key output column",
+                )
+            if query.limit_count is not None or query.limit_offset is not None:
+                raise Fallback(
+                    "nested-limit",
+                    "LIMIT/OFFSET below the root cannot be applied per shard",
+                )
+        return _Info(broadcast, aligned, shards)
+
+    def _require_aligned_group(self, query: Query, core: _Unit) -> None:
+        if not query.group_clause:
+            raise Fallback(
+                "grand-aggregate",
+                "nested aggregate without grouping cannot run shard-local",
+            )
+        for group in query.group_clause:
+            key = _var_key(group)
+            if key is not None and key in core.aligned:
+                return
+        raise Fallback(
+            "unaligned-aggregate",
+            "nested GROUP BY has no shard-key grouping column",
+        )
+
+    def _aligned_positions(self, query: Query, aligned_keys: set) -> set:
+        positions = set()
+        for pos, entry in enumerate(query.visible_targets):
+            key = _var_key(entry.expr)
+            if key is not None and key in aligned_keys:
+                positions.add(pos)
+        return positions
+
+    # -- SPJ core -----------------------------------------------------------
+
+    def _core(self, query: Query) -> _Unit:
+        for expr in _query_expressions(query):
+            for sublink in ex.collect_sublinks(expr):
+                self._require_broadcast_sublink(sublink)
+        units = [self._jointree_unit(item, query) for item in query.jointree.items]
+        return self._merge_inner(units, _conjuncts(query.jointree.quals))
+
+    def _require_broadcast_sublink(self, sublink: ex.SubLink) -> None:
+        try:
+            info = self.node(sublink.subquery)
+        except Fallback:
+            info = None
+        if info is None or not info.broadcast:
+            raise Fallback(
+                "sublink-over-partitioned",
+                "subquery expression reads a partitioned table",
+            )
+
+    def _rte_unit(self, query: Query, rtindex: int) -> _Unit:
+        rte = query.rte(rtindex)
+        if rte.kind is RTEKind.RELATION:
+            attno = self.partitioner.key_attno(rte.relation_name)
+            if attno is None:
+                return _Unit(True, set(), {rtindex}, None)
+            return _Unit(False, {(rtindex, attno)}, {rtindex}, None)
+        info = self.node(rte.subquery)
+        if info.broadcast:
+            return _Unit(True, set(), {rtindex}, None)
+        aligned = {(rtindex, pos) for pos in info.aligned}
+        shards = None if info.shards is None else set(info.shards)
+        return _Unit(False, aligned, {rtindex}, shards)
+
+    def _jointree_unit(self, item, query: Query) -> _Unit:
+        if isinstance(item, RangeTableRef):
+            return self._rte_unit(query, item.rtindex)
+        left = self._jointree_unit(item.left, query)
+        right = self._jointree_unit(item.right, query)
+        on = _conjuncts(item.quals)
+        if item.join_type in ("inner", "cross"):
+            return self._merge_inner([left, right], on)
+        if item.join_type == "left":
+            return self._outer_unit(left, right, on)
+        if item.join_type == "right":
+            return self._outer_unit(right, left, on)
+        return self._full_unit(left, right, on)
+
+    def _merge_inner(self, units: list[_Unit], conjuncts: list[ex.Expr]) -> _Unit:
+        varnos: set = set()
+        for unit in units:
+            varnos |= unit.varnos
+        equis = []
+        constraints = []
+        ranges: dict = {}
+        for conj in conjuncts:
+            equi = _as_equi(conj)
+            if equi is not None:
+                equis.append(equi)
+                continue
+            constraint = _as_constraint(conj)
+            if constraint is not None:
+                constraints.append(constraint)
+                continue
+            _note_range(conj, ranges)
+        disjoint = [unit for unit in units if not unit.broadcast]
+        if not disjoint:
+            return _Unit(True, set(), varnos, None)
+
+        aligned: set = set()
+        for unit in disjoint:
+            aligned |= unit.aligned
+        all_keys = set(aligned)
+        for a, b in equis:
+            all_keys.add(a)
+            all_keys.add(b)
+        for key, _ in constraints:
+            all_keys.add(key)
+        all_keys.update(ranges)
+
+        # equality classes over var keys; a class containing an aligned
+        # key makes every member aligned (conjuncts hold on result rows)
+        keys_uf = _UnionFind()
+        for a, b in equis:
+            keys_uf.union(a, b)
+        aligned_roots = {keys_uf.find(key) for key in aligned}
+
+        def is_aligned(key) -> bool:
+            return keys_uf.find(key) in aligned_roots
+
+        aligned_closure = {key for key in all_keys if is_aligned(key)}
+
+        # connectivity: two disjoint units join exactly iff an aligned
+        # equality class spans them (matching rows share the key value,
+        # hence the shard) — transitive through replicated columns
+        owner = {}
+        for index, unit in enumerate(disjoint):
+            for varno in unit.varnos:
+                owner[varno] = index
+        members: dict = {}
+        for key in all_keys:
+            index = owner.get(key[0])
+            if index is not None:
+                members.setdefault(keys_uf.find(key), set()).add(index)
+        units_uf = _UnionFind()
+        for root, indexes in members.items():
+            if root in aligned_roots and len(indexes) > 1:
+                ordered = sorted(indexes)
+                for other in ordered[1:]:
+                    units_uf.union(ordered[0], other)
+        components = {units_uf.find(index) for index in range(len(disjoint))}
+        if len(components) > 1:
+            raise Fallback(
+                "cross-shard-join",
+                "join between partitioned inputs without a shard-key equality",
+            )
+
+        shards: Optional[set] = None
+        for unit in disjoint:
+            shards = _isect(shards, unit.shards)
+        for key, values in constraints:
+            if is_aligned(key):
+                shards = _isect(shards, {shard_of(v, self.n) for v in values})
+        for key, (lo, hi) in ranges.items():
+            if lo is None or hi is None:
+                continue
+            if is_aligned(key) and 0 <= hi - lo <= MAX_RANGE_SPAN:
+                shards = _isect(
+                    shards, {shard_of(v, self.n) for v in range(lo, hi + 1)}
+                )
+        return _Unit(False, aligned_closure, varnos, shards)
+
+    def _outer_unit(self, preserved: _Unit, nullable: _Unit, on: list[ex.Expr]) -> _Unit:
+        varnos = preserved.varnos | nullable.varnos
+        if preserved.broadcast and nullable.broadcast:
+            return _Unit(True, set(), varnos, None)
+        if nullable.broadcast:
+            # full replica of the nullable side on every shard: the outer
+            # join is shard-local and row multiplicity follows the
+            # preserved side exactly
+            return _Unit(False, set(preserved.aligned), varnos, preserved.shards)
+        if preserved.broadcast:
+            raise Fallback(
+                "outer-join-broadcast-preserved",
+                "outer join preserving a replicated side against a partitioned side "
+                "would null-extend its rows once per shard",
+            )
+        self._require_on_alignment(preserved, nullable, on, "outer")
+        return _Unit(False, set(preserved.aligned), varnos, preserved.shards)
+
+    def _full_unit(self, left: _Unit, right: _Unit, on: list[ex.Expr]) -> _Unit:
+        varnos = left.varnos | right.varnos
+        if left.broadcast and right.broadcast:
+            return _Unit(True, set(), varnos, None)
+        if left.broadcast or right.broadcast:
+            raise Fallback(
+                "outer-join-broadcast-preserved",
+                "full join mixing replicated and partitioned sides would "
+                "null-extend the replicated rows once per shard",
+            )
+        self._require_on_alignment(left, right, on, "full")
+        # unmatched rows surface on their own shard; matched pairs are
+        # co-located — but neither side's key survives NULL-extension,
+        # so no output column stays aligned
+        return _Unit(False, set(), varnos, _union(left.shards, right.shards))
+
+    def _require_on_alignment(
+        self, left: _Unit, right: _Unit, on: list[ex.Expr], what: str
+    ) -> None:
+        for conj in on:
+            equi = _as_equi(conj)
+            if equi is None:
+                continue
+            a, b = equi
+            if a[0] in left.varnos and b[0] in right.varnos:
+                pair = (a, b)
+            elif b[0] in left.varnos and a[0] in right.varnos:
+                pair = (b, a)
+            else:
+                continue
+            if pair[0] in left.aligned and pair[1] in right.aligned:
+                return
+        raise Fallback(
+            "cross-shard-join",
+            f"{what} join between partitioned inputs without a shard-key "
+            "equality in its ON clause",
+        )
+
+    # -- set operations -----------------------------------------------------
+
+    def _setop_info(self, query: Query) -> _Info:
+        def walk(node) -> _Info:
+            if isinstance(node, SetOpRangeRef):
+                return self.node(query.rte(node.rtindex).subquery)
+            return self._combine_setop(node, walk(node.left), walk(node.right))
+
+        return walk(query.set_operations)
+
+    def _combine_setop(self, node: SetOpNode, left: _Info, right: _Info) -> _Info:
+        if left.broadcast and right.broadcast:
+            return _Info(True, frozenset(), None)
+        if left.broadcast or right.broadcast:
+            raise Fallback(
+                "setop-mixed",
+                f"{node.op} mixing replicated and partitioned arms",
+            )
+        aligned = left.aligned & right.aligned
+        if node.op == "union" and node.all:
+            shards = _union(
+                None if left.shards is None else set(left.shards),
+                None if right.shards is None else set(right.shards),
+            )
+            return _Info(False, aligned, None if shards is None else frozenset(shards))
+        if not aligned:
+            raise Fallback(
+                f"setop-{node.op}",
+                f"{node.op} arms are not co-partitioned on a shard-key column",
+            )
+        if node.op == "union":
+            shards = _union(
+                None if left.shards is None else set(left.shards),
+                None if right.shards is None else set(right.shards),
+            )
+        elif node.op == "intersect":
+            shards = _isect(
+                None if left.shards is None else set(left.shards), right.shards
+            )
+        else:  # except: the result is a subset of the left arm
+            shards = None if left.shards is None else set(left.shards)
+        return _Info(False, aligned, None if shards is None else frozenset(shards))
+
+    # -- the root -----------------------------------------------------------
+
+    def root(self, query: Query) -> ScatterDecision:
+        if query.set_operations is not None:
+            info = self._setop_info(query)
+            if info.broadcast:
+                return self._single(query)
+            shard_ids = self._shard_ids(info.shards)
+            if query.distinct and not info.aligned:
+                return self._dedupe(query, shard_ids)
+            return self._concat(query, shard_ids)
+        core = self._core(query)
+        if core.broadcast:
+            return self._single(query)
+        shard_ids = self._shard_ids(core.shards)
+        aligned_positions = self._aligned_positions(query, core.aligned)
+        if query.node_class() is QueryNodeClass.ASPJ:
+            aligned_group = query.group_clause and any(
+                _var_key(group) in core.aligned
+                for group in query.group_clause
+                if _var_key(group) is not None
+            )
+            if not aligned_group:
+                return self._reagg(query, shard_ids)
+            # grouped by the shard key: groups are complete per shard
+        if query.distinct and not aligned_positions:
+            return self._dedupe(query, shard_ids)
+        return self._concat(query, shard_ids)
+
+    def _single(self, query: Query) -> ScatterDecision:
+        return ScatterDecision((0,), self.n, query, MergeSpec(), "single", False)
+
+    def _shard_ids(self, shards) -> tuple[int, ...]:
+        if shards is None:
+            return tuple(range(self.n))
+        if not shards:
+            # contradictory shard-key predicates: any one shard evaluates
+            # them to an empty (but well-typed) result
+            return (0,)
+        return tuple(sorted(shards))
+
+    def _sort_keys(self, query: Query) -> tuple[tuple[int, bool, Optional[bool]], ...]:
+        visible_position = {}
+        position = 0
+        for index, entry in enumerate(query.target_list):
+            if not entry.resjunk:
+                visible_position[index] = position
+                position += 1
+        keys = []
+        for clause in query.sort_clause:
+            if clause.tlist_index not in visible_position:
+                raise Fallback(
+                    "order-by-hidden",
+                    "ORDER BY key is not part of the visible result and cannot "
+                    "be re-sorted at the gatherer",
+                )
+            keys.append(
+                (visible_position[clause.tlist_index], clause.descending, clause.nulls_first)
+            )
+        return tuple(keys)
+
+    def _limit_consts(self, query: Query) -> tuple[Optional[int], int]:
+        def const_of(expr: Optional[ex.Expr], what: str) -> Optional[int]:
+            if expr is None:
+                return None
+            if not isinstance(expr, ex.Const):
+                raise Fallback(
+                    "dynamic-limit", f"non-constant {what} cannot be re-applied at the gatherer"
+                )
+            return expr.value
+        limit = const_of(query.limit_count, "LIMIT")
+        offset = const_of(query.limit_offset, "OFFSET") or 0
+        return limit, offset
+
+    def _pruned(self, shard_ids: tuple[int, ...]) -> bool:
+        return len(shard_ids) < self.n
+
+    def _concat(self, query: Query, shard_ids: tuple[int, ...]) -> ScatterDecision:
+        sort_keys = self._sort_keys(query)
+        limit, offset = self._limit_consts(query)
+        shard_query = query
+        if limit is not None:
+            # each shard returns its own sorted prefix; the gatherer
+            # re-sorts and cuts the global one
+            shard_query = query.deep_copy()
+            shard_query.limit_count = ex.Const(limit + offset, query.limit_count.type)
+            shard_query.limit_offset = None
+        merge = MergeSpec(sort_keys=sort_keys, limit=limit, offset=offset)
+        return ScatterDecision(
+            shard_ids, self.n, shard_query, merge, "concat", self._pruned(shard_ids)
+        )
+
+    def _dedupe(self, query: Query, shard_ids: tuple[int, ...]) -> ScatterDecision:
+        sort_keys = self._sort_keys(query)
+        limit, offset = self._limit_consts(query)
+        shard_query = query
+        if limit is not None and sort_keys:
+            # safe only under ORDER BY: each globally-surviving row sits
+            # within its shard's sorted distinct prefix
+            shard_query = query.deep_copy()
+            shard_query.limit_count = ex.Const(limit + offset, query.limit_count.type)
+            shard_query.limit_offset = None
+        merge = MergeSpec(sort_keys=sort_keys, limit=limit, offset=offset, dedupe=True)
+        return ScatterDecision(
+            shard_ids, self.n, shard_query, merge, "dedupe", self._pruned(shard_ids)
+        )
+
+    def _reagg(self, query: Query, shard_ids: tuple[int, ...]) -> ScatterDecision:
+        if query.distinct:
+            raise Fallback(
+                "distinct-across-shards", "DISTINCT over re-aggregated output"
+            )
+        if query.having is not None:
+            raise Fallback(
+                "unaligned-having",
+                "HAVING over groups that re-aggregate at the gatherer would "
+                "filter partial states",
+            )
+        if any(entry.resjunk for entry in query.target_list):
+            raise Fallback(
+                "order-by-hidden",
+                "ORDER BY key is not part of the visible result and cannot "
+                "be re-sorted at the gatherer",
+            )
+        visible = query.visible_targets
+        for group in query.group_clause:
+            if not any(entry.expr == group for entry in visible):
+                raise Fallback(
+                    "unaligned-aggregate",
+                    "grouping key missing from the select list cannot be "
+                    "re-grouped at the gatherer",
+                )
+        spec = []
+        for entry in visible:
+            if any(entry.expr == group for group in query.group_clause):
+                spec.append(("key",))
+                continue
+            expr = entry.expr
+            if not isinstance(expr, ex.Aggref):
+                raise Fallback(
+                    "composite-aggregate",
+                    f"computed output {entry.name!r} over aggregates cannot "
+                    "merge from per-shard finals",
+                )
+            if expr.distinct:
+                raise Fallback(
+                    "distinct-aggregate",
+                    f"{expr.aggname}(DISTINCT ...) finals do not merge across shards",
+                )
+            if expr.aggname not in MERGEABLE_AGGS:
+                raise Fallback(
+                    "composite-aggregate",
+                    f"{expr.aggname} finals are not mergeable (composite state)",
+                )
+            spec.append(("agg", expr.aggname))
+        sort_keys = self._sort_keys(query)
+        limit, offset = self._limit_consts(query)
+        shard_query = query
+        if sort_keys or limit is not None or query.limit_offset is not None:
+            shard_query = query.deep_copy()
+            shard_query.sort_clause = []
+            shard_query.limit_count = None
+            shard_query.limit_offset = None
+        merge = MergeSpec(
+            sort_keys=sort_keys, limit=limit, offset=offset, reagg=tuple(spec)
+        )
+        return ScatterDecision(
+            shard_ids, self.n, shard_query, merge, "reagg", self._pruned(shard_ids)
+        )

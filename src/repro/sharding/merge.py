@@ -1,0 +1,149 @@
+"""The gatherer: merging per-shard partial results semiring-natively.
+
+Row streams concatenate — a witness-annotated result is a bag, and the
+disjoint union of per-shard bags *is* the global bag.  Aggregate finals
+re-merge through the executor's own :class:`AggState.merge`: per-shard
+``count``/``sum``/``min``/``max`` finals are lifted back into partial
+states and merged, and ``perm_poly_sum`` finals (``N[X]`` provenance
+polynomials) add in the semiring — provenance union is polynomial
+addition, so the distributed merge needs no new algebra.  ORDER BY and
+LIMIT/OFFSET re-apply at the gatherer with the executor's exact NULL
+ordering.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.errors import ExecutionError
+from repro.executor.aggregates import (
+    AggState,
+    CountStarState,
+    MaxState,
+    MinState,
+    PolySumState,
+    SumState,
+)
+from repro.sharding.analysis import ScatterDecision
+
+if TYPE_CHECKING:
+    from repro.database import QueryResult
+
+
+def merge_results(
+    decision: ScatterDecision, partials: list["QueryResult"]
+) -> "QueryResult":
+    """Combine per-shard results according to the scatter decision."""
+    from repro.database import QueryResult
+
+    if not partials:
+        raise ExecutionError("scatter produced no partial results")
+    first = partials[0]
+    if decision.mode == "single" and len(partials) == 1:
+        return first
+    spec = decision.merge
+    if spec.reagg is not None:
+        rows = _reaggregate(spec.reagg, partials)
+    else:
+        rows = [row for partial in partials for row in partial.rows]
+        if spec.dedupe:
+            rows = _dedupe(rows)
+    if spec.sort_keys:
+        _sort_rows(rows, spec.sort_keys)
+    if spec.offset or spec.limit is not None:
+        stop = None if spec.limit is None else spec.offset + spec.limit
+        rows = rows[spec.offset : stop]
+    return QueryResult(
+        columns=list(first.columns),
+        rows=rows,
+        command=first.command,
+        annotation_column=first.annotation_column,
+    )
+
+
+def _dedupe(rows: list[tuple]) -> list[tuple]:
+    """First-occurrence dedupe, tolerating unhashable values."""
+    seen: set = set()
+    unhashable: list[tuple] = []
+    out: list[tuple] = []
+    for row in rows:
+        try:
+            if row in seen:
+                continue
+            seen.add(row)
+        except TypeError:
+            if row in unhashable:
+                continue
+            unhashable.append(row)
+        out.append(row)
+    return out
+
+
+def _sort_rows(
+    rows: list[tuple], sort_keys: tuple[tuple[int, bool, Optional[bool]], ...]
+) -> None:
+    # Mirror of SortNode: stable sorts from the last key to the first,
+    # NULLs ranked exactly like the executor's comparator.
+    for position, descending, nulls_first in reversed(sort_keys):
+        if nulls_first is None:
+            null_rank = 1
+        else:
+            null_rank = 1 if nulls_first == descending else 0
+        non_null_rank = 1 - null_rank
+
+        def key(row, position=position, null_rank=null_rank, non_null_rank=non_null_rank):
+            value = row[position]
+            if value is None:
+                return (null_rank, 0)
+            return (non_null_rank, value)
+
+        rows.sort(key=key, reverse=descending)
+
+
+def _partial_state(aggname: str, value) -> AggState:
+    """Lift one shard's aggregate final back into a mergeable state."""
+    if aggname == "count":
+        state: AggState = CountStarState()
+        state.add_count(value or 0)
+        return state
+    if aggname == "sum":
+        state = SumState()
+    elif aggname == "min":
+        state = MinState()
+    elif aggname == "max":
+        state = MaxState()
+    elif aggname == "perm_poly_sum":
+        state = PolySumState()
+    else:  # pragma: no cover - analysis admits only mergeable aggregates
+        raise ExecutionError(f"aggregate {aggname!r} is not mergeable at the gatherer")
+    state.add(value)
+    return state
+
+
+def _reaggregate(spec: tuple[tuple, ...], partials: list["QueryResult"]) -> list[tuple]:
+    key_positions = [i for i, entry in enumerate(spec) if entry[0] == "key"]
+    agg_entries = [(i, entry[1]) for i, entry in enumerate(spec) if entry[0] == "agg"]
+    groups: dict[tuple, list[AggState]] = {}
+    order: list[tuple] = []
+    for partial in partials:
+        for row in partial.rows:
+            group = tuple(row[i] for i in key_positions)
+            states = groups.get(group)
+            if states is None:
+                groups[group] = [
+                    _partial_state(aggname, row[i]) for i, aggname in agg_entries
+                ]
+                order.append(group)
+            else:
+                for state, (i, aggname) in zip(states, agg_entries):
+                    state.merge(_partial_state(aggname, row[i]))
+    rows = []
+    for group in order:
+        states = iter(groups[group])
+        keys = iter(group)
+        row = [
+            next(keys) if entry[0] == "key" else next(states).result()
+            for entry in spec
+        ]
+        rows.append(tuple(row))
+    return rows

@@ -187,6 +187,7 @@ def _encode_stats(stats, table: Table) -> dict:
     return {
         "row_count": stats.row_count,
         "table_epoch": stats.table_epoch,
+        "sampled_rows": stats.sampled_rows,
         # uids are process-lifetime; persist only whether the snapshot
         # was bound to this heap so restore can re-bind to the new uid.
         "uid_matches": stats.table_uid == table.uid,
@@ -235,6 +236,7 @@ def _decode_stats(encoded: dict, table: Table):
         },
         table_uid=table.uid if encoded["uid_matches"] else -1,
         table_epoch=encoded["table_epoch"],
+        sampled_rows=encoded.get("sampled_rows"),
     )
 
 

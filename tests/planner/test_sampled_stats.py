@@ -1,0 +1,138 @@
+"""Estimate-quality regression tests for sampled ANALYZE.
+
+Auto-ANALYZE switches to a seeded reservoir sample above
+``AUTO_ANALYZE_SAMPLE_THRESHOLD`` rows.  These tests pin the estimator
+contract: sampled statistics must stay close enough to full-scan truth
+that cost-model decisions don't flap, and repeated collections over
+unchanged data must be bit-identical (the seed derives from the heap's
+identity).
+"""
+
+from __future__ import annotations
+
+import random
+
+import repro
+from repro.catalog.schema import Column, SQLType, TableSchema
+from repro.planner.stats import collect_table_stats
+from repro.storage.table import Table
+
+ROWS = 60_000
+SAMPLE = 15_000
+
+
+def _table() -> Table:
+    rng = random.Random(20260807)
+    schema = TableSchema(
+        "t",
+        [
+            Column("unique_key", SQLType.INTEGER),
+            Column("low_card", SQLType.TEXT),
+            Column("skewed", SQLType.TEXT),
+            Column("mid_card", SQLType.INTEGER),
+            Column("with_nulls", SQLType.INTEGER),
+        ],
+    )
+    table = Table(schema)
+    table.insert_many(
+        [
+            (
+                i,
+                f"v{i % 40}",
+                # heavy skew: "hot" on ~half the rows, a thin tail after
+                "hot" if i % 2 else f"cold{i % 7}",
+                rng.randrange(2000),
+                rng.randrange(500) if i % 5 else None,
+            )
+            for i in range(ROWS)
+        ]
+    )
+    return table
+
+
+def test_sampled_rows_recorded():
+    table = _table()
+    full = collect_table_stats(table)
+    sampled = collect_table_stats(table, sample_rows=SAMPLE)
+    assert full.sampled_rows is None
+    assert sampled.sampled_rows == SAMPLE
+    assert sampled.row_count == ROWS  # live count stays exact
+
+
+def test_small_tables_never_sample():
+    table = _table()
+    stats = collect_table_stats(table, sample_rows=ROWS + 1)
+    assert stats.sampled_rows is None
+
+
+def test_sampling_is_deterministic():
+    table = _table()
+    first = collect_table_stats(table, sample_rows=SAMPLE)
+    second = collect_table_stats(table, sample_rows=SAMPLE)
+    assert first.columns == second.columns
+
+
+def test_ndv_estimates_track_full_scan():
+    table = _table()
+    full = collect_table_stats(table)
+    sampled = collect_table_stats(table, sample_rows=SAMPLE)
+    for name, tolerance in (
+        ("unique_key", 0.05),  # every row distinct: clamp to population
+        ("low_card", 0.0),  # 40 values: all seen in any large sample
+        ("mid_card", 0.25),  # Chao1 territory
+    ):
+        truth = full.column(name).ndv
+        estimate = sampled.column(name).ndv
+        assert abs(estimate - truth) <= truth * tolerance, (
+            f"{name}: sampled ndv {estimate} vs full {truth}"
+        )
+
+
+def test_null_fraction_tracks_full_scan():
+    table = _table()
+    full = collect_table_stats(table)
+    sampled = collect_table_stats(table, sample_rows=SAMPLE)
+    truth = full.column("with_nulls").null_frac
+    estimate = sampled.column("with_nulls").null_frac
+    assert abs(estimate - truth) < 0.02
+
+
+def test_mcv_fractions_track_full_scan():
+    table = _table()
+    full = collect_table_stats(table)
+    sampled = collect_table_stats(table, sample_rows=SAMPLE)
+    full_mcv = dict(full.column("skewed").mcv)
+    sampled_mcv = dict(sampled.column("skewed").mcv)
+    shared = set(full_mcv) & set(sampled_mcv)
+    assert shared, "sampled MCV list lost every common value"
+    for value in shared:
+        assert abs(full_mcv[value] - sampled_mcv[value]) < 0.01
+
+
+def test_auto_analyze_samples_above_threshold(monkeypatch):
+    from repro.catalog.catalog import Catalog
+
+    monkeypatch.setattr(Catalog, "AUTO_ANALYZE_SAMPLE_THRESHOLD", 2_000)
+    monkeypatch.setattr(Catalog, "AUTO_ANALYZE_SAMPLE_ROWS", 500)
+    db = repro.connect()
+    db.execute("CREATE TABLE t (a integer)")
+    db.catalog.table("t").insert_many([(i,) for i in range(1_000)])
+    db.execute("ANALYZE")
+    assert db.catalog.stats_for("t").sampled_rows is None
+
+    db.catalog.table("t").insert_many([(i,) for i in range(2_500)])
+    db.execute("SELECT count(*) FROM t")  # trips auto-ANALYZE
+    stats = db.catalog.stats_for("t")
+    assert stats.row_count == 3_500
+    assert stats.sampled_rows == 500
+
+
+def test_explicit_analyze_stays_full_scan(monkeypatch):
+    from repro.catalog.catalog import Catalog
+
+    monkeypatch.setattr(Catalog, "AUTO_ANALYZE_SAMPLE_THRESHOLD", 100)
+    db = repro.connect()
+    db.execute("CREATE TABLE t (a integer)")
+    db.catalog.table("t").insert_many([(i,) for i in range(1_000)])
+    db.execute("ANALYZE")
+    assert db.catalog.stats_for("t").sampled_rows is None

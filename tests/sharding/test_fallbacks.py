@@ -1,0 +1,123 @@
+"""Non-mergeable shapes: loud, typed fallback — never silently wrong.
+
+Every query shape the gather merge cannot reproduce semiring-natively
+must (a) still return exactly the unsharded backend's result and (b)
+count a typed reason in ``ShardedBackend.fallback_reasons``, so a
+deployment can see *why* scatter-gather is not engaging.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from tests.backends.support import assert_same_result
+
+_SETUP = (
+    "CREATE TABLE t (a integer, b text, PRIMARY KEY (a))",
+    "CREATE TABLE s (a integer, c integer, PRIMARY KEY (a))",
+    "INSERT INTO t VALUES (1, 'x'), (2, 'y'), (3, 'z'), (4, 'x'), (5, 'y')",
+    "INSERT INTO s VALUES (1, 10), (3, 30), (5, 50), (6, 60)",
+)
+
+
+def _pair() -> tuple[repro.PermDatabase, repro.PermDatabase]:
+    plain, sharded = repro.connect(), repro.connect(shards=2)
+    for db in (plain, sharded):
+        for statement in _SETUP:
+            db.execute(statement)
+    return plain, sharded
+
+
+# (sql, provenance semantics or None, expected fallback kind)
+FALLBACK_SHAPES = (
+    # AVG needs sum+count transport; the final is not mergeable.
+    ("SELECT avg(a) FROM t", None, "composite-aggregate"),
+    # DISTINCT-qualified aggregate args would double-count across shards.
+    ("SELECT count(DISTINCT b) FROM t", None, "distinct-aggregate"),
+    # Grouping on a non-shard-key column splits groups across shards and
+    # the provenance rewrite nests the aggregate under a join.
+    ("SELECT b, count(*) FROM t GROUP BY b", "polynomial", "unaligned-aggregate"),
+    # Join keys on different shards: rows that must meet never do.
+    ("SELECT t.a, s.c FROM t, s WHERE t.b = 'x'", None, "cross-shard-join"),
+    # A sublink over a partitioned table sees only its shard's slice.
+    (
+        "SELECT a FROM t WHERE a IN (SELECT c FROM s)",
+        None,
+        "sublink-over-partitioned",
+    ),
+    # EXCEPT (monus) on a non-aligned column is not distributable.
+    (
+        "SELECT b FROM t EXCEPT SELECT b FROM t WHERE a = 1",
+        None,
+        "setop-except",
+    ),
+    ("SELECT b FROM t INTERSECT SELECT b FROM t", None, "setop-intersect"),
+    # UNION (dedupe) across arms whose outputs are not co-partitioned.
+    ("SELECT a FROM t UNION SELECT c FROM s", None, "setop-union"),
+    # Inner LIMIT must bind per-table, not per-shard-slice.
+    (
+        "SELECT a FROM (SELECT a FROM t ORDER BY a LIMIT 2) sub",
+        None,
+        "nested-limit",
+    ),
+    # ORDER BY on a column the select list hides: the gatherer cannot
+    # re-sort what it cannot see.
+    ("SELECT a FROM t ORDER BY b", None, "order-by-hidden"),
+    # Global HAVING over a grand aggregate filters on the merged value.
+    ("SELECT sum(a) FROM t HAVING sum(a) > 1", None, "unaligned-having"),
+)
+
+
+@pytest.mark.parametrize("sql,semantics,kind", FALLBACK_SHAPES)
+def test_shape_falls_back_loudly_and_correctly(sql, semantics, kind):
+    plain, sharded = _pair()
+    if semantics is not None:
+        expected = plain.provenance(sql, semantics=semantics)
+        actual = sharded.provenance(sql, semantics=semantics)
+    else:
+        expected = plain.execute(sql)
+        actual = sharded.execute(sql)
+    assert_same_result(expected, actual, context=f"for {sql!r}")
+    backend = sharded.backend
+    assert backend.fallback_reasons[kind] >= 1, (
+        f"expected fallback kind {kind!r} for {sql!r}, "
+        f"got {dict(backend.fallback_reasons)}"
+    )
+    assert backend.local_fallbacks >= 1
+
+
+# Shapes that look dangerous but DO merge natively — they must scatter.
+MERGEABLE_SHAPES = (
+    "SELECT DISTINCT b FROM t",  # dedupe at the gatherer
+    "SELECT count(*), sum(a) FROM t",  # grand aggregate, mergeable aggs
+    "SELECT a, count(*) FROM t GROUP BY a",  # groups aligned on shard key
+    "SELECT t.a, s.c FROM t, s WHERE t.a = s.a",  # co-partitioned join
+    "SELECT a FROM t UNION ALL SELECT a FROM s",  # concat union
+    "SELECT a FROM t UNION SELECT a FROM s",  # aligned dedupe union
+    "SELECT a, b FROM t ORDER BY b LIMIT 3",  # visible sort re-applied
+)
+
+
+@pytest.mark.parametrize("sql", MERGEABLE_SHAPES)
+def test_mergeable_shape_scatters(sql):
+    plain, sharded = _pair()
+    assert_same_result(
+        plain.execute(sql), sharded.execute(sql), context=f"for {sql!r}"
+    )
+    assert sharded.backend.scattered >= 1
+    assert sharded.backend.local_fallbacks == 0
+
+
+def test_explain_names_the_fallback():
+    _, sharded = _pair()
+    text = sharded.explain("SELECT avg(a) FROM t")
+    assert "composite-aggregate" in text
+    assert "fallback" in text
+
+
+def test_explain_shows_pruning():
+    _, sharded = _pair()
+    text = sharded.explain("SELECT b FROM t WHERE a = 3")
+    assert "shards=1/2" in text
+    assert "pruned" in text

@@ -1,0 +1,80 @@
+"""Serving a sharded database: correctness, snapshots, and \\stats."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.server import PermClient, start_in_thread
+
+from tests.backends.support import assert_same_result
+
+
+@pytest.fixture
+def served_pair():
+    plain = repro.connect()
+    sharded = repro.connect(shards=3)
+    for db in (plain, sharded):
+        db.execute("CREATE TABLE t (a integer, b text, PRIMARY KEY (a))")
+        db.execute(
+            "INSERT INTO t VALUES (1, 'x'), (2, 'y'), (3, 'z'), (4, 'w')"
+        )
+    handle = start_in_thread(sharded, request_timeout=30.0)
+    yield plain, sharded, handle
+    handle.stop()
+
+
+def test_served_queries_match_unsharded(served_pair):
+    plain, _, handle = served_pair
+    host, port = handle.address
+    with PermClient(host, port) as client:
+        for sql in (
+            "SELECT a, b FROM t WHERE a = 2",
+            "SELECT count(*), sum(a) FROM t",
+            "SELECT a, b FROM t ORDER BY a DESC LIMIT 2",
+        ):
+            assert_same_result(
+                plain.execute(sql), client.query(sql), context=f"for {sql!r}"
+            )
+        served = client.provenance("SELECT a FROM t WHERE a = 3")
+        embedded = plain.provenance("SELECT a FROM t WHERE a = 3")
+        assert served.rows == embedded.rows
+
+
+def test_stats_op_reports_sharding(served_pair):
+    _, _, handle = served_pair
+    host, port = handle.address
+    with PermClient(host, port) as client:
+        client.query("SELECT a FROM t WHERE a = 1")
+        client.query("SELECT avg(a) FROM t")  # typed fallback
+        stats = client.stats()
+        sharding = stats["sharding"]
+        assert sharding["shards"] == 3
+        assert sharding["scattered"] >= 1
+        assert sharding["pruned_queries"] >= 1
+        assert sharding["fallback_reasons"].get("composite-aggregate", 0) >= 1
+        assert len(sharding["per_shard"]) == 3
+
+
+def test_snapshot_isolation_on_sharded_backend(served_pair):
+    # The server snapshots before dispatch; the sharded backend must
+    # honour the parent-shaped token through per-shard translation.
+    _, sharded, handle = served_pair
+    host, port = handle.address
+    with PermClient(host, port) as client:
+        before = client.query("SELECT count(*) FROM t").scalar()
+        sharded.execute("INSERT INTO t VALUES (5, 'v')")
+        after = client.query("SELECT count(*) FROM t").scalar()
+        assert (before, after) == (4, 5)
+
+
+def test_unsharded_stats_omit_sharding_section():
+    db = repro.connect()
+    db.execute("CREATE TABLE t (a integer)")
+    handle = start_in_thread(db)
+    try:
+        host, port = handle.address
+        with PermClient(host, port) as client:
+            assert "sharding" not in client.stats()
+    finally:
+        handle.stop()
