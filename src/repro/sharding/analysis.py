@@ -418,21 +418,19 @@ class _Analysis:
 
         aligned_closure = {key for key in all_keys if is_aligned(key)}
 
-        # connectivity: two disjoint units join exactly iff an aligned
-        # equality class spans them (matching rows share the key value,
-        # hence the shard) — transitive through replicated columns
-        owner = {}
+        # connectivity: two disjoint units join exactly iff an equality
+        # class ties an *own* aligned key of each (matching rows then
+        # share the key value, hence the shard) — transitive through
+        # replicated columns.  A class merely touching one unit through
+        # a non-key column (t.a = s.c with s partitioned on s.a) says
+        # nothing about where the matching s rows live.
+        aligned_members: dict = {}
         for index, unit in enumerate(disjoint):
-            for varno in unit.varnos:
-                owner[varno] = index
-        members: dict = {}
-        for key in all_keys:
-            index = owner.get(key[0])
-            if index is not None:
-                members.setdefault(keys_uf.find(key), set()).add(index)
+            for key in unit.aligned:
+                aligned_members.setdefault(keys_uf.find(key), set()).add(index)
         units_uf = _UnionFind()
-        for root, indexes in members.items():
-            if root in aligned_roots and len(indexes) > 1:
+        for indexes in aligned_members.values():
+            if len(indexes) > 1:
                 ordered = sorted(indexes)
                 for other in ordered[1:]:
                     units_uf.union(ordered[0], other)
@@ -638,12 +636,16 @@ class _Analysis:
         sort_keys = self._sort_keys(query)
         limit, offset = self._limit_consts(query)
         shard_query = query
-        if limit is not None:
-            # each shard returns its own sorted prefix; the gatherer
-            # re-sorts and cuts the global one
+        if query.limit_count is not None or query.limit_offset is not None:
+            # OFFSET applies only at the gatherer (a shard-local skip
+            # would drop rows twice); each shard returns its own sorted
+            # limit+offset prefix and the gatherer cuts the global one
             shard_query = query.deep_copy()
-            shard_query.limit_count = ex.Const(limit + offset, query.limit_count.type)
             shard_query.limit_offset = None
+            if limit is not None:
+                shard_query.limit_count = ex.Const(
+                    limit + offset, query.limit_count.type
+                )
         merge = MergeSpec(sort_keys=sort_keys, limit=limit, offset=offset)
         return ScatterDecision(
             shard_ids, self.n, shard_query, merge, "concat", self._pruned(shard_ids)
@@ -653,12 +655,19 @@ class _Analysis:
         sort_keys = self._sort_keys(query)
         limit, offset = self._limit_consts(query)
         shard_query = query
-        if limit is not None and sort_keys:
-            # safe only under ORDER BY: each globally-surviving row sits
+        if query.limit_count is not None or query.limit_offset is not None:
+            # LIMIT/OFFSET apply only at the gatherer, after the global
+            # dedupe; a limit pushes down as a shard-local prefix only
+            # under ORDER BY, where each globally-surviving row sits
             # within its shard's sorted distinct prefix
             shard_query = query.deep_copy()
-            shard_query.limit_count = ex.Const(limit + offset, query.limit_count.type)
             shard_query.limit_offset = None
+            if limit is not None and sort_keys:
+                shard_query.limit_count = ex.Const(
+                    limit + offset, query.limit_count.type
+                )
+            else:
+                shard_query.limit_count = None
         merge = MergeSpec(sort_keys=sort_keys, limit=limit, offset=offset, dedupe=True)
         return ScatterDecision(
             shard_ids, self.n, shard_query, merge, "dedupe", self._pruned(shard_ids)

@@ -118,7 +118,7 @@ class Partitioner:
         }
         self.shard_catalogs = [Catalog() for _ in range(self.shards)]
         self._states: dict[str, _MirrorState] = {}
-        self._key_attnos: dict[str, Optional[int]] = {}
+        self._key_attnos: dict[str, tuple[int, Optional[int]]] = {}
         self._translations: dict[tuple, tuple] = {}
         self._lock = threading.RLock()
         # counters surfaced through ``\shards`` / server stats
@@ -139,11 +139,14 @@ class Partitioner:
     def key_attno(self, name: str) -> Optional[int]:
         """The shard-key attribute index for ``name`` (None = replicated)."""
         name = name.lower()
-        if name in self._key_attnos:
-            return self._key_attnos[name]
         table = self.catalog.table(name)
+        # keyed by the table uid: DROP + CREATE between syncs must never
+        # reuse an attno computed against the old schema
+        cached = self._key_attnos.get(name)
+        if cached is not None and cached[0] == table.uid:
+            return cached[1]
         attno = self._compute_key_attno(name, table)
-        self._key_attnos[name] = attno
+        self._key_attnos[name] = (table.uid, attno)
         return attno
 
     def _compute_key_attno(self, name: str, table: Table) -> Optional[int]:

@@ -17,7 +17,8 @@ _SETUP = (
     "CREATE TABLE t (a integer, b text, PRIMARY KEY (a))",
     "CREATE TABLE s (a integer, c integer, PRIMARY KEY (a))",
     "INSERT INTO t VALUES (1, 'x'), (2, 'y'), (3, 'z'), (4, 'x'), (5, 'y')",
-    "INSERT INTO s VALUES (1, 10), (3, 30), (5, 50), (6, 60)",
+    # (2, 5): s row on shard_of(2) whose c matches t.a = 5 on shard_of(5)
+    "INSERT INTO s VALUES (1, 10), (2, 5), (3, 30), (5, 50), (6, 60)",
 )
 
 
@@ -40,6 +41,9 @@ FALLBACK_SHAPES = (
     ("SELECT b, count(*) FROM t GROUP BY b", "polynomial", "unaligned-aggregate"),
     # Join keys on different shards: rows that must meet never do.
     ("SELECT t.a, s.c FROM t, s WHERE t.b = 'x'", None, "cross-shard-join"),
+    # Equality against a NON-key column of a partitioned side: the class
+    # touches s, but says nothing about where matching s rows live.
+    ("SELECT t.a, s.c FROM t, s WHERE t.a = s.c", None, "cross-shard-join"),
     # A sublink over a partitioned table sees only its shard's slice.
     (
         "SELECT a FROM t WHERE a IN (SELECT c FROM s)",
@@ -96,6 +100,8 @@ MERGEABLE_SHAPES = (
     "SELECT a FROM t UNION ALL SELECT a FROM s",  # concat union
     "SELECT a FROM t UNION SELECT a FROM s",  # aligned dedupe union
     "SELECT a, b FROM t ORDER BY b LIMIT 3",  # visible sort re-applied
+    "SELECT a FROM t ORDER BY a OFFSET 2",  # gatherer-only offset
+    "SELECT DISTINCT b FROM t ORDER BY b OFFSET 1",  # dedupe then offset
 )
 
 

@@ -169,6 +169,40 @@ def test_drop_and_recreate_full_reloads():
     assert part.full_loads > loads
 
 
+def test_recreate_with_narrower_schema_recomputes_shard_key():
+    # the old shard-key attno (1) is out of range for the new schema; a
+    # stale cache entry would crash insert routing with an IndexError
+    db = repro.connect(shards=2)
+    db.execute("CREATE TABLE u (x text, k integer, PRIMARY KEY (k))")
+    db.execute("INSERT INTO u VALUES ('a', 1), ('b', 2)")
+    db.execute("SELECT count(*) FROM u")  # sync caches the key attno
+    db.execute("DROP TABLE u")
+    db.execute("CREATE TABLE u (z text, PRIMARY KEY (z))")
+    db.execute("INSERT INTO u VALUES ('hello'), ('world')")
+    assert db.execute("SELECT count(*) FROM u").rows == [(2,)]
+    part = db.backend.partitioner
+    assert part.key_column("u") == "z"
+    assert sum(_shard_rows(part, "u")) == 2
+
+
+def test_recreate_with_reordered_schema_routes_by_the_named_key():
+    # same column names, different order: a stale attno would silently
+    # shard by whatever column sits at the old index
+    db = repro.connect(shards=2)
+    db.execute("CREATE TABLE v (k integer, x text, PRIMARY KEY (k))")
+    db.execute("INSERT INTO v VALUES (1, 'a'), (2, 'b')")
+    db.execute("SELECT count(*) FROM v")
+    db.execute("DROP TABLE v")
+    db.execute("CREATE TABLE v (x text, k integer, PRIMARY KEY (k))")
+    db.execute("INSERT INTO v VALUES ('a', 1), ('b', 2), ('c', 3), ('d', 4)")
+    assert db.execute("SELECT count(*) FROM v").rows == [(4,)]
+    part = db.backend.partitioner
+    assert part.key_column("v") == "k"
+    for shard_id, catalog in enumerate(part.shard_catalogs):
+        for row in catalog.table("v").raw_rows():
+            assert shard_of(row[1], 2) == shard_id
+
+
 def test_replicated_table_is_copied_to_every_shard():
     db = repro.connect(shards=3)
     db.execute("CREATE TABLE r (a integer)")  # no PK: replicated

@@ -36,6 +36,9 @@ EXAMPLE_QUERIES = (
     "SELECT sname, price FROM sales, items WHERE itemid = id",
     "SELECT name, numempl FROM shop WHERE numempl > 5 ORDER BY name",
     "SELECT id, price FROM items ORDER BY price DESC LIMIT 2",
+    "SELECT id, price FROM items ORDER BY id OFFSET 1",
+    "SELECT id, price FROM items ORDER BY id LIMIT 1 OFFSET 1",
+    "SELECT DISTINCT numempl FROM shop ORDER BY numempl OFFSET 1",
     "SELECT count(*), sum(price) FROM items",
     "SELECT id, count(*) FROM items GROUP BY id",
     "SELECT DISTINCT sname FROM sales",
